@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 2: mitosis parallel execution of
+//! SELECT MEDIAN(SQRT(i*2)) FROM tbl.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monetlite::exec::ExecOptions;
+use monetlite_types::ColumnBuffer;
+
+fn bench_mitosis(c: &mut Criterion) {
+    let n = 1_000_000;
+    let db = monetlite::Database::open_in_memory();
+    let mut conn = db.connect();
+    conn.execute("CREATE TABLE tbl (i INTEGER NOT NULL)").unwrap();
+    conn.append("tbl", vec![ColumnBuffer::Int((0..n).map(|x| x % 65_536).collect())])
+        .unwrap();
+    let sql = "SELECT median(sqrt(i * 2)) FROM tbl";
+    let mut g = c.benchmark_group("fig2_mitosis");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        conn.set_exec_options(ExecOptions {
+            threads,
+            mitosis_min_rows: 16 * 1024,
+            ..Default::default()
+        });
+        g.bench_function(format!("median_sqrt_{threads}threads"), |b| {
+            b.iter(|| conn.query(sql).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mitosis);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Table 1: TPC-H Q1-Q10 on the columnar engine, the
+//! row store and the library scripts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monetlite_tpch::{frames, queries};
+
+fn bench_tpch(c: &mut Criterion) {
+    let data = monetlite_tpch::generate(0.005, 1);
+    let db = monetlite::Database::open_in_memory();
+    let mut conn = db.connect();
+    monetlite_tpch::load_monet(&mut conn, &data).unwrap();
+    let rdb = monetlite_rowstore::RowDb::in_memory();
+    monetlite_tpch::load_rowdb(&rdb, &data).unwrap();
+    let session = monetlite_frame::Session::unlimited();
+    let fr = frames::TpchFrames::load(&session, &data).unwrap();
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for n in 1..=10usize {
+        let sql = queries::sql(n);
+        g.bench_function(format!("monetlite_q{n}"), |b| {
+            b.iter(|| conn.query(sql).unwrap())
+        });
+        g.bench_function(format!("rowstore_q{n}"), |b| b.iter(|| rdb.query(sql).unwrap()));
+        g.bench_function(format!("library_q{n}"), |b| {
+            b.iter(|| frames::run(n, &fr).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tpch);
+criterion_main!(benches);

@@ -1,0 +1,1684 @@
+//! The binder: name resolution, type checking/coercion, aggregate
+//! extraction and subquery decorrelation (AST → [`Plan`]).
+//!
+//! Correlated subqueries are flattened at bind time, the classic
+//! MonetDB/relational approach:
+//! * `EXISTS (SELECT ... WHERE inner = outer AND p)` → left **semi** join
+//!   on the correlated equality keys (NOT EXISTS → **anti** join);
+//! * `x IN (SELECT c ...)` → semi join on `x = c`;
+//! * `x = (SELECT MIN(c) ... WHERE inner = outer)` (TPC-H Q2's pattern) →
+//!   group the subquery by its correlated keys, **left join** the outer
+//!   plan against the per-group aggregate, and rewrite the comparison to
+//!   the joined column.
+
+use crate::expr::{agg_output_type, AggSpec, ArithOp, BExpr, CmpOp, PAggFunc, ScalarFunc};
+use crate::plan::{OutCol, PJoinKind, Plan};
+use monetlite_sql::ast;
+use monetlite_types::{Date, LogicalType, MlError, Result, Schema, Value};
+
+/// Catalog lookup used by the binder; implemented by the core engine's
+/// transaction view and by the rowstore baseline's catalog.
+pub trait CatalogAccess {
+    /// Schema of a base table.
+    fn table_schema(&self, name: &str) -> Result<Schema>;
+}
+
+/// One visible column while binding.
+#[derive(Debug, Clone)]
+pub struct ScopeCol {
+    /// Table alias / name qualifier.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Type.
+    pub ty: LogicalType,
+}
+
+/// The columns visible to expression binding, aligned with the plan's
+/// output positions.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    /// Visible columns.
+    pub cols: Vec<ScopeCol>,
+}
+
+impl Scope {
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<(usize, LogicalType)> {
+        let name = name.to_ascii_lowercase();
+        let mut found = None;
+        for (i, c) in self.cols.iter().enumerate() {
+            let qual_ok = match table {
+                None => true,
+                Some(t) => c.qualifier.as_deref() == Some(&t.to_ascii_lowercase()),
+            };
+            if qual_ok && c.name == name {
+                if found.is_some() {
+                    return Err(MlError::Bind(format!("ambiguous column '{name}'")));
+                }
+                found = Some((i, c.ty));
+            }
+        }
+        found.ok_or_else(|| match table {
+            Some(t) => MlError::Bind(format!("unknown column '{t}.{name}'")),
+            None => MlError::Bind(format!("unknown column '{name}'")),
+        })
+    }
+}
+
+/// Binds statements against a catalog.
+pub struct Binder<'a> {
+    catalog: &'a dyn CatalogAccess,
+}
+
+impl<'a> Binder<'a> {
+    /// New binder over a catalog view.
+    pub fn new(catalog: &'a dyn CatalogAccess) -> Binder<'a> {
+        Binder { catalog }
+    }
+
+    /// Bind a SELECT statement to a plan.
+    pub fn bind_select(&self, stmt: &ast::SelectStmt) -> Result<Plan> {
+        self.bind_select_scoped(stmt, None).map(|(p, _)| p)
+    }
+
+    /// Bind a bare expression over a single table's columns (used by the
+    /// engines for UPDATE/DELETE predicates).
+    pub fn bind_table_expr(&self, table: &str, e: &ast::Expr) -> Result<(BExpr, Scope)> {
+        let schema = self.catalog.table_schema(table)?;
+        let scope = Scope {
+            cols: schema
+                .fields()
+                .iter()
+                .map(|f| ScopeCol {
+                    qualifier: Some(table.to_ascii_lowercase()),
+                    name: f.name.clone(),
+                    ty: f.ty,
+                })
+                .collect(),
+        };
+        let b = self.bind_expr(e, &scope)?;
+        Ok((b, scope))
+    }
+
+    fn bind_select_scoped(
+        &self,
+        stmt: &ast::SelectStmt,
+        outer: Option<&Scope>,
+    ) -> Result<(Plan, Scope)> {
+        // 1. FROM clause.
+        let (mut plan, mut scope) = if stmt.from.is_empty() {
+            (
+                Plan::Values { rows: vec![vec![]], schema: vec![] },
+                Scope::default(),
+            )
+        } else {
+            let mut iter = stmt.from.iter();
+            let (mut p, mut s) = self.bind_table_ref(iter.next().unwrap())?;
+            for tr in iter {
+                let (rp, rs) = self.bind_table_ref(tr)?;
+                let schema: Vec<OutCol> = p
+                    .schema()
+                    .iter()
+                    .chain(rp.schema())
+                    .cloned()
+                    .collect();
+                p = Plan::Join {
+                    left: Box::new(p),
+                    right: Box::new(rp),
+                    kind: PJoinKind::Cross,
+                    left_keys: vec![],
+                    right_keys: vec![],
+                    residual: None,
+                    schema,
+                };
+                s.cols.extend(rs.cols);
+            }
+            (p, s)
+        };
+
+        // 2. WHERE: split into conjuncts, flatten subqueries, filter.
+        if let Some(w) = &stmt.where_clause {
+            let mut conjuncts = Vec::new();
+            split_conjuncts(w, &mut conjuncts);
+            let mut plain = Vec::new();
+            for c in conjuncts {
+                if let Some(p2) =
+                    self.try_bind_subquery_conjunct(c, plan.clone(), &mut scope)?
+                {
+                    plan = p2;
+                } else {
+                    plain.push(self.bind_expr_bool(c, &scope, outer)?);
+                }
+            }
+            for pred in plain {
+                plan = Plan::Filter { input: Box::new(plan), pred };
+            }
+        }
+
+        // 3. Grouping & aggregates.
+        let has_aggs = stmt
+            .projections
+            .iter()
+            .any(|p| matches!(p, ast::SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+            || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
+        let grouped = !stmt.group_by.is_empty() || has_aggs;
+
+        let (mut plan, out_names, out_exprs_schema) = if grouped {
+            let group_bexprs: Vec<BExpr> = stmt
+                .group_by
+                .iter()
+                .map(|g| self.bind_expr(g, &scope))
+                .collect::<Result<_>>()?;
+            let mut aggs: Vec<AggSpec> = Vec::new();
+            // Bind projections in aggregate context.
+            let mut proj_exprs = Vec::new();
+            let mut names = Vec::new();
+            for (i, item) in stmt.projections.iter().enumerate() {
+                match item {
+                    ast::SelectItem::Wildcard | ast::SelectItem::QualifiedWildcard(_) => {
+                        return Err(MlError::Bind(
+                            "SELECT * is not allowed with GROUP BY/aggregates".into(),
+                        ))
+                    }
+                    ast::SelectItem::Expr { expr, alias } => {
+                        let b = self.bind_agg_expr(expr, &scope, &group_bexprs, &mut aggs)?;
+                        names.push(output_name(alias.as_deref(), expr, i));
+                        proj_exprs.push(b);
+                    }
+                }
+            }
+            // HAVING in aggregate context.
+            let having = stmt
+                .having
+                .as_ref()
+                .map(|h| self.bind_agg_expr(h, &scope, &group_bexprs, &mut aggs))
+                .transpose()?;
+            // Build Aggregate node schema: groups then aggs.
+            let mut agg_schema = Vec::new();
+            for (i, g) in group_bexprs.iter().enumerate() {
+                agg_schema.push(OutCol { name: format!("g{i}"), ty: g.ty() });
+            }
+            for (i, a) in aggs.iter().enumerate() {
+                agg_schema.push(OutCol { name: format!("a{i}"), ty: a.ty });
+            }
+            let mut plan = Plan::Aggregate {
+                input: Box::new(plan),
+                groups: group_bexprs,
+                aggs,
+                schema: agg_schema,
+            };
+            if let Some(h) = having {
+                plan = Plan::Filter { input: Box::new(plan), pred: h };
+            }
+            let schema: Vec<OutCol> = proj_exprs
+                .iter()
+                .zip(&names)
+                .map(|(e, n)| OutCol { name: n.clone(), ty: e.ty() })
+                .collect();
+            plan = Plan::Project { input: Box::new(plan), exprs: proj_exprs, schema: schema.clone() };
+            (plan, names, schema)
+        } else {
+            // Plain projection.
+            let mut exprs = Vec::new();
+            let mut names = Vec::new();
+            for (i, item) in stmt.projections.iter().enumerate() {
+                match item {
+                    ast::SelectItem::Wildcard => {
+                        for (j, c) in scope.cols.iter().enumerate() {
+                            exprs.push(BExpr::ColRef { idx: j, ty: c.ty });
+                            names.push(c.name.clone());
+                        }
+                    }
+                    ast::SelectItem::QualifiedWildcard(q) => {
+                        let q = q.to_ascii_lowercase();
+                        let mut any = false;
+                        for (j, c) in scope.cols.iter().enumerate() {
+                            if c.qualifier.as_deref() == Some(&q) {
+                                exprs.push(BExpr::ColRef { idx: j, ty: c.ty });
+                                names.push(c.name.clone());
+                                any = true;
+                            }
+                        }
+                        if !any {
+                            return Err(MlError::Bind(format!("unknown table alias '{q}'")));
+                        }
+                    }
+                    ast::SelectItem::Expr { expr, alias } => {
+                        let b = self.bind_expr_outer(expr, &scope, outer)?;
+                        names.push(output_name(alias.as_deref(), expr, i));
+                        exprs.push(b);
+                    }
+                }
+            }
+            let schema: Vec<OutCol> = exprs
+                .iter()
+                .zip(&names)
+                .map(|(e, n)| OutCol { name: n.clone(), ty: e.ty() })
+                .collect();
+            let plan =
+                Plan::Project { input: Box::new(plan), exprs, schema: schema.clone() };
+            (plan, names, schema)
+        };
+
+        // 4. DISTINCT.
+        if stmt.distinct {
+            plan = Plan::Distinct { input: Box::new(plan) };
+        }
+
+        // 5. ORDER BY over the output columns (name, alias or ordinal).
+        if !stmt.order_by.is_empty() {
+            let mut keys = Vec::new();
+            for item in &stmt.order_by {
+                let idx = match &item.expr {
+                    ast::Expr::Literal(Value::Int(n)) => {
+                        let n = *n as usize;
+                        if n == 0 || n > out_names.len() {
+                            return Err(MlError::Bind(format!(
+                                "ORDER BY ordinal {n} out of range"
+                            )));
+                        }
+                        n - 1
+                    }
+                    ast::Expr::Column { table: None, name } => {
+                        let lower = name.to_ascii_lowercase();
+                        out_names
+                            .iter()
+                            .position(|n| *n == lower)
+                            .ok_or_else(|| {
+                                MlError::Bind(format!(
+                                    "ORDER BY column '{name}' is not in the output"
+                                ))
+                            })?
+                    }
+                    other => {
+                        return Err(MlError::Bind(format!(
+                            "ORDER BY must reference an output column or ordinal, got {other:?}"
+                        )))
+                    }
+                };
+                keys.push((idx, item.desc));
+            }
+            plan = Plan::Sort { input: Box::new(plan), keys };
+        }
+
+        // 6. LIMIT.
+        if let Some(n) = stmt.limit {
+            plan = Plan::Limit { input: Box::new(plan), n };
+        }
+
+        let out_scope = Scope {
+            cols: out_exprs_schema
+                .iter()
+                .map(|c| ScopeCol { qualifier: None, name: c.name.clone(), ty: c.ty })
+                .collect(),
+        };
+        Ok((plan, out_scope))
+    }
+
+    fn bind_table_ref(&self, tr: &ast::TableRef) -> Result<(Plan, Scope)> {
+        match tr {
+            ast::TableRef::Table { name, alias } => {
+                let schema = self.catalog.table_schema(name)?;
+                let qualifier = alias.clone().unwrap_or_else(|| name.clone()).to_ascii_lowercase();
+                let cols: Vec<ScopeCol> = schema
+                    .fields()
+                    .iter()
+                    .map(|f| ScopeCol {
+                        qualifier: Some(qualifier.clone()),
+                        name: f.name.clone(),
+                        ty: f.ty,
+                    })
+                    .collect();
+                let plan = Plan::Scan {
+                    table: name.to_ascii_lowercase(),
+                    projected: (0..schema.len()).collect(),
+                    filters: vec![],
+                    schema: cols
+                        .iter()
+                        .map(|c| OutCol { name: c.name.clone(), ty: c.ty })
+                        .collect(),
+                };
+                Ok((plan, Scope { cols }))
+            }
+            ast::TableRef::Subquery { query, alias } => {
+                let (plan, scope) = self.bind_select_scoped(query, None)?;
+                let cols = scope
+                    .cols
+                    .into_iter()
+                    .map(|c| ScopeCol {
+                        qualifier: Some(alias.to_ascii_lowercase()),
+                        ..c
+                    })
+                    .collect();
+                Ok((plan, Scope { cols }))
+            }
+            ast::TableRef::Join { left, right, kind, on } => {
+                let (lp, ls) = self.bind_table_ref(left)?;
+                let (rp, rs) = self.bind_table_ref(right)?;
+                let mut scope = ls;
+                scope.cols.extend(rs.cols);
+                let schema: Vec<OutCol> =
+                    lp.schema().iter().chain(rp.schema()).cloned().collect();
+                let pkind = match kind {
+                    ast::JoinKind::Inner => PJoinKind::Inner,
+                    ast::JoinKind::Left => PJoinKind::Left,
+                    ast::JoinKind::Cross => PJoinKind::Cross,
+                };
+                let residual = on
+                    .as_ref()
+                    .map(|e| self.bind_expr_bool(e, &scope, None))
+                    .transpose()?;
+                // Keys are extracted from the residual by the optimizer.
+                Ok((
+                    Plan::Join {
+                        left: Box::new(lp),
+                        right: Box::new(rp),
+                        kind: pkind,
+                        left_keys: vec![],
+                        right_keys: vec![],
+                        residual,
+                        schema,
+                    },
+                    scope,
+                ))
+            }
+        }
+    }
+
+    /// If `conjunct` is a flattenable subquery predicate, rewrite `plan`
+    /// (joining in the subquery) and return the new plan.
+    fn try_bind_subquery_conjunct(
+        &self,
+        conjunct: &ast::Expr,
+        plan: Plan,
+        scope: &mut Scope,
+    ) -> Result<Option<Plan>> {
+        match conjunct {
+            ast::Expr::Exists { query, negated } => Ok(Some(self.flatten_exists(
+                query,
+                *negated,
+                plan,
+                scope,
+            )?)),
+            ast::Expr::Not(inner) => {
+                if let ast::Expr::Exists { query, negated } = inner.as_ref() {
+                    return Ok(Some(self.flatten_exists(query, !negated, plan, scope)?));
+                }
+                Ok(None)
+            }
+            ast::Expr::InSubquery { expr, query, negated } => Ok(Some(self.flatten_in(
+                expr,
+                query,
+                *negated,
+                plan,
+                scope,
+            )?)),
+            ast::Expr::Binary { op, left, right }
+                if matches!(
+                    op,
+                    ast::BinOp::Eq
+                        | ast::BinOp::Lt
+                        | ast::BinOp::LtEq
+                        | ast::BinOp::Gt
+                        | ast::BinOp::GtEq
+                        | ast::BinOp::NotEq
+                ) =>
+            {
+                let (scalar_side, other, flip) = match (left.as_ref(), right.as_ref()) {
+                    (ast::Expr::ScalarSubquery(q), o) => (q, o, true),
+                    (o, ast::Expr::ScalarSubquery(q)) => (q, o, false),
+                    _ => return Ok(None),
+                };
+                let p = self.flatten_scalar_cmp(scalar_side, other, *op, flip, plan, scope)?;
+                Ok(Some(p))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// EXISTS/NOT EXISTS → semi/anti join.
+    fn flatten_exists(
+        &self,
+        query: &ast::SelectStmt,
+        negated: bool,
+        plan: Plan,
+        scope: &Scope,
+    ) -> Result<Plan> {
+        let (inner_plan, inner_scope, lkeys, rkeys) =
+            self.bind_correlated_subquery(query, scope)?;
+        let _ = inner_scope;
+        let schema = plan.schema().to_vec();
+        Ok(Plan::Join {
+            left: Box::new(plan),
+            right: Box::new(inner_plan),
+            kind: if negated { PJoinKind::Anti } else { PJoinKind::Semi },
+            left_keys: lkeys,
+            right_keys: rkeys,
+            residual: None,
+            schema,
+        })
+    }
+
+    /// `x IN (SELECT c ...)` → semi join on x = c (+ correlated keys).
+    fn flatten_in(
+        &self,
+        expr: &ast::Expr,
+        query: &ast::SelectStmt,
+        negated: bool,
+        plan: Plan,
+        scope: &Scope,
+    ) -> Result<Plan> {
+        let (inner_plan, inner_scope, mut lkeys, mut rkeys) =
+            self.bind_correlated_subquery(query, scope)?;
+        if inner_scope.cols.len() != 1 {
+            return Err(MlError::Bind("IN subquery must produce exactly one column".into()));
+        }
+        let left_key = self.bind_expr(expr, scope)?;
+        let right_key = BExpr::ColRef { idx: 0, ty: inner_scope.cols[0].ty };
+        let (lk, rk) = coerce_pair(left_key, right_key)?;
+        lkeys.push(lk);
+        rkeys.push(rk);
+        let schema = plan.schema().to_vec();
+        Ok(Plan::Join {
+            left: Box::new(plan),
+            right: Box::new(inner_plan),
+            kind: if negated { PJoinKind::Anti } else { PJoinKind::Semi },
+            left_keys: lkeys,
+            right_keys: rkeys,
+            residual: None,
+            schema,
+        })
+    }
+
+    /// `other <op> (SELECT agg(..) ... WHERE correlated)` → left join on
+    /// the correlated group keys + comparison against the aggregate
+    /// column.
+    fn flatten_scalar_cmp(
+        &self,
+        query: &ast::SelectStmt,
+        other: &ast::Expr,
+        op: ast::BinOp,
+        flipped: bool,
+        plan: Plan,
+        scope: &mut Scope,
+    ) -> Result<Plan> {
+        let (inner_plan, inner_scope, lkeys, rkeys) =
+            self.bind_correlated_subquery_grouped(query, scope)?;
+        if inner_scope.cols.len() != rkeys.len() + 1 {
+            return Err(MlError::Bind(
+                "scalar subquery must produce exactly one column".into(),
+            ));
+        }
+        let val_idx = inner_scope.cols.len() - 1;
+        let val_ty = inner_scope.cols[val_idx].ty;
+        // Join: outer LEFT JOIN inner-grouped.
+        let nleft = plan.schema().len();
+        let mut schema = plan.schema().to_vec();
+        schema.extend(inner_plan.schema().iter().cloned());
+        let joined = Plan::Join {
+            left: Box::new(plan),
+            right: Box::new(inner_plan),
+            kind: PJoinKind::Left,
+            left_keys: lkeys,
+            right_keys: rkeys,
+            residual: None,
+            schema,
+        };
+        // Comparison over the joined schema.
+        let other_b = self.bind_expr(other, scope)?;
+        let subq_col = BExpr::ColRef { idx: nleft + val_idx, ty: val_ty };
+        let (l, r) = if flipped {
+            coerce_pair(subq_col, other_b)?
+        } else {
+            coerce_pair(other_b, subq_col)?
+        };
+        let pred = BExpr::Cmp { op: bin_to_cmp(op)?, left: Box::new(l), right: Box::new(r) };
+        let filtered = Plan::Filter { input: Box::new(joined), pred };
+        // Project back to the outer columns only.
+        let exprs: Vec<BExpr> = (0..nleft)
+            .map(|i| BExpr::ColRef { idx: i, ty: filtered.schema()[i].ty })
+            .collect();
+        let out_schema: Vec<OutCol> = filtered.schema()[..nleft].to_vec();
+        // Scope is unchanged: same outer columns.
+        Ok(Plan::Project { input: Box::new(filtered), exprs, schema: out_schema })
+    }
+
+    /// Bind a subquery, splitting its WHERE into inner-only conjuncts
+    /// (applied inside) and correlated equalities (returned as join keys:
+    /// outer-side, inner-side).
+    fn bind_correlated_subquery(
+        &self,
+        query: &ast::SelectStmt,
+        outer: &Scope,
+    ) -> Result<(Plan, Scope, Vec<BExpr>, Vec<BExpr>)> {
+        if !query.group_by.is_empty() || query.limit.is_some() {
+            return Err(MlError::Unsupported(
+                "GROUP BY/LIMIT inside EXISTS/IN subqueries".into(),
+            ));
+        }
+        // Bind the subquery FROM to get the inner scope.
+        let inner_stmt = ast::SelectStmt {
+            where_clause: None,
+            order_by: vec![],
+            ..query.clone()
+        };
+        let (mut inner_plan, inner_scope) = self.bind_from_only(&inner_stmt)?;
+        let mut lkeys = Vec::new();
+        let mut rkeys = Vec::new();
+        if let Some(w) = &query.where_clause {
+            let mut conjuncts = Vec::new();
+            split_conjuncts(w, &mut conjuncts);
+            for c in conjuncts {
+                match self.classify_conjunct(c, &inner_scope, outer)? {
+                    Classified::Inner(pred) => {
+                        inner_plan = Plan::Filter { input: Box::new(inner_plan), pred };
+                    }
+                    Classified::CorrelatedEq { outer_key, inner_key } => {
+                        lkeys.push(outer_key);
+                        rkeys.push(inner_key);
+                    }
+                }
+            }
+        }
+        // Select the projected columns of the subquery (for IN).
+        let (proj_plan, proj_scope) =
+            self.project_subquery_outputs(query, inner_plan, &inner_scope, &mut rkeys)?;
+        Ok((proj_plan, proj_scope, lkeys, rkeys))
+    }
+
+    /// Like [`Self::bind_correlated_subquery`] but for scalar aggregate
+    /// subqueries: the result plan groups by the correlated inner keys and
+    /// outputs (keys..., aggregate).
+    fn bind_correlated_subquery_grouped(
+        &self,
+        query: &ast::SelectStmt,
+        outer: &Scope,
+    ) -> Result<(Plan, Scope, Vec<BExpr>, Vec<BExpr>)> {
+        if query.projections.len() != 1 {
+            return Err(MlError::Bind("scalar subquery must select one expression".into()));
+        }
+        let agg_expr = match &query.projections[0] {
+            ast::SelectItem::Expr { expr, .. } if expr.contains_aggregate() => expr,
+            _ => {
+                return Err(MlError::Unsupported(
+                    "scalar subqueries must be a single aggregate".into(),
+                ))
+            }
+        };
+        let inner_stmt = ast::SelectStmt {
+            where_clause: None,
+            order_by: vec![],
+            projections: vec![],
+            ..query.clone()
+        };
+        let (mut inner_plan, inner_scope) = self.bind_from_only(&inner_stmt)?;
+        let mut outer_keys = Vec::new();
+        let mut inner_keys = Vec::new();
+        if let Some(w) = &query.where_clause {
+            let mut conjuncts = Vec::new();
+            split_conjuncts(w, &mut conjuncts);
+            for c in conjuncts {
+                match self.classify_conjunct(c, &inner_scope, outer)? {
+                    Classified::Inner(pred) => {
+                        inner_plan = Plan::Filter { input: Box::new(inner_plan), pred };
+                    }
+                    Classified::CorrelatedEq { outer_key, inner_key } => {
+                        outer_keys.push(outer_key);
+                        inner_keys.push(inner_key);
+                    }
+                }
+            }
+        }
+        // Aggregate grouped by the correlated inner keys.
+        let mut aggs = Vec::new();
+        let bound_agg =
+            self.bind_agg_expr(agg_expr, &inner_scope, &inner_keys, &mut aggs)?;
+        if aggs.len() != 1 || !matches!(bound_agg, BExpr::ColRef { .. }) {
+            return Err(MlError::Unsupported(
+                "scalar subquery must be a single plain aggregate".into(),
+            ));
+        }
+        let mut schema = Vec::new();
+        for (i, k) in inner_keys.iter().enumerate() {
+            schema.push(OutCol { name: format!("k{i}"), ty: k.ty() });
+        }
+        let agg_ty = aggs[0].ty;
+        schema.push(OutCol { name: "agg".into(), ty: agg_ty });
+        let grouped = Plan::Aggregate {
+            input: Box::new(inner_plan),
+            groups: inner_keys.clone(),
+            aggs,
+            schema: schema.clone(),
+        };
+        // Join keys on the grouped output: positions 0..nkeys.
+        let rkeys: Vec<BExpr> = inner_keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| BExpr::ColRef { idx: i, ty: k.ty() })
+            .collect();
+        let scope = Scope {
+            cols: schema
+                .iter()
+                .map(|c| ScopeCol { qualifier: None, name: c.name.clone(), ty: c.ty })
+                .collect(),
+        };
+        Ok((grouped, scope, outer_keys, rkeys))
+    }
+
+    fn bind_from_only(&self, stmt: &ast::SelectStmt) -> Result<(Plan, Scope)> {
+        let mut iter = stmt.from.iter();
+        let first = iter
+            .next()
+            .ok_or_else(|| MlError::Bind("subquery requires a FROM clause".into()))?;
+        let (mut p, mut s) = self.bind_table_ref(first)?;
+        for tr in iter {
+            let (rp, rs) = self.bind_table_ref(tr)?;
+            let schema: Vec<OutCol> = p.schema().iter().chain(rp.schema()).cloned().collect();
+            p = Plan::Join {
+                left: Box::new(p),
+                right: Box::new(rp),
+                kind: PJoinKind::Cross,
+                left_keys: vec![],
+                right_keys: vec![],
+                residual: None,
+                schema,
+            };
+            s.cols.extend(rs.cols);
+        }
+        Ok((p, s))
+    }
+
+    fn project_subquery_outputs(
+        &self,
+        query: &ast::SelectStmt,
+        inner_plan: Plan,
+        inner_scope: &Scope,
+        rkeys: &mut [BExpr],
+    ) -> Result<(Plan, Scope)> {
+        // For EXISTS the projection is irrelevant (`SELECT *` common); for
+        // IN the single projected expression becomes output column 0. Join
+        // keys bound against the inner scope must be remapped through the
+        // projection, so we append them as extra hidden outputs.
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        match query.projections.as_slice() {
+            [ast::SelectItem::Wildcard] => {}
+            items => {
+                for (i, item) in items.iter().enumerate() {
+                    match item {
+                        ast::SelectItem::Expr { expr, alias } => {
+                            exprs.push(self.bind_expr(expr, inner_scope)?);
+                            names.push(output_name(alias.as_deref(), expr, i));
+                        }
+                        _ => {
+                            // Wildcards in EXISTS: nothing to project.
+                        }
+                    }
+                }
+            }
+        }
+        if exprs.is_empty() {
+            // EXISTS(SELECT * ...): keys only.
+            let mut schema = Vec::new();
+            let mut kexprs = Vec::new();
+            for (i, k) in rkeys.iter().enumerate() {
+                schema.push(OutCol { name: format!("k{i}"), ty: k.ty() });
+                kexprs.push(k.clone());
+            }
+            for (i, k) in rkeys.iter_mut().enumerate() {
+                *k = BExpr::ColRef { idx: i, ty: k.ty() };
+            }
+            let scope = Scope {
+                cols: schema
+                    .iter()
+                    .map(|c| ScopeCol { qualifier: None, name: c.name.clone(), ty: c.ty })
+                    .collect(),
+            };
+            return Ok((
+                Plan::Project { input: Box::new(inner_plan), exprs: kexprs, schema },
+                scope,
+            ));
+        }
+        let nout = exprs.len();
+        let mut schema: Vec<OutCol> = exprs
+            .iter()
+            .zip(&names)
+            .map(|(e, n)| OutCol { name: n.clone(), ty: e.ty() })
+            .collect();
+        for (i, k) in rkeys.iter_mut().enumerate() {
+            exprs.push(k.clone());
+            schema.push(OutCol { name: format!("k{i}"), ty: k.ty() });
+            *k = BExpr::ColRef { idx: nout + i, ty: k.ty() };
+        }
+        let scope = Scope {
+            cols: schema[..nout]
+                .iter()
+                .map(|c| ScopeCol { qualifier: None, name: c.name.clone(), ty: c.ty })
+                .collect(),
+        };
+        Ok((Plan::Project { input: Box::new(inner_plan), exprs, schema }, scope))
+    }
+
+    fn classify_conjunct(
+        &self,
+        e: &ast::Expr,
+        inner: &Scope,
+        outer: &Scope,
+    ) -> Result<Classified> {
+        // Pure inner predicate?
+        if let Ok(b) = self.bind_expr(e, inner) {
+            return Ok(Classified::Inner(b));
+        }
+        // Correlated equality?
+        if let ast::Expr::Binary { op: ast::BinOp::Eq, left, right } = e {
+            let l_inner = self.bind_expr(left, inner);
+            let r_inner = self.bind_expr(right, inner);
+            let l_outer = self.bind_expr(left, outer);
+            let r_outer = self.bind_expr(right, outer);
+            if let (Ok(ik), Ok(ok)) = (&l_inner, &r_outer) {
+                let (ok2, ik2) = coerce_pair(ok.clone(), ik.clone())?;
+                return Ok(Classified::CorrelatedEq { outer_key: ok2, inner_key: ik2 });
+            }
+            if let (Ok(ik), Ok(ok)) = (&r_inner, &l_outer) {
+                let (ok2, ik2) = coerce_pair(ok.clone(), ik.clone())?;
+                return Ok(Classified::CorrelatedEq { outer_key: ok2, inner_key: ik2 });
+            }
+        }
+        Err(MlError::Unsupported(format!(
+            "unsupported correlated predicate in subquery: {e:?}"
+        )))
+    }
+
+    // -- expressions -------------------------------------------------------
+
+    fn bind_expr_outer(
+        &self,
+        e: &ast::Expr,
+        scope: &Scope,
+        _outer: Option<&Scope>,
+    ) -> Result<BExpr> {
+        self.bind_expr(e, scope)
+    }
+
+    fn bind_expr_bool(
+        &self,
+        e: &ast::Expr,
+        scope: &Scope,
+        outer: Option<&Scope>,
+    ) -> Result<BExpr> {
+        let b = self.bind_expr_outer(e, scope, outer)?;
+        if b.ty() != LogicalType::Bool {
+            return Err(MlError::TypeMismatch(format!(
+                "predicate must be BOOLEAN, got {}",
+                b.ty()
+            )));
+        }
+        Ok(b)
+    }
+
+    /// Bind an expression in a plain scope.
+    pub fn bind_expr(&self, e: &ast::Expr, scope: &Scope) -> Result<BExpr> {
+        match e {
+            ast::Expr::Column { table, name } => {
+                let (idx, ty) = scope.resolve(table.as_deref(), name)?;
+                Ok(BExpr::ColRef { idx, ty })
+            }
+            ast::Expr::Literal(v) => Ok(BExpr::Lit(v.clone())),
+            ast::Expr::Interval { .. } => Err(MlError::Bind(
+                "INTERVAL is only valid in date arithmetic".into(),
+            )),
+            ast::Expr::Binary { op, left, right } => self.bind_binary(*op, left, right, scope),
+            ast::Expr::Not(inner) => {
+                let b = self.bind_expr(inner, scope)?;
+                if b.ty() != LogicalType::Bool {
+                    return Err(MlError::TypeMismatch("NOT requires a BOOLEAN".into()));
+                }
+                Ok(BExpr::Not(Box::new(b)))
+            }
+            ast::Expr::Neg(inner) => {
+                let b = self.bind_expr(inner, scope)?;
+                let ty = b.ty();
+                if !ty.is_numeric() {
+                    return Err(MlError::TypeMismatch("unary '-' requires a numeric".into()));
+                }
+                Ok(BExpr::Neg { input: Box::new(b), ty })
+            }
+            ast::Expr::IsNull { expr, negated } => {
+                let b = self.bind_expr(expr, scope)?;
+                Ok(BExpr::IsNull { input: Box::new(b), negated: *negated })
+            }
+            ast::Expr::Like { expr, pattern, negated } => {
+                let b = self.bind_expr(expr, scope)?;
+                if b.ty() != LogicalType::Varchar {
+                    return Err(MlError::TypeMismatch("LIKE requires a VARCHAR operand".into()));
+                }
+                Ok(BExpr::Like { input: Box::new(b), pattern: pattern.clone(), negated: *negated })
+            }
+            ast::Expr::Between { expr, low, high, negated } => {
+                // Desugar: x BETWEEN a AND b == x >= a AND x <= b.
+                let ge = ast::Expr::Binary {
+                    op: ast::BinOp::GtEq,
+                    left: expr.clone(),
+                    right: low.clone(),
+                };
+                let le = ast::Expr::Binary {
+                    op: ast::BinOp::LtEq,
+                    left: expr.clone(),
+                    right: high.clone(),
+                };
+                let both = ast::Expr::Binary {
+                    op: ast::BinOp::And,
+                    left: Box::new(ge),
+                    right: Box::new(le),
+                };
+                let b = self.bind_expr(&both, scope)?;
+                Ok(if *negated { BExpr::Not(Box::new(b)) } else { b })
+            }
+            ast::Expr::InList { expr, list, negated } => {
+                // Desugar to an OR chain of equalities.
+                let mut it = list.iter();
+                let first = it.next().ok_or_else(|| {
+                    MlError::Bind("IN list must not be empty".into())
+                })?;
+                let mut acc = ast::Expr::Binary {
+                    op: ast::BinOp::Eq,
+                    left: expr.clone(),
+                    right: Box::new(first.clone()),
+                };
+                for item in it {
+                    let eq = ast::Expr::Binary {
+                        op: ast::BinOp::Eq,
+                        left: expr.clone(),
+                        right: Box::new(item.clone()),
+                    };
+                    acc = ast::Expr::Binary {
+                        op: ast::BinOp::Or,
+                        left: Box::new(acc),
+                        right: Box::new(eq),
+                    };
+                }
+                let b = self.bind_expr(&acc, scope)?;
+                Ok(if *negated { BExpr::Not(Box::new(b)) } else { b })
+            }
+            ast::Expr::InSubquery { .. } | ast::Expr::Exists { .. } => Err(MlError::Unsupported(
+                "subquery predicates are only supported as top-level WHERE conjuncts".into(),
+            )),
+            ast::Expr::ScalarSubquery(_) => Err(MlError::Unsupported(
+                "scalar subqueries are only supported in top-level WHERE comparisons".into(),
+            )),
+            ast::Expr::Case { branches, else_expr } => {
+                let mut bound: Vec<(BExpr, BExpr)> = Vec::new();
+                for (c, v) in branches {
+                    let bc = self.bind_expr(c, scope)?;
+                    if bc.ty() != LogicalType::Bool {
+                        return Err(MlError::TypeMismatch("WHEN condition must be BOOLEAN".into()));
+                    }
+                    bound.push((bc, self.bind_expr(v, scope)?));
+                }
+                let belse = else_expr.as_ref().map(|e| self.bind_expr(e, scope)).transpose()?;
+                // Common result type across all branch values.
+                let mut ty = bound[0].1.ty();
+                for (_, v) in &bound[1..] {
+                    ty = LogicalType::common_super_type(ty, v.ty())?;
+                }
+                if let Some(e) = &belse {
+                    if !matches!(e, BExpr::Lit(Value::Null)) {
+                        ty = LogicalType::common_super_type(ty, e.ty())?;
+                    }
+                }
+                let branches = bound
+                    .into_iter()
+                    .map(|(c, v)| Ok((c, cast_to(v, ty)?)))
+                    .collect::<Result<Vec<_>>>()?;
+                let else_expr = belse.map(|e| cast_to(e, ty).map(Box::new)).transpose()?;
+                Ok(BExpr::Case { branches, else_expr, ty })
+            }
+            ast::Expr::Agg { .. } => Err(MlError::Bind(
+                "aggregate functions are not allowed here".into(),
+            )),
+            ast::Expr::Extract { field, expr } => {
+                let b = self.bind_expr(expr, scope)?;
+                if b.ty() != LogicalType::Date {
+                    return Err(MlError::TypeMismatch("EXTRACT requires a DATE".into()));
+                }
+                let func = match field {
+                    ast::DateField::Year => ScalarFunc::Year,
+                    ast::DateField::Month => ScalarFunc::Month,
+                    ast::DateField::Day => ScalarFunc::Day,
+                };
+                Ok(BExpr::Func { func, args: vec![b], ty: LogicalType::Int })
+            }
+            ast::Expr::Cast { expr, ty } => {
+                let b = self.bind_expr(expr, scope)?;
+                cast_to(b, *ty)
+            }
+            ast::Expr::Function { name, args } => self.bind_function(name, args, scope),
+        }
+    }
+
+    fn bind_binary(
+        &self,
+        op: ast::BinOp,
+        left: &ast::Expr,
+        right: &ast::Expr,
+        scope: &Scope,
+    ) -> Result<BExpr> {
+        use ast::BinOp as B;
+        match op {
+            B::And | B::Or => {
+                let l = self.bind_expr(left, scope)?;
+                let r = self.bind_expr(right, scope)?;
+                if l.ty() != LogicalType::Bool || r.ty() != LogicalType::Bool {
+                    return Err(MlError::TypeMismatch("AND/OR require BOOLEAN operands".into()));
+                }
+                Ok(if op == B::And {
+                    BExpr::And(Box::new(l), Box::new(r))
+                } else {
+                    BExpr::Or(Box::new(l), Box::new(r))
+                })
+            }
+            B::Eq | B::NotEq | B::Lt | B::LtEq | B::Gt | B::GtEq => {
+                let l = self.bind_expr(left, scope)?;
+                let r = self.bind_expr(right, scope)?;
+                let (l, r) = coerce_pair(l, r)?;
+                Ok(BExpr::Cmp { op: bin_to_cmp(op)?, left: Box::new(l), right: Box::new(r) })
+            }
+            B::Add | B::Sub | B::Mul | B::Div | B::Mod => {
+                // Date ± INTERVAL and DATE - DATE first.
+                if let ast::Expr::Interval { value, unit } = right {
+                    let l = self.bind_expr(left, scope)?;
+                    if l.ty() != LogicalType::Date {
+                        return Err(MlError::TypeMismatch(
+                            "INTERVAL arithmetic requires a DATE".into(),
+                        ));
+                    }
+                    let signed = if op == B::Sub { -*value } else { *value };
+                    if op != B::Add && op != B::Sub {
+                        return Err(MlError::TypeMismatch(
+                            "only + and - are defined on dates".into(),
+                        ));
+                    }
+                    // Fold literal date ± interval at bind time.
+                    if let BExpr::Lit(Value::Date(d)) = &l {
+                        let nd = match unit {
+                            ast::IntervalUnit::Day => d.add_days(signed),
+                            ast::IntervalUnit::Month => d.add_months(signed),
+                            ast::IntervalUnit::Year => d.add_years(signed),
+                        };
+                        return Ok(BExpr::Lit(Value::Date(nd)));
+                    }
+                    // Column date ± interval: dedicated date-shift function.
+                    let func = match unit {
+                        ast::IntervalUnit::Day => ScalarFunc::AddDays,
+                        ast::IntervalUnit::Month => ScalarFunc::AddMonths,
+                        ast::IntervalUnit::Year => ScalarFunc::AddYears,
+                    };
+                    return Ok(BExpr::Func {
+                        func,
+                        args: vec![l, BExpr::Lit(Value::Int(signed))],
+                        ty: LogicalType::Date,
+                    });
+                }
+                let l = self.bind_expr(left, scope)?;
+                let r = self.bind_expr(right, scope)?;
+                // DATE - DATE → days (INTEGER).
+                if l.ty() == LogicalType::Date && r.ty() == LogicalType::Date && op == B::Sub {
+                    return Ok(BExpr::Arith {
+                        op: ArithOp::Sub,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        ty: LogicalType::Int,
+                    });
+                }
+                bind_arith(bin_to_arith(op), l, r)
+            }
+        }
+    }
+
+    fn bind_function(&self, name: &str, args: &[ast::Expr], scope: &Scope) -> Result<BExpr> {
+        let bound: Vec<BExpr> =
+            args.iter().map(|a| self.bind_expr(a, scope)).collect::<Result<_>>()?;
+        let argc = bound.len();
+        let wrong = |want: usize| {
+            MlError::Bind(format!("{name} expects {want} argument(s), got {argc}"))
+        };
+        match name {
+            "sqrt" | "floor" | "ceil" | "ceiling" => {
+                if argc != 1 {
+                    return Err(wrong(1));
+                }
+                let a = cast_to(bound.into_iter().next().unwrap(), LogicalType::Double)?;
+                let func = match name {
+                    "sqrt" => ScalarFunc::Sqrt,
+                    "floor" => ScalarFunc::Floor,
+                    _ => ScalarFunc::Ceil,
+                };
+                Ok(BExpr::Func { func, args: vec![a], ty: LogicalType::Double })
+            }
+            "abs" => {
+                if argc != 1 {
+                    return Err(wrong(1));
+                }
+                let a = bound.into_iter().next().unwrap();
+                let ty = a.ty();
+                if !ty.is_numeric() {
+                    return Err(MlError::TypeMismatch("abs requires a numeric".into()));
+                }
+                Ok(BExpr::Func { func: ScalarFunc::Abs, args: vec![a], ty })
+            }
+            "upper" | "lower" => {
+                if argc != 1 {
+                    return Err(wrong(1));
+                }
+                let a = bound.into_iter().next().unwrap();
+                if a.ty() != LogicalType::Varchar {
+                    return Err(MlError::TypeMismatch(format!("{name} requires a VARCHAR")));
+                }
+                let func = if name == "upper" { ScalarFunc::Upper } else { ScalarFunc::Lower };
+                Ok(BExpr::Func { func, args: vec![a], ty: LogicalType::Varchar })
+            }
+            "length" => {
+                if argc != 1 {
+                    return Err(wrong(1));
+                }
+                let a = bound.into_iter().next().unwrap();
+                if a.ty() != LogicalType::Varchar {
+                    return Err(MlError::TypeMismatch("length requires a VARCHAR".into()));
+                }
+                Ok(BExpr::Func { func: ScalarFunc::Length, args: vec![a], ty: LogicalType::Int })
+            }
+            "substring" | "substr" => {
+                if argc != 3 {
+                    return Err(wrong(3));
+                }
+                let mut it = bound.into_iter();
+                let s = it.next().unwrap();
+                if s.ty() != LogicalType::Varchar {
+                    return Err(MlError::TypeMismatch("substring requires a VARCHAR".into()));
+                }
+                let from = cast_to(it.next().unwrap(), LogicalType::Int)?;
+                let len = cast_to(it.next().unwrap(), LogicalType::Int)?;
+                Ok(BExpr::Func {
+                    func: ScalarFunc::Substring,
+                    args: vec![s, from, len],
+                    ty: LogicalType::Varchar,
+                })
+            }
+            "year" | "month" | "day" => {
+                if argc != 1 {
+                    return Err(wrong(1));
+                }
+                let a = bound.into_iter().next().unwrap();
+                if a.ty() != LogicalType::Date {
+                    return Err(MlError::TypeMismatch(format!("{name} requires a DATE")));
+                }
+                let func = match name {
+                    "year" => ScalarFunc::Year,
+                    "month" => ScalarFunc::Month,
+                    _ => ScalarFunc::Day,
+                };
+                Ok(BExpr::Func { func, args: vec![a], ty: LogicalType::Int })
+            }
+            other => Err(MlError::Bind(format!("unknown function '{other}'"))),
+        }
+    }
+
+    /// Bind an expression allowed to contain aggregates: aggregate calls
+    /// become references into the Aggregate node's output; subexpressions
+    /// equal to a GROUP BY key become group-column references.
+    fn bind_agg_expr(
+        &self,
+        e: &ast::Expr,
+        input: &Scope,
+        groups: &[BExpr],
+        aggs: &mut Vec<AggSpec>,
+    ) -> Result<BExpr> {
+        // A subexpression identical to a group key resolves to that key's
+        // output column.
+        if let Ok(b) = self.bind_expr(e, input) {
+            if let Some(pos) = groups.iter().position(|g| *g == b) {
+                return Ok(BExpr::ColRef { idx: pos, ty: b.ty() });
+            }
+            if b.is_const() {
+                return Ok(b);
+            }
+        }
+        match e {
+            ast::Expr::Agg { func, arg, distinct } => {
+                let arg_b = arg
+                    .as_ref()
+                    .map(|a| self.bind_expr(a, input))
+                    .transpose()?;
+                let pfunc = match func {
+                    ast::AggFunc::Count => PAggFunc::Count,
+                    ast::AggFunc::Sum => PAggFunc::Sum,
+                    ast::AggFunc::Avg => PAggFunc::Avg,
+                    ast::AggFunc::Min => PAggFunc::Min,
+                    ast::AggFunc::Max => PAggFunc::Max,
+                    ast::AggFunc::Median => PAggFunc::Median,
+                };
+                let ty = agg_output_type(pfunc, arg_b.as_ref().map(|a| a.ty()));
+                let spec = AggSpec { func: pfunc, arg: arg_b, distinct: *distinct, ty };
+                let pos = match aggs.iter().position(|a| *a == spec) {
+                    Some(p) => p,
+                    None => {
+                        aggs.push(spec);
+                        aggs.len() - 1
+                    }
+                };
+                Ok(BExpr::ColRef { idx: groups.len() + pos, ty })
+            }
+            ast::Expr::Binary { op, left, right } => {
+                // Rebind children in aggregate context, then re-run the
+                // binary typing rules on the bound pieces.
+                let l = self.bind_agg_expr(left, input, groups, aggs)?;
+                let r = self.bind_agg_expr(right, input, groups, aggs)?;
+                rebuild_binary(*op, l, r)
+            }
+            ast::Expr::Neg(inner) => {
+                let b = self.bind_agg_expr(inner, input, groups, aggs)?;
+                let ty = b.ty();
+                Ok(BExpr::Neg { input: Box::new(b), ty })
+            }
+            ast::Expr::Case { branches, else_expr } => {
+                let mut bound = Vec::new();
+                for (c, v) in branches {
+                    bound.push((
+                        self.bind_agg_expr(c, input, groups, aggs)?,
+                        self.bind_agg_expr(v, input, groups, aggs)?,
+                    ));
+                }
+                let belse = else_expr
+                    .as_ref()
+                    .map(|e| self.bind_agg_expr(e, input, groups, aggs))
+                    .transpose()?;
+                let mut ty = bound[0].1.ty();
+                for (_, v) in &bound[1..] {
+                    ty = LogicalType::common_super_type(ty, v.ty())?;
+                }
+                if let Some(e) = &belse {
+                    if !matches!(e, BExpr::Lit(Value::Null)) {
+                        ty = LogicalType::common_super_type(ty, e.ty())?;
+                    }
+                }
+                let branches = bound
+                    .into_iter()
+                    .map(|(c, v)| Ok((c, cast_to(v, ty)?)))
+                    .collect::<Result<Vec<_>>>()?;
+                let else_expr = belse.map(|e| cast_to(e, ty).map(Box::new)).transpose()?;
+                Ok(BExpr::Case { branches, else_expr, ty })
+            }
+            ast::Expr::Cast { expr, ty } => {
+                let b = self.bind_agg_expr(expr, input, groups, aggs)?;
+                cast_to(b, *ty)
+            }
+            ast::Expr::Extract { .. } | ast::Expr::Function { .. } => {
+                // Non-aggregate functions over group keys were handled by
+                // the group-key match above; reaching here means the
+                // argument is not a group key.
+                Err(MlError::Bind(format!(
+                    "expression {e:?} must appear in the GROUP BY clause"
+                )))
+            }
+            other => Err(MlError::Bind(format!(
+                "expression {other:?} must appear in GROUP BY or be inside an aggregate"
+            ))),
+        }
+    }
+}
+
+enum Classified {
+    Inner(BExpr),
+    CorrelatedEq { outer_key: BExpr, inner_key: BExpr },
+}
+
+fn split_conjuncts<'e>(e: &'e ast::Expr, out: &mut Vec<&'e ast::Expr>) {
+    if let ast::Expr::Binary { op: ast::BinOp::And, left, right } = e {
+        split_conjuncts(left, out);
+        split_conjuncts(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn bin_to_cmp(op: ast::BinOp) -> Result<CmpOp> {
+    Ok(match op {
+        ast::BinOp::Eq => CmpOp::Eq,
+        ast::BinOp::NotEq => CmpOp::NotEq,
+        ast::BinOp::Lt => CmpOp::Lt,
+        ast::BinOp::LtEq => CmpOp::LtEq,
+        ast::BinOp::Gt => CmpOp::Gt,
+        ast::BinOp::GtEq => CmpOp::GtEq,
+        other => return Err(MlError::Bind(format!("{other:?} is not a comparison"))),
+    })
+}
+
+fn bin_to_arith(op: ast::BinOp) -> ArithOp {
+    match op {
+        ast::BinOp::Add => ArithOp::Add,
+        ast::BinOp::Sub => ArithOp::Sub,
+        ast::BinOp::Mul => ArithOp::Mul,
+        ast::BinOp::Div => ArithOp::Div,
+        _ => ArithOp::Mod,
+    }
+}
+
+/// Re-apply binary typing rules to already-bound operands.
+pub fn rebuild_binary(op: ast::BinOp, l: BExpr, r: BExpr) -> Result<BExpr> {
+    use ast::BinOp as B;
+    match op {
+        B::And => Ok(BExpr::And(Box::new(l), Box::new(r))),
+        B::Or => Ok(BExpr::Or(Box::new(l), Box::new(r))),
+        B::Eq | B::NotEq | B::Lt | B::LtEq | B::Gt | B::GtEq => {
+            let (l, r) = coerce_pair(l, r)?;
+            Ok(BExpr::Cmp { op: bin_to_cmp(op)?, left: Box::new(l), right: Box::new(r) })
+        }
+        B::Add | B::Sub | B::Mul | B::Div | B::Mod => bind_arith(bin_to_arith(op), l, r),
+    }
+}
+
+/// Numeric/typed arithmetic rules; inserts casts so kernels see one type.
+pub fn bind_arith(op: ArithOp, l: BExpr, r: BExpr) -> Result<BExpr> {
+    use LogicalType as T;
+    let (lt, rt) = (l.ty(), r.ty());
+    if !lt.is_numeric() || !rt.is_numeric() {
+        return Err(MlError::TypeMismatch(format!(
+            "arithmetic requires numeric operands, got {lt} and {rt}"
+        )));
+    }
+    // Division always computes in double (MonetDB's decimal division
+    // semantics differ; DOUBLE keeps every TPC-H aggregate exact enough
+    // and avoids scale explosions).
+    if op == ArithOp::Div {
+        let l = cast_to(l, T::Double)?;
+        let r = cast_to(r, T::Double)?;
+        return Ok(BExpr::Arith { op, left: Box::new(l), right: Box::new(r), ty: T::Double });
+    }
+    let ty = LogicalType::common_super_type(lt, rt)?;
+    match ty {
+        T::Decimal { .. } => {
+            let (ls, rs) = (scale_of(lt), scale_of(rt));
+            match op {
+                ArithOp::Mul => {
+                    let s = ls + rs;
+                    if s > 18 {
+                        let l = cast_to(l, T::Double)?;
+                        let r = cast_to(r, T::Double)?;
+                        return Ok(BExpr::Arith {
+                            op,
+                            left: Box::new(l),
+                            right: Box::new(r),
+                            ty: T::Double,
+                        });
+                    }
+                    // Operands keep their own scales; result scale = sum.
+                    let l = to_decimal(l, ls)?;
+                    let r = to_decimal(r, rs)?;
+                    Ok(BExpr::Arith {
+                        op,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        ty: T::Decimal { width: 18, scale: s },
+                    })
+                }
+                ArithOp::Add | ArithOp::Sub => {
+                    let s = ls.max(rs);
+                    let l = to_decimal(l, s)?;
+                    let r = to_decimal(r, s)?;
+                    Ok(BExpr::Arith {
+                        op,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        ty: T::Decimal { width: 18, scale: s },
+                    })
+                }
+                ArithOp::Mod => Err(MlError::TypeMismatch("% is not defined on DECIMAL".into())),
+                ArithOp::Div => unreachable!("handled above"),
+            }
+        }
+        other => {
+            let l = cast_to(l, other)?;
+            let r = cast_to(r, other)?;
+            Ok(BExpr::Arith { op, left: Box::new(l), right: Box::new(r), ty: other })
+        }
+    }
+}
+
+fn scale_of(ty: LogicalType) -> u8 {
+    match ty {
+        LogicalType::Decimal { scale, .. } => scale,
+        _ => 0,
+    }
+}
+
+fn to_decimal(e: BExpr, scale: u8) -> Result<BExpr> {
+    cast_to(e, LogicalType::Decimal { width: 18, scale })
+}
+
+/// Insert a cast unless the expression already has the target type;
+/// literal casts fold immediately.
+pub fn cast_to(e: BExpr, ty: LogicalType) -> Result<BExpr> {
+    if e.ty() == ty {
+        return Ok(e);
+    }
+    if let BExpr::Lit(v) = &e {
+        if let Some(folded) = fold_literal_cast(v, ty)? {
+            return Ok(BExpr::Lit(folded));
+        }
+    }
+    Ok(BExpr::Cast { input: Box::new(e), ty })
+}
+
+fn fold_literal_cast(v: &Value, ty: LogicalType) -> Result<Option<Value>> {
+    use LogicalType as T;
+    Ok(match (v, ty) {
+        (Value::Null, _) => Some(Value::Null),
+        (Value::Int(x), T::Bigint) => Some(Value::Bigint(*x as i64)),
+        (Value::Int(x), T::Double) => Some(Value::Double(*x as f64)),
+        (Value::Int(x), T::Decimal { scale, .. }) => Some(Value::Decimal(
+            monetlite_types::Decimal::new(*x as i64, 0).rescale(scale)?,
+        )),
+        (Value::Bigint(x), T::Double) => Some(Value::Double(*x as f64)),
+        (Value::Decimal(d), T::Double) => Some(Value::Double(d.to_f64())),
+        (Value::Decimal(d), T::Decimal { scale, .. }) => Some(Value::Decimal(d.rescale(scale)?)),
+        (Value::Str(s), T::Date) => Some(Value::Date(Date::parse(s)?)),
+        (Value::Str(s), T::Varchar) => Some(Value::Str(s.clone())),
+        _ => None,
+    })
+}
+
+/// Coerce a comparison pair to a common type.
+pub fn coerce_pair(l: BExpr, r: BExpr) -> Result<(BExpr, BExpr)> {
+    let (lt, rt) = (l.ty(), r.ty());
+    if lt == rt {
+        return Ok((l, r));
+    }
+    // Date vs string literal: parse the literal.
+    if lt == LogicalType::Date && rt == LogicalType::Varchar {
+        let r = cast_to(r, LogicalType::Date)?;
+        return Ok((l, r));
+    }
+    if rt == LogicalType::Date && lt == LogicalType::Varchar {
+        let l = cast_to(l, LogicalType::Date)?;
+        return Ok((l, r));
+    }
+    let common = LogicalType::common_super_type(lt, rt)?;
+    // Decimal comparisons align scales.
+    let common = match common {
+        LogicalType::Decimal { width, .. } => {
+            LogicalType::Decimal { width, scale: scale_of(lt).max(scale_of(rt)) }
+        }
+        other => other,
+    };
+    Ok((cast_to(l, common)?, cast_to(r, common)?))
+}
+
+fn output_name(alias: Option<&str>, expr: &ast::Expr, pos: usize) -> String {
+    if let Some(a) = alias {
+        return a.to_ascii_lowercase();
+    }
+    match expr {
+        ast::Expr::Column { name, .. } => name.to_ascii_lowercase(),
+        ast::Expr::Agg { func, .. } => format!("{func:?}").to_ascii_lowercase(),
+        _ => format!("col{pos}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monetlite_types::Field;
+    use std::collections::HashMap;
+
+    struct MockCatalog {
+        tables: HashMap<String, Schema>,
+    }
+
+    impl CatalogAccess for MockCatalog {
+        fn table_schema(&self, name: &str) -> Result<Schema> {
+            self.tables
+                .get(&name.to_ascii_lowercase())
+                .cloned()
+                .ok_or_else(|| MlError::Catalog(format!("unknown table '{name}'")))
+        }
+    }
+
+    fn catalog() -> MockCatalog {
+        let mut tables = HashMap::new();
+        tables.insert(
+            "t".to_string(),
+            Schema::new(vec![
+                Field::not_null("a", LogicalType::Int),
+                Field::new("b", LogicalType::Varchar),
+                Field::new("d", LogicalType::Date),
+                Field::new("p", LogicalType::Decimal { width: 15, scale: 2 }),
+            ])
+            .unwrap(),
+        );
+        tables.insert(
+            "u".to_string(),
+            Schema::new(vec![
+                Field::not_null("a", LogicalType::Int),
+                Field::new("x", LogicalType::Double),
+            ])
+            .unwrap(),
+        );
+        MockCatalog { tables }
+    }
+
+    fn bind(sql: &str) -> Result<Plan> {
+        let stmt = monetlite_sql::parse_statement(sql)?;
+        let cat = catalog();
+        match stmt {
+            monetlite_sql::Statement::Select(s) => Binder::new(&cat).bind_select(&s),
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_projection_types() {
+        let p = bind("SELECT a, b FROM t").unwrap();
+        assert_eq!(p.schema()[0].ty, LogicalType::Int);
+        assert_eq!(p.schema()[1].ty, LogicalType::Varchar);
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let p = bind("SELECT * FROM t").unwrap();
+        assert_eq!(p.schema().len(), 4);
+        assert_eq!(p.schema()[3].name, "p");
+    }
+
+    #[test]
+    fn unknown_column_is_bind_error() {
+        assert!(matches!(bind("SELECT nope FROM t"), Err(MlError::Bind(_))));
+        assert!(matches!(bind("SELECT z.a FROM t"), Err(MlError::Bind(_))));
+    }
+
+    #[test]
+    fn ambiguity_detected() {
+        assert!(matches!(bind("SELECT a FROM t, u"), Err(MlError::Bind(_))));
+        assert!(bind("SELECT t.a FROM t, u").is_ok());
+    }
+
+    #[test]
+    fn comparison_inserts_cast() {
+        // int vs decimal literal → decimal comparison via cast.
+        let p = bind("SELECT a FROM t WHERE a > 1.5").unwrap();
+        let s = p.render();
+        assert!(s.contains("cast"), "expected cast in {s}");
+    }
+
+    #[test]
+    fn decimal_multiply_scales_add() {
+        let p = bind("SELECT p * p AS sq FROM t").unwrap();
+        assert_eq!(p.schema()[0].ty, LogicalType::Decimal { width: 18, scale: 4 });
+    }
+
+    #[test]
+    fn division_is_double() {
+        let p = bind("SELECT a / 2 AS h FROM t").unwrap();
+        assert_eq!(p.schema()[0].ty, LogicalType::Double);
+    }
+
+    #[test]
+    fn date_interval_folds_at_bind() {
+        let p = bind("SELECT a FROM t WHERE d <= date '1998-12-01' - interval '90' day").unwrap();
+        let s = p.render();
+        assert!(s.contains("1998-09-02"), "interval should fold: {s}");
+    }
+
+    #[test]
+    fn date_string_comparison_coerces() {
+        let p = bind("SELECT a FROM t WHERE d = '1995-01-01'").unwrap();
+        let s = p.render();
+        assert!(s.contains("1995-01-01"));
+    }
+
+    #[test]
+    fn group_by_and_aggregates() {
+        let p = bind("SELECT b, sum(a) AS s, count(*) AS c FROM t GROUP BY b").unwrap();
+        match &p {
+            Plan::Project { input, .. } => match input.as_ref() {
+                Plan::Aggregate { groups, aggs, .. } => {
+                    assert_eq!(groups.len(), 1);
+                    assert_eq!(aggs.len(), 2);
+                    assert_eq!(aggs[0].ty, LogicalType::Bigint);
+                }
+                other => panic!("expected aggregate, got {other:?}"),
+            },
+            other => panic!("expected project, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_dedup() {
+        // sum(a) referenced twice becomes one AggSpec.
+        let p = bind("SELECT sum(a), sum(a) + 1 FROM t").unwrap();
+        match &p {
+            Plan::Project { input, .. } => match input.as_ref() {
+                Plan::Aggregate { aggs, .. } => assert_eq!(aggs.len(), 1),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        assert!(matches!(
+            bind("SELECT b, a, sum(a) FROM t GROUP BY b"),
+            Err(MlError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn having_binds_in_agg_context() {
+        let p = bind("SELECT b FROM t GROUP BY b HAVING count(*) > 2").unwrap();
+        // Filter sits between aggregate and project.
+        match &p {
+            Plan::Project { input, .. } => {
+                assert!(matches!(input.as_ref(), Plan::Filter { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_alias_and_ordinal() {
+        let p = bind("SELECT a AS x, b FROM t ORDER BY x DESC, 2").unwrap();
+        match &p {
+            Plan::Sort { keys, .. } => assert_eq!(keys, &vec![(0, true), (1, false)]),
+            other => panic!("{other:?}"),
+        }
+        assert!(bind("SELECT a FROM t ORDER BY 5").is_err());
+        assert!(bind("SELECT a FROM t ORDER BY nope").is_err());
+    }
+
+    #[test]
+    fn exists_flattens_to_semi_join() {
+        let p = bind(
+            "SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.a = t.a AND u.x > 0.5)",
+        )
+        .unwrap();
+        let s = p.render();
+        assert!(s.contains("semi join"), "{s}");
+        assert!(s.contains("filter") || s.contains("where"), "inner filter retained: {s}");
+    }
+
+    #[test]
+    fn not_exists_flattens_to_anti_join() {
+        let p =
+            bind("SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.a = t.a)").unwrap();
+        assert!(p.render().contains("anti join"));
+    }
+
+    #[test]
+    fn in_subquery_flattens_to_semi_join() {
+        let p = bind("SELECT a FROM t WHERE a IN (SELECT a FROM u)").unwrap();
+        assert!(p.render().contains("semi join"));
+    }
+
+    #[test]
+    fn correlated_scalar_agg_flattens() {
+        // Q2's shape.
+        let p = bind(
+            "SELECT a FROM t WHERE p = (SELECT min(x) FROM u WHERE u.a = t.a)",
+        )
+        .unwrap();
+        let s = p.render();
+        assert!(s.contains("left join"), "{s}");
+        assert!(s.contains("min"), "{s}");
+    }
+
+    #[test]
+    fn case_types_unify() {
+        let p =
+            bind("SELECT sum(CASE WHEN b = 'x' THEN p ELSE 0 END) FROM t").unwrap();
+        match &p {
+            Plan::Project { input, .. } => match input.as_ref() {
+                Plan::Aggregate { aggs, .. } => {
+                    assert_eq!(aggs[0].ty, LogicalType::Decimal { width: 18, scale: 2 });
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_without_from() {
+        let p = bind("SELECT 1 + 2 AS x").unwrap();
+        assert_eq!(p.schema()[0].name, "x");
+    }
+
+    #[test]
+    fn like_requires_string() {
+        assert!(bind("SELECT a FROM t WHERE b LIKE '%x%'").is_ok());
+        assert!(matches!(
+            bind("SELECT a FROM t WHERE a LIKE '%x%'"),
+            Err(MlError::TypeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn between_desugars() {
+        let p = bind("SELECT a FROM t WHERE a BETWEEN 1 AND 5").unwrap();
+        let s = p.render();
+        assert!(s.contains(">=") && s.contains("<="), "{s}");
+    }
+
+    #[test]
+    fn in_list_desugars_to_ors() {
+        let p = bind("SELECT a FROM t WHERE b IN ('x', 'y')").unwrap();
+        let s = p.render();
+        assert!(s.contains("or"), "{s}");
+    }
+
+    #[test]
+    fn explicit_join_keys_left_in_residual() {
+        let p = bind("SELECT t.a FROM t JOIN u ON t.a = u.a").unwrap();
+        let s = p.render();
+        assert!(s.contains("residual"), "keys extracted later by optimizer: {s}");
+    }
+}

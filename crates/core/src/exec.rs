@@ -1,0 +1,1042 @@
+//! The column-at-a-time executor.
+//!
+//! Each plan node materialises its full output before the parent runs
+//! (paper §3.1: "Each MAL operator processes the full column before moving
+//! on to the next operator"). Tactical decisions — index use, join
+//! algorithm, parallelisation — happen here at execution time ("during
+//! execution tactical decisions are made about how specific operations
+//! should be executed, such as which join implementation to use").
+//!
+//! **Automatic indexing** (paper §3.1): the first range select over a
+//! persistent column builds its [imprints]; the first equi-join probing a
+//! bare persistent column builds its hash table; `CREATE ORDER INDEX`
+//! columns answer range selects by binary search and inner equi-joins by
+//! merge join.
+//!
+//! **Mitosis** (paper Figure 2): large scans split into chunks; the
+//! parallelizable prefix (select/project, decomposable aggregates) fans
+//! out over threads and results are packed before blocking operators
+//! (sort, median finalisation, joins).
+//!
+//! [imprints]: monetlite_storage::index::Imprints
+
+use crate::agg::{hash_group, AggState};
+use crate::expr::{BExpr, CmpOp};
+use crate::join::{cross_join, hash_join, merge_join, JoinSel};
+use crate::kernels::{bool_to_sel, eval};
+use crate::plan::{PJoinKind, Plan};
+use crate::rows::take_padded;
+use crate::sort::{sort_perm, topn_perm};
+use monetlite_storage::catalog::{ColumnEntry, TableMeta};
+use monetlite_storage::index::{f64_ordered, orderable, IMPRINT_LINE};
+use monetlite_storage::Bat;
+use monetlite_types::{LogicalType, MlError, Result, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Execution tuning knobs; the ablation benches and the "1 thread for
+/// fairness" configuration of the paper's §4.1 set these.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Worker threads for mitosis (1 = sequential, the paper's benchmark
+    /// configuration).
+    pub threads: usize,
+    /// Minimum rows per mitosis chunk ("the optimizer will not split up
+    /// small columns").
+    pub mitosis_min_rows: usize,
+    /// Build/use column imprints on range selects.
+    pub use_imprints: bool,
+    /// Build/use hash indexes on join probes.
+    pub use_hash_index: bool,
+    /// Use order indexes (range selects + merge joins).
+    pub use_order_index: bool,
+    /// Per-query timeout.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: 1,
+            mitosis_min_rows: 64 * 1024,
+            use_imprints: true,
+            use_hash_index: true,
+            use_order_index: true,
+            timeout: None,
+        }
+    }
+}
+
+/// Resolves table names to catalog entries (the transaction's view).
+pub trait TableProvider: Sync {
+    /// The table's current metadata + data.
+    fn table_meta(&self, name: &str) -> Result<Arc<TableMeta>>;
+}
+
+/// Counters describing tactical decisions, for EXPLAIN/benches/tests.
+#[derive(Debug, Default)]
+pub struct ExecCounters {
+    /// Range selects answered through imprints.
+    pub imprint_selects: AtomicU64,
+    /// Range selects answered through an order index.
+    pub order_index_selects: AtomicU64,
+    /// Joins probing an automatic per-column hash index.
+    pub hash_index_joins: AtomicU64,
+    /// Merge joins over order indexes.
+    pub merge_joins: AtomicU64,
+    /// Mitosis fan-outs performed.
+    pub mitosis_runs: AtomicU64,
+    /// Total chunks executed in parallel.
+    pub mitosis_chunks: AtomicU64,
+}
+
+impl ExecCounters {
+    fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Everything an execution needs.
+pub struct ExecContext<'a> {
+    /// Catalog view.
+    pub tables: &'a dyn TableProvider,
+    /// Tuning knobs.
+    pub opts: ExecOptions,
+    /// Absolute deadline derived from `opts.timeout`.
+    pub deadline: Option<Instant>,
+    /// Tactical-decision counters.
+    pub counters: ExecCounters,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Build a context, arming the deadline.
+    pub fn new(tables: &'a dyn TableProvider, opts: ExecOptions) -> ExecContext<'a> {
+        ExecContext {
+            tables,
+            opts,
+            deadline: opts.timeout.map(|t| Instant::now() + t),
+            counters: ExecCounters::default(),
+        }
+    }
+
+    fn check_deadline(&self) -> Result<()> {
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                let limit = self.opts.timeout.unwrap_or_default();
+                return Err(MlError::Timeout {
+                    elapsed_ms: limit.as_millis() as u64,
+                    limit_ms: limit.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fully materialised intermediate result.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    /// Columns (all the same length).
+    pub cols: Vec<Arc<Bat>>,
+    /// Row count.
+    pub rows: usize,
+}
+
+impl Chunk {
+    /// Gather rows by id into a new chunk.
+    pub fn take(&self, sel: &[u32]) -> Chunk {
+        Chunk {
+            cols: self.cols.iter().map(|c| Arc::new(c.take(sel))).collect(),
+            rows: sel.len(),
+        }
+    }
+
+    /// Concatenate chunks column-wise (the mitosis "pack" step).
+    pub fn pack(chunks: Vec<Chunk>) -> Result<Chunk> {
+        let mut iter = chunks.into_iter();
+        let Some(first) = iter.next() else {
+            return Ok(Chunk { cols: vec![], rows: 0 });
+        };
+        let mut cols: Vec<Bat> = first.cols.iter().map(|c| (**c).clone()).collect();
+        let mut rows = first.rows;
+        for ch in iter {
+            for (dst, src) in cols.iter_mut().zip(&ch.cols) {
+                dst.append_bat(src)?;
+            }
+            rows += ch.rows;
+        }
+        Ok(Chunk { cols: cols.into_iter().map(Arc::new).collect(), rows })
+    }
+}
+
+/// Execute a plan to completion.
+pub fn execute(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
+    exec_node(plan, ctx, None)
+}
+
+fn exec_node(plan: &Plan, ctx: &ExecContext, range: Option<(u32, u32)>) -> Result<Chunk> {
+    ctx.check_deadline()?;
+    // Mitosis: only attempted at unranged entry into a parallelizable
+    // shape.
+    if range.is_none() && ctx.opts.threads > 1 {
+        if let Some(result) = try_mitosis(plan, ctx)? {
+            return Ok(result);
+        }
+    }
+    match plan {
+        Plan::Scan { table, projected, filters, .. } => {
+            exec_scan(table, projected, filters, ctx, range)
+        }
+        Plan::Filter { input, pred } => {
+            let chunk = exec_node(input, ctx, range)?;
+            let mask = eval(pred, &chunk.cols, chunk.rows)?;
+            let sel = bool_to_sel(&mask)?;
+            Ok(chunk.take(&sel))
+        }
+        Plan::Project { input, exprs, .. } => {
+            let chunk = exec_node(input, ctx, range)?;
+            let mut cols = Vec::with_capacity(exprs.len());
+            // Common-subexpression elimination at the MAL level (paper:
+            // "further optimizations are performed such as common
+            // sub-expression elimination"): identical projection
+            // expressions are evaluated once.
+            let mut memo: Vec<(usize, Arc<Bat>)> = Vec::new();
+            for (i, e) in exprs.iter().enumerate() {
+                if let Some((_, prev)) =
+                    memo.iter().find(|(j, _)| exprs[*j] == *e)
+                {
+                    cols.push(prev.clone());
+                    continue;
+                }
+                let b = Arc::new(eval(e, &chunk.cols, chunk.rows)?);
+                memo.push((i, b.clone()));
+                cols.push(b);
+            }
+            Ok(Chunk { cols, rows: chunk.rows })
+        }
+        Plan::Join { left, right, kind, left_keys, right_keys, residual, .. } => {
+            exec_join(left, right, *kind, left_keys, right_keys, residual.as_ref(), ctx)
+        }
+        Plan::Aggregate { input, groups, aggs, schema } => {
+            let chunk = exec_node(input, ctx, range)?;
+            exec_aggregate(&chunk, groups, aggs, schema, ctx)
+        }
+        Plan::Sort { input, keys } => {
+            let chunk = exec_node(input, ctx, range)?;
+            let key_refs: Vec<(&Bat, bool)> =
+                keys.iter().map(|&(c, d)| (&*chunk.cols[c], d)).collect();
+            let perm = sort_perm(&key_refs, chunk.rows);
+            Ok(chunk.take(&perm))
+        }
+        Plan::TopN { input, keys, n } => {
+            let chunk = exec_node(input, ctx, range)?;
+            let key_refs: Vec<(&Bat, bool)> =
+                keys.iter().map(|&(c, d)| (&*chunk.cols[c], d)).collect();
+            let perm = topn_perm(&key_refs, chunk.rows, *n as usize);
+            Ok(chunk.take(&perm))
+        }
+        Plan::Limit { input, n } => {
+            let chunk = exec_node(input, ctx, range)?;
+            let n = (*n as usize).min(chunk.rows);
+            let sel: Vec<u32> = (0..n as u32).collect();
+            Ok(chunk.take(&sel))
+        }
+        Plan::Distinct { input } => {
+            let chunk = exec_node(input, ctx, range)?;
+            let refs: Vec<&Bat> = chunk.cols.iter().map(|c| &**c).collect();
+            let grouping = hash_group(&refs);
+            Ok(chunk.take(&grouping.repr_rows))
+        }
+        Plan::Values { rows, schema } => {
+            let mut cols: Vec<Bat> =
+                schema.iter().map(|c| Bat::new(c.ty)).collect();
+            for row in rows {
+                for (expr, col) in row.iter().zip(cols.iter_mut()) {
+                    let v = eval(expr, &[], 1)?;
+                    col.push(&v.get(0))?;
+                }
+            }
+            // A zero-column VALUES still has its row count.
+            Ok(Chunk { cols: cols.into_iter().map(Arc::new).collect(), rows: rows.len() })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scan with index-assisted selection
+// ---------------------------------------------------------------------------
+
+fn exec_scan(
+    table: &str,
+    projected: &[usize],
+    filters: &[BExpr],
+    ctx: &ExecContext,
+    range: Option<(u32, u32)>,
+) -> Result<Chunk> {
+    let meta = ctx.tables.table_meta(table)?;
+    let phys_rows = meta.data.rows;
+    let (lo, hi) = range
+        .map(|(a, b)| (a as usize, b as usize))
+        .unwrap_or((0, phys_rows));
+    let entries: Vec<Arc<ColumnEntry>> = projected
+        .iter()
+        .map(|&c| meta.data.cols[c].entry())
+        .collect::<Result<_>>()?;
+
+    // Initial physical selection: deletes and/or subrange.
+    let restricted = meta.data.deleted.is_some() || lo != 0 || hi != phys_rows;
+    let mut sel: Option<Vec<u32>> = if restricted {
+        let deleted = meta.data.deleted.as_deref();
+        Some(
+            (lo as u32..hi as u32)
+                .filter(|&r| deleted.is_none_or(|d| !d[r as usize]))
+                .collect(),
+        )
+    } else {
+        None
+    };
+
+    let mut remaining: Vec<&BExpr> = filters.iter().collect();
+    // Index-assisted first filter only on unrestricted scans.
+    if sel.is_none() {
+        if let Some(pos) = remaining.iter().position(|f| {
+            probe_of(f, &entries, &meta, projected, ctx).is_some()
+        }) {
+            let f = remaining.remove(pos);
+            let (col_pos, plo, phi, exact) =
+                probe_of(f, &entries, &meta, projected, ctx).unwrap();
+            let entry = &entries[col_pos];
+            let base_col = projected[col_pos];
+            let use_order =
+                ctx.opts.use_order_index && meta.ordered_cols.contains(&base_col);
+            if use_order {
+                // Order index answers the range exactly by binary search.
+                let oi = entry.order_index()?;
+                let mut rows: Vec<u32> = oi.range(plo, phi).to_vec();
+                rows.sort_unstable();
+                ctx.counters.bump(&ctx.counters.order_index_selects);
+                if !exact {
+                    // Bounds were widened (e.g. NotEq unsupported): verify.
+                    rows = verify_rows(f, &entries, rows)?;
+                }
+                sel = Some(rows);
+            } else {
+                // Imprints: candidate cache lines, then exact check.
+                let imp = entry.imprints()?;
+                ctx.counters.bump(&ctx.counters.imprint_selects);
+                let lines = imp.candidate_lines(plo, phi);
+                let mut cands =
+                    Vec::with_capacity(lines.len() * IMPRINT_LINE);
+                for line in lines {
+                    let start = line as usize * IMPRINT_LINE;
+                    let end = (start + IMPRINT_LINE).min(phys_rows);
+                    cands.extend(start as u32..end as u32);
+                }
+                sel = Some(verify_rows(f, &entries, cands)?);
+            }
+        }
+    }
+
+    // Remaining filters: evaluate over the current selection.
+    for f in remaining {
+        match &sel {
+            None => {
+                let mask = eval(
+                    f,
+                    &entries_bats(&entries)?,
+                    phys_rows,
+                )?;
+                sel = Some(bool_to_sel(&mask)?);
+            }
+            Some(cur) => {
+                sel = Some(verify_rows(f, &entries, cur.clone())?);
+            }
+        }
+    }
+
+    // Materialise output columns; an unfiltered scan shares the base
+    // arrays (zero copy — the Arc is the "shared pointer" of §3.3).
+    let cols: Vec<Arc<Bat>> = match &sel {
+        None => entries.iter().map(|e| e.bat()).collect::<Result<_>>()?,
+        Some(sel) => entries
+            .iter()
+            .map(|e| Ok(Arc::new(e.bat()?.take(sel))))
+            .collect::<Result<_>>()?,
+    };
+    let rows = sel.as_ref().map_or(phys_rows, |s| s.len());
+    Ok(Chunk { cols, rows })
+}
+
+fn entries_bats(entries: &[Arc<ColumnEntry>]) -> Result<Vec<Arc<Bat>>> {
+    entries.iter().map(|e| e.bat()).collect()
+}
+
+/// Evaluate filter `f` over only `cands`, returning the surviving rows.
+fn verify_rows(f: &BExpr, entries: &[Arc<ColumnEntry>], cands: Vec<u32>) -> Result<Vec<u32>> {
+    if cands.is_empty() {
+        return Ok(cands);
+    }
+    let mut used = Vec::new();
+    f.collect_cols(&mut used);
+    used.sort_unstable();
+    used.dedup();
+    // Build a narrow chunk with only the used columns gathered, remapping
+    // the filter accordingly.
+    let mut gathered: Vec<Arc<Bat>> = vec![Arc::new(Bat::Int(vec![])); entries.len()];
+    for &u in &used {
+        gathered[u] = Arc::new(entries[u].bat()?.take(&cands));
+    }
+    let mask = eval(f, &gathered, cands.len())?;
+    let hits = bool_to_sel(&mask)?;
+    Ok(hits.into_iter().map(|i| cands[i as usize]).collect())
+}
+
+/// Recognise `#col <op> literal` range probes over orderable persistent
+/// columns, returning (column position, lo, hi, bounds_are_exact) in the
+/// order-key domain.
+#[allow(clippy::type_complexity)]
+fn probe_of(
+    f: &BExpr,
+    entries: &[Arc<ColumnEntry>],
+    meta: &TableMeta,
+    projected: &[usize],
+    ctx: &ExecContext,
+) -> Option<(usize, Option<i64>, Option<i64>, bool)> {
+    let BExpr::Cmp { op, left, right } = f else {
+        return None;
+    };
+    let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
+        (BExpr::ColRef { idx, .. }, BExpr::Lit(v)) => (*idx, v, *op),
+        (BExpr::Lit(v), BExpr::ColRef { idx, .. }) => (*idx, v, op.flip()),
+        _ => return None,
+    };
+    let entry = entries.get(col)?;
+    if !orderable(entry.bat().ok()?.as_ref()) {
+        return None;
+    }
+    let have_order = ctx.opts.use_order_index && meta.ordered_cols.contains(&projected[col]);
+    if !have_order && !ctx.opts.use_imprints {
+        return None;
+    }
+    let k = value_key(lit, entry.ty())?;
+    Some(match op {
+        CmpOp::Eq => (col, Some(k), Some(k), true),
+        CmpOp::Lt => (col, None, Some(k.checked_sub(1)?), true),
+        CmpOp::LtEq => (col, None, Some(k), true),
+        CmpOp::Gt => (col, Some(k.checked_add(1)?), None, true),
+        CmpOp::GtEq => (col, Some(k), None, true),
+        CmpOp::NotEq => return None,
+    })
+}
+
+/// Map a literal into the column's order-key domain (see
+/// [`monetlite_storage::index::key_at`]).
+fn value_key(v: &Value, ty: LogicalType) -> Option<i64> {
+    Some(match (v, ty) {
+        (Value::Int(x), LogicalType::Int) => *x as i64,
+        (Value::Bigint(x), LogicalType::Bigint) => *x,
+        (Value::Date(d), LogicalType::Date) => d.0 as i64,
+        (Value::Double(x), LogicalType::Double) => {
+            if x.is_nan() {
+                return None;
+            }
+            f64_ordered(*x)
+        }
+        (Value::Decimal(d), LogicalType::Decimal { scale, .. }) => d.rescale(scale).ok()?.raw,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+fn exec_join(
+    left: &Plan,
+    right: &Plan,
+    kind: PJoinKind,
+    left_keys: &[BExpr],
+    right_keys: &[BExpr],
+    residual: Option<&BExpr>,
+    ctx: &ExecContext,
+) -> Result<Chunk> {
+    let lchunk = exec_node(left, ctx, None)?;
+    let rchunk = exec_node(right, ctx, None)?;
+    ctx.check_deadline()?;
+    let sel: JoinSel = if kind == PJoinKind::Cross || left_keys.is_empty() {
+        if matches!(kind, PJoinKind::Semi | PJoinKind::Anti) {
+            return Err(MlError::Execution("semi/anti join requires keys".into()));
+        }
+        cross_join(lchunk.rows, rchunk.rows)
+    } else {
+        let lkey_bats: Vec<Bat> = left_keys
+            .iter()
+            .map(|k| eval(k, &lchunk.cols, lchunk.rows))
+            .collect::<Result<_>>()?;
+        let rkey_bats: Vec<Bat> = right_keys
+            .iter()
+            .map(|k| eval(k, &rchunk.cols, rchunk.rows))
+            .collect::<Result<_>>()?;
+        let lrefs: Vec<&Bat> = lkey_bats.iter().collect();
+        let rrefs: Vec<&Bat> = rkey_bats.iter().collect();
+        // Merge join when both sides are order-indexed bare scans.
+        if kind == PJoinKind::Inner && left_keys.len() == 1 && ctx.opts.use_order_index {
+            if let (Some(le), Some(re)) = (
+                bare_scan_key_entry(left, left_keys, ctx),
+                bare_scan_key_entry(right, right_keys, ctx),
+            ) {
+                ctx.counters.bump(&ctx.counters.merge_joins);
+                let (loi, roi) = (le.order_index()?, re.order_index()?);
+                let sel = merge_join(&lrefs[0].clone(), &loi, &rrefs[0].clone(), &roi);
+                return materialize_join(kind, &lchunk, &rchunk, sel, residual, ctx);
+            }
+        }
+        // Automatic hash index on a bare persistent build column.
+        let prebuilt = if right_keys.len() == 1 && ctx.opts.use_hash_index {
+            match bare_scan_hash_entry(right, right_keys, ctx) {
+                Some(e) => {
+                    ctx.counters.bump(&ctx.counters.hash_index_joins);
+                    Some(e.hash_index()?)
+                }
+                None => None,
+            }
+        } else {
+            None
+        };
+        hash_join(&lrefs, &rrefs, kind, prebuilt.as_deref())?
+    };
+    materialize_join(kind, &lchunk, &rchunk, sel, residual, ctx)
+}
+
+fn materialize_join(
+    kind: PJoinKind,
+    lchunk: &Chunk,
+    rchunk: &Chunk,
+    sel: JoinSel,
+    residual: Option<&BExpr>,
+    ctx: &ExecContext,
+) -> Result<Chunk> {
+    ctx.check_deadline()?;
+    let mut cols: Vec<Arc<Bat>> = Vec::with_capacity(
+        lchunk.cols.len()
+            + if matches!(kind, PJoinKind::Semi | PJoinKind::Anti) { 0 } else { rchunk.cols.len() },
+    );
+    for c in &lchunk.cols {
+        cols.push(Arc::new(c.take(&sel.lsel)));
+    }
+    if !matches!(kind, PJoinKind::Semi | PJoinKind::Anti) {
+        for c in &rchunk.cols {
+            cols.push(Arc::new(take_padded(c, &sel.rsel)));
+        }
+    }
+    let mut out = Chunk { cols, rows: sel.lsel.len() };
+    if let Some(res) = residual {
+        let mask = eval(res, &out.cols, out.rows)?;
+        let keep = bool_to_sel(&mask)?;
+        out = out.take(&keep);
+    }
+    Ok(out)
+}
+
+/// If `plan` is a filterless scan and the single key is a plain column
+/// reference, return that column's catalog entry.
+fn bare_scan_key_entry(
+    plan: &Plan,
+    keys: &[BExpr],
+    ctx: &ExecContext,
+) -> Option<Arc<ColumnEntry>> {
+    let Plan::Scan { table, projected, filters, .. } = plan else {
+        return None;
+    };
+    if !filters.is_empty() {
+        return None;
+    }
+    let [BExpr::ColRef { idx, .. }] = keys else {
+        return None;
+    };
+    let meta = ctx.tables.table_meta(table).ok()?;
+    if meta.data.deleted.is_some() {
+        return None; // physical ids shift under deletion masks
+    }
+    let base = *projected.get(*idx)?;
+    if !meta.ordered_cols.contains(&base) {
+        return None;
+    }
+    meta.data.cols[base].entry().ok()
+}
+
+/// Hash-index variant: same shape but no order-index requirement.
+fn bare_scan_hash_entry(
+    plan: &Plan,
+    keys: &[BExpr],
+    ctx: &ExecContext,
+) -> Option<Arc<ColumnEntry>> {
+    let Plan::Scan { table, projected, filters, .. } = plan else {
+        return None;
+    };
+    if !filters.is_empty() {
+        return None;
+    }
+    let [BExpr::ColRef { idx, .. }] = keys else {
+        return None;
+    };
+    let meta = ctx.tables.table_meta(table).ok()?;
+    if meta.data.deleted.is_some() {
+        return None;
+    }
+    let base = *projected.get(*idx)?;
+    meta.data.cols[base].entry().ok()
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+fn exec_aggregate(
+    chunk: &Chunk,
+    groups: &[BExpr],
+    aggs: &[crate::expr::AggSpec],
+    schema: &[crate::plan::OutCol],
+    ctx: &ExecContext,
+) -> Result<Chunk> {
+    ctx.check_deadline()?;
+    let group_bats: Vec<Bat> = groups
+        .iter()
+        .map(|g| eval(g, &chunk.cols, chunk.rows))
+        .collect::<Result<_>>()?;
+    let (group_ids, repr_rows, n_groups) = if groups.is_empty() {
+        (vec![0u32; chunk.rows], vec![], 1usize)
+    } else {
+        let refs: Vec<&Bat> = group_bats.iter().collect();
+        let g = hash_group(&refs);
+        let n = g.repr_rows.len();
+        (g.group_ids, g.repr_rows, n)
+    };
+    let mut out_cols: Vec<Arc<Bat>> = Vec::with_capacity(schema.len());
+    for b in &group_bats {
+        out_cols.push(Arc::new(b.take(&repr_rows)));
+    }
+    for (i, spec) in aggs.iter().enumerate() {
+        let arg_bat = spec
+            .arg
+            .as_ref()
+            .map(|a| eval(a, &chunk.cols, chunk.rows))
+            .transpose()?;
+        let mut state =
+            AggState::new(spec.func, spec.arg.as_ref().map(|a| a.ty()), spec.distinct, n_groups)?;
+        state.update(arg_bat.as_ref(), &group_ids)?;
+        let finished = state.finish(schema[groups.len() + i].ty)?;
+        out_cols.push(Arc::new(finished));
+    }
+    let rows = if groups.is_empty() { 1 } else { repr_rows.len() };
+    Ok(Chunk { cols: out_cols, rows })
+}
+
+// ---------------------------------------------------------------------------
+// Mitosis (paper Figure 2)
+// ---------------------------------------------------------------------------
+
+/// Attempt parallel execution. Two shapes qualify:
+/// * a global (ungrouped) aggregate over a pipeline — chunked partial
+///   aggregation, merged, then finalised (MEDIAN's final sort is the
+///   blocking step);
+/// * a bare pipeline (Filter/Project over a Scan) — chunked and packed.
+fn try_mitosis(plan: &Plan, ctx: &ExecContext) -> Result<Option<Chunk>> {
+    match plan {
+        Plan::Aggregate { input, groups, aggs, schema } if groups.is_empty() => {
+            let Some((table, rows)) = pipeline_base(input, ctx) else {
+                return Ok(None);
+            };
+            let _ = table;
+            let Some(ranges) = chunk_ranges(rows, &ctx.opts) else {
+                return Ok(None);
+            };
+            if aggs.iter().any(|a| a.distinct) {
+                return Ok(None);
+            }
+            ctx.counters.bump(&ctx.counters.mitosis_runs);
+            ctx.counters
+                .mitosis_chunks
+                .fetch_add(ranges.len() as u64, Ordering::Relaxed);
+            // Per-chunk partial states, merged sequentially.
+            let partials: Vec<Result<Vec<AggState>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|&r| {
+                        scope.spawn(move || -> Result<Vec<AggState>> {
+                            let chunk = exec_node(input, ctx, Some(r))?;
+                            let gids = vec![0u32; chunk.rows];
+                            let mut states = Vec::with_capacity(aggs.len());
+                            for spec in aggs {
+                                let arg = spec
+                                    .arg
+                                    .as_ref()
+                                    .map(|a| eval(a, &chunk.cols, chunk.rows))
+                                    .transpose()?;
+                                let mut st = AggState::new(
+                                    spec.func,
+                                    spec.arg.as_ref().map(|a| a.ty()),
+                                    false,
+                                    1,
+                                )?;
+                                st.update(arg.as_ref(), &gids)?;
+                                states.push(st);
+                            }
+                            Ok(states)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+            let mut merged: Option<Vec<AggState>> = None;
+            for p in partials {
+                let states = p?;
+                match &mut merged {
+                    None => merged = Some(states),
+                    Some(acc) => {
+                        for (a, s) in acc.iter_mut().zip(states) {
+                            a.merge(s)?;
+                        }
+                    }
+                }
+            }
+            let merged = merged.expect("at least one chunk");
+            let mut cols = Vec::with_capacity(aggs.len());
+            for (i, st) in merged.into_iter().enumerate() {
+                cols.push(Arc::new(st.finish(schema[i].ty)?));
+            }
+            Ok(Some(Chunk { cols, rows: 1 }))
+        }
+        Plan::Filter { .. } | Plan::Project { .. } => {
+            let Some((_, rows)) = pipeline_base(plan, ctx) else {
+                return Ok(None);
+            };
+            let Some(ranges) = chunk_ranges(rows, &ctx.opts) else {
+                return Ok(None);
+            };
+            ctx.counters.bump(&ctx.counters.mitosis_runs);
+            ctx.counters
+                .mitosis_chunks
+                .fetch_add(ranges.len() as u64, Ordering::Relaxed);
+            let parts: Vec<Result<Chunk>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|&r| scope.spawn(move || exec_node(plan, ctx, Some(r))))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
+            let chunks: Vec<Chunk> = parts.into_iter().collect::<Result<_>>()?;
+            Ok(Some(Chunk::pack(chunks)?))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// If `plan` is a Filter/Project pipeline over a single Scan, return the
+/// scan's table and physical row count.
+fn pipeline_base<'p>(plan: &'p Plan, ctx: &ExecContext) -> Option<(&'p str, usize)> {
+    match plan {
+        Plan::Scan { table, .. } => {
+            let meta = ctx.tables.table_meta(table).ok()?;
+            Some((table.as_str(), meta.data.rows))
+        }
+        Plan::Filter { input, .. } | Plan::Project { input, .. } => pipeline_base(input, ctx),
+        _ => None,
+    }
+}
+
+/// The mitosis chunking heuristic (paper: "decided by a set of heuristics
+/// based on base table size, the amount of cores and the amount of
+/// available memory ... will not split up small columns").
+fn chunk_ranges(rows: usize, opts: &ExecOptions) -> Option<Vec<(u32, u32)>> {
+    if rows < opts.mitosis_min_rows * 2 || opts.threads <= 1 {
+        return None;
+    }
+    let k = (rows / opts.mitosis_min_rows).clamp(2, opts.threads * 2);
+    let per = rows.div_ceil(k);
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0usize;
+    while start < rows {
+        let end = (start + per).min(rows);
+        out.push((start as u32, end as u32));
+        start = end;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::PAggFunc;
+    use monetlite_storage::catalog::TableData;
+    use monetlite_types::{ColumnBuffer, Field, Schema};
+    use std::collections::HashMap;
+
+    struct TestTables {
+        tables: HashMap<String, Arc<TableMeta>>,
+    }
+
+    impl TableProvider for TestTables {
+        fn table_meta(&self, name: &str) -> Result<Arc<TableMeta>> {
+            self.tables
+                .get(name)
+                .cloned()
+                .ok_or_else(|| MlError::Catalog(format!("unknown table '{name}'")))
+        }
+    }
+
+    fn make_table(name: &str, cols: Vec<(&str, Bat)>, ordered: Vec<usize>) -> Arc<TableMeta> {
+        let schema = Schema::new(
+            cols.iter().map(|(n, b)| Field::new(*n, b.logical_type())).collect(),
+        )
+        .unwrap();
+        let data = TableData::empty(&schema);
+        let data = data.appended(cols.into_iter().map(|(_, b)| b).collect()).unwrap();
+        Arc::new(TableMeta {
+            id: 1,
+            name: name.into(),
+            schema,
+            data,
+            version: 1,
+            ordered_cols: ordered,
+        })
+    }
+
+    fn ctx_with(tables: &TestTables, opts: ExecOptions) -> ExecContext<'_> {
+        ExecContext::new(tables, opts)
+    }
+
+    fn scan_plan(table: &str, ncols: usize, tys: Vec<LogicalType>) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            projected: (0..ncols).collect(),
+            filters: vec![],
+            schema: (0..ncols)
+                .map(|i| crate::plan::OutCol { name: format!("c{i}"), ty: tys[i] })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn scan_without_filters_is_zero_copy() {
+        let t = make_table("t", vec![("a", Bat::Int(vec![1, 2, 3]))], vec![]);
+        let base = t.data.cols[0].entry().unwrap().bat().unwrap();
+        let tables = TestTables { tables: HashMap::from([("t".into(), t)]) };
+        let ctx = ctx_with(&tables, ExecOptions::default());
+        let plan = scan_plan("t", 1, vec![LogicalType::Int]);
+        let chunk = execute(&plan, &ctx).unwrap();
+        assert!(Arc::ptr_eq(&chunk.cols[0], &base), "unfiltered scan must share the array");
+    }
+
+    #[test]
+    fn filtered_scan_uses_imprints() {
+        let n = 10_000;
+        let t = make_table("t", vec![("a", Bat::Int((0..n).collect()))], vec![]);
+        let tables = TestTables { tables: HashMap::from([("t".into(), t)]) };
+        let ctx = ctx_with(&tables, ExecOptions::default());
+        let plan = Plan::Scan {
+            table: "t".into(),
+            projected: vec![0],
+            filters: vec![BExpr::Cmp {
+                op: CmpOp::Lt,
+                left: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                right: Box::new(BExpr::Lit(Value::Int(100))),
+            }],
+            schema: vec![crate::plan::OutCol { name: "a".into(), ty: LogicalType::Int }],
+        };
+        let chunk = execute(&plan, &ctx).unwrap();
+        assert_eq!(chunk.rows, 100);
+        assert_eq!(ctx.counters.imprint_selects.load(Ordering::Relaxed), 1);
+        // Re-run: imprints are cached on the column entry.
+        let chunk2 = execute(&plan, &ctx).unwrap();
+        assert_eq!(chunk2.rows, 100);
+    }
+
+    #[test]
+    fn order_index_answers_range_select() {
+        let t = make_table("t", vec![("a", Bat::Int(vec![5, 1, 9, 3, 7]))], vec![0]);
+        let tables = TestTables { tables: HashMap::from([("t".into(), t)]) };
+        let ctx = ctx_with(&tables, ExecOptions::default());
+        let plan = Plan::Scan {
+            table: "t".into(),
+            projected: vec![0],
+            filters: vec![BExpr::Cmp {
+                op: CmpOp::GtEq,
+                left: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                right: Box::new(BExpr::Lit(Value::Int(5))),
+            }],
+            schema: vec![crate::plan::OutCol { name: "a".into(), ty: LogicalType::Int }],
+        };
+        let chunk = execute(&plan, &ctx).unwrap();
+        assert_eq!(chunk.rows, 3);
+        assert_eq!(ctx.counters.order_index_selects.load(Ordering::Relaxed), 1);
+        assert_eq!(ctx.counters.imprint_selects.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn deleted_rows_invisible() {
+        let t = make_table("t", vec![("a", Bat::Int(vec![1, 2, 3]))], vec![]);
+        let deleted = Arc::new(TableMeta {
+            id: t.id,
+            name: t.name.clone(),
+            schema: t.schema.clone(),
+            data: t.data.with_deleted(&[1]),
+            version: 2,
+            ordered_cols: vec![],
+        });
+        let tables = TestTables { tables: HashMap::from([("t".into(), deleted)]) };
+        let ctx = ctx_with(&tables, ExecOptions::default());
+        let plan = scan_plan("t", 1, vec![LogicalType::Int]);
+        let chunk = execute(&plan, &ctx).unwrap();
+        assert_eq!(chunk.rows, 2);
+        assert_eq!(chunk.cols[0].get(1), Value::Int(3));
+    }
+
+    #[test]
+    fn mitosis_parallel_agg_matches_sequential() {
+        let n = 300_000;
+        let vals: Vec<i32> = (0..n).map(|i| (i * 7) % 1000).collect();
+        let t = make_table("t", vec![("a", Bat::Int(vals.clone()))], vec![]);
+        let tables = TestTables { tables: HashMap::from([("t".into(), t)]) };
+        let plan = Plan::Aggregate {
+            input: Box::new(scan_plan("t", 1, vec![LogicalType::Int])),
+            groups: vec![],
+            aggs: vec![
+                crate::expr::AggSpec {
+                    func: PAggFunc::Sum,
+                    arg: Some(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                    distinct: false,
+                    ty: LogicalType::Bigint,
+                },
+                crate::expr::AggSpec {
+                    func: PAggFunc::Median,
+                    arg: Some(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                    distinct: false,
+                    ty: LogicalType::Double,
+                },
+            ],
+            schema: vec![
+                crate::plan::OutCol { name: "s".into(), ty: LogicalType::Bigint },
+                crate::plan::OutCol { name: "m".into(), ty: LogicalType::Double },
+            ],
+        };
+        let seq_ctx = ctx_with(&tables, ExecOptions { threads: 1, ..Default::default() });
+        let seq = execute(&plan, &seq_ctx).unwrap();
+        let par_ctx = ctx_with(
+            &tables,
+            ExecOptions { threads: 4, mitosis_min_rows: 10_000, ..Default::default() },
+        );
+        let par = execute(&plan, &par_ctx).unwrap();
+        assert_eq!(seq.cols[0].get(0), par.cols[0].get(0));
+        assert_eq!(seq.cols[1].get(0), par.cols[1].get(0));
+        assert!(par_ctx.counters.mitosis_runs.load(Ordering::Relaxed) >= 1);
+        assert!(par_ctx.counters.mitosis_chunks.load(Ordering::Relaxed) >= 2);
+        assert_eq!(seq_ctx.counters.mitosis_runs.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn mitosis_pipeline_pack_preserves_order() {
+        let n = 200_000u32;
+        let t = make_table("t", vec![("a", Bat::Int((0..n as i32).collect()))], vec![]);
+        let tables = TestTables { tables: HashMap::from([("t".into(), t)]) };
+        let plan = Plan::Filter {
+            input: Box::new(scan_plan("t", 1, vec![LogicalType::Int])),
+            pred: BExpr::Cmp {
+                op: CmpOp::Eq,
+                left: Box::new(BExpr::Arith {
+                    op: crate::expr::ArithOp::Mod,
+                    left: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                    right: Box::new(BExpr::Lit(Value::Int(1000))),
+                    ty: LogicalType::Int,
+                }),
+                right: Box::new(BExpr::Lit(Value::Int(0))),
+            },
+        };
+        let par_ctx = ctx_with(
+            &tables,
+            ExecOptions { threads: 4, mitosis_min_rows: 10_000, ..Default::default() },
+        );
+        let out = execute(&plan, &par_ctx).unwrap();
+        assert_eq!(out.rows, 200);
+        // Packed in scan order.
+        assert_eq!(out.cols[0].get(0), Value::Int(0));
+        assert_eq!(out.cols[0].get(1), Value::Int(1000));
+        assert_eq!(out.cols[0].get(199), Value::Int(199_000));
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let n = 500_000;
+        let t = make_table("t", vec![("a", Bat::Int((0..n).collect()))], vec![]);
+        let tables = TestTables { tables: HashMap::from([("t".into(), t)]) };
+        let mut opts = ExecOptions { timeout: Some(Duration::from_nanos(1)), ..Default::default() };
+        opts.use_imprints = false;
+        let ctx = ctx_with(&tables, opts);
+        std::thread::sleep(Duration::from_millis(2));
+        let plan = scan_plan("t", 1, vec![LogicalType::Int]);
+        assert!(matches!(execute(&plan, &ctx), Err(MlError::Timeout { .. })));
+    }
+
+    #[test]
+    fn join_uses_auto_hash_index() {
+        let probe = make_table("probe", vec![("k", Bat::Int(vec![1, 2, 3, 2]))], vec![]);
+        let build = make_table(
+            "build",
+            vec![("k", Bat::Int(vec![2, 3])), ("v", Bat::Int(vec![20, 30]))],
+            vec![],
+        );
+        let tables = TestTables {
+            tables: HashMap::from([("probe".into(), probe), ("build".into(), build)]),
+        };
+        let ctx = ctx_with(&tables, ExecOptions::default());
+        let plan = Plan::Join {
+            left: Box::new(scan_plan("probe", 1, vec![LogicalType::Int])),
+            right: Box::new(scan_plan("build", 2, vec![LogicalType::Int, LogicalType::Int])),
+            kind: PJoinKind::Inner,
+            left_keys: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+            right_keys: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+            residual: None,
+            schema: vec![
+                crate::plan::OutCol { name: "k".into(), ty: LogicalType::Int },
+                crate::plan::OutCol { name: "k2".into(), ty: LogicalType::Int },
+                crate::plan::OutCol { name: "v".into(), ty: LogicalType::Int },
+            ],
+        };
+        let out = execute(&plan, &ctx).unwrap();
+        assert_eq!(out.rows, 3);
+        assert_eq!(ctx.counters.hash_index_joins.load(Ordering::Relaxed), 1);
+        // Disable the flag: same answer, no index.
+        let ctx2 = ctx_with(
+            &tables,
+            ExecOptions { use_hash_index: false, ..Default::default() },
+        );
+        let out2 = execute(&plan, &ctx2).unwrap();
+        assert_eq!(out2.rows, 3);
+        assert_eq!(ctx2.counters.hash_index_joins.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn merge_join_used_with_order_indexes() {
+        let l = make_table("l", vec![("k", Bat::Int(vec![3, 1, 2]))], vec![0]);
+        let r = make_table("r", vec![("k", Bat::Int(vec![2, 3, 4]))], vec![0]);
+        let tables =
+            TestTables { tables: HashMap::from([("l".into(), l), ("r".into(), r)]) };
+        let ctx = ctx_with(&tables, ExecOptions::default());
+        let plan = Plan::Join {
+            left: Box::new(scan_plan("l", 1, vec![LogicalType::Int])),
+            right: Box::new(scan_plan("r", 1, vec![LogicalType::Int])),
+            kind: PJoinKind::Inner,
+            left_keys: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+            right_keys: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+            residual: None,
+            schema: vec![
+                crate::plan::OutCol { name: "k".into(), ty: LogicalType::Int },
+                crate::plan::OutCol { name: "k2".into(), ty: LogicalType::Int },
+            ],
+        };
+        let out = execute(&plan, &ctx).unwrap();
+        assert_eq!(out.rows, 2);
+        assert_eq!(ctx.counters.merge_joins.load(Ordering::Relaxed), 1);
+    }
+}

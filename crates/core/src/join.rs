@@ -1,0 +1,304 @@
+//! Join kernels: hash join (inner/left/semi/anti), merge join over order
+//! indexes, and cross products.
+//!
+//! The hash join "builds" on the right input. When the build side is a
+//! bare persistent column, the executor passes its automatically
+//! maintained [`HashIndex`] (paper §3.1: "Hash tables are also
+//! automatically created for persistent columns when they are used in
+//! groupings or as join keys in equi-joins") — the build phase then
+//! disappears entirely. The order-index merge join implements the paper's
+//! "For joins, the order index is used for a merge join."
+
+use crate::plan::PJoinKind;
+use crate::rows::{any_null, row_hash, rows_eq, NO_ROW};
+use monetlite_storage::index::{key_at, HashIndex, OrderIndex};
+use monetlite_storage::Bat;
+use monetlite_types::{MlError, Result};
+use std::collections::HashMap;
+
+/// Row-id pairs produced by a join; `rsel` entries may be [`NO_ROW`]
+/// (left outer). For semi/anti joins `rsel` is empty.
+#[derive(Debug, Default)]
+pub struct JoinSel {
+    /// Left row ids.
+    pub lsel: Vec<u32>,
+    /// Right row ids (empty for semi/anti).
+    pub rsel: Vec<u32>,
+}
+
+/// Hash join over aligned key column sets.
+pub fn hash_join(
+    lkeys: &[&Bat],
+    rkeys: &[&Bat],
+    kind: PJoinKind,
+    prebuilt: Option<&HashIndex>,
+) -> Result<JoinSel> {
+    if lkeys.len() != rkeys.len() || lkeys.is_empty() {
+        return Err(MlError::Execution("hash join requires aligned non-empty keys".into()));
+    }
+    let lrows = lkeys[0].len();
+    let mut out = JoinSel::default();
+
+    // Fast path: a single-key join probing a prebuilt per-column hash
+    // index (candidates verified exactly, as MonetDB does).
+    if let (Some(idx), 1) = (prebuilt, rkeys.len()) {
+        for l in 0..lrows {
+            if any_null(lkeys, l) {
+                if kind == PJoinKind::Anti {
+                    out.lsel.push(l as u32);
+                }
+                if kind == PJoinKind::Left {
+                    out.lsel.push(l as u32);
+                    out.rsel.push(NO_ROW);
+                }
+                continue;
+            }
+            let key = key_at(lkeys[0], l);
+            let mut matched = false;
+            for &r in idx.lookup(key) {
+                if rows_eq(lkeys, l, rkeys, r as usize, false) {
+                    matched = true;
+                    match kind {
+                        PJoinKind::Inner | PJoinKind::Left => {
+                            out.lsel.push(l as u32);
+                            out.rsel.push(r);
+                        }
+                        PJoinKind::Semi => break,
+                        PJoinKind::Anti => break,
+                        PJoinKind::Cross => unreachable!(),
+                    }
+                }
+            }
+            finish_probe(&mut out, kind, l as u32, matched);
+        }
+        return Ok(out);
+    }
+
+    // General path: build a transient table on the right side.
+    let rrows = rkeys[0].len();
+    let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(rrows);
+    for r in 0..rrows {
+        if any_null(rkeys, r) {
+            continue; // NULL keys never match
+        }
+        table.entry(row_hash(rkeys, r)).or_default().push(r as u32);
+    }
+    for l in 0..lrows {
+        if any_null(lkeys, l) {
+            finish_probe(&mut out, kind, l as u32, false);
+            continue;
+        }
+        let mut matched = false;
+        if let Some(bucket) = table.get(&row_hash(lkeys, l)) {
+            for &r in bucket {
+                if rows_eq(lkeys, l, rkeys, r as usize, false) {
+                    matched = true;
+                    match kind {
+                        PJoinKind::Inner | PJoinKind::Left => {
+                            out.lsel.push(l as u32);
+                            out.rsel.push(r);
+                        }
+                        PJoinKind::Semi | PJoinKind::Anti => break,
+                        PJoinKind::Cross => unreachable!(),
+                    }
+                }
+            }
+        }
+        finish_probe(&mut out, kind, l as u32, matched);
+    }
+    Ok(out)
+}
+
+#[inline]
+fn finish_probe(out: &mut JoinSel, kind: PJoinKind, l: u32, matched: bool) {
+    match kind {
+        PJoinKind::Left if !matched => {
+            out.lsel.push(l);
+            out.rsel.push(NO_ROW);
+        }
+        PJoinKind::Semi if matched => out.lsel.push(l),
+        PJoinKind::Anti if !matched => out.lsel.push(l),
+        _ => {}
+    }
+}
+
+/// Inner merge join over two order indexes (single equi-key). Produces
+/// the same pairs as [`hash_join`], in key order.
+pub fn merge_join(
+    lkey: &Bat,
+    lidx: &OrderIndex,
+    rkey: &Bat,
+    ridx: &OrderIndex,
+) -> JoinSel {
+    let lperm = lidx.perm();
+    let rperm = ridx.perm();
+    let mut out = JoinSel::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lperm.len() && j < rperm.len() {
+        let li = lperm[i] as usize;
+        let rj = rperm[j] as usize;
+        if lkey.is_null_at(li) {
+            i += 1;
+            continue;
+        }
+        if rkey.is_null_at(rj) {
+            j += 1;
+            continue;
+        }
+        let lk = key_at(lkey, li);
+        let rk = key_at(rkey, rj);
+        match lk.cmp(&rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Emit the full cartesian block of equal keys.
+                let mut jend = j;
+                while jend < rperm.len() && key_at(rkey, rperm[jend] as usize) == rk {
+                    jend += 1;
+                }
+                let mut iend = i;
+                while iend < lperm.len() && key_at(lkey, lperm[iend] as usize) == lk {
+                    iend += 1;
+                }
+                for &lr in &lperm[i..iend] {
+                    for &rr in &rperm[j..jend] {
+                        out.lsel.push(lr);
+                        out.rsel.push(rr);
+                    }
+                }
+                i = iend;
+                j = jend;
+            }
+        }
+    }
+    out
+}
+
+/// Cross product row-id pairs.
+pub fn cross_join(lrows: usize, rrows: usize) -> JoinSel {
+    let mut out = JoinSel {
+        lsel: Vec::with_capacity(lrows * rrows),
+        rsel: Vec::with_capacity(lrows * rrows),
+    };
+    for l in 0..lrows {
+        for r in 0..rrows {
+            out.lsel.push(l as u32);
+            out.rsel.push(r as u32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monetlite_storage::index::OrderIndex;
+    use monetlite_types::nulls::NULL_I32;
+
+    fn pairs(sel: &JoinSel) -> Vec<(u32, u32)> {
+        let mut v: Vec<(u32, u32)> =
+            sel.lsel.iter().copied().zip(sel.rsel.iter().copied()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn inner_join_basic() {
+        let l = Bat::Int(vec![1, 2, 3, 2]);
+        let r = Bat::Int(vec![2, 4, 1]);
+        let out = hash_join(&[&l], &[&r], PJoinKind::Inner, None).unwrap();
+        assert_eq!(pairs(&out), vec![(0, 2), (1, 0), (3, 0)]);
+    }
+
+    #[test]
+    fn left_join_pads() {
+        let l = Bat::Int(vec![1, 9]);
+        let r = Bat::Int(vec![1]);
+        let out = hash_join(&[&l], &[&r], PJoinKind::Left, None).unwrap();
+        assert_eq!(out.lsel, vec![0, 1]);
+        assert_eq!(out.rsel, vec![0, NO_ROW]);
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let l = Bat::Int(vec![1, 2, 3]);
+        let r = Bat::Int(vec![2, 2, 5]);
+        let semi = hash_join(&[&l], &[&r], PJoinKind::Semi, None).unwrap();
+        assert_eq!(semi.lsel, vec![1]);
+        assert!(semi.rsel.is_empty());
+        let anti = hash_join(&[&l], &[&r], PJoinKind::Anti, None).unwrap();
+        assert_eq!(anti.lsel, vec![0, 2]);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let l = Bat::Int(vec![NULL_I32, 1]);
+        let r = Bat::Int(vec![NULL_I32, 1]);
+        let out = hash_join(&[&l], &[&r], PJoinKind::Inner, None).unwrap();
+        assert_eq!(pairs(&out), vec![(1, 1)]);
+        // Anti keeps NULL-keyed left rows (no match possible).
+        let anti = hash_join(&[&l], &[&r], PJoinKind::Anti, None).unwrap();
+        assert_eq!(anti.lsel, vec![0]);
+        // Left join pads NULL-keyed rows.
+        let left = hash_join(&[&l], &[&r], PJoinKind::Left, None).unwrap();
+        assert_eq!(left.rsel, vec![NO_ROW, 1]);
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let l1 = Bat::Int(vec![1, 1, 2]);
+        let l2 = Bat::Int(vec![10, 20, 10]);
+        let r1 = Bat::Int(vec![1, 2]);
+        let r2 = Bat::Int(vec![20, 10]);
+        let out =
+            hash_join(&[&l1, &l2], &[&r1, &r2], PJoinKind::Inner, None).unwrap();
+        assert_eq!(pairs(&out), vec![(1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn prebuilt_index_path_matches_general_path() {
+        let l = Bat::Int(vec![3, 1, 4, 1, 5]);
+        let r = Bat::Int(vec![1, 5, 9, 1]);
+        let idx = HashIndex::build(&(0..r.len()).map(|i| key_at(&r, i)).collect::<Vec<_>>());
+        for kind in [PJoinKind::Inner, PJoinKind::Left, PJoinKind::Semi, PJoinKind::Anti] {
+            let with_idx = hash_join(&[&l], &[&r], kind, Some(&idx)).unwrap();
+            let without = hash_join(&[&l], &[&r], kind, None).unwrap();
+            assert_eq!(pairs(&with_idx), pairs(&without), "{kind:?}");
+            assert_eq!(with_idx.lsel.len(), without.lsel.len());
+        }
+    }
+
+    #[test]
+    fn merge_join_matches_hash_join() {
+        let l = Bat::Int(vec![5, 3, 1, 3]);
+        let r = Bat::Int(vec![3, 5, 3, 7]);
+        let lidx = OrderIndex::build(&(0..l.len()).map(|i| key_at(&l, i)).collect::<Vec<_>>());
+        let ridx = OrderIndex::build(&(0..r.len()).map(|i| key_at(&r, i)).collect::<Vec<_>>());
+        let merged = merge_join(&l, &lidx, &r, &ridx);
+        let hashed = hash_join(&[&l], &[&r], PJoinKind::Inner, None).unwrap();
+        assert_eq!(pairs(&merged), pairs(&hashed));
+    }
+
+    #[test]
+    fn cross_join_counts() {
+        let out = cross_join(3, 2);
+        assert_eq!(out.lsel.len(), 6);
+        assert_eq!(pairs(&out).len(), 6);
+    }
+
+    #[test]
+    fn string_keys_join() {
+        use monetlite_types::ColumnBuffer;
+        let l = Bat::from_buffer(&ColumnBuffer::Varchar(vec![
+            Some("FRANCE".into()),
+            Some("GERMANY".into()),
+            None,
+        ]));
+        let r = Bat::from_buffer(&ColumnBuffer::Varchar(vec![
+            Some("GERMANY".into()),
+            Some("FRANCE".into()),
+        ]));
+        let out = hash_join(&[&l], &[&r], PJoinKind::Inner, None).unwrap();
+        assert_eq!(pairs(&out), vec![(0, 1), (1, 0)]);
+    }
+}

@@ -1,0 +1,1028 @@
+//! Column-at-a-time execution kernels.
+//!
+//! Every kernel processes a full column before returning (paper §3.1:
+//! "MAL instructions process the data in a column-at-a-time model. Each
+//! MAL operator processes the full column before moving on to the next
+//! operator."). Predicates produce BOOLEAN columns which
+//! [`bool_to_sel`] turns into candidate lists (`Vec<u32>` row ids), the
+//! monetlite equivalent of MonetDB candidate lists.
+
+use crate::expr::{ArithOp, BExpr, CmpOp, ScalarFunc};
+use monetlite_storage::heap::NULL_OFFSET;
+use monetlite_storage::Bat;
+use monetlite_types::nulls::{NULL_I32, NULL_I64, NULL_I8};
+use monetlite_types::{Date, LogicalType, MlError, Result, Value};
+use std::sync::Arc;
+
+/// Evaluate a bound expression over `cols` (each `rows` long), producing a
+/// materialised result column.
+pub fn eval(e: &BExpr, cols: &[Arc<Bat>], rows: usize) -> Result<Bat> {
+    match e {
+        BExpr::ColRef { idx, .. } => Ok((*cols[*idx]).clone()),
+        BExpr::Lit(v) => materialize_const(v, e.ty(), rows),
+        BExpr::Cast { input, ty } => {
+            let b = eval(input, cols, rows)?;
+            cast(&b, *ty)
+        }
+        BExpr::Arith { op, left, right, ty } => {
+            let l = eval(left, cols, rows)?;
+            let r = eval(right, cols, rows)?;
+            arith(*op, &l, &r, *ty)
+        }
+        BExpr::Cmp { op, left, right } => {
+            // Fast path: column versus constant avoids materialising the
+            // constant side.
+            if let BExpr::Lit(v) = right.as_ref() {
+                let l = eval(left, cols, rows)?;
+                return cmp_const(*op, &l, v);
+            }
+            if let BExpr::Lit(v) = left.as_ref() {
+                let r = eval(right, cols, rows)?;
+                return cmp_const(op.flip(), &r, v);
+            }
+            let l = eval(left, cols, rows)?;
+            let r = eval(right, cols, rows)?;
+            cmp(*op, &l, &r)
+        }
+        BExpr::And(a, b) => {
+            let l = eval(a, cols, rows)?;
+            let r = eval(b, cols, rows)?;
+            bool_and(&l, &r)
+        }
+        BExpr::Or(a, b) => {
+            let l = eval(a, cols, rows)?;
+            let r = eval(b, cols, rows)?;
+            bool_or(&l, &r)
+        }
+        BExpr::Not(a) => {
+            let l = eval(a, cols, rows)?;
+            bool_not(&l)
+        }
+        BExpr::IsNull { input, negated } => {
+            let b = eval(input, cols, rows)?;
+            let mut out = Vec::with_capacity(b.len());
+            for i in 0..b.len() {
+                let isnull = b.is_null_at(i);
+                out.push((isnull != *negated) as i8);
+            }
+            Ok(Bat::Bool(out))
+        }
+        BExpr::Like { input, pattern, negated } => {
+            let b = eval(input, cols, rows)?;
+            like_kernel(&b, pattern, *negated)
+        }
+        BExpr::Case { branches, else_expr, ty } => {
+            case_kernel(branches, else_expr.as_deref(), *ty, cols, rows)
+        }
+        BExpr::Func { func, args, ty } => {
+            let bats: Vec<Bat> =
+                args.iter().map(|a| eval(a, cols, rows)).collect::<Result<_>>()?;
+            func_kernel(*func, &bats, *ty)
+        }
+        BExpr::Neg { input, .. } => {
+            let b = eval(input, cols, rows)?;
+            neg(&b)
+        }
+    }
+}
+
+/// Materialise a constant column (used when no fast path applies).
+pub fn materialize_const(v: &Value, ty: LogicalType, rows: usize) -> Result<Bat> {
+    let mut b = Bat::with_capacity(ty, rows);
+    for _ in 0..rows {
+        b.push(v)?;
+    }
+    Ok(b)
+}
+
+/// Convert a BOOLEAN column into a candidate list of matching row ids
+/// (`NULL` counts as not matching, per SQL semantics).
+pub fn bool_to_sel(b: &Bat) -> Result<Vec<u32>> {
+    match b {
+        Bat::Bool(v) => {
+            Ok(v.iter().enumerate().filter(|(_, &x)| x == 1).map(|(i, _)| i as u32).collect())
+        }
+        other => Err(MlError::Execution(format!(
+            "predicate evaluated to {} instead of BOOLEAN",
+            other.logical_type()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Casts
+// ---------------------------------------------------------------------------
+
+/// Cast a column to a target logical type.
+pub fn cast(b: &Bat, ty: LogicalType) -> Result<Bat> {
+    use LogicalType as T;
+    if b.logical_type() == ty {
+        return Ok(b.clone());
+    }
+    Ok(match (b, ty) {
+        (Bat::Int(v), T::Bigint) => Bat::Bigint(
+            v.iter().map(|&x| if x == NULL_I32 { NULL_I64 } else { x as i64 }).collect(),
+        ),
+        (Bat::Int(v), T::Double) => Bat::Double(
+            v.iter().map(|&x| if x == NULL_I32 { f64::NAN } else { x as f64 }).collect(),
+        ),
+        (Bat::Bigint(v), T::Double) => Bat::Double(
+            v.iter().map(|&x| if x == NULL_I64 { f64::NAN } else { x as f64 }).collect(),
+        ),
+        (Bat::Int(v), T::Decimal { scale, .. }) => {
+            let f = monetlite_types::decimal::POW10[scale as usize];
+            let data = v
+                .iter()
+                .map(|&x| {
+                    if x == NULL_I32 {
+                        Ok(NULL_I64)
+                    } else {
+                        (x as i64)
+                            .checked_mul(f)
+                            .ok_or_else(|| MlError::Execution("decimal cast overflow".into()))
+                    }
+                })
+                .collect::<Result<Vec<i64>>>()?;
+            Bat::Decimal { data, scale }
+        }
+        (Bat::Bigint(v), T::Decimal { scale, .. }) => {
+            let f = monetlite_types::decimal::POW10[scale as usize];
+            let data = v
+                .iter()
+                .map(|&x| {
+                    if x == NULL_I64 {
+                        Ok(NULL_I64)
+                    } else {
+                        x.checked_mul(f)
+                            .ok_or_else(|| MlError::Execution("decimal cast overflow".into()))
+                    }
+                })
+                .collect::<Result<Vec<i64>>>()?;
+            Bat::Decimal { data, scale }
+        }
+        (Bat::Decimal { data, scale }, T::Double) => {
+            let f = monetlite_types::decimal::POW10[*scale as usize] as f64;
+            Bat::Double(
+                data.iter()
+                    .map(|&x| if x == NULL_I64 { f64::NAN } else { x as f64 / f })
+                    .collect(),
+            )
+        }
+        (Bat::Decimal { data, scale }, T::Decimal { scale: s2, .. }) => {
+            let (s1, s2v) = (*scale, s2);
+            if s2v >= s1 {
+                let f = monetlite_types::decimal::POW10[(s2v - s1) as usize];
+                let data = data
+                    .iter()
+                    .map(|&x| {
+                        if x == NULL_I64 {
+                            Ok(NULL_I64)
+                        } else {
+                            x.checked_mul(f).ok_or_else(|| {
+                                MlError::Execution("decimal rescale overflow".into())
+                            })
+                        }
+                    })
+                    .collect::<Result<Vec<i64>>>()?;
+                Bat::Decimal { data, scale: s2v }
+            } else {
+                let f = monetlite_types::decimal::POW10[(s1 - s2v) as usize];
+                Bat::Decimal {
+                    data: data
+                        .iter()
+                        .map(|&x| if x == NULL_I64 { NULL_I64 } else { x / f })
+                        .collect(),
+                    scale: s2v,
+                }
+            }
+        }
+        (Bat::Double(v), T::Int) => Bat::Int(
+            v.iter().map(|&x| if x.is_nan() { NULL_I32 } else { x as i32 }).collect(),
+        ),
+        (Bat::Double(v), T::Bigint) => Bat::Bigint(
+            v.iter().map(|&x| if x.is_nan() { NULL_I64 } else { x as i64 }).collect(),
+        ),
+        (Bat::Bigint(v), T::Int) => Bat::Int(
+            v.iter()
+                .map(|&x| {
+                    if x == NULL_I64 {
+                        NULL_I32
+                    } else {
+                        x as i32
+                    }
+                })
+                .collect(),
+        ),
+        (Bat::Varchar { .. }, T::Date) => {
+            let mut out = Vec::with_capacity(b.len());
+            for i in 0..b.len() {
+                match b.str_at(i) {
+                    None => out.push(NULL_I32),
+                    Some(s) => out.push(Date::parse(s)?.0),
+                }
+            }
+            Bat::Date(out)
+        }
+        (from, to) => {
+            return Err(MlError::TypeMismatch(format!(
+                "unsupported cast {} -> {}",
+                from.logical_type(),
+                to
+            )))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons
+// ---------------------------------------------------------------------------
+
+macro_rules! cmp_loop {
+    ($l:expr, $r:expr, $op:expr, $null:expr) => {{
+        let mut out = Vec::with_capacity($l.len());
+        for (a, b) in $l.iter().zip($r.iter()) {
+            if $null(*a) || $null(*b) {
+                out.push(NULL_I8);
+            } else {
+                out.push(apply_cmp($op, a.partial_cmp(b).unwrap()) as i8);
+            }
+        }
+        Bat::Bool(out)
+    }};
+}
+
+macro_rules! cmp_const_loop {
+    ($l:expr, $k:expr, $op:expr, $null:expr) => {{
+        let k = $k;
+        let mut out = Vec::with_capacity($l.len());
+        for a in $l.iter() {
+            if $null(*a) {
+                out.push(NULL_I8);
+            } else {
+                out.push(apply_cmp($op, a.partial_cmp(&k).unwrap()) as i8);
+            }
+        }
+        Bat::Bool(out)
+    }};
+}
+
+#[inline]
+fn apply_cmp(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::NotEq => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::LtEq => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::GtEq => ord != Less,
+    }
+}
+
+/// Same-type column-column comparison → BOOLEAN column.
+pub fn cmp(op: CmpOp, l: &Bat, r: &Bat) -> Result<Bat> {
+    if l.len() != r.len() {
+        return Err(MlError::Execution("comparison operand length mismatch".into()));
+    }
+    Ok(match (l, r) {
+        (Bat::Int(a), Bat::Int(b)) => cmp_loop!(a, b, op, |x: i32| x == NULL_I32),
+        (Bat::Date(a), Bat::Date(b)) => cmp_loop!(a, b, op, |x: i32| x == NULL_I32),
+        (Bat::Bigint(a), Bat::Bigint(b)) => cmp_loop!(a, b, op, |x: i64| x == NULL_I64),
+        (Bat::Double(a), Bat::Double(b)) => cmp_loop!(a, b, op, |x: f64| x.is_nan()),
+        (Bat::Bool(a), Bat::Bool(b)) => cmp_loop!(a, b, op, |x: i8| x == NULL_I8),
+        (Bat::Decimal { data: a, scale: s1 }, Bat::Decimal { data: b, scale: s2 }) => {
+            if s1 != s2 {
+                return Err(MlError::Execution(
+                    "decimal comparison requires aligned scales (binder bug)".into(),
+                ));
+            }
+            cmp_loop!(a, b, op, |x: i64| x == NULL_I64)
+        }
+        (Bat::Varchar { .. }, Bat::Varchar { .. }) => {
+            let mut out = Vec::with_capacity(l.len());
+            for i in 0..l.len() {
+                match (l.str_at(i), r.str_at(i)) {
+                    (Some(a), Some(b)) => out.push(apply_cmp(op, a.cmp(b)) as i8),
+                    _ => out.push(NULL_I8),
+                }
+            }
+            Bat::Bool(out)
+        }
+        (a, b) => {
+            return Err(MlError::Execution(format!(
+                "comparison over mismatched types {} / {} (binder bug)",
+                a.logical_type(),
+                b.logical_type()
+            )))
+        }
+    })
+}
+
+/// Column-constant comparison (fast path; `v` must be NULL or match the
+/// column's type family, which the binder guarantees).
+pub fn cmp_const(op: CmpOp, l: &Bat, v: &Value) -> Result<Bat> {
+    if v.is_null() {
+        return Ok(Bat::Bool(vec![NULL_I8; l.len()]));
+    }
+    Ok(match (l, v) {
+        (Bat::Int(a), Value::Int(k)) => cmp_const_loop!(a, *k, op, |x: i32| x == NULL_I32),
+        (Bat::Date(a), Value::Date(k)) => cmp_const_loop!(a, k.0, op, |x: i32| x == NULL_I32),
+        (Bat::Bigint(a), Value::Bigint(k)) => cmp_const_loop!(a, *k, op, |x: i64| x == NULL_I64),
+        (Bat::Double(a), Value::Double(k)) => cmp_const_loop!(a, *k, op, |x: f64| x.is_nan()),
+        (Bat::Bool(a), Value::Bool(k)) => {
+            cmp_const_loop!(a, *k as i8, op, |x: i8| x == NULL_I8)
+        }
+        (Bat::Decimal { data, scale }, Value::Decimal(d)) => {
+            let k = d.rescale(*scale)?.raw;
+            cmp_const_loop!(data, k, op, |x: i64| x == NULL_I64)
+        }
+        (Bat::Varchar { offsets, heap }, Value::Str(s)) => {
+            let mut out = Vec::with_capacity(offsets.len());
+            for &o in offsets {
+                if o == NULL_OFFSET {
+                    out.push(NULL_I8);
+                } else {
+                    out.push(apply_cmp(op, heap.get(o).cmp(s.as_str())) as i8);
+                }
+            }
+            Bat::Bool(out)
+        }
+        (a, v) => {
+            return Err(MlError::Execution(format!(
+                "constant comparison over mismatched types {} vs {v:?} (binder bug)",
+                a.logical_type()
+            )))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+// ---------------------------------------------------------------------------
+
+/// Same-type arithmetic. The binder guarantees aligned operand types
+/// (decimal multiplication excepted: operand scales sum into `ty`).
+pub fn arith(op: ArithOp, l: &Bat, r: &Bat, ty: LogicalType) -> Result<Bat> {
+    if l.len() != r.len() {
+        return Err(MlError::Execution("arithmetic operand length mismatch".into()));
+    }
+    let overflow = || MlError::Execution(format!("overflow in {op}"));
+    Ok(match (l, r) {
+        (Bat::Int(a), Bat::Int(b)) => {
+            let mut out = Vec::with_capacity(a.len());
+            for (&x, &y) in a.iter().zip(b) {
+                if x == NULL_I32 || y == NULL_I32 {
+                    out.push(NULL_I32);
+                    continue;
+                }
+                let v = match op {
+                    ArithOp::Add => x.checked_add(y),
+                    ArithOp::Sub => x.checked_sub(y),
+                    ArithOp::Mul => x.checked_mul(y),
+                    ArithOp::Mod => {
+                        if y == 0 {
+                            return Err(MlError::Execution("division by zero".into()));
+                        }
+                        Some(x % y)
+                    }
+                    ArithOp::Div => unreachable!("int division lowers to double"),
+                };
+                out.push(v.ok_or_else(overflow)?);
+            }
+            // DATE - DATE produces Int through the same i32 path.
+            Bat::Int(out)
+        }
+        (Bat::Date(a), Bat::Date(b)) if op == ArithOp::Sub => {
+            let mut out = Vec::with_capacity(a.len());
+            for (&x, &y) in a.iter().zip(b) {
+                if x == NULL_I32 || y == NULL_I32 {
+                    out.push(NULL_I32);
+                } else {
+                    out.push(x - y);
+                }
+            }
+            Bat::Int(out)
+        }
+        (Bat::Bigint(a), Bat::Bigint(b)) => {
+            let mut out = Vec::with_capacity(a.len());
+            for (&x, &y) in a.iter().zip(b) {
+                if x == NULL_I64 || y == NULL_I64 {
+                    out.push(NULL_I64);
+                    continue;
+                }
+                let v = match op {
+                    ArithOp::Add => x.checked_add(y),
+                    ArithOp::Sub => x.checked_sub(y),
+                    ArithOp::Mul => x.checked_mul(y),
+                    ArithOp::Mod => {
+                        if y == 0 {
+                            return Err(MlError::Execution("division by zero".into()));
+                        }
+                        Some(x % y)
+                    }
+                    ArithOp::Div => unreachable!(),
+                };
+                out.push(v.ok_or_else(overflow)?);
+            }
+            Bat::Bigint(out)
+        }
+        (Bat::Double(a), Bat::Double(b)) => {
+            let mut out = Vec::with_capacity(a.len());
+            for (&x, &y) in a.iter().zip(b) {
+                // NaN operands propagate NULL naturally.
+                let v = match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => {
+                        if y == 0.0 {
+                            f64::NAN // SQL: division by zero → NULL-ish; kept total
+                        } else {
+                            x / y
+                        }
+                    }
+                    ArithOp::Mod => x % y,
+                };
+                out.push(v);
+            }
+            Bat::Double(out)
+        }
+        (Bat::Decimal { data: a, .. }, Bat::Decimal { data: b, .. }) => {
+            let out_scale = match ty {
+                LogicalType::Decimal { scale, .. } => scale,
+                other => {
+                    return Err(MlError::Execution(format!(
+                        "decimal arithmetic with non-decimal result {other}"
+                    )))
+                }
+            };
+            let mut out = Vec::with_capacity(a.len());
+            for (&x, &y) in a.iter().zip(b) {
+                if x == NULL_I64 || y == NULL_I64 {
+                    out.push(NULL_I64);
+                    continue;
+                }
+                let v = match op {
+                    ArithOp::Add => x.checked_add(y).ok_or_else(overflow)?,
+                    ArithOp::Sub => x.checked_sub(y).ok_or_else(overflow)?,
+                    ArithOp::Mul => {
+                        let wide = x as i128 * y as i128;
+                        if wide > i64::MAX as i128 || wide < i64::MIN as i128 {
+                            return Err(overflow());
+                        }
+                        wide as i64
+                    }
+                    _ => return Err(MlError::Execution(format!("{op} not defined on DECIMAL"))),
+                };
+                out.push(v);
+            }
+            Bat::Decimal { data: out, scale: out_scale }
+        }
+        (a, b) => {
+            return Err(MlError::Execution(format!(
+                "arithmetic over mismatched types {} / {} (binder bug)",
+                a.logical_type(),
+                b.logical_type()
+            )))
+        }
+    })
+}
+
+/// Arithmetic negation.
+pub fn neg(b: &Bat) -> Result<Bat> {
+    Ok(match b {
+        Bat::Int(v) => {
+            Bat::Int(v.iter().map(|&x| if x == NULL_I32 { x } else { -x }).collect())
+        }
+        Bat::Bigint(v) => {
+            Bat::Bigint(v.iter().map(|&x| if x == NULL_I64 { x } else { -x }).collect())
+        }
+        Bat::Double(v) => Bat::Double(v.iter().map(|&x| -x).collect()),
+        Bat::Decimal { data, scale } => Bat::Decimal {
+            data: data.iter().map(|&x| if x == NULL_I64 { x } else { -x }).collect(),
+            scale: *scale,
+        },
+        other => {
+            return Err(MlError::Execution(format!(
+                "negation over {}",
+                other.logical_type()
+            )))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Boolean logic (three-valued)
+// ---------------------------------------------------------------------------
+
+fn as_bools(b: &Bat) -> Result<&[i8]> {
+    match b {
+        Bat::Bool(v) => Ok(v),
+        other => Err(MlError::Execution(format!(
+            "expected BOOLEAN, got {}",
+            other.logical_type()
+        ))),
+    }
+}
+
+/// Three-valued AND: `NULL AND FALSE = FALSE`, `NULL AND TRUE = NULL`.
+pub fn bool_and(l: &Bat, r: &Bat) -> Result<Bat> {
+    let (a, b) = (as_bools(l)?, as_bools(r)?);
+    Ok(Bat::Bool(
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                if x == 0 || y == 0 {
+                    0
+                } else if x == NULL_I8 || y == NULL_I8 {
+                    NULL_I8
+                } else {
+                    1
+                }
+            })
+            .collect(),
+    ))
+}
+
+/// Three-valued OR: `NULL OR TRUE = TRUE`, `NULL OR FALSE = NULL`.
+pub fn bool_or(l: &Bat, r: &Bat) -> Result<Bat> {
+    let (a, b) = (as_bools(l)?, as_bools(r)?);
+    Ok(Bat::Bool(
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                if x == 1 || y == 1 {
+                    1
+                } else if x == NULL_I8 || y == NULL_I8 {
+                    NULL_I8
+                } else {
+                    0
+                }
+            })
+            .collect(),
+    ))
+}
+
+/// Three-valued NOT.
+pub fn bool_not(l: &Bat) -> Result<Bat> {
+    let a = as_bools(l)?;
+    Ok(Bat::Bool(
+        a.iter().map(|&x| if x == NULL_I8 { NULL_I8 } else { 1 - x }).collect(),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// LIKE (dependency-free, paper §3.4)
+// ---------------------------------------------------------------------------
+
+/// SQL LIKE with `%` (any run) and `_` (any single char), implemented with
+/// iterative backtracking — no regex library, exactly MonetDBLite's
+/// approach of replacing PCRE with its own matcher.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_s) = (usize::MAX, 0usize);
+    while si < s.len() {
+        // `%` must be tested first: a literal '%' in the *data* would
+        // otherwise consume the pattern's wildcard.
+        if pi < p.len() && p[pi] == '%' {
+            star_p = pi;
+            star_s = si;
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            // Backtrack: extend the last % by one character.
+            pi = star_p + 1;
+            star_s += 1;
+            si = star_s;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn like_kernel(b: &Bat, pattern: &str, negated: bool) -> Result<Bat> {
+    match b {
+        Bat::Varchar { offsets, heap } => {
+            let mut out = Vec::with_capacity(offsets.len());
+            for &o in offsets {
+                if o == NULL_OFFSET {
+                    out.push(NULL_I8);
+                } else {
+                    out.push((like_match(heap.get(o), pattern) != negated) as i8);
+                }
+            }
+            Ok(Bat::Bool(out))
+        }
+        other => Err(MlError::Execution(format!(
+            "LIKE over {}",
+            other.logical_type()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CASE
+// ---------------------------------------------------------------------------
+
+fn case_kernel(
+    branches: &[(BExpr, BExpr)],
+    else_expr: Option<&BExpr>,
+    ty: LogicalType,
+    cols: &[Arc<Bat>],
+    rows: usize,
+) -> Result<Bat> {
+    // Evaluate all conditions and branch values, then select row-wise.
+    let conds: Vec<Bat> =
+        branches.iter().map(|(c, _)| eval(c, cols, rows)).collect::<Result<_>>()?;
+    let vals: Vec<Bat> =
+        branches.iter().map(|(_, v)| eval(v, cols, rows)).collect::<Result<_>>()?;
+    let else_vals = else_expr.map(|e| eval(e, cols, rows)).transpose()?;
+    let mut out = Bat::with_capacity(ty, rows);
+    'rows: for i in 0..rows {
+        for (c, v) in conds.iter().zip(&vals) {
+            let hit = match c {
+                Bat::Bool(cv) => cv[i] == 1,
+                _ => false,
+            };
+            if hit {
+                out.push(&v.get(i))?;
+                continue 'rows;
+            }
+        }
+        match &else_vals {
+            Some(ev) => out.push(&ev.get(i))?,
+            None => out.push(&Value::Null)?,
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar functions
+// ---------------------------------------------------------------------------
+
+fn func_kernel(func: ScalarFunc, args: &[Bat], ty: LogicalType) -> Result<Bat> {
+    match func {
+        ScalarFunc::Sqrt | ScalarFunc::Floor | ScalarFunc::Ceil => {
+            let a = match &args[0] {
+                Bat::Double(v) => v,
+                other => {
+                    return Err(MlError::Execution(format!(
+                        "{func} over {}",
+                        other.logical_type()
+                    )))
+                }
+            };
+            let f = match func {
+                ScalarFunc::Sqrt => f64::sqrt,
+                ScalarFunc::Floor => f64::floor,
+                _ => f64::ceil,
+            };
+            Ok(Bat::Double(a.iter().map(|&x| f(x)).collect()))
+        }
+        ScalarFunc::Abs => Ok(match &args[0] {
+            Bat::Int(v) => {
+                Bat::Int(v.iter().map(|&x| if x == NULL_I32 { x } else { x.abs() }).collect())
+            }
+            Bat::Bigint(v) => {
+                Bat::Bigint(v.iter().map(|&x| if x == NULL_I64 { x } else { x.abs() }).collect())
+            }
+            Bat::Double(v) => Bat::Double(v.iter().map(|&x| x.abs()).collect()),
+            Bat::Decimal { data, scale } => Bat::Decimal {
+                data: data.iter().map(|&x| if x == NULL_I64 { x } else { x.abs() }).collect(),
+                scale: *scale,
+            },
+            other => {
+                return Err(MlError::Execution(format!("abs over {}", other.logical_type())))
+            }
+        }),
+        ScalarFunc::Upper | ScalarFunc::Lower => {
+            let a = &args[0];
+            let mut out = Bat::with_capacity(LogicalType::Varchar, a.len());
+            for i in 0..a.len() {
+                match a.str_at(i) {
+                    None => out.push(&Value::Null)?,
+                    Some(s) => {
+                        let t = if func == ScalarFunc::Upper {
+                            s.to_uppercase()
+                        } else {
+                            s.to_lowercase()
+                        };
+                        out.push(&Value::Str(t))?;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        ScalarFunc::Length => {
+            let a = &args[0];
+            let mut out = Vec::with_capacity(a.len());
+            for i in 0..a.len() {
+                match a.str_at(i) {
+                    None => out.push(NULL_I32),
+                    Some(s) => out.push(s.chars().count() as i32),
+                }
+            }
+            Ok(Bat::Int(out))
+        }
+        ScalarFunc::Substring => {
+            let s = &args[0];
+            let (from, len) = match (&args[1], &args[2]) {
+                (Bat::Int(f), Bat::Int(l)) => (f, l),
+                _ => return Err(MlError::Execution("substring bounds must be INTEGER".into())),
+            };
+            let mut out = Bat::with_capacity(LogicalType::Varchar, s.len());
+            for i in 0..s.len() {
+                match s.str_at(i) {
+                    None => out.push(&Value::Null)?,
+                    Some(txt) => {
+                        if from[i] == NULL_I32 || len[i] == NULL_I32 {
+                            out.push(&Value::Null)?;
+                            continue;
+                        }
+                        let start = (from[i].max(1) - 1) as usize;
+                        let take = len[i].max(0) as usize;
+                        let sub: String = txt.chars().skip(start).take(take).collect();
+                        out.push(&Value::Str(sub))?;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        ScalarFunc::Year | ScalarFunc::Month | ScalarFunc::Day => {
+            let a = match &args[0] {
+                Bat::Date(v) => v,
+                other => {
+                    return Err(MlError::Execution(format!(
+                        "{func} over {}",
+                        other.logical_type()
+                    )))
+                }
+            };
+            let mut out = Vec::with_capacity(a.len());
+            for &d in a {
+                if d == NULL_I32 {
+                    out.push(NULL_I32);
+                    continue;
+                }
+                let (y, m, dd) = Date(d).ymd();
+                out.push(match func {
+                    ScalarFunc::Year => y,
+                    ScalarFunc::Month => m as i32,
+                    _ => dd as i32,
+                });
+            }
+            Ok(Bat::Int(out))
+        }
+        ScalarFunc::AddDays | ScalarFunc::AddMonths | ScalarFunc::AddYears => {
+            let dates = match &args[0] {
+                Bat::Date(v) => v,
+                other => {
+                    return Err(MlError::Execution(format!(
+                        "date shift over {}",
+                        other.logical_type()
+                    )))
+                }
+            };
+            let amounts = match &args[1] {
+                Bat::Int(v) => v,
+                _ => return Err(MlError::Execution("date shift amount must be INTEGER".into())),
+            };
+            let mut out = Vec::with_capacity(dates.len());
+            for (&d, &n) in dates.iter().zip(amounts) {
+                if d == NULL_I32 || n == NULL_I32 {
+                    out.push(NULL_I32);
+                    continue;
+                }
+                let nd = match func {
+                    ScalarFunc::AddDays => Date(d).add_days(n),
+                    ScalarFunc::AddMonths => Date(d).add_months(n),
+                    _ => Date(d).add_years(n),
+                };
+                out.push(nd.0);
+            }
+            let _ = ty;
+            Ok(Bat::Date(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monetlite_types::ColumnBuffer;
+    use proptest::prelude::*;
+
+    fn ints(v: Vec<i32>) -> Arc<Bat> {
+        Arc::new(Bat::Int(v))
+    }
+
+    #[test]
+    fn colref_and_literal() {
+        let cols = vec![ints(vec![1, 2, 3])];
+        let e = BExpr::ColRef { idx: 0, ty: LogicalType::Int };
+        assert_eq!(eval(&e, &cols, 3).unwrap().get(1), Value::Int(2));
+        let l = BExpr::Lit(Value::Int(7));
+        let b = eval(&l, &cols, 3).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(2), Value::Int(7));
+    }
+
+    #[test]
+    fn cmp_const_fast_path_with_nulls() {
+        let cols = vec![ints(vec![1, NULL_I32, 3])];
+        let e = BExpr::Cmp {
+            op: CmpOp::Gt,
+            left: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+            right: Box::new(BExpr::Lit(Value::Int(1))),
+        };
+        let b = eval(&e, &cols, 3).unwrap();
+        assert_eq!(b.get(0), Value::Bool(false));
+        assert_eq!(b.get(1), Value::Null);
+        assert_eq!(b.get(2), Value::Bool(true));
+        assert_eq!(bool_to_sel(&b).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn flipped_const_comparison() {
+        // 2 < col  ≡  col > 2
+        let cols = vec![ints(vec![1, 2, 3])];
+        let e = BExpr::Cmp {
+            op: CmpOp::Lt,
+            left: Box::new(BExpr::Lit(Value::Int(2))),
+            right: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+        };
+        let b = eval(&e, &cols, 3).unwrap();
+        assert_eq!(bool_to_sel(&b).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn int_overflow_is_error() {
+        let cols = vec![ints(vec![i32::MAX])];
+        let e = BExpr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+            right: Box::new(BExpr::Lit(Value::Int(1))),
+            ty: LogicalType::Int,
+        };
+        assert!(matches!(eval(&e, &cols, 1), Err(MlError::Execution(_))));
+    }
+
+    #[test]
+    fn decimal_mul_scales() {
+        // 1.50 * 0.06 (scales 2+2=4) = 0.0900
+        let l = Bat::Decimal { data: vec![150], scale: 2 };
+        let r = Bat::Decimal { data: vec![6], scale: 2 };
+        let out = arith(ArithOp::Mul, &l, &r, LogicalType::Decimal { width: 18, scale: 4 }).unwrap();
+        assert_eq!(out.get(0), Value::Decimal(monetlite_types::Decimal::new(900, 4)));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = Bat::Bool(vec![1]);
+        let f = Bat::Bool(vec![0]);
+        let n = Bat::Bool(vec![NULL_I8]);
+        assert_eq!(bool_and(&n, &f).unwrap().get(0), Value::Bool(false));
+        assert_eq!(bool_and(&n, &t).unwrap().get(0), Value::Null);
+        assert_eq!(bool_or(&n, &t).unwrap().get(0), Value::Bool(true));
+        assert_eq!(bool_or(&n, &f).unwrap().get(0), Value::Null);
+        assert_eq!(bool_not(&n).unwrap().get(0), Value::Null);
+        assert_eq!(bool_not(&t).unwrap().get(0), Value::Bool(false));
+    }
+
+    #[test]
+    fn like_matcher_cases() {
+        assert!(like_match("forest green metallic", "%green%"));
+        assert!(!like_match("blue", "%green%"));
+        assert!(like_match("abc", "abc"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("anything", "%"));
+        assert!(like_match("xyz", "%z"));
+        assert!(like_match("xyz", "x%"));
+        assert!(!like_match("xyz", "%q%"));
+        assert!(like_match("aXbXc", "a%b%c"));
+        // Tricky backtracking: % must be able to re-expand.
+        assert!(like_match("aabab", "a%ab"));
+    }
+
+    #[test]
+    fn case_kernel_with_else_and_null() {
+        let cols = vec![ints(vec![1, 2, 3])];
+        let e = BExpr::Case {
+            branches: vec![(
+                BExpr::Cmp {
+                    op: CmpOp::Eq,
+                    left: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                    right: Box::new(BExpr::Lit(Value::Int(2))),
+                },
+                BExpr::Lit(Value::Int(100)),
+            )],
+            else_expr: Some(Box::new(BExpr::Lit(Value::Int(0)))),
+            ty: LogicalType::Int,
+        };
+        let b = eval(&e, &cols, 3).unwrap();
+        assert_eq!(b.to_buffer(None), ColumnBuffer::Int(vec![0, 100, 0]));
+    }
+
+    #[test]
+    fn extract_year_kernel() {
+        let d = Date::parse("1995-03-17").unwrap();
+        let cols = vec![Arc::new(Bat::Date(vec![d.0, NULL_I32]))];
+        let e = BExpr::Func {
+            func: ScalarFunc::Year,
+            args: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Date }],
+            ty: LogicalType::Int,
+        };
+        let b = eval(&e, &cols, 2).unwrap();
+        assert_eq!(b.get(0), Value::Int(1995));
+        assert_eq!(b.get(1), Value::Null);
+    }
+
+    #[test]
+    fn date_shift_kernel() {
+        let d = Date::parse("1995-01-31").unwrap();
+        let cols = vec![Arc::new(Bat::Date(vec![d.0]))];
+        let e = BExpr::Func {
+            func: ScalarFunc::AddMonths,
+            args: vec![
+                BExpr::ColRef { idx: 0, ty: LogicalType::Date },
+                BExpr::Lit(Value::Int(1)),
+            ],
+            ty: LogicalType::Date,
+        };
+        let b = eval(&e, &cols, 1).unwrap();
+        assert_eq!(b.get(0).to_string(), "1995-02-28");
+    }
+
+    #[test]
+    fn cast_chain() {
+        let b = Bat::Int(vec![3, NULL_I32]);
+        let d = cast(&b, LogicalType::Decimal { width: 18, scale: 2 }).unwrap();
+        assert_eq!(d.get(0), Value::Decimal(monetlite_types::Decimal::new(300, 2)));
+        assert_eq!(d.get(1), Value::Null);
+        let f = cast(&d, LogicalType::Double).unwrap();
+        assert_eq!(f.get(0), Value::Double(3.0));
+        assert_eq!(f.get(1), Value::Null);
+    }
+
+    #[test]
+    fn varchar_comparison_and_nulls() {
+        let col = Bat::from_buffer(&ColumnBuffer::Varchar(vec![
+            Some("apple".into()),
+            None,
+            Some("pear".into()),
+        ]));
+        let b = cmp_const(CmpOp::Eq, &col, &Value::Str("pear".into())).unwrap();
+        assert_eq!(bool_to_sel(&b).unwrap(), vec![2]);
+        assert_eq!(b.get(1), Value::Null);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_like_percent_always_matches(s in ".{0,30}") {
+            prop_assert!(like_match(&s, "%"));
+        }
+
+        #[test]
+        fn prop_like_exact_match(s in "[a-z]{0,20}") {
+            prop_assert!(like_match(&s, &s));
+        }
+
+        #[test]
+        fn prop_like_contains(hay in "[a-z]{0,10}", needle in "[a-z]{1,4}") {
+            let s = format!("{hay}{needle}{hay}");
+            let pat = format!("%{needle}%");
+            prop_assert!(like_match(&s, &pat));
+        }
+
+        #[test]
+        fn prop_cmp_matches_scalar(a in proptest::collection::vec(-50i32..50, 1..40), k in -50i32..50) {
+            let col = Bat::Int(a.clone());
+            let b = cmp_const(CmpOp::Lt, &col, &Value::Int(k)).unwrap();
+            let sel = bool_to_sel(&b).unwrap();
+            let expect: Vec<u32> = a.iter().enumerate().filter(|(_, &x)| x < k).map(|(i, _)| i as u32).collect();
+            prop_assert_eq!(sel, expect);
+        }
+
+        #[test]
+        fn prop_arith_add_matches_scalar(a in proptest::collection::vec(-1000i64..1000, 1..40)) {
+            let l = Bat::Bigint(a.clone());
+            let r = Bat::Bigint(a.iter().map(|x| x * 2).collect());
+            let out = arith(ArithOp::Add, &l, &r, LogicalType::Bigint).unwrap();
+            for (i, &x) in a.iter().enumerate() {
+                prop_assert_eq!(out.get(i), Value::Bigint(x * 3));
+            }
+        }
+    }
+}

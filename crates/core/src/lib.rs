@@ -1,0 +1,981 @@
+//! # monetlite — an embedded analytical database
+//!
+//! A Rust reproduction of **MonetDBLite** (Raasveldt & Mühleisen, CIKM'18):
+//! an in-process, columnar, OLAP-oriented database with zero-copy data
+//! transfer to the host "analytical environment".
+//!
+//! ```
+//! use monetlite::Database;
+//!
+//! let db = Database::open_in_memory();          // monetdb_startup(NULL)
+//! let mut conn = db.connect();                  // monetdb_connect()
+//! conn.execute("CREATE TABLE t (a INT, b VARCHAR(10))").unwrap();
+//! conn.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+//! let result = conn.query("SELECT a, b FROM t WHERE a > 1").unwrap();
+//! assert_eq!(result.nrows(), 1);
+//! ```
+//!
+//! Architecture (paper §3):
+//! * [`monetlite_storage`] — BAT columns, string heaps with duplicate
+//!   elimination, vmem paging, WAL, optimistic-concurrency catalog.
+//! * [`bind`] / [`plan`] / [`opt`] — SQL → relational algebra → optimized
+//!   plan (filter/projection push-down, join ordering, decorrelation).
+//! * [`exec`] — column-at-a-time execution with candidate lists, automatic
+//!   indexes (imprints, hash tables, order index) and mitosis parallelism.
+//! * [`mal`] — EXPLAIN rendering in MAL form.
+//! * [`host`] — the embedding boundary: zero-copy, eager and lazy result
+//!   transfer into host-native arrays (§3.3).
+
+pub mod agg;
+pub mod bind;
+pub mod exec;
+pub mod expr;
+pub mod host;
+pub mod join;
+pub mod kernels;
+pub mod mal;
+pub mod opt;
+pub mod plan;
+pub mod rows;
+pub mod sort;
+
+use bind::{Binder, CatalogAccess};
+use exec::{ExecContext, ExecOptions, TableProvider};
+use monetlite_sql::ast;
+use monetlite_storage::catalog::{CatalogSnapshot, TableMeta};
+use monetlite_storage::store::{Store, StoreOptions, TxWrites};
+use monetlite_storage::wal::WalRecord;
+use monetlite_storage::Bat;
+use monetlite_types::{
+    ColumnBuffer, Field, LogicalType, MlError, Result, Schema, Value,
+};
+use opt::OptFlags;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+pub use exec::Chunk;
+pub use monetlite_storage as storage;
+pub use monetlite_storage::VmemStats;
+pub use monetlite_types as types;
+
+/// Database configuration.
+#[derive(Debug, Clone)]
+pub struct DbOptions {
+    /// Database directory (None = in-memory; paper §3.2: "If no directory
+    /// is provided, MonetDBLite will be launched in an in-memory only
+    /// mode").
+    pub path: Option<PathBuf>,
+    /// vmem resident budget (simulated OS memory for column data).
+    pub vmem_budget: usize,
+    /// WAL bytes triggering auto-checkpoint.
+    pub wal_autocheckpoint: u64,
+    /// Execution defaults for new connections.
+    pub exec: ExecOptions,
+    /// Optimizer switches.
+    pub opt_flags: OptFlags,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            path: None,
+            vmem_budget: usize::MAX,
+            wal_autocheckpoint: 64 << 20,
+            exec: ExecOptions::default(),
+            opt_flags: OptFlags::default(),
+        }
+    }
+}
+
+/// An embedded database instance (the `monetdb_startup` handle). Unlike
+/// the original MonetDBLite — whose global state limited it to one
+/// database per process (paper §3.4/§5) — any number of `Database` values
+/// can coexist.
+pub struct Database {
+    store: Arc<Store>,
+    opts: DbOptions,
+}
+
+impl Database {
+    /// In-memory database: nothing is persisted, everything is discarded
+    /// on drop.
+    pub fn open_in_memory() -> Database {
+        Database { store: Arc::new(Store::in_memory()), opts: DbOptions::default() }
+    }
+
+    /// Open (or create) a persistent database in `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        Self::open_with(DbOptions {
+            path: Some(dir.as_ref().to_path_buf()),
+            ..Default::default()
+        })
+    }
+
+    /// Open with full configuration.
+    pub fn open_with(opts: DbOptions) -> Result<Database> {
+        let store = Arc::new(Store::open(StoreOptions {
+            path: opts.path.clone(),
+            vmem_budget: opts.vmem_budget,
+            wal_autocheckpoint: opts.wal_autocheckpoint,
+        })?);
+        Ok(Database { store, opts })
+    }
+
+    /// Create a connection ("dummy clients that only hold a query context",
+    /// §3.2). Connections are independent and provide transaction
+    /// isolation between each other.
+    pub fn connect(&self) -> Connection {
+        Connection {
+            store: self.store.clone(),
+            exec_opts: self.opts.exec,
+            opt_flags: self.opts.opt_flags,
+            txn: None,
+        }
+    }
+
+    /// Force a checkpoint (columns to disk, WAL truncated).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.store.checkpoint()
+    }
+
+    /// Paging statistics of the vmem simulation.
+    pub fn vmem_stats(&self) -> VmemStats {
+        self.store.vmem().stats()
+    }
+
+    /// The underlying store (tests / benches).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query results
+// ---------------------------------------------------------------------------
+
+/// A columnar query result (the `monetdb_result` object of §3.2).
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    names: Vec<String>,
+    types: Vec<LogicalType>,
+    cols: Vec<Arc<Bat>>,
+    rows: usize,
+    rows_affected: u64,
+}
+
+impl QueryResult {
+    fn empty(rows_affected: u64) -> QueryResult {
+        QueryResult { names: vec![], types: vec![], cols: vec![], rows: 0, rows_affected }
+    }
+
+    /// Number of result rows (`nrows`).
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of result columns (`ncols`).
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Rows affected by DML (0 for queries).
+    pub fn rows_affected(&self) -> u64 {
+        self.rows_affected
+    }
+
+    /// Column names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Column types.
+    pub fn types(&self) -> &[LogicalType] {
+        &self.types
+    }
+
+    /// Low-level fetch (§3.2): the underlying column structure without any
+    /// conversion — an `Arc` clone, O(1), never copies data.
+    pub fn col_shared(&self, i: usize) -> Arc<Bat> {
+        self.cols[i].clone()
+    }
+
+    /// Cell access as a dynamic value (spot checks, wire protocol).
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.cols[col].get(row)
+    }
+
+    /// High-level fetch (§3.2): convert every column into the simple host
+    /// buffer representation (always copies).
+    pub fn to_buffers(&self) -> Vec<ColumnBuffer> {
+        self.cols.iter().map(|c| c.to_buffer(None)).collect()
+    }
+
+    /// One row as values (tests).
+    pub fn row(&self, r: usize) -> Vec<Value> {
+        (0..self.ncols()).map(|c| self.value(r, c)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connections and transactions
+// ---------------------------------------------------------------------------
+
+struct ActiveTxn {
+    /// The catalog snapshot this transaction reads (snapshot isolation).
+    base: Arc<CatalogSnapshot>,
+    /// Effective table map: snapshot plus this transaction's own writes.
+    tables: HashMap<String, Arc<TableMeta>>,
+    /// Writes to submit at commit.
+    writes: TxWrites,
+    /// Temp id allocator for in-transaction creates.
+    next_temp_id: u64,
+    /// Started by explicit BEGIN (vs autocommit wrapper).
+    explicit: bool,
+}
+
+/// A connection: holds the per-query context and transaction state.
+pub struct Connection {
+    store: Arc<Store>,
+    exec_opts: ExecOptions,
+    opt_flags: OptFlags,
+    txn: Option<ActiveTxn>,
+}
+
+/// The transaction's catalog view, usable by the binder, the optimizer's
+/// stats and the executor.
+struct TxnView<'a> {
+    tables: &'a HashMap<String, Arc<TableMeta>>,
+}
+
+impl CatalogAccess for TxnView<'_> {
+    fn table_schema(&self, name: &str) -> Result<Schema> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .map(|t| t.schema.clone())
+            .ok_or_else(|| MlError::Catalog(format!("unknown table '{name}'")))
+    }
+}
+
+impl TableProvider for TxnView<'_> {
+    fn table_meta(&self, name: &str) -> Result<Arc<TableMeta>> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| MlError::Catalog(format!("unknown table '{name}'")))
+    }
+}
+
+impl opt::Stats for TxnView<'_> {
+    fn table_rows(&self, name: &str) -> usize {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .map_or(1000, |t| t.data.visible_rows().max(1))
+    }
+}
+
+impl Connection {
+    /// Override execution options (threads, index flags, timeout...).
+    pub fn set_exec_options(&mut self, opts: ExecOptions) {
+        self.exec_opts = opts;
+    }
+
+    /// Current execution options.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec_opts
+    }
+
+    /// Override optimizer flags (ablation benches).
+    pub fn set_opt_flags(&mut self, flags: OptFlags) {
+        self.opt_flags = flags;
+    }
+
+    /// Execute one SQL statement, returning its full result
+    /// (`monetdb_query`).
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = monetlite_sql::parse_statement(sql)?;
+        self.run_statement(stmt)
+    }
+
+    /// Execute one statement for its side effect; returns rows affected.
+    pub fn execute(&mut self, sql: &str) -> Result<u64> {
+        Ok(self.query(sql)?.rows_affected())
+    }
+
+    /// Execute a `;`-separated script, returning the last statement's
+    /// result.
+    pub fn run_script(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmts = monetlite_sql::parse_statements(sql)?;
+        let mut last = QueryResult::empty(0);
+        for s in stmts {
+            last = self.run_statement(s)?;
+        }
+        Ok(last)
+    }
+
+    /// Bulk append host buffers to a table (`monetdb_append`, §3.2): one
+    /// pass, no per-row INSERT parsing — "significant overhead involved in
+    /// parsing individual INSERT INTO statements".
+    pub fn append(&mut self, table: &str, cols: Vec<ColumnBuffer>) -> Result<()> {
+        let implicit = self.ensure_txn();
+        let r = self.append_inner(table, cols);
+        self.finish_implicit(implicit, r.is_ok())?;
+        r
+    }
+
+    fn append_inner(&mut self, table: &str, cols: Vec<ColumnBuffer>) -> Result<()> {
+        let table = table.to_ascii_lowercase();
+        let schema = {
+            let txn = self.txn.as_ref().expect("txn ensured");
+            let view = TxnView { tables: &txn.tables };
+            view.table_schema(&table)?
+        };
+        if cols.len() != schema.len() {
+            return Err(MlError::Execution(format!(
+                "append expects {} columns, got {}",
+                schema.len(),
+                cols.len()
+            )));
+        }
+        for (f, c) in schema.fields().iter().zip(&cols) {
+            if !f.nullable && c.null_count() > 0 {
+                return Err(MlError::Execution(format!(
+                    "NULL in NOT NULL column '{}'",
+                    f.name
+                )));
+            }
+        }
+        let bats: Vec<Bat> = cols.iter().map(Bat::from_buffer).collect();
+        self.apply_write(WalRecord::Append { table, cols: bats })
+    }
+
+    /// BEGIN a transaction explicitly.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.txn.as_ref().is_some_and(|t| t.explicit) {
+            return Err(MlError::TransactionState("transaction already open".into()));
+        }
+        self.start_txn(true);
+        Ok(())
+    }
+
+    /// COMMIT the open transaction (optimistic validation happens here; a
+    /// write-write conflict aborts with [`MlError::TransactionConflict`]).
+    pub fn commit(&mut self) -> Result<()> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| MlError::TransactionState("no transaction open".into()))?;
+        self.store.commit(txn.writes)
+    }
+
+    /// ROLLBACK the open transaction.
+    pub fn rollback(&mut self) -> Result<()> {
+        if self.txn.take().is_none() {
+            return Err(MlError::TransactionState("no transaction open".into()));
+        }
+        Ok(())
+    }
+
+    fn start_txn(&mut self, explicit: bool) {
+        let snapshot = self.store.snapshot();
+        self.txn = Some(ActiveTxn {
+            tables: snapshot.tables.clone(),
+            base: snapshot,
+            writes: TxWrites::default(),
+            next_temp_id: u64::MAX / 2,
+            explicit,
+        });
+    }
+
+    /// Ensure a transaction exists; returns true when an implicit one was
+    /// opened (autocommit).
+    fn ensure_txn(&mut self) -> bool {
+        if self.txn.is_none() {
+            self.start_txn(false);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn finish_implicit(&mut self, implicit: bool, ok: bool) -> Result<()> {
+        if !implicit {
+            return Ok(());
+        }
+        let txn = self.txn.take().expect("implicit txn present");
+        if ok {
+            self.store.commit(txn.writes)
+        } else {
+            Ok(()) // failed statement: discard
+        }
+    }
+
+    /// Record a write op: apply to the transaction-local view (so later
+    /// statements see it) and queue for commit.
+    fn apply_write(&mut self, op: WalRecord) -> Result<()> {
+        let txn = self.txn.as_mut().expect("txn ensured");
+        // Base-version bookkeeping for conflict detection.
+        let target = match &op {
+            WalRecord::Append { table, .. }
+            | WalRecord::Delete { table, .. }
+            | WalRecord::CreateOrderIndex { table, .. } => Some(table.clone()),
+            WalRecord::DropTable { name } => Some(name.clone()),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if let Some(meta) = txn.base.tables.get(&t) {
+                txn.writes.base_versions.entry(t).or_insert(meta.version);
+            }
+        }
+        monetlite_storage::store::apply_record(&mut txn.tables, &op, &mut txn.next_temp_id)?;
+        txn.writes.ops.push(op);
+        Ok(())
+    }
+
+    fn run_statement(&mut self, stmt: ast::Statement) -> Result<QueryResult> {
+        match stmt {
+            ast::Statement::Begin => {
+                self.begin()?;
+                Ok(QueryResult::empty(0))
+            }
+            ast::Statement::Commit => {
+                self.commit()?;
+                Ok(QueryResult::empty(0))
+            }
+            ast::Statement::Rollback => {
+                self.rollback()?;
+                Ok(QueryResult::empty(0))
+            }
+            other => {
+                let implicit = self.ensure_txn();
+                let r = self.run_in_txn(other);
+                self.finish_implicit(implicit, r.is_ok())?;
+                r
+            }
+        }
+    }
+
+    fn run_in_txn(&mut self, stmt: ast::Statement) -> Result<QueryResult> {
+        match stmt {
+            ast::Statement::Select(sel) => self.run_select(&sel),
+            ast::Statement::Explain(inner) => self.run_explain(*inner),
+            ast::Statement::CreateTable { name, columns } => {
+                let fields: Vec<Field> = columns
+                    .iter()
+                    .map(|c| {
+                        if c.nullable {
+                            Field::new(&c.name, c.ty)
+                        } else {
+                            Field::not_null(&c.name, c.ty)
+                        }
+                    })
+                    .collect();
+                let schema = Schema::new(fields)?;
+                self.apply_write(WalRecord::CreateTable {
+                    name: name.to_ascii_lowercase(),
+                    schema,
+                })?;
+                Ok(QueryResult::empty(0))
+            }
+            ast::Statement::DropTable { name, if_exists } => {
+                let lname = name.to_ascii_lowercase();
+                let exists =
+                    self.txn.as_ref().expect("txn").tables.contains_key(&lname);
+                if !exists {
+                    if if_exists {
+                        return Ok(QueryResult::empty(0));
+                    }
+                    return Err(MlError::Catalog(format!("unknown table '{name}'")));
+                }
+                self.apply_write(WalRecord::DropTable { name: lname })?;
+                Ok(QueryResult::empty(0))
+            }
+            ast::Statement::Insert { table, columns, rows } => {
+                self.run_insert(&table, columns.as_deref(), &rows)
+            }
+            ast::Statement::Delete { table, filter } => self.run_delete(&table, filter.as_ref()),
+            ast::Statement::Update { table, sets, filter } => {
+                self.run_update(&table, &sets, filter.as_ref())
+            }
+            ast::Statement::CreateIndex { table, column, ordered, .. } => {
+                let lname = table.to_ascii_lowercase();
+                let (col_idx, meta) = {
+                    let txn = self.txn.as_ref().expect("txn");
+                    let meta = TxnView { tables: &txn.tables }.table_meta(&lname)?;
+                    let idx = meta.schema.index_of(&column).ok_or_else(|| {
+                        MlError::Catalog(format!("unknown column '{column}'"))
+                    })?;
+                    (idx, meta)
+                };
+                if ordered {
+                    self.apply_write(WalRecord::CreateOrderIndex {
+                        table: lname,
+                        col: col_idx as u32,
+                    })?;
+                    // Build eagerly so later statements in this txn use it.
+                    let entry = meta.data.cols[col_idx].entry()?;
+                    let _ = entry.order_index()?;
+                } else {
+                    // Plain CREATE INDEX: MonetDB builds indexes
+                    // automatically; treat as a hint and build the hash
+                    // table now.
+                    let entry = meta.data.cols[col_idx].entry()?;
+                    let _ = entry.hash_index()?;
+                }
+                Ok(QueryResult::empty(0))
+            }
+            ast::Statement::Begin | ast::Statement::Commit | ast::Statement::Rollback => {
+                unreachable!("handled in run_statement")
+            }
+        }
+    }
+
+    fn run_select(&mut self, sel: &ast::SelectStmt) -> Result<QueryResult> {
+        let txn = self.txn.as_ref().expect("txn");
+        let view = TxnView { tables: &txn.tables };
+        let plan = Binder::new(&view).bind_select(sel)?;
+        let plan = opt::optimize(plan, self.opt_flags, &view, &view)?;
+        let ctx = ExecContext::new(&view, self.exec_opts);
+        let chunk = exec::execute(&plan, &ctx)?;
+        let names: Vec<String> = plan.schema().iter().map(|c| c.name.clone()).collect();
+        let types: Vec<LogicalType> = plan.schema().iter().map(|c| c.ty).collect();
+        Ok(QueryResult { names, types, cols: chunk.cols, rows: chunk.rows, rows_affected: 0 })
+    }
+
+    fn run_explain(&mut self, stmt: ast::Statement) -> Result<QueryResult> {
+        let ast::Statement::Select(sel) = stmt else {
+            return Err(MlError::Unsupported("EXPLAIN is only supported for SELECT".into()));
+        };
+        let txn = self.txn.as_ref().expect("txn");
+        let view = TxnView { tables: &txn.tables };
+        let plan = Binder::new(&view).bind_select(&sel)?;
+        let plan = opt::optimize(plan, self.opt_flags, &view, &view)?;
+        let text = mal::explain(&plan, &self.exec_opts);
+        let lines: Vec<Option<String>> = text.lines().map(|l| Some(l.to_string())).collect();
+        let rows = lines.len();
+        Ok(QueryResult {
+            names: vec!["mal".into()],
+            types: vec![LogicalType::Varchar],
+            cols: vec![Arc::new(Bat::from_buffer(&ColumnBuffer::Varchar(lines)))],
+            rows,
+            rows_affected: 0,
+        })
+    }
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<ast::Expr>],
+    ) -> Result<QueryResult> {
+        let lname = table.to_ascii_lowercase();
+        let schema = {
+            let txn = self.txn.as_ref().expect("txn");
+            TxnView { tables: &txn.tables }.table_schema(&lname)?
+        };
+        // Map provided columns to schema positions.
+        let positions: Vec<usize> = match columns {
+            None => (0..schema.len()).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    schema
+                        .index_of(c)
+                        .ok_or_else(|| MlError::Catalog(format!("unknown column '{c}'")))
+                })
+                .collect::<Result<_>>()?,
+        };
+        let mut bats: Vec<Bat> = schema.fields().iter().map(|f| Bat::new(f.ty)).collect();
+        let binder_scope = bind::Scope::default();
+        let view_catalog = EmptyCatalog;
+        let binder = Binder::new(&view_catalog);
+        for row in rows {
+            if row.len() != positions.len() {
+                return Err(MlError::Execution(format!(
+                    "INSERT expects {} values, got {}",
+                    positions.len(),
+                    row.len()
+                )));
+            }
+            let mut provided: HashMap<usize, Value> = HashMap::new();
+            for (expr, &pos) in row.iter().zip(&positions) {
+                let bound = binder.bind_expr(expr, &binder_scope)?;
+                if !bound.is_const() {
+                    return Err(MlError::Execution(
+                        "INSERT values must be constant expressions".into(),
+                    ));
+                }
+                let out = kernels::eval(&bound, &[], 1)?;
+                provided.insert(pos, out.get(0));
+            }
+            for (i, f) in schema.fields().iter().enumerate() {
+                let v = provided.remove(&i).unwrap_or(Value::Null);
+                if v.is_null() && !f.nullable {
+                    return Err(MlError::Execution(format!(
+                        "NULL in NOT NULL column '{}'",
+                        f.name
+                    )));
+                }
+                let v = coerce_value(v, f.ty)?;
+                bats[i].push(&v)?;
+            }
+        }
+        let n = rows.len() as u64;
+        self.apply_write(WalRecord::Append { table: lname, cols: bats })?;
+        Ok(QueryResult::empty(n))
+    }
+
+    /// Physical ids of visible rows matching `filter`.
+    fn matching_rows(&self, meta: &TableMeta, filter: Option<&ast::Expr>) -> Result<Vec<u32>> {
+        let txn = self.txn.as_ref().expect("txn");
+        let view = TxnView { tables: &txn.tables };
+        let deleted = meta.data.deleted.as_deref();
+        let visible = |r: u32| deleted.is_none_or(|d| !d[r as usize]);
+        match filter {
+            None => Ok((0..meta.data.rows as u32).filter(|&r| visible(r)).collect()),
+            Some(f) => {
+                let binder = Binder::new(&view);
+                let (pred, _) = binder.bind_table_expr(&meta.name, f)?;
+                let cols: Vec<Arc<Bat>> = meta
+                    .data
+                    .cols
+                    .iter()
+                    .map(|c| c.entry()?.bat())
+                    .collect::<Result<_>>()?;
+                let mask = kernels::eval(&pred, &cols, meta.data.rows)?;
+                let sel = kernels::bool_to_sel(&mask)?;
+                Ok(sel.into_iter().filter(|&r| visible(r)).collect())
+            }
+        }
+    }
+
+    fn run_delete(&mut self, table: &str, filter: Option<&ast::Expr>) -> Result<QueryResult> {
+        let lname = table.to_ascii_lowercase();
+        let meta = {
+            let txn = self.txn.as_ref().expect("txn");
+            TxnView { tables: &txn.tables }.table_meta(&lname)?
+        };
+        let rows = self.matching_rows(&meta, filter)?;
+        let n = rows.len() as u64;
+        if n > 0 {
+            self.apply_write(WalRecord::Delete { table: lname, rows })?;
+        }
+        Ok(QueryResult::empty(n))
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        sets: &[(String, ast::Expr)],
+        filter: Option<&ast::Expr>,
+    ) -> Result<QueryResult> {
+        // UPDATE = DELETE + APPEND of the updated rows (MonetDB's
+        // delta-based update model).
+        let lname = table.to_ascii_lowercase();
+        let meta = {
+            let txn = self.txn.as_ref().expect("txn");
+            TxnView { tables: &txn.tables }.table_meta(&lname)?
+        };
+        let rows = self.matching_rows(&meta, filter)?;
+        if rows.is_empty() {
+            return Ok(QueryResult::empty(0));
+        }
+        // Bind assignment expressions over the full table scope.
+        let mut set_exprs: HashMap<usize, expr::BExpr> = HashMap::new();
+        {
+            let txn = self.txn.as_ref().expect("txn");
+            let view = TxnView { tables: &txn.tables };
+            let binder = Binder::new(&view);
+            for (col, e) in sets {
+                let idx = meta
+                    .schema
+                    .index_of(col)
+                    .ok_or_else(|| MlError::Catalog(format!("unknown column '{col}'")))?;
+                let (bound, _) = binder.bind_table_expr(&meta.name, e)?;
+                let coerced = bind::cast_to(bound, meta.schema.field_at(idx).ty)?;
+                set_exprs.insert(idx, coerced);
+            }
+        }
+        // Gather the selected rows and compute new column values.
+        let full_cols: Vec<Arc<Bat>> = meta
+            .data
+            .cols
+            .iter()
+            .map(|c| c.entry()?.bat())
+            .collect::<Result<_>>()?;
+        let gathered: Vec<Arc<Bat>> =
+            full_cols.iter().map(|c| Arc::new(c.take(&rows))).collect();
+        let mut new_cols: Vec<Bat> = Vec::with_capacity(meta.schema.len());
+        for (i, f) in meta.schema.fields().iter().enumerate() {
+            match set_exprs.get(&i) {
+                Some(e) => {
+                    let b = kernels::eval(e, &gathered, rows.len())?;
+                    if !f.nullable && b.null_count() > 0 {
+                        return Err(MlError::Execution(format!(
+                            "NULL in NOT NULL column '{}'",
+                            f.name
+                        )));
+                    }
+                    new_cols.push(b);
+                }
+                None => new_cols.push((*gathered[i]).clone()),
+            }
+        }
+        let n = rows.len() as u64;
+        self.apply_write(WalRecord::Delete { table: lname.clone(), rows })?;
+        self.apply_write(WalRecord::Append { table: lname, cols: new_cols })?;
+        Ok(QueryResult::empty(n))
+    }
+}
+
+/// Catalog with no tables (INSERT literal binding).
+struct EmptyCatalog;
+
+impl CatalogAccess for EmptyCatalog {
+    fn table_schema(&self, name: &str) -> Result<Schema> {
+        Err(MlError::Catalog(format!("unknown table '{name}'")))
+    }
+}
+
+/// Coerce a literal value to a column type (INSERT path).
+fn coerce_value(v: Value, ty: LogicalType) -> Result<Value> {
+    use LogicalType as T;
+    Ok(match (&v, ty) {
+        (Value::Null, _) => Value::Null,
+        (Value::Int(_), T::Int)
+        | (Value::Bigint(_), T::Bigint)
+        | (Value::Double(_), T::Double)
+        | (Value::Str(_), T::Varchar)
+        | (Value::Bool(_), T::Bool)
+        | (Value::Date(_), T::Date)
+        | (Value::Decimal(_), T::Decimal { .. }) => match (v, ty) {
+            (Value::Decimal(d), T::Decimal { scale, .. }) => Value::Decimal(d.rescale(scale)?),
+            (v, _) => v,
+        },
+        (Value::Int(x), T::Bigint) => Value::Bigint(*x as i64),
+        (Value::Int(x), T::Double) => Value::Double(*x as f64),
+        (Value::Int(x), T::Decimal { scale, .. }) => {
+            Value::Decimal(monetlite_types::Decimal::new(*x as i64, 0).rescale(scale)?)
+        }
+        (Value::Bigint(x), T::Double) => Value::Double(*x as f64),
+        (Value::Decimal(d), T::Double) => Value::Double(d.to_f64()),
+        (Value::Str(s), T::Date) => Value::Date(monetlite_types::Date::parse(s)?),
+        (v, ty) => {
+            return Err(MlError::TypeMismatch(format!("cannot store {v:?} in {ty} column")))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_t() -> (Database, Connection) {
+        let db = Database::open_in_memory();
+        let mut conn = db.connect();
+        conn.execute("CREATE TABLE t (a INT NOT NULL, b VARCHAR(20), p DECIMAL(10,2))")
+            .unwrap();
+        conn.execute(
+            "INSERT INTO t VALUES (1, 'one', 1.50), (2, 'two', 2.50), (3, NULL, 3.00)",
+        )
+        .unwrap();
+        (db, conn)
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let (_db, mut conn) = db_with_t();
+        let r = conn.query("SELECT a, b FROM t WHERE a >= 2 ORDER BY a DESC").unwrap();
+        assert_eq!(r.nrows(), 2);
+        assert_eq!(r.value(0, 0), Value::Int(3));
+        assert_eq!(r.value(1, 1), Value::Str("two".into()));
+        assert_eq!(r.names(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn aggregates_end_to_end() {
+        let (_db, mut conn) = db_with_t();
+        let r = conn
+            .query("SELECT count(*) AS c, sum(p) AS s, avg(a) AS m FROM t")
+            .unwrap();
+        assert_eq!(r.value(0, 0), Value::Bigint(3));
+        assert_eq!(r.value(0, 1), Value::Decimal(monetlite_types::Decimal::new(700, 2)));
+        assert_eq!(r.value(0, 2), Value::Double(2.0));
+    }
+
+    #[test]
+    fn group_by_end_to_end() {
+        let (_db, mut conn) = db_with_t();
+        conn.execute("INSERT INTO t VALUES (4, 'one', 0.50)").unwrap();
+        let r = conn
+            .query("SELECT b, count(*) AS c FROM t GROUP BY b ORDER BY c DESC, b")
+            .unwrap();
+        assert_eq!(r.nrows(), 3); // 'one' x2, 'two', NULL
+        assert_eq!(r.value(0, 1), Value::Bigint(2));
+        assert_eq!(r.value(0, 0), Value::Str("one".into()));
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let (_db, mut conn) = db_with_t();
+        assert_eq!(conn.execute("DELETE FROM t WHERE a = 2").unwrap(), 1);
+        let r = conn.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.value(0, 0), Value::Bigint(2));
+        assert_eq!(conn.execute("UPDATE t SET p = p * 2 WHERE a = 1").unwrap(), 1);
+        let r = conn.query("SELECT p FROM t WHERE a = 1").unwrap();
+        assert_eq!(r.value(0, 0).to_string(), "3.00");
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let (_db, mut conn) = db_with_t();
+        assert!(conn.execute("INSERT INTO t VALUES (NULL, 'x', 1.0)").is_err());
+        // Failed autocommit statement leaves no residue.
+        let r = conn.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.value(0, 0), Value::Bigint(3));
+    }
+
+    #[test]
+    fn explicit_transaction_rollback() {
+        let (_db, mut conn) = db_with_t();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("DELETE FROM t").unwrap();
+        let r = conn.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.value(0, 0), Value::Bigint(0), "txn sees its own deletes");
+        conn.execute("ROLLBACK").unwrap();
+        let r = conn.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.value(0, 0), Value::Bigint(3), "rollback discards");
+    }
+
+    #[test]
+    fn two_connections_conflict() {
+        let (db, mut c1) = db_with_t();
+        let mut c2 = db.connect();
+        c1.execute("BEGIN").unwrap();
+        c2.execute("BEGIN").unwrap();
+        c1.execute("DELETE FROM t WHERE a = 1").unwrap();
+        c2.execute("DELETE FROM t WHERE a = 3").unwrap();
+        c1.commit().unwrap();
+        match c2.commit() {
+            Err(MlError::TransactionConflict(_)) => {}
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_isolation_between_connections() {
+        let (db, mut c1) = db_with_t();
+        let mut c2 = db.connect();
+        c2.execute("BEGIN").unwrap();
+        let before = c2.query("SELECT count(*) FROM t").unwrap();
+        c1.execute("INSERT INTO t VALUES (9, 'nine', 9.00)").unwrap();
+        let after = c2.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(before.value(0, 0), after.value(0, 0), "snapshot must not move");
+        c2.commit().unwrap();
+        let now = c2.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(now.value(0, 0), Value::Bigint(4));
+    }
+
+    #[test]
+    fn explain_produces_mal() {
+        let (_db, mut conn) = db_with_t();
+        let r = conn.query("EXPLAIN SELECT a FROM t WHERE a > 1").unwrap();
+        let text: Vec<String> = (0..r.nrows()).map(|i| r.value(i, 0).to_string()).collect();
+        let joined = text.join("\n");
+        assert!(joined.contains("function user.main():void;"), "{joined}");
+        assert!(joined.contains("sql.bind"), "{joined}");
+    }
+
+    #[test]
+    fn zero_copy_shared_fetch() {
+        let (_db, mut conn) = db_with_t();
+        let r = conn.query("SELECT a FROM t").unwrap();
+        let c1 = r.col_shared(0);
+        let c2 = r.col_shared(0);
+        assert!(Arc::ptr_eq(&c1, &c2));
+    }
+
+    #[test]
+    fn append_api_bulk() {
+        let (_db, mut conn) = db_with_t();
+        conn.append(
+            "t",
+            vec![
+                ColumnBuffer::Int(vec![10, 11]),
+                ColumnBuffer::Varchar(vec![Some("x".into()), None]),
+                ColumnBuffer::Decimal { data: vec![100, 200], scale: 2 },
+            ],
+        )
+        .unwrap();
+        let r = conn.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.value(0, 0), Value::Bigint(5));
+        // NOT NULL violation rejected.
+        let e = conn.append(
+            "t",
+            vec![
+                ColumnBuffer::Int(vec![monetlite_types::nulls::NULL_I32]),
+                ColumnBuffer::Varchar(vec![None]),
+                ColumnBuffer::Decimal { data: vec![0], scale: 2 },
+            ],
+        );
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn persistent_database_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let db = Database::open(dir.path()).unwrap();
+            let mut conn = db.connect();
+            conn.execute("CREATE TABLE p (x INT, y VARCHAR(5))").unwrap();
+            conn.execute("INSERT INTO p VALUES (1, 'a'), (2, 'b')").unwrap();
+            db.checkpoint().unwrap();
+        }
+        let db = Database::open(dir.path()).unwrap();
+        let mut conn = db.connect();
+        let r = conn.query("SELECT y FROM p WHERE x = 2").unwrap();
+        assert_eq!(r.value(0, 0), Value::Str("b".into()));
+    }
+
+    #[test]
+    fn create_order_index_and_query() {
+        let (_db, mut conn) = db_with_t();
+        conn.execute("CREATE ORDER INDEX oi ON t (a)").unwrap();
+        let r = conn.query("SELECT b FROM t WHERE a = 2").unwrap();
+        assert_eq!(r.value(0, 0), Value::Str("two".into()));
+    }
+
+    #[test]
+    fn multiple_databases_same_process() {
+        // The paper lists one-database-per-process as a limitation (§5);
+        // the Rust design removes it.
+        let db1 = Database::open_in_memory();
+        let db2 = Database::open_in_memory();
+        let mut c1 = db1.connect();
+        let mut c2 = db2.connect();
+        c1.execute("CREATE TABLE only1 (a INT)").unwrap();
+        assert!(c2.query("SELECT * FROM only1").is_err());
+    }
+
+    #[test]
+    fn tpch_like_join_query() {
+        let db = Database::open_in_memory();
+        let mut conn = db.connect();
+        conn.run_script(
+            "CREATE TABLE nation (n_key INT, n_name VARCHAR(25));
+             CREATE TABLE customer (c_key INT, c_nation INT, c_acctbal DECIMAL(12,2));
+             INSERT INTO nation VALUES (1, 'FRANCE'), (2, 'GERMANY');
+             INSERT INTO customer VALUES (10, 1, 100.00), (11, 1, 50.00), (12, 2, 75.00);",
+        )
+        .unwrap();
+        let r = conn
+            .query(
+                "SELECT n_name, sum(c_acctbal) AS total FROM customer, nation \
+                 WHERE c_nation = n_key GROUP BY n_name ORDER BY total DESC",
+            )
+            .unwrap();
+        assert_eq!(r.nrows(), 2);
+        assert_eq!(r.value(0, 0), Value::Str("FRANCE".into()));
+        assert_eq!(r.value(0, 1).to_string(), "150.00");
+    }
+}

@@ -1,0 +1,297 @@
+//! MAL (Monet Assembly Language) program rendering for EXPLAIN.
+//!
+//! The engine executes the plan tree directly, but EXPLAIN presents it in
+//! the shape MonetDB users know: a straight-line program of column-at-a-
+//! time instructions over SSA registers (`X_n` value columns, `C_n`
+//! candidate lists), plus the mitosis annotation when the executor would
+//! parallelise (paper §3.1 *Parallel Execution*, Figure 2).
+
+use crate::exec::ExecOptions;
+use crate::expr::BExpr;
+use crate::plan::{PJoinKind, Plan};
+use std::fmt::Write;
+
+/// Render the full EXPLAIN text: relational tree + MAL program.
+pub fn explain(plan: &Plan, opts: &ExecOptions) -> String {
+    let mut out = String::new();
+    out.push_str("-- relational plan\n");
+    out.push_str(&plan.render());
+    out.push_str("-- MAL program\n");
+    out.push_str("function user.main():void;\n");
+    let mut r = Renderer { next: 0, out: String::new(), opts: *opts };
+    let regs = r.node(plan);
+    let _ = writeln!(r.out, "    sql.resultSet({});", regs.join(", "));
+    out.push_str(&r.out);
+    out.push_str("end user.main;\n");
+    out
+}
+
+struct Renderer {
+    next: usize,
+    out: String,
+    opts: ExecOptions,
+}
+
+impl Renderer {
+    fn reg(&mut self, prefix: &str) -> String {
+        self.next += 1;
+        format!("{prefix}_{}", self.next)
+    }
+
+    /// Emit instructions for a node; returns its output column registers.
+    fn node(&mut self, plan: &Plan) -> Vec<String> {
+        match plan {
+            Plan::Scan { table, projected, filters, schema } => {
+                let mut regs = Vec::new();
+                for (i, col) in projected.iter().enumerate() {
+                    let x = self.reg("X");
+                    let _ = writeln!(
+                        self.out,
+                        "    {x} := sql.bind(\"{table}\", \"{}\"); -- col {col}",
+                        schema[i].name
+                    );
+                    regs.push(x);
+                }
+                let mut cand: Option<String> = None;
+                for f in filters {
+                    let c = self.reg("C");
+                    let src = cand.clone().unwrap_or_else(|| "nil".into());
+                    let _ = writeln!(
+                        self.out,
+                        "    {c} := algebra.select({}, {src}, {});",
+                        regs.first().cloned().unwrap_or_else(|| "nil".into()),
+                        mal_expr(f)
+                    );
+                    cand = Some(c);
+                }
+                if let Some(c) = cand {
+                    let mut fetched = Vec::new();
+                    for r0 in &regs {
+                        let x = self.reg("X");
+                        let _ = writeln!(self.out, "    {x} := algebra.projection({c}, {r0});");
+                        fetched.push(x);
+                    }
+                    regs = fetched;
+                }
+                regs
+            }
+            Plan::Filter { input, pred } => {
+                let inregs = self.node(input);
+                let c = self.reg("C");
+                let _ = writeln!(self.out, "    {c} := algebra.select({});", mal_expr(pred));
+                inregs
+                    .iter()
+                    .map(|r0| {
+                        let x = self.reg("X");
+                        let _ = writeln!(self.out, "    {x} := algebra.projection({c}, {r0});");
+                        x
+                    })
+                    .collect()
+            }
+            Plan::Project { input, exprs, schema } => {
+                let inregs = self.node(input);
+                exprs
+                    .iter()
+                    .zip(schema)
+                    .map(|(e, c)| {
+                        let x = self.reg("X");
+                        let _ = writeln!(
+                            self.out,
+                            "    {x} := batcalc.compute({}); -- {}",
+                            mal_expr_over(e, &inregs),
+                            c.name
+                        );
+                        x
+                    })
+                    .collect()
+            }
+            Plan::Join { left, right, kind, left_keys, right_keys, .. } => {
+                let l = self.node(left);
+                let r = self.node(right);
+                let lc = self.reg("C");
+                let rc = self.reg("C");
+                let op = match kind {
+                    PJoinKind::Inner => "algebra.join",
+                    PJoinKind::Left => "algebra.leftjoin",
+                    PJoinKind::Semi => "algebra.semijoin",
+                    PJoinKind::Anti => "algebra.antijoin",
+                    PJoinKind::Cross => "algebra.crossproduct",
+                };
+                let keys: Vec<String> = left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(a, b)| format!("{}={}", mal_expr_over(a, &l), mal_expr_over(b, &r)))
+                    .collect();
+                let _ = writeln!(self.out, "    ({lc}, {rc}) := {op}({});", keys.join(", "));
+                let mut regs = Vec::new();
+                for r0 in &l {
+                    let x = self.reg("X");
+                    let _ = writeln!(self.out, "    {x} := algebra.projection({lc}, {r0});");
+                    regs.push(x);
+                }
+                if !matches!(kind, PJoinKind::Semi | PJoinKind::Anti) {
+                    for r0 in &r {
+                        let x = self.reg("X");
+                        let _ = writeln!(self.out, "    {x} := algebra.projection({rc}, {r0});");
+                        regs.push(x);
+                    }
+                }
+                regs
+            }
+            Plan::Aggregate { input, groups, aggs, .. } => {
+                let mitosis = self.opts.threads > 1 && groups.is_empty();
+                if mitosis {
+                    let _ = writeln!(
+                        self.out,
+                        "    -- mitosis: parallelizable prefix fans out over {} threads, packed before blocking aggregate",
+                        self.opts.threads
+                    );
+                }
+                let inregs = self.node(input);
+                let mut regs = Vec::new();
+                let (g, e, h) = (self.reg("G"), self.reg("E"), self.reg("H"));
+                if !groups.is_empty() {
+                    let keys: Vec<String> =
+                        groups.iter().map(|k| mal_expr_over(k, &inregs)).collect();
+                    let _ = writeln!(
+                        self.out,
+                        "    ({g}, {e}, {h}) := group.groupdone({});",
+                        keys.join(", ")
+                    );
+                    for k in groups {
+                        let x = self.reg("X");
+                        let _ = writeln!(
+                            self.out,
+                            "    {x} := algebra.projection({e}, {});",
+                            mal_expr_over(k, &inregs)
+                        );
+                        regs.push(x);
+                    }
+                }
+                for a in aggs {
+                    let x = self.reg("X");
+                    let blocking = matches!(a.func, crate::expr::PAggFunc::Median);
+                    let _ = writeln!(
+                        self.out,
+                        "    {x} := aggr.{}({}{}{});{}",
+                        a.func,
+                        a.arg.as_ref().map(|e| mal_expr_over(e, &inregs)).unwrap_or_default(),
+                        if groups.is_empty() { "" } else { ", " },
+                        if groups.is_empty() { String::new() } else { format!("{g}, {e}") },
+                        if blocking { " -- blocking" } else { "" }
+                    );
+                    regs.push(x);
+                }
+                regs
+            }
+            Plan::Sort { input, keys } => {
+                let inregs = self.node(input);
+                let o = self.reg("O");
+                let _ = writeln!(self.out, "    {o} := algebra.sort({keys:?});");
+                self.project_all(&inregs, &o)
+            }
+            Plan::TopN { input, keys, n } => {
+                let inregs = self.node(input);
+                let o = self.reg("O");
+                let _ = writeln!(self.out, "    {o} := algebra.firstn({n}, {keys:?});");
+                self.project_all(&inregs, &o)
+            }
+            Plan::Limit { input, n } => {
+                let inregs = self.node(input);
+                let o = self.reg("O");
+                let _ = writeln!(self.out, "    {o} := algebra.slice(0, {n});");
+                self.project_all(&inregs, &o)
+            }
+            Plan::Distinct { input } => {
+                let inregs = self.node(input);
+                let o = self.reg("O");
+                let _ = writeln!(self.out, "    {o} := group.unique();");
+                self.project_all(&inregs, &o)
+            }
+            Plan::Values { rows, schema } => schema
+                .iter()
+                .map(|c| {
+                    let x = self.reg("X");
+                    let _ = writeln!(
+                        self.out,
+                        "    {x} := bat.pack(\"{}\", {} row(s));",
+                        c.name,
+                        rows.len()
+                    );
+                    x
+                })
+                .collect(),
+        }
+    }
+
+    fn project_all(&mut self, inregs: &[String], cand: &str) -> Vec<String> {
+        inregs
+            .iter()
+            .map(|r0| {
+                let x = self.reg("X");
+                let _ = writeln!(self.out, "    {x} := algebra.projection({cand}, {r0});");
+                x
+            })
+            .collect()
+    }
+}
+
+fn mal_expr(e: &BExpr) -> String {
+    e.to_string()
+}
+
+fn mal_expr_over(e: &BExpr, regs: &[String]) -> String {
+    // Substitute register names for #n column references in the display.
+    let mut s = e.to_string();
+    for (i, r) in regs.iter().enumerate().rev() {
+        s = s.replace(&format!("#{i}"), r);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::OutCol;
+    use monetlite_types::LogicalType;
+
+    #[test]
+    fn explain_contains_mal_sections() {
+        let plan = Plan::Scan {
+            table: "t".into(),
+            projected: vec![0],
+            filters: vec![],
+            schema: vec![OutCol { name: "a".into(), ty: LogicalType::Int }],
+        };
+        let s = explain(&plan, &ExecOptions::default());
+        assert!(s.contains("-- relational plan"));
+        assert!(s.contains("function user.main():void;"));
+        assert!(s.contains("sql.bind(\"t\", \"a\")"));
+        assert!(s.contains("end user.main;"));
+    }
+
+    #[test]
+    fn mitosis_annotation_appears_with_threads() {
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::Scan {
+                table: "t".into(),
+                projected: vec![0],
+                filters: vec![],
+                schema: vec![OutCol { name: "i".into(), ty: LogicalType::Int }],
+            }),
+            groups: vec![],
+            aggs: vec![crate::expr::AggSpec {
+                func: crate::expr::PAggFunc::Median,
+                arg: Some(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                distinct: false,
+                ty: LogicalType::Double,
+            }],
+            schema: vec![OutCol { name: "m".into(), ty: LogicalType::Double }],
+        };
+        let par = explain(&plan, &ExecOptions { threads: 8, ..Default::default() });
+        assert!(par.contains("mitosis"), "{par}");
+        assert!(par.contains("blocking"), "{par}");
+        let seq = explain(&plan, &ExecOptions::default());
+        assert!(!seq.contains("mitosis"));
+    }
+}

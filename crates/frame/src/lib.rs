@@ -1,0 +1,672 @@
+//! # monetlite-frame
+//!
+//! The "analytical library" baseline of the paper's evaluation —
+//! data.table / dplyr / Pandas / Julia DataFrames rolled into one eager,
+//! fully materialising, in-memory dataframe library.
+//!
+//! Two properties drive its Table 1 behaviour, and both are reproduced
+//! here deliberately:
+//!
+//! * operations are **vectorised but eager**: every op allocates its full
+//!   output (and its intermediates) immediately, which makes single-table
+//!   scans/aggregations fast (the libraries beat the DBs on Q1/Q6)…
+//! * …but "these libraries require not only the entire dataset to fit in
+//!   memory, but also require any intermediates created while processing
+//!   to fit in memory" (§4.2). Every allocation is charged against a
+//!   [`Session`] budget; exceeding it raises [`MlError::OutOfMemory`] —
+//!   the "E" entries of Table 1 at SF10.
+//!
+//! There is no query optimizer: the *caller* hand-optimises join order and
+//! pushdowns, exactly as the paper did for its library scripts ("we
+//! manually perform the high-level optimizations performed by a RDBMS").
+
+pub mod ops;
+
+use monetlite_types::{ColumnBuffer, LogicalType, MlError, Result, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Tracks live bytes against a budget; shared by every frame of a
+/// session.
+pub struct MemTracker {
+    used: AtomicUsize,
+    peak: AtomicUsize,
+    budget: usize,
+}
+
+impl MemTracker {
+    fn reserve(self: &Arc<Self>, bytes: usize) -> Result<Reservation> {
+        let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
+        let now = prev + bytes;
+        if now > self.budget {
+            // The failed allocation is rolled back before it ever becomes
+            // observable as resident memory (malloc failed, nothing
+            // mapped) — the peak only tracks successful reservations.
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(MlError::OutOfMemory { requested: bytes, budget: self.budget });
+        }
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        Ok(Reservation { tracker: self.clone(), bytes })
+    }
+}
+
+/// RAII accounting for one frame's memory.
+pub struct Reservation {
+    tracker: Arc<MemTracker>,
+    bytes: usize,
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.tracker.used.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+/// A library session: the budget under which all frames live.
+#[derive(Clone)]
+pub struct Session {
+    tracker: Arc<MemTracker>,
+}
+
+impl Session {
+    /// Unlimited session.
+    pub fn unlimited() -> Session {
+        Session::with_budget(usize::MAX)
+    }
+
+    /// Session with a byte budget (the machine's RAM in the paper's SF10
+    /// experiment).
+    pub fn with_budget(budget: usize) -> Session {
+        Session {
+            tracker: Arc::new(MemTracker {
+                used: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+                budget,
+            }),
+        }
+    }
+
+    /// Build a frame from columns (charged against the budget).
+    pub fn frame(
+        &self,
+        names: Vec<impl Into<String>>,
+        cols: Vec<ColumnBuffer>,
+    ) -> Result<DataFrame> {
+        let names: Vec<String> = names.into_iter().map(|n| n.into().to_lowercase()).collect();
+        if names.len() != cols.len() {
+            return Err(MlError::Execution("frame arity mismatch".into()));
+        }
+        let rows = cols.first().map_or(0, |c| c.len());
+        if cols.iter().any(|c| c.len() != rows) {
+            return Err(MlError::Execution("frame columns have unequal lengths".into()));
+        }
+        let bytes: usize = cols.iter().map(|c| c.size_bytes()).sum();
+        let reservation = self.tracker.reserve(bytes)?;
+        Ok(DataFrame { session: self.clone(), names, cols, rows, _reservation: reservation })
+    }
+
+    /// Live bytes.
+    pub fn mem_used(&self) -> usize {
+        self.tracker.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark.
+    pub fn mem_peak(&self) -> usize {
+        self.tracker.peak.load(Ordering::Relaxed)
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> usize {
+        self.tracker.budget
+    }
+}
+
+/// Aggregations for [`DataFrame::group_by`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    /// Sum (f64 accumulation — what R/pandas do).
+    Sum,
+    /// Mean.
+    Mean,
+    /// Non-null count.
+    Count,
+    /// Row count (ignores the column).
+    CountStar,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Median.
+    Median,
+    /// First value per group (dplyr's `first`).
+    First,
+}
+
+/// Join types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinHow {
+    /// Inner join.
+    Inner,
+    /// Left outer join.
+    Left,
+    /// Semi join (filtering join).
+    Semi,
+    /// Anti join.
+    Anti,
+}
+
+/// An eager, fully materialised data frame.
+pub struct DataFrame {
+    session: Session,
+    names: Vec<String>,
+    cols: Vec<ColumnBuffer>,
+    rows: usize,
+    _reservation: Reservation,
+}
+
+impl DataFrame {
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Column by name.
+    pub fn col(&self, name: &str) -> Result<&ColumnBuffer> {
+        let lower = name.to_lowercase();
+        self.names
+            .iter()
+            .position(|n| *n == lower)
+            .map(|i| &self.cols[i])
+            .ok_or_else(|| MlError::Catalog(format!("unknown column '{name}'")))
+    }
+
+    /// Cell accessor (tests and result checking).
+    pub fn get(&self, row: usize, name: &str) -> Result<Value> {
+        Ok(self.col(name)?.get(row))
+    }
+
+    /// The session this frame belongs to.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// All columns (for export paths).
+    pub fn columns(&self) -> &[ColumnBuffer] {
+        &self.cols
+    }
+
+    /// Keep only the named columns.
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame> {
+        let mut out_names = Vec::with_capacity(names.len());
+        let mut out_cols = Vec::with_capacity(names.len());
+        for n in names {
+            out_names.push(n.to_lowercase());
+            out_cols.push(self.col(n)?.clone());
+        }
+        self.session.frame(out_names, out_cols)
+    }
+
+    /// Attach/overwrite a column.
+    pub fn with_column(&self, name: &str, col: ColumnBuffer) -> Result<DataFrame> {
+        if col.len() != self.rows {
+            return Err(MlError::Execution("column length mismatch".into()));
+        }
+        let lower = name.to_lowercase();
+        let mut names = self.names.clone();
+        let mut cols = self.cols.clone();
+        match names.iter().position(|n| *n == lower) {
+            Some(i) => cols[i] = col,
+            None => {
+                names.push(lower);
+                cols.push(col);
+            }
+        }
+        self.session.frame(names, cols)
+    }
+
+    /// Keep rows where `mask` is true (allocates the filtered copy).
+    pub fn filter(&self, mask: &[bool]) -> Result<DataFrame> {
+        if mask.len() != self.rows {
+            return Err(MlError::Execution("mask length mismatch".into()));
+        }
+        let idx: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i as u32)
+            .collect();
+        self.take(&idx)
+    }
+
+    /// Gather rows by index.
+    pub fn take(&self, idx: &[u32]) -> Result<DataFrame> {
+        let cols: Vec<ColumnBuffer> = self.cols.iter().map(|c| c.take(idx)).collect();
+        self.session.frame(self.names.clone(), cols)
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> Result<DataFrame> {
+        let idx: Vec<u32> = (0..n.min(self.rows) as u32).collect();
+        self.take(&idx)
+    }
+
+    /// Hash join. Output columns: left columns then right columns (minus
+    /// right key columns and name clashes, dplyr-style).
+    pub fn join(
+        &self,
+        right: &DataFrame,
+        left_on: &[&str],
+        right_on: &[&str],
+        how: JoinHow,
+    ) -> Result<DataFrame> {
+        if left_on.len() != right_on.len() || left_on.is_empty() {
+            return Err(MlError::Execution("join keys must align".into()));
+        }
+        let lkeys: Vec<&ColumnBuffer> =
+            left_on.iter().map(|n| self.col(n)).collect::<Result<_>>()?;
+        let rkeys: Vec<&ColumnBuffer> =
+            right_on.iter().map(|n| right.col(n)).collect::<Result<_>>()?;
+        // Build side: the hash table is an intermediate that must fit in
+        // memory — charge it.
+        let build_bytes = right.rows * (16 + 8 * rkeys.len());
+        let _build = self.session.tracker.reserve(build_bytes)?;
+        let mut table: HashMap<String, Vec<u32>> = HashMap::with_capacity(right.rows);
+        for r in 0..right.rows {
+            let key = composite_key(&rkeys, r);
+            let Some(key) = key else { continue };
+            table.entry(key).or_default().push(r as u32);
+        }
+        let mut lsel: Vec<u32> = Vec::new();
+        let mut rsel: Vec<u32> = Vec::new();
+        const NO_ROW: u32 = u32::MAX;
+        for l in 0..self.rows {
+            let key = composite_key(&lkeys, l);
+            let matches: Option<&Vec<u32>> = key.as_ref().and_then(|k| table.get(k));
+            match how {
+                JoinHow::Inner => {
+                    if let Some(ms) = matches {
+                        for &r in ms {
+                            lsel.push(l as u32);
+                            rsel.push(r);
+                        }
+                    }
+                }
+                JoinHow::Left => match matches {
+                    Some(ms) => {
+                        for &r in ms {
+                            lsel.push(l as u32);
+                            rsel.push(r);
+                        }
+                    }
+                    None => {
+                        lsel.push(l as u32);
+                        rsel.push(NO_ROW);
+                    }
+                },
+                JoinHow::Semi => {
+                    if matches.is_some_and(|m| !m.is_empty()) {
+                        lsel.push(l as u32);
+                    }
+                }
+                JoinHow::Anti => {
+                    if matches.is_none_or(|m| m.is_empty()) {
+                        lsel.push(l as u32);
+                    }
+                }
+            }
+        }
+        let mut names = self.names.clone();
+        let mut cols: Vec<ColumnBuffer> = self.cols.iter().map(|c| c.take(&lsel)).collect();
+        if matches!(how, JoinHow::Inner | JoinHow::Left) {
+            let right_keyset: Vec<String> =
+                right_on.iter().map(|n| n.to_lowercase()).collect();
+            for (n, c) in right.names.iter().zip(&right.cols) {
+                if right_keyset.contains(n) || names.contains(n) {
+                    continue;
+                }
+                names.push(n.clone());
+                cols.push(take_padded(c, &rsel));
+            }
+        }
+        self.session.frame(names, cols)
+    }
+
+    /// Grouped aggregation. `aggs`: (input column, op, output name).
+    pub fn group_by(&self, keys: &[&str], aggs: &[(&str, AggOp, &str)]) -> Result<DataFrame> {
+        let key_cols: Vec<&ColumnBuffer> =
+            keys.iter().map(|n| self.col(n)).collect::<Result<_>>()?;
+        // The grouping hash table is a charged intermediate.
+        let _groups_mem = self.session.tracker.reserve(self.rows * 24)?;
+        let mut table: HashMap<String, u32> = HashMap::new();
+        let mut group_ids: Vec<u32> = Vec::with_capacity(self.rows);
+        let mut repr: Vec<u32> = Vec::new();
+        for r in 0..self.rows {
+            let key = composite_key_nulls(&key_cols, r);
+            let next = repr.len() as u32;
+            let gid = *table.entry(key).or_insert_with(|| {
+                repr.push(r as u32);
+                next
+            });
+            group_ids.push(gid);
+        }
+        let n_groups = repr.len();
+        let mut out_names: Vec<String> = keys.iter().map(|k| k.to_lowercase()).collect();
+        let mut out_cols: Vec<ColumnBuffer> = key_cols.iter().map(|c| c.take(&repr)).collect();
+        for (colname, op, outname) in aggs {
+            let col = if *op == AggOp::CountStar { None } else { Some(self.col(colname)?) };
+            out_names.push(outname.to_lowercase());
+            out_cols.push(aggregate_column(col, *op, &group_ids, n_groups)?);
+        }
+        self.session.frame(out_names, out_cols)
+    }
+
+    /// Sort (allocates the permuted copy).
+    pub fn sort_by(&self, keys: &[(&str, bool)]) -> Result<DataFrame> {
+        let key_cols: Vec<(&ColumnBuffer, bool)> =
+            keys.iter().map(|(n, d)| Ok((self.col(n)?, *d))).collect::<Result<_>>()?;
+        let mut perm: Vec<u32> = (0..self.rows as u32).collect();
+        perm.sort_by(|&a, &b| {
+            for (c, desc) in &key_cols {
+                let ord = c.get(a as usize).cmp_sql(&c.get(b as usize));
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.take(&perm)
+    }
+
+    /// Distinct rows over the named columns.
+    pub fn distinct(&self, keys: &[&str]) -> Result<DataFrame> {
+        let key_cols: Vec<&ColumnBuffer> =
+            keys.iter().map(|n| self.col(n)).collect::<Result<_>>()?;
+        let mut seen = std::collections::HashSet::new();
+        let mut idx = Vec::new();
+        for r in 0..self.rows {
+            if seen.insert(composite_key_nulls(&key_cols, r)) {
+                idx.push(r as u32);
+            }
+        }
+        self.select(keys)?.take_named(&idx, keys)
+    }
+
+    fn take_named(&self, idx: &[u32], keys: &[&str]) -> Result<DataFrame> {
+        let cols: Vec<ColumnBuffer> =
+            keys.iter().map(|n| Ok(self.col(n)?.take(idx))).collect::<Result<_>>()?;
+        self.session.frame(keys.iter().map(|k| k.to_string()).collect(), cols)
+    }
+}
+
+/// NULL-rejecting composite key (join semantics).
+fn composite_key(cols: &[&ColumnBuffer], row: usize) -> Option<String> {
+    let mut s = String::new();
+    for c in cols {
+        let v = c.get(row);
+        if v.is_null() {
+            return None;
+        }
+        s.push_str(&v.to_string());
+        s.push('\u{0}');
+    }
+    Some(s)
+}
+
+/// NULL-grouping composite key (group-by semantics).
+fn composite_key_nulls(cols: &[&ColumnBuffer], row: usize) -> String {
+    let mut s = String::new();
+    for c in cols {
+        let v = c.get(row);
+        if v.is_null() {
+            s.push('\u{1}');
+        } else {
+            s.push_str(&v.to_string());
+        }
+        s.push('\u{0}');
+    }
+    s
+}
+
+fn take_padded(c: &ColumnBuffer, sel: &[u32]) -> ColumnBuffer {
+    let mut out = ColumnBuffer::with_capacity(c.logical_type(), sel.len());
+    for &s in sel {
+        if s == u32::MAX {
+            out.push(&Value::Null).expect("null appends");
+        } else {
+            out.push(&c.get(s as usize)).expect("same type");
+        }
+    }
+    out
+}
+
+fn aggregate_column(
+    col: Option<&ColumnBuffer>,
+    op: AggOp,
+    gids: &[u32],
+    n: usize,
+) -> Result<ColumnBuffer> {
+    match op {
+        AggOp::CountStar => {
+            let mut counts = vec![0i64; n];
+            for &g in gids {
+                counts[g as usize] += 1;
+            }
+            Ok(ColumnBuffer::Bigint(counts))
+        }
+        AggOp::Count => {
+            let c = col.expect("count has a column");
+            let mut counts = vec![0i64; n];
+            for (r, &g) in gids.iter().enumerate() {
+                if !c.get(r).is_null() {
+                    counts[g as usize] += 1;
+                }
+            }
+            Ok(ColumnBuffer::Bigint(counts))
+        }
+        AggOp::Sum | AggOp::Mean | AggOp::Median => {
+            let c = col.expect("numeric agg has a column");
+            let mut bufs: Vec<Vec<f64>> = vec![Vec::new(); n];
+            for (r, &g) in gids.iter().enumerate() {
+                let v = c.get(r);
+                if !v.is_null() {
+                    bufs[g as usize].push(v.as_f64()?);
+                }
+            }
+            let out: Vec<f64> = bufs
+                .into_iter()
+                .map(|mut vals| {
+                    if vals.is_empty() {
+                        return f64::NAN;
+                    }
+                    match op {
+                        AggOp::Sum => vals.iter().sum(),
+                        AggOp::Mean => vals.iter().sum::<f64>() / vals.len() as f64,
+                        _ => {
+                            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                            let m = vals.len();
+                            if m % 2 == 1 {
+                                vals[m / 2]
+                            } else {
+                                (vals[m / 2 - 1] + vals[m / 2]) / 2.0
+                            }
+                        }
+                    }
+                })
+                .collect();
+            Ok(ColumnBuffer::Double(out))
+        }
+        AggOp::Min | AggOp::Max | AggOp::First => {
+            let c = col.expect("agg has a column");
+            let mut best: Vec<Value> = vec![Value::Null; n];
+            for (r, &g) in gids.iter().enumerate() {
+                let v = c.get(r);
+                if v.is_null() {
+                    continue;
+                }
+                let cur = &best[g as usize];
+                let replace = match (op, cur) {
+                    (AggOp::First, Value::Null) => true,
+                    (AggOp::First, _) => false,
+                    (_, Value::Null) => true,
+                    (AggOp::Min, cur) => v.cmp_sql(cur) == std::cmp::Ordering::Less,
+                    (AggOp::Max, cur) => v.cmp_sql(cur) == std::cmp::Ordering::Greater,
+                    _ => false,
+                };
+                if replace {
+                    best[g as usize] = v;
+                }
+            }
+            let mut out = ColumnBuffer::with_capacity(c.logical_type(), n);
+            for v in best {
+                out.push(&v)?;
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Loader convenience.
+pub fn empty_col(ty: LogicalType, cap: usize) -> ColumnBuffer {
+    ColumnBuffer::with_capacity(ty, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(session: &Session) -> DataFrame {
+        session
+            .frame(
+                vec!["k", "v", "s"],
+                vec![
+                    ColumnBuffer::Int(vec![1, 2, 1, 3]),
+                    ColumnBuffer::Double(vec![10.0, 20.0, 30.0, 40.0]),
+                    ColumnBuffer::Varchar(vec![
+                        Some("a".into()),
+                        Some("b".into()),
+                        None,
+                        Some("a".into()),
+                    ]),
+                ],
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn filter_select_head() {
+        let s = Session::unlimited();
+        let f = demo(&s);
+        let mask: Vec<bool> = vec![true, false, true, false];
+        let g = f.filter(&mask).unwrap();
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.get(1, "v").unwrap(), Value::Double(30.0));
+        let h = g.select(&["v"]).unwrap().head(1).unwrap();
+        assert_eq!(h.rows(), 1);
+        assert_eq!(h.names(), &["v".to_string()]);
+    }
+
+    #[test]
+    fn group_by_aggs() {
+        let s = Session::unlimited();
+        let f = demo(&s);
+        let g = f
+            .group_by(
+                &["k"],
+                &[
+                    ("v", AggOp::Sum, "total"),
+                    ("v", AggOp::Mean, "avg"),
+                    ("s", AggOp::Count, "ns"),
+                    ("v", AggOp::CountStar, "n"),
+                ],
+            )
+            .unwrap()
+            .sort_by(&[("k", false)])
+            .unwrap();
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.get(0, "total").unwrap(), Value::Double(40.0));
+        assert_eq!(g.get(0, "ns").unwrap(), Value::Bigint(1), "NULL not counted");
+        assert_eq!(g.get(0, "n").unwrap(), Value::Bigint(2));
+    }
+
+    #[test]
+    fn joins_all_kinds() {
+        let s = Session::unlimited();
+        let left = demo(&s);
+        let right = s
+            .frame(
+                vec!["k", "name"],
+                vec![
+                    ColumnBuffer::Int(vec![1, 2]),
+                    ColumnBuffer::Varchar(vec![Some("one".into()), Some("two".into())]),
+                ],
+            )
+            .unwrap();
+        let inner = left.join(&right, &["k"], &["k"], JoinHow::Inner).unwrap();
+        assert_eq!(inner.rows(), 3);
+        assert!(inner.names().contains(&"name".to_string()));
+        let l = left.join(&right, &["k"], &["k"], JoinHow::Left).unwrap();
+        assert_eq!(l.rows(), 4);
+        assert_eq!(l.get(3, "name").unwrap(), Value::Null);
+        let semi = left.join(&right, &["k"], &["k"], JoinHow::Semi).unwrap();
+        assert_eq!(semi.rows(), 3);
+        let anti = left.join(&right, &["k"], &["k"], JoinHow::Anti).unwrap();
+        assert_eq!(anti.rows(), 1);
+        assert_eq!(anti.get(0, "k").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn sort_and_distinct() {
+        let s = Session::unlimited();
+        let f = demo(&s);
+        let sorted = f.sort_by(&[("v", true)]).unwrap();
+        assert_eq!(sorted.get(0, "v").unwrap(), Value::Double(40.0));
+        let d = f.distinct(&["k"]).unwrap();
+        assert_eq!(d.rows(), 3);
+    }
+
+    #[test]
+    fn out_of_memory_on_budget() {
+        // Budget fits the base frame but not a self-join blowup.
+        let s = Session::with_budget(64 * 1024);
+        let n = 1500usize;
+        let f = s
+            .frame(vec!["k"], vec![ColumnBuffer::Int((0..n as i32).map(|i| i % 3).collect())])
+            .unwrap();
+        // 1500 rows joined on k%3 → 750k output rows → way over budget.
+        let e = f.join(&f, &["k"], &["k"], JoinHow::Inner);
+        match e {
+            Err(MlError::OutOfMemory { .. }) => {}
+            other => panic!("expected OOM, got {:?}", other.map(|f| f.rows())),
+        }
+        assert!(s.mem_peak() <= s.budget(), "peak never exceeds budget");
+    }
+
+    #[test]
+    fn memory_released_on_drop() {
+        let s = Session::with_budget(1 << 20);
+        let before = s.mem_used();
+        {
+            let _f = demo(&s);
+            assert!(s.mem_used() > before);
+        }
+        assert_eq!(s.mem_used(), before);
+    }
+
+    #[test]
+    fn with_column_replaces() {
+        let s = Session::unlimited();
+        let f = demo(&s);
+        let g = f.with_column("v", ColumnBuffer::Double(vec![1.0, 2.0, 3.0, 4.0])).unwrap();
+        assert_eq!(g.get(0, "v").unwrap(), Value::Double(1.0));
+        assert_eq!(g.names().len(), 3);
+        let h = g.with_column("extra", ColumnBuffer::Int(vec![9, 9, 9, 9])).unwrap();
+        assert_eq!(h.names().len(), 4);
+    }
+}

@@ -1,0 +1,232 @@
+//! Vectorised column operations — the building blocks the hand-written
+//! library scripts compose (R's vectorised operators / NumPy ufuncs).
+//! Everything computes in `f64` where numeric, exactly as R and pandas do.
+
+use monetlite_types::nulls::{NULL_I32, NULL_I64};
+use monetlite_types::{ColumnBuffer, Date, Result, Value};
+
+/// Comparison operators for mask building.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+#[inline]
+fn apply(op: MaskOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        MaskOp::Eq => ord == Equal,
+        MaskOp::Ne => ord != Equal,
+        MaskOp::Lt => ord == Less,
+        MaskOp::Le => ord != Greater,
+        MaskOp::Gt => ord == Greater,
+        MaskOp::Ge => ord != Less,
+    }
+}
+
+/// Column-vs-constant mask; NULL compares false (R's NA dropped by
+/// filters).
+pub fn mask_cmp(col: &ColumnBuffer, op: MaskOp, k: &Value) -> Vec<bool> {
+    (0..col.len())
+        .map(|i| {
+            let v = col.get(i);
+            if v.is_null() || k.is_null() {
+                false
+            } else {
+                apply(op, v.cmp_sql(k))
+            }
+        })
+        .collect()
+}
+
+/// Column-vs-column mask.
+pub fn mask_cmp_cols(a: &ColumnBuffer, op: MaskOp, b: &ColumnBuffer) -> Vec<bool> {
+    (0..a.len().min(b.len()))
+        .map(|i| {
+            let (x, y) = (a.get(i), b.get(i));
+            if x.is_null() || y.is_null() {
+                false
+            } else {
+                apply(op, x.cmp_sql(&y))
+            }
+        })
+        .collect()
+}
+
+/// Elementwise AND.
+pub fn mask_and(a: &[bool], b: &[bool]) -> Vec<bool> {
+    a.iter().zip(b).map(|(&x, &y)| x && y).collect()
+}
+
+/// Elementwise OR.
+pub fn mask_or(a: &[bool], b: &[bool]) -> Vec<bool> {
+    a.iter().zip(b).map(|(&x, &y)| x || y).collect()
+}
+
+/// Elementwise NOT.
+pub fn mask_not(a: &[bool]) -> Vec<bool> {
+    a.iter().map(|&x| !x).collect()
+}
+
+/// Substring-containment mask (`%needle%` LIKE patterns; what `grepl`
+/// compiles to for fixed patterns).
+pub fn mask_contains(col: &ColumnBuffer, needle: &str) -> Vec<bool> {
+    match col {
+        ColumnBuffer::Varchar(v) => v
+            .iter()
+            .map(|s| s.as_deref().is_some_and(|s| s.contains(needle)))
+            .collect(),
+        other => vec![false; other.len()],
+    }
+}
+
+/// Suffix mask (`%BRASS` LIKE patterns).
+pub fn mask_ends_with(col: &ColumnBuffer, suffix: &str) -> Vec<bool> {
+    match col {
+        ColumnBuffer::Varchar(v) => v
+            .iter()
+            .map(|s| s.as_deref().is_some_and(|s| s.ends_with(suffix)))
+            .collect(),
+        other => vec![false; other.len()],
+    }
+}
+
+/// Set-membership mask (`%in%`).
+pub fn mask_in(col: &ColumnBuffer, set: &[&str]) -> Vec<bool> {
+    match col {
+        ColumnBuffer::Varchar(v) => v
+            .iter()
+            .map(|s| s.as_deref().is_some_and(|s| set.contains(&s)))
+            .collect(),
+        other => vec![false; other.len()],
+    }
+}
+
+/// Numeric view of a column as f64 (NaN = NULL) — the representation every
+/// dataframe library computes in.
+pub fn to_f64(col: &ColumnBuffer) -> Result<Vec<f64>> {
+    Ok(match col {
+        ColumnBuffer::Int(v) => v
+            .iter()
+            .map(|&x| if x == NULL_I32 { f64::NAN } else { x as f64 })
+            .collect(),
+        ColumnBuffer::Bigint(v) => v
+            .iter()
+            .map(|&x| if x == NULL_I64 { f64::NAN } else { x as f64 })
+            .collect(),
+        ColumnBuffer::Double(v) => v.clone(),
+        ColumnBuffer::Decimal { data, scale } => {
+            let f = monetlite_types::decimal::POW10[*scale as usize] as f64;
+            data.iter()
+                .map(|&x| if x == NULL_I64 { f64::NAN } else { x as f64 / f })
+                .collect()
+        }
+        ColumnBuffer::Date(v) => v
+            .iter()
+            .map(|&x| if x == NULL_I32 { f64::NAN } else { x as f64 })
+            .collect(),
+        other => {
+            return Err(monetlite_types::MlError::TypeMismatch(format!(
+                "no numeric view of {}",
+                other.logical_type()
+            )))
+        }
+    })
+}
+
+/// Elementwise binary op over f64 vectors.
+pub fn zip_f64(a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) -> ColumnBuffer {
+    ColumnBuffer::Double(a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect())
+}
+
+/// Elementwise map over one f64 vector.
+pub fn map_f64(a: &[f64], f: impl Fn(f64) -> f64) -> ColumnBuffer {
+    ColumnBuffer::Double(a.iter().map(|&x| f(x)).collect())
+}
+
+/// Extract the year of a date column.
+pub fn year(col: &ColumnBuffer) -> ColumnBuffer {
+    match col {
+        ColumnBuffer::Date(v) => ColumnBuffer::Int(
+            v.iter()
+                .map(|&d| if d == NULL_I32 { NULL_I32 } else { Date(d).year() })
+                .collect(),
+        ),
+        other => ColumnBuffer::Int(vec![NULL_I32; other.len()]),
+    }
+}
+
+/// Build a date-range mask `lo <= d <= hi` (dates as `YYYY-MM-DD`).
+pub fn mask_date_between(col: &ColumnBuffer, lo: &str, hi: &str) -> Result<Vec<bool>> {
+    let lo = Date::parse(lo)?.0;
+    let hi = Date::parse(hi)?.0;
+    Ok(match col {
+        ColumnBuffer::Date(v) => {
+            v.iter().map(|&d| d != NULL_I32 && d >= lo && d <= hi).collect()
+        }
+        other => vec![false; other.len()],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks() {
+        let c = ColumnBuffer::Int(vec![1, 5, NULL_I32, 9]);
+        assert_eq!(mask_cmp(&c, MaskOp::Gt, &Value::Int(4)), vec![false, true, false, true]);
+        let d = ColumnBuffer::Int(vec![1, 6, 2, 9]);
+        assert_eq!(
+            mask_cmp_cols(&c, MaskOp::Eq, &d),
+            vec![true, false, false, true]
+        );
+        assert_eq!(mask_and(&[true, false], &[true, true]), vec![true, false]);
+        assert_eq!(mask_or(&[true, false], &[false, false]), vec![true, false]);
+        assert_eq!(mask_not(&[true, false]), vec![false, true]);
+    }
+
+    #[test]
+    fn string_masks() {
+        let c = ColumnBuffer::Varchar(vec![
+            Some("forest green".into()),
+            Some("blue".into()),
+            None,
+        ]);
+        assert_eq!(mask_contains(&c, "green"), vec![true, false, false]);
+        assert_eq!(mask_in(&c, &["blue", "red"]), vec![false, true, false]);
+    }
+
+    #[test]
+    fn numeric_views() {
+        let c = ColumnBuffer::Decimal { data: vec![150, NULL_I64], scale: 2 };
+        let v = to_f64(&c).unwrap();
+        assert_eq!(v[0], 1.5);
+        assert!(v[1].is_nan());
+        let prod = zip_f64(&v, &[2.0, 2.0], |a, b| a * b);
+        assert_eq!(prod.get(0), Value::Double(3.0));
+        let neg = map_f64(&[1.0], |x| 1.0 - x);
+        assert_eq!(neg.get(0), Value::Double(0.0));
+    }
+
+    #[test]
+    fn date_helpers() {
+        let d1 = Date::parse("1994-03-15").unwrap().0;
+        let d2 = Date::parse("1995-06-01").unwrap().0;
+        let c = ColumnBuffer::Date(vec![d1, d2, NULL_I32]);
+        assert_eq!(year(&c).get(0), Value::Int(1994));
+        let m = mask_date_between(&c, "1994-01-01", "1994-12-31").unwrap();
+        assert_eq!(m, vec![true, false, false]);
+    }
+}

@@ -1,0 +1,302 @@
+//! The client side: a DBI-style interface over the socket.
+
+use crate::protocol::{decode_value, escape_line, parse_type, sql_literal};
+use monetlite_types::{ColumnBuffer, LogicalType, MlError, Result, Schema, Value};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+/// A remote database connection (the `DBI` handle of the paper's R
+/// scripts).
+pub struct RemoteClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// Bytes received over the socket (transfer accounting for Figure 6).
+    pub bytes_received: u64,
+    /// Bytes sent over the socket (transfer accounting for Figure 5).
+    pub bytes_sent: u64,
+}
+
+/// A parsed remote result set.
+#[derive(Debug, Clone)]
+pub struct RemoteResult {
+    /// Column names.
+    pub names: Vec<String>,
+    /// Column types.
+    pub types: Vec<LogicalType>,
+    /// Rows (values re-parsed from text — the client-side conversion
+    /// cost).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows affected for DML.
+    pub rows_affected: u64,
+}
+
+impl RemoteClient {
+    /// Connect to a server on localhost.
+    pub fn connect(port: u16) -> Result<RemoteClient> {
+        let stream = TcpStream::connect(("127.0.0.1", port))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(RemoteClient { reader, writer, bytes_received: 0, bytes_sent: 0 })
+    }
+
+    /// Issue one SQL statement and read its full response.
+    pub fn query(&mut self, sql: &str) -> Result<RemoteResult> {
+        self.send(sql)?;
+        self.receive()
+    }
+
+    /// DML convenience.
+    pub fn execute(&mut self, sql: &str) -> Result<u64> {
+        Ok(self.query(sql)?.rows_affected)
+    }
+
+    fn send(&mut self, sql: &str) -> Result<()> {
+        let line = format!("Q {}\n", escape_line(sql));
+        self.bytes_sent += line.len() as u64;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn receive(&mut self) -> Result<RemoteResult> {
+        let mut line = String::new();
+        self.read_line(&mut line)?;
+        let head = line.trim_end();
+        if let Some(msg) = head.strip_prefix("E ") {
+            return Err(MlError::Protocol(format!("server error: {msg}")));
+        }
+        if let Some(n) = head.strip_prefix("A ") {
+            let affected =
+                n.parse().map_err(|_| MlError::Protocol("bad affected count".into()))?;
+            return Ok(RemoteResult {
+                names: vec![],
+                types: vec![],
+                rows: vec![],
+                rows_affected: affected,
+            });
+        }
+        let ncols: usize = head
+            .strip_prefix("R ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| MlError::Protocol(format!("unexpected response '{head}'")))?;
+        self.read_line(&mut line)?;
+        let names: Vec<String> = line
+            .trim_end()
+            .strip_prefix("N ")
+            .ok_or_else(|| MlError::Protocol("missing names".into()))?
+            .split('\t')
+            .map(|s| s.to_string())
+            .collect();
+        self.read_line(&mut line)?;
+        let types: Vec<LogicalType> = line
+            .trim_end()
+            .strip_prefix("T ")
+            .ok_or_else(|| MlError::Protocol("missing types".into()))?
+            .split('\t')
+            .map(parse_type)
+            .collect::<Result<_>>()?;
+        if names.len() != ncols || types.len() != ncols {
+            return Err(MlError::Protocol("header arity mismatch".into()));
+        }
+        let mut rows = Vec::new();
+        loop {
+            self.read_line(&mut line)?;
+            let l = line.trim_end_matches(['\r', '\n']);
+            if l == "." {
+                break;
+            }
+            let data = l
+                .strip_prefix("D ")
+                .ok_or_else(|| MlError::Protocol(format!("unexpected line '{l}'")))?;
+            // Value-by-value text parsing: the client conversion cost.
+            let mut row = Vec::with_capacity(ncols);
+            for (field, &ty) in data.split('\t').zip(&types) {
+                row.push(decode_value(field, ty)?);
+            }
+            if row.len() != ncols {
+                return Err(MlError::Protocol("row arity mismatch".into()));
+            }
+            rows.push(row);
+        }
+        Ok(RemoteResult { names, types, rows, rows_affected: 0 })
+    }
+
+    fn read_line(&mut self, line: &mut String) -> Result<()> {
+        line.clear();
+        let n = self.reader.read_line(line)?;
+        if n == 0 {
+            return Err(MlError::Protocol("server closed the connection".into()));
+        }
+        self.bytes_received += n as u64;
+        Ok(())
+    }
+
+    /// `dbReadTable`: fetch a whole table into host buffers (column-major
+    /// conversion from the row-wise wire format — SQLite's Figure 6
+    /// penalty, paid by every socket client).
+    pub fn read_table(&mut self, table: &str) -> Result<(Schema, Vec<ColumnBuffer>)> {
+        let r = self.query(&format!("SELECT * FROM {table}"))?;
+        let fields: Vec<monetlite_types::Field> = r
+            .names
+            .iter()
+            .zip(&r.types)
+            .map(|(n, &t)| monetlite_types::Field::new(n.as_str(), t))
+            .collect();
+        let schema = Schema::new(fields)?;
+        let mut cols: Vec<ColumnBuffer> = r
+            .types
+            .iter()
+            .map(|&t| ColumnBuffer::with_capacity(t, r.rows.len()))
+            .collect();
+        for row in &r.rows {
+            for (c, v) in cols.iter_mut().zip(row) {
+                c.push(v)?;
+            }
+        }
+        Ok((schema, cols))
+    }
+
+    /// `dbWriteTable`: create the table and load host buffers through the
+    /// generic protocol — a stream of single-row INSERT statements, one
+    /// round trip each (no specialised bulk path; Figure 5's overhead).
+    pub fn write_table(
+        &mut self,
+        table: &str,
+        schema: &Schema,
+        cols: &[ColumnBuffer],
+    ) -> Result<()> {
+        let coldefs: Vec<String> = schema
+            .fields()
+            .iter()
+            .map(|f| {
+                format!(
+                    "{} {}{}",
+                    f.name,
+                    sql_type(f.ty),
+                    if f.nullable { "" } else { " NOT NULL" }
+                )
+            })
+            .collect();
+        self.execute(&format!("CREATE TABLE {table} ({})", coldefs.join(", ")))?;
+        let rows = cols.first().map_or(0, |c| c.len());
+        let mut stmt = String::with_capacity(256);
+        for r in 0..rows {
+            stmt.clear();
+            stmt.push_str("INSERT INTO ");
+            stmt.push_str(table);
+            stmt.push_str(" VALUES (");
+            for (i, c) in cols.iter().enumerate() {
+                if i > 0 {
+                    stmt.push_str(", ");
+                }
+                stmt.push_str(&sql_literal(&c.get(r)));
+            }
+            stmt.push(')');
+            self.execute(&stmt)?;
+        }
+        Ok(())
+    }
+
+    /// Close politely.
+    pub fn close(mut self) {
+        let _ = self.writer.write_all(b"X\n");
+        let _ = self.writer.flush();
+    }
+}
+
+fn sql_type(ty: LogicalType) -> String {
+    match ty {
+        LogicalType::Bool => "BOOLEAN".into(),
+        LogicalType::Int => "INTEGER".into(),
+        LogicalType::Bigint => "BIGINT".into(),
+        LogicalType::Double => "DOUBLE".into(),
+        LogicalType::Decimal { width, scale } => format!("DECIMAL({width},{scale})"),
+        LogicalType::Varchar => "VARCHAR(255)".into(),
+        LogicalType::Date => "DATE".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerEngine};
+    use monetlite::Database;
+    use monetlite_rowstore::RowDb;
+    use monetlite_types::Field;
+
+    fn monet_server() -> Server {
+        let db = Database::open_in_memory();
+        Server::start(ServerEngine::Monet(db)).unwrap()
+    }
+
+    #[test]
+    fn query_roundtrip_over_socket() {
+        let server = monet_server();
+        let mut client = RemoteClient::connect(server.port()).unwrap();
+        client.execute("CREATE TABLE t (a INT, b VARCHAR(10))").unwrap();
+        client.execute("INSERT INTO t VALUES (1, 'x'), (2, NULL)").unwrap();
+        let r = client.query("SELECT a, b FROM t ORDER BY a").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0], vec![Value::Int(1), Value::Str("x".into())]);
+        assert_eq!(r.rows[1], vec![Value::Int(2), Value::Null]);
+        assert!(client.bytes_received > 0);
+        client.close();
+    }
+
+    #[test]
+    fn errors_cross_the_wire() {
+        let server = monet_server();
+        let mut client = RemoteClient::connect(server.port()).unwrap();
+        let e = client.query("SELECT * FROM missing");
+        assert!(matches!(e, Err(MlError::Protocol(msg)) if msg.contains("unknown table")));
+        // Connection still usable after an error.
+        client.execute("CREATE TABLE ok (x INT)").unwrap();
+        client.close();
+    }
+
+    #[test]
+    fn write_and_read_table() {
+        let server = monet_server();
+        let mut client = RemoteClient::connect(server.port()).unwrap();
+        let schema = Schema::new(vec![
+            Field::not_null("id", LogicalType::Int),
+            Field::new("name", LogicalType::Varchar),
+        ])
+        .unwrap();
+        let cols = vec![
+            ColumnBuffer::Int(vec![1, 2, 3]),
+            ColumnBuffer::Varchar(vec![Some("a".into()), None, Some("c'c".into())]),
+        ];
+        client.write_table("people", &schema, &cols).unwrap();
+        let (schema2, cols2) = client.read_table("people").unwrap();
+        assert_eq!(schema2.len(), 2);
+        assert_eq!(cols2[0], cols[0]);
+        assert_eq!(cols2[1], cols[1]);
+        client.close();
+    }
+
+    #[test]
+    fn rowstore_behind_socket() {
+        let server = Server::start(ServerEngine::Row(RowDb::in_memory())).unwrap();
+        let mut client = RemoteClient::connect(server.port()).unwrap();
+        client.execute("CREATE TABLE t (a INT, p DECIMAL(8,2))").unwrap();
+        client.execute("INSERT INTO t VALUES (1, 5.25), (2, 1.75)").unwrap();
+        let r = client.query("SELECT sum(p) FROM t").unwrap();
+        assert_eq!(r.rows[0][0].to_string(), "7.00");
+        client.close();
+    }
+
+    #[test]
+    fn two_clients_one_server() {
+        let server = monet_server();
+        let mut c1 = RemoteClient::connect(server.port()).unwrap();
+        let mut c2 = RemoteClient::connect(server.port()).unwrap();
+        c1.execute("CREATE TABLE shared (x INT)").unwrap();
+        c1.execute("INSERT INTO shared VALUES (5)").unwrap();
+        let r = c2.query("SELECT x FROM shared").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(5));
+        c1.close();
+        c2.close();
+    }
+}

@@ -1,0 +1,30 @@
+//! # monetlite-netsim
+//!
+//! The client/server configuration of the paper's Figure 1(a): "run the
+//! database system as a separate process (the 'database server') and
+//! connect with it over a socket using a client interface".
+//!
+//! The server runs in its own thread behind a **real localhost TCP
+//! socket** (the paper's setup also had client and server on one machine)
+//! speaking a PostgreSQL-style row-wise text protocol. Costs reproduced:
+//!
+//! * result sets serialise **row-at-a-time to text** and are parsed back
+//!   value-by-value on the client — the protocol overhead of
+//!   Raasveldt & Mühleisen's "Don't Hold My Data Hostage" (paper ref
+//!   \[15\]) that dominates Figure 6;
+//! * bulk loading has **no specialised copy path**: `write_table` issues a
+//!   stream of `INSERT INTO` statements — "the data is inserted into the
+//!   database using a series of INSERT INTO statements, which introduces a
+//!   large amount of overhead" (Figure 5);
+//! * every query pays a socket round trip.
+//!
+//! Any engine can sit behind the server: `monetlite` (the "MonetDB
+//! server" bar) or the row store in either profile (the "PostgreSQL" /
+//! "MariaDB" bars).
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::RemoteClient;
+pub use server::{Server, ServerEngine};

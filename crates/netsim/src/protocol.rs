@@ -1,0 +1,225 @@
+//! The row-wise text wire protocol.
+//!
+//! Messages are lines. Client → server:
+//!
+//! ```text
+//! Q <sql>            execute a statement
+//! X                  close the connection
+//! ```
+//!
+//! Server → client:
+//!
+//! ```text
+//! R <ncols>          result header, followed by:
+//! N <name>\t...      column names
+//! T <type>\t...      column types
+//! D <v>\t<v>\t...    one line per row (values escaped, NULL = \N)
+//! .                  end of result
+//! A <n>              DML completed, n rows affected
+//! E <message>        error
+//! ```
+//!
+//! Values travel as text and are re-parsed on the other side — the
+//! serialisation cost every row-wise client protocol pays (paper ref
+//! \[15\]).
+
+use bytes::BytesMut;
+use monetlite_types::{Date, Decimal, LogicalType, MlError, Result, Value};
+
+/// Escape one value into the line buffer.
+pub fn encode_value(out: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => out.extend_from_slice(b"\\N"),
+        Value::Str(s) => {
+            for b in s.bytes() {
+                match b {
+                    b'\\' => out.extend_from_slice(b"\\\\"),
+                    b'\t' => out.extend_from_slice(b"\\t"),
+                    b'\n' => out.extend_from_slice(b"\\n"),
+                    other => out.extend_from_slice(&[other]),
+                }
+            }
+        }
+        other => out.extend_from_slice(other.to_string().as_bytes()),
+    }
+}
+
+/// Encode one row as a `D` line.
+pub fn encode_row(out: &mut BytesMut, row: &[Value]) {
+    out.extend_from_slice(b"D ");
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            out.extend_from_slice(b"\t");
+        }
+        encode_value(out, v);
+    }
+    out.extend_from_slice(b"\n");
+}
+
+/// Parse one escaped field back into a value of the given type.
+pub fn decode_value(field: &str, ty: LogicalType) -> Result<Value> {
+    if field == "\\N" {
+        return Ok(Value::Null);
+    }
+    let unescape = |s: &str| -> String {
+        let mut out = String::with_capacity(s.len());
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('t') => out.push('\t'),
+                    Some('n') => out.push('\n'),
+                    Some('\\') => out.push('\\'),
+                    Some(other) => out.push(other),
+                    None => {}
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    };
+    let bad = |what: &str| MlError::Protocol(format!("bad {what} value '{field}'"));
+    Ok(match ty {
+        LogicalType::Bool => Value::Bool(field == "true"),
+        LogicalType::Int => Value::Int(field.parse().map_err(|_| bad("int"))?),
+        LogicalType::Bigint => Value::Bigint(field.parse().map_err(|_| bad("bigint"))?),
+        LogicalType::Double => Value::Double(field.parse().map_err(|_| bad("double"))?),
+        LogicalType::Decimal { .. } => Value::Decimal(Decimal::parse(field)?),
+        LogicalType::Varchar => Value::Str(unescape(field)),
+        LogicalType::Date => Value::Date(Date::parse(field)?),
+    })
+}
+
+/// Render a type name for the `T` header line.
+pub fn type_name(ty: LogicalType) -> String {
+    match ty {
+        LogicalType::Decimal { width, scale } => format!("decimal({width},{scale})"),
+        LogicalType::Bool => "boolean".into(),
+        LogicalType::Int => "int".into(),
+        LogicalType::Bigint => "bigint".into(),
+        LogicalType::Double => "double".into(),
+        LogicalType::Varchar => "varchar".into(),
+        LogicalType::Date => "date".into(),
+    }
+}
+
+/// Parse a type name from the `T` header line.
+pub fn parse_type(name: &str) -> Result<LogicalType> {
+    if let Some(rest) = name.strip_prefix("decimal(") {
+        let inner = rest
+            .strip_suffix(')')
+            .ok_or_else(|| MlError::Protocol(format!("bad type '{name}'")))?;
+        let (w, s) = inner
+            .split_once(',')
+            .ok_or_else(|| MlError::Protocol(format!("bad type '{name}'")))?;
+        return Ok(LogicalType::Decimal {
+            width: w.parse().map_err(|_| MlError::Protocol("bad decimal width".into()))?,
+            scale: s.parse().map_err(|_| MlError::Protocol("bad decimal scale".into()))?,
+        });
+    }
+    Ok(match name {
+        "boolean" => LogicalType::Bool,
+        "int" => LogicalType::Int,
+        "bigint" => LogicalType::Bigint,
+        "double" => LogicalType::Double,
+        "varchar" => LogicalType::Varchar,
+        "date" => LogicalType::Date,
+        other => return Err(MlError::Protocol(format!("unknown type '{other}'"))),
+    })
+}
+
+/// Escape a whole protocol line payload (queries may contain newlines).
+pub fn escape_line(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n").replace('\r', "\\r")
+}
+
+/// Inverse of [`escape_line`].
+pub fn unescape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Render a value as a SQL literal (the client-side INSERT path).
+pub fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Date(d) => format!("date '{d}'"),
+        Value::Bool(b) => if *b { "true" } else { "false" }.to_string(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip_via_text() {
+        let cases = vec![
+            (Value::Int(42), LogicalType::Int),
+            (Value::Bigint(-7), LogicalType::Bigint),
+            (Value::Double(1.5), LogicalType::Double),
+            (Value::Decimal(Decimal::new(-10550, 2)), LogicalType::Decimal { width: 10, scale: 2 }),
+            (Value::Str("tab\there\nnl\\bs".into()), LogicalType::Varchar),
+            (Value::Date(Date::parse("1995-03-15").unwrap()), LogicalType::Date),
+            (Value::Bool(true), LogicalType::Bool),
+            (Value::Null, LogicalType::Int),
+        ];
+        for (v, ty) in cases {
+            let mut buf = BytesMut::new();
+            encode_value(&mut buf, &v);
+            let text = String::from_utf8(buf.to_vec()).unwrap();
+            let back = decode_value(&text, ty).unwrap();
+            assert_eq!(back, v, "roundtrip of {v:?} via '{text}'");
+        }
+    }
+
+    #[test]
+    fn row_line_format() {
+        let mut buf = BytesMut::new();
+        encode_row(&mut buf, &[Value::Int(1), Value::Null, Value::Str("x".into())]);
+        assert_eq!(&buf[..], b"D 1\t\\N\tx\n");
+    }
+
+    #[test]
+    fn type_names_roundtrip() {
+        for ty in [
+            LogicalType::Bool,
+            LogicalType::Int,
+            LogicalType::Bigint,
+            LogicalType::Double,
+            LogicalType::Varchar,
+            LogicalType::Date,
+            LogicalType::Decimal { width: 15, scale: 2 },
+        ] {
+            assert_eq!(parse_type(&type_name(ty)).unwrap(), ty);
+        }
+        assert!(parse_type("blob").is_err());
+    }
+
+    #[test]
+    fn sql_literals_escape() {
+        assert_eq!(sql_literal(&Value::Str("it's".into())), "'it''s'");
+        assert_eq!(sql_literal(&Value::Null), "NULL");
+        assert_eq!(
+            sql_literal(&Value::Date(Date::parse("1994-01-01").unwrap())),
+            "date '1994-01-01'"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! The database server side of the socket configuration.
+
+use crate::protocol::{encode_row, type_name, unescape_line};
+use bytes::BytesMut;
+use monetlite::Database;
+use monetlite_rowstore::RowDb;
+use monetlite_types::{LogicalType, Result, Value};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Which engine runs inside the server process.
+pub enum ServerEngine {
+    /// The columnar engine ("MonetDB server" bar in Figures 5/6).
+    Monet(Database),
+    /// The row store ("PostgreSQL"/"MariaDB" bars, by join profile).
+    Row(RowDb),
+}
+
+impl ServerEngine {
+    /// Execute SQL, producing a row-wise result (the server always
+    /// serialises row-at-a-time regardless of engine layout).
+    fn run(&self, sql: &str) -> Result<(Vec<String>, Vec<LogicalType>, Vec<Vec<Value>>, u64)> {
+        match self {
+            ServerEngine::Monet(db) => {
+                // A connection per statement keeps the server stateless
+                // (autocommit), like the paper's benchmark clients.
+                let mut conn = db.connect();
+                let r = conn.query(sql)?;
+                let rows: Vec<Vec<Value>> = (0..r.nrows()).map(|i| r.row(i)).collect();
+                Ok((r.names().to_vec(), r.types().to_vec(), rows, r.rows_affected()))
+            }
+            ServerEngine::Row(db) => {
+                let r = db.query(sql)?;
+                Ok((r.names, r.types, r.rows, r.rows_affected))
+            }
+        }
+    }
+}
+
+/// A database server listening on localhost.
+pub struct Server {
+    port: u16,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start serving `engine` on an ephemeral localhost port.
+    pub fn start(engine: ServerEngine) -> Result<Server> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let port = listener.local_addr()?.port();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let engine = Arc::new(engine);
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let engine = engine.clone();
+                let stop3 = stop2.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &engine, &stop3);
+                });
+            }
+        });
+        Ok(Server { port, stop, handle: Some(handle) })
+    }
+
+    /// The port clients connect to.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    engine: &ServerEngine,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if let Some(sql) = line.strip_prefix("Q ") {
+            let sql = unescape_line(sql);
+            match engine.run(&sql) {
+                Err(e) => {
+                    writeln!(writer, "E {}", e.to_string().replace('\n', " "))?;
+                }
+                Ok((names, types, rows, affected)) => {
+                    if names.is_empty() {
+                        writeln!(writer, "A {affected}")?;
+                    } else {
+                        writeln!(writer, "R {}", names.len())?;
+                        writeln!(writer, "N {}", names.join("\t"))?;
+                        writeln!(
+                            writer,
+                            "T {}",
+                            types.iter().map(|&t| type_name(t)).collect::<Vec<_>>().join("\t")
+                        )?;
+                        // Row-at-a-time serialisation: the client-protocol
+                        // cost of paper ref [15].
+                        let mut buf = BytesMut::with_capacity(8192);
+                        for row in &rows {
+                            encode_row(&mut buf, row);
+                            if buf.len() >= 8192 {
+                                writer.write_all(&buf)?;
+                                buf.clear();
+                            }
+                        }
+                        writer.write_all(&buf)?;
+                        writeln!(writer, ".")?;
+                    }
+                }
+            }
+            writer.flush()?;
+        } else if line == "X" || line.is_empty() {
+            return Ok(());
+        } else {
+            writeln!(writer, "E protocol violation")?;
+            writer.flush()?;
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Row tables: row-major serialisation into pages + a B-tree row index,
+//! the storage shape of SQLite ("a row-store database that uses ... a
+//! B-tree structure ... to store data internally", paper §4.2).
+
+use crate::page::{PageStore, PAGE_SIZE};
+use monetlite_types::{Date, Decimal, LogicalType, MlError, Result, Schema, Value};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Location of one row in the page store.
+#[derive(Debug, Clone, Copy)]
+struct RowPtr {
+    page: u32,
+    offset: u32,
+    len: u32,
+}
+
+/// One row-major table.
+pub struct RowTable {
+    schema: Schema,
+    /// The page cache mutates (LRU, loads) even during logically-const
+    /// scans, like any buffer manager behind a latch; `RowDb`'s mutex
+    /// guarantees single-threaded access.
+    pages: RefCell<PageStore>,
+    /// rowid → row location: the B-tree.
+    btree: BTreeMap<u64, RowPtr>,
+    next_rowid: u64,
+    tail_page: Option<u32>,
+}
+
+impl RowTable {
+    /// Create a table whose pages spill to `spill_path`.
+    pub fn new(schema: Schema, spill_path: PathBuf, budget_pages: usize) -> Result<RowTable> {
+        Ok(RowTable {
+            schema,
+            pages: RefCell::new(PageStore::new(spill_path, budget_pages)),
+            btree: BTreeMap::new(),
+            next_rowid: 1,
+            tail_page: None,
+        })
+    }
+
+    /// Column definitions.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Live rows.
+    pub fn row_count(&self) -> usize {
+        self.btree.len()
+    }
+
+    /// Page reads from the spill file.
+    pub fn io_reads(&self) -> u64 {
+        self.pages.borrow().io_reads()
+    }
+
+    /// Insert one row (serialise + append + index).
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<u64> {
+        if row.len() != self.schema.len() {
+            return Err(MlError::Execution(format!(
+                "row has {} values, table has {} columns",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        let bytes = encode_row(&row, &self.schema)?;
+        if bytes.len() > PAGE_SIZE - 8 {
+            return Err(MlError::Execution("row exceeds page size".into()));
+        }
+        let mut pages = self.pages.borrow_mut();
+        let page = match self.tail_page {
+            Some(p) if pages.free_in(p)? >= bytes.len() => p,
+            _ => {
+                let p = pages.new_page()?;
+                self.tail_page = Some(p);
+                p
+            }
+        };
+        let offset = pages.append(page, &bytes)?;
+        drop(pages);
+        let rowid = self.next_rowid;
+        self.next_rowid += 1;
+        self.btree.insert(rowid, RowPtr { page, offset, len: bytes.len() as u32 });
+        Ok(rowid)
+    }
+
+    /// Scan rows in rowid order; the callback returns false to stop.
+    /// Every row is fully deserialised — the row-store scan cost.
+    pub fn scan(&self, mut f: impl FnMut(Vec<Value>) -> Result<bool>) -> Result<()> {
+        let ptrs: Vec<RowPtr> = self.btree.values().copied().collect();
+        for ptr in ptrs {
+            let bytes = self.pages.borrow_mut().read(ptr.page, ptr.offset, ptr.len)?;
+            let row = decode_row(&bytes, &self.schema)?;
+            if !f(row)? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete rows matching the predicate; returns the count.
+    pub fn delete_where(
+        &mut self,
+        mut pred: impl FnMut(&[Value]) -> Result<bool>,
+    ) -> Result<u64> {
+        let ptrs: Vec<(u64, RowPtr)> = self.btree.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut doomed = Vec::new();
+        for (rowid, ptr) in ptrs {
+            let bytes = self.pages.borrow_mut().read(ptr.page, ptr.offset, ptr.len)?;
+            let row = decode_row(&bytes, &self.schema)?;
+            if pred(&row)? {
+                doomed.push(rowid);
+            }
+        }
+        let n = doomed.len() as u64;
+        for rowid in doomed {
+            self.btree.remove(&rowid);
+        }
+        // Space is not reclaimed (SQLite leaves free pages too).
+        Ok(n)
+    }
+
+    /// Update rows matching the predicate; returns the count.
+    pub fn update_where(
+        &mut self,
+        mut pred: impl FnMut(&[Value]) -> Result<bool>,
+        mut newval: impl FnMut(&[Value]) -> Result<Vec<Value>>,
+    ) -> Result<u64> {
+        let ptrs: Vec<(u64, RowPtr)> = self.btree.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut updates = Vec::new();
+        for (rowid, ptr) in ptrs {
+            let bytes = self.pages.borrow_mut().read(ptr.page, ptr.offset, ptr.len)?;
+            let row = decode_row(&bytes, &self.schema)?;
+            if pred(&row)? {
+                updates.push((rowid, newval(&row)?));
+            }
+        }
+        let n = updates.len() as u64;
+        for (rowid, row) in updates {
+            // Rewrite the row at a fresh location, keep the rowid.
+            let bytes = encode_row(&row, &self.schema)?;
+            let mut pages = self.pages.borrow_mut();
+            let page = match self.tail_page {
+                Some(p) if pages.free_in(p)? >= bytes.len() => p,
+                _ => {
+                    let p = pages.new_page()?;
+                    self.tail_page = Some(p);
+                    p
+                }
+            };
+            let offset = pages.append(page, &bytes)?;
+            drop(pages);
+            self.btree
+                .insert(rowid, RowPtr { page, offset, len: bytes.len() as u32 });
+        }
+        Ok(n)
+    }
+
+    /// Flush pages to the spill/database file.
+    pub fn sync(&mut self) -> Result<()> {
+        self.pages.borrow_mut().sync()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row serialisation (row-major, schema-driven)
+// ---------------------------------------------------------------------------
+
+/// Encode a row: per column `[null: u8][payload]`.
+pub fn encode_row(row: &[Value], schema: &Schema) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(row.len() * 8);
+    for (v, f) in row.iter().zip(schema.fields()) {
+        match v {
+            Value::Null => out.push(0),
+            _ => {
+                out.push(1);
+                match (v, f.ty) {
+                    (Value::Bool(b), LogicalType::Bool) => out.push(*b as u8),
+                    (Value::Int(x), LogicalType::Int) => {
+                        out.extend_from_slice(&x.to_le_bytes())
+                    }
+                    (Value::Bigint(x), LogicalType::Bigint) => {
+                        out.extend_from_slice(&x.to_le_bytes())
+                    }
+                    (Value::Int(x), LogicalType::Bigint) => {
+                        out.extend_from_slice(&(*x as i64).to_le_bytes())
+                    }
+                    (Value::Double(x), LogicalType::Double) => {
+                        out.extend_from_slice(&x.to_bits().to_le_bytes())
+                    }
+                    (Value::Decimal(d), LogicalType::Decimal { scale, .. }) => {
+                        out.extend_from_slice(&d.rescale(scale)?.raw.to_le_bytes())
+                    }
+                    (Value::Str(s), LogicalType::Varchar) => {
+                        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                        out.extend_from_slice(s.as_bytes());
+                    }
+                    (Value::Date(d), LogicalType::Date) => {
+                        out.extend_from_slice(&d.0.to_le_bytes())
+                    }
+                    (v, ty) => {
+                        return Err(MlError::TypeMismatch(format!(
+                            "cannot store {v:?} in {ty} column '{}'",
+                            f.name
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Decode a full row (always the whole row: row-major storage).
+pub fn decode_row(bytes: &[u8], schema: &Schema) -> Result<Vec<Value>> {
+    let mut row = Vec::with_capacity(schema.len());
+    let mut pos = 0usize;
+    let bad = || MlError::Corrupt("truncated row".into());
+    for f in schema.fields() {
+        if pos >= bytes.len() {
+            return Err(bad());
+        }
+        let present = bytes[pos] == 1;
+        pos += 1;
+        if !present {
+            row.push(Value::Null);
+            continue;
+        }
+        let v = match f.ty {
+            LogicalType::Bool => {
+                let b = *bytes.get(pos).ok_or_else(bad)?;
+                pos += 1;
+                Value::Bool(b != 0)
+            }
+            LogicalType::Int => {
+                let b = bytes.get(pos..pos + 4).ok_or_else(bad)?;
+                pos += 4;
+                Value::Int(i32::from_le_bytes(b.try_into().unwrap()))
+            }
+            LogicalType::Bigint => {
+                let b = bytes.get(pos..pos + 8).ok_or_else(bad)?;
+                pos += 8;
+                Value::Bigint(i64::from_le_bytes(b.try_into().unwrap()))
+            }
+            LogicalType::Double => {
+                let b = bytes.get(pos..pos + 8).ok_or_else(bad)?;
+                pos += 8;
+                Value::Double(f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+            }
+            LogicalType::Decimal { scale, .. } => {
+                let b = bytes.get(pos..pos + 8).ok_or_else(bad)?;
+                pos += 8;
+                Value::Decimal(Decimal::new(i64::from_le_bytes(b.try_into().unwrap()), scale))
+            }
+            LogicalType::Varchar => {
+                let lb = bytes.get(pos..pos + 4).ok_or_else(bad)?;
+                let len = u32::from_le_bytes(lb.try_into().unwrap()) as usize;
+                pos += 4;
+                let sb = bytes.get(pos..pos + len).ok_or_else(bad)?;
+                pos += len;
+                Value::Str(
+                    std::str::from_utf8(sb)
+                        .map_err(|_| MlError::Corrupt("bad utf-8 in row".into()))?
+                        .to_string(),
+                )
+            }
+            LogicalType::Date => {
+                let b = bytes.get(pos..pos + 4).ok_or_else(bad)?;
+                pos += 4;
+                Value::Date(Date(i32::from_le_bytes(b.try_into().unwrap())))
+            }
+        };
+        row.push(v);
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monetlite_types::Field;
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("a", LogicalType::Int),
+            Field::new("b", LogicalType::Varchar),
+            Field::new("c", LogicalType::Decimal { width: 10, scale: 2 }),
+            Field::new("d", LogicalType::Date),
+            Field::new("e", LogicalType::Bool),
+            Field::new("f", LogicalType::Double),
+            Field::new("g", LogicalType::Bigint),
+        ])
+        .unwrap()
+    }
+
+    fn sample_row() -> Vec<Value> {
+        vec![
+            Value::Int(7),
+            Value::Str("héllo".into()),
+            Value::Decimal(Decimal::new(1234, 2)),
+            Value::Date(Date(9000)),
+            Value::Bool(true),
+            Value::Double(2.75),
+            Value::Bigint(-5),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = schema();
+        let row = sample_row();
+        let bytes = encode_row(&row, &s).unwrap();
+        assert_eq!(decode_row(&bytes, &s).unwrap(), row);
+    }
+
+    #[test]
+    fn nulls_roundtrip() {
+        let s = schema();
+        let row = vec![
+            Value::Int(1),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ];
+        let bytes = encode_row(&row, &s).unwrap();
+        assert_eq!(decode_row(&bytes, &s).unwrap(), row);
+    }
+
+    #[test]
+    fn table_insert_scan_delete_update() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut t =
+            RowTable::new(schema(), dir.path().join("x.rsdb"), usize::MAX).unwrap();
+        for i in 0..10 {
+            let mut row = sample_row();
+            row[0] = Value::Int(i);
+            t.insert(row).unwrap();
+        }
+        assert_eq!(t.row_count(), 10);
+        let mut seen = 0;
+        t.scan(|row| {
+            assert_eq!(row.len(), 7);
+            seen += 1;
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(seen, 10);
+        let n = t.delete_where(|r| Ok(matches!(r[0], Value::Int(x) if x < 5))).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(t.row_count(), 5);
+        let n = t
+            .update_where(
+                |r| Ok(matches!(r[0], Value::Int(5))),
+                |r| {
+                    let mut new = r.to_vec();
+                    new[1] = Value::Str("updated".into());
+                    Ok(new)
+                },
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        let mut found = false;
+        t.scan(|row| {
+            if row[0] == Value::Int(5) {
+                assert_eq!(row[1], Value::Str("updated".into()));
+                found = true;
+            }
+            Ok(true)
+        })
+        .unwrap();
+        assert!(found);
+    }
+
+    #[test]
+    fn early_scan_stop() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut t = RowTable::new(schema(), dir.path().join("y.rsdb"), usize::MAX).unwrap();
+        for _ in 0..10 {
+            t.insert(sample_row()).unwrap();
+        }
+        let mut n = 0;
+        t.scan(|_| {
+            n += 1;
+            Ok(n < 3)
+        })
+        .unwrap();
+        assert_eq!(n, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_row_roundtrip(a in any::<i32>(), s in ".{0,30}", raw in -10_000i64..10_000) {
+            let sch = schema();
+            let row = vec![
+                Value::Int(a),
+                Value::Str(s),
+                Value::Decimal(Decimal::new(raw, 2)),
+                Value::Null,
+                Value::Bool(false),
+                Value::Double(raw as f64 / 7.0),
+                Value::Bigint(raw * 3),
+            ];
+            let bytes = encode_row(&row, &sch).unwrap();
+            prop_assert_eq!(decode_row(&bytes, &sch).unwrap(), row);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! SQL tokenizer.
+//!
+//! Produces a flat token stream with byte offsets for error reporting.
+//! Keywords are recognised case-insensitively; identifiers fold to lower
+//! case unless double-quoted; string literals use single quotes with `''`
+//! escaping (the SQL standard).
+
+use monetlite_types::{MlError, Result};
+
+/// One lexical token plus its starting byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source (for error messages).
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (lower-cased).
+    Ident(String),
+    /// Double-quoted identifier (case preserved).
+    QuotedIdent(String),
+    /// String literal.
+    Str(String),
+    /// Integer literal (may exceed i32; binder decides width).
+    Int(i64),
+    /// Decimal literal kept textually exact (e.g. `0.05`).
+    Number(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(MlError::parse("unterminated block comment", start));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(MlError::parse("unterminated string literal", start));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Strings may contain multi-byte UTF-8; copy bytes
+                        // and validate at the end of the literal.
+                        let ch_len = utf8_len(bytes[i]);
+                        let end = (i + ch_len).min(bytes.len());
+                        s.push_str(
+                            std::str::from_utf8(&bytes[i..end])
+                                .map_err(|_| MlError::parse("invalid utf-8 in literal", i))?,
+                        );
+                        i = end;
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                while i < bytes.len() && bytes[i] != b'"' {
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(MlError::parse("unterminated quoted identifier", start));
+                }
+                i += 1;
+                out.push(Token { kind: TokenKind::QuotedIdent(s), offset: start });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_decimal = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit());
+                if is_decimal {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Number(src[start..i].to_string()),
+                        offset: start,
+                    });
+                } else {
+                    let text = &src[start..i];
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| MlError::parse(format!("integer '{text}' too large"), start))?;
+                    out.push(Token { kind: TokenKind::Int(v), offset: start });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_ascii_lowercase()),
+                    offset: start,
+                });
+            }
+            _ => {
+                let start = i;
+                let (kind, advance) = match c {
+                    b',' => (TokenKind::Comma, 1),
+                    b'(' => (TokenKind::LParen, 1),
+                    b')' => (TokenKind::RParen, 1),
+                    b';' => (TokenKind::Semicolon, 1),
+                    b'.' => (TokenKind::Dot, 1),
+                    b'*' => (TokenKind::Star, 1),
+                    b'+' => (TokenKind::Plus, 1),
+                    b'-' => (TokenKind::Minus, 1),
+                    b'/' => (TokenKind::Slash, 1),
+                    b'%' => (TokenKind::Percent, 1),
+                    b'=' => (TokenKind::Eq, 1),
+                    b'!' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::NotEq, 2),
+                    b'<' if bytes.get(i + 1) == Some(&b'>') => (TokenKind::NotEq, 2),
+                    b'<' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::LtEq, 2),
+                    b'<' => (TokenKind::Lt, 1),
+                    b'>' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::GtEq, 2),
+                    b'>' => (TokenKind::Gt, 1),
+                    other => {
+                        return Err(MlError::parse(
+                            format!("unexpected character '{}'", other as char),
+                            start,
+                        ))
+                    }
+                };
+                out.push(Token { kind, offset: start });
+                i += advance;
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(out)
+}
+
+#[inline]
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_fold_to_lowercase() {
+        assert_eq!(
+            kinds("SELECT a FROM T"),
+            vec![
+                Ident("select".into()),
+                Ident("a".into()),
+                Ident("from".into()),
+                Ident("t".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_decimal() {
+        assert_eq!(kinds("42 0.05 1.1"), vec![Int(42), Number("0.05".into()), Number("1.1".into()), Eof]);
+        // `1.` followed by non-digit is Int + Dot (qualified names like t.c).
+        assert_eq!(kinds("t.c"), vec![Ident("t".into()), Dot, Ident("c".into()), Eof]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'it''s'"), vec![Str("it's".into()), Eof]);
+        assert_eq!(kinds("'ASIA'"), vec![Str("ASIA".into()), Eof]);
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a <= b <> c >= d != e"),
+            vec![
+                Ident("a".into()),
+                LtEq,
+                Ident("b".into()),
+                NotEq,
+                Ident("c".into()),
+                GtEq,
+                Ident("d".into()),
+                NotEq,
+                Ident("e".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("select -- hi\n 1 /* block\nmore */ 2"), vec![
+            Ident("select".into()), Int(1), Int(2), Eof
+        ]);
+        assert!(tokenize("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn quoted_identifiers_preserve_case() {
+        assert_eq!(kinds("\"MyCol\""), vec![QuotedIdent("MyCol".into()), Eof]);
+    }
+
+    #[test]
+    fn offsets_reported() {
+        let toks = tokenize("select x").unwrap();
+        assert_eq!(toks[1].offset, 7);
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        assert!(tokenize("select ^").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'héllo — ok'"), vec![Str("héllo — ok".into()), Eof]);
+    }
+}

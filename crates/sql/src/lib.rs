@@ -1,0 +1,21 @@
+//! # monetlite-sql
+//!
+//! SQL frontend shared by the `monetlite` columnar engine and the
+//! `monetlite-rowstore` baseline: a hand-written lexer ([`lexer`]), the
+//! abstract syntax tree ([`ast`]) and a recursive-descent parser
+//! ([`parser`]).
+//!
+//! The dialect covers what the paper's workloads require (§4): the full
+//! TPC-H Q1–Q10 feature set — multi-way joins (inner and left outer),
+//! grouped aggregation with HAVING, ORDER BY/LIMIT, scalar and
+//! EXISTS/IN subqueries (correlated), CASE, LIKE, BETWEEN, EXTRACT and
+//! DATE/INTERVAL arithmetic — plus the DDL/DML surface of an embedded
+//! store: CREATE/DROP TABLE, CREATE \[ORDER\] INDEX, INSERT/UPDATE/DELETE,
+//! and explicit transactions.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use parser::{parse_statement, parse_statements};

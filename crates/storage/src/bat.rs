@@ -1,0 +1,486 @@
+//! BAT-style columns: tightly packed typed arrays (paper §3.1).
+//!
+//! "Every column is stored either in-memory or on-disk as a tightly packed
+//! array. Row-numbers for each value are never explicitly stored. Instead,
+//! they are implicitly derived from their position in the tightly packed
+//! array."
+//!
+//! [`Bat`] is the engine-internal column. Fixed-width types are plain
+//! `Vec<T>` with in-domain NULL sentinels; VARCHAR is an offsets array over
+//! a [`StringHeap`]. Conversion to and from the host interchange format
+//! ([`ColumnBuffer`]) happens only at the embedding boundary.
+
+use crate::heap::{StringHeap, NULL_OFFSET};
+use monetlite_types::nulls::{NULL_I32, NULL_I64, NULL_I8};
+use monetlite_types::{ColumnBuffer, Date, Decimal, LogicalType, MlError, Result, Value};
+
+/// A single engine-internal column.
+#[derive(Debug, Clone)]
+pub enum Bat {
+    /// BOOLEAN as i8 (NULL = i8::MIN).
+    Bool(Vec<i8>),
+    /// INTEGER (NULL = i32::MIN).
+    Int(Vec<i32>),
+    /// BIGINT (NULL = i64::MIN).
+    Bigint(Vec<i64>),
+    /// DOUBLE (NULL = NaN).
+    Double(Vec<f64>),
+    /// DECIMAL as scaled i64 (NULL = i64::MIN).
+    Decimal {
+        /// Scaled raw values.
+        data: Vec<i64>,
+        /// Fractional digits.
+        scale: u8,
+    },
+    /// VARCHAR: offsets into a string heap (offset 0 = NULL).
+    Varchar {
+        /// Per-row heap offsets.
+        offsets: Vec<u32>,
+        /// The shared value heap (with duplicate elimination).
+        heap: StringHeap,
+    },
+    /// DATE as days since epoch (NULL = i32::MIN).
+    Date(Vec<i32>),
+}
+
+impl Bat {
+    /// Empty column of a logical type.
+    pub fn new(ty: LogicalType) -> Bat {
+        Self::with_capacity(ty, 0)
+    }
+
+    /// Empty column with reserved capacity.
+    pub fn with_capacity(ty: LogicalType, cap: usize) -> Bat {
+        match ty {
+            LogicalType::Bool => Bat::Bool(Vec::with_capacity(cap)),
+            LogicalType::Int => Bat::Int(Vec::with_capacity(cap)),
+            LogicalType::Bigint => Bat::Bigint(Vec::with_capacity(cap)),
+            LogicalType::Double => Bat::Double(Vec::with_capacity(cap)),
+            LogicalType::Decimal { scale, .. } => {
+                Bat::Decimal { data: Vec::with_capacity(cap), scale }
+            }
+            LogicalType::Varchar => {
+                Bat::Varchar { offsets: Vec::with_capacity(cap), heap: StringHeap::new() }
+            }
+            LogicalType::Date => Bat::Date(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Bat::Bool(v) => v.len(),
+            Bat::Int(v) => v.len(),
+            Bat::Bigint(v) => v.len(),
+            Bat::Double(v) => v.len(),
+            Bat::Decimal { data, .. } => data.len(),
+            Bat::Varchar { offsets, .. } => offsets.len(),
+            Bat::Date(v) => v.len(),
+        }
+    }
+
+    /// True for zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical type.
+    pub fn logical_type(&self) -> LogicalType {
+        match self {
+            Bat::Bool(_) => LogicalType::Bool,
+            Bat::Int(_) => LogicalType::Int,
+            Bat::Bigint(_) => LogicalType::Bigint,
+            Bat::Double(_) => LogicalType::Double,
+            Bat::Decimal { scale, .. } => LogicalType::Decimal { width: 18, scale: *scale },
+            Bat::Varchar { .. } => LogicalType::Varchar,
+            Bat::Date(_) => LogicalType::Date,
+        }
+    }
+
+    /// Approximate resident size in bytes (array + heap), the quantity the
+    /// vmem budget accounts.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Bat::Bool(v) => v.len(),
+            Bat::Int(v) | Bat::Date(v) => v.len() * 4,
+            Bat::Bigint(v) => v.len() * 8,
+            Bat::Double(v) => v.len() * 8,
+            Bat::Decimal { data, .. } => data.len() * 8,
+            Bat::Varchar { offsets, heap } => offsets.len() * 4 + heap.size_bytes(),
+        }
+    }
+
+    /// Row `i` as a dynamic [`Value`] (cold path: spot checks, wire
+    /// protocol, row-store bridge).
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Bat::Bool(v) => {
+                if v[i] == NULL_I8 {
+                    Value::Null
+                } else {
+                    Value::Bool(v[i] != 0)
+                }
+            }
+            Bat::Int(v) => {
+                if v[i] == NULL_I32 {
+                    Value::Null
+                } else {
+                    Value::Int(v[i])
+                }
+            }
+            Bat::Bigint(v) => {
+                if v[i] == NULL_I64 {
+                    Value::Null
+                } else {
+                    Value::Bigint(v[i])
+                }
+            }
+            Bat::Double(v) => {
+                if v[i].is_nan() {
+                    Value::Null
+                } else {
+                    Value::Double(v[i])
+                }
+            }
+            Bat::Decimal { data, scale } => {
+                if data[i] == NULL_I64 {
+                    Value::Null
+                } else {
+                    Value::Decimal(Decimal::new(data[i], *scale))
+                }
+            }
+            Bat::Varchar { offsets, heap } => {
+                if offsets[i] == NULL_OFFSET {
+                    Value::Null
+                } else {
+                    Value::Str(heap.get(offsets[i]).to_string())
+                }
+            }
+            Bat::Date(v) => {
+                if v[i] == NULL_I32 {
+                    Value::Null
+                } else {
+                    Value::Date(Date(v[i]))
+                }
+            }
+        }
+    }
+
+    /// Borrowed string at row `i` (`None` for NULL). Only valid on Varchar.
+    #[inline]
+    pub fn str_at(&self, i: usize) -> Option<&str> {
+        match self {
+            Bat::Varchar { offsets, heap } => {
+                if offsets[i] == NULL_OFFSET {
+                    None
+                } else {
+                    Some(heap.get(offsets[i]))
+                }
+            }
+            _ => panic!("str_at on non-varchar column"),
+        }
+    }
+
+    /// True iff row `i` is NULL.
+    #[inline]
+    pub fn is_null_at(&self, i: usize) -> bool {
+        match self {
+            Bat::Bool(v) => v[i] == NULL_I8,
+            Bat::Int(v) | Bat::Date(v) => v[i] == NULL_I32,
+            Bat::Bigint(v) => v[i] == NULL_I64,
+            Bat::Double(v) => v[i].is_nan(),
+            Bat::Decimal { data, .. } => data[i] == NULL_I64,
+            Bat::Varchar { offsets, .. } => offsets[i] == NULL_OFFSET,
+        }
+    }
+
+    /// Append a dynamic value (cold path).
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        match (&mut *self, v) {
+            (Bat::Bool(c), Value::Bool(b)) => c.push(*b as i8),
+            (Bat::Bool(c), Value::Null) => c.push(NULL_I8),
+            (Bat::Int(c), Value::Int(x)) => c.push(*x),
+            (Bat::Int(c), Value::Null) => c.push(NULL_I32),
+            (Bat::Bigint(c), Value::Bigint(x)) => c.push(*x),
+            (Bat::Bigint(c), Value::Int(x)) => c.push(*x as i64),
+            (Bat::Bigint(c), Value::Null) => c.push(NULL_I64),
+            (Bat::Double(c), Value::Double(x)) => c.push(*x),
+            (Bat::Double(c), Value::Int(x)) => c.push(*x as f64),
+            (Bat::Double(c), Value::Bigint(x)) => c.push(*x as f64),
+            (Bat::Double(c), Value::Decimal(d)) => c.push(d.to_f64()),
+            (Bat::Double(c), Value::Null) => c.push(f64::NAN),
+            (Bat::Decimal { data, scale }, Value::Decimal(d)) => data.push(d.rescale(*scale)?.raw),
+            (Bat::Decimal { data, scale }, Value::Int(x)) => {
+                data.push(Decimal::new(*x as i64, 0).rescale(*scale)?.raw)
+            }
+            (Bat::Decimal { data, .. }, Value::Null) => data.push(NULL_I64),
+            (Bat::Varchar { offsets, heap }, Value::Str(s)) => offsets.push(heap.add(s)),
+            (Bat::Varchar { offsets, .. }, Value::Null) => offsets.push(NULL_OFFSET),
+            (Bat::Date(c), Value::Date(d)) => c.push(d.0),
+            (Bat::Date(c), Value::Null) => c.push(NULL_I32),
+            (b, v) => {
+                return Err(MlError::TypeMismatch(format!(
+                    "cannot append {v:?} to {} column",
+                    b.logical_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Bulk-convert a host buffer into a BAT. This is the engine side of
+    /// `monetdb_append`: a single pass, no per-row statement parsing.
+    pub fn from_buffer(buf: &ColumnBuffer) -> Bat {
+        match buf {
+            ColumnBuffer::Bool(v) => Bat::Bool(v.clone()),
+            ColumnBuffer::Int(v) => Bat::Int(v.clone()),
+            ColumnBuffer::Bigint(v) => Bat::Bigint(v.clone()),
+            ColumnBuffer::Double(v) => Bat::Double(v.clone()),
+            ColumnBuffer::Decimal { data, scale } => {
+                Bat::Decimal { data: data.clone(), scale: *scale }
+            }
+            ColumnBuffer::Varchar(v) => {
+                let mut heap = StringHeap::new();
+                let offsets = v
+                    .iter()
+                    .map(|s| match s {
+                        None => NULL_OFFSET,
+                        Some(s) => heap.add(s),
+                    })
+                    .collect();
+                Bat::Varchar { offsets, heap }
+            }
+            ColumnBuffer::Date(v) => Bat::Date(v.clone()),
+        }
+    }
+
+    /// Export to a host buffer; `sel` restricts and orders rows.
+    ///
+    /// For fixed-width types with `sel == None` this is the eager-copy
+    /// conversion path; the zero-copy path in the core crate shares the
+    /// backing `Arc<Bat>` instead and never calls this.
+    pub fn to_buffer(&self, sel: Option<&[u32]>) -> ColumnBuffer {
+        match sel {
+            None => match self {
+                Bat::Bool(v) => ColumnBuffer::Bool(v.clone()),
+                Bat::Int(v) => ColumnBuffer::Int(v.clone()),
+                Bat::Bigint(v) => ColumnBuffer::Bigint(v.clone()),
+                Bat::Double(v) => ColumnBuffer::Double(v.clone()),
+                Bat::Decimal { data, scale } => {
+                    ColumnBuffer::Decimal { data: data.clone(), scale: *scale }
+                }
+                Bat::Varchar { offsets, heap } => ColumnBuffer::Varchar(
+                    offsets
+                        .iter()
+                        .map(|&o| if o == NULL_OFFSET { None } else { Some(heap.get(o).to_string()) })
+                        .collect(),
+                ),
+                Bat::Date(v) => ColumnBuffer::Date(v.clone()),
+            },
+            Some(sel) => match self {
+                Bat::Bool(v) => ColumnBuffer::Bool(sel.iter().map(|&i| v[i as usize]).collect()),
+                Bat::Int(v) => ColumnBuffer::Int(sel.iter().map(|&i| v[i as usize]).collect()),
+                Bat::Bigint(v) => ColumnBuffer::Bigint(sel.iter().map(|&i| v[i as usize]).collect()),
+                Bat::Double(v) => ColumnBuffer::Double(sel.iter().map(|&i| v[i as usize]).collect()),
+                Bat::Decimal { data, scale } => ColumnBuffer::Decimal {
+                    data: sel.iter().map(|&i| data[i as usize]).collect(),
+                    scale: *scale,
+                },
+                Bat::Varchar { offsets, heap } => ColumnBuffer::Varchar(
+                    sel.iter()
+                        .map(|&i| {
+                            let o = offsets[i as usize];
+                            if o == NULL_OFFSET {
+                                None
+                            } else {
+                                Some(heap.get(o).to_string())
+                            }
+                        })
+                        .collect(),
+                ),
+                Bat::Date(v) => ColumnBuffer::Date(sel.iter().map(|&i| v[i as usize]).collect()),
+            },
+        }
+    }
+
+    /// Append all rows of another BAT (string values are re-interned into
+    /// this heap so duplicate elimination keeps working across appends).
+    pub fn append_bat(&mut self, other: &Bat) -> Result<()> {
+        match (&mut *self, other) {
+            (Bat::Bool(a), Bat::Bool(b)) => a.extend_from_slice(b),
+            (Bat::Int(a), Bat::Int(b)) => a.extend_from_slice(b),
+            (Bat::Bigint(a), Bat::Bigint(b)) => a.extend_from_slice(b),
+            (Bat::Double(a), Bat::Double(b)) => a.extend_from_slice(b),
+            (Bat::Decimal { data: a, scale: sa }, Bat::Decimal { data: b, scale: sb }) => {
+                if sa == sb {
+                    a.extend_from_slice(b);
+                } else {
+                    for &raw in b {
+                        if raw == NULL_I64 {
+                            a.push(NULL_I64);
+                        } else {
+                            a.push(Decimal::new(raw, *sb).rescale(*sa)?.raw);
+                        }
+                    }
+                }
+            }
+            (Bat::Varchar { offsets, heap }, Bat::Varchar { offsets: bo, heap: bh }) => {
+                for &o in bo {
+                    if o == NULL_OFFSET {
+                        offsets.push(NULL_OFFSET);
+                    } else {
+                        offsets.push(heap.add(bh.get(o)));
+                    }
+                }
+            }
+            (Bat::Date(a), Bat::Date(b)) => a.extend_from_slice(b),
+            (a, b) => {
+                return Err(MlError::TypeMismatch(format!(
+                    "cannot append {} BAT to {} BAT",
+                    b.logical_type(),
+                    a.logical_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Gather rows by position into a new BAT (the `fetch`/projection
+    /// kernel's materialisation step). Varchar gathers share the heap via
+    /// clone, keeping the cost proportional to the selection.
+    pub fn take(&self, sel: &[u32]) -> Bat {
+        match self {
+            Bat::Bool(v) => Bat::Bool(sel.iter().map(|&i| v[i as usize]).collect()),
+            Bat::Int(v) => Bat::Int(sel.iter().map(|&i| v[i as usize]).collect()),
+            Bat::Bigint(v) => Bat::Bigint(sel.iter().map(|&i| v[i as usize]).collect()),
+            Bat::Double(v) => Bat::Double(sel.iter().map(|&i| v[i as usize]).collect()),
+            Bat::Decimal { data, scale } => {
+                Bat::Decimal { data: sel.iter().map(|&i| data[i as usize]).collect(), scale: *scale }
+            }
+            Bat::Varchar { offsets, heap } => Bat::Varchar {
+                offsets: sel.iter().map(|&i| offsets[i as usize]).collect(),
+                heap: heap.clone(),
+            },
+            Bat::Date(v) => Bat::Date(sel.iter().map(|&i| v[i as usize]).collect()),
+        }
+    }
+
+    /// Count of NULL rows.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Bat::Bool(v) => v.iter().filter(|&&x| x == NULL_I8).count(),
+            Bat::Int(v) | Bat::Date(v) => v.iter().filter(|&&x| x == NULL_I32).count(),
+            Bat::Bigint(v) => v.iter().filter(|&&x| x == NULL_I64).count(),
+            Bat::Double(v) => v.iter().filter(|x| x.is_nan()).count(),
+            Bat::Decimal { data, .. } => data.iter().filter(|&&x| x == NULL_I64).count(),
+            Bat::Varchar { offsets, .. } => offsets.iter().filter(|&&o| o == NULL_OFFSET).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_to_buffer_roundtrip_fixed() {
+        let buf = ColumnBuffer::Int(vec![1, NULL_I32, 3]);
+        let bat = Bat::from_buffer(&buf);
+        assert_eq!(bat.len(), 3);
+        assert_eq!(bat.null_count(), 1);
+        assert_eq!(bat.to_buffer(None), buf);
+    }
+
+    #[test]
+    fn from_to_buffer_roundtrip_strings() {
+        let buf = ColumnBuffer::Varchar(vec![
+            Some("a".into()),
+            None,
+            Some("b".into()),
+            Some("a".into()),
+        ]);
+        let bat = Bat::from_buffer(&buf);
+        assert_eq!(bat.null_count(), 1);
+        assert_eq!(bat.str_at(0), Some("a"));
+        assert_eq!(bat.str_at(1), None);
+        // dedup collapsed the two "a"s
+        if let Bat::Varchar { offsets, .. } = &bat {
+            assert_eq!(offsets[0], offsets[3]);
+        }
+        assert_eq!(bat.to_buffer(None), buf);
+    }
+
+    #[test]
+    fn selective_export() {
+        let bat = Bat::from_buffer(&ColumnBuffer::Int(vec![10, 20, 30, 40]));
+        assert_eq!(bat.to_buffer(Some(&[2, 0])), ColumnBuffer::Int(vec![30, 10]));
+    }
+
+    #[test]
+    fn take_strings_keeps_heap_valid() {
+        let bat = Bat::from_buffer(&ColumnBuffer::Varchar(vec![
+            Some("x".into()),
+            Some("y".into()),
+            None,
+        ]));
+        let t = bat.take(&[1, 2]);
+        assert_eq!(t.str_at(0), Some("y"));
+        assert_eq!(t.str_at(1), None);
+    }
+
+    #[test]
+    fn append_bat_reinterns_strings() {
+        let mut a = Bat::from_buffer(&ColumnBuffer::Varchar(vec![Some("shared".into())]));
+        let b = Bat::from_buffer(&ColumnBuffer::Varchar(vec![Some("shared".into()), None]));
+        a.append_bat(&b).unwrap();
+        assert_eq!(a.len(), 3);
+        if let Bat::Varchar { offsets, .. } = &a {
+            assert_eq!(offsets[0], offsets[1], "re-interning should dedup");
+            assert_eq!(offsets[2], NULL_OFFSET);
+        }
+    }
+
+    #[test]
+    fn append_decimal_mixed_scale() {
+        let mut a = Bat::Decimal { data: vec![100], scale: 2 };
+        a.append_bat(&Bat::Decimal { data: vec![7], scale: 0 }).unwrap();
+        assert_eq!(a.get(1), Value::Decimal(Decimal::new(700, 2)));
+    }
+
+    #[test]
+    fn push_values() {
+        let mut b = Bat::new(LogicalType::Date);
+        b.push(&Value::Date(Date(100))).unwrap();
+        b.push(&Value::Null).unwrap();
+        assert_eq!(b.get(0), Value::Date(Date(100)));
+        assert!(b.is_null_at(1));
+        assert!(b.push(&Value::Int(5)).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_append_errors() {
+        let mut a = Bat::new(LogicalType::Int);
+        assert!(a.append_bat(&Bat::new(LogicalType::Double)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_buffer_roundtrip_int(v in proptest::collection::vec(any::<i32>(), 0..100)) {
+            let buf = ColumnBuffer::Int(v);
+            let bat = Bat::from_buffer(&buf);
+            prop_assert_eq!(bat.to_buffer(None), buf);
+        }
+
+        #[test]
+        fn prop_take_matches_get(v in proptest::collection::vec(-1000i64..1000, 1..50),
+                                 picks in proptest::collection::vec(0usize..49, 0..20)) {
+            let picks: Vec<u32> = picks.into_iter().filter(|&p| p < v.len()).map(|p| p as u32).collect();
+            let bat = Bat::Bigint(v.clone());
+            let taken = bat.take(&picks);
+            for (j, &i) in picks.iter().enumerate() {
+                prop_assert_eq!(taken.get(j), bat.get(i as usize));
+            }
+        }
+    }
+}

@@ -1,0 +1,674 @@
+//! Immutable catalog snapshots and column handles.
+//!
+//! Following MonetDB's optimistic model (paper §3.1 *Concurrency
+//! Control*), "individual transactions operate on a snapshot of the
+//! database". A [`CatalogSnapshot`] is an immutable map of table metadata;
+//! connections hold an `Arc` to the snapshot current at transaction start
+//! and never observe later commits.
+//!
+//! Columns are held through [`ColumnEntry`] handles that combine the
+//! (possibly off-loaded) BAT with its attached secondary-index caches, and
+//! through [`SegColumn`] — a persistent (structurally shared) chain of
+//! appended segments that makes commit-time appends O(1) while reads see a
+//! consolidated contiguous array.
+
+use crate::bat::Bat;
+use crate::index::{bat_keys, HashIndex, Imprints, OrderIndex};
+use crate::persist;
+use crate::vmem::{ResidentSlot, Vmem};
+use monetlite_types::{LogicalType, MlError, Result, Schema};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Global column-id allocator (ids are unique per process; persisted ids
+/// are namespaced by file name so uniqueness per store is what matters).
+static NEXT_COLUMN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_column_id() -> u64 {
+    NEXT_COLUMN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Secondary indexes attached to a column (paper §3.1 *Automatic
+/// Indexing*). All three are caches: they can be dropped at any time
+/// without affecting correctness.
+#[derive(Default)]
+pub struct IdxCache {
+    /// Column imprints — built on first range select, destroyed on any
+    /// modification of the column.
+    pub imprints: Option<Arc<Imprints>>,
+    /// Hash table — built on first group-by / equi-join use, *updated* on
+    /// appends, destroyed on updates and deletes.
+    pub hash: Option<Arc<HashIndex>>,
+    /// Order index — only ever created via `CREATE ORDER INDEX`.
+    pub order: Option<Arc<OrderIndex>>,
+}
+
+/// A handle to one physical column: its data (resident or off-loaded to a
+/// backing file under vmem control) plus attached index caches.
+pub struct ColumnEntry {
+    /// Unique id (keys the vmem registry).
+    pub id: u64,
+    ty: LogicalType,
+    len: usize,
+    slot: Arc<ResidentSlot>,
+    backing: Mutex<Option<PathBuf>>,
+    vmem: Mutex<Option<Arc<Vmem>>>,
+    idx: Mutex<IdxCache>,
+}
+
+impl std::fmt::Debug for ColumnEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnEntry")
+            .field("id", &self.id)
+            .field("ty", &self.ty)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl ColumnEntry {
+    /// Wrap an in-memory BAT (fresh table data or consolidation result).
+    pub fn from_bat(bat: Bat) -> ColumnEntry {
+        ColumnEntry {
+            id: next_column_id(),
+            ty: bat.logical_type(),
+            len: bat.len(),
+            slot: Arc::new(Mutex::new(Some(Arc::new(bat)))),
+            backing: Mutex::new(None),
+            vmem: Mutex::new(None),
+            idx: Mutex::new(IdxCache::default()),
+        }
+    }
+
+    /// Create a handle to a persisted column that starts off-loaded; the
+    /// data loads on first touch (startup never reads cold columns — the
+    /// "near-instantaneous" open of the paper's embedded startup).
+    pub fn from_file(path: PathBuf, ty: LogicalType, len: usize, vmem: Arc<Vmem>) -> ColumnEntry {
+        ColumnEntry {
+            id: next_column_id(),
+            ty,
+            len,
+            slot: Arc::new(Mutex::new(None)),
+            backing: Mutex::new(Some(path)),
+            vmem: Mutex::new(Some(vmem)),
+            idx: Mutex::new(IdxCache::default()),
+        }
+    }
+
+    /// Logical type.
+    pub fn ty(&self) -> LogicalType {
+        self.ty
+    }
+
+    /// Row count (known without touching the data).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Get the column data, transparently reloading from the backing file
+    /// when it was evicted, and informing the vmem clock of the touch.
+    pub fn bat(&self) -> Result<Arc<Bat>> {
+        // Fast path: resident. The slot lock is dropped before vmem is
+        // touched — slot locks and the vmem registry lock are never held
+        // together on this path (the evictor holds them in the opposite
+        // order).
+        let resident = self.slot.lock().clone();
+        if let Some(bat) = resident {
+            if let Some(vm) = self.vmem.lock().clone() {
+                vm.touch(self.id, &self.slot, bat.size_bytes(), false);
+            }
+            return Ok(bat);
+        }
+        let path = self
+            .backing
+            .lock()
+            .clone()
+            .ok_or_else(|| MlError::Corrupt("column evicted without backing file".into()))?;
+        let bat = Arc::new(persist::read_column_file(&path)?);
+        if bat.len() != self.len {
+            return Err(MlError::Corrupt(format!(
+                "{}: expected {} rows, found {}",
+                path.display(),
+                self.len,
+                bat.len()
+            )));
+        }
+        *self.slot.lock() = Some(bat.clone());
+        if let Some(vm) = self.vmem.lock().clone() {
+            vm.touch(self.id, &self.slot, bat.size_bytes(), true);
+        }
+        Ok(bat)
+    }
+
+    /// Attach a backing file after checkpointing this column, placing it
+    /// under vmem eviction control.
+    pub fn attach_backing(&self, path: PathBuf, vmem: Arc<Vmem>) {
+        *self.backing.lock() = Some(path);
+        let bytes = self.slot.lock().as_ref().map(|b| b.size_bytes());
+        *self.vmem.lock() = Some(vmem.clone());
+        if let Some(bytes) = bytes {
+            vmem.touch(self.id, &self.slot, bytes, false);
+        }
+    }
+
+    /// Whether a backing file exists (the column survives restart).
+    pub fn is_backed(&self) -> bool {
+        self.backing.lock().is_some()
+    }
+
+    /// The backing file path, if any.
+    pub fn backing_path(&self) -> Option<PathBuf> {
+        self.backing.lock().clone()
+    }
+
+    /// Get or build the hash index for this column.
+    pub fn hash_index(&self) -> Result<Arc<HashIndex>> {
+        if let Some(h) = &self.idx.lock().hash {
+            return Ok(h.clone());
+        }
+        let bat = self.bat()?;
+        let built = Arc::new(HashIndex::build(&bat_keys(&bat)));
+        let mut g = self.idx.lock();
+        // Another thread may have raced us; keep whichever is present.
+        Ok(g.hash.get_or_insert(built).clone())
+    }
+
+    /// Get or build column imprints (only meaningful for orderable types;
+    /// callers check [`crate::index::orderable`]).
+    pub fn imprints(&self) -> Result<Arc<Imprints>> {
+        if let Some(im) = &self.idx.lock().imprints {
+            return Ok(im.clone());
+        }
+        let bat = self.bat()?;
+        let built = Arc::new(Imprints::build(&bat_keys(&bat)));
+        let mut g = self.idx.lock();
+        Ok(g.imprints.get_or_insert(built).clone())
+    }
+
+    /// Get or build the order index (CREATE ORDER INDEX and its users).
+    pub fn order_index(&self) -> Result<Arc<OrderIndex>> {
+        if let Some(o) = &self.idx.lock().order {
+            return Ok(o.clone());
+        }
+        let bat = self.bat()?;
+        let built = Arc::new(OrderIndex::build(&bat_keys(&bat)));
+        let mut g = self.idx.lock();
+        Ok(g.order.get_or_insert(built).clone())
+    }
+
+    /// Peek at an existing order index without building one.
+    pub fn order_index_opt(&self) -> Option<Arc<OrderIndex>> {
+        self.idx.lock().order.clone()
+    }
+
+    /// Peek at an existing hash index without building one.
+    pub fn hash_index_opt(&self) -> Option<Arc<HashIndex>> {
+        self.idx.lock().hash.clone()
+    }
+
+    /// Install a pre-built hash index (used when consolidation carries an
+    /// index forward across an append, per the paper's "hash tables ...
+    /// are updated on appends").
+    pub fn install_hash(&self, h: Arc<HashIndex>) {
+        self.idx.lock().hash = Some(h);
+    }
+
+    /// Install a pre-built order index.
+    pub fn install_order(&self, o: Arc<OrderIndex>) {
+        self.idx.lock().order = Some(o);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segmented columns: O(1) append with structural sharing
+// ---------------------------------------------------------------------------
+
+/// A node in the append chain. `prev` points at the state before this
+/// segment was appended.
+pub struct SegNode {
+    entry: Arc<ColumnEntry>,
+    prev: Option<Arc<SegNode>>,
+    total_rows: usize,
+    depth: usize,
+    /// Rows of the deepest (base) segment — kept here so the commit-time
+    /// consolidation policy is O(1) instead of walking the chain (which
+    /// made single-row INSERT streams quadratic).
+    base_rows: usize,
+}
+
+impl Drop for SegNode {
+    fn drop(&mut self) {
+        // Iterative drop: a long append chain must not recurse.
+        let mut prev = self.prev.take();
+        while let Some(node) = prev {
+            match Arc::try_unwrap(node) {
+                Ok(mut n) => prev = n.prev.take(),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// One logical column of a table: a chain of appended segments with a
+/// cached consolidated view.
+pub struct SegColumn {
+    head: Arc<SegNode>,
+    consolidated: Mutex<Option<Arc<ColumnEntry>>>,
+}
+
+impl std::fmt::Debug for SegColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegColumn")
+            .field("rows", &self.rows())
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+impl Clone for SegColumn {
+    fn clone(&self) -> Self {
+        SegColumn {
+            head: self.head.clone(),
+            consolidated: Mutex::new(self.consolidated.lock().clone()),
+        }
+    }
+}
+
+impl SegColumn {
+    /// Single-segment column.
+    pub fn from_entry(entry: Arc<ColumnEntry>) -> SegColumn {
+        let total_rows = entry.len();
+        SegColumn {
+            head: Arc::new(SegNode {
+                entry,
+                prev: None,
+                total_rows,
+                depth: 1,
+                base_rows: total_rows,
+            }),
+            consolidated: Mutex::new(None),
+        }
+    }
+
+    /// Total rows across all segments.
+    pub fn rows(&self) -> usize {
+        self.head.total_rows
+    }
+
+    /// Chain length.
+    pub fn depth(&self) -> usize {
+        self.head.depth
+    }
+
+    /// Logical type.
+    pub fn ty(&self) -> LogicalType {
+        self.head.entry.ty()
+    }
+
+    /// O(1) append: a new chain sharing every existing segment.
+    pub fn appended(&self, bat: Bat) -> SegColumn {
+        let rows = bat.len();
+        SegColumn {
+            head: Arc::new(SegNode {
+                entry: Arc::new(ColumnEntry::from_bat(bat)),
+                prev: Some(self.head.clone()),
+                total_rows: self.head.total_rows + rows,
+                depth: self.head.depth + 1,
+                base_rows: self.head.base_rows,
+            }),
+            consolidated: Mutex::new(None),
+        }
+    }
+
+    /// Whether the commit path should consolidate this column now: either
+    /// the appended tail has grown to the size of the base segment
+    /// (amortised-doubling) or the chain is getting long.
+    pub fn wants_consolidation(&self) -> bool {
+        if self.head.depth <= 1 {
+            return false;
+        }
+        if self.head.depth >= 4096 {
+            return true;
+        }
+        let base_rows = self.head.base_rows;
+        let tail_rows = self.head.total_rows - base_rows;
+        tail_rows >= base_rows.max(1024)
+    }
+
+    /// The contiguous view of this column. Single-segment columns return
+    /// their entry directly; multi-segment columns consolidate once and
+    /// cache the result. Consolidation carries the base segment's hash
+    /// index forward by appending the new keys (paper: hash indexes are
+    /// updated on appends; imprints and order indexes are destroyed).
+    pub fn entry(&self) -> Result<Arc<ColumnEntry>> {
+        if self.head.depth == 1 {
+            return Ok(self.head.entry.clone());
+        }
+        if let Some(c) = &*self.consolidated.lock() {
+            return Ok(c.clone());
+        }
+        let consolidated = self.consolidate()?;
+        let mut g = self.consolidated.lock();
+        Ok(g.get_or_insert(consolidated).clone())
+    }
+
+    /// Collapse the chain into a fresh single [`ColumnEntry`].
+    pub fn consolidate(&self) -> Result<Arc<ColumnEntry>> {
+        // Collect segments oldest-first.
+        let mut segs = Vec::with_capacity(self.head.depth);
+        let mut node = Some(&self.head);
+        while let Some(n) = node {
+            segs.push(n.entry.clone());
+            node = n.prev.as_ref();
+        }
+        segs.reverse();
+        let base = &segs[0];
+        let mut bat = (*base.bat()?).clone();
+        for seg in &segs[1..] {
+            bat.append_bat(&seg.bat()?.as_ref().clone())?;
+        }
+        // Carry the hash index forward across the append.
+        let carried_hash = match base.hash_index_opt() {
+            Some(h) => {
+                let mut h2 = (*h).clone();
+                let mut at = base.len() as u32;
+                for seg in &segs[1..] {
+                    h2.append(&bat_keys(seg.bat()?.as_ref()), at);
+                    at += seg.len() as u32;
+                }
+                Some(Arc::new(h2))
+            }
+            None => None,
+        };
+        let entry = Arc::new(ColumnEntry::from_bat(bat));
+        if let Some(h) = carried_hash {
+            entry.install_hash(h);
+        }
+        Ok(entry)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables and snapshots
+// ---------------------------------------------------------------------------
+
+/// The data of one table version: segmented columns plus a deletion mask.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// One segmented column per schema field.
+    pub cols: Vec<SegColumn>,
+    /// Deletion bitmap over physical rows (`None` = nothing deleted).
+    pub deleted: Option<Arc<Vec<bool>>>,
+    /// Physical rows (including deleted ones).
+    pub rows: usize,
+    /// Number of deleted rows.
+    pub deleted_count: usize,
+}
+
+impl TableData {
+    /// Empty table data for a schema.
+    pub fn empty(schema: &Schema) -> TableData {
+        TableData {
+            cols: schema
+                .fields()
+                .iter()
+                .map(|f| SegColumn::from_entry(Arc::new(ColumnEntry::from_bat(Bat::new(f.ty)))))
+                .collect(),
+            deleted: None,
+            rows: 0,
+            deleted_count: 0,
+        }
+    }
+
+    /// Rows visible to scans.
+    pub fn visible_rows(&self) -> usize {
+        self.rows - self.deleted_count
+    }
+
+    /// New version with `bats` appended column-wise (O(1) in existing
+    /// data; consolidation happens per policy).
+    pub fn appended(&self, bats: Vec<Bat>) -> Result<TableData> {
+        if bats.len() != self.cols.len() {
+            return Err(MlError::Execution(format!(
+                "append expects {} columns, got {}",
+                self.cols.len(),
+                bats.len()
+            )));
+        }
+        let added = bats.first().map_or(0, |b| b.len());
+        if bats.iter().any(|b| b.len() != added) {
+            return Err(MlError::Execution("append columns have unequal lengths".into()));
+        }
+        let mut cols = Vec::with_capacity(self.cols.len());
+        for (sc, bat) in self.cols.iter().zip(bats) {
+            let appended = sc.appended(bat);
+            if appended.wants_consolidation() {
+                cols.push(SegColumn::from_entry(appended.consolidate()?));
+            } else {
+                cols.push(appended);
+            }
+        }
+        let deleted = match &self.deleted {
+            None => None,
+            Some(d) => {
+                let mut d2 = (**d).clone();
+                d2.resize(self.rows + added, false);
+                Some(Arc::new(d2))
+            }
+        };
+        Ok(TableData { cols, deleted, rows: self.rows + added, deleted_count: self.deleted_count })
+    }
+
+    /// New version with additional rows marked deleted.
+    pub fn with_deleted(&self, rows_to_delete: &[u32]) -> TableData {
+        let mut d = match &self.deleted {
+            Some(d) => (**d).clone(),
+            None => vec![false; self.rows],
+        };
+        let mut newly = 0;
+        for &r in rows_to_delete {
+            let r = r as usize;
+            if r < d.len() && !d[r] {
+                d[r] = true;
+                newly += 1;
+            }
+        }
+        TableData {
+            cols: self.cols.clone(),
+            deleted: Some(Arc::new(d)),
+            rows: self.rows,
+            deleted_count: self.deleted_count + newly,
+        }
+    }
+}
+
+/// Metadata + data for one table version.
+#[derive(Debug)]
+pub struct TableMeta {
+    /// Stable table id.
+    pub id: u64,
+    /// Lower-cased table name.
+    pub name: String,
+    /// Column definitions.
+    pub schema: Schema,
+    /// Current data version.
+    pub data: TableData,
+    /// Version counter, bumped by every committed write; the optimistic
+    /// commit protocol validates it (write-write conflict detection).
+    pub version: u64,
+    /// Column positions carrying a user-created ORDER INDEX (re-built
+    /// lazily after restart or append).
+    pub ordered_cols: Vec<usize>,
+}
+
+/// An immutable snapshot of the whole catalog.
+#[derive(Debug, Default)]
+pub struct CatalogSnapshot {
+    /// Tables by lower-cased name.
+    pub tables: HashMap<String, Arc<TableMeta>>,
+}
+
+impl CatalogSnapshot {
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Arc<TableMeta>> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| MlError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Table names in sorted order (for stable catalog listings).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monetlite_types::{ColumnBuffer, Field};
+
+    fn int_entry(vals: Vec<i32>) -> Arc<ColumnEntry> {
+        Arc::new(ColumnEntry::from_bat(Bat::Int(vals)))
+    }
+
+    #[test]
+    fn entry_roundtrips_bat() {
+        let e = int_entry(vec![1, 2, 3]);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.bat().unwrap().get(1), monetlite_types::Value::Int(2));
+        assert!(!e.is_backed());
+    }
+
+    #[test]
+    fn seg_column_append_is_structural() {
+        let c0 = SegColumn::from_entry(int_entry(vec![1, 2]));
+        let c1 = c0.appended(Bat::Int(vec![3]));
+        let c2 = c1.appended(Bat::Int(vec![4, 5]));
+        assert_eq!(c0.rows(), 2);
+        assert_eq!(c1.rows(), 3);
+        assert_eq!(c2.rows(), 5);
+        assert_eq!(c2.depth(), 3);
+        // Consolidated view sees everything in order.
+        let e = c2.entry().unwrap();
+        let bat = e.bat().unwrap();
+        assert_eq!(bat.to_buffer(None), ColumnBuffer::Int(vec![1, 2, 3, 4, 5]));
+        // Older version unaffected.
+        assert_eq!(c1.entry().unwrap().bat().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn consolidation_carries_hash_index() {
+        let base = int_entry(vec![10, 20, 10]);
+        let _ = base.hash_index().unwrap(); // build on base
+        let col = SegColumn::from_entry(base).appended(Bat::Int(vec![20]));
+        let e = col.entry().unwrap();
+        let h = e.hash_index_opt().expect("hash index carried across append");
+        assert_eq!(h.lookup(10), &[0, 2]);
+        assert_eq!(h.lookup(20), &[1, 3]);
+    }
+
+    #[test]
+    fn consolidation_drops_imprints_and_order() {
+        let base = int_entry(vec![3, 1, 2]);
+        let _ = base.imprints().unwrap();
+        let _ = base.order_index().unwrap();
+        let col = SegColumn::from_entry(base).appended(Bat::Int(vec![0]));
+        let e = col.entry().unwrap();
+        assert!(e.order_index_opt().is_none(), "order index must not survive appends");
+        assert!(e.idx.lock().imprints.is_none(), "imprints must not survive appends");
+    }
+
+    #[test]
+    fn deep_chain_drop_does_not_overflow() {
+        let mut col = SegColumn::from_entry(int_entry(vec![0]));
+        for i in 0..20_000 {
+            col = col.appended(Bat::Int(vec![i]));
+        }
+        assert_eq!(col.depth(), 20_001);
+        drop(col); // must not blow the stack
+    }
+
+    #[test]
+    fn wants_consolidation_doubling() {
+        let mut col = SegColumn::from_entry(int_entry((0..2048).collect()));
+        col = col.appended(Bat::Int(vec![1]));
+        assert!(!col.wants_consolidation());
+        col = col.appended(Bat::Int((0..3000).collect()));
+        assert!(col.wants_consolidation(), "tail >= base triggers consolidation");
+    }
+
+    #[test]
+    fn table_data_append_and_delete() {
+        let schema = Schema::new(vec![
+            Field::new("a", LogicalType::Int),
+            Field::new("b", LogicalType::Varchar),
+        ])
+        .unwrap();
+        let t0 = TableData::empty(&schema);
+        let t1 = t0
+            .appended(vec![
+                Bat::Int(vec![1, 2, 3]),
+                Bat::from_buffer(&ColumnBuffer::Varchar(vec![
+                    Some("x".into()),
+                    Some("y".into()),
+                    None,
+                ])),
+            ])
+            .unwrap();
+        assert_eq!(t1.visible_rows(), 3);
+        let t2 = t1.with_deleted(&[1]);
+        assert_eq!(t2.visible_rows(), 2);
+        assert_eq!(t1.visible_rows(), 3, "snapshot isolation: old version untouched");
+        // Deleting the same row twice is idempotent.
+        let t3 = t2.with_deleted(&[1]);
+        assert_eq!(t3.visible_rows(), 2);
+        // Append after delete keeps the mask consistent.
+        let t4 = t2.appended(vec![Bat::Int(vec![9]), Bat::from_buffer(&ColumnBuffer::Varchar(vec![None]))]).unwrap();
+        assert_eq!(t4.rows, 4);
+        assert_eq!(t4.visible_rows(), 3);
+    }
+
+    #[test]
+    fn append_arity_and_length_checked() {
+        let schema = Schema::new(vec![Field::new("a", LogicalType::Int)]).unwrap();
+        let t0 = TableData::empty(&schema);
+        assert!(t0.appended(vec![]).is_err());
+        let schema2 = Schema::new(vec![
+            Field::new("a", LogicalType::Int),
+            Field::new("b", LogicalType::Int),
+        ])
+        .unwrap();
+        let t0 = TableData::empty(&schema2);
+        assert!(t0.appended(vec![Bat::Int(vec![1]), Bat::Int(vec![1, 2])]).is_err());
+    }
+
+    #[test]
+    fn snapshot_lookup() {
+        let mut snap = CatalogSnapshot::default();
+        let schema = Schema::new(vec![Field::new("a", LogicalType::Int)]).unwrap();
+        snap.tables.insert(
+            "t".into(),
+            Arc::new(TableMeta {
+                id: 1,
+                name: "t".into(),
+                schema: schema.clone(),
+                data: TableData::empty(&schema),
+                version: 0,
+                ordered_cols: vec![],
+            }),
+        );
+        assert!(snap.table("T").is_ok(), "case-insensitive lookup");
+        assert!(snap.table("missing").is_err());
+        assert_eq!(snap.table_names(), vec!["t"]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # monetlite-storage
+//!
+//! The storage substrate of the `monetlite` embedded analytical database,
+//! reproducing the design in §3.1 of the MonetDBLite paper:
+//!
+//! * [`heap`] — variable-sized string heaps with duplicate elimination
+//!   below a distinct-count threshold.
+//! * [`bat`] — tightly packed typed column arrays ("BATs"); row numbers are
+//!   implicit in array position; NULLs are in-domain sentinels.
+//! * [`index`] — secondary index structures: column imprints (cache-line
+//!   bitmap index), hash tables, and the user-created order index.
+//! * [`vmem`] — a simulation of the OS page cache over memory-mapped column
+//!   files: no buffer pool; hot columns stay resident, cold ones are
+//!   evicted under a global byte budget and transparently reloaded.
+//! * [`persist`] — the on-disk column-file format.
+//! * [`wal`] — the write-ahead log, checkpointing and crash recovery.
+//! * [`catalog`] — immutable catalog snapshots (tables, schemas, column
+//!   handles with attached index caches).
+//! * [`store`] — the shared database state: snapshot publication, the
+//!   optimistic commit protocol (write-write conflict detection), and
+//!   startup/recovery.
+
+pub mod bat;
+pub mod catalog;
+pub mod heap;
+pub mod index;
+pub mod persist;
+pub mod store;
+pub mod vmem;
+pub mod wal;
+
+pub use bat::Bat;
+pub use catalog::{CatalogSnapshot, ColumnEntry, TableData, TableMeta};
+pub use heap::StringHeap;
+pub use store::{Store, StoreOptions, TxWrites};
+pub use vmem::{Vmem, VmemStats};

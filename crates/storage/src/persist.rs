@@ -1,0 +1,281 @@
+//! On-disk column-file format and binary (de)serialisation of BATs.
+//!
+//! Layout of a column file:
+//!
+//! ```text
+//! [magic "MLB1"][endian u16 = 0xBEEF][bat payload][checksum u64 (FNV-1a)]
+//! ```
+//!
+//! The same BAT payload encoding is reused by the write-ahead log for
+//! append records. Fixed-width arrays are written as raw native-endian
+//! bytes (the endian marker detects foreign files and reports
+//! [`MlError::Corrupt`] instead of misreading them); VARCHAR columns write
+//! the offsets array followed by the raw heap.
+
+use crate::bat::Bat;
+use crate::heap::StringHeap;
+use crate::index::fnv1a;
+use monetlite_types::{MlError, Result};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MLB1";
+const ENDIAN_MARK: u16 = 0xBEEF;
+
+const TAG_BOOL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_BIGINT: u8 = 2;
+const TAG_DOUBLE: u8 = 3;
+const TAG_DECIMAL: u8 = 4;
+const TAG_VARCHAR: u8 = 5;
+const TAG_DATE: u8 = 6;
+
+/// View a POD slice as raw bytes (native endian).
+fn pod_bytes<T: Copy>(v: &[T]) -> &[u8] {
+    // SAFETY: T is a plain-old-data numeric type (i8/i32/i64/f64/u32) with
+    // no padding; any byte pattern is a valid T and vice versa.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
+fn read_pod_vec<T: Copy + Default>(r: &mut impl Read, len: usize) -> Result<Vec<T>> {
+    let mut v = vec![T::default(); len];
+    // SAFETY: same POD argument as `pod_bytes`; the buffer is fully
+    // initialised by `vec!` before being exposed as bytes.
+    let bytes = unsafe {
+        std::slice::from_raw_parts_mut(v.as_mut_ptr() as *mut u8, len * std::mem::size_of::<T>())
+    };
+    r.read_exact(bytes)?;
+    Ok(v)
+}
+
+/// Serialise a BAT payload (tag, length, data) into `out`.
+pub fn encode_bat(out: &mut Vec<u8>, bat: &Bat) {
+    match bat {
+        Bat::Bool(v) => {
+            out.push(TAG_BOOL);
+            out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+            out.extend_from_slice(pod_bytes(v));
+        }
+        Bat::Int(v) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+            out.extend_from_slice(pod_bytes(v));
+        }
+        Bat::Bigint(v) => {
+            out.push(TAG_BIGINT);
+            out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+            out.extend_from_slice(pod_bytes(v));
+        }
+        Bat::Double(v) => {
+            out.push(TAG_DOUBLE);
+            out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+            out.extend_from_slice(pod_bytes(v));
+        }
+        Bat::Decimal { data, scale } => {
+            out.push(TAG_DECIMAL);
+            out.push(*scale);
+            out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+            out.extend_from_slice(pod_bytes(data));
+        }
+        Bat::Varchar { offsets, heap } => {
+            out.push(TAG_VARCHAR);
+            out.extend_from_slice(&(offsets.len() as u64).to_le_bytes());
+            out.extend_from_slice(pod_bytes(offsets));
+            let raw = heap.raw();
+            out.extend_from_slice(&(raw.len() as u64).to_le_bytes());
+            out.extend_from_slice(raw);
+        }
+        Bat::Date(v) => {
+            out.push(TAG_DATE);
+            out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+            out.extend_from_slice(pod_bytes(v));
+        }
+    }
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u8(r: &mut impl Read) -> Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Deserialise one BAT payload from `r`. Lengths are sanity-capped so a
+/// corrupt length cannot trigger an enormous allocation.
+pub fn decode_bat(r: &mut impl Read) -> Result<Bat> {
+    const MAX_LEN: u64 = 1 << 34;
+    let tag = read_u8(r)?;
+    let scale = if tag == TAG_DECIMAL { read_u8(r)? } else { 0 };
+    let len = read_u64(r)?;
+    if len > MAX_LEN {
+        return Err(MlError::Corrupt(format!("column length {len} exceeds sanity bound")));
+    }
+    let len = len as usize;
+    Ok(match tag {
+        TAG_BOOL => Bat::Bool(read_pod_vec(r, len)?),
+        TAG_INT => Bat::Int(read_pod_vec(r, len)?),
+        TAG_BIGINT => Bat::Bigint(read_pod_vec(r, len)?),
+        TAG_DOUBLE => Bat::Double(read_pod_vec(r, len)?),
+        TAG_DECIMAL => Bat::Decimal { data: read_pod_vec(r, len)?, scale },
+        TAG_VARCHAR => {
+            let offsets: Vec<u32> = read_pod_vec(r, len)?;
+            let heap_len = read_u64(r)?;
+            if heap_len > MAX_LEN {
+                return Err(MlError::Corrupt("heap length exceeds sanity bound".into()));
+            }
+            let mut heap = vec![0u8; heap_len as usize];
+            r.read_exact(&mut heap)?;
+            for &o in &offsets {
+                if o as u64 + 4 > heap_len && o != 0 {
+                    return Err(MlError::Corrupt(format!("string offset {o} out of heap")));
+                }
+            }
+            Bat::Varchar { offsets, heap: StringHeap::from_raw(heap) }
+        }
+        TAG_DATE => Bat::Date(read_pod_vec(r, len)?),
+        t => return Err(MlError::Corrupt(format!("unknown column tag {t}"))),
+    })
+}
+
+/// Write a BAT to a column file (atomically: temp file + rename).
+pub fn write_column_file(path: &Path, bat: &Bat) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        let mut payload = Vec::with_capacity(bat.size_bytes() + 16);
+        encode_bat(&mut payload, bat);
+        w.write_all(MAGIC)?;
+        w.write_all(&ENDIAN_MARK.to_ne_bytes())?;
+        w.write_all(&payload)?;
+        w.write_all(&fnv1a(&payload).to_le_bytes())?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a BAT from a column file, validating magic, endianness and
+/// checksum. Any failure is reported as [`MlError::Corrupt`] — never a
+/// panic or abort (paper §3.4: a corrupt database must surface as an
+/// error to the embedding process).
+pub fn read_column_file(path: &Path) -> Result<Bat> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(MlError::Corrupt(format!("{}: bad magic", path.display())));
+    }
+    let mut em = [0u8; 2];
+    r.read_exact(&mut em)?;
+    if u16::from_ne_bytes(em) != ENDIAN_MARK {
+        return Err(MlError::Corrupt(format!("{}: foreign endianness", path.display())));
+    }
+    let mut rest = Vec::new();
+    r.read_to_end(&mut rest)?;
+    if rest.len() < 8 {
+        return Err(MlError::Corrupt(format!("{}: truncated", path.display())));
+    }
+    let (payload, ck) = rest.split_at(rest.len() - 8);
+    if fnv1a(payload) != u64::from_le_bytes(ck.try_into().unwrap()) {
+        return Err(MlError::Corrupt(format!("{}: checksum mismatch", path.display())));
+    }
+    let mut cursor = payload;
+    decode_bat(&mut cursor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monetlite_types::ColumnBuffer;
+
+    fn roundtrip(bat: &Bat) {
+        let mut buf = Vec::new();
+        encode_bat(&mut buf, bat);
+        let got = decode_bat(&mut buf.as_slice()).unwrap();
+        assert_eq!(got.to_buffer(None), bat.to_buffer(None));
+    }
+
+    #[test]
+    fn encode_decode_all_types() {
+        roundtrip(&Bat::Bool(vec![0, 1, i8::MIN]));
+        roundtrip(&Bat::Int(vec![1, -5, i32::MIN]));
+        roundtrip(&Bat::Bigint(vec![i64::MAX, 0, i64::MIN]));
+        roundtrip(&Bat::Double(vec![1.5, -2.25]));
+        roundtrip(&Bat::Decimal { data: vec![150, -75], scale: 2 });
+        roundtrip(&Bat::Date(vec![0, 10_000]));
+        roundtrip(&Bat::from_buffer(&ColumnBuffer::Varchar(vec![
+            Some("hello".into()),
+            None,
+            Some("hello".into()),
+            Some("".into()),
+        ])));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("c1.bat");
+        let bat = Bat::Int((0..10_000).collect());
+        write_column_file(&path, &bat).unwrap();
+        let got = read_column_file(&path).unwrap();
+        assert_eq!(got.to_buffer(None), bat.to_buffer(None));
+    }
+
+    #[test]
+    fn corruption_is_an_error_not_a_crash() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("c1.bat");
+        write_column_file(&path, &Bat::Int(vec![1, 2, 3])).unwrap();
+        // Flip a payload byte.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match read_column_file(&path) {
+            Err(MlError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("c1.bat");
+        std::fs::write(&path, b"NOTADATABASEFILE").unwrap();
+        assert!(matches!(read_column_file(&path), Err(MlError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("c1.bat");
+        write_column_file(&path, &Bat::Int(vec![1, 2, 3])).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
+        assert!(read_column_file(&path).is_err());
+    }
+
+    #[test]
+    fn insane_length_rejected() {
+        let mut buf = vec![TAG_INT];
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(decode_bat(&mut buf.as_slice()), Err(MlError::Corrupt(_))));
+    }
+
+    #[test]
+    fn varchar_offset_out_of_heap_rejected() {
+        // Hand-craft: one offset pointing past the heap.
+        let mut buf = vec![TAG_VARCHAR];
+        buf.extend_from_slice(&1u64.to_le_bytes()); // 1 offset
+        buf.extend_from_slice(&999u32.to_le_bytes()); // bogus offset
+        buf.extend_from_slice(&1u64.to_le_bytes()); // heap of 1 byte
+        buf.push(0xFF);
+        assert!(matches!(decode_bat(&mut buf.as_slice()), Err(MlError::Corrupt(_))));
+    }
+}

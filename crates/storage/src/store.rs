@@ -1,0 +1,840 @@
+//! The shared database state: snapshot publication, optimistic commits,
+//! checkpointing and recovery.
+//!
+//! Concurrency model (paper §3.1 *Concurrency Control*): "MonetDB uses an
+//! optimistic concurrency control model. Individual transactions operate
+//! on a snapshot of the database. When attempting to commit a transaction,
+//! it will either commit successfully or abort when potential write
+//! conflicts are detected." Here, a transaction records the version of
+//! every table it writes; [`Store::commit`] validates those versions under
+//! a global commit lock and aborts with
+//! [`MlError::TransactionConflict`] when any differ.
+//!
+//! Durability: committed write operations are WAL-logged; a checkpoint
+//! writes consolidated columns to individual column files (then managed by
+//! [`Vmem`], the OS-paging simulation) and truncates the log.
+//!
+//! Like MonetDB(Lite), a persistent database directory is protected by a
+//! lock file: a second `Store` opening the same directory fails with
+//! "database locked" (the paper discusses exactly this limitation in §5).
+
+use crate::bat::Bat;
+use crate::catalog::{CatalogSnapshot, ColumnEntry, SegColumn, TableData, TableMeta};
+use crate::persist;
+use crate::vmem::Vmem;
+use crate::wal::{self, WalRecord, WalWriter};
+use monetlite_types::{LogicalType, MlError, Result, Schema};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const CATALOG_MAGIC: &[u8; 4] = b"MLC1";
+const ENDIAN_MARK: u16 = 0xBEEF;
+
+/// Configuration for opening a [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Database directory; `None` = in-memory only (all data discarded on
+    /// shutdown, exactly the paper's in-memory mode).
+    pub path: Option<PathBuf>,
+    /// Resident-byte budget for the vmem paging simulation.
+    pub vmem_budget: usize,
+    /// WAL size (bytes) that triggers an automatic checkpoint at commit.
+    pub wal_autocheckpoint: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { path: None, vmem_budget: usize::MAX, wal_autocheckpoint: 64 << 20 }
+    }
+}
+
+/// The write set of one transaction, applied atomically at commit.
+///
+/// Ops reuse the WAL record type so logging never copies column data.
+#[derive(Default, Debug)]
+pub struct TxWrites {
+    /// Logical write operations in statement order.
+    pub ops: Vec<WalRecord>,
+    /// Version of each written table at transaction start (conflict
+    /// detection baseline).
+    pub base_versions: HashMap<String, u64>,
+}
+
+impl TxWrites {
+    /// True when the transaction performed no writes.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+struct CommitInner {
+    wal: Option<WalWriter>,
+    next_table_id: u64,
+    next_tx: u64,
+    autocheckpoint: u64,
+}
+
+/// The shared, process-local database state. Cheap to share via `Arc`;
+/// multiple stores may coexist in one process (lifting the paper's
+/// single-database-per-process limitation, which it lists as future work).
+pub struct Store {
+    path: Option<PathBuf>,
+    vmem: Arc<Vmem>,
+    catalog: RwLock<Arc<CatalogSnapshot>>,
+    commit_lock: Mutex<CommitInner>,
+    /// Present when this store holds the directory lock file.
+    lock_path: Option<PathBuf>,
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        if let Some(p) = &self.lock_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl Store {
+    /// Open an in-memory store (paper: `monetdb_startup(NULL)`).
+    pub fn in_memory() -> Store {
+        Self::open(StoreOptions::default()).expect("in-memory store cannot fail to open")
+    }
+
+    /// Open a store per options, running recovery when a directory is
+    /// given.
+    pub fn open(opts: StoreOptions) -> Result<Store> {
+        let vmem = Arc::new(Vmem::new(opts.vmem_budget));
+        let Some(dir) = opts.path.clone() else {
+            return Ok(Store {
+                path: None,
+                vmem,
+                catalog: RwLock::new(Arc::new(CatalogSnapshot::default())),
+                commit_lock: Mutex::new(CommitInner {
+                    wal: None,
+                    next_table_id: 1,
+                    next_tx: 1,
+                    autocheckpoint: opts.wal_autocheckpoint,
+                }),
+                lock_path: None,
+            });
+        };
+        std::fs::create_dir_all(dir.join("cols"))?;
+        // Paper §5: a database directory may be used by one server at a
+        // time ("database locked").
+        let lock_path = dir.join("db.lock");
+        match std::fs::OpenOptions::new().write(true).create_new(true).open(&lock_path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", std::process::id());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                return Err(MlError::Catalog(format!(
+                    "database locked: {} exists (another server is using this database)",
+                    lock_path.display()
+                )));
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let open_inner = || -> Result<Store> {
+            let (mut tables, mut next_table_id) = match load_catalog(&dir, &vmem) {
+                Ok(x) => x,
+                Err(e) => return Err(e),
+            };
+            // Replay committed WAL transactions on top of the checkpoint.
+            let txns = wal::replay(&dir.join("wal.log"))?;
+            let replayed = !txns.is_empty();
+            for txn in txns {
+                for rec in txn {
+                    apply_record(&mut tables, &rec, &mut next_table_id)?;
+                }
+            }
+            let store = Store {
+                path: Some(dir.clone()),
+                vmem: vmem.clone(),
+                catalog: RwLock::new(Arc::new(CatalogSnapshot { tables })),
+                commit_lock: Mutex::new(CommitInner {
+                    wal: Some(WalWriter::open(&dir.join("wal.log"))?),
+                    next_table_id,
+                    next_tx: 1,
+                    autocheckpoint: opts.wal_autocheckpoint,
+                }),
+                lock_path: None, // set by caller on success
+            };
+            if replayed {
+                store.checkpoint()?;
+            }
+            Ok(store)
+        };
+        match open_inner() {
+            Ok(mut s) => {
+                s.lock_path = Some(lock_path);
+                Ok(s)
+            }
+            Err(e) => {
+                // Never leave a stale lock behind on a failed open, and —
+                // paper §3.4 — report corruption as an error instead of
+                // exiting the host process.
+                let _ = std::fs::remove_file(&lock_path);
+                Err(e)
+            }
+        }
+    }
+
+    /// The current catalog snapshot (transactions hold this `Arc`).
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        self.catalog.read().clone()
+    }
+
+    /// The paging simulation attached to this store.
+    pub fn vmem(&self) -> &Arc<Vmem> {
+        &self.vmem
+    }
+
+    /// The database directory (None = in-memory).
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Atomically validate and apply a transaction's writes.
+    pub fn commit(&self, writes: TxWrites) -> Result<()> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let mut ci = self.commit_lock.lock();
+        let snap = self.catalog.read().clone();
+        // Optimistic validation: every written table must still be at the
+        // version observed at transaction start.
+        for (name, base) in &writes.base_versions {
+            match snap.tables.get(name) {
+                Some(t) if t.version == *base => {}
+                Some(t) => {
+                    return Err(MlError::TransactionConflict(format!(
+                        "table '{name}' changed (version {} -> {})",
+                        base, t.version
+                    )))
+                }
+                None => {
+                    return Err(MlError::TransactionConflict(format!(
+                        "table '{name}' was dropped concurrently"
+                    )))
+                }
+            }
+        }
+        let mut tables = snap.tables.clone();
+        for op in &writes.ops {
+            apply_record(&mut tables, op, &mut ci.next_table_id)?;
+        }
+        // WAL: harden before publishing.
+        let tx = ci.next_tx;
+        ci.next_tx += 1;
+        if let Some(w) = &mut ci.wal {
+            w.append(&WalRecord::Begin(tx))?;
+            for op in &writes.ops {
+                w.append(op)?;
+            }
+            w.append(&WalRecord::Commit(tx))?;
+            w.flush()?;
+        }
+        *self.catalog.write() = Arc::new(CatalogSnapshot { tables });
+        let wal_bytes = ci.wal.as_ref().map_or(0, |w| w.bytes());
+        if wal_bytes > ci.autocheckpoint {
+            self.checkpoint_locked(&mut ci)?;
+        }
+        Ok(())
+    }
+
+    /// Write all table data to column files, rewrite the catalog file, and
+    /// truncate the WAL. No-op for in-memory stores.
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut ci = self.commit_lock.lock();
+        self.checkpoint_locked(&mut ci)
+    }
+
+    fn checkpoint_locked(&self, ci: &mut CommitInner) -> Result<()> {
+        let Some(dir) = &self.path else {
+            return Ok(());
+        };
+        let snap = self.catalog.read().clone();
+        let colsdir = dir.join("cols");
+        let mut new_tables = HashMap::new();
+        let mut referenced: HashSet<String> = HashSet::new();
+        for (name, meta) in &snap.tables {
+            let compacting = meta.data.deleted_count > 0;
+            let sel: Option<Vec<u32>> = if compacting {
+                let deleted = meta.data.deleted.as_ref().unwrap();
+                Some(
+                    (0..meta.data.rows as u32).filter(|&r| !deleted[r as usize]).collect(),
+                )
+            } else {
+                None
+            };
+            let mut new_cols = Vec::with_capacity(meta.data.cols.len());
+            for segcol in &meta.data.cols {
+                let entry = segcol.entry()?;
+                let entry = match &sel {
+                    Some(sel) => Arc::new(ColumnEntry::from_bat(entry.bat()?.take(sel))),
+                    None => entry,
+                };
+                if !entry.is_backed() {
+                    let fname = format!("c{}.bat", entry.id);
+                    persist::write_column_file(&colsdir.join(&fname), entry.bat()?.as_ref())?;
+                    entry.attach_backing(colsdir.join(&fname), self.vmem.clone());
+                }
+                if let Some(p) = entry.backing_path() {
+                    if let Some(f) = p.file_name() {
+                        referenced.insert(f.to_string_lossy().into_owned());
+                    }
+                }
+                new_cols.push(SegColumn::from_entry(entry));
+            }
+            let rows = sel.as_ref().map_or(meta.data.rows, |s| s.len());
+            new_tables.insert(
+                name.clone(),
+                Arc::new(TableMeta {
+                    id: meta.id,
+                    name: meta.name.clone(),
+                    schema: meta.schema.clone(),
+                    data: TableData { cols: new_cols, deleted: None, rows, deleted_count: 0 },
+                    // Compaction renumbers physical rows: bump the version
+                    // so in-flight transactions holding stale row ids
+                    // conflict instead of deleting the wrong rows.
+                    version: meta.version + compacting as u64,
+                    ordered_cols: meta.ordered_cols.clone(),
+                }),
+            );
+        }
+        let snap2 = CatalogSnapshot { tables: new_tables };
+        write_catalog(dir, &snap2, ci.next_table_id)?;
+        // Remove column files no longer referenced by the catalog.
+        for e in std::fs::read_dir(&colsdir)? {
+            let e = e?;
+            let fname = e.file_name().to_string_lossy().into_owned();
+            if !referenced.contains(&fname) {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+        // Truncate and reopen the WAL.
+        ci.wal = None;
+        File::create(dir.join("wal.log"))?;
+        ci.wal = Some(WalWriter::open(&dir.join("wal.log"))?);
+        *self.catalog.write() = Arc::new(snap2);
+        Ok(())
+    }
+}
+
+/// Apply one logged/requested write op to a mutable table map.
+/// Apply one logged/requested write op to a mutable table map (shared
+/// with the engine's transaction-local overlay).
+pub fn apply_record(
+    tables: &mut HashMap<String, Arc<TableMeta>>,
+    rec: &WalRecord,
+    next_table_id: &mut u64,
+) -> Result<()> {
+    match rec {
+        WalRecord::Begin(_) | WalRecord::Commit(_) => {}
+        WalRecord::CreateTable { name, schema } => {
+            if tables.contains_key(name) {
+                return Err(MlError::Catalog(format!("table '{name}' already exists")));
+            }
+            let id = *next_table_id;
+            *next_table_id += 1;
+            tables.insert(
+                name.clone(),
+                Arc::new(TableMeta {
+                    id,
+                    name: name.clone(),
+                    schema: schema.clone(),
+                    data: TableData::empty(schema),
+                    version: 1,
+                    ordered_cols: vec![],
+                }),
+            );
+        }
+        WalRecord::DropTable { name } => {
+            if tables.remove(name).is_none() {
+                return Err(MlError::Catalog(format!("unknown table '{name}'")));
+            }
+        }
+        WalRecord::Append { table, cols } => {
+            let meta = tables
+                .get(table)
+                .ok_or_else(|| MlError::Catalog(format!("unknown table '{table}'")))?;
+            check_append_types(&meta.schema, cols)?;
+            let new = Arc::new(TableMeta {
+                id: meta.id,
+                name: meta.name.clone(),
+                schema: meta.schema.clone(),
+                data: meta.data.appended(cols.iter().map(clone_bat).collect())?,
+                version: meta.version + 1,
+                ordered_cols: meta.ordered_cols.clone(),
+            });
+            tables.insert(table.clone(), new);
+        }
+        WalRecord::Delete { table, rows } => {
+            let meta = tables
+                .get(table)
+                .ok_or_else(|| MlError::Catalog(format!("unknown table '{table}'")))?;
+            let new = Arc::new(TableMeta {
+                id: meta.id,
+                name: meta.name.clone(),
+                schema: meta.schema.clone(),
+                data: meta.data.with_deleted(rows),
+                version: meta.version + 1,
+                ordered_cols: meta.ordered_cols.clone(),
+            });
+            tables.insert(table.clone(), new);
+        }
+        WalRecord::CreateOrderIndex { table, col } => {
+            let meta = tables
+                .get(table)
+                .ok_or_else(|| MlError::Catalog(format!("unknown table '{table}'")))?;
+            if *col as usize >= meta.schema.len() {
+                return Err(MlError::Catalog(format!(
+                    "order index column {col} out of range for '{table}'"
+                )));
+            }
+            let mut ordered = meta.ordered_cols.clone();
+            if !ordered.contains(&(*col as usize)) {
+                ordered.push(*col as usize);
+            }
+            let new = Arc::new(TableMeta {
+                id: meta.id,
+                name: meta.name.clone(),
+                schema: meta.schema.clone(),
+                data: meta.data.clone(),
+                version: meta.version,
+                ordered_cols: ordered,
+            });
+            tables.insert(table.clone(), new);
+        }
+    }
+    Ok(())
+}
+
+fn clone_bat(b: &Bat) -> Bat {
+    b.clone()
+}
+
+fn check_append_types(schema: &Schema, cols: &[Bat]) -> Result<()> {
+    if cols.len() != schema.len() {
+        return Err(MlError::Execution(format!(
+            "append expects {} columns, got {}",
+            schema.len(),
+            cols.len()
+        )));
+    }
+    for (f, c) in schema.fields().iter().zip(cols) {
+        let compatible = matches!(
+            (f.ty, c.logical_type()),
+            (LogicalType::Bool, LogicalType::Bool)
+                | (LogicalType::Int, LogicalType::Int)
+                | (LogicalType::Bigint, LogicalType::Bigint)
+                | (LogicalType::Double, LogicalType::Double)
+                | (LogicalType::Decimal { .. }, LogicalType::Decimal { .. })
+                | (LogicalType::Varchar, LogicalType::Varchar)
+                | (LogicalType::Date, LogicalType::Date)
+        );
+        if !compatible {
+            return Err(MlError::TypeMismatch(format!(
+                "column '{}' expects {}, got {}",
+                f.name,
+                f.ty,
+                c.logical_type()
+            )));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Catalog file
+// ---------------------------------------------------------------------------
+
+fn write_catalog(dir: &Path, snap: &CatalogSnapshot, next_table_id: u64) -> Result<()> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&next_table_id.to_le_bytes());
+    let names = snap.table_names();
+    payload.extend_from_slice(&(names.len() as u32).to_le_bytes());
+    for name in &names {
+        let meta = &snap.tables[name];
+        payload.extend_from_slice(&meta.id.to_le_bytes());
+        payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        payload.extend_from_slice(name.as_bytes());
+        wal::encode_schema(&mut payload, &meta.schema);
+        payload.extend_from_slice(&meta.version.to_le_bytes());
+        payload.extend_from_slice(&(meta.data.rows as u64).to_le_bytes());
+        for col in &meta.data.cols {
+            let entry = col.entry()?;
+            let p = entry.backing_path().ok_or_else(|| {
+                MlError::Io(format!("column of '{name}' has no backing file at checkpoint"))
+            })?;
+            let fname = p.file_name().unwrap().to_string_lossy();
+            payload.extend_from_slice(&(fname.len() as u32).to_le_bytes());
+            payload.extend_from_slice(fname.as_bytes());
+        }
+        payload.extend_from_slice(&(meta.ordered_cols.len() as u32).to_le_bytes());
+        for &c in &meta.ordered_cols {
+            payload.extend_from_slice(&(c as u32).to_le_bytes());
+        }
+    }
+    let tmp = dir.join("catalog.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(CATALOG_MAGIC)?;
+        f.write_all(&ENDIAN_MARK.to_ne_bytes())?;
+        f.write_all(&payload)?;
+        f.write_all(&crate::index::fnv1a(&payload).to_le_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(tmp, dir.join("catalog.bin"))?;
+    Ok(())
+}
+
+fn load_catalog(
+    dir: &Path,
+    vmem: &Arc<Vmem>,
+) -> Result<(HashMap<String, Arc<TableMeta>>, u64)> {
+    let path = dir.join("catalog.bin");
+    let mut f = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((HashMap::new(), 1));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    if buf.len() < 4 + 2 + 8 || &buf[..4] != CATALOG_MAGIC {
+        return Err(MlError::Corrupt("catalog.bin: bad magic or truncated".into()));
+    }
+    if u16::from_ne_bytes(buf[4..6].try_into().unwrap()) != ENDIAN_MARK {
+        return Err(MlError::Corrupt("catalog.bin: foreign endianness".into()));
+    }
+    let (payload, ck) = buf[6..].split_at(buf.len() - 6 - 8);
+    if crate::index::fnv1a(payload) != u64::from_le_bytes(ck.try_into().unwrap()) {
+        return Err(MlError::Corrupt("catalog.bin: checksum mismatch".into()));
+    }
+    let mut r = payload;
+    let next_table_id = take_u64(&mut r)?;
+    let ntables = take_u32(&mut r)? as usize;
+    if ntables > 1_000_000 {
+        return Err(MlError::Corrupt("catalog.bin: implausible table count".into()));
+    }
+    let mut tables = HashMap::with_capacity(ntables);
+    for _ in 0..ntables {
+        let id = take_u64(&mut r)?;
+        let name = take_str(&mut r)?;
+        let schema = wal::decode_schema(&mut r)?;
+        let version = take_u64(&mut r)?;
+        let rows = take_u64(&mut r)? as usize;
+        let mut cols = Vec::with_capacity(schema.len());
+        for field in schema.fields() {
+            let fname = take_str(&mut r)?;
+            let entry = Arc::new(ColumnEntry::from_file(
+                dir.join("cols").join(&fname),
+                field.ty,
+                rows,
+                vmem.clone(),
+            ));
+            cols.push(SegColumn::from_entry(entry));
+        }
+        let nord = take_u32(&mut r)? as usize;
+        let mut ordered_cols = Vec::with_capacity(nord.min(schema.len()));
+        for _ in 0..nord {
+            ordered_cols.push(take_u32(&mut r)? as usize);
+        }
+        tables.insert(
+            name.clone(),
+            Arc::new(TableMeta {
+                id,
+                name,
+                schema,
+                data: TableData { cols, deleted: None, rows, deleted_count: 0 },
+                version,
+                ordered_cols,
+            }),
+        );
+    }
+    Ok((tables, next_table_id))
+}
+
+fn take_u32(r: &mut &[u8]) -> Result<u32> {
+    if r.len() < 4 {
+        return Err(MlError::Corrupt("catalog.bin truncated".into()));
+    }
+    let (b, rest) = r.split_at(4);
+    *r = rest;
+    Ok(u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn take_u64(r: &mut &[u8]) -> Result<u64> {
+    if r.len() < 8 {
+        return Err(MlError::Corrupt("catalog.bin truncated".into()));
+    }
+    let (b, rest) = r.split_at(8);
+    *r = rest;
+    Ok(u64::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn take_str(r: &mut &[u8]) -> Result<String> {
+    let len = take_u32(r)? as usize;
+    if r.len() < len {
+        return Err(MlError::Corrupt("catalog.bin truncated".into()));
+    }
+    let (s, rest) = r.split_at(len);
+    *r = rest;
+    String::from_utf8(s.to_vec()).map_err(|_| MlError::Corrupt("catalog.bin bad utf-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monetlite_types::{ColumnBuffer, Field, Value};
+
+    fn schema_ab() -> Schema {
+        Schema::new(vec![
+            Field::not_null("a", LogicalType::Int),
+            Field::new("b", LogicalType::Varchar),
+        ])
+        .unwrap()
+    }
+
+    fn create_and_fill(store: &Store, rows: Vec<i32>) {
+        let mut w = TxWrites::default();
+        w.ops.push(WalRecord::CreateTable { name: "t".into(), schema: schema_ab() });
+        let strs: Vec<Option<String>> = rows.iter().map(|i| Some(format!("s{i}"))).collect();
+        w.ops.push(WalRecord::Append {
+            table: "t".into(),
+            cols: vec![Bat::Int(rows), Bat::from_buffer(&ColumnBuffer::Varchar(strs))],
+        });
+        store.commit(w).unwrap();
+    }
+
+    #[test]
+    fn in_memory_create_append_read() {
+        let store = Store::in_memory();
+        create_and_fill(&store, vec![1, 2, 3]);
+        let snap = store.snapshot();
+        let t = snap.table("t").unwrap();
+        assert_eq!(t.data.visible_rows(), 3);
+        let bat = t.data.cols[0].entry().unwrap().bat().unwrap();
+        assert_eq!(bat.get(2), Value::Int(3));
+    }
+
+    #[test]
+    fn snapshot_isolation_across_commits() {
+        let store = Store::in_memory();
+        create_and_fill(&store, vec![1]);
+        let old = store.snapshot();
+        let mut w = TxWrites::default();
+        w.base_versions.insert("t".into(), old.table("t").unwrap().version);
+        w.ops.push(WalRecord::Append {
+            table: "t".into(),
+            cols: vec![
+                Bat::Int(vec![2]),
+                Bat::from_buffer(&ColumnBuffer::Varchar(vec![None])),
+            ],
+        });
+        store.commit(w).unwrap();
+        assert_eq!(old.table("t").unwrap().data.visible_rows(), 1);
+        assert_eq!(store.snapshot().table("t").unwrap().data.visible_rows(), 2);
+    }
+
+    #[test]
+    fn write_write_conflict_aborts() {
+        let store = Store::in_memory();
+        create_and_fill(&store, vec![1]);
+        let base = store.snapshot().table("t").unwrap().version;
+        // First writer commits.
+        let mut w1 = TxWrites::default();
+        w1.base_versions.insert("t".into(), base);
+        w1.ops.push(WalRecord::Delete { table: "t".into(), rows: vec![0] });
+        store.commit(w1).unwrap();
+        // Second writer started from the same version: must abort.
+        let mut w2 = TxWrites::default();
+        w2.base_versions.insert("t".into(), base);
+        w2.ops.push(WalRecord::Delete { table: "t".into(), rows: vec![0] });
+        match store.commit(w2) {
+            Err(MlError::TransactionConflict(_)) => {}
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn persistent_roundtrip_via_checkpoint() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let store = Store::open(StoreOptions {
+                path: Some(dir.path().to_path_buf()),
+                ..Default::default()
+            })
+            .unwrap();
+            create_and_fill(&store, vec![10, 20]);
+            store.checkpoint().unwrap();
+        }
+        let store = Store::open(StoreOptions {
+            path: Some(dir.path().to_path_buf()),
+            ..Default::default()
+        })
+        .unwrap();
+        let snap = store.snapshot();
+        let t = snap.table("t").unwrap();
+        assert_eq!(t.data.visible_rows(), 2);
+        let bat = t.data.cols[1].entry().unwrap().bat().unwrap();
+        assert_eq!(bat.str_at(1), Some("s20"));
+    }
+
+    #[test]
+    fn wal_recovery_without_checkpoint() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let store = Store::open(StoreOptions {
+                path: Some(dir.path().to_path_buf()),
+                ..Default::default()
+            })
+            .unwrap();
+            create_and_fill(&store, vec![7, 8, 9]);
+            // No explicit checkpoint: data lives only in the WAL.
+        }
+        let store = Store::open(StoreOptions {
+            path: Some(dir.path().to_path_buf()),
+            ..Default::default()
+        })
+        .unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.table("t").unwrap().data.visible_rows(), 3);
+        let bat = snap.table("t").unwrap().data.cols[0].entry().unwrap().bat().unwrap();
+        assert_eq!(bat.get(0), Value::Int(7));
+    }
+
+    #[test]
+    fn deletes_compacted_at_checkpoint() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let store = Store::open(StoreOptions {
+                path: Some(dir.path().to_path_buf()),
+                ..Default::default()
+            })
+            .unwrap();
+            create_and_fill(&store, vec![1, 2, 3, 4]);
+            let mut w = TxWrites::default();
+            w.ops.push(WalRecord::Delete { table: "t".into(), rows: vec![0, 2] });
+            store.commit(w).unwrap();
+            store.checkpoint().unwrap();
+            let snap = store.snapshot();
+            assert_eq!(snap.table("t").unwrap().data.rows, 2, "checkpoint compacts deletes");
+        }
+        let store = Store::open(StoreOptions {
+            path: Some(dir.path().to_path_buf()),
+            ..Default::default()
+        })
+        .unwrap();
+        let snap = store.snapshot();
+        let bat = snap.table("t").unwrap().data.cols[0].entry().unwrap().bat().unwrap();
+        assert_eq!(bat.to_buffer(None), ColumnBuffer::Int(vec![2, 4]));
+    }
+
+    #[test]
+    fn database_locked_error() {
+        let dir = tempfile::tempdir().unwrap();
+        let opts =
+            StoreOptions { path: Some(dir.path().to_path_buf()), ..Default::default() };
+        let _s1 = Store::open(opts.clone()).unwrap();
+        match Store::open(opts) {
+            Err(MlError::Catalog(msg)) => assert!(msg.contains("database locked"), "{msg}"),
+            Err(other) => panic!("expected locked error, got {other:?}"),
+            Ok(_) => panic!("expected locked error, got a second store"),
+        }
+    }
+
+    #[test]
+    fn lock_released_on_drop() {
+        let dir = tempfile::tempdir().unwrap();
+        let opts =
+            StoreOptions { path: Some(dir.path().to_path_buf()), ..Default::default() };
+        {
+            let _s1 = Store::open(opts.clone()).unwrap();
+        }
+        assert!(Store::open(opts).is_ok());
+    }
+
+    #[test]
+    fn drop_table_removes_files_at_checkpoint() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = Store::open(StoreOptions {
+            path: Some(dir.path().to_path_buf()),
+            ..Default::default()
+        })
+        .unwrap();
+        create_and_fill(&store, vec![1]);
+        store.checkpoint().unwrap();
+        let files_before = std::fs::read_dir(dir.path().join("cols")).unwrap().count();
+        assert!(files_before >= 2);
+        let mut w = TxWrites::default();
+        w.base_versions
+            .insert("t".into(), store.snapshot().table("t").unwrap().version);
+        w.ops.push(WalRecord::DropTable { name: "t".into() });
+        store.commit(w).unwrap();
+        store.checkpoint().unwrap();
+        let files_after = std::fs::read_dir(dir.path().join("cols")).unwrap().count();
+        assert_eq!(files_after, 0, "orphan column files must be removed");
+    }
+
+    #[test]
+    fn create_duplicate_table_rejected() {
+        let store = Store::in_memory();
+        create_and_fill(&store, vec![1]);
+        let mut w = TxWrites::default();
+        w.ops.push(WalRecord::CreateTable { name: "t".into(), schema: schema_ab() });
+        assert!(matches!(store.commit(w), Err(MlError::Catalog(_))));
+    }
+
+    #[test]
+    fn append_type_mismatch_rejected() {
+        let store = Store::in_memory();
+        create_and_fill(&store, vec![1]);
+        let mut w = TxWrites::default();
+        w.ops.push(WalRecord::Append {
+            table: "t".into(),
+            cols: vec![Bat::Double(vec![1.0]), Bat::from_buffer(&ColumnBuffer::Varchar(vec![None]))],
+        });
+        assert!(matches!(store.commit(w), Err(MlError::TypeMismatch(_))));
+    }
+
+    #[test]
+    fn vmem_eviction_under_pressure_with_reload() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = Store::open(StoreOptions {
+            path: Some(dir.path().to_path_buf()),
+            vmem_budget: 6000, // bytes: forces eviction between two 4kB columns
+            ..Default::default()
+        })
+        .unwrap();
+        // Two tables with one 1000-row int column each (4 kB).
+        for name in ["x", "y"] {
+            let mut w = TxWrites::default();
+            let schema =
+                Schema::new(vec![Field::not_null("v", LogicalType::Int)]).unwrap();
+            w.ops.push(WalRecord::CreateTable { name: name.into(), schema });
+            w.ops.push(WalRecord::Append {
+                table: name.into(),
+                cols: vec![Bat::Int((0..1000).collect())],
+            });
+            store.commit(w).unwrap();
+        }
+        store.checkpoint().unwrap();
+        let snap = store.snapshot();
+        // Touch x then y: y's touch should evict x under the 6 kB budget.
+        let _ = snap.table("x").unwrap().data.cols[0].entry().unwrap().bat().unwrap();
+        let _ = snap.table("y").unwrap().data.cols[0].entry().unwrap().bat().unwrap();
+        // Touch x again: reload from disk.
+        let bat = snap.table("x").unwrap().data.cols[0].entry().unwrap().bat().unwrap();
+        assert_eq!(bat.get(999), Value::Int(999));
+        let stats = store.vmem().stats();
+        assert!(stats.evictions >= 1, "expected evictions, got {stats:?}");
+        assert!(stats.loads >= 1, "expected reloads, got {stats:?}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Simulation of MonetDB's memory-mapped-file memory management (paper
+//! §3.1 *Memory Management*).
+//!
+//! "MonetDB does not use a traditional buffer pool ... Instead, it relies
+//! on the operating system ... using memory-mapped files to store columns
+//! persistently on disk. The operating system then loads pages into memory
+//! as they are used and evicts pages from memory when they are no longer
+//! being actively used. This model allows it to keep hot columns loaded in
+//! memory, while columns that are not frequently touched are off-loaded to
+//! disk."
+//!
+//! [`Vmem`] plays the role of the OS: file-backed columns register their
+//! resident slot here; every touch updates a logical clock; when resident
+//! bytes exceed the configured budget the coldest columns are evicted
+//! (their `Arc<Bat>` dropped — memory is truly released once in-flight
+//! readers finish). Evicted columns transparently reload from their
+//! backing file on the next touch. In-memory databases simply never
+//! register, so nothing is ever evicted — matching the paper's in-memory
+//! mode where "all stored data will be discarded" on shutdown.
+
+use crate::bat::Bat;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+/// The shared residency slot of one column: `None` = off-loaded to disk.
+pub type ResidentSlot = Mutex<Option<Arc<Bat>>>;
+
+/// Counters describing paging behaviour; exposed so benches can report
+/// load/eviction traffic (the SF10 "swapping" effect of Table 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmemStats {
+    /// Column loads from backing files.
+    pub loads: u64,
+    /// Column evictions under memory pressure.
+    pub evictions: u64,
+    /// Total bytes read from backing files.
+    pub bytes_loaded: u64,
+    /// Bytes currently resident (registered columns only).
+    pub resident_bytes: usize,
+}
+
+struct VEntry {
+    slot: Weak<ResidentSlot>,
+    bytes: usize,
+    last_touch: u64,
+    resident: bool,
+}
+
+struct VmemInner {
+    entries: HashMap<u64, VEntry>,
+    clock: u64,
+    resident_bytes: usize,
+    stats: VmemStats,
+}
+
+/// The paging manager. One per [`crate::store::Store`].
+pub struct Vmem {
+    budget: usize,
+    inner: Mutex<VmemInner>,
+}
+
+impl Vmem {
+    /// Create with a resident-byte budget (`usize::MAX` = unlimited).
+    pub fn new(budget: usize) -> Vmem {
+        Vmem {
+            budget,
+            inner: Mutex::new(VmemInner {
+                entries: HashMap::new(),
+                clock: 0,
+                resident_bytes: 0,
+                stats: VmemStats::default(),
+            }),
+        }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Record that column `id` became resident with `bytes` bytes in
+    /// `slot`, then enforce the budget by evicting the coldest columns.
+    pub fn touch(&self, id: u64, slot: &Arc<ResidentSlot>, bytes: usize, loaded_from_disk: bool) {
+        let mut g = self.inner.lock();
+        g.clock += 1;
+        let clock = g.clock;
+        let e = g.entries.entry(id).or_insert(VEntry {
+            slot: Arc::downgrade(slot),
+            bytes,
+            last_touch: 0,
+            resident: false,
+        });
+        if !e.resident {
+            e.resident = true;
+            g.resident_bytes += bytes;
+        }
+        let e = g.entries.get_mut(&id).unwrap();
+        e.last_touch = clock;
+        e.bytes = bytes;
+        if loaded_from_disk {
+            g.stats.loads += 1;
+            g.stats.bytes_loaded += bytes as u64;
+        }
+        self.enforce_budget(&mut g, id);
+    }
+
+    /// Deregister a column (its backing entry was replaced or dropped).
+    pub fn forget(&self, id: u64) {
+        let mut g = self.inner.lock();
+        if let Some(e) = g.entries.remove(&id) {
+            if e.resident {
+                g.resident_bytes -= e.bytes;
+            }
+        }
+    }
+
+    /// Current paging statistics.
+    pub fn stats(&self) -> VmemStats {
+        let g = self.inner.lock();
+        VmemStats { resident_bytes: g.resident_bytes, ..g.stats }
+    }
+
+    /// Reset counters (between bench phases).
+    pub fn reset_stats(&self) {
+        let mut g = self.inner.lock();
+        g.stats = VmemStats::default();
+    }
+
+    fn enforce_budget(&self, g: &mut VmemInner, just_touched: u64) {
+        if g.resident_bytes <= self.budget {
+            return;
+        }
+        // Evict coldest-first until under budget; never evict the column
+        // being touched (it is in active use).
+        let mut order: Vec<(u64, u64)> = g
+            .entries
+            .iter()
+            .filter(|(id, e)| **id != just_touched && e.resident)
+            .map(|(id, e)| (e.last_touch, *id))
+            .collect();
+        order.sort_unstable();
+        for (_, id) in order {
+            if g.resident_bytes <= self.budget {
+                break;
+            }
+            let e = g.entries.get_mut(&id).unwrap();
+            match e.slot.upgrade() {
+                Some(slot) => {
+                    *slot.lock() = None;
+                    e.resident = false;
+                    g.resident_bytes -= e.bytes;
+                    g.stats.evictions += 1;
+                }
+                None => {
+                    // The column object is gone entirely.
+                    let bytes = e.bytes;
+                    g.entries.remove(&id);
+                    g.resident_bytes -= bytes;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot_with(bytes: usize) -> Arc<ResidentSlot> {
+        Arc::new(Mutex::new(Some(Arc::new(Bat::Int(vec![0; bytes / 4])))))
+    }
+
+    #[test]
+    fn under_budget_nothing_evicted() {
+        let vm = Vmem::new(1000);
+        let a = slot_with(400);
+        let b = slot_with(400);
+        vm.touch(1, &a, 400, true);
+        vm.touch(2, &b, 400, true);
+        assert!(a.lock().is_some());
+        assert!(b.lock().is_some());
+        let s = vm.stats();
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.resident_bytes, 800);
+    }
+
+    #[test]
+    fn coldest_column_evicted_first() {
+        let vm = Vmem::new(1000);
+        let a = slot_with(600);
+        let b = slot_with(600);
+        vm.touch(1, &a, 600, true);
+        vm.touch(2, &b, 600, true); // over budget: evict 1 (colder)
+        assert!(a.lock().is_none(), "cold column should be off-loaded");
+        assert!(b.lock().is_some(), "hot column stays resident");
+        assert_eq!(vm.stats().evictions, 1);
+        assert_eq!(vm.stats().resident_bytes, 600);
+    }
+
+    #[test]
+    fn touched_column_never_self_evicts() {
+        let vm = Vmem::new(100);
+        let a = slot_with(500);
+        vm.touch(1, &a, 500, true);
+        // Single column larger than budget stays resident (the OS would
+        // thrash, but the active mapping can't be dropped mid-use).
+        assert!(a.lock().is_some());
+    }
+
+    #[test]
+    fn retouching_keeps_column_hot() {
+        let vm = Vmem::new(1000);
+        let a = slot_with(600);
+        let b = slot_with(600);
+        vm.touch(1, &a, 600, true);
+        vm.touch(2, &b, 600, true); // evicts a
+        *a.lock() = Some(Arc::new(Bat::Int(vec![0; 150])));
+        vm.touch(1, &a, 600, true); // reload a, evicts b
+        assert!(a.lock().is_some());
+        assert!(b.lock().is_none());
+        assert_eq!(vm.stats().loads, 3);
+    }
+
+    #[test]
+    fn forget_releases_accounting() {
+        let vm = Vmem::new(1000);
+        let a = slot_with(600);
+        vm.touch(1, &a, 600, false);
+        assert_eq!(vm.stats().resident_bytes, 600);
+        vm.forget(1);
+        assert_eq!(vm.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn dead_slots_are_garbage_collected() {
+        let vm = Vmem::new(500);
+        {
+            let a = slot_with(400);
+            vm.touch(1, &a, 400, false);
+        } // a dropped entirely
+        let b = slot_with(400);
+        vm.touch(2, &b, 400, false);
+        assert!(b.lock().is_some());
+        assert_eq!(vm.stats().resident_bytes, 400);
+    }
+}

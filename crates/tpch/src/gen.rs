@@ -1,0 +1,598 @@
+//! A deterministic `dbgen` equivalent: all eight TPC-H tables at an
+//! arbitrary scale factor, column-major, with the distributions that the
+//! benchmarked queries are sensitive to (uniform keys, the 1992–1998 date
+//! window, the price/discount/tax ranges, the standard text pools for
+//! brands/types/segments/nations).
+
+use monetlite_types::{ColumnBuffer, Date, Field, LogicalType, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated table.
+pub struct Table {
+    /// Table name.
+    pub name: &'static str,
+    /// Column definitions.
+    pub schema: Schema,
+    /// Column-major data.
+    pub cols: Vec<ColumnBuffer>,
+}
+
+impl Table {
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.cols.first().map_or(0, |c| c.len())
+    }
+
+    /// Total bytes (host representation).
+    pub fn bytes(&self) -> usize {
+        self.cols.iter().map(|c| c.size_bytes()).sum()
+    }
+}
+
+/// The full generated dataset.
+pub struct TpchData {
+    /// REGION (5 rows).
+    pub region: Table,
+    /// NATION (25 rows).
+    pub nation: Table,
+    /// SUPPLIER (10k × SF).
+    pub supplier: Table,
+    /// PART (200k × SF).
+    pub part: Table,
+    /// PARTSUPP (800k × SF).
+    pub partsupp: Table,
+    /// CUSTOMER (150k × SF).
+    pub customer: Table,
+    /// ORDERS (1.5M × SF).
+    pub orders: Table,
+    /// LINEITEM (~6M × SF).
+    pub lineitem: Table,
+}
+
+impl TpchData {
+    /// Tables in foreign-key-safe load order.
+    pub fn tables(&self) -> [&Table; 8] {
+        [
+            &self.region,
+            &self.nation,
+            &self.supplier,
+            &self.part,
+            &self.customer,
+            &self.partsupp,
+            &self.orders,
+            &self.lineitem,
+        ]
+    }
+
+    /// Total dataset bytes.
+    pub fn bytes(&self) -> usize {
+        self.tables().iter().map(|t| t.bytes()).sum()
+    }
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// (name, region index) — the official 25 nations.
+const NATIONS: [(&str, i32); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINERS1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+const CONTAINERS2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const COLORS: [&str; 17] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "green", "red",
+];
+const WORDS: [&str; 16] = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "ideas", "packages", "requests",
+    "accounts", "deposits", "foxes", "theodolites", "pinto", "beans", "instructions", "asymptotes",
+];
+
+fn comment(rng: &mut StdRng, words: usize) -> String {
+    let mut s = String::new();
+    for i in 0..words {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.random_range(0..WORDS.len())]);
+    }
+    s
+}
+
+fn schema(fields: Vec<Field>) -> Schema {
+    Schema::new(fields).expect("static schemas are valid")
+}
+
+fn money(rng: &mut StdRng, lo: i64, hi: i64) -> i64 {
+    rng.random_range(lo..=hi) // raw cents
+}
+
+/// Generate the dataset at `sf` (1.0 ≈ the paper's SF1) with a fixed
+/// seed, so every run of every engine sees identical data.
+pub fn generate(sf: f64, seed: u64) -> TpchData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_supplier = ((10_000.0 * sf) as usize).max(10);
+    let n_part = ((200_000.0 * sf) as usize).max(50);
+    let n_customer = ((150_000.0 * sf) as usize).max(30);
+    let n_orders = ((1_500_000.0 * sf) as usize).max(150);
+
+    // REGION ---------------------------------------------------------------
+    let region = Table {
+        name: "region",
+        schema: schema(vec![
+            Field::not_null("r_regionkey", LogicalType::Int),
+            Field::not_null("r_name", LogicalType::Varchar),
+            Field::new("r_comment", LogicalType::Varchar),
+        ]),
+        cols: vec![
+            ColumnBuffer::Int((0..5).collect()),
+            ColumnBuffer::Varchar(REGIONS.iter().map(|s| Some(s.to_string())).collect()),
+            ColumnBuffer::Varchar((0..5).map(|_| Some(comment(&mut rng, 6))).collect()),
+        ],
+    };
+
+    // NATION ---------------------------------------------------------------
+    let nation = Table {
+        name: "nation",
+        schema: schema(vec![
+            Field::not_null("n_nationkey", LogicalType::Int),
+            Field::not_null("n_name", LogicalType::Varchar),
+            Field::not_null("n_regionkey", LogicalType::Int),
+            Field::new("n_comment", LogicalType::Varchar),
+        ]),
+        cols: vec![
+            ColumnBuffer::Int((0..25).collect()),
+            ColumnBuffer::Varchar(NATIONS.iter().map(|(n, _)| Some(n.to_string())).collect()),
+            ColumnBuffer::Int(NATIONS.iter().map(|(_, r)| *r).collect()),
+            ColumnBuffer::Varchar((0..25).map(|_| Some(comment(&mut rng, 6))).collect()),
+        ],
+    };
+
+    // SUPPLIER ---------------------------------------------------------------
+    let mut s_key = Vec::with_capacity(n_supplier);
+    let mut s_name = Vec::with_capacity(n_supplier);
+    let mut s_addr = Vec::with_capacity(n_supplier);
+    let mut s_nation = Vec::with_capacity(n_supplier);
+    let mut s_phone = Vec::with_capacity(n_supplier);
+    let mut s_acct = Vec::with_capacity(n_supplier);
+    let mut s_comment = Vec::with_capacity(n_supplier);
+    for i in 0..n_supplier {
+        s_key.push(i as i32 + 1);
+        s_name.push(Some(format!("Supplier#{:09}", i + 1)));
+        s_addr.push(Some(comment(&mut rng, 3)));
+        let nk = rng.random_range(0..25);
+        s_nation.push(nk);
+        s_phone.push(Some(format!(
+            "{}-{:03}-{:03}-{:04}",
+            10 + nk,
+            rng.random_range(100..999),
+            rng.random_range(100..999),
+            rng.random_range(1000..9999)
+        )));
+        s_acct.push(money(&mut rng, -99_999, 999_999));
+        s_comment.push(Some(comment(&mut rng, 8)));
+    }
+    let supplier = Table {
+        name: "supplier",
+        schema: schema(vec![
+            Field::not_null("s_suppkey", LogicalType::Int),
+            Field::not_null("s_name", LogicalType::Varchar),
+            Field::new("s_address", LogicalType::Varchar),
+            Field::not_null("s_nationkey", LogicalType::Int),
+            Field::new("s_phone", LogicalType::Varchar),
+            Field::new("s_acctbal", LogicalType::Decimal { width: 15, scale: 2 }),
+            Field::new("s_comment", LogicalType::Varchar),
+        ]),
+        cols: vec![
+            ColumnBuffer::Int(s_key),
+            ColumnBuffer::Varchar(s_name),
+            ColumnBuffer::Varchar(s_addr),
+            ColumnBuffer::Int(s_nation),
+            ColumnBuffer::Varchar(s_phone),
+            ColumnBuffer::Decimal { data: s_acct, scale: 2 },
+            ColumnBuffer::Varchar(s_comment),
+        ],
+    };
+
+    // PART -------------------------------------------------------------------
+    let mut p_key = Vec::with_capacity(n_part);
+    let mut p_name = Vec::with_capacity(n_part);
+    let mut p_mfgr = Vec::with_capacity(n_part);
+    let mut p_brand = Vec::with_capacity(n_part);
+    let mut p_type = Vec::with_capacity(n_part);
+    let mut p_size = Vec::with_capacity(n_part);
+    let mut p_container = Vec::with_capacity(n_part);
+    let mut p_retail = Vec::with_capacity(n_part);
+    let mut p_comment = Vec::with_capacity(n_part);
+    for i in 0..n_part {
+        p_key.push(i as i32 + 1);
+        let c1 = COLORS[rng.random_range(0..COLORS.len())];
+        let c2 = COLORS[rng.random_range(0..COLORS.len())];
+        p_name.push(Some(format!("{c1} {c2}")));
+        let m = rng.random_range(1..=5);
+        p_mfgr.push(Some(format!("Manufacturer#{m}")));
+        p_brand.push(Some(format!("Brand#{}{}", m, rng.random_range(1..=5))));
+        p_type.push(Some(format!(
+            "{} {} {}",
+            TYPE_SYL1[rng.random_range(0..TYPE_SYL1.len())],
+            TYPE_SYL2[rng.random_range(0..TYPE_SYL2.len())],
+            TYPE_SYL3[rng.random_range(0..TYPE_SYL3.len())]
+        )));
+        p_size.push(rng.random_range(1..=50));
+        p_container.push(Some(format!(
+            "{} {}",
+            CONTAINERS1[rng.random_range(0..CONTAINERS1.len())],
+            CONTAINERS2[rng.random_range(0..CONTAINERS2.len())]
+        )));
+        // 90000 + i/10 + ... per spec; close enough: 900.00..2098.99
+        p_retail.push(90_000 + (i as i64 % 120_000));
+        p_comment.push(Some(comment(&mut rng, 4)));
+    }
+    let part = Table {
+        name: "part",
+        schema: schema(vec![
+            Field::not_null("p_partkey", LogicalType::Int),
+            Field::not_null("p_name", LogicalType::Varchar),
+            Field::new("p_mfgr", LogicalType::Varchar),
+            Field::new("p_brand", LogicalType::Varchar),
+            Field::new("p_type", LogicalType::Varchar),
+            Field::new("p_size", LogicalType::Int),
+            Field::new("p_container", LogicalType::Varchar),
+            Field::new("p_retailprice", LogicalType::Decimal { width: 15, scale: 2 }),
+            Field::new("p_comment", LogicalType::Varchar),
+        ]),
+        cols: vec![
+            ColumnBuffer::Int(p_key),
+            ColumnBuffer::Varchar(p_name),
+            ColumnBuffer::Varchar(p_mfgr),
+            ColumnBuffer::Varchar(p_brand),
+            ColumnBuffer::Varchar(p_type),
+            ColumnBuffer::Int(p_size),
+            ColumnBuffer::Varchar(p_container),
+            ColumnBuffer::Decimal { data: p_retail.clone(), scale: 2 },
+            ColumnBuffer::Varchar(p_comment),
+        ],
+    };
+
+    // PARTSUPP (4 suppliers per part) -----------------------------------------
+    let n_ps = n_part * 4;
+    let mut ps_part = Vec::with_capacity(n_ps);
+    let mut ps_supp = Vec::with_capacity(n_ps);
+    let mut ps_avail = Vec::with_capacity(n_ps);
+    let mut ps_cost = Vec::with_capacity(n_ps);
+    let mut ps_comment = Vec::with_capacity(n_ps);
+    for p in 0..n_part {
+        for j in 0..4 {
+            ps_part.push(p as i32 + 1);
+            // Spec formula spreads suppliers over the key space.
+            let s = ((p + (j * ((n_supplier / 4) + (p % n_supplier)))) % n_supplier) as i32 + 1;
+            ps_supp.push(s);
+            ps_avail.push(rng.random_range(1..=9999));
+            ps_cost.push(money(&mut rng, 100, 100_000));
+            ps_comment.push(Some(comment(&mut rng, 6)));
+        }
+    }
+    let partsupp = Table {
+        name: "partsupp",
+        schema: schema(vec![
+            Field::not_null("ps_partkey", LogicalType::Int),
+            Field::not_null("ps_suppkey", LogicalType::Int),
+            Field::new("ps_availqty", LogicalType::Int),
+            Field::new("ps_supplycost", LogicalType::Decimal { width: 15, scale: 2 }),
+            Field::new("ps_comment", LogicalType::Varchar),
+        ]),
+        cols: vec![
+            ColumnBuffer::Int(ps_part),
+            ColumnBuffer::Int(ps_supp),
+            ColumnBuffer::Int(ps_avail),
+            ColumnBuffer::Decimal { data: ps_cost.clone(), scale: 2 },
+            ColumnBuffer::Varchar(ps_comment),
+        ],
+    };
+
+    // CUSTOMER ----------------------------------------------------------------
+    let mut c_key = Vec::with_capacity(n_customer);
+    let mut c_name = Vec::with_capacity(n_customer);
+    let mut c_addr = Vec::with_capacity(n_customer);
+    let mut c_nation = Vec::with_capacity(n_customer);
+    let mut c_phone = Vec::with_capacity(n_customer);
+    let mut c_acct = Vec::with_capacity(n_customer);
+    let mut c_segment = Vec::with_capacity(n_customer);
+    let mut c_comment = Vec::with_capacity(n_customer);
+    for i in 0..n_customer {
+        c_key.push(i as i32 + 1);
+        c_name.push(Some(format!("Customer#{:09}", i + 1)));
+        c_addr.push(Some(comment(&mut rng, 3)));
+        let nk = rng.random_range(0..25);
+        c_nation.push(nk);
+        c_phone.push(Some(format!(
+            "{}-{:03}-{:03}-{:04}",
+            10 + nk,
+            rng.random_range(100..999),
+            rng.random_range(100..999),
+            rng.random_range(1000..9999)
+        )));
+        c_acct.push(money(&mut rng, -99_999, 999_999));
+        c_segment.push(Some(SEGMENTS[rng.random_range(0..SEGMENTS.len())].to_string()));
+        c_comment.push(Some(comment(&mut rng, 8)));
+    }
+    let customer = Table {
+        name: "customer",
+        schema: schema(vec![
+            Field::not_null("c_custkey", LogicalType::Int),
+            Field::not_null("c_name", LogicalType::Varchar),
+            Field::new("c_address", LogicalType::Varchar),
+            Field::not_null("c_nationkey", LogicalType::Int),
+            Field::new("c_phone", LogicalType::Varchar),
+            Field::new("c_acctbal", LogicalType::Decimal { width: 15, scale: 2 }),
+            Field::new("c_mktsegment", LogicalType::Varchar),
+            Field::new("c_comment", LogicalType::Varchar),
+        ]),
+        cols: vec![
+            ColumnBuffer::Int(c_key),
+            ColumnBuffer::Varchar(c_name),
+            ColumnBuffer::Varchar(c_addr),
+            ColumnBuffer::Int(c_nation),
+            ColumnBuffer::Varchar(c_phone),
+            ColumnBuffer::Decimal { data: c_acct.clone(), scale: 2 },
+            ColumnBuffer::Varchar(c_segment),
+            ColumnBuffer::Varchar(c_comment),
+        ],
+    };
+
+    // ORDERS + LINEITEM ---------------------------------------------------------
+    let start = Date::from_ymd(1992, 1, 1).unwrap().0;
+    let end = Date::from_ymd(1998, 8, 2).unwrap().0;
+    let mut o_key = Vec::with_capacity(n_orders);
+    let mut o_cust = Vec::with_capacity(n_orders);
+    let mut o_status = Vec::with_capacity(n_orders);
+    let mut o_total = Vec::with_capacity(n_orders);
+    let mut o_date = Vec::with_capacity(n_orders);
+    let mut o_prio = Vec::with_capacity(n_orders);
+    let mut o_clerk = Vec::with_capacity(n_orders);
+    let mut o_ship = Vec::with_capacity(n_orders);
+    let mut o_comment = Vec::with_capacity(n_orders);
+
+    let est_li = n_orders * 4;
+    let mut l_order = Vec::with_capacity(est_li);
+    let mut l_part = Vec::with_capacity(est_li);
+    let mut l_supp = Vec::with_capacity(est_li);
+    let mut l_line = Vec::with_capacity(est_li);
+    let mut l_qty = Vec::with_capacity(est_li);
+    let mut l_extprice = Vec::with_capacity(est_li);
+    let mut l_discount = Vec::with_capacity(est_li);
+    let mut l_tax = Vec::with_capacity(est_li);
+    let mut l_retflag = Vec::with_capacity(est_li);
+    let mut l_status = Vec::with_capacity(est_li);
+    let mut l_shipdate = Vec::with_capacity(est_li);
+    let mut l_commit = Vec::with_capacity(est_li);
+    let mut l_receipt = Vec::with_capacity(est_li);
+    let mut l_instruct = Vec::with_capacity(est_li);
+    let mut l_mode = Vec::with_capacity(est_li);
+    let mut l_comment = Vec::with_capacity(est_li);
+
+    let cutoff = Date::from_ymd(1995, 6, 17).unwrap().0;
+    for i in 0..n_orders {
+        let okey = (i as i32 + 1) * 4; // sparse keys like dbgen
+        o_key.push(okey);
+        o_cust.push(rng.random_range(0..n_customer) as i32 + 1);
+        let odate = rng.random_range(start..=end - 151);
+        o_date.push(odate);
+        o_prio.push(Some(PRIORITIES[rng.random_range(0..PRIORITIES.len())].to_string()));
+        o_clerk.push(Some(format!("Clerk#{:09}", rng.random_range(1..=1000))));
+        o_ship.push(rng.random_range(0..5) as i32);
+        o_comment.push(Some(comment(&mut rng, 6)));
+        let nlines = rng.random_range(1..=7);
+        let mut total: i64 = 0;
+        let mut any_open = false;
+        for ln in 0..nlines {
+            l_order.push(okey);
+            let pk = rng.random_range(0..n_part);
+            l_part.push(pk as i32 + 1);
+            // One of this part's four suppliers.
+            let j = rng.random_range(0..4usize);
+            let sk = ((pk + (j * ((n_supplier / 4) + (pk % n_supplier)))) % n_supplier) as i32 + 1;
+            l_supp.push(sk);
+            l_line.push(ln + 1);
+            let qty = rng.random_range(1..=50) as i64;
+            l_qty.push(qty * 100); // DECIMAL(15,2)
+            let ext = qty * p_retail[pk];
+            l_extprice.push(ext);
+            let disc = rng.random_range(0..=10) as i64; // 0.00..0.10
+            l_discount.push(disc);
+            l_tax.push(rng.random_range(0..=8) as i64);
+            let ship = odate + rng.random_range(1..=121);
+            l_shipdate.push(ship);
+            l_commit.push(odate + rng.random_range(30..=90));
+            let receipt = ship + rng.random_range(1..=30);
+            l_receipt.push(receipt);
+            if receipt <= cutoff {
+                l_retflag.push(Some(if rng.random_bool(0.5) { "R" } else { "A" }.to_string()));
+            } else {
+                l_retflag.push(Some("N".to_string()));
+            }
+            if ship > cutoff {
+                l_status.push(Some("O".to_string()));
+                any_open = true;
+            } else {
+                l_status.push(Some("F".to_string()));
+            }
+            l_instruct
+                .push(Some(INSTRUCTIONS[rng.random_range(0..INSTRUCTIONS.len())].to_string()));
+            l_mode.push(Some(MODES[rng.random_range(0..MODES.len())].to_string()));
+            l_comment.push(Some(comment(&mut rng, 4)));
+            total += ext * (100 - disc) / 100;
+        }
+        o_total.push(total);
+        o_status.push(Some(if any_open { "O" } else { "F" }.to_string()));
+    }
+    // Discounts are DECIMAL(15,2): 0.00–0.10 stored as 0..10 cents... the
+    // raw values above are hundredths already (disc=6 → 0.06).
+    let orders = Table {
+        name: "orders",
+        schema: schema(vec![
+            Field::not_null("o_orderkey", LogicalType::Int),
+            Field::not_null("o_custkey", LogicalType::Int),
+            Field::new("o_orderstatus", LogicalType::Varchar),
+            Field::new("o_totalprice", LogicalType::Decimal { width: 15, scale: 2 }),
+            Field::not_null("o_orderdate", LogicalType::Date),
+            Field::new("o_orderpriority", LogicalType::Varchar),
+            Field::new("o_clerk", LogicalType::Varchar),
+            Field::new("o_shippriority", LogicalType::Int),
+            Field::new("o_comment", LogicalType::Varchar),
+        ]),
+        cols: vec![
+            ColumnBuffer::Int(o_key),
+            ColumnBuffer::Int(o_cust),
+            ColumnBuffer::Varchar(o_status),
+            ColumnBuffer::Decimal { data: o_total, scale: 2 },
+            ColumnBuffer::Date(o_date),
+            ColumnBuffer::Varchar(o_prio),
+            ColumnBuffer::Varchar(o_clerk),
+            ColumnBuffer::Int(o_ship),
+            ColumnBuffer::Varchar(o_comment),
+        ],
+    };
+    let lineitem = Table {
+        name: "lineitem",
+        schema: schema(vec![
+            Field::not_null("l_orderkey", LogicalType::Int),
+            Field::not_null("l_partkey", LogicalType::Int),
+            Field::not_null("l_suppkey", LogicalType::Int),
+            Field::not_null("l_linenumber", LogicalType::Int),
+            Field::new("l_quantity", LogicalType::Decimal { width: 15, scale: 2 }),
+            Field::new("l_extendedprice", LogicalType::Decimal { width: 15, scale: 2 }),
+            Field::new("l_discount", LogicalType::Decimal { width: 15, scale: 2 }),
+            Field::new("l_tax", LogicalType::Decimal { width: 15, scale: 2 }),
+            Field::new("l_returnflag", LogicalType::Varchar),
+            Field::new("l_linestatus", LogicalType::Varchar),
+            Field::not_null("l_shipdate", LogicalType::Date),
+            Field::new("l_commitdate", LogicalType::Date),
+            Field::new("l_receiptdate", LogicalType::Date),
+            Field::new("l_shipinstruct", LogicalType::Varchar),
+            Field::new("l_shipmode", LogicalType::Varchar),
+            Field::new("l_comment", LogicalType::Varchar),
+        ]),
+        cols: vec![
+            ColumnBuffer::Int(l_order),
+            ColumnBuffer::Int(l_part),
+            ColumnBuffer::Int(l_supp),
+            ColumnBuffer::Int(l_line),
+            ColumnBuffer::Decimal { data: l_qty, scale: 2 },
+            ColumnBuffer::Decimal { data: l_extprice, scale: 2 },
+            ColumnBuffer::Decimal { data: l_discount, scale: 2 },
+            ColumnBuffer::Decimal { data: l_tax, scale: 2 },
+            ColumnBuffer::Varchar(l_retflag),
+            ColumnBuffer::Varchar(l_status),
+            ColumnBuffer::Date(l_shipdate),
+            ColumnBuffer::Date(l_commit),
+            ColumnBuffer::Date(l_receipt),
+            ColumnBuffer::Varchar(l_instruct),
+            ColumnBuffer::Varchar(l_mode),
+            ColumnBuffer::Varchar(l_comment),
+        ],
+    };
+
+    TpchData { region, nation, supplier, part, partsupp, customer, orders, lineitem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monetlite_types::Value;
+
+    #[test]
+    fn deterministic_and_scaled() {
+        let a = generate(0.001, 42);
+        let b = generate(0.001, 42);
+        assert_eq!(a.lineitem.rows(), b.lineitem.rows());
+        assert_eq!(a.lineitem.cols[0].get(10), b.lineitem.cols[0].get(10));
+        let big = generate(0.002, 42);
+        assert!(big.orders.rows() > a.orders.rows());
+        assert_eq!(a.nation.rows(), 25);
+        assert_eq!(a.region.rows(), 5);
+    }
+
+    #[test]
+    fn lineitem_invariants() {
+        let d = generate(0.001, 7);
+        let li = &d.lineitem;
+        let orders = &d.orders;
+        assert!(li.rows() >= orders.rows(), "at least one line per order");
+        // Dates ordered: ship < receipt.
+        let (ColumnBuffer::Date(ship), ColumnBuffer::Date(receipt)) =
+            (&li.cols[10], &li.cols[12])
+        else {
+            panic!()
+        };
+        assert!(ship.iter().zip(receipt).all(|(s, r)| s < r));
+        // Discounts within 0.00..0.10.
+        let ColumnBuffer::Decimal { data: disc, .. } = &li.cols[6] else { panic!() };
+        assert!(disc.iter().all(|&d| (0..=10).contains(&d)));
+        // Return flags from the 3-letter domain.
+        for i in 0..li.rows() {
+            match li.cols[8].get(i) {
+                Value::Str(s) => assert!(["R", "A", "N"].contains(&s.as_str())),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn partsupp_links_valid_suppliers() {
+        let d = generate(0.001, 7);
+        let n_supp = d.supplier.rows() as i32;
+        let ColumnBuffer::Int(supps) = &d.partsupp.cols[1] else { panic!() };
+        assert!(supps.iter().all(|&s| s >= 1 && s <= n_supp));
+        assert_eq!(d.partsupp.rows(), d.part.rows() * 4);
+    }
+
+    #[test]
+    fn lineitem_suppliers_exist_in_partsupp() {
+        // Q9 joins lineitem to partsupp on (partkey, suppkey): every pair
+        // must exist.
+        let d = generate(0.001, 3);
+        let ColumnBuffer::Int(ps_p) = &d.partsupp.cols[0] else { panic!() };
+        let ColumnBuffer::Int(ps_s) = &d.partsupp.cols[1] else { panic!() };
+        let pairs: std::collections::HashSet<(i32, i32)> =
+            ps_p.iter().copied().zip(ps_s.iter().copied()).collect();
+        let ColumnBuffer::Int(l_p) = &d.lineitem.cols[1] else { panic!() };
+        let ColumnBuffer::Int(l_s) = &d.lineitem.cols[2] else { panic!() };
+        for (p, s) in l_p.iter().zip(l_s) {
+            assert!(pairs.contains(&(*p, *s)), "lineitem ({p},{s}) not in partsupp");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! TPC-H Q1–Q10 SQL text (validation parameters) and the schema DDL.
+
+/// CREATE TABLE statements for all eight tables.
+pub const DDL: &str = "
+CREATE TABLE region (r_regionkey INTEGER NOT NULL, r_name VARCHAR(25) NOT NULL, r_comment VARCHAR(152));
+CREATE TABLE nation (n_nationkey INTEGER NOT NULL, n_name VARCHAR(25) NOT NULL, n_regionkey INTEGER NOT NULL, n_comment VARCHAR(152));
+CREATE TABLE supplier (s_suppkey INTEGER NOT NULL, s_name VARCHAR(25) NOT NULL, s_address VARCHAR(40), s_nationkey INTEGER NOT NULL, s_phone VARCHAR(15), s_acctbal DECIMAL(15,2), s_comment VARCHAR(101));
+CREATE TABLE part (p_partkey INTEGER NOT NULL, p_name VARCHAR(55) NOT NULL, p_mfgr VARCHAR(25), p_brand VARCHAR(10), p_type VARCHAR(25), p_size INTEGER, p_container VARCHAR(10), p_retailprice DECIMAL(15,2), p_comment VARCHAR(23));
+CREATE TABLE customer (c_custkey INTEGER NOT NULL, c_name VARCHAR(25) NOT NULL, c_address VARCHAR(40), c_nationkey INTEGER NOT NULL, c_phone VARCHAR(15), c_acctbal DECIMAL(15,2), c_mktsegment VARCHAR(10), c_comment VARCHAR(117));
+CREATE TABLE partsupp (ps_partkey INTEGER NOT NULL, ps_suppkey INTEGER NOT NULL, ps_availqty INTEGER, ps_supplycost DECIMAL(15,2), ps_comment VARCHAR(199));
+CREATE TABLE orders (o_orderkey INTEGER NOT NULL, o_custkey INTEGER NOT NULL, o_orderstatus VARCHAR(1), o_totalprice DECIMAL(15,2), o_orderdate DATE NOT NULL, o_orderpriority VARCHAR(15), o_clerk VARCHAR(15), o_shippriority INTEGER, o_comment VARCHAR(79));
+CREATE TABLE lineitem (l_orderkey INTEGER NOT NULL, l_partkey INTEGER NOT NULL, l_suppkey INTEGER NOT NULL, l_linenumber INTEGER NOT NULL, l_quantity DECIMAL(15,2), l_extendedprice DECIMAL(15,2), l_discount DECIMAL(15,2), l_tax DECIMAL(15,2), l_returnflag VARCHAR(1), l_linestatus VARCHAR(1), l_shipdate DATE NOT NULL, l_commitdate DATE, l_receiptdate DATE, l_shipinstruct VARCHAR(25), l_shipmode VARCHAR(10), l_comment VARCHAR(44));
+";
+
+const Q1: &str = "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, \
+sum(l_extendedprice) as sum_base_price, \
+sum(l_extendedprice * (1 - l_discount)) as sum_disc_price, \
+sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge, \
+avg(l_quantity) as avg_qty, avg(l_extendedprice) as avg_price, avg(l_discount) as avg_disc, \
+count(*) as count_order \
+from lineitem \
+where l_shipdate <= date '1998-12-01' - interval '90' day \
+group by l_returnflag, l_linestatus \
+order by l_returnflag, l_linestatus";
+
+const Q2: &str = "select s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment \
+from part, supplier, partsupp, nation, region \
+where p_partkey = ps_partkey and s_suppkey = ps_suppkey and p_size = 15 \
+and p_type like '%BRASS' and s_nationkey = n_nationkey and n_regionkey = r_regionkey \
+and r_name = 'EUROPE' \
+and ps_supplycost = (select min(ps_supplycost) from partsupp, supplier, nation, region \
+    where p_partkey = ps_partkey and s_suppkey = ps_suppkey and s_nationkey = n_nationkey \
+    and n_regionkey = r_regionkey and r_name = 'EUROPE') \
+order by s_acctbal desc, n_name, s_name, p_partkey limit 100";
+
+const Q3: &str = "select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue, \
+o_orderdate, o_shippriority \
+from customer, orders, lineitem \
+where c_mktsegment = 'BUILDING' and c_custkey = o_custkey and l_orderkey = o_orderkey \
+and o_orderdate < date '1995-03-15' and l_shipdate > date '1995-03-15' \
+group by l_orderkey, o_orderdate, o_shippriority \
+order by revenue desc, o_orderdate limit 10";
+
+const Q4: &str = "select o_orderpriority, count(*) as order_count from orders \
+where o_orderdate >= date '1993-07-01' and o_orderdate < date '1993-07-01' + interval '3' month \
+and exists (select * from lineitem where l_orderkey = o_orderkey and l_commitdate < l_receiptdate) \
+group by o_orderpriority order by o_orderpriority";
+
+const Q5: &str = "select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue \
+from customer, orders, lineitem, supplier, nation, region \
+where c_custkey = o_custkey and l_orderkey = o_orderkey and l_suppkey = s_suppkey \
+and c_nationkey = s_nationkey and s_nationkey = n_nationkey and n_regionkey = r_regionkey \
+and r_name = 'ASIA' and o_orderdate >= date '1994-01-01' \
+and o_orderdate < date '1994-01-01' + interval '1' year \
+group by n_name order by revenue desc";
+
+const Q6: &str = "select sum(l_extendedprice * l_discount) as revenue from lineitem \
+where l_shipdate >= date '1994-01-01' and l_shipdate < date '1994-01-01' + interval '1' year \
+and l_discount between 0.05 and 0.07 and l_quantity < 24";
+
+const Q7: &str = "select supp_nation, cust_nation, l_year, sum(volume) as revenue from \
+(select n1.n_name as supp_nation, n2.n_name as cust_nation, \
+extract(year from l_shipdate) as l_year, l_extendedprice * (1 - l_discount) as volume \
+from supplier, lineitem, orders, customer, nation n1, nation n2 \
+where s_suppkey = l_suppkey and o_orderkey = l_orderkey and c_custkey = o_custkey \
+and s_nationkey = n1.n_nationkey and c_nationkey = n2.n_nationkey \
+and ((n1.n_name = 'FRANCE' and n2.n_name = 'GERMANY') or (n1.n_name = 'GERMANY' and n2.n_name = 'FRANCE')) \
+and l_shipdate between date '1995-01-01' and date '1996-12-31') as shipping \
+group by supp_nation, cust_nation, l_year order by supp_nation, cust_nation, l_year";
+
+const Q8: &str = "select o_year, sum(case when nation = 'BRAZIL' then volume else 0 end) / sum(volume) as mkt_share \
+from (select extract(year from o_orderdate) as o_year, \
+l_extendedprice * (1 - l_discount) as volume, n2.n_name as nation \
+from part, supplier, lineitem, orders, customer, nation n1, nation n2, region \
+where p_partkey = l_partkey and s_suppkey = l_suppkey and l_orderkey = o_orderkey \
+and o_custkey = c_custkey and c_nationkey = n1.n_nationkey and n1.n_regionkey = r_regionkey \
+and r_name = 'AMERICA' and s_nationkey = n2.n_nationkey \
+and o_orderdate between date '1995-01-01' and date '1996-12-31' \
+and p_type = 'ECONOMY ANODIZED STEEL') as all_nations \
+group by o_year order by o_year";
+
+const Q9: &str = "select nation, o_year, sum(amount) as sum_profit from \
+(select n_name as nation, extract(year from o_orderdate) as o_year, \
+l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity as amount \
+from part, supplier, lineitem, partsupp, orders, nation \
+where s_suppkey = l_suppkey and ps_suppkey = l_suppkey and ps_partkey = l_partkey \
+and p_partkey = l_partkey and o_orderkey = l_orderkey and s_nationkey = n_nationkey \
+and p_name like '%green%') as profit \
+group by nation, o_year order by nation, o_year desc";
+
+const Q10: &str = "select c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) as revenue, \
+c_acctbal, n_name, c_address, c_phone, c_comment \
+from customer, orders, lineitem, nation \
+where c_custkey = o_custkey and l_orderkey = o_orderkey \
+and o_orderdate >= date '1993-10-01' and o_orderdate < date '1993-10-01' + interval '3' month \
+and l_returnflag = 'R' and c_nationkey = n_nationkey \
+group by c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment \
+order by revenue desc limit 20";
+
+/// SQL text of query `n` (1–10).
+pub fn sql(n: usize) -> &'static str {
+    match n {
+        1 => Q1,
+        2 => Q2,
+        3 => Q3,
+        4 => Q4,
+        5 => Q5,
+        6 => Q6,
+        7 => Q7,
+        8 => Q8,
+        9 => Q9,
+        10 => Q10,
+        _ => panic!("TPC-H queries 1-10 only"),
+    }
+}
+
+/// All ten queries.
+pub fn all() -> impl Iterator<Item = (usize, &'static str)> {
+    (1..=10).map(|n| (n, sql(n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_query_parses() {
+        for (n, q) in all() {
+            let r = monetlite_sql::parse_statement(q);
+            assert!(r.is_ok(), "Q{n} failed to parse: {r:?}");
+        }
+    }
+
+    #[test]
+    fn ddl_parses() {
+        let stmts = monetlite_sql::parse_statements(DDL).unwrap();
+        assert_eq!(stmts.len(), 8);
+    }
+}

@@ -1,0 +1,232 @@
+//! Calendar dates stored as days since the Unix epoch (1970-01-01).
+//!
+//! MonetDB stores DATE columns as 32-bit day counts; all TPC-H date
+//! arithmetic (`date '1998-12-01' - interval '90' day`, `extract(year ...)`)
+//! operates on this representation. Conversions use Howard Hinnant's
+//! `days_from_civil` / `civil_from_days` algorithms, valid over the whole
+//! proleptic Gregorian calendar.
+
+use crate::error::{MlError, Result};
+use crate::nulls::NULL_I32;
+use std::fmt;
+
+/// A calendar date: days since 1970-01-01. `Date(i32::MIN)` is NULL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date(pub i32);
+
+impl Date {
+    /// The NULL date sentinel.
+    pub const NULL: Date = Date(NULL_I32);
+
+    /// True iff this is the NULL sentinel.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == NULL_I32
+    }
+
+    /// Construct from a civil (year, month, day) triple.
+    ///
+    /// Returns an error for out-of-range month/day combinations.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Date> {
+        if !(1..=12).contains(&month) {
+            return Err(MlError::Execution(format!("invalid month {month}")));
+        }
+        let dim = days_in_month(year, month);
+        if day == 0 || day > dim {
+            return Err(MlError::Execution(format!(
+                "invalid day {day} for {year:04}-{month:02}"
+            )));
+        }
+        Ok(Date(days_from_civil(year, month, day)))
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Result<Date> {
+        let bad = || MlError::Execution(format!("invalid date literal '{s}'"));
+        let mut parts = s.splitn(3, '-');
+        let y: i32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let m: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let d: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        Date::from_ymd(y, m, d)
+    }
+
+    /// Decompose into (year, month, day).
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// `EXTRACT(YEAR FROM d)`.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// `EXTRACT(MONTH FROM d)`.
+    pub fn month(self) -> u32 {
+        self.ymd().1
+    }
+
+    /// `EXTRACT(DAY FROM d)`.
+    pub fn day(self) -> u32 {
+        self.ymd().2
+    }
+
+    /// Add a number of days (may be negative).
+    pub fn add_days(self, days: i32) -> Date {
+        Date(self.0 + days)
+    }
+
+    /// Add calendar months, clamping the day to the target month's length
+    /// (SQL interval semantics: `1996-01-31 + 1 month = 1996-02-29`).
+    pub fn add_months(self, months: i32) -> Date {
+        let (y, m, d) = self.ymd();
+        let total = (y as i64) * 12 + (m as i64 - 1) + months as i64;
+        let ny = total.div_euclid(12) as i32;
+        let nm = (total.rem_euclid(12) + 1) as u32;
+        let nd = d.min(days_in_month(ny, nm));
+        Date(days_from_civil(ny, nm, nd))
+    }
+
+    /// Add calendar years (clamps Feb 29 to Feb 28 on non-leap targets).
+    pub fn add_years(self, years: i32) -> Date {
+        self.add_months(years * 12)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            return write!(f, "NULL");
+        }
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// Days from civil date, per Howard Hinnant's algorithm.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era * 146097 + doe - 719468) as i32
+}
+
+/// Civil date from day count, per Howard Hinnant's algorithm.
+pub fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+/// True for Gregorian leap years.
+pub fn is_leap(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Number of days in a (year, month).
+pub fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).unwrap(), Date(0));
+        assert_eq!(Date(0).ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates_roundtrip() {
+        // TPC-H boundary dates.
+        let d = Date::parse("1998-12-01").unwrap();
+        assert_eq!(d.ymd(), (1998, 12, 1));
+        assert_eq!(d.to_string(), "1998-12-01");
+        let d = Date::parse("1992-01-01").unwrap();
+        assert_eq!(d.year(), 1992);
+        // Pre-epoch.
+        let d = Date::parse("1969-12-31").unwrap();
+        assert_eq!(d, Date(-1));
+    }
+
+    #[test]
+    fn q1_interval_arithmetic() {
+        // date '1998-12-01' - interval '90' day = 1998-09-02
+        let d = Date::parse("1998-12-01").unwrap().add_days(-90);
+        assert_eq!(d.to_string(), "1998-09-02");
+    }
+
+    #[test]
+    fn month_arithmetic_clamps() {
+        let d = Date::parse("1996-01-31").unwrap();
+        assert_eq!(d.add_months(1).to_string(), "1996-02-29"); // leap year
+        let d = Date::parse("1995-01-31").unwrap();
+        assert_eq!(d.add_months(1).to_string(), "1995-02-28");
+        let d = Date::parse("1996-02-29").unwrap();
+        assert_eq!(d.add_years(1).to_string(), "1997-02-28");
+        // Negative months cross year boundaries correctly.
+        let d = Date::parse("1996-03-15").unwrap();
+        assert_eq!(d.add_months(-3).to_string(), "1995-12-15");
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(1996));
+        assert!(!is_leap(1997));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(Date::from_ymd(1995, 2, 29).is_err());
+        assert!(Date::from_ymd(1995, 13, 1).is_err());
+        assert!(Date::from_ymd(1995, 0, 1).is_err());
+        assert!(Date::from_ymd(1995, 4, 31).is_err());
+        assert!(Date::parse("not-a-date").is_err());
+        assert!(Date::parse("1995-06").is_err());
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        let a = Date::parse("1994-01-01").unwrap();
+        let b = Date::parse("1995-01-01").unwrap();
+        assert!(a < b);
+        assert_eq!(b.0 - a.0, 365);
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_1990s() {
+        // Every day of the TPC-H decade roundtrips through civil form.
+        let start = days_from_civil(1990, 1, 1);
+        let end = days_from_civil(1999, 12, 31);
+        for z in start..=end {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+}

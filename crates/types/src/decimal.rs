@@ -1,0 +1,281 @@
+//! Fixed-point DECIMAL arithmetic on scaled 64-bit integers.
+//!
+//! TPC-H money columns are `DECIMAL(15,2)`. MonetDB stores them as scaled
+//! integers in the smallest fitting word; we always use `i64` storage with
+//! an explicit scale, widen to `i128` for intermediates, and surface
+//! overflow as execution errors. `SUM` accumulates in `i128`; `AVG` and
+//! division fall back to `f64`, matching MonetDB's observable behaviour on
+//! the benchmarked queries.
+
+use crate::error::{MlError, Result};
+use std::fmt;
+
+/// Powers of ten up to 10^18 (the largest that fits in i64).
+pub const POW10: [i64; 19] = [
+    1,
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+    1_000_000_000_000,
+    10_000_000_000_000,
+    100_000_000_000_000,
+    1_000_000_000_000_000,
+    10_000_000_000_000_000,
+    100_000_000_000_000_000,
+    1_000_000_000_000_000_000,
+];
+
+/// A fixed-point decimal: `raw / 10^scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decimal {
+    /// Scaled integer representation.
+    pub raw: i64,
+    /// Number of fractional digits, 0..=18.
+    pub scale: u8,
+}
+
+impl Decimal {
+    /// Build from raw scaled value.
+    pub fn new(raw: i64, scale: u8) -> Decimal {
+        debug_assert!(scale <= 18);
+        Decimal { raw, scale }
+    }
+
+    /// Parse a decimal literal such as `1.07`, `-0.05`, `42`.
+    ///
+    /// The resulting scale is the number of digits after the point.
+    pub fn parse(s: &str) -> Result<Decimal> {
+        let bad = || MlError::Execution(format!("invalid decimal literal '{s}'"));
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if body.is_empty() {
+            return Err(bad());
+        }
+        let (int_part, frac_part) = match body.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (body, ""),
+        };
+        if frac_part.len() > 18 || (int_part.is_empty() && frac_part.is_empty()) {
+            return Err(bad());
+        }
+        let mut raw: i128 = 0;
+        for c in int_part.chars().chain(frac_part.chars()) {
+            let d = c.to_digit(10).ok_or_else(bad)? as i128;
+            raw = raw * 10 + d;
+            if raw > i64::MAX as i128 {
+                return Err(bad());
+            }
+        }
+        let raw = if neg { -(raw as i64) } else { raw as i64 };
+        Ok(Decimal::new(raw, frac_part.len() as u8))
+    }
+
+    /// Convert to `f64` (used by AVG, division and host export).
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 / POW10[self.scale as usize] as f64
+    }
+
+    /// Re-scale to `scale`, erroring on overflow; truncates toward zero when
+    /// reducing scale (SQL CAST semantics).
+    pub fn rescale(self, scale: u8) -> Result<Decimal> {
+        if scale == self.scale {
+            return Ok(self);
+        }
+        if scale > self.scale {
+            let f = POW10[(scale - self.scale) as usize];
+            let raw = self
+                .raw
+                .checked_mul(f)
+                .ok_or_else(|| MlError::Execution("decimal rescale overflow".into()))?;
+            Ok(Decimal::new(raw, scale))
+        } else {
+            let f = POW10[(self.scale - scale) as usize];
+            Ok(Decimal::new(self.raw / f, scale))
+        }
+    }
+
+    /// Addition after aligning scales.
+    pub fn checked_add(self, rhs: Decimal) -> Result<Decimal> {
+        let s = self.scale.max(rhs.scale);
+        let a = self.rescale(s)?;
+        let b = rhs.rescale(s)?;
+        a.raw
+            .checked_add(b.raw)
+            .map(|r| Decimal::new(r, s))
+            .ok_or_else(|| MlError::Execution("decimal add overflow".into()))
+    }
+
+    /// Subtraction after aligning scales.
+    pub fn checked_sub(self, rhs: Decimal) -> Result<Decimal> {
+        let s = self.scale.max(rhs.scale);
+        let a = self.rescale(s)?;
+        let b = rhs.rescale(s)?;
+        a.raw
+            .checked_sub(b.raw)
+            .map(|r| Decimal::new(r, s))
+            .ok_or_else(|| MlError::Execution("decimal sub overflow".into()))
+    }
+
+    /// Multiplication; scales add, intermediate in i128.
+    pub fn checked_mul(self, rhs: Decimal) -> Result<Decimal> {
+        let scale = self.scale + rhs.scale;
+        if scale > 18 {
+            // Renormalise: keep the result at 18 digits max by truncation.
+            let wide = self.raw as i128 * rhs.raw as i128;
+            let drop = (scale - 18) as usize;
+            let raw = wide / POW10[drop] as i128;
+            if raw > i64::MAX as i128 || raw < i64::MIN as i128 {
+                return Err(MlError::Execution("decimal mul overflow".into()));
+            }
+            return Ok(Decimal::new(raw as i64, 18));
+        }
+        let wide = self.raw as i128 * rhs.raw as i128;
+        if wide > i64::MAX as i128 || wide < i64::MIN as i128 {
+            return Err(MlError::Execution("decimal mul overflow".into()));
+        }
+        Ok(Decimal::new(wide as i64, scale))
+    }
+
+    /// Comparison after aligning scales (widened, cannot overflow).
+    pub fn cmp_scaled(self, rhs: Decimal) -> std::cmp::Ordering {
+        let s = self.scale.max(rhs.scale);
+        let a = self.raw as i128 * POW10[(s - self.scale) as usize] as i128;
+        let b = rhs.raw as i128 * POW10[(s - rhs.scale) as usize] as i128;
+        a.cmp(&b)
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.raw);
+        }
+        let p = POW10[self.scale as usize];
+        let sign = if self.raw < 0 { "-" } else { "" };
+        let abs = (self.raw as i128).unsigned_abs();
+        let int = abs / p as u128;
+        let frac = abs % p as u128;
+        write!(f, "{sign}{int}.{frac:0width$}", width = self.scale as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["1.07", "-0.05", "42", "0.00", "123456.78", "-9999.999"] {
+            let d = Decimal::parse(s).unwrap();
+            // "42" has scale 0 so displays as "42"
+            assert_eq!(d.to_string(), s.trim_start_matches('+'));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "-", "1.2.3", "abc", "1e5", "."] {
+            assert!(Decimal::parse(s).is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn tpch_revenue_expression() {
+        // l_extendedprice * (1 - l_discount): DECIMAL(15,2) * DECIMAL(15,2)
+        let price = Decimal::parse("901.00").unwrap();
+        let disc = Decimal::parse("0.06").unwrap();
+        let one = Decimal::parse("1.00").unwrap();
+        let rev = price.checked_mul(one.checked_sub(disc).unwrap()).unwrap();
+        assert_eq!(rev.scale, 4);
+        assert_eq!(rev.to_string(), "846.9400");
+    }
+
+    #[test]
+    fn rescale_truncates_toward_zero() {
+        let d = Decimal::parse("1.99").unwrap();
+        assert_eq!(d.rescale(0).unwrap().raw, 1);
+        let d = Decimal::parse("-1.99").unwrap();
+        assert_eq!(d.rescale(0).unwrap().raw, -1);
+    }
+
+    #[test]
+    fn add_aligns_scales() {
+        let a = Decimal::parse("1.5").unwrap();
+        let b = Decimal::parse("2.25").unwrap();
+        assert_eq!(a.checked_add(b).unwrap().to_string(), "3.75");
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_panic() {
+        let big = Decimal::new(i64::MAX, 0);
+        assert!(big.checked_add(Decimal::new(1, 0)).is_err());
+        assert!(big.checked_mul(Decimal::new(10, 0)).is_err());
+        assert!(big.rescale(2).is_err());
+    }
+
+    #[test]
+    fn cmp_across_scales() {
+        let a = Decimal::parse("1.5").unwrap();
+        let b = Decimal::parse("1.50").unwrap();
+        assert_eq!(a.cmp_scaled(b), std::cmp::Ordering::Equal);
+        let c = Decimal::parse("1.51").unwrap();
+        assert_eq!(a.cmp_scaled(c), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn deep_scale_mul_renormalises() {
+        let a = Decimal::new(123_456_789, 10);
+        let b = Decimal::new(987_654_321, 10);
+        let r = a.checked_mul(b).unwrap();
+        assert_eq!(r.scale, 18);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_f64(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000,
+                                sa in 0u8..4, sb in 0u8..4) {
+            let x = Decimal::new(a, sa);
+            let y = Decimal::new(b, sb);
+            let sum = x.checked_add(y).unwrap();
+            let expect = x.to_f64() + y.to_f64();
+            prop_assert!((sum.to_f64() - expect).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_mul_matches_f64(a in -100_000i64..100_000, b in -100_000i64..100_000,
+                                sa in 0u8..3, sb in 0u8..3) {
+            let x = Decimal::new(a, sa);
+            let y = Decimal::new(b, sb);
+            let prod = x.checked_mul(y).unwrap();
+            let expect = x.to_f64() * y.to_f64();
+            prop_assert!((prod.to_f64() - expect).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_display_parse_roundtrip(raw in -1_000_000_000i64..1_000_000_000, scale in 0u8..6) {
+            let d = Decimal::new(raw, scale);
+            let back = Decimal::parse(&d.to_string()).unwrap();
+            prop_assert_eq!(d.cmp_scaled(back), std::cmp::Ordering::Equal);
+        }
+
+        #[test]
+        fn prop_cmp_matches_f64(a in -10_000i64..10_000, b in -10_000i64..10_000,
+                                sa in 0u8..4, sb in 0u8..4) {
+            let x = Decimal::new(a, sa);
+            let y = Decimal::new(b, sb);
+            let byf = x.to_f64().partial_cmp(&y.to_f64()).unwrap();
+            prop_assert_eq!(x.cmp_scaled(y), byf);
+        }
+    }
+}

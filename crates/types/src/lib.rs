@@ -1,0 +1,32 @@
+//! # monetlite-types
+//!
+//! Foundation types shared by every crate in the `monetlite` workspace:
+//! logical column types, the in-domain NULL sentinels that MonetDB(Lite)
+//! uses instead of validity bitmaps, calendar dates, fixed-point decimals,
+//! dynamically-typed [`Value`]s, table [`Schema`]s, error types, and the
+//! plain [`ColumnBuffer`] used as the data interchange format between the
+//! database engines, the host "analytical environment", the dataframe
+//! library baseline and the network simulation.
+//!
+//! The paper (§3.1 *Data Storage*) stores missing values as "special values
+//! within the domain of the type, i.e. a missing value in an INTEGER column
+//! is stored internally as the value −2³¹". [`nulls`] reproduces exactly
+//! that convention.
+
+pub mod buffer;
+pub mod date;
+pub mod decimal;
+pub mod error;
+pub mod logical;
+pub mod nulls;
+pub mod schema;
+pub mod value;
+
+pub use buffer::ColumnBuffer;
+pub use date::Date;
+pub use decimal::Decimal;
+pub use error::{MlError, Result};
+pub use logical::LogicalType;
+pub use nulls::{NULL_DATE, NULL_I32, NULL_I64};
+pub use schema::{Field, Schema};
+pub use value::Value;

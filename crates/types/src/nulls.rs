@@ -1,0 +1,96 @@
+//! In-domain NULL sentinels (paper §3.1 *Data Storage*).
+//!
+//! MonetDB never stores validity bitmaps: "Missing values are stored as
+//! 'special' values within the domain of the type, i.e. a missing value in
+//! an INTEGER column is stored internally as the value −2³¹." We reproduce
+//! the same convention: each fixed-width physical type reserves one value
+//! of its domain as NULL. For `f64` MonetDB uses a NaN payload; we use the
+//! canonical quiet NaN and compare via `is_nan`.
+
+/// NULL sentinel for 32-bit integers (and DATE, which is stored as i32).
+pub const NULL_I32: i32 = i32::MIN;
+/// NULL sentinel for 64-bit integers (BIGINT and DECIMAL storage).
+pub const NULL_I64: i64 = i64::MIN;
+/// NULL sentinel for booleans, stored as i8 (0 = false, 1 = true).
+pub const NULL_I8: i8 = i8::MIN;
+/// NULL sentinel for DATE columns (same physical representation as i32).
+pub const NULL_DATE: i32 = i32::MIN;
+
+/// Physical element types that reserve an in-domain NULL sentinel.
+///
+/// Execution kernels are generic over `Nullable` so a single select/fetch/
+/// aggregate implementation handles every fixed-width column type.
+pub trait Nullable: Copy + PartialOrd {
+    /// The sentinel denoting NULL.
+    const NULL: Self;
+    /// True iff `self` is the NULL sentinel.
+    fn is_null(self) -> bool;
+}
+
+impl Nullable for i32 {
+    const NULL: Self = NULL_I32;
+    #[inline(always)]
+    fn is_null(self) -> bool {
+        self == NULL_I32
+    }
+}
+
+impl Nullable for i64 {
+    const NULL: Self = NULL_I64;
+    #[inline(always)]
+    fn is_null(self) -> bool {
+        self == NULL_I64
+    }
+}
+
+impl Nullable for i8 {
+    const NULL: Self = NULL_I8;
+    #[inline(always)]
+    fn is_null(self) -> bool {
+        self == NULL_I8
+    }
+}
+
+impl Nullable for f64 {
+    const NULL: Self = f64::NAN;
+    #[inline(always)]
+    fn is_null(self) -> bool {
+        self.is_nan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_sentinels_match_the_paper() {
+        // "a missing value in an INTEGER column is stored internally as the
+        // value −2^31"
+        assert_eq!(NULL_I32, -(2i64.pow(31)) as i32);
+        assert!(NULL_I32.is_null());
+        assert!(!0i32.is_null());
+        assert!(!(i32::MIN + 1).is_null());
+    }
+
+    #[test]
+    fn bigint_sentinel() {
+        assert!(NULL_I64.is_null());
+        assert!(!0i64.is_null());
+    }
+
+    #[test]
+    fn double_null_is_nan() {
+        assert!(<f64 as Nullable>::NULL.is_null());
+        assert!(!1.0f64.is_null());
+        assert!(!f64::INFINITY.is_null());
+        assert!(!f64::MIN.is_null());
+    }
+
+    #[test]
+    fn bool_sentinel_distinct_from_values() {
+        assert!(NULL_I8.is_null());
+        assert!(!0i8.is_null());
+        assert!(!1i8.is_null());
+    }
+}

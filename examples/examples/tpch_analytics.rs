@@ -1,0 +1,41 @@
+//! The paper's headline scenario: OLAP queries on TPC-H data in-process,
+//! with EXPLAIN output showing the optimized plan and MAL program.
+//!
+//! ```sh
+//! cargo run --release -p monetlite-examples --example tpch_analytics
+//! ```
+
+use monetlite::Database;
+use monetlite_tpch::{generate, load_monet, queries};
+use std::time::Instant;
+
+fn main() -> monetlite::types::Result<()> {
+    let sf = 0.01;
+    println!("generating TPC-H data at SF {sf}...");
+    let data = generate(sf, 42);
+    println!("lineitem rows: {}", data.lineitem.rows());
+
+    let db = Database::open_in_memory();
+    let mut conn = db.connect();
+    let t0 = Instant::now();
+    load_monet(&mut conn, &data)?;
+    println!("bulk append of all 8 tables: {:?}", t0.elapsed());
+
+    for n in [1usize, 3, 6] {
+        let sql = queries::sql(n);
+        let t0 = Instant::now();
+        let r = conn.query(sql)?;
+        println!("\nQ{n}: {} rows in {:?}", r.nrows(), t0.elapsed());
+        for i in 0..r.nrows().min(4) {
+            println!("  {:?}", r.row(i));
+        }
+    }
+
+    // Show the optimizer + MAL pipeline for Q6.
+    let explain = conn.query(&format!("EXPLAIN {}", queries::sql(6)))?;
+    println!("\n--- EXPLAIN Q6 ---");
+    for i in 0..explain.nrows() {
+        println!("{}", explain.value(i, 0));
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! The three result-transfer modes of §3.3 side by side: zero-copy with
+//! copy-on-write, eager conversion, and lazy conversion.
+//!
+//! ```sh
+//! cargo run --release -p monetlite-examples --example zero_copy_transfer
+//! ```
+
+use monetlite::host::{HostColumn, HostFrame, TransferMode};
+use monetlite::Database;
+use monetlite_types::ColumnBuffer;
+use std::time::Instant;
+
+fn main() -> monetlite::types::Result<()> {
+    let n = 2_000_000;
+    let db = Database::open_in_memory();
+    let mut conn = db.connect();
+    conn.execute("CREATE TABLE big (a INTEGER NOT NULL, b DOUBLE, c VARCHAR(20))")?;
+    conn.append(
+        "big",
+        vec![
+            ColumnBuffer::Int((0..n).collect()),
+            ColumnBuffer::Double((0..n).map(|x| x as f64 / 3.0).collect()),
+            ColumnBuffer::Varchar((0..n).map(|x| Some(format!("s{}", x % 100))).collect()),
+        ],
+    )?;
+    let r = conn.query("SELECT * FROM big")?;
+
+    for mode in [TransferMode::ZeroCopy, TransferMode::Eager, TransferMode::Lazy] {
+        let t0 = Instant::now();
+        let frame = HostFrame::import(&r, mode);
+        println!(
+            "{mode:?}: {:?} (shared {} / converted {} / deferred {}, {} bytes copied)",
+            t0.elapsed(),
+            frame.stats.zero_copied,
+            frame.stats.converted,
+            frame.stats.deferred,
+            frame.stats.bytes_copied
+        );
+    }
+
+    // Copy-on-write: the host may mutate its view; the database data is
+    // never touched (the paper used mprotect — here the type system).
+    let mut frame = HostFrame::import(&r, TransferMode::ZeroCopy);
+    if let HostColumn::Shared(s) = frame.col_mut(0) {
+        println!("before write: shared={}", s.is_shared());
+        if let monetlite::storage::Bat::Int(v) = s.make_mut() {
+            v[0] = -1;
+        }
+        println!("after write:  shared={}", s.is_shared());
+    }
+    println!("host sees {:?}, database still has {:?}", frame.cols[0].get(0), r.value(0, 0));
+
+    // Lazy conversion: pay only for the columns actually touched.
+    let frame = HostFrame::import(&r, TransferMode::Lazy);
+    let t0 = Instant::now();
+    let _ = frame.cols[0].get(123);
+    println!(
+        "lazy touch of one column: {:?}, conversions performed: {}",
+        t0.elapsed(),
+        frame.lazy_conversions()
+    );
+    Ok(())
+}

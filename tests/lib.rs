@@ -1,0 +1,1 @@
+//! Shared helpers for cross-crate integration tests.

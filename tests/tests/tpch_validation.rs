@@ -1,0 +1,157 @@
+//! Golden validation: TPC-H answers checked against straight-line Rust
+//! computations over the generated columns (independent of any engine).
+
+use monetlite_tpch::{generate, load_monet, queries};
+use monetlite_types::{ColumnBuffer, Date, Value};
+
+fn data_and_conn() -> (monetlite_tpch::TpchData, monetlite::Database) {
+    let data = generate(0.003, 777);
+    let db = monetlite::Database::open_in_memory();
+    let mut conn = db.connect();
+    load_monet(&mut conn, &data).unwrap();
+    (data, db)
+}
+
+#[test]
+fn q6_matches_straight_line_computation() {
+    let (data, db) = data_and_conn();
+    let li = &data.lineitem;
+    let (ColumnBuffer::Date(ship), ColumnBuffer::Decimal { data: disc, .. }) =
+        (&li.cols[10], &li.cols[6])
+    else {
+        panic!()
+    };
+    let (ColumnBuffer::Decimal { data: qty, .. }, ColumnBuffer::Decimal { data: price, .. }) =
+        (&li.cols[4], &li.cols[5])
+    else {
+        panic!()
+    };
+    let lo = Date::parse("1994-01-01").unwrap().0;
+    let hi = Date::parse("1995-01-01").unwrap().0;
+    // sum(extendedprice * discount): scales 2+2 → exact integer at 1e-4.
+    let mut expect: i128 = 0;
+    for i in 0..li.rows() {
+        if ship[i] >= lo && ship[i] < hi && (5..=7).contains(&disc[i]) && qty[i] < 2400 {
+            expect += price[i] as i128 * disc[i] as i128;
+        }
+    }
+    let mut conn = db.connect();
+    let r = conn.query(queries::sql(6)).unwrap();
+    match r.value(0, 0) {
+        Value::Decimal(d) => {
+            assert_eq!(d.scale, 4);
+            assert_eq!(d.raw as i128, expect);
+        }
+        Value::Null => assert_eq!(expect, 0),
+        other => panic!("unexpected Q6 result {other:?}"),
+    }
+}
+
+#[test]
+fn q1_count_matches_filter_count() {
+    let (data, db) = data_and_conn();
+    let li = &data.lineitem;
+    let ColumnBuffer::Date(ship) = &li.cols[10] else { panic!() };
+    let cutoff = Date::parse("1998-09-02").unwrap().0;
+    let expect_rows: i64 = ship.iter().filter(|&&d| d <= cutoff).count() as i64;
+    let mut conn = db.connect();
+    let r = conn.query(queries::sql(1)).unwrap();
+    // Sum of count_order across groups equals the filtered row count.
+    let count_col = r.names().iter().position(|n| n == "count_order").unwrap();
+    let total: i64 = (0..r.nrows())
+        .map(|i| match r.value(i, count_col) {
+            Value::Bigint(c) => c,
+            other => panic!("{other:?}"),
+        })
+        .sum();
+    assert_eq!(total, expect_rows);
+    // Groups are (returnflag, linestatus) pairs that actually occur.
+    assert!(r.nrows() >= 3 && r.nrows() <= 6, "{} groups", r.nrows());
+}
+
+#[test]
+fn q4_order_counts_match_semi_join_by_hand() {
+    let (data, db) = data_and_conn();
+    let ord = &data.orders;
+    let li = &data.lineitem;
+    let (ColumnBuffer::Int(o_key), ColumnBuffer::Date(o_date)) = (&ord.cols[0], &ord.cols[4])
+    else {
+        panic!()
+    };
+    let (ColumnBuffer::Int(l_order), ColumnBuffer::Date(commit), ColumnBuffer::Date(receipt)) =
+        (&li.cols[0], &li.cols[11], &li.cols[12])
+    else {
+        panic!()
+    };
+    let late: std::collections::HashSet<i32> = l_order
+        .iter()
+        .zip(commit.iter().zip(receipt))
+        .filter(|(_, (c, r))| c < r)
+        .map(|(k, _)| *k)
+        .collect();
+    let lo = Date::parse("1993-07-01").unwrap().0;
+    let hi = Date::parse("1993-10-01").unwrap().0;
+    let expect: i64 = o_key
+        .iter()
+        .zip(o_date)
+        .filter(|(k, d)| **d >= lo && **d < hi && late.contains(k))
+        .count() as i64;
+    let mut conn = db.connect();
+    let r = conn.query(queries::sql(4)).unwrap();
+    let total: i64 = (0..r.nrows())
+        .map(|i| match r.value(i, 1) {
+            Value::Bigint(c) => c,
+            other => panic!("{other:?}"),
+        })
+        .sum();
+    assert_eq!(total, expect, "Q4 EXISTS decorrelation must match hand semi-join");
+}
+
+#[test]
+fn q2_minimum_cost_property() {
+    // Every returned (partkey) must truly be served at the EUROPE-minimum
+    // supply cost for that part.
+    let (data, db) = data_and_conn();
+    let mut conn = db.connect();
+    let r = conn.query(queries::sql(2)).unwrap();
+    if r.nrows() == 0 {
+        return; // tiny SF can legitimately return nothing
+    }
+    let pk_col = r.names().iter().position(|n| n == "p_partkey").unwrap();
+    for i in 0..r.nrows() {
+        let pk = match r.value(i, pk_col) {
+            Value::Int(k) => k,
+            other => panic!("{other:?}"),
+        };
+        // Recompute the min for this part among European suppliers via SQL.
+        let q = format!(
+            "SELECT min(ps_supplycost) FROM partsupp, supplier, nation, region \
+             WHERE ps_partkey = {pk} AND s_suppkey = ps_suppkey \
+             AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey \
+             AND r_name = 'EUROPE'"
+        );
+        let min = conn.query(&q).unwrap().value(0, 0);
+        // The row's supplier must be at that cost: verify it exists.
+        let q2 = format!(
+            "SELECT count(*) FROM partsupp, supplier, nation, region \
+             WHERE ps_partkey = {pk} AND s_suppkey = ps_suppkey \
+             AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey \
+             AND r_name = 'EUROPE' AND ps_supplycost = {min}"
+        );
+        let n = conn.query(&q2).unwrap().value(0, 0);
+        assert!(matches!(n, Value::Bigint(c) if c >= 1), "part {pk}");
+    }
+}
+
+#[test]
+fn q10_is_top20_by_revenue() {
+    let (_, db) = data_and_conn();
+    let mut conn = db.connect();
+    let r = conn.query(queries::sql(10)).unwrap();
+    assert!(r.nrows() <= 20);
+    let rev_col = r.names().iter().position(|n| n == "revenue").unwrap();
+    let revs: Vec<f64> = (0..r.nrows())
+        .map(|i| r.value(i, rev_col).as_f64().unwrap())
+        .collect();
+    assert!(revs.windows(2).all(|w| w[0] >= w[1]), "descending revenue: {revs:?}");
+}
