@@ -113,9 +113,7 @@ pub fn generate(rows: usize, seed: u64) -> AcsData {
         let i = fields.len();
         fields.push(Field::new(format!("v{i:03}"), LogicalType::Int));
         let cardinality = [2, 5, 10, 100][i % 4];
-        cols.push(ColumnBuffer::Int(
-            (0..rows).map(|_| rng.random_range(0..cardinality)).collect(),
-        ));
+        cols.push(ColumnBuffer::Int((0..rows).map(|_| rng.random_range(0..cardinality)).collect()));
     }
 
     let schema = Schema::new(fields).expect("generated names are unique");

@@ -92,8 +92,7 @@ pub fn grouped_total(
     keys.sort_unstable();
     keys.dedup();
     let w = ops::to_f64(&cols[2])?;
-    let reps: Vec<Vec<f64>> =
-        cols[3..].iter().map(|c| ops::to_f64(c)).collect::<Result<_>>()?;
+    let reps: Vec<Vec<f64>> = cols[3..].iter().map(ops::to_f64).collect::<Result<_>>()?;
     let mut out = Vec::with_capacity(keys.len());
     for &k in &keys {
         let mask: Vec<bool> = groups.iter().map(|&g| g == k).collect();
@@ -110,11 +109,12 @@ pub fn grouped_total(
 
 /// The full Figure-8 statistics battery. Returns (label, estimate) pairs.
 pub fn analysis(src: &mut dyn ColumnSource) -> Result<Vec<(String, Estimate)>> {
-    let mut out = Vec::new();
-    out.push(("total_population".into(), population_total(src)?));
-    out.push(("mean_income".into(), weighted_mean(src, "pincp")?));
-    out.push(("total_wages".into(), weighted_total(src, "wagp")?));
-    out.push(("mean_age".into(), weighted_mean(src, "agep")?));
+    let mut out = vec![
+        ("total_population".into(), population_total(src)?),
+        ("mean_income".into(), weighted_mean(src, "pincp")?),
+        ("total_wages".into(), weighted_total(src, "wagp")?),
+        ("mean_age".into(), weighted_mean(src, "agep")?),
+    ];
     for (state, est) in grouped_total(src, "wagp", "st")? {
         out.push((format!("wages_state_{state}"), est));
     }

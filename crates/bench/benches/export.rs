@@ -38,11 +38,8 @@ fn bench_export(c: &mut Criterion) {
     g.bench_function("rowstore_row_to_column", |b| {
         b.iter(|| {
             let r = rdb.read_table("lineitem").unwrap();
-            let mut bufs: Vec<ColumnBuffer> = r
-                .types
-                .iter()
-                .map(|&t| ColumnBuffer::with_capacity(t, r.rows.len()))
-                .collect();
+            let mut bufs: Vec<ColumnBuffer> =
+                r.types.iter().map(|&t| ColumnBuffer::with_capacity(t, r.rows.len())).collect();
             for row in &r.rows {
                 for (bf, v) in bufs.iter_mut().zip(row) {
                     bf.push(v).unwrap();

@@ -11,11 +11,8 @@ fn bench_ingestion(c: &mut Criterion) {
     let data = monetlite_tpch::generate(0.002, 1);
     let (schema, cols) = lineitem_buffers(&data);
     let ddl = {
-        let coldefs: Vec<String> = schema
-            .fields()
-            .iter()
-            .map(|f| format!("{} {}", f.name, f.ty))
-            .collect();
+        let coldefs: Vec<String> =
+            schema.fields().iter().map(|f| format!("{} {}", f.name, f.ty)).collect();
         format!("CREATE TABLE lineitem ({})", coldefs.join(", "))
     };
     let mut g = c.benchmark_group("fig5_ingestion");

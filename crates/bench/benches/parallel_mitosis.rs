@@ -1,8 +1,18 @@
-//! Criterion bench for Figure 2: mitosis parallel execution of
-//! SELECT MEDIAN(SQRT(i*2)) FROM tbl.
+//! Parallel-execution benches.
+//!
+//! * `fig2_mitosis` — the paper's Figure 2: the materialized engine's
+//!   mitosis on SELECT MEDIAN(SQRT(i*2)) FROM tbl (parallelizable prefix,
+//!   blocking median).
+//! * `pipeline` — the streaming engine's generalized morsel parallelism
+//!   on a grouped aggregation, a shape mitosis cannot parallelise at all:
+//!   materialized runs it single-threaded regardless of `threads`, the
+//!   streaming engine scales with per-thread partial hash aggregation.
+//!
+//! Run with `MONETLITE_BENCH_JSON=BENCH_pipeline.json cargo bench --bench
+//! parallel_mitosis` to record results.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use monetlite::exec::ExecOptions;
+use monetlite::exec::{ExecMode, ExecOptions};
 use monetlite_types::ColumnBuffer;
 
 fn bench_mitosis(c: &mut Criterion) {
@@ -10,13 +20,13 @@ fn bench_mitosis(c: &mut Criterion) {
     let db = monetlite::Database::open_in_memory();
     let mut conn = db.connect();
     conn.execute("CREATE TABLE tbl (i INTEGER NOT NULL)").unwrap();
-    conn.append("tbl", vec![ColumnBuffer::Int((0..n).map(|x| x % 65_536).collect())])
-        .unwrap();
+    conn.append("tbl", vec![ColumnBuffer::Int((0..n).map(|x| x % 65_536).collect())]).unwrap();
     let sql = "SELECT median(sqrt(i * 2)) FROM tbl";
     let mut g = c.benchmark_group("fig2_mitosis");
     g.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
         conn.set_exec_options(ExecOptions {
+            mode: ExecMode::Materialized,
             threads,
             mitosis_min_rows: 16 * 1024,
             ..Default::default()
@@ -28,5 +38,73 @@ fn bench_mitosis(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mitosis);
+fn bench_pipeline(c: &mut Criterion) {
+    let n: i32 = 2_000_000;
+    let db = monetlite::Database::open_in_memory();
+    let mut conn = db.connect();
+    conn.execute("CREATE TABLE facts (g INTEGER NOT NULL, v INTEGER NOT NULL, d DOUBLE)").unwrap();
+    conn.append(
+        "facts",
+        vec![
+            ColumnBuffer::Int((0..n).map(|x| x % 1_000).collect()),
+            ColumnBuffer::Int((0..n).map(|x| x % 10_000).collect()),
+            ColumnBuffer::Double((0..n).map(|x| x as f64 * 0.5).collect()),
+        ],
+    )
+    .unwrap();
+    // Grouped aggregation over a filtered scan: outside the mitosis
+    // parallelizable prefix, squarely inside morsel parallelism.
+    let sql = "SELECT g, count(*), sum(v), avg(d) FROM facts WHERE v < 9000 GROUP BY g";
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    conn.set_exec_options(ExecOptions { mode: ExecMode::Materialized, ..Default::default() });
+    g.bench_function("grouped_agg_materialized", |b| b.iter(|| conn.query(sql).unwrap()));
+    for threads in [1usize, 2, 4, 8] {
+        conn.set_exec_options(ExecOptions {
+            mode: ExecMode::Streaming,
+            threads,
+            ..Default::default()
+        });
+        g.bench_function(format!("grouped_agg_streaming_{threads}threads"), |b| {
+            b.iter(|| conn.query(sql).unwrap())
+        });
+    }
+
+    // A join-probe pipeline: build on the small side, parallel probe.
+    conn.execute("CREATE TABLE dim (g INTEGER NOT NULL, w INTEGER NOT NULL)").unwrap();
+    conn.append(
+        "dim",
+        vec![
+            ColumnBuffer::Int((0..1_000).collect()),
+            ColumnBuffer::Int((0..1_000).map(|x| x * 3).collect()),
+        ],
+    )
+    .unwrap();
+    let join_sql = "SELECT count(*), sum(w) FROM facts, dim WHERE facts.g = dim.g AND v < 5000";
+    conn.set_exec_options(ExecOptions { mode: ExecMode::Materialized, ..Default::default() });
+    g.bench_function("join_agg_materialized", |b| b.iter(|| conn.query(join_sql).unwrap()));
+    for threads in [1usize, 4] {
+        conn.set_exec_options(ExecOptions {
+            mode: ExecMode::Streaming,
+            threads,
+            ..Default::default()
+        });
+        g.bench_function(format!("join_agg_streaming_{threads}threads"), |b| {
+            b.iter(|| conn.query(join_sql).unwrap())
+        });
+    }
+
+    // Limit early-exit: the materialized engine scans and filters all 2M
+    // rows before slicing; the streaming engine stops after the first
+    // few morsels — a structural win independent of core count.
+    let limit_sql = "SELECT g, v FROM facts WHERE v < 5000 LIMIT 100";
+    conn.set_exec_options(ExecOptions { mode: ExecMode::Materialized, ..Default::default() });
+    g.bench_function("limit_scan_materialized", |b| b.iter(|| conn.query(limit_sql).unwrap()));
+    conn.set_exec_options(ExecOptions { mode: ExecMode::Streaming, ..Default::default() });
+    g.bench_function("limit_scan_streaming", |b| b.iter(|| conn.query(limit_sql).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_mitosis, bench_pipeline);
 criterion_main!(benches);

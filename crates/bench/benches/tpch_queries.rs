@@ -18,13 +18,9 @@ fn bench_tpch(c: &mut Criterion) {
     g.sample_size(10);
     for n in 1..=10usize {
         let sql = queries::sql(n);
-        g.bench_function(format!("monetlite_q{n}"), |b| {
-            b.iter(|| conn.query(sql).unwrap())
-        });
+        g.bench_function(format!("monetlite_q{n}"), |b| b.iter(|| conn.query(sql).unwrap()));
         g.bench_function(format!("rowstore_q{n}"), |b| b.iter(|| rdb.query(sql).unwrap()));
-        g.bench_function(format!("library_q{n}"), |b| {
-            b.iter(|| frames::run(n, &fr).unwrap())
-        });
+        g.bench_function(format!("library_q{n}"), |b| b.iter(|| frames::run(n, &fr).unwrap()));
     }
     g.finish();
 }

@@ -47,12 +47,11 @@ fn main() {
         std::process::exit(2);
     }
     if experiments.iter().any(|e| e == "all") {
-        experiments = [
-            "fig2", "fig5", "fig6", "table1-sf1", "table1-sf10", "fig7", "fig8", "ablations",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        experiments =
+            ["fig2", "fig5", "fig6", "table1-sf1", "table1-sf10", "fig7", "fig8", "ablations"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
     }
     println!(
         "monetlite repro  sf={} acs_rows={} runs={} timeout={:?}",
@@ -82,20 +81,13 @@ fn main() {
             }
             "fig2" => {
                 let (cells, explain) = fig2_mitosis(2_000_000, &[1, 2, 4, 8]);
-                print_figure(
-                    "Figure 2: SELECT MEDIAN(SQRT(i*2)) FROM tbl (2M rows) (s)",
-                    &cells,
-                );
+                print_figure("Figure 2: SELECT MEDIAN(SQRT(i*2)) FROM tbl (2M rows) (s)", &cells);
                 println!("\n-- EXPLAIN (8 threads) --\n{explain}");
             }
-            "fig7" => print_figure(
-                "Figure 7: loading the 274-column ACS table (s)",
-                &fig7_acs_load(&cfg),
-            ),
-            "fig8" => print_figure(
-                "Figure 8: ACS survey statistics (s)",
-                &fig8_acs_stats(&cfg),
-            ),
+            "fig7" => {
+                print_figure("Figure 7: loading the 274-column ACS table (s)", &fig7_acs_load(&cfg))
+            }
+            "fig8" => print_figure("Figure 8: ACS survey statistics (s)", &fig8_acs_stats(&cfg)),
             "ablations" => ablations(&cfg),
             other => eprintln!("unknown experiment '{other}' (skipped)"),
         }
@@ -147,7 +139,8 @@ fn ablations(cfg: &BenchConfig) {
     let q = "SELECT count(*) FROM lineitem WHERE l_shipdate >= date '1998-06-01'";
     let mut rows = Vec::new();
     for (label, on) in [("imprints on", true), ("imprints off", false)] {
-        let mut opts = ExecOptions { use_imprints: on, use_order_index: false, ..Default::default() };
+        let mut opts =
+            ExecOptions { use_imprints: on, use_order_index: false, ..Default::default() };
         opts.use_hash_index = true;
         conn.set_exec_options(opts);
         let _warm = conn.query(q).unwrap(); // builds the imprint once

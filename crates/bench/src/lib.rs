@@ -266,10 +266,7 @@ pub fn table1_systems(
     // SQLite: embedded row store, weak planner.
     let db = RowDb::open_with(RowDbOptions {
         join_strategy: JoinStrategy::Hash,
-        opt_flags: monetlite::opt::OptFlags {
-            join_order: false,
-            ..Default::default()
-        },
+        opt_flags: monetlite::opt::OptFlags { join_order: false, ..Default::default() },
         timeout: Some(timeout),
         page_cache_pages: page_cache,
         max_intermediate_rows: 40_000_000,
@@ -336,9 +333,8 @@ pub fn fig5_ingestion(cfg: &BenchConfig) -> Vec<(String, Cell)> {
         measure_once(|| {
             let db = RowDb::in_memory();
             db.execute(&ddl)?;
-            let rows: Vec<Vec<monetlite_types::Value>> = (0..cols[0].len())
-                .map(|r| cols.iter().map(|c| c.get(r)).collect())
-                .collect();
+            let rows: Vec<Vec<monetlite_types::Value>> =
+                (0..cols[0].len()).map(|r| cols.iter().map(|c| c.get(r)).collect()).collect();
             db.insert_rows("lineitem", rows)?;
             db.sync()?;
             Ok(())
@@ -366,9 +362,7 @@ pub fn fig5_ingestion(cfg: &BenchConfig) -> Vec<(String, Cell)> {
 fn engine_fresh(like: &ServerEngine) -> Result<ServerEngine> {
     Ok(match like {
         ServerEngine::Monet(_) => ServerEngine::Monet(Database::open_in_memory()),
-        ServerEngine::Row(db) => {
-            ServerEngine::Row(RowDb::open_with(db.options().clone())?)
-        }
+        ServerEngine::Row(db) => ServerEngine::Row(RowDb::open_with(db.options().clone())?),
     })
 }
 
@@ -430,11 +424,8 @@ pub fn fig6_export(cfg: &BenchConfig) -> Vec<(String, Cell)> {
             measure(cfg.runs, || {
                 let r = db.read_table("lineitem")?;
                 // Row-major to column-major conversion in the host driver.
-                let mut bufs: Vec<ColumnBuffer> = r
-                    .types
-                    .iter()
-                    .map(|&t| ColumnBuffer::with_capacity(t, r.rows.len()))
-                    .collect();
+                let mut bufs: Vec<ColumnBuffer> =
+                    r.types.iter().map(|&t| ColumnBuffer::with_capacity(t, r.rows.len())).collect();
                 for row in &r.rows {
                     for (b, v) in bufs.iter_mut().zip(row) {
                         b.push(v)?;
@@ -558,8 +549,16 @@ pub fn fig2_mitosis(rows: usize, threads: &[usize]) -> (Vec<(String, Cell)>, Str
         .unwrap();
     let sql = "SELECT median(sqrt(i * 2)) FROM tbl";
     let mut out = Vec::new();
+    // Figure 2 reproduces the paper's mitosis, which lives in the
+    // materialized (operator-at-a-time) engine; the streaming engine's
+    // parallelism is measured by the pipeline benches instead.
     for &t in threads {
-        let mut opts = ExecOptions { threads: t, mitosis_min_rows: 16 * 1024, ..Default::default() };
+        let mut opts = ExecOptions {
+            mode: monetlite::exec::ExecMode::Materialized,
+            threads: t,
+            mitosis_min_rows: 16 * 1024,
+            ..Default::default()
+        };
         opts.timeout = None;
         conn.set_exec_options(opts);
         out.push((
@@ -570,7 +569,11 @@ pub fn fig2_mitosis(rows: usize, threads: &[usize]) -> (Vec<(String, Cell)>, Str
             }),
         ));
     }
-    let mut opts = ExecOptions { threads: 8, ..Default::default() };
+    let mut opts = ExecOptions {
+        mode: monetlite::exec::ExecMode::Materialized,
+        threads: 8,
+        ..Default::default()
+    };
     opts.mitosis_min_rows = 16 * 1024;
     conn.set_exec_options(opts);
     let explain = conn.query(&format!("EXPLAIN {sql}")).unwrap();
@@ -604,9 +607,8 @@ pub fn fig7_acs_load(cfg: &BenchConfig) -> Vec<(String, Cell)> {
             let d = monetlite_acs::wrangle(monetlite_acs::generate(cfg.acs_rows, cfg.seed))?;
             let db = RowDb::in_memory();
             db.execute(&monetlite_acs::ddl(&d))?;
-            let rows: Vec<Vec<monetlite_types::Value>> = (0..d.rows)
-                .map(|r| d.cols.iter().map(|c| c.get(r)).collect())
-                .collect();
+            let rows: Vec<Vec<monetlite_types::Value>> =
+                (0..d.rows).map(|r| d.cols.iter().map(|c| c.get(r)).collect()).collect();
             db.insert_rows("acs", rows)?;
             db.sync()?;
             Ok(())
@@ -614,14 +616,11 @@ pub fn fig7_acs_load(cfg: &BenchConfig) -> Vec<(String, Cell)> {
     ));
     // Socket systems (fewer rows would be dishonest: same workload, the
     // INSERT stream is simply what these systems cost).
-    for (label, js) in
-        [("PostgreSQL", JoinStrategy::Hash), ("MariaDB", JoinStrategy::NestedLoop)]
-    {
+    for (label, js) in [("PostgreSQL", JoinStrategy::Hash), ("MariaDB", JoinStrategy::NestedLoop)] {
         out.push((
             label.to_string(),
             measure_once(|| {
-                let d =
-                    monetlite_acs::wrangle(monetlite_acs::generate(cfg.acs_rows, cfg.seed))?;
+                let d = monetlite_acs::wrangle(monetlite_acs::generate(cfg.acs_rows, cfg.seed))?;
                 let db =
                     RowDb::open_with(RowDbOptions { join_strategy: js, ..Default::default() })?;
                 let server = Server::start(ServerEngine::Row(db))?;
@@ -733,10 +732,9 @@ pub fn fig8_acs_stats(cfg: &BenchConfig) -> Vec<(String, Cell)> {
         ));
     }
     // Socket systems.
-    for (label, js) in
-        [("PostgreSQL", JoinStrategy::Hash), ("MariaDB", JoinStrategy::NestedLoop)]
-    {
-        let db = RowDb::open_with(RowDbOptions { join_strategy: js, ..Default::default() }).unwrap();
+    for (label, js) in [("PostgreSQL", JoinStrategy::Hash), ("MariaDB", JoinStrategy::NestedLoop)] {
+        let db =
+            RowDb::open_with(RowDbOptions { join_strategy: js, ..Default::default() }).unwrap();
         db.execute(&monetlite_acs::ddl(&d)).unwrap();
         let rows: Vec<Vec<monetlite_types::Value>> =
             (0..d.rows).map(|r| d.cols.iter().map(|c| c.get(r)).collect()).collect();

@@ -8,7 +8,7 @@
 //! partial/merge forms used by the parallel executor.
 
 use crate::expr::PAggFunc;
-use crate::rows::{row_hash, rows_eq};
+use crate::rows::{col_eq, row_hash, rows_eq};
 use monetlite_storage::Bat;
 use monetlite_types::nulls::{NULL_I32, NULL_I64};
 use monetlite_types::{LogicalType, MlError, Result, Value};
@@ -54,6 +54,82 @@ pub fn hash_group(keys: &[&Bat]) -> Grouping {
     Grouping { group_ids, repr_rows }
 }
 
+/// An incremental grouping table for the streaming engine: group keys are
+/// interned vector-at-a-time into dense ids, with representative key
+/// values accumulated as they are first seen (NULLs group together, SQL
+/// semantics). Unlike [`hash_group`], which needs the whole input
+/// materialised, this grows as vectors arrive — the per-thread state of
+/// morsel-parallel partial aggregation.
+#[derive(Debug)]
+pub struct GroupTable {
+    /// Representative key values, one row per group, in first-seen order.
+    keys: Vec<Bat>,
+    /// Key hash → candidate group ids.
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl GroupTable {
+    /// Empty table for the given key column types.
+    pub fn new(key_types: &[LogicalType]) -> GroupTable {
+        GroupTable {
+            keys: key_types.iter().map(|&t| Bat::new(t)).collect(),
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct groups seen so far.
+    pub fn n_groups(&self) -> usize {
+        self.keys.first().map_or(0, |k| k.len())
+    }
+
+    /// The accumulated representative key columns.
+    pub fn keys(&self) -> &[Bat] {
+        &self.keys
+    }
+
+    /// Consume the table, returning the representative key columns (the
+    /// group-by output columns, in first-seen order).
+    pub fn into_keys(self) -> Vec<Bat> {
+        self.keys
+    }
+
+    /// Intern a block of key rows, returning each row's dense group id.
+    pub fn intern_block(&mut self, block: &[&Bat], rows: usize) -> Result<Vec<u32>> {
+        debug_assert_eq!(block.len(), self.keys.len());
+        let mut gids = Vec::with_capacity(rows);
+        for row in 0..rows {
+            let h = row_hash(block, row);
+            let mut found = None;
+            if let Some(bucket) = self.buckets.get(&h) {
+                for &g in bucket {
+                    let eq = self
+                        .keys
+                        .iter()
+                        .zip(block)
+                        .all(|(k, b)| col_eq(b, row, k, g as usize, true));
+                    if eq {
+                        found = Some(g);
+                        break;
+                    }
+                }
+            }
+            let gid = match found {
+                Some(g) => g,
+                None => {
+                    let g = self.n_groups() as u32;
+                    for (k, b) in self.keys.iter_mut().zip(block) {
+                        k.push(&b.get(row))?;
+                    }
+                    self.buckets.entry(h).or_default().push(g);
+                    g
+                }
+            };
+            gids.push(gid);
+        }
+        Ok(gids)
+    }
+}
+
 /// One aggregate's state across groups; supports partial merge for the
 /// decomposable functions.
 #[derive(Debug, Clone)]
@@ -78,16 +154,17 @@ pub enum AggState {
 
 impl AggState {
     /// Initial state for `func` over `n` groups.
-    pub fn new(func: PAggFunc, input_ty: Option<LogicalType>, distinct: bool, n: usize) -> Result<AggState> {
+    pub fn new(
+        func: PAggFunc,
+        input_ty: Option<LogicalType>,
+        distinct: bool,
+        n: usize,
+    ) -> Result<AggState> {
         if distinct && func != PAggFunc::Count {
-            return Err(MlError::Unsupported(
-                "DISTINCT is only supported with COUNT".into(),
-            ));
+            return Err(MlError::Unsupported("DISTINCT is only supported with COUNT".into()));
         }
         Ok(match func {
-            PAggFunc::Count if distinct => {
-                AggState::CountDistinct(vec![HashSet::new(); n])
-            }
+            PAggFunc::Count if distinct => AggState::CountDistinct(vec![HashSet::new(); n]),
             PAggFunc::Count => AggState::Count(vec![0; n]),
             PAggFunc::Sum => match input_ty {
                 Some(LogicalType::Int) | Some(LogicalType::Bigint) => {
@@ -207,8 +284,7 @@ impl AggState {
                 }
             }
             AggState::Best(best, is_max) => {
-                let b = arg
-                    .ok_or_else(|| MlError::Execution("MIN/MAX need an argument".into()))?;
+                let b = arg.ok_or_else(|| MlError::Execution("MIN/MAX need an argument".into()))?;
                 for (row, &g) in group_ids.iter().enumerate() {
                     if b.is_null_at(row) {
                         continue;
@@ -232,8 +308,7 @@ impl AggState {
                 }
             }
             AggState::Median(bufs) => {
-                let b =
-                    arg.ok_or_else(|| MlError::Execution("MEDIAN needs an argument".into()))?;
+                let b = arg.ok_or_else(|| MlError::Execution("MEDIAN needs an argument".into()))?;
                 for (row, &g) in group_ids.iter().enumerate() {
                     if !b.is_null_at(row) {
                         bufs[g as usize].push(numeric_f64(b, row)?);
@@ -313,6 +388,112 @@ impl AggState {
         Ok(())
     }
 
+    /// Grow the state to cover `n` groups (new groups start empty). The
+    /// streaming engine's group tables grow as vectors arrive, so states
+    /// must be resizable — the batch constructor fixes `n` up front.
+    pub fn ensure_groups(&mut self, n: usize) {
+        match self {
+            AggState::Count(c) => c.resize(n, 0),
+            AggState::SumInt(s, seen) | AggState::SumDec(s, seen, _) => {
+                s.resize(n, 0);
+                seen.resize(n, false);
+            }
+            AggState::SumF64(s, seen) => {
+                s.resize(n, 0.0);
+                seen.resize(n, false);
+            }
+            AggState::Avg(s, c) => {
+                s.resize(n, 0.0);
+                c.resize(n, 0);
+            }
+            AggState::Best(b, _) => b.resize(n, Value::Null),
+            AggState::Median(b) => b.resize(n, Vec::new()),
+            AggState::CountDistinct(s) => s.resize(n, HashSet::new()),
+        }
+    }
+
+    /// Current group capacity.
+    pub fn n_groups(&self) -> usize {
+        match self {
+            AggState::Count(c) => c.len(),
+            AggState::SumInt(s, _) | AggState::SumDec(s, _, _) => s.len(),
+            AggState::SumF64(s, _) => s.len(),
+            AggState::Avg(s, _) => s.len(),
+            AggState::Best(b, _) => b.len(),
+            AggState::Median(b) => b.len(),
+            AggState::CountDistinct(s) => s.len(),
+        }
+    }
+
+    /// Merge a partial state whose group ids map through `gid_map`
+    /// (`other`'s group `g` corresponds to `self`'s group `gid_map[g]`).
+    /// This is the cross-thread merge of morsel-parallel grouped
+    /// aggregation, where each worker interned groups independently.
+    pub fn merge_mapped(&mut self, other: AggState, gid_map: &[u32]) -> Result<()> {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => {
+                for (g, y) in b.into_iter().enumerate() {
+                    a[gid_map[g] as usize] += y;
+                }
+            }
+            (AggState::SumInt(a, sa), AggState::SumInt(b, sb))
+            | (AggState::SumDec(a, sa, _), AggState::SumDec(b, sb, _)) => {
+                for (g, (y, s2)) in b.into_iter().zip(sb).enumerate() {
+                    let t = gid_map[g] as usize;
+                    a[t] += y;
+                    sa[t] = sa[t] || s2;
+                }
+            }
+            (AggState::SumF64(a, sa), AggState::SumF64(b, sb)) => {
+                for (g, (y, s2)) in b.into_iter().zip(sb).enumerate() {
+                    let t = gid_map[g] as usize;
+                    a[t] += y;
+                    sa[t] = sa[t] || s2;
+                }
+            }
+            (AggState::Avg(a, ca), AggState::Avg(b, cb)) => {
+                for (g, (y, c2)) in b.into_iter().zip(cb).enumerate() {
+                    let t = gid_map[g] as usize;
+                    a[t] += y;
+                    ca[t] += c2;
+                }
+            }
+            (AggState::Best(a, is_max), AggState::Best(b, _)) => {
+                let is_max = *is_max;
+                for (g, y) in b.into_iter().enumerate() {
+                    let t = gid_map[g] as usize;
+                    let replace = match (&a[t], &y) {
+                        (_, Value::Null) => false,
+                        (Value::Null, _) => true,
+                        (cur, new) => {
+                            let ord = new.cmp_sql(cur);
+                            if is_max {
+                                ord == std::cmp::Ordering::Greater
+                            } else {
+                                ord == std::cmp::Ordering::Less
+                            }
+                        }
+                    };
+                    if replace {
+                        a[t] = y;
+                    }
+                }
+            }
+            (AggState::Median(a), AggState::Median(b)) => {
+                for (g, mut y) in b.into_iter().enumerate() {
+                    a[gid_map[g] as usize].append(&mut y);
+                }
+            }
+            (AggState::CountDistinct(a), AggState::CountDistinct(b)) => {
+                for (g, y) in b.into_iter().enumerate() {
+                    a[gid_map[g] as usize].extend(y);
+                }
+            }
+            _ => return Err(MlError::Execution("mismatched aggregate states".into())),
+        }
+        Ok(())
+    }
+
     /// Finalise into an output column of `out_ty`.
     pub fn finish(self, out_ty: LogicalType) -> Result<Bat> {
         Ok(match self {
@@ -347,10 +528,7 @@ impl AggState {
                 Bat::Decimal { data: out, scale }
             }
             AggState::SumF64(sums, seen) => Bat::Double(
-                sums.into_iter()
-                    .zip(seen)
-                    .map(|(s, ok)| if ok { s } else { f64::NAN })
-                    .collect(),
+                sums.into_iter().zip(seen).map(|(s, ok)| if ok { s } else { f64::NAN }).collect(),
             ),
             AggState::Avg(sums, counts) => Bat::Double(
                 sums.into_iter()
@@ -381,8 +559,7 @@ impl AggState {
                         if n % 2 == 1 {
                             upper
                         } else {
-                            let lower =
-                                lo.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                            let lower = lo.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                             (lower + upper) / 2.0
                         }
                     })
@@ -538,8 +715,7 @@ mod tests {
     #[test]
     fn count_distinct() {
         let arg = Bat::Int(vec![1, 1, 2, NULL_I32]);
-        let mut s =
-            AggState::new(PAggFunc::Count, Some(LogicalType::Int), true, 1).unwrap();
+        let mut s = AggState::new(PAggFunc::Count, Some(LogicalType::Int), true, 1).unwrap();
         s.update(Some(&arg), &[0, 0, 0, 0]).unwrap();
         assert_eq!(s.finish(LogicalType::Bigint).unwrap().get(0), Value::Bigint(2));
     }

@@ -107,21 +107,13 @@ impl<'a> Binder<'a> {
     ) -> Result<(Plan, Scope)> {
         // 1. FROM clause.
         let (mut plan, mut scope) = if stmt.from.is_empty() {
-            (
-                Plan::Values { rows: vec![vec![]], schema: vec![] },
-                Scope::default(),
-            )
+            (Plan::Values { rows: vec![vec![]], schema: vec![] }, Scope::default())
         } else {
             let mut iter = stmt.from.iter();
             let (mut p, mut s) = self.bind_table_ref(iter.next().unwrap())?;
             for tr in iter {
                 let (rp, rs) = self.bind_table_ref(tr)?;
-                let schema: Vec<OutCol> = p
-                    .schema()
-                    .iter()
-                    .chain(rp.schema())
-                    .cloned()
-                    .collect();
+                let schema: Vec<OutCol> = p.schema().iter().chain(rp.schema()).cloned().collect();
                 p = Plan::Join {
                     left: Box::new(p),
                     right: Box::new(rp),
@@ -142,9 +134,7 @@ impl<'a> Binder<'a> {
             split_conjuncts(w, &mut conjuncts);
             let mut plain = Vec::new();
             for c in conjuncts {
-                if let Some(p2) =
-                    self.try_bind_subquery_conjunct(c, plan.clone(), &mut scope)?
-                {
+                if let Some(p2) = self.try_bind_subquery_conjunct(c, plan.clone(), &mut scope)? {
                     plan = p2;
                 } else {
                     plain.push(self.bind_expr_bool(c, &scope, outer)?);
@@ -156,19 +146,15 @@ impl<'a> Binder<'a> {
         }
 
         // 3. Grouping & aggregates.
-        let has_aggs = stmt
-            .projections
-            .iter()
-            .any(|p| matches!(p, ast::SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
-            || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
+        let has_aggs =
+            stmt.projections.iter().any(
+                |p| matches!(p, ast::SelectItem::Expr { expr, .. } if expr.contains_aggregate()),
+            ) || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
         let grouped = !stmt.group_by.is_empty() || has_aggs;
 
         let (mut plan, out_names, out_exprs_schema) = if grouped {
-            let group_bexprs: Vec<BExpr> = stmt
-                .group_by
-                .iter()
-                .map(|g| self.bind_expr(g, &scope))
-                .collect::<Result<_>>()?;
+            let group_bexprs: Vec<BExpr> =
+                stmt.group_by.iter().map(|g| self.bind_expr(g, &scope)).collect::<Result<_>>()?;
             let mut aggs: Vec<AggSpec> = Vec::new();
             // Bind projections in aggregate context.
             let mut proj_exprs = Vec::new();
@@ -215,7 +201,8 @@ impl<'a> Binder<'a> {
                 .zip(&names)
                 .map(|(e, n)| OutCol { name: n.clone(), ty: e.ty() })
                 .collect();
-            plan = Plan::Project { input: Box::new(plan), exprs: proj_exprs, schema: schema.clone() };
+            plan =
+                Plan::Project { input: Box::new(plan), exprs: proj_exprs, schema: schema.clone() };
             (plan, names, schema)
         } else {
             // Plain projection.
@@ -255,8 +242,7 @@ impl<'a> Binder<'a> {
                 .zip(&names)
                 .map(|(e, n)| OutCol { name: n.clone(), ty: e.ty() })
                 .collect();
-            let plan =
-                Plan::Project { input: Box::new(plan), exprs, schema: schema.clone() };
+            let plan = Plan::Project { input: Box::new(plan), exprs, schema: schema.clone() };
             (plan, names, schema)
         };
 
@@ -281,14 +267,9 @@ impl<'a> Binder<'a> {
                     }
                     ast::Expr::Column { table: None, name } => {
                         let lower = name.to_ascii_lowercase();
-                        out_names
-                            .iter()
-                            .position(|n| *n == lower)
-                            .ok_or_else(|| {
-                                MlError::Bind(format!(
-                                    "ORDER BY column '{name}' is not in the output"
-                                ))
-                            })?
+                        out_names.iter().position(|n| *n == lower).ok_or_else(|| {
+                            MlError::Bind(format!("ORDER BY column '{name}' is not in the output"))
+                        })?
                     }
                     other => {
                         return Err(MlError::Bind(format!(
@@ -345,10 +326,7 @@ impl<'a> Binder<'a> {
                 let cols = scope
                     .cols
                     .into_iter()
-                    .map(|c| ScopeCol {
-                        qualifier: Some(alias.to_ascii_lowercase()),
-                        ..c
-                    })
+                    .map(|c| ScopeCol { qualifier: Some(alias.to_ascii_lowercase()), ..c })
                     .collect();
                 Ok((plan, Scope { cols }))
             }
@@ -357,17 +335,14 @@ impl<'a> Binder<'a> {
                 let (rp, rs) = self.bind_table_ref(right)?;
                 let mut scope = ls;
                 scope.cols.extend(rs.cols);
-                let schema: Vec<OutCol> =
-                    lp.schema().iter().chain(rp.schema()).cloned().collect();
+                let schema: Vec<OutCol> = lp.schema().iter().chain(rp.schema()).cloned().collect();
                 let pkind = match kind {
                     ast::JoinKind::Inner => PJoinKind::Inner,
                     ast::JoinKind::Left => PJoinKind::Left,
                     ast::JoinKind::Cross => PJoinKind::Cross,
                 };
-                let residual = on
-                    .as_ref()
-                    .map(|e| self.bind_expr_bool(e, &scope, None))
-                    .transpose()?;
+                let residual =
+                    on.as_ref().map(|e| self.bind_expr_bool(e, &scope, None)).transpose()?;
                 // Keys are extracted from the residual by the optimizer.
                 Ok((
                     Plan::Join {
@@ -394,25 +369,18 @@ impl<'a> Binder<'a> {
         scope: &mut Scope,
     ) -> Result<Option<Plan>> {
         match conjunct {
-            ast::Expr::Exists { query, negated } => Ok(Some(self.flatten_exists(
-                query,
-                *negated,
-                plan,
-                scope,
-            )?)),
+            ast::Expr::Exists { query, negated } => {
+                Ok(Some(self.flatten_exists(query, *negated, plan, scope)?))
+            }
             ast::Expr::Not(inner) => {
                 if let ast::Expr::Exists { query, negated } = inner.as_ref() {
                     return Ok(Some(self.flatten_exists(query, !negated, plan, scope)?));
                 }
                 Ok(None)
             }
-            ast::Expr::InSubquery { expr, query, negated } => Ok(Some(self.flatten_in(
-                expr,
-                query,
-                *negated,
-                plan,
-                scope,
-            )?)),
+            ast::Expr::InSubquery { expr, query, negated } => {
+                Ok(Some(self.flatten_in(expr, query, *negated, plan, scope)?))
+            }
             ast::Expr::Binary { op, left, right }
                 if matches!(
                     op,
@@ -505,9 +473,7 @@ impl<'a> Binder<'a> {
         let (inner_plan, inner_scope, lkeys, rkeys) =
             self.bind_correlated_subquery_grouped(query, scope)?;
         if inner_scope.cols.len() != rkeys.len() + 1 {
-            return Err(MlError::Bind(
-                "scalar subquery must produce exactly one column".into(),
-            ));
+            return Err(MlError::Bind("scalar subquery must produce exactly one column".into()));
         }
         let val_idx = inner_scope.cols.len() - 1;
         let val_ty = inner_scope.cols[val_idx].ty;
@@ -527,17 +493,13 @@ impl<'a> Binder<'a> {
         // Comparison over the joined schema.
         let other_b = self.bind_expr(other, scope)?;
         let subq_col = BExpr::ColRef { idx: nleft + val_idx, ty: val_ty };
-        let (l, r) = if flipped {
-            coerce_pair(subq_col, other_b)?
-        } else {
-            coerce_pair(other_b, subq_col)?
-        };
+        let (l, r) =
+            if flipped { coerce_pair(subq_col, other_b)? } else { coerce_pair(other_b, subq_col)? };
         let pred = BExpr::Cmp { op: bin_to_cmp(op)?, left: Box::new(l), right: Box::new(r) };
         let filtered = Plan::Filter { input: Box::new(joined), pred };
         // Project back to the outer columns only.
-        let exprs: Vec<BExpr> = (0..nleft)
-            .map(|i| BExpr::ColRef { idx: i, ty: filtered.schema()[i].ty })
-            .collect();
+        let exprs: Vec<BExpr> =
+            (0..nleft).map(|i| BExpr::ColRef { idx: i, ty: filtered.schema()[i].ty }).collect();
         let out_schema: Vec<OutCol> = filtered.schema()[..nleft].to_vec();
         // Scope is unchanged: same outer columns.
         Ok(Plan::Project { input: Box::new(filtered), exprs, schema: out_schema })
@@ -552,16 +514,10 @@ impl<'a> Binder<'a> {
         outer: &Scope,
     ) -> Result<(Plan, Scope, Vec<BExpr>, Vec<BExpr>)> {
         if !query.group_by.is_empty() || query.limit.is_some() {
-            return Err(MlError::Unsupported(
-                "GROUP BY/LIMIT inside EXISTS/IN subqueries".into(),
-            ));
+            return Err(MlError::Unsupported("GROUP BY/LIMIT inside EXISTS/IN subqueries".into()));
         }
         // Bind the subquery FROM to get the inner scope.
-        let inner_stmt = ast::SelectStmt {
-            where_clause: None,
-            order_by: vec![],
-            ..query.clone()
-        };
+        let inner_stmt = ast::SelectStmt { where_clause: None, order_by: vec![], ..query.clone() };
         let (mut inner_plan, inner_scope) = self.bind_from_only(&inner_stmt)?;
         let mut lkeys = Vec::new();
         let mut rkeys = Vec::new();
@@ -631,8 +587,7 @@ impl<'a> Binder<'a> {
         }
         // Aggregate grouped by the correlated inner keys.
         let mut aggs = Vec::new();
-        let bound_agg =
-            self.bind_agg_expr(agg_expr, &inner_scope, &inner_keys, &mut aggs)?;
+        let bound_agg = self.bind_agg_expr(agg_expr, &inner_scope, &inner_keys, &mut aggs)?;
         if aggs.len() != 1 || !matches!(bound_agg, BExpr::ColRef { .. }) {
             return Err(MlError::Unsupported(
                 "scalar subquery must be a single plain aggregate".into(),
@@ -667,9 +622,8 @@ impl<'a> Binder<'a> {
 
     fn bind_from_only(&self, stmt: &ast::SelectStmt) -> Result<(Plan, Scope)> {
         let mut iter = stmt.from.iter();
-        let first = iter
-            .next()
-            .ok_or_else(|| MlError::Bind("subquery requires a FROM clause".into()))?;
+        let first =
+            iter.next().ok_or_else(|| MlError::Bind("subquery requires a FROM clause".into()))?;
         let (mut p, mut s) = self.bind_table_ref(first)?;
         for tr in iter {
             let (rp, rs) = self.bind_table_ref(tr)?;
@@ -740,11 +694,8 @@ impl<'a> Binder<'a> {
             ));
         }
         let nout = exprs.len();
-        let mut schema: Vec<OutCol> = exprs
-            .iter()
-            .zip(&names)
-            .map(|(e, n)| OutCol { name: n.clone(), ty: e.ty() })
-            .collect();
+        let mut schema: Vec<OutCol> =
+            exprs.iter().zip(&names).map(|(e, n)| OutCol { name: n.clone(), ty: e.ty() }).collect();
         for (i, k) in rkeys.iter_mut().enumerate() {
             exprs.push(k.clone());
             schema.push(OutCol { name: format!("k{i}"), ty: k.ty() });
@@ -759,12 +710,7 @@ impl<'a> Binder<'a> {
         Ok((Plan::Project { input: Box::new(inner_plan), exprs, schema }, scope))
     }
 
-    fn classify_conjunct(
-        &self,
-        e: &ast::Expr,
-        inner: &Scope,
-        outer: &Scope,
-    ) -> Result<Classified> {
+    fn classify_conjunct(&self, e: &ast::Expr, inner: &Scope, outer: &Scope) -> Result<Classified> {
         // Pure inner predicate?
         if let Ok(b) = self.bind_expr(e, inner) {
             return Ok(Classified::Inner(b));
@@ -784,9 +730,7 @@ impl<'a> Binder<'a> {
                 return Ok(Classified::CorrelatedEq { outer_key: ok2, inner_key: ik2 });
             }
         }
-        Err(MlError::Unsupported(format!(
-            "unsupported correlated predicate in subquery: {e:?}"
-        )))
+        Err(MlError::Unsupported(format!("unsupported correlated predicate in subquery: {e:?}")))
     }
 
     // -- expressions -------------------------------------------------------
@@ -800,12 +744,7 @@ impl<'a> Binder<'a> {
         self.bind_expr(e, scope)
     }
 
-    fn bind_expr_bool(
-        &self,
-        e: &ast::Expr,
-        scope: &Scope,
-        outer: Option<&Scope>,
-    ) -> Result<BExpr> {
+    fn bind_expr_bool(&self, e: &ast::Expr, scope: &Scope, outer: Option<&Scope>) -> Result<BExpr> {
         let b = self.bind_expr_outer(e, scope, outer)?;
         if b.ty() != LogicalType::Bool {
             return Err(MlError::TypeMismatch(format!(
@@ -824,9 +763,9 @@ impl<'a> Binder<'a> {
                 Ok(BExpr::ColRef { idx, ty })
             }
             ast::Expr::Literal(v) => Ok(BExpr::Lit(v.clone())),
-            ast::Expr::Interval { .. } => Err(MlError::Bind(
-                "INTERVAL is only valid in date arithmetic".into(),
-            )),
+            ast::Expr::Interval { .. } => {
+                Err(MlError::Bind("INTERVAL is only valid in date arithmetic".into()))
+            }
             ast::Expr::Binary { op, left, right } => self.bind_binary(*op, left, right, scope),
             ast::Expr::Not(inner) => {
                 let b = self.bind_expr(inner, scope)?;
@@ -877,9 +816,8 @@ impl<'a> Binder<'a> {
             ast::Expr::InList { expr, list, negated } => {
                 // Desugar to an OR chain of equalities.
                 let mut it = list.iter();
-                let first = it.next().ok_or_else(|| {
-                    MlError::Bind("IN list must not be empty".into())
-                })?;
+                let first =
+                    it.next().ok_or_else(|| MlError::Bind("IN list must not be empty".into()))?;
                 let mut acc = ast::Expr::Binary {
                     op: ast::BinOp::Eq,
                     left: expr.clone(),
@@ -933,9 +871,9 @@ impl<'a> Binder<'a> {
                 let else_expr = belse.map(|e| cast_to(e, ty).map(Box::new)).transpose()?;
                 Ok(BExpr::Case { branches, else_expr, ty })
             }
-            ast::Expr::Agg { .. } => Err(MlError::Bind(
-                "aggregate functions are not allowed here".into(),
-            )),
+            ast::Expr::Agg { .. } => {
+                Err(MlError::Bind("aggregate functions are not allowed here".into()))
+            }
             ast::Expr::Extract { field, expr } => {
                 let b = self.bind_expr(expr, scope)?;
                 if b.ty() != LogicalType::Date {
@@ -1039,9 +977,8 @@ impl<'a> Binder<'a> {
         let bound: Vec<BExpr> =
             args.iter().map(|a| self.bind_expr(a, scope)).collect::<Result<_>>()?;
         let argc = bound.len();
-        let wrong = |want: usize| {
-            MlError::Bind(format!("{name} expects {want} argument(s), got {argc}"))
-        };
+        let wrong =
+            |want: usize| MlError::Bind(format!("{name} expects {want} argument(s), got {argc}"));
         match name {
             "sqrt" | "floor" | "ceil" | "ceiling" => {
                 if argc != 1 {
@@ -1145,10 +1082,7 @@ impl<'a> Binder<'a> {
         }
         match e {
             ast::Expr::Agg { func, arg, distinct } => {
-                let arg_b = arg
-                    .as_ref()
-                    .map(|a| self.bind_expr(a, input))
-                    .transpose()?;
+                let arg_b = arg.as_ref().map(|a| self.bind_expr(a, input)).transpose()?;
                 let pfunc = match func {
                     ast::AggFunc::Count => PAggFunc::Count,
                     ast::AggFunc::Sum => PAggFunc::Sum,
@@ -1216,9 +1150,7 @@ impl<'a> Binder<'a> {
                 // Non-aggregate functions over group keys were handled by
                 // the group-key match above; reaching here means the
                 // argument is not a group key.
-                Err(MlError::Bind(format!(
-                    "expression {e:?} must appear in the GROUP BY clause"
-                )))
+                Err(MlError::Bind(format!("expression {e:?} must appear in the GROUP BY clause")))
             }
             other => Err(MlError::Bind(format!(
                 "expression {other:?} must appear in GROUP BY or be inside an aggregate"
@@ -1375,9 +1307,9 @@ fn fold_literal_cast(v: &Value, ty: LogicalType) -> Result<Option<Value>> {
         (Value::Null, _) => Some(Value::Null),
         (Value::Int(x), T::Bigint) => Some(Value::Bigint(*x as i64)),
         (Value::Int(x), T::Double) => Some(Value::Double(*x as f64)),
-        (Value::Int(x), T::Decimal { scale, .. }) => Some(Value::Decimal(
-            monetlite_types::Decimal::new(*x as i64, 0).rescale(scale)?,
-        )),
+        (Value::Int(x), T::Decimal { scale, .. }) => {
+            Some(Value::Decimal(monetlite_types::Decimal::new(*x as i64, 0).rescale(scale)?))
+        }
         (Value::Bigint(x), T::Double) => Some(Value::Double(*x as f64)),
         (Value::Decimal(d), T::Double) => Some(Value::Double(d.to_f64())),
         (Value::Decimal(d), T::Decimal { scale, .. }) => Some(Value::Decimal(d.rescale(scale)?)),
@@ -1566,10 +1498,7 @@ mod tests {
 
     #[test]
     fn non_grouped_column_rejected() {
-        assert!(matches!(
-            bind("SELECT b, a, sum(a) FROM t GROUP BY b"),
-            Err(MlError::Bind(_))
-        ));
+        assert!(matches!(bind("SELECT b, a, sum(a) FROM t GROUP BY b"), Err(MlError::Bind(_))));
     }
 
     #[test]
@@ -1597,10 +1526,9 @@ mod tests {
 
     #[test]
     fn exists_flattens_to_semi_join() {
-        let p = bind(
-            "SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.a = t.a AND u.x > 0.5)",
-        )
-        .unwrap();
+        let p =
+            bind("SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.a = t.a AND u.x > 0.5)")
+                .unwrap();
         let s = p.render();
         assert!(s.contains("semi join"), "{s}");
         assert!(s.contains("filter") || s.contains("where"), "inner filter retained: {s}");
@@ -1608,8 +1536,7 @@ mod tests {
 
     #[test]
     fn not_exists_flattens_to_anti_join() {
-        let p =
-            bind("SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.a = t.a)").unwrap();
+        let p = bind("SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.a = t.a)").unwrap();
         assert!(p.render().contains("anti join"));
     }
 
@@ -1622,10 +1549,7 @@ mod tests {
     #[test]
     fn correlated_scalar_agg_flattens() {
         // Q2's shape.
-        let p = bind(
-            "SELECT a FROM t WHERE p = (SELECT min(x) FROM u WHERE u.a = t.a)",
-        )
-        .unwrap();
+        let p = bind("SELECT a FROM t WHERE p = (SELECT min(x) FROM u WHERE u.a = t.a)").unwrap();
         let s = p.render();
         assert!(s.contains("left join"), "{s}");
         assert!(s.contains("min"), "{s}");
@@ -1633,8 +1557,7 @@ mod tests {
 
     #[test]
     fn case_types_unify() {
-        let p =
-            bind("SELECT sum(CASE WHEN b = 'x' THEN p ELSE 0 END) FROM t").unwrap();
+        let p = bind("SELECT sum(CASE WHEN b = 'x' THEN p ELSE 0 END) FROM t").unwrap();
         match &p {
             Plan::Project { input, .. } => match input.as_ref() {
                 Plan::Aggregate { aggs, .. } => {

@@ -35,15 +35,37 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Which execution engine drives the plan.
+///
+/// * [`ExecMode::Streaming`] (default) — the chunk-at-a-time pipeline
+///   engine ([`crate::pipeline`]): plans are broken at pipeline breakers
+///   and driven over fixed-size vectors with morsel parallelism.
+/// * [`ExecMode::Materialized`] — the paper's operator-at-a-time model:
+///   every node materialises its full output before the parent runs, and
+///   parallelism is restricted to the mitosis prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Vectorized streaming pipelines with morsel parallelism.
+    #[default]
+    Streaming,
+    /// Full-column materialization (the paper's §3.1 model).
+    Materialized,
+}
+
 /// Execution tuning knobs; the ablation benches and the "1 thread for
 /// fairness" configuration of the paper's §4.1 set these.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
-    /// Worker threads for mitosis (1 = sequential, the paper's benchmark
+    /// Engine selection (streaming pipelines vs full materialization).
+    pub mode: ExecMode,
+    /// Worker threads (morsel workers in streaming mode, mitosis fan-out
+    /// in materialized mode; 1 = sequential, the paper's benchmark
     /// configuration).
     pub threads: usize,
+    /// Rows per streaming vector (and per morsel) in streaming mode.
+    pub vector_size: usize,
     /// Minimum rows per mitosis chunk ("the optimizer will not split up
-    /// small columns").
+    /// small columns"); materialized mode only.
     pub mitosis_min_rows: usize,
     /// Build/use column imprints on range selects.
     pub use_imprints: bool,
@@ -58,7 +80,9 @@ pub struct ExecOptions {
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
+            mode: ExecMode::Streaming,
             threads: 1,
+            vector_size: 64 * 1024,
             mitosis_min_rows: 64 * 1024,
             use_imprints: true,
             use_hash_index: true,
@@ -89,10 +113,16 @@ pub struct ExecCounters {
     pub mitosis_runs: AtomicU64,
     /// Total chunks executed in parallel.
     pub mitosis_chunks: AtomicU64,
+    /// Streaming pipelines driven.
+    pub pipelines: AtomicU64,
+    /// Morsels dispatched to streaming workers.
+    pub morsels: AtomicU64,
+    /// Vectors pushed through streaming operator chains.
+    pub vectors: AtomicU64,
 }
 
 impl ExecCounters {
-    fn bump(&self, c: &AtomicU64) {
+    pub(crate) fn bump(&self, c: &AtomicU64) {
         c.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -120,7 +150,7 @@ impl<'a> ExecContext<'a> {
         }
     }
 
-    fn check_deadline(&self) -> Result<()> {
+    pub(crate) fn check_deadline(&self) -> Result<()> {
         if let Some(d) = self.deadline {
             if Instant::now() > d {
                 let limit = self.opts.timeout.unwrap_or_default();
@@ -146,18 +176,32 @@ pub struct Chunk {
 impl Chunk {
     /// Gather rows by id into a new chunk.
     pub fn take(&self, sel: &[u32]) -> Chunk {
-        Chunk {
-            cols: self.cols.iter().map(|c| Arc::new(c.take(sel))).collect(),
-            rows: sel.len(),
-        }
+        Chunk { cols: self.cols.iter().map(|c| Arc::new(c.take(sel))).collect(), rows: sel.len() }
     }
 
-    /// Concatenate chunks column-wise (the mitosis "pack" step).
-    pub fn pack(chunks: Vec<Chunk>) -> Result<Chunk> {
-        let mut iter = chunks.into_iter();
-        let Some(first) = iter.next() else {
-            return Ok(Chunk { cols: vec![], rows: 0 });
-        };
+    /// Concatenate chunks column-wise (the mitosis/pipeline "pack" step).
+    ///
+    /// A single input chunk passes through untouched (keeping zero-copy
+    /// scans zero-copy), and zero-row inputs contribute nothing. Callers
+    /// that can receive an empty `chunks` list must supply their own
+    /// schema-typed empty chunk (see [`Chunk::empty`]) — an empty input
+    /// here yields a zero-column chunk.
+    pub fn pack(mut chunks: Vec<Chunk>) -> Result<Chunk> {
+        if chunks.len() <= 1 {
+            return Ok(chunks.pop().unwrap_or(Chunk { cols: vec![], rows: 0 }));
+        }
+        // Drop zero-row chunks (appending them is wasted work), keeping the
+        // first as a type template in case every chunk is empty.
+        let template = chunks[0].clone();
+        let mut nonempty: Vec<Chunk> = chunks.into_iter().filter(|c| c.rows > 0).collect();
+        if nonempty.is_empty() {
+            return Ok(template);
+        }
+        if nonempty.len() == 1 {
+            return Ok(nonempty.pop().expect("one chunk"));
+        }
+        let mut iter = nonempty.into_iter();
+        let first = iter.next().expect("nonempty");
         let mut cols: Vec<Bat> = first.cols.iter().map(|c| (**c).clone()).collect();
         let mut rows = first.rows;
         for ch in iter {
@@ -168,14 +212,39 @@ impl Chunk {
         }
         Ok(Chunk { cols: cols.into_iter().map(Arc::new).collect(), rows })
     }
+
+    /// A zero-row chunk with the column types of `schema` (zero-row
+    /// sources must still produce correctly-typed outputs).
+    pub fn empty(schema: &[crate::plan::OutCol]) -> Chunk {
+        Chunk { cols: schema.iter().map(|c| Arc::new(Bat::new(c.ty))).collect(), rows: 0 }
+    }
+
+    /// Extract rows `[lo, hi)` as a new chunk (`lo == hi` yields an empty
+    /// chunk of the same column types).
+    pub fn slice(&self, lo: usize, hi: usize) -> Chunk {
+        debug_assert!(lo <= hi && hi <= self.rows, "slice {lo}..{hi} of {}", self.rows);
+        if lo == 0 && hi == self.rows {
+            return self.clone();
+        }
+        let sel: Vec<u32> = (lo as u32..hi as u32).collect();
+        self.take(&sel)
+    }
 }
 
-/// Execute a plan to completion.
+/// Execute a plan to completion with the engine selected by
+/// [`ExecOptions::mode`].
 pub fn execute(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
-    exec_node(plan, ctx, None)
+    match ctx.opts.mode {
+        ExecMode::Streaming => crate::pipeline::execute_streaming(plan, ctx),
+        ExecMode::Materialized => exec_node(plan, ctx, None),
+    }
 }
 
-fn exec_node(plan: &Plan, ctx: &ExecContext, range: Option<(u32, u32)>) -> Result<Chunk> {
+pub(crate) fn exec_node(
+    plan: &Plan,
+    ctx: &ExecContext,
+    range: Option<(u32, u32)>,
+) -> Result<Chunk> {
     ctx.check_deadline()?;
     // Mitosis: only attempted at unranged entry into a parallelizable
     // shape.
@@ -196,24 +265,7 @@ fn exec_node(plan: &Plan, ctx: &ExecContext, range: Option<(u32, u32)>) -> Resul
         }
         Plan::Project { input, exprs, .. } => {
             let chunk = exec_node(input, ctx, range)?;
-            let mut cols = Vec::with_capacity(exprs.len());
-            // Common-subexpression elimination at the MAL level (paper:
-            // "further optimizations are performed such as common
-            // sub-expression elimination"): identical projection
-            // expressions are evaluated once.
-            let mut memo: Vec<(usize, Arc<Bat>)> = Vec::new();
-            for (i, e) in exprs.iter().enumerate() {
-                if let Some((_, prev)) =
-                    memo.iter().find(|(j, _)| exprs[*j] == *e)
-                {
-                    cols.push(prev.clone());
-                    continue;
-                }
-                let b = Arc::new(eval(e, &chunk.cols, chunk.rows)?);
-                memo.push((i, b.clone()));
-                cols.push(b);
-            }
-            Ok(Chunk { cols, rows: chunk.rows })
+            Ok(Chunk { cols: project_cols(exprs, &chunk)?, rows: chunk.rows })
         }
         Plan::Join { left, right, kind, left_keys, right_keys, residual, .. } => {
             exec_join(left, right, *kind, left_keys, right_keys, residual.as_ref(), ctx)
@@ -248,26 +300,48 @@ fn exec_node(plan: &Plan, ctx: &ExecContext, range: Option<(u32, u32)>) -> Resul
             let grouping = hash_group(&refs);
             Ok(chunk.take(&grouping.repr_rows))
         }
-        Plan::Values { rows, schema } => {
-            let mut cols: Vec<Bat> =
-                schema.iter().map(|c| Bat::new(c.ty)).collect();
-            for row in rows {
-                for (expr, col) in row.iter().zip(cols.iter_mut()) {
-                    let v = eval(expr, &[], 1)?;
-                    col.push(&v.get(0))?;
-                }
-            }
-            // A zero-column VALUES still has its row count.
-            Ok(Chunk { cols: cols.into_iter().map(Arc::new).collect(), rows: rows.len() })
+        Plan::Values { rows, schema } => exec_values(rows, schema),
+    }
+}
+
+/// Project `exprs` over a chunk, with common-subexpression elimination at
+/// the MAL level (paper: "further optimizations are performed such as
+/// common sub-expression elimination"): identical projection expressions
+/// are evaluated once, and bare column references share the input column
+/// (no copy). Shared by the materialized and streaming engines.
+pub(crate) fn project_cols(exprs: &[BExpr], chunk: &Chunk) -> Result<Vec<Arc<Bat>>> {
+    let mut cols = Vec::with_capacity(exprs.len());
+    let mut memo: Vec<(usize, Arc<Bat>)> = Vec::new();
+    for (i, e) in exprs.iter().enumerate() {
+        if let Some((_, prev)) = memo.iter().find(|(j, _)| exprs[*j] == *e) {
+            cols.push(prev.clone());
+            continue;
+        }
+        let b = crate::kernels::eval_shared(e, &chunk.cols, chunk.rows)?;
+        memo.push((i, b.clone()));
+        cols.push(b);
+    }
+    Ok(cols)
+}
+
+/// Materialise a VALUES node (shared by both engines).
+pub(crate) fn exec_values(rows: &[Vec<BExpr>], schema: &[crate::plan::OutCol]) -> Result<Chunk> {
+    let mut cols: Vec<Bat> = schema.iter().map(|c| Bat::new(c.ty)).collect();
+    for row in rows {
+        for (expr, col) in row.iter().zip(cols.iter_mut()) {
+            let v = eval(expr, &[], 1)?;
+            col.push(&v.get(0))?;
         }
     }
+    // A zero-column VALUES still has its row count.
+    Ok(Chunk { cols: cols.into_iter().map(Arc::new).collect(), rows: rows.len() })
 }
 
 // ---------------------------------------------------------------------------
 // Scan with index-assisted selection
 // ---------------------------------------------------------------------------
 
-fn exec_scan(
+pub(crate) fn exec_scan(
     table: &str,
     projected: &[usize],
     filters: &[BExpr],
@@ -276,44 +350,33 @@ fn exec_scan(
 ) -> Result<Chunk> {
     let meta = ctx.tables.table_meta(table)?;
     let phys_rows = meta.data.rows;
-    let (lo, hi) = range
-        .map(|(a, b)| (a as usize, b as usize))
-        .unwrap_or((0, phys_rows));
-    let entries: Vec<Arc<ColumnEntry>> = projected
-        .iter()
-        .map(|&c| meta.data.cols[c].entry())
-        .collect::<Result<_>>()?;
+    let (lo, hi) = range.map(|(a, b)| (a as usize, b as usize)).unwrap_or((0, phys_rows));
+    // Zero-width ranges (empty morsels) must still produce correctly
+    // typed, zero-row output — clamp rather than underflow below.
+    let (lo, hi) = (lo.min(phys_rows), hi.min(phys_rows).max(lo.min(phys_rows)));
+    let entries: Vec<Arc<ColumnEntry>> =
+        projected.iter().map(|&c| meta.data.cols[c].entry()).collect::<Result<_>>()?;
 
-    // Initial physical selection: deletes and/or subrange.
-    let restricted = meta.data.deleted.is_some() || lo != 0 || hi != phys_rows;
-    let mut sel: Option<Vec<u32>> = if restricted {
-        let deleted = meta.data.deleted.as_deref();
-        Some(
-            (lo as u32..hi as u32)
-                .filter(|&r| deleted.is_none_or(|d| !d[r as usize]))
-                .collect(),
-        )
-    } else {
-        None
-    };
-
+    let mut sel: Option<Vec<u32>> = None;
     let mut remaining: Vec<&BExpr> = filters.iter().collect();
-    // Index-assisted first filter only on unrestricted scans.
-    if sel.is_none() {
-        if let Some(pos) = remaining.iter().position(|f| {
-            probe_of(f, &entries, &meta, projected, ctx).is_some()
-        }) {
+    // Index-assisted first filter. Works for subranges too (candidates
+    // clip to `[lo, hi)`, so every morsel of a streaming scan and every
+    // mitosis chunk keeps imprint/order-index acceleration) — but not
+    // under deletion masks, where candidate row ids could be stale.
+    if meta.data.deleted.is_none() {
+        if let Some(pos) =
+            remaining.iter().position(|f| probe_of(f, &entries, &meta, projected, ctx).is_some())
+        {
             let f = remaining.remove(pos);
-            let (col_pos, plo, phi, exact) =
-                probe_of(f, &entries, &meta, projected, ctx).unwrap();
+            let (col_pos, plo, phi, exact) = probe_of(f, &entries, &meta, projected, ctx).unwrap();
             let entry = &entries[col_pos];
             let base_col = projected[col_pos];
-            let use_order =
-                ctx.opts.use_order_index && meta.ordered_cols.contains(&base_col);
+            let use_order = ctx.opts.use_order_index && meta.ordered_cols.contains(&base_col);
             if use_order {
                 // Order index answers the range exactly by binary search.
                 let oi = entry.order_index()?;
                 let mut rows: Vec<u32> = oi.range(plo, phi).to_vec();
+                rows.retain(|&r| (lo as u32..hi as u32).contains(&r));
                 rows.sort_unstable();
                 ctx.counters.bump(&ctx.counters.order_index_selects);
                 if !exact {
@@ -322,31 +385,42 @@ fn exec_scan(
                 }
                 sel = Some(rows);
             } else {
-                // Imprints: candidate cache lines, then exact check.
+                // Imprints: candidate cache lines (clipped to the scan
+                // range), then exact check. Only lines overlapping
+                // [lo, hi) are considered, so a morsel's probe costs
+                // O(morsel), not O(table).
                 let imp = entry.imprints()?;
                 ctx.counters.bump(&ctx.counters.imprint_selects);
+                let (first_line, last_line) = (lo / IMPRINT_LINE, hi.div_ceil(IMPRINT_LINE));
                 let lines = imp.candidate_lines(plo, phi);
-                let mut cands =
-                    Vec::with_capacity(lines.len() * IMPRINT_LINE);
+                let mut cands = Vec::with_capacity(hi - lo);
                 for line in lines {
-                    let start = line as usize * IMPRINT_LINE;
-                    let end = (start + IMPRINT_LINE).min(phys_rows);
+                    let line = line as usize;
+                    if line < first_line || line >= last_line {
+                        continue;
+                    }
+                    let start = (line * IMPRINT_LINE).max(lo);
+                    let end = (line * IMPRINT_LINE + IMPRINT_LINE).min(hi);
                     cands.extend(start as u32..end as u32);
                 }
                 sel = Some(verify_rows(f, &entries, cands)?);
             }
         }
     }
+    // No index-assisted selection: start from the physical restriction
+    // (deletes and/or subrange) if any.
+    if sel.is_none() && (meta.data.deleted.is_some() || lo != 0 || hi != phys_rows) {
+        let deleted = meta.data.deleted.as_deref();
+        sel = Some(
+            (lo as u32..hi as u32).filter(|&r| deleted.is_none_or(|d| !d[r as usize])).collect(),
+        );
+    }
 
     // Remaining filters: evaluate over the current selection.
     for f in remaining {
         match &sel {
             None => {
-                let mask = eval(
-                    f,
-                    &entries_bats(&entries)?,
-                    phys_rows,
-                )?;
+                let mask = eval(f, &entries_bats(&entries)?, phys_rows)?;
                 sel = Some(bool_to_sel(&mask)?);
             }
             Some(cur) => {
@@ -359,10 +433,9 @@ fn exec_scan(
     // arrays (zero copy — the Arc is the "shared pointer" of §3.3).
     let cols: Vec<Arc<Bat>> = match &sel {
         None => entries.iter().map(|e| e.bat()).collect::<Result<_>>()?,
-        Some(sel) => entries
-            .iter()
-            .map(|e| Ok(Arc::new(e.bat()?.take(sel))))
-            .collect::<Result<_>>()?,
+        Some(sel) => {
+            entries.iter().map(|e| Ok(Arc::new(e.bat()?.take(sel)))).collect::<Result<_>>()?
+        }
     };
     let rows = sel.as_ref().map_or(phys_rows, |s| s.len());
     Ok(Chunk { cols, rows })
@@ -383,7 +456,8 @@ fn verify_rows(f: &BExpr, entries: &[Arc<ColumnEntry>], cands: Vec<u32>) -> Resu
     used.dedup();
     // Build a narrow chunk with only the used columns gathered, remapping
     // the filter accordingly.
-    let mut gathered: Vec<Arc<Bat>> = vec![Arc::new(Bat::Int(vec![])); entries.len()];
+    let mut gathered: Vec<Arc<Bat>> =
+        (0..entries.len()).map(|_| Arc::new(Bat::Int(vec![]))).collect();
     for &u in &used {
         gathered[u] = Arc::new(entries[u].bat()?.take(&cands));
     }
@@ -470,14 +544,10 @@ fn exec_join(
         }
         cross_join(lchunk.rows, rchunk.rows)
     } else {
-        let lkey_bats: Vec<Bat> = left_keys
-            .iter()
-            .map(|k| eval(k, &lchunk.cols, lchunk.rows))
-            .collect::<Result<_>>()?;
-        let rkey_bats: Vec<Bat> = right_keys
-            .iter()
-            .map(|k| eval(k, &rchunk.cols, rchunk.rows))
-            .collect::<Result<_>>()?;
+        let lkey_bats: Vec<Bat> =
+            left_keys.iter().map(|k| eval(k, &lchunk.cols, lchunk.rows)).collect::<Result<_>>()?;
+        let rkey_bats: Vec<Bat> =
+            right_keys.iter().map(|k| eval(k, &rchunk.cols, rchunk.rows)).collect::<Result<_>>()?;
         let lrefs: Vec<&Bat> = lkey_bats.iter().collect();
         let rrefs: Vec<&Bat> = rkey_bats.iter().collect();
         // Merge join when both sides are order-indexed bare scans.
@@ -541,11 +611,7 @@ fn materialize_join(
 
 /// If `plan` is a filterless scan and the single key is a plain column
 /// reference, return that column's catalog entry.
-fn bare_scan_key_entry(
-    plan: &Plan,
-    keys: &[BExpr],
-    ctx: &ExecContext,
-) -> Option<Arc<ColumnEntry>> {
+fn bare_scan_key_entry(plan: &Plan, keys: &[BExpr], ctx: &ExecContext) -> Option<Arc<ColumnEntry>> {
     let Plan::Scan { table, projected, filters, .. } = plan else {
         return None;
     };
@@ -567,7 +633,7 @@ fn bare_scan_key_entry(
 }
 
 /// Hash-index variant: same shape but no order-index requirement.
-fn bare_scan_hash_entry(
+pub(crate) fn bare_scan_hash_entry(
     plan: &Plan,
     keys: &[BExpr],
     ctx: &ExecContext,
@@ -601,10 +667,8 @@ fn exec_aggregate(
     ctx: &ExecContext,
 ) -> Result<Chunk> {
     ctx.check_deadline()?;
-    let group_bats: Vec<Bat> = groups
-        .iter()
-        .map(|g| eval(g, &chunk.cols, chunk.rows))
-        .collect::<Result<_>>()?;
+    let group_bats: Vec<Bat> =
+        groups.iter().map(|g| eval(g, &chunk.cols, chunk.rows)).collect::<Result<_>>()?;
     let (group_ids, repr_rows, n_groups) = if groups.is_empty() {
         (vec![0u32; chunk.rows], vec![], 1usize)
     } else {
@@ -618,11 +682,7 @@ fn exec_aggregate(
         out_cols.push(Arc::new(b.take(&repr_rows)));
     }
     for (i, spec) in aggs.iter().enumerate() {
-        let arg_bat = spec
-            .arg
-            .as_ref()
-            .map(|a| eval(a, &chunk.cols, chunk.rows))
-            .transpose()?;
+        let arg_bat = spec.arg.as_ref().map(|a| eval(a, &chunk.cols, chunk.rows)).transpose()?;
         let mut state =
             AggState::new(spec.func, spec.arg.as_ref().map(|a| a.ty()), spec.distinct, n_groups)?;
         state.update(arg_bat.as_ref(), &group_ids)?;
@@ -656,9 +716,7 @@ fn try_mitosis(plan: &Plan, ctx: &ExecContext) -> Result<Option<Chunk>> {
                 return Ok(None);
             }
             ctx.counters.bump(&ctx.counters.mitosis_runs);
-            ctx.counters
-                .mitosis_chunks
-                .fetch_add(ranges.len() as u64, Ordering::Relaxed);
+            ctx.counters.mitosis_chunks.fetch_add(ranges.len() as u64, Ordering::Relaxed);
             // Per-chunk partial states, merged sequentially.
             let partials: Vec<Result<Vec<AggState>>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = ranges
@@ -716,9 +774,7 @@ fn try_mitosis(plan: &Plan, ctx: &ExecContext) -> Result<Option<Chunk>> {
                 return Ok(None);
             };
             ctx.counters.bump(&ctx.counters.mitosis_runs);
-            ctx.counters
-                .mitosis_chunks
-                .fetch_add(ranges.len() as u64, Ordering::Relaxed);
+            ctx.counters.mitosis_chunks.fetch_add(ranges.len() as u64, Ordering::Relaxed);
             let parts: Vec<Result<Chunk>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = ranges
                     .iter()
@@ -770,7 +826,7 @@ mod tests {
     use super::*;
     use crate::expr::PAggFunc;
     use monetlite_storage::catalog::TableData;
-    use monetlite_types::{ColumnBuffer, Field, Schema};
+    use monetlite_types::{Field, Schema};
     use std::collections::HashMap;
 
     struct TestTables {
@@ -787,10 +843,9 @@ mod tests {
     }
 
     fn make_table(name: &str, cols: Vec<(&str, Bat)>, ordered: Vec<usize>) -> Arc<TableMeta> {
-        let schema = Schema::new(
-            cols.iter().map(|(n, b)| Field::new(*n, b.logical_type())).collect(),
-        )
-        .unwrap();
+        let schema =
+            Schema::new(cols.iter().map(|(n, b)| Field::new(*n, b.logical_type())).collect())
+                .unwrap();
         let data = TableData::empty(&schema);
         let data = data.appended(cols.into_iter().map(|(_, b)| b).collect()).unwrap();
         Arc::new(TableMeta {
@@ -921,11 +976,20 @@ mod tests {
                 crate::plan::OutCol { name: "m".into(), ty: LogicalType::Double },
             ],
         };
-        let seq_ctx = ctx_with(&tables, ExecOptions { threads: 1, ..Default::default() });
+        // Mitosis is the materialized engine's parallelism.
+        let seq_ctx = ctx_with(
+            &tables,
+            ExecOptions { mode: ExecMode::Materialized, threads: 1, ..Default::default() },
+        );
         let seq = execute(&plan, &seq_ctx).unwrap();
         let par_ctx = ctx_with(
             &tables,
-            ExecOptions { threads: 4, mitosis_min_rows: 10_000, ..Default::default() },
+            ExecOptions {
+                mode: ExecMode::Materialized,
+                threads: 4,
+                mitosis_min_rows: 10_000,
+                ..Default::default()
+            },
         );
         let par = execute(&plan, &par_ctx).unwrap();
         assert_eq!(seq.cols[0].get(0), par.cols[0].get(0));
@@ -933,6 +997,16 @@ mod tests {
         assert!(par_ctx.counters.mitosis_runs.load(Ordering::Relaxed) >= 1);
         assert!(par_ctx.counters.mitosis_chunks.load(Ordering::Relaxed) >= 2);
         assert_eq!(seq_ctx.counters.mitosis_runs.load(Ordering::Relaxed), 0);
+        // The streaming engine agrees with both, morsel-parallel.
+        let stream_ctx = ctx_with(
+            &tables,
+            ExecOptions { threads: 4, vector_size: 10_000, ..Default::default() },
+        );
+        let stream = execute(&plan, &stream_ctx).unwrap();
+        assert_eq!(seq.cols[0].get(0), stream.cols[0].get(0));
+        assert_eq!(seq.cols[1].get(0), stream.cols[1].get(0));
+        assert!(stream_ctx.counters.morsels.load(Ordering::Relaxed) >= 2);
+        assert_eq!(stream_ctx.counters.mitosis_runs.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -1007,10 +1081,7 @@ mod tests {
         assert_eq!(out.rows, 3);
         assert_eq!(ctx.counters.hash_index_joins.load(Ordering::Relaxed), 1);
         // Disable the flag: same answer, no index.
-        let ctx2 = ctx_with(
-            &tables,
-            ExecOptions { use_hash_index: false, ..Default::default() },
-        );
+        let ctx2 = ctx_with(&tables, ExecOptions { use_hash_index: false, ..Default::default() });
         let out2 = execute(&plan, &ctx2).unwrap();
         assert_eq!(out2.rows, 3);
         assert_eq!(ctx2.counters.hash_index_joins.load(Ordering::Relaxed), 0);
@@ -1020,9 +1091,10 @@ mod tests {
     fn merge_join_used_with_order_indexes() {
         let l = make_table("l", vec![("k", Bat::Int(vec![3, 1, 2]))], vec![0]);
         let r = make_table("r", vec![("k", Bat::Int(vec![2, 3, 4]))], vec![0]);
-        let tables =
-            TestTables { tables: HashMap::from([("l".into(), l), ("r".into(), r)]) };
-        let ctx = ctx_with(&tables, ExecOptions::default());
+        let tables = TestTables { tables: HashMap::from([("l".into(), l), ("r".into(), r)]) };
+        // Merge join is a materialized-engine tactical decision.
+        let ctx =
+            ctx_with(&tables, ExecOptions { mode: ExecMode::Materialized, ..Default::default() });
         let plan = Plan::Join {
             left: Box::new(scan_plan("l", 1, vec![LogicalType::Int])),
             right: Box::new(scan_plan("r", 1, vec![LogicalType::Int])),

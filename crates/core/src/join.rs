@@ -26,7 +26,10 @@ pub struct JoinSel {
     pub rsel: Vec<u32>,
 }
 
-/// Hash join over aligned key column sets.
+/// Hash join over aligned key column sets: build then probe in one call
+/// (the materialized engine's entry point). The streaming engine builds
+/// once with [`build_hash_map`] and probes vector-at-a-time with
+/// [`probe_hash`]/[`probe_index`].
 pub fn hash_join(
     lkeys: &[&Bat],
     rkeys: &[&Bat],
@@ -36,46 +39,20 @@ pub fn hash_join(
     if lkeys.len() != rkeys.len() || lkeys.is_empty() {
         return Err(MlError::Execution("hash join requires aligned non-empty keys".into()));
     }
-    let lrows = lkeys[0].len();
-    let mut out = JoinSel::default();
-
     // Fast path: a single-key join probing a prebuilt per-column hash
     // index (candidates verified exactly, as MonetDB does).
     if let (Some(idx), 1) = (prebuilt, rkeys.len()) {
-        for l in 0..lrows {
-            if any_null(lkeys, l) {
-                if kind == PJoinKind::Anti {
-                    out.lsel.push(l as u32);
-                }
-                if kind == PJoinKind::Left {
-                    out.lsel.push(l as u32);
-                    out.rsel.push(NO_ROW);
-                }
-                continue;
-            }
-            let key = key_at(lkeys[0], l);
-            let mut matched = false;
-            for &r in idx.lookup(key) {
-                if rows_eq(lkeys, l, rkeys, r as usize, false) {
-                    matched = true;
-                    match kind {
-                        PJoinKind::Inner | PJoinKind::Left => {
-                            out.lsel.push(l as u32);
-                            out.rsel.push(r);
-                        }
-                        PJoinKind::Semi => break,
-                        PJoinKind::Anti => break,
-                        PJoinKind::Cross => unreachable!(),
-                    }
-                }
-            }
-            finish_probe(&mut out, kind, l as u32, matched);
-        }
-        return Ok(out);
+        return Ok(probe_index(lkeys, rkeys, idx, kind));
     }
-
     // General path: build a transient table on the right side.
-    let rrows = rkeys[0].len();
+    let table = build_hash_map(rkeys);
+    Ok(probe_hash(lkeys, rkeys, &table, kind))
+}
+
+/// The hash-join build phase: bucket every non-NULL build row by its
+/// composite key hash.
+pub fn build_hash_map(rkeys: &[&Bat]) -> HashMap<u64, Vec<u32>> {
+    let rrows = rkeys.first().map_or(0, |k| k.len());
     let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(rrows);
     for r in 0..rrows {
         if any_null(rkeys, r) {
@@ -83,6 +60,20 @@ pub fn hash_join(
         }
         table.entry(row_hash(rkeys, r)).or_default().push(r as u32);
     }
+    table
+}
+
+/// Probe a transient build table with a block of probe-side keys.
+/// `lsel` entries index the probe block; `rsel` entries index the full
+/// build side.
+pub fn probe_hash(
+    lkeys: &[&Bat],
+    rkeys: &[&Bat],
+    table: &HashMap<u64, Vec<u32>>,
+    kind: PJoinKind,
+) -> JoinSel {
+    let lrows = lkeys.first().map_or(0, |k| k.len());
+    let mut out = JoinSel::default();
     for l in 0..lrows {
         if any_null(lkeys, l) {
             finish_probe(&mut out, kind, l as u32, false);
@@ -106,7 +97,44 @@ pub fn hash_join(
         }
         finish_probe(&mut out, kind, l as u32, matched);
     }
-    Ok(out)
+    out
+}
+
+/// Probe an automatically maintained per-column [`HashIndex`] (single-key
+/// joins over bare persistent columns; the build phase disappears).
+pub fn probe_index(lkeys: &[&Bat], rkeys: &[&Bat], idx: &HashIndex, kind: PJoinKind) -> JoinSel {
+    let lrows = lkeys.first().map_or(0, |k| k.len());
+    let mut out = JoinSel::default();
+    for l in 0..lrows {
+        if any_null(lkeys, l) {
+            if kind == PJoinKind::Anti {
+                out.lsel.push(l as u32);
+            }
+            if kind == PJoinKind::Left {
+                out.lsel.push(l as u32);
+                out.rsel.push(NO_ROW);
+            }
+            continue;
+        }
+        let key = key_at(lkeys[0], l);
+        let mut matched = false;
+        for &r in idx.lookup(key) {
+            if rows_eq(lkeys, l, rkeys, r as usize, false) {
+                matched = true;
+                match kind {
+                    PJoinKind::Inner | PJoinKind::Left => {
+                        out.lsel.push(l as u32);
+                        out.rsel.push(r);
+                    }
+                    PJoinKind::Semi => break,
+                    PJoinKind::Anti => break,
+                    PJoinKind::Cross => unreachable!(),
+                }
+            }
+        }
+        finish_probe(&mut out, kind, l as u32, matched);
+    }
+    out
 }
 
 #[inline]
@@ -124,12 +152,7 @@ fn finish_probe(out: &mut JoinSel, kind: PJoinKind, l: u32, matched: bool) {
 
 /// Inner merge join over two order indexes (single equi-key). Produces
 /// the same pairs as [`hash_join`], in key order.
-pub fn merge_join(
-    lkey: &Bat,
-    lidx: &OrderIndex,
-    rkey: &Bat,
-    ridx: &OrderIndex,
-) -> JoinSel {
+pub fn merge_join(lkey: &Bat, lidx: &OrderIndex, rkey: &Bat, ridx: &OrderIndex) -> JoinSel {
     let lperm = lidx.perm();
     let rperm = ridx.perm();
     let mut out = JoinSel::default();
@@ -250,8 +273,7 @@ mod tests {
         let l2 = Bat::Int(vec![10, 20, 10]);
         let r1 = Bat::Int(vec![1, 2]);
         let r2 = Bat::Int(vec![20, 10]);
-        let out =
-            hash_join(&[&l1, &l2], &[&r1, &r2], PJoinKind::Inner, None).unwrap();
+        let out = hash_join(&[&l1, &l2], &[&r1, &r2], PJoinKind::Inner, None).unwrap();
         assert_eq!(pairs(&out), vec![(1, 0), (2, 1)]);
     }
 

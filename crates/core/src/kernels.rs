@@ -75,14 +75,25 @@ pub fn eval(e: &BExpr, cols: &[Arc<Bat>], rows: usize) -> Result<Bat> {
             case_kernel(branches, else_expr.as_deref(), *ty, cols, rows)
         }
         BExpr::Func { func, args, ty } => {
-            let bats: Vec<Bat> =
-                args.iter().map(|a| eval(a, cols, rows)).collect::<Result<_>>()?;
+            let bats: Vec<Bat> = args.iter().map(|a| eval(a, cols, rows)).collect::<Result<_>>()?;
             func_kernel(*func, &bats, *ty)
         }
         BExpr::Neg { input, .. } => {
             let b = eval(input, cols, rows)?;
             neg(&b)
         }
+    }
+}
+
+/// Like [`eval`], but returns a shared column: a bare column reference is
+/// an `Arc` clone of the input (the §3.3 "shared pointer" discipline),
+/// never a data copy. Computed expressions allocate as usual. The
+/// streaming pipeline's per-vector projections lean on this — a
+/// pass-through projection costs O(1) per vector instead of O(vector).
+pub fn eval_shared(e: &BExpr, cols: &[Arc<Bat>], rows: usize) -> Result<Arc<Bat>> {
+    match e {
+        BExpr::ColRef { idx, .. } => Ok(cols[*idx].clone()),
+        other => Ok(Arc::new(eval(other, cols, rows)?)),
     }
 }
 
@@ -163,9 +174,7 @@ pub fn cast(b: &Bat, ty: LogicalType) -> Result<Bat> {
         (Bat::Decimal { data, scale }, T::Double) => {
             let f = monetlite_types::decimal::POW10[*scale as usize] as f64;
             Bat::Double(
-                data.iter()
-                    .map(|&x| if x == NULL_I64 { f64::NAN } else { x as f64 / f })
-                    .collect(),
+                data.iter().map(|&x| if x == NULL_I64 { f64::NAN } else { x as f64 / f }).collect(),
             )
         }
         (Bat::Decimal { data, scale }, T::Decimal { scale: s2, .. }) => {
@@ -196,23 +205,15 @@ pub fn cast(b: &Bat, ty: LogicalType) -> Result<Bat> {
                 }
             }
         }
-        (Bat::Double(v), T::Int) => Bat::Int(
-            v.iter().map(|&x| if x.is_nan() { NULL_I32 } else { x as i32 }).collect(),
-        ),
-        (Bat::Double(v), T::Bigint) => Bat::Bigint(
-            v.iter().map(|&x| if x.is_nan() { NULL_I64 } else { x as i64 }).collect(),
-        ),
-        (Bat::Bigint(v), T::Int) => Bat::Int(
-            v.iter()
-                .map(|&x| {
-                    if x == NULL_I64 {
-                        NULL_I32
-                    } else {
-                        x as i32
-                    }
-                })
-                .collect(),
-        ),
+        (Bat::Double(v), T::Int) => {
+            Bat::Int(v.iter().map(|&x| if x.is_nan() { NULL_I32 } else { x as i32 }).collect())
+        }
+        (Bat::Double(v), T::Bigint) => {
+            Bat::Bigint(v.iter().map(|&x| if x.is_nan() { NULL_I64 } else { x as i64 }).collect())
+        }
+        (Bat::Bigint(v), T::Int) => {
+            Bat::Int(v.iter().map(|&x| if x == NULL_I64 { NULL_I32 } else { x as i32 }).collect())
+        }
         (Bat::Varchar { .. }, T::Date) => {
             let mut out = Vec::with_capacity(b.len());
             for i in 0..b.len() {
@@ -491,9 +492,7 @@ pub fn arith(op: ArithOp, l: &Bat, r: &Bat, ty: LogicalType) -> Result<Bat> {
 /// Arithmetic negation.
 pub fn neg(b: &Bat) -> Result<Bat> {
     Ok(match b {
-        Bat::Int(v) => {
-            Bat::Int(v.iter().map(|&x| if x == NULL_I32 { x } else { -x }).collect())
-        }
+        Bat::Int(v) => Bat::Int(v.iter().map(|&x| if x == NULL_I32 { x } else { -x }).collect()),
         Bat::Bigint(v) => {
             Bat::Bigint(v.iter().map(|&x| if x == NULL_I64 { x } else { -x }).collect())
         }
@@ -502,12 +501,7 @@ pub fn neg(b: &Bat) -> Result<Bat> {
             data: data.iter().map(|&x| if x == NULL_I64 { x } else { -x }).collect(),
             scale: *scale,
         },
-        other => {
-            return Err(MlError::Execution(format!(
-                "negation over {}",
-                other.logical_type()
-            )))
-        }
+        other => return Err(MlError::Execution(format!("negation over {}", other.logical_type()))),
     })
 }
 
@@ -518,10 +512,7 @@ pub fn neg(b: &Bat) -> Result<Bat> {
 fn as_bools(b: &Bat) -> Result<&[i8]> {
     match b {
         Bat::Bool(v) => Ok(v),
-        other => Err(MlError::Execution(format!(
-            "expected BOOLEAN, got {}",
-            other.logical_type()
-        ))),
+        other => Err(MlError::Execution(format!("expected BOOLEAN, got {}", other.logical_type()))),
     }
 }
 
@@ -566,9 +557,7 @@ pub fn bool_or(l: &Bat, r: &Bat) -> Result<Bat> {
 /// Three-valued NOT.
 pub fn bool_not(l: &Bat) -> Result<Bat> {
     let a = as_bools(l)?;
-    Ok(Bat::Bool(
-        a.iter().map(|&x| if x == NULL_I8 { NULL_I8 } else { 1 - x }).collect(),
-    ))
+    Ok(Bat::Bool(a.iter().map(|&x| if x == NULL_I8 { NULL_I8 } else { 1 - x }).collect()))
 }
 
 // ---------------------------------------------------------------------------
@@ -621,10 +610,7 @@ fn like_kernel(b: &Bat, pattern: &str, negated: bool) -> Result<Bat> {
             }
             Ok(Bat::Bool(out))
         }
-        other => Err(MlError::Execution(format!(
-            "LIKE over {}",
-            other.logical_type()
-        ))),
+        other => Err(MlError::Execution(format!("LIKE over {}", other.logical_type()))),
     }
 }
 
@@ -675,10 +661,7 @@ fn func_kernel(func: ScalarFunc, args: &[Bat], ty: LogicalType) -> Result<Bat> {
             let a = match &args[0] {
                 Bat::Double(v) => v,
                 other => {
-                    return Err(MlError::Execution(format!(
-                        "{func} over {}",
-                        other.logical_type()
-                    )))
+                    return Err(MlError::Execution(format!("{func} over {}", other.logical_type())))
                 }
             };
             let f = match func {
@@ -700,9 +683,7 @@ fn func_kernel(func: ScalarFunc, args: &[Bat], ty: LogicalType) -> Result<Bat> {
                 data: data.iter().map(|&x| if x == NULL_I64 { x } else { x.abs() }).collect(),
                 scale: *scale,
             },
-            other => {
-                return Err(MlError::Execution(format!("abs over {}", other.logical_type())))
-            }
+            other => return Err(MlError::Execution(format!("abs over {}", other.logical_type()))),
         }),
         ScalarFunc::Upper | ScalarFunc::Lower => {
             let a = &args[0];
@@ -761,10 +742,7 @@ fn func_kernel(func: ScalarFunc, args: &[Bat], ty: LogicalType) -> Result<Bat> {
             let a = match &args[0] {
                 Bat::Date(v) => v,
                 other => {
-                    return Err(MlError::Execution(format!(
-                        "{func} over {}",
-                        other.logical_type()
-                    )))
+                    return Err(MlError::Execution(format!("{func} over {}", other.logical_type())))
                 }
             };
             let mut out = Vec::with_capacity(a.len());
@@ -881,7 +859,8 @@ mod tests {
         // 1.50 * 0.06 (scales 2+2=4) = 0.0900
         let l = Bat::Decimal { data: vec![150], scale: 2 };
         let r = Bat::Decimal { data: vec![6], scale: 2 };
-        let out = arith(ArithOp::Mul, &l, &r, LogicalType::Decimal { width: 18, scale: 4 }).unwrap();
+        let out =
+            arith(ArithOp::Mul, &l, &r, LogicalType::Decimal { width: 18, scale: 4 }).unwrap();
         assert_eq!(out.get(0), Value::Decimal(monetlite_types::Decimal::new(900, 4)));
     }
 
@@ -955,10 +934,7 @@ mod tests {
         let cols = vec![Arc::new(Bat::Date(vec![d.0]))];
         let e = BExpr::Func {
             func: ScalarFunc::AddMonths,
-            args: vec![
-                BExpr::ColRef { idx: 0, ty: LogicalType::Date },
-                BExpr::Lit(Value::Int(1)),
-            ],
+            args: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Date }, BExpr::Lit(Value::Int(1))],
             ty: LogicalType::Date,
         };
         let b = eval(&e, &cols, 1).unwrap();

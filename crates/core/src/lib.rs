@@ -35,6 +35,7 @@ pub mod join;
 pub mod kernels;
 pub mod mal;
 pub mod opt;
+pub mod pipeline;
 pub mod plan;
 pub mod rows;
 pub mod sort;
@@ -46,9 +47,7 @@ use monetlite_storage::catalog::{CatalogSnapshot, TableMeta};
 use monetlite_storage::store::{Store, StoreOptions, TxWrites};
 use monetlite_storage::wal::WalRecord;
 use monetlite_storage::Bat;
-use monetlite_types::{
-    ColumnBuffer, Field, LogicalType, MlError, Result, Schema, Value,
-};
+use monetlite_types::{ColumnBuffer, Field, LogicalType, MlError, Result, Schema, Value};
 use opt::OptFlags;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -106,10 +105,7 @@ impl Database {
 
     /// Open (or create) a persistent database in `dir`.
     pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
-        Self::open_with(DbOptions {
-            path: Some(dir.as_ref().to_path_buf()),
-            ..Default::default()
-        })
+        Self::open_with(DbOptions { path: Some(dir.as_ref().to_path_buf()), ..Default::default() })
     }
 
     /// Open with full configuration.
@@ -268,9 +264,7 @@ impl TableProvider for TxnView<'_> {
 
 impl opt::Stats for TxnView<'_> {
     fn table_rows(&self, name: &str) -> usize {
-        self.tables
-            .get(&name.to_ascii_lowercase())
-            .map_or(1000, |t| t.data.visible_rows().max(1))
+        self.tables.get(&name.to_ascii_lowercase()).map_or(1000, |t| t.data.visible_rows().max(1))
     }
 }
 
@@ -339,10 +333,7 @@ impl Connection {
         }
         for (f, c) in schema.fields().iter().zip(&cols) {
             if !f.nullable && c.null_count() > 0 {
-                return Err(MlError::Execution(format!(
-                    "NULL in NOT NULL column '{}'",
-                    f.name
-                )));
+                return Err(MlError::Execution(format!("NULL in NOT NULL column '{}'", f.name)));
             }
         }
         let bats: Vec<Bat> = cols.iter().map(Bat::from_buffer).collect();
@@ -479,8 +470,7 @@ impl Connection {
             }
             ast::Statement::DropTable { name, if_exists } => {
                 let lname = name.to_ascii_lowercase();
-                let exists =
-                    self.txn.as_ref().expect("txn").tables.contains_key(&lname);
+                let exists = self.txn.as_ref().expect("txn").tables.contains_key(&lname);
                 if !exists {
                     if if_exists {
                         return Ok(QueryResult::empty(0));
@@ -502,9 +492,10 @@ impl Connection {
                 let (col_idx, meta) = {
                     let txn = self.txn.as_ref().expect("txn");
                     let meta = TxnView { tables: &txn.tables }.table_meta(&lname)?;
-                    let idx = meta.schema.index_of(&column).ok_or_else(|| {
-                        MlError::Catalog(format!("unknown column '{column}'"))
-                    })?;
+                    let idx = meta
+                        .schema
+                        .index_of(&column)
+                        .ok_or_else(|| MlError::Catalog(format!("unknown column '{column}'")))?;
                     (idx, meta)
                 };
                 if ordered {
@@ -550,7 +541,7 @@ impl Connection {
         let view = TxnView { tables: &txn.tables };
         let plan = Binder::new(&view).bind_select(&sel)?;
         let plan = opt::optimize(plan, self.opt_flags, &view, &view)?;
-        let text = mal::explain(&plan, &self.exec_opts);
+        let text = mal::explain(&plan, &self.exec_opts, Some(&view));
         let lines: Vec<Option<String>> = text.lines().map(|l| Some(l.to_string())).collect();
         let rows = lines.len();
         Ok(QueryResult {
@@ -636,12 +627,8 @@ impl Connection {
             Some(f) => {
                 let binder = Binder::new(&view);
                 let (pred, _) = binder.bind_table_expr(&meta.name, f)?;
-                let cols: Vec<Arc<Bat>> = meta
-                    .data
-                    .cols
-                    .iter()
-                    .map(|c| c.entry()?.bat())
-                    .collect::<Result<_>>()?;
+                let cols: Vec<Arc<Bat>> =
+                    meta.data.cols.iter().map(|c| c.entry()?.bat()).collect::<Result<_>>()?;
                 let mask = kernels::eval(&pred, &cols, meta.data.rows)?;
                 let sel = kernels::bool_to_sel(&mask)?;
                 Ok(sel.into_iter().filter(|&r| visible(r)).collect())
@@ -697,14 +684,9 @@ impl Connection {
             }
         }
         // Gather the selected rows and compute new column values.
-        let full_cols: Vec<Arc<Bat>> = meta
-            .data
-            .cols
-            .iter()
-            .map(|c| c.entry()?.bat())
-            .collect::<Result<_>>()?;
-        let gathered: Vec<Arc<Bat>> =
-            full_cols.iter().map(|c| Arc::new(c.take(&rows))).collect();
+        let full_cols: Vec<Arc<Bat>> =
+            meta.data.cols.iter().map(|c| c.entry()?.bat()).collect::<Result<_>>()?;
+        let gathered: Vec<Arc<Bat>> = full_cols.iter().map(|c| Arc::new(c.take(&rows))).collect();
         let mut new_cols: Vec<Bat> = Vec::with_capacity(meta.schema.len());
         for (i, f) in meta.schema.fields().iter().enumerate() {
             match set_exprs.get(&i) {
@@ -760,9 +742,7 @@ fn coerce_value(v: Value, ty: LogicalType) -> Result<Value> {
         (Value::Bigint(x), T::Double) => Value::Double(*x as f64),
         (Value::Decimal(d), T::Double) => Value::Double(d.to_f64()),
         (Value::Str(s), T::Date) => Value::Date(monetlite_types::Date::parse(s)?),
-        (v, ty) => {
-            return Err(MlError::TypeMismatch(format!("cannot store {v:?} in {ty} column")))
-        }
+        (v, ty) => return Err(MlError::TypeMismatch(format!("cannot store {v:?} in {ty} column"))),
     })
 }
 
@@ -773,12 +753,9 @@ mod tests {
     fn db_with_t() -> (Database, Connection) {
         let db = Database::open_in_memory();
         let mut conn = db.connect();
-        conn.execute("CREATE TABLE t (a INT NOT NULL, b VARCHAR(20), p DECIMAL(10,2))")
+        conn.execute("CREATE TABLE t (a INT NOT NULL, b VARCHAR(20), p DECIMAL(10,2))").unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'one', 1.50), (2, 'two', 2.50), (3, NULL, 3.00)")
             .unwrap();
-        conn.execute(
-            "INSERT INTO t VALUES (1, 'one', 1.50), (2, 'two', 2.50), (3, NULL, 3.00)",
-        )
-        .unwrap();
         (db, conn)
     }
 
@@ -795,9 +772,7 @@ mod tests {
     #[test]
     fn aggregates_end_to_end() {
         let (_db, mut conn) = db_with_t();
-        let r = conn
-            .query("SELECT count(*) AS c, sum(p) AS s, avg(a) AS m FROM t")
-            .unwrap();
+        let r = conn.query("SELECT count(*) AS c, sum(p) AS s, avg(a) AS m FROM t").unwrap();
         assert_eq!(r.value(0, 0), Value::Bigint(3));
         assert_eq!(r.value(0, 1), Value::Decimal(monetlite_types::Decimal::new(700, 2)));
         assert_eq!(r.value(0, 2), Value::Double(2.0));
@@ -807,9 +782,7 @@ mod tests {
     fn group_by_end_to_end() {
         let (_db, mut conn) = db_with_t();
         conn.execute("INSERT INTO t VALUES (4, 'one', 0.50)").unwrap();
-        let r = conn
-            .query("SELECT b, count(*) AS c FROM t GROUP BY b ORDER BY c DESC, b")
-            .unwrap();
+        let r = conn.query("SELECT b, count(*) AS c FROM t GROUP BY b ORDER BY c DESC, b").unwrap();
         assert_eq!(r.nrows(), 3); // 'one' x2, 'two', NULL
         assert_eq!(r.value(0, 1), Value::Bigint(2));
         assert_eq!(r.value(0, 0), Value::Str("one".into()));

@@ -6,16 +6,22 @@
 //! candidate lists), plus the mitosis annotation when the executor would
 //! parallelise (paper §3.1 *Parallel Execution*, Figure 2).
 
-use crate::exec::ExecOptions;
+use crate::exec::{ExecMode, ExecOptions};
 use crate::expr::BExpr;
+use crate::opt::Stats;
 use crate::plan::{PJoinKind, Plan};
 use std::fmt::Write;
 
-/// Render the full EXPLAIN text: relational tree + MAL program.
-pub fn explain(plan: &Plan, opts: &ExecOptions) -> String {
+/// Render the full EXPLAIN text: relational tree, the streaming pipeline
+/// decomposition (with morsel counts when `stats` are available), and the
+/// MAL program.
+pub fn explain(plan: &Plan, opts: &ExecOptions, stats: Option<&dyn Stats>) -> String {
     let mut out = String::new();
     out.push_str("-- relational plan\n");
     out.push_str(&plan.render());
+    if opts.mode == ExecMode::Streaming {
+        out.push_str(&crate::pipeline::describe(plan, opts, stats));
+    }
     out.push_str("-- MAL program\n");
     out.push_str("function user.main():void;\n");
     let mut r = Renderer { next: 0, out: String::new(), opts: *opts };
@@ -139,7 +145,9 @@ impl Renderer {
                 regs
             }
             Plan::Aggregate { input, groups, aggs, .. } => {
-                let mitosis = self.opts.threads > 1 && groups.is_empty();
+                let mitosis = self.opts.mode == ExecMode::Materialized
+                    && self.opts.threads > 1
+                    && groups.is_empty();
                 if mitosis {
                     let _ = writeln!(
                         self.out,
@@ -263,11 +271,39 @@ mod tests {
             filters: vec![],
             schema: vec![OutCol { name: "a".into(), ty: LogicalType::Int }],
         };
-        let s = explain(&plan, &ExecOptions::default());
+        let s = explain(&plan, &ExecOptions::default(), None);
         assert!(s.contains("-- relational plan"));
         assert!(s.contains("function user.main():void;"));
         assert!(s.contains("sql.bind(\"t\", \"a\")"));
         assert!(s.contains("end user.main;"));
+        // Streaming mode renders the pipeline decomposition.
+        assert!(s.contains("-- pipelines"), "{s}");
+        assert!(s.contains("scan t [morsels=?]"), "{s}");
+    }
+
+    #[test]
+    fn pipeline_section_shows_morsel_counts() {
+        struct FixedStats;
+        impl crate::opt::Stats for FixedStats {
+            fn table_rows(&self, _n: &str) -> usize {
+                200_000
+            }
+        }
+        let plan = Plan::Scan {
+            table: "t".into(),
+            projected: vec![0],
+            filters: vec![],
+            schema: vec![OutCol { name: "a".into(), ty: LogicalType::Int }],
+        };
+        let opts = ExecOptions { threads: 4, ..Default::default() };
+        let s = explain(&plan, &opts, Some(&FixedStats));
+        // 200_000 rows / 65_536-row vectors = 4 morsels.
+        assert!(s.contains("scan t [morsels=4]"), "{s}");
+        assert!(s.contains("threads=4"), "{s}");
+        // Materialized mode omits the pipeline section entirely.
+        let mat = ExecOptions { mode: crate::exec::ExecMode::Materialized, ..Default::default() };
+        let s2 = explain(&plan, &mat, Some(&FixedStats));
+        assert!(!s2.contains("-- pipelines"), "{s2}");
     }
 
     #[test]
@@ -288,10 +324,27 @@ mod tests {
             }],
             schema: vec![OutCol { name: "m".into(), ty: LogicalType::Double }],
         };
-        let par = explain(&plan, &ExecOptions { threads: 8, ..Default::default() });
+        // Mitosis is a materialized-engine tactic; the annotation only
+        // renders there.
+        let par = explain(
+            &plan,
+            &ExecOptions {
+                mode: crate::exec::ExecMode::Materialized,
+                threads: 8,
+                ..Default::default()
+            },
+            None,
+        );
         assert!(par.contains("mitosis"), "{par}");
         assert!(par.contains("blocking"), "{par}");
-        let seq = explain(&plan, &ExecOptions::default());
+        let seq = explain(
+            &plan,
+            &ExecOptions { mode: crate::exec::ExecMode::Materialized, ..Default::default() },
+            None,
+        );
         assert!(!seq.contains("mitosis"));
+        // Streaming EXPLAIN shows the aggregate as a pipeline sink instead.
+        let stream = explain(&plan, &ExecOptions { threads: 8, ..Default::default() }, None);
+        assert!(stream.contains("global-aggregate"), "{stream}");
     }
 }

@@ -32,11 +32,14 @@ pub struct OptFlags {
     pub topn: bool,
     /// Constant folding.
     pub fold: bool,
+    /// Hash-join build-side selection: put the smaller input on the build
+    /// side so the larger one streams through the (morsel-parallel) probe.
+    pub build_side: bool,
 }
 
 impl Default for OptFlags {
     fn default() -> Self {
-        OptFlags { pushdown: true, join_order: true, topn: true, fold: true }
+        OptFlags { pushdown: true, join_order: true, topn: true, fold: true, build_side: true }
     }
 }
 
@@ -80,10 +83,80 @@ pub fn optimize(
     if flags.pushdown {
         p = prune_projections(p)?;
     }
+    if flags.build_side {
+        p = choose_build_side(p, stats)?;
+    }
     if flags.topn {
         p = fuse_topn(p);
     }
     Ok(p)
+}
+
+// ---------------------------------------------------------------------------
+// Build-side selection (streaming pipelines)
+// ---------------------------------------------------------------------------
+
+/// The executor builds the hash table on the **right** input of every
+/// equi-join and streams the left through the probe. For the pipeline
+/// engine that choice decides which side is the breaker: the probe side
+/// is carved into morsels and parallelised while the build side is fully
+/// materialised. Swap any inner equi-join whose left (probe) estimate is
+/// clearly smaller than its right (build) estimate, wrapping the result
+/// in a projection that restores the original column order.
+fn choose_build_side(p: Plan, stats: &dyn Stats) -> Result<Plan> {
+    map_children(p, &mut |child| choose_build_side(child, stats)).map(|p| match p {
+        Plan::Join {
+            left,
+            right,
+            kind: PJoinKind::Inner,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } if !left_keys.is_empty() => {
+            let (le, re) = (estimate(&left, stats), estimate(&right, stats));
+            // Hysteresis: only swap decisive imbalances — a swap costs a
+            // restoring projection and can forfeit an automatic hash
+            // index on the old build column.
+            if le * 2.0 < re {
+                let (nl, nr) = (left.schema().len(), right.schema().len());
+                let remap = move |c: usize| if c < nl { c + nr } else { c - nl };
+                let residual = residual.map(|r| r.remap_cols(&remap));
+                let swapped_schema: Vec<OutCol> =
+                    right.schema().iter().chain(left.schema()).cloned().collect();
+                let exprs: Vec<BExpr> = (0..nl + nr)
+                    .map(|c| {
+                        let idx = remap(c);
+                        BExpr::ColRef { idx, ty: swapped_schema[idx].ty }
+                    })
+                    .collect();
+                Plan::Project {
+                    input: Box::new(Plan::Join {
+                        left: right,
+                        right: left,
+                        kind: PJoinKind::Inner,
+                        left_keys: right_keys,
+                        right_keys: left_keys,
+                        residual,
+                        schema: swapped_schema,
+                    }),
+                    exprs,
+                    schema,
+                }
+            } else {
+                Plan::Join {
+                    left,
+                    right,
+                    kind: PJoinKind::Inner,
+                    left_keys,
+                    right_keys,
+                    residual,
+                    schema,
+                }
+            }
+        }
+        other => other,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -143,12 +216,8 @@ fn classify_equi(e: &BExpr, nleft: usize) -> Option<(BExpr, BExpr)> {
         }
     };
     match (side(left), side(right)) {
-        (Some(true), Some(false)) => {
-            Some((*left.clone(), right.remap_cols(&|c| c - nleft)))
-        }
-        (Some(false), Some(true)) => {
-            Some((*right.clone(), left.remap_cols(&|c| c - nleft)))
-        }
+        (Some(true), Some(false)) => Some((*left.clone(), right.remap_cols(&|c| c - nleft))),
+        (Some(false), Some(true)) => Some((*right.clone(), left.remap_cols(&|c| c - nleft))),
         _ => None,
     }
 }
@@ -411,11 +480,8 @@ fn order_joins(p: Plan, stats: &dyn Stats) -> Result<Plan> {
                 connected.push(i);
             }
         }
-        let pool: Vec<usize> = if connected.is_empty() {
-            (0..n).filter(|&i| !used[i]).collect()
-        } else {
-            connected
-        };
+        let pool: Vec<usize> =
+            if connected.is_empty() { (0..n).filter(|&i| !used[i]).collect() } else { connected };
         let next = pool.into_iter().min_by(|&a, &b| est[a].total_cmp(&est[b])).unwrap();
         used[next] = true;
         order.push(next);
@@ -435,8 +501,7 @@ fn order_joins(p: Plan, stats: &dyn Stats) -> Result<Plan> {
             new_offsets[r] + (c - offsets[r])
         })
         .collect();
-    let preds: Vec<BExpr> =
-        preds.into_iter().map(|p| p.remap_cols(&|c| col_map[c])).collect();
+    let preds: Vec<BExpr> = preds.into_iter().map(|p| p.remap_cols(&|c| col_map[c])).collect();
     // Final projection restoring the original column order.
     let restore: Vec<usize> = (0..total_cols).map(|c| col_map[c]).collect();
     let mut rels_by_order: Vec<Plan> = Vec::with_capacity(n);
@@ -448,9 +513,8 @@ fn order_joins(p: Plan, stats: &dyn Stats) -> Result<Plan> {
         .iter()
         .map(|&newc| BExpr::ColRef { idx: newc, ty: joined.schema()[newc].ty })
         .collect();
-    let schema: Vec<OutCol> = (0..total_cols)
-        .map(|c| joined.schema()[restore[c]].clone())
-        .collect();
+    let schema: Vec<OutCol> =
+        (0..total_cols).map(|c| joined.schema()[restore[c]].clone()).collect();
     Ok(Plan::Project { input: Box::new(joined), exprs, schema })
 }
 
@@ -461,9 +525,9 @@ fn estimate(p: &Plan, stats: &dyn Stats) -> f64 {
             base / 4f64.powi(filters.len() as i32)
         }
         Plan::Filter { input, .. } => estimate(input, stats) / 4.0,
-        Plan::Project { input, .. }
-        | Plan::Sort { input, .. }
-        | Plan::Distinct { input } => estimate(input, stats),
+        Plan::Project { input, .. } | Plan::Sort { input, .. } | Plan::Distinct { input } => {
+            estimate(input, stats)
+        }
         Plan::Limit { input, n } | Plan::TopN { input, n, .. } => {
             estimate(input, stats).min(*n as f64)
         }
@@ -548,8 +612,7 @@ fn rebuild_cluster(rels: Vec<Plan>, mut preds: Vec<BExpr>) -> Result<Plan> {
     let mut acc = iter.next().expect("cluster has at least one relation");
     for right in iter {
         let nleft = acc.schema().len();
-        let schema: Vec<OutCol> =
-            acc.schema().iter().chain(right.schema()).cloned().collect();
+        let schema: Vec<OutCol> = acc.schema().iter().chain(right.schema()).cloned().collect();
         let avail = schema.len();
         let mut left_keys = Vec::new();
         let mut right_keys = Vec::new();
@@ -709,7 +772,8 @@ fn prune(p: Plan, needed: &[usize]) -> Result<(Plan, Vec<usize>)> {
                     if m != usize::MAX {
                         map[old] = m;
                         if new_schema.len() <= m {
-                            new_schema.resize(m + 1, OutCol { name: String::new(), ty: schema[0].ty });
+                            new_schema
+                                .resize(m + 1, OutCol { name: String::new(), ty: schema[0].ty });
                         }
                         new_schema[m] = schema[old].clone();
                     }
@@ -727,7 +791,10 @@ fn prune(p: Plan, needed: &[usize]) -> Result<(Plan, Vec<usize>)> {
                 }
                 let out_w = new_nleft + new_right.schema().len();
                 new_schema =
-                    vec![OutCol { name: String::new(), ty: monetlite_types::LogicalType::Int }; out_w];
+                    vec![
+                        OutCol { name: String::new(), ty: monetlite_types::LogicalType::Int };
+                        out_w
+                    ];
                 for (old, &m) in map.iter().enumerate() {
                     if m != usize::MAX {
                         new_schema[m] = schema[old].clone();
@@ -777,8 +844,7 @@ fn prune(p: Plan, needed: &[usize]) -> Result<(Plan, Vec<usize>)> {
                 }
             }
             let (new_input, inmap) = prune(*input, &need_in)?;
-            let groups: Vec<BExpr> =
-                groups.iter().map(|g| g.remap_cols(&|c| inmap[c])).collect();
+            let groups: Vec<BExpr> = groups.iter().map(|g| g.remap_cols(&|c| inmap[c])).collect();
             let aggs = aggs
                 .into_iter()
                 .map(|mut a| {
@@ -787,10 +853,7 @@ fn prune(p: Plan, needed: &[usize]) -> Result<(Plan, Vec<usize>)> {
                 })
                 .collect();
             let map = (0..width).collect();
-            Ok((
-                Plan::Aggregate { input: Box::new(new_input), groups, aggs, schema },
-                map,
-            ))
+            Ok((Plan::Aggregate { input: Box::new(new_input), groups, aggs, schema }, map))
         }
         Plan::Sort { input, keys } => {
             let mut need_in = need_sorted.clone();
@@ -997,11 +1060,15 @@ mod tests {
     }
 
     fn optimize_sql(sql: &str) -> Plan {
+        optimize_sql_with(sql, OptFlags::default())
+    }
+
+    fn optimize_sql_with(sql: &str, flags: OptFlags) -> Plan {
         let (cat, stats) = setup();
         let stmt = monetlite_sql::parse_statement(sql).unwrap();
         let monetlite_sql::Statement::Select(s) = stmt else { panic!() };
         let plan = Binder::new(&cat).bind_select(&s).unwrap();
-        optimize(plan, OptFlags::default(), &stats, &cat).unwrap()
+        optimize(plan, flags, &stats, &cat).unwrap()
     }
 
     #[test]
@@ -1022,9 +1089,12 @@ mod tests {
 
     #[test]
     fn join_order_puts_filtered_small_first() {
-        let p = optimize_sql(
+        // Greedy ordering in isolation (build-side selection off): the
+        // deepest-left relation is the filtered small table.
+        let p = optimize_sql_with(
             "SELECT big.v FROM big, small, mid \
              WHERE big.k = mid.big_id AND mid.id = small.id AND small.name = 'x'",
+            OptFlags { build_side: false, ..OptFlags::default() },
         );
         let s = p.render();
         // The first scan line in render order is the deepest-left relation
@@ -1034,6 +1104,33 @@ mod tests {
         assert!(first_scan.contains("small"), "small should lead: {s}");
         // No cross joins should remain.
         assert!(!s.contains("cross join"), "{s}");
+    }
+
+    #[test]
+    fn build_side_selection_probes_the_big_table() {
+        // With build-side selection on, the small/filtered side moves to
+        // the build (right) input and the big table streams through the
+        // probe — the shape morsel parallelism wants.
+        let p = optimize_sql("SELECT big.v FROM big, small WHERE big.k = small.id");
+        fn find_join(p: &Plan) -> Option<(&Plan, &Plan)> {
+            match p {
+                Plan::Join { left, right, .. } => Some((left, right)),
+                Plan::Filter { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Sort { input, .. }
+                | Plan::Limit { input, .. }
+                | Plan::TopN { input, .. }
+                | Plan::Distinct { input }
+                | Plan::Aggregate { input, .. } => find_join(input),
+                _ => None,
+            }
+        }
+        let (left, right) = find_join(&p).expect("join survives");
+        assert!(left.render().contains("big"), "probe side: {}", p.render());
+        assert!(right.render().contains("small"), "build side: {}", p.render());
+        // Output schema must be unchanged by the swap.
+        assert_eq!(p.schema().len(), 1);
+        assert_eq!(p.schema()[0].name, "v");
     }
 
     #[test]
@@ -1081,9 +1178,8 @@ mod tests {
 
     #[test]
     fn semi_join_prunes_right() {
-        let p = optimize_sql(
-            "SELECT v FROM big WHERE id IN (SELECT id FROM small WHERE name = 'x')",
-        );
+        let p =
+            optimize_sql("SELECT v FROM big WHERE id IN (SELECT id FROM small WHERE name = 'x')");
         let s = p.render();
         assert!(s.contains("semi join"), "{s}");
     }

@@ -1,0 +1,957 @@
+//! The streaming vectorized execution engine.
+//!
+//! Where [`crate::exec`] reproduces the paper's operator-at-a-time model —
+//! every node materialises its full output before the parent runs — this
+//! module executes plans as **pipelines over fixed-size vectors**
+//! (~64K rows, [`ExecOptions::vector_size`]), the chunk-at-a-time design
+//! of MonetDBLite's successor lineage (DuckDB; see PAPERS.md).
+//!
+//! A plan tree is broken at **pipeline breakers** — operators that must
+//! see their whole input before producing output: hash-join *build*,
+//! aggregation, sort/top-n, distinct, and limit's final assembly. The
+//! non-breaking spine between breakers (scan → filter → project → probe)
+//! becomes one [`Pipeline`]: its source rows are carved into **morsels**
+//! of one vector each, and a shared atomic cursor hands morsels to worker
+//! threads (morsel-driven parallelism). Each worker pushes its vector
+//! through the operator chain and folds the result into a thread-local
+//! partial sink state; partials merge once all morsels are drained.
+//!
+//! Compared to the materialized engine's mitosis (which parallelises only
+//! a select/project/decomposable-global-aggregate prefix), morsel
+//! parallelism here covers whole query shapes: parallel scans feed
+//! per-thread **partial hash aggregation** with a mapped merge
+//! ([`GroupTable`] + [`AggState::merge_mapped`]), parallel **hash-join
+//! probes** over a build table constructed once, and order-preserving
+//! parallel collection for sort/top-n/limit/distinct.
+//!
+//! Both engines produce identical results; `ExecOptions::mode` selects
+//! between them and the parity suites assert agreement.
+
+use crate::agg::{hash_group, AggState, GroupTable};
+use crate::exec::{
+    bare_scan_hash_entry, exec_scan, exec_values, project_cols, Chunk, ExecContext, ExecOptions,
+};
+use crate::expr::{AggSpec, BExpr};
+use crate::join::{build_hash_map, probe_hash, probe_index};
+use crate::kernels::{bool_to_sel, eval};
+use crate::plan::{OutCol, PJoinKind, Plan};
+use crate::rows::take_padded;
+use crate::sort::{sort_perm, topn_perm};
+use monetlite_storage::index::HashIndex;
+use monetlite_storage::Bat;
+use monetlite_types::{MlError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Pipeline decomposition
+// ---------------------------------------------------------------------------
+
+/// Where a pipeline's vectors come from.
+enum Source<'p> {
+    /// A base-table scan (filters applied per morsel; a single-morsel scan
+    /// keeps the index-assisted, zero-copy whole-table path).
+    Table { table: &'p str, projected: &'p [usize], filters: &'p [BExpr], rows: usize },
+    /// A materialised intermediate (a breaker's output), sliced into
+    /// vectors.
+    Mem(Chunk),
+}
+
+impl Source<'_> {
+    fn rows(&self) -> usize {
+        match self {
+            Source::Table { rows, .. } => *rows,
+            Source::Mem(c) => c.rows,
+        }
+    }
+
+    fn fetch(&self, ctx: &ExecContext, lo: usize, hi: usize, whole: bool) -> Result<Chunk> {
+        match self {
+            Source::Table { table, projected, filters, .. } => {
+                // A morsel covering the whole table scans unranged, which
+                // preserves imprint/order-index selection and zero-copy
+                // column sharing.
+                let range = if whole { None } else { Some((lo as u32, hi as u32)) };
+                exec_scan(table, projected, filters, ctx, range)
+            }
+            Source::Mem(c) => Ok(c.slice(lo, hi)),
+        }
+    }
+}
+
+/// The build side of a streaming hash-join probe.
+enum Build {
+    /// Transient table built from the build pipeline's output.
+    Transient(HashMap<u64, Vec<u32>>),
+    /// The automatically maintained per-column hash index of a bare
+    /// persistent build column (paper §3.1) — the build phase disappears.
+    Index(Arc<HashIndex>),
+}
+
+/// A non-breaking operator applied to each vector in turn.
+enum PipeOp<'p> {
+    /// σ: evaluate the predicate, keep matching rows.
+    Filter(&'p BExpr),
+    /// π: compute output expressions (CSE + shared bare columns).
+    Project(&'p [BExpr]),
+    /// Hash-join probe against a completed build side.
+    Probe {
+        kind: PJoinKind,
+        left_keys: &'p [BExpr],
+        residual: Option<&'p BExpr>,
+        /// The fully materialised build-side chunk.
+        build_chunk: Chunk,
+        /// Evaluated build-side key columns (aliases of `build_chunk`
+        /// columns when the keys are bare references).
+        build_keys: Vec<Arc<Bat>>,
+        build: Build,
+    },
+}
+
+/// A streaming pipeline: source rows flow through `ops` one vector at a
+/// time into whatever sink the driving operator installs.
+struct Pipeline<'p> {
+    source: Source<'p>,
+    ops: Vec<PipeOp<'p>>,
+}
+
+/// Break `plan`'s non-breaking spine into a pipeline. Breaker children
+/// (join build sides, aggregate/sort/... inputs of nested breakers) are
+/// executed to completion recursively.
+fn decompose<'p>(plan: &'p Plan, ctx: &ExecContext) -> Result<Pipeline<'p>> {
+    match plan {
+        Plan::Scan { table, projected, filters, .. } => {
+            let meta = ctx.tables.table_meta(table)?;
+            Ok(Pipeline {
+                source: Source::Table { table, projected, filters, rows: meta.data.rows },
+                ops: Vec::new(),
+            })
+        }
+        Plan::Filter { input, pred } => {
+            let mut p = decompose(input, ctx)?;
+            p.ops.push(PipeOp::Filter(pred));
+            Ok(p)
+        }
+        Plan::Project { input, exprs, .. } => {
+            let mut p = decompose(input, ctx)?;
+            p.ops.push(PipeOp::Project(exprs));
+            Ok(p)
+        }
+        Plan::Join { left, right, kind, left_keys, right_keys, residual, .. } => {
+            if left_keys.is_empty() && matches!(kind, PJoinKind::Semi | PJoinKind::Anti) {
+                return Err(MlError::Execution("semi/anti join requires keys".into()));
+            }
+            let mut p = decompose(left, ctx)?;
+            // Pipeline breaker: the build side runs to completion first.
+            let build_chunk = execute_streaming(right, ctx)?;
+            ctx.check_deadline()?;
+            // eval_shared: bare-column keys alias the build chunk's
+            // columns instead of copying them.
+            let build_keys: Vec<Arc<Bat>> = right_keys
+                .iter()
+                .map(|k| crate::kernels::eval_shared(k, &build_chunk.cols, build_chunk.rows))
+                .collect::<Result<_>>()?;
+            let build = if right_keys.len() == 1 && ctx.opts.use_hash_index {
+                match bare_scan_hash_entry(right, right_keys, ctx) {
+                    Some(entry) => {
+                        ctx.counters.bump(&ctx.counters.hash_index_joins);
+                        Build::Index(entry.hash_index()?)
+                    }
+                    None => Build::Transient(build_hash_map(
+                        &build_keys.iter().map(|a| &**a).collect::<Vec<_>>(),
+                    )),
+                }
+            } else {
+                Build::Transient(build_hash_map(
+                    &build_keys.iter().map(|a| &**a).collect::<Vec<_>>(),
+                ))
+            };
+            p.ops.push(PipeOp::Probe {
+                kind: *kind,
+                left_keys,
+                residual: residual.as_ref(),
+                build_chunk,
+                build_keys,
+                build,
+            });
+            Ok(p)
+        }
+        // Any other node is a breaker: run it, stream its output.
+        other => {
+            debug_assert!(
+                other.is_pipeline_breaker() || matches!(other, Plan::Values { .. }),
+                "non-breaker {other:?} fell out of the pipeline spine"
+            );
+            let chunk = execute_streaming(other, ctx)?;
+            Ok(Pipeline { source: Source::Mem(chunk), ops: Vec::new() })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel driver
+// ---------------------------------------------------------------------------
+
+/// Drive a pipeline morsel-by-morsel. Each worker owns a partial sink
+/// state created by `new_partial`; `consume(partial, morsel_id, vector)`
+/// folds one processed vector in and may return `Ok(false)` to stop all
+/// workers (limit early-exit). Returns every worker's partial.
+fn drive<'p, P, NF, CF>(
+    pipe: &Pipeline<'p>,
+    ctx: &ExecContext,
+    new_partial: NF,
+    consume: CF,
+) -> Result<Vec<P>>
+where
+    P: Send,
+    NF: Fn() -> P + Sync,
+    CF: Fn(&mut P, usize, Chunk) -> Result<bool> + Sync,
+{
+    let rows = pipe.source.rows();
+    let vs = ctx.opts.vector_size.max(1);
+    let n_morsels = rows.div_ceil(vs);
+    ctx.counters.bump(&ctx.counters.pipelines);
+    if n_morsels == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = ctx.opts.threads.max(1).min(n_morsels);
+    let cursor = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+
+    let worker = |part: &mut P| -> Result<()> {
+        loop {
+            let m = cursor.fetch_add(1, Ordering::Relaxed);
+            if m >= n_morsels || stop.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            // Counts morsels actually dispatched — early exit (limit)
+            // leaves the tail unscanned and uncounted.
+            ctx.counters.bump(&ctx.counters.morsels);
+            ctx.check_deadline()?;
+            let (lo, hi) = (m * vs, ((m + 1) * vs).min(rows));
+            let chunk = pipe.source.fetch(ctx, lo, hi, n_morsels == 1)?;
+            ctx.counters.bump(&ctx.counters.vectors);
+            let chunk = apply_ops(chunk, &pipe.ops, ctx)?;
+            if !consume(part, m, chunk)? {
+                stop.store(true, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+    };
+
+    if threads == 1 {
+        // Sequential fast path: no thread spawn, deterministic morsel
+        // order (streaming single-threaded results match the materialized
+        // engine row-for-row).
+        let mut part = new_partial();
+        worker(&mut part)?;
+        return Ok(vec![part]);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| -> Result<P> {
+                    let mut part = new_partial();
+                    match worker(&mut part) {
+                        Ok(()) => Ok(part),
+                        Err(e) => {
+                            // Wake the other workers up so the error
+                            // surfaces promptly.
+                            stop.store(true, Ordering::Relaxed);
+                            Err(e)
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pipeline worker panicked")).collect()
+    })
+}
+
+/// Push one vector through the operator chain.
+fn apply_ops(mut chunk: Chunk, ops: &[PipeOp], _ctx: &ExecContext) -> Result<Chunk> {
+    for op in ops {
+        match op {
+            PipeOp::Filter(pred) => {
+                let mask = eval(pred, &chunk.cols, chunk.rows)?;
+                let sel = bool_to_sel(&mask)?;
+                chunk = chunk.take(&sel);
+            }
+            PipeOp::Project(exprs) => {
+                chunk = Chunk { cols: project_cols(exprs, &chunk)?, rows: chunk.rows };
+            }
+            PipeOp::Probe { kind, left_keys, residual, build_chunk, build_keys, build } => {
+                let sel = if *kind == PJoinKind::Cross || left_keys.is_empty() {
+                    crate::join::cross_join(chunk.rows, build_chunk.rows)
+                } else {
+                    // eval_shared: bare-column probe keys alias the
+                    // vector's columns (no per-vector key copy).
+                    let lkey_bats: Vec<Arc<Bat>> = left_keys
+                        .iter()
+                        .map(|k| crate::kernels::eval_shared(k, &chunk.cols, chunk.rows))
+                        .collect::<Result<_>>()?;
+                    let lrefs: Vec<&Bat> = lkey_bats.iter().map(|a| &**a).collect();
+                    let rrefs: Vec<&Bat> = build_keys.iter().map(|a| &**a).collect();
+                    match build {
+                        Build::Transient(map) => probe_hash(&lrefs, &rrefs, map, *kind),
+                        Build::Index(idx) => probe_index(&lrefs, &rrefs, idx, *kind),
+                    }
+                };
+                let semi = matches!(kind, PJoinKind::Semi | PJoinKind::Anti);
+                let mut cols: Vec<Arc<Bat>> = Vec::with_capacity(
+                    chunk.cols.len() + if semi { 0 } else { build_chunk.cols.len() },
+                );
+                for c in &chunk.cols {
+                    cols.push(Arc::new(c.take(&sel.lsel)));
+                }
+                if !semi {
+                    for c in &build_chunk.cols {
+                        cols.push(Arc::new(take_padded(c, &sel.rsel)));
+                    }
+                }
+                chunk = Chunk { cols, rows: sel.lsel.len() };
+                if let Some(res) = residual {
+                    let mask = eval(res, &chunk.cols, chunk.rows)?;
+                    let keep = bool_to_sel(&mask)?;
+                    chunk = chunk.take(&keep);
+                }
+            }
+        }
+    }
+    Ok(chunk)
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Order-preserving collection: per-morsel chunks packed in morsel order.
+fn collect_ordered(parts: Vec<Vec<(usize, Chunk)>>, schema: &[OutCol]) -> Result<Chunk> {
+    let mut all: Vec<(usize, Chunk)> = parts.into_iter().flatten().collect();
+    if all.is_empty() {
+        return Ok(Chunk::empty(schema));
+    }
+    all.sort_by_key(|(m, _)| *m);
+    Chunk::pack(all.into_iter().map(|(_, c)| c).collect())
+}
+
+/// Run a non-breaking plan spine to a fully collected chunk.
+fn collect(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
+    let pipe = decompose(plan, ctx)?;
+    // Pass-through pipelines (no operators, nothing to filter) need no
+    // morselization: hand the source back whole. For a filterless table
+    // scan this preserves the zero-copy Arc-shared column path; packing
+    // per-morsel slices would copy every column twice.
+    if pipe.ops.is_empty() {
+        let passthrough = match &pipe.source {
+            Source::Mem(_) => true,
+            Source::Table { filters, .. } => filters.is_empty(),
+        };
+        if passthrough {
+            ctx.counters.bump(&ctx.counters.pipelines);
+            ctx.counters.bump(&ctx.counters.morsels);
+            ctx.counters.bump(&ctx.counters.vectors);
+            let rows = pipe.source.rows();
+            return match pipe.source {
+                Source::Mem(c) => Ok(c),
+                table => table.fetch(ctx, 0, rows, true),
+            };
+        }
+    }
+    let parts = drive(&pipe, ctx, Vec::new, |p: &mut Vec<(usize, Chunk)>, m, c| {
+        if c.rows > 0 {
+            p.push((m, c));
+        }
+        Ok(true)
+    })?;
+    collect_ordered(parts, plan.schema())
+}
+
+/// Per-thread partial state of morsel-parallel (grouped) aggregation.
+struct AggPartial {
+    /// Group interning table (None for the global single group).
+    table: Option<GroupTable>,
+    states: Vec<AggState>,
+}
+
+fn new_agg_partial(groups: &[BExpr], aggs: &[AggSpec]) -> Result<AggPartial> {
+    let table = if groups.is_empty() {
+        None
+    } else {
+        Some(GroupTable::new(&groups.iter().map(|g| g.ty()).collect::<Vec<_>>()))
+    };
+    let n0 = if groups.is_empty() { 1 } else { 0 };
+    let states = aggs
+        .iter()
+        .map(|s| AggState::new(s.func, s.arg.as_ref().map(|a| a.ty()), s.distinct, n0))
+        .collect::<Result<_>>()?;
+    Ok(AggPartial { table, states })
+}
+
+fn agg_consume(
+    part: &mut AggPartial,
+    chunk: &Chunk,
+    groups: &[BExpr],
+    aggs: &[AggSpec],
+) -> Result<()> {
+    if chunk.rows == 0 {
+        return Ok(());
+    }
+    let gids: Vec<u32> = match &mut part.table {
+        None => vec![0; chunk.rows],
+        Some(table) => {
+            let key_bats: Vec<Bat> =
+                groups.iter().map(|g| eval(g, &chunk.cols, chunk.rows)).collect::<Result<_>>()?;
+            let refs: Vec<&Bat> = key_bats.iter().collect();
+            let gids = table.intern_block(&refs, chunk.rows)?;
+            let n = table.n_groups();
+            for st in &mut part.states {
+                st.ensure_groups(n);
+            }
+            gids
+        }
+    };
+    for (st, spec) in part.states.iter_mut().zip(aggs) {
+        let arg = spec.arg.as_ref().map(|a| eval(a, &chunk.cols, chunk.rows)).transpose()?;
+        st.update(arg.as_ref(), &gids)?;
+    }
+    Ok(())
+}
+
+/// Merge `other` into `acc`, remapping other's dense group ids into acc's.
+fn agg_merge(mut acc: AggPartial, other: AggPartial) -> Result<AggPartial> {
+    match (&mut acc.table, other.table) {
+        (None, None) => {
+            for (a, b) in acc.states.iter_mut().zip(other.states) {
+                a.merge(b)?;
+            }
+        }
+        (Some(at), Some(bt)) => {
+            let refs: Vec<&Bat> = bt.keys().iter().collect();
+            let map = at.intern_block(&refs, bt.n_groups())?;
+            let n = at.n_groups();
+            for a in acc.states.iter_mut() {
+                a.ensure_groups(n);
+            }
+            for (a, b) in acc.states.iter_mut().zip(other.states) {
+                a.merge_mapped(b, &map)?;
+            }
+        }
+        _ => return Err(MlError::Execution("mismatched aggregation partials".into())),
+    }
+    Ok(acc)
+}
+
+fn run_aggregate(
+    input: &Plan,
+    groups: &[BExpr],
+    aggs: &[AggSpec],
+    schema: &[OutCol],
+    ctx: &ExecContext,
+) -> Result<Chunk> {
+    let pipe = decompose(input, ctx)?;
+    // Each worker's closure may fail on first use; surface errors from
+    // partial construction through a per-worker Result partial.
+    let parts: Vec<Result<AggPartial>> = drive(
+        &pipe,
+        ctx,
+        || new_agg_partial(groups, aggs),
+        |p: &mut Result<AggPartial>, _m, c| {
+            if let Ok(part) = p.as_mut() {
+                if let Err(e) = agg_consume(part, &c, groups, aggs) {
+                    *p = Err(e);
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        },
+    )?;
+    let mut merged: Option<AggPartial> = None;
+    for p in parts {
+        let p = p?;
+        merged = Some(match merged {
+            None => p,
+            Some(acc) => agg_merge(acc, p)?,
+        });
+    }
+    // Zero-morsel (empty source) aggregation still produces output: one
+    // row globally, zero rows grouped.
+    let merged = match merged {
+        Some(m) => m,
+        None => new_agg_partial(groups, aggs)?,
+    };
+    let (mut cols, rows): (Vec<Arc<Bat>>, usize) = match merged.table {
+        None => (Vec::with_capacity(aggs.len()), 1),
+        Some(table) => {
+            let n = table.n_groups();
+            let keys: Vec<Arc<Bat>> = table.into_keys().into_iter().map(Arc::new).collect();
+            (keys, n)
+        }
+    };
+    for (i, st) in merged.states.into_iter().enumerate() {
+        let mut st = st;
+        st.ensure_groups(rows.max(if groups.is_empty() { 1 } else { 0 }));
+        cols.push(Arc::new(st.finish(schema[groups.len() + i].ty)?));
+    }
+    Ok(Chunk { cols, rows })
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+/// Execute a plan with the streaming engine. Pipeline breakers run their
+/// input pipelines to completion (morsel-parallel), then produce the
+/// chunk the enclosing pipeline streams from.
+pub fn execute_streaming(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
+    ctx.check_deadline()?;
+    match plan {
+        Plan::Aggregate { input, groups, aggs, schema } => {
+            run_aggregate(input, groups, aggs, schema, ctx)
+        }
+        Plan::Sort { input, keys } => {
+            let chunk = collect(input, ctx)?;
+            ctx.check_deadline()?;
+            let key_refs: Vec<(&Bat, bool)> =
+                keys.iter().map(|&(c, d)| (&*chunk.cols[c], d)).collect();
+            let perm = sort_perm(&key_refs, chunk.rows);
+            Ok(chunk.take(&perm))
+        }
+        Plan::TopN { input, keys, n } => {
+            let n = *n as usize;
+            let pipe = decompose(input, ctx)?;
+            // Per-morsel compaction: a row outside its own morsel's top-n
+            // can never be in the global top-n (topn_perm is a total
+            // order), so workers keep at most n rows per vector.
+            let parts = drive(&pipe, ctx, Vec::new, |p: &mut Vec<(usize, Chunk)>, m, c| {
+                if c.rows == 0 {
+                    return Ok(true);
+                }
+                let compact = if c.rows > n {
+                    let key_refs: Vec<(&Bat, bool)> =
+                        keys.iter().map(|&(ci, d)| (&*c.cols[ci], d)).collect();
+                    let perm = topn_perm(&key_refs, c.rows, n);
+                    c.take(&perm)
+                } else {
+                    c
+                };
+                p.push((m, compact));
+                Ok(true)
+            })?;
+            let packed = collect_ordered(parts, input.schema())?;
+            ctx.check_deadline()?;
+            let key_refs: Vec<(&Bat, bool)> =
+                keys.iter().map(|&(c, d)| (&*packed.cols[c], d)).collect();
+            let perm = topn_perm(&key_refs, packed.rows, n);
+            Ok(packed.take(&perm))
+        }
+        Plan::Limit { input, n } => {
+            let n = *n as usize;
+            let pipe = decompose(input, ctx)?;
+            // Early exit: once the completed morsels form a contiguous
+            // prefix with >= n rows, no later morsel can contribute to
+            // the first n rows in scan order — stop the scan.
+            let done: Mutex<HashMap<usize, usize>> = Mutex::new(HashMap::new());
+            let parts = drive(&pipe, ctx, Vec::new, |p: &mut Vec<(usize, Chunk)>, m, c| {
+                let rows = c.rows;
+                p.push((m, c));
+                let mut map = done.lock().expect("limit tracker");
+                map.insert(m, rows);
+                let mut prefix = 0usize;
+                let mut k = 0usize;
+                while let Some(r) = map.get(&k) {
+                    prefix += r;
+                    if prefix >= n {
+                        return Ok(false);
+                    }
+                    k += 1;
+                }
+                Ok(true)
+            })?;
+            let mut all: Vec<(usize, Chunk)> = parts.into_iter().flatten().collect();
+            all.sort_by_key(|(m, _)| *m);
+            let mut out: Vec<Chunk> = Vec::new();
+            let mut taken = 0usize;
+            for (_, c) in all {
+                if taken >= n {
+                    break;
+                }
+                let want = (n - taken).min(c.rows);
+                taken += want;
+                out.push(if want == c.rows { c } else { c.slice(0, want) });
+            }
+            if out.is_empty() {
+                return Ok(Chunk::empty(input.schema()));
+            }
+            Chunk::pack(out)
+        }
+        Plan::Distinct { input } => {
+            let pipe = decompose(input, ctx)?;
+            // Per-morsel local dedup (first occurrence wins within a
+            // vector), then a global dedup over the packed survivors —
+            // first-occurrence order in morsel order, matching the
+            // materialized engine exactly.
+            let parts = drive(&pipe, ctx, Vec::new, |p: &mut Vec<(usize, Chunk)>, m, c| {
+                if c.rows == 0 {
+                    return Ok(true);
+                }
+                let refs: Vec<&Bat> = c.cols.iter().map(|b| &**b).collect();
+                let grouping = hash_group(&refs);
+                let deduped = c.take(&grouping.repr_rows);
+                p.push((m, deduped));
+                Ok(true)
+            })?;
+            let packed = collect_ordered(parts, input.schema())?;
+            let refs: Vec<&Bat> = packed.cols.iter().map(|b| &**b).collect();
+            let grouping = hash_group(&refs);
+            Ok(packed.take(&grouping.repr_rows))
+        }
+        Plan::Values { rows, schema } => exec_values(rows, schema),
+        // Pure pipeline shapes (scan/filter/project/join-probe spines).
+        _ => collect(plan, ctx),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN support
+// ---------------------------------------------------------------------------
+
+/// Render the pipeline decomposition of `plan` for EXPLAIN: one line per
+/// pipeline (in execution order — build sides before their probes), with
+/// the morsel count of table-backed sources when `stats` are available.
+pub fn describe(plan: &Plan, opts: &ExecOptions, stats: Option<&dyn crate::opt::Stats>) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "-- pipelines: streaming engine, vector={}, threads={}",
+        opts.vector_size,
+        opts.threads.max(1)
+    );
+    let mut next = 0usize;
+    desc_node(plan, &mut out, &mut next, opts, stats, "result".to_string());
+    out
+}
+
+/// Describe a (possibly breaker) node; returns the id of the pipeline
+/// producing its output.
+fn desc_node(
+    plan: &Plan,
+    out: &mut String,
+    next: &mut usize,
+    opts: &ExecOptions,
+    stats: Option<&dyn crate::opt::Stats>,
+    sink: String,
+) -> usize {
+    match plan {
+        Plan::Aggregate { input, groups, .. } => {
+            let s = if groups.is_empty() {
+                format!("global-aggregate (merge partials) -> {sink}")
+            } else {
+                format!("partial hash-aggregate + mapped merge -> {sink}")
+            };
+            desc_chain(input, out, next, opts, stats, s)
+        }
+        Plan::Sort { input, keys } => {
+            desc_chain(input, out, next, opts, stats, format!("sort{keys:?} (blocking) -> {sink}"))
+        }
+        Plan::TopN { input, keys, n } => desc_chain(
+            input,
+            out,
+            next,
+            opts,
+            stats,
+            format!("top-{n}{keys:?} (per-morsel compaction) -> {sink}"),
+        ),
+        Plan::Limit { input, n } => {
+            desc_chain(input, out, next, opts, stats, format!("limit {n} (early-exit) -> {sink}"))
+        }
+        Plan::Distinct { input } => {
+            desc_chain(input, out, next, opts, stats, format!("distinct (local+global) -> {sink}"))
+        }
+        other => desc_chain(other, out, next, opts, stats, sink),
+    }
+}
+
+/// Describe the non-breaking spine of a plan as one pipeline line.
+fn desc_chain(
+    plan: &Plan,
+    out: &mut String,
+    next: &mut usize,
+    opts: &ExecOptions,
+    stats: Option<&dyn crate::opt::Stats>,
+    sink: String,
+) -> usize {
+    use std::fmt::Write;
+    let mut ops: Vec<String> = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            Plan::Filter { input, pred } => {
+                ops.push(format!("filter({pred})"));
+                cur = input;
+            }
+            Plan::Project { input, exprs, .. } => {
+                ops.push(format!("project[{}]", exprs.len()));
+                cur = input;
+            }
+            Plan::Join { left, right, kind, .. } => {
+                let bid =
+                    desc_node(right, out, next, opts, stats, format!("hash-join build ({kind})"));
+                ops.push(format!("probe({kind}, build=P{bid})"));
+                cur = left;
+            }
+            _ => break,
+        }
+    }
+    ops.reverse();
+    let src = match cur {
+        Plan::Scan { table, .. } => {
+            let morsels = match stats {
+                Some(s) => {
+                    let rows = s.table_rows(table);
+                    rows.div_ceil(opts.vector_size.max(1)).to_string()
+                }
+                None => "?".to_string(),
+            };
+            format!("scan {table} [morsels={morsels}]")
+        }
+        Plan::Values { rows, .. } => format!("values [{} row(s)]", rows.len()),
+        other => {
+            debug_assert!(other.is_pipeline_breaker(), "chain stopped at a non-breaker");
+            let id = desc_node(other, out, next, opts, stats, "materialize".to_string());
+            format!("P{id} output")
+        }
+    };
+    let id = *next;
+    *next += 1;
+    let mut line = format!("P{id}: {src}");
+    for op in &ops {
+        let _ = write!(line, " -> {op}");
+    }
+    let _ = writeln!(out, "{line} -> sink: {sink}");
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecMode, TableProvider};
+    use crate::expr::{AggSpec, CmpOp, PAggFunc};
+    use crate::plan::OutCol;
+    use monetlite_storage::catalog::{TableData, TableMeta};
+    use monetlite_types::{Field, LogicalType, Schema, Value};
+    use std::collections::HashMap as Map;
+
+    struct TestTables {
+        tables: Map<String, Arc<TableMeta>>,
+    }
+
+    impl TableProvider for TestTables {
+        fn table_meta(&self, name: &str) -> Result<Arc<TableMeta>> {
+            self.tables
+                .get(name)
+                .cloned()
+                .ok_or_else(|| MlError::Catalog(format!("unknown table '{name}'")))
+        }
+    }
+
+    fn make_table(name: &str, cols: Vec<(&str, Bat)>) -> Arc<TableMeta> {
+        let schema =
+            Schema::new(cols.iter().map(|(n, b)| Field::new(*n, b.logical_type())).collect())
+                .unwrap();
+        let data = TableData::empty(&schema);
+        let data = data.appended(cols.into_iter().map(|(_, b)| b).collect()).unwrap();
+        Arc::new(TableMeta {
+            id: 1,
+            name: name.into(),
+            schema,
+            data,
+            version: 1,
+            ordered_cols: vec![],
+        })
+    }
+
+    fn scan(table: &str, n: usize) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            projected: (0..n).collect(),
+            filters: vec![],
+            schema: (0..n)
+                .map(|i| OutCol { name: format!("c{i}"), ty: LogicalType::Int })
+                .collect(),
+        }
+    }
+
+    fn opts(threads: usize, vector_size: usize) -> crate::exec::ExecOptions {
+        crate::exec::ExecOptions {
+            mode: ExecMode::Streaming,
+            threads,
+            vector_size,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn limit_exits_before_scanning_everything() {
+        let n = 100_000;
+        let t = make_table("t", vec![("a", Bat::Int((0..n).collect()))]);
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let ctx = ExecContext::new(&tables, opts(1, 1024));
+        let plan = Plan::Limit { input: Box::new(scan("t", 1)), n: 5 };
+        let out = execute_streaming(&plan, &ctx).unwrap();
+        assert_eq!(out.rows, 5);
+        assert_eq!(out.cols[0].get(0), Value::Int(0));
+        assert_eq!(out.cols[0].get(4), Value::Int(4));
+        let morsels = ctx.counters.morsels.load(Ordering::Relaxed);
+        assert!(morsels <= 3, "limit must early-exit, dispatched {morsels} morsels");
+    }
+
+    #[test]
+    fn empty_source_produces_typed_empty_chunks() {
+        let t = make_table("t", vec![("a", Bat::Int(vec![]))]);
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let ctx = ExecContext::new(&tables, opts(4, 1024));
+        // Bare scan.
+        let out = execute_streaming(&scan("t", 1), &ctx).unwrap();
+        assert_eq!(out.rows, 0);
+        assert_eq!(out.cols.len(), 1);
+        assert_eq!(out.cols[0].logical_type(), LogicalType::Int);
+        // Global aggregate over nothing still yields its one row.
+        let agg = Plan::Aggregate {
+            input: Box::new(scan("t", 1)),
+            groups: vec![],
+            aggs: vec![AggSpec {
+                func: PAggFunc::Count,
+                arg: None,
+                distinct: false,
+                ty: LogicalType::Bigint,
+            }],
+            schema: vec![OutCol { name: "c".into(), ty: LogicalType::Bigint }],
+        };
+        let out = execute_streaming(&agg, &ctx).unwrap();
+        assert_eq!(out.rows, 1);
+        assert_eq!(out.cols[0].get(0), Value::Bigint(0));
+    }
+
+    #[test]
+    fn parallel_probe_matches_single_thread() {
+        let n = 20_000;
+        let probe = make_table("probe", vec![("k", Bat::Int((0..n).map(|i| i % 500).collect()))]);
+        let build = make_table(
+            "build",
+            vec![
+                ("k", Bat::Int((0..250).collect())),
+                ("v", Bat::Int((0..250).map(|i| i * 10).collect())),
+            ],
+        );
+        let tables =
+            TestTables { tables: Map::from([("probe".into(), probe), ("build".into(), build)]) };
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::Join {
+                left: Box::new(scan("probe", 1)),
+                right: Box::new(scan("build", 2)),
+                kind: PJoinKind::Inner,
+                left_keys: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+                right_keys: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+                residual: None,
+                schema: vec![
+                    OutCol { name: "k".into(), ty: LogicalType::Int },
+                    OutCol { name: "k2".into(), ty: LogicalType::Int },
+                    OutCol { name: "v".into(), ty: LogicalType::Int },
+                ],
+            }),
+            groups: vec![],
+            aggs: vec![
+                AggSpec {
+                    func: PAggFunc::Count,
+                    arg: None,
+                    distinct: false,
+                    ty: LogicalType::Bigint,
+                },
+                AggSpec {
+                    func: PAggFunc::Sum,
+                    arg: Some(BExpr::ColRef { idx: 2, ty: LogicalType::Int }),
+                    distinct: false,
+                    ty: LogicalType::Bigint,
+                },
+            ],
+            schema: vec![
+                OutCol { name: "c".into(), ty: LogicalType::Bigint },
+                OutCol { name: "s".into(), ty: LogicalType::Bigint },
+            ],
+        };
+        let seq_ctx = ExecContext::new(&tables, opts(1, 1024));
+        let seq = execute_streaming(&plan, &seq_ctx).unwrap();
+        let par_ctx = ExecContext::new(&tables, opts(8, 1024));
+        let par = execute_streaming(&plan, &par_ctx).unwrap();
+        assert_eq!(seq.cols[0].get(0), par.cols[0].get(0));
+        assert_eq!(seq.cols[1].get(0), par.cols[1].get(0));
+        // The probe pipeline really was morsel-split.
+        assert!(par_ctx.counters.morsels.load(Ordering::Relaxed) >= 20);
+        assert!(par_ctx.counters.pipelines.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn morsel_scans_keep_imprint_selection() {
+        // Index-assisted selection must survive morselization: each
+        // ranged morsel clips imprint candidates to its own range.
+        let n = 10_000i32;
+        let t = make_table("t", vec![("a", Bat::Int((0..n).collect()))]);
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let ctx = ExecContext::new(&tables, opts(1, 512));
+        let plan = Plan::Scan {
+            table: "t".into(),
+            projected: vec![0],
+            filters: vec![BExpr::Cmp {
+                op: CmpOp::Lt,
+                left: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                right: Box::new(BExpr::Lit(Value::Int(100))),
+            }],
+            schema: vec![OutCol { name: "a".into(), ty: LogicalType::Int }],
+        };
+        let out = execute_streaming(&plan, &ctx).unwrap();
+        assert_eq!(out.rows, 100);
+        assert_eq!(out.cols[0].get(0), Value::Int(0));
+        assert_eq!(out.cols[0].get(99), Value::Int(99));
+        let selects = ctx.counters.imprint_selects.load(Ordering::Relaxed);
+        assert_eq!(selects, (n as u64).div_ceil(512), "one imprint probe per morsel");
+    }
+
+    #[test]
+    fn multi_morsel_bare_scan_stays_zero_copy() {
+        // A pass-through pipeline (no ops, no filters) must share the
+        // base arrays even when the table spans many vectors.
+        let n = 10_000i32;
+        let t = make_table("t", vec![("a", Bat::Int((0..n).collect()))]);
+        let base = t.data.cols[0].entry().unwrap().bat().unwrap();
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let ctx = ExecContext::new(&tables, opts(4, 512));
+        let out = execute_streaming(&scan("t", 1), &ctx).unwrap();
+        assert_eq!(out.rows, n as usize);
+        assert!(Arc::ptr_eq(&out.cols[0], &base), "bare scan must share the array");
+    }
+
+    #[test]
+    fn filter_pushes_through_vectors() {
+        let n = 10_000;
+        let t = make_table("t", vec![("a", Bat::Int((0..n).collect()))]);
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let ctx = ExecContext::new(&tables, opts(4, 512));
+        let plan = Plan::Filter {
+            input: Box::new(scan("t", 1)),
+            pred: BExpr::Cmp {
+                op: CmpOp::Lt,
+                left: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                right: Box::new(BExpr::Lit(Value::Int(100))),
+            },
+        };
+        let out = execute_streaming(&plan, &ctx).unwrap();
+        assert_eq!(out.rows, 100);
+        // Order preserved across morsels.
+        assert_eq!(out.cols[0].get(0), Value::Int(0));
+        assert_eq!(out.cols[0].get(99), Value::Int(99));
+        assert_eq!(ctx.counters.vectors.load(Ordering::Relaxed), (n as u64).div_ceil(512));
+    }
+}

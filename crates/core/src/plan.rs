@@ -147,6 +147,24 @@ pub enum Plan {
 }
 
 impl Plan {
+    /// Is this node a **pipeline breaker** — an operator that must see
+    /// its whole input before emitting output? The streaming engine
+    /// ([`crate::pipeline`]) cuts plans at these nodes: breakers drain
+    /// their input pipeline to completion, everything else streams
+    /// vector-at-a-time. Joins are the half-breaking case — the build
+    /// (right) side breaks, the probe (left) side streams — so `Join`
+    /// reports `false` here; the break is on its right edge.
+    pub fn is_pipeline_breaker(&self) -> bool {
+        matches!(
+            self,
+            Plan::Aggregate { .. }
+                | Plan::Sort { .. }
+                | Plan::TopN { .. }
+                | Plan::Limit { .. }
+                | Plan::Distinct { .. }
+        )
+    }
+
     /// The node's output schema.
     pub fn schema(&self) -> &[OutCol] {
         match self {
@@ -277,12 +295,33 @@ mod tests {
 
     #[test]
     fn schema_passthrough() {
-        let f = Plan::Filter {
-            input: Box::new(scan()),
-            pred: BExpr::Lit(Value::Bool(true)),
-        };
+        let f = Plan::Filter { input: Box::new(scan()), pred: BExpr::Lit(Value::Bool(true)) };
         assert_eq!(f.schema().len(), 2);
         assert_eq!(f.schema()[1].name, "b");
+    }
+
+    #[test]
+    fn breaker_classification() {
+        let s = scan();
+        assert!(!s.is_pipeline_breaker());
+        assert!(!Plan::Filter { input: Box::new(scan()), pred: BExpr::Lit(Value::Bool(true)) }
+            .is_pipeline_breaker());
+        assert!(
+            Plan::Sort { input: Box::new(scan()), keys: vec![(0, false)] }.is_pipeline_breaker()
+        );
+        assert!(Plan::Limit { input: Box::new(scan()), n: 1 }.is_pipeline_breaker());
+        assert!(Plan::Distinct { input: Box::new(scan()) }.is_pipeline_breaker());
+        // Joins break only on their build edge.
+        assert!(!Plan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            kind: PJoinKind::Cross,
+            left_keys: vec![],
+            right_keys: vec![],
+            residual: None,
+            schema: vec![],
+        }
+        .is_pipeline_breaker());
     }
 
     #[test]

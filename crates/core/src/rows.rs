@@ -36,13 +36,7 @@ pub fn row_hash(cols: &[&Bat], row: usize) -> u64 {
 /// Exact equality of two rows across aligned key column sets.
 /// `null_eq_null` selects grouping semantics (true) or join semantics
 /// (false).
-pub fn rows_eq(
-    a: &[&Bat],
-    i: usize,
-    b: &[&Bat],
-    j: usize,
-    null_eq_null: bool,
-) -> bool {
+pub fn rows_eq(a: &[&Bat], i: usize, b: &[&Bat], j: usize, null_eq_null: bool) -> bool {
     for (ca, cb) in a.iter().zip(b) {
         if !col_eq(ca, i, cb, j, null_eq_null) {
             return false;
@@ -51,7 +45,10 @@ pub fn rows_eq(
     true
 }
 
-fn col_eq(a: &Bat, i: usize, b: &Bat, j: usize, null_eq_null: bool) -> bool {
+/// Equality of one column's values at two (possibly different) bats —
+/// the single-column building block of [`rows_eq`], used directly by the
+/// streaming group table to avoid per-row ref-slice allocation.
+pub fn col_eq(a: &Bat, i: usize, b: &Bat, j: usize, null_eq_null: bool) -> bool {
     let (an, bn) = (a.is_null_at(i), b.is_null_at(j));
     if an || bn {
         return an && bn && null_eq_null;

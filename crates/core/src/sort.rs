@@ -16,18 +16,25 @@ pub fn sort_perm(keys: &[(&Bat, bool)], rows: usize) -> Vec<u32> {
 /// Top-n: the first `n` rows of the sorted permutation, computed with a
 /// partial sort (select_nth + sort of the prefix) so large inputs don't
 /// pay a full sort.
+///
+/// Ties are broken by input row id, making the result a total order and
+/// therefore exactly the prefix of the stable [`sort_perm`]. The
+/// streaming engine relies on this: per-morsel top-n compaction followed
+/// by a top-n over the packed survivors yields the same rows as a
+/// single-pass top-n, even when sort keys tie at the cut-off.
 pub fn topn_perm(keys: &[(&Bat, bool)], rows: usize, n: usize) -> Vec<u32> {
+    let total = |a: &u32, b: &u32| cmp_rows(keys, *a as usize, *b as usize).then_with(|| a.cmp(b));
     let mut perm: Vec<u32> = (0..rows as u32).collect();
     if n >= rows {
-        perm.sort_by(|&a, &b| cmp_rows(keys, a as usize, b as usize));
+        perm.sort_by(total);
         return perm;
     }
     if n == 0 {
         return Vec::new();
     }
-    perm.select_nth_unstable_by(n - 1, |&a, &b| cmp_rows(keys, a as usize, b as usize));
+    perm.select_nth_unstable_by(n - 1, |a, b| total(a, b));
     perm.truncate(n);
-    perm.sort_by(|&a, &b| cmp_rows(keys, a as usize, b as usize));
+    perm.sort_by(total);
     perm
 }
 

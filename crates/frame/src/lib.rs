@@ -235,12 +235,8 @@ impl DataFrame {
         if mask.len() != self.rows {
             return Err(MlError::Execution("mask length mismatch".into()));
         }
-        let idx: Vec<u32> = mask
-            .iter()
-            .enumerate()
-            .filter(|(_, &m)| m)
-            .map(|(i, _)| i as u32)
-            .collect();
+        let idx: Vec<u32> =
+            mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i as u32).collect();
         self.take(&idx)
     }
 
@@ -324,8 +320,7 @@ impl DataFrame {
         let mut names = self.names.clone();
         let mut cols: Vec<ColumnBuffer> = self.cols.iter().map(|c| c.take(&lsel)).collect();
         if matches!(how, JoinHow::Inner | JoinHow::Left) {
-            let right_keyset: Vec<String> =
-                right_on.iter().map(|n| n.to_lowercase()).collect();
+            let right_keyset: Vec<String> = right_on.iter().map(|n| n.to_lowercase()).collect();
             for (n, c) in right.names.iter().zip(&right.cols) {
                 if right_keyset.contains(n) || names.contains(n) {
                     continue;

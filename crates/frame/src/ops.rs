@@ -83,10 +83,9 @@ pub fn mask_not(a: &[bool]) -> Vec<bool> {
 /// compiles to for fixed patterns).
 pub fn mask_contains(col: &ColumnBuffer, needle: &str) -> Vec<bool> {
     match col {
-        ColumnBuffer::Varchar(v) => v
-            .iter()
-            .map(|s| s.as_deref().is_some_and(|s| s.contains(needle)))
-            .collect(),
+        ColumnBuffer::Varchar(v) => {
+            v.iter().map(|s| s.as_deref().is_some_and(|s| s.contains(needle))).collect()
+        }
         other => vec![false; other.len()],
     }
 }
@@ -94,10 +93,9 @@ pub fn mask_contains(col: &ColumnBuffer, needle: &str) -> Vec<bool> {
 /// Suffix mask (`%BRASS` LIKE patterns).
 pub fn mask_ends_with(col: &ColumnBuffer, suffix: &str) -> Vec<bool> {
     match col {
-        ColumnBuffer::Varchar(v) => v
-            .iter()
-            .map(|s| s.as_deref().is_some_and(|s| s.ends_with(suffix)))
-            .collect(),
+        ColumnBuffer::Varchar(v) => {
+            v.iter().map(|s| s.as_deref().is_some_and(|s| s.ends_with(suffix))).collect()
+        }
         other => vec![false; other.len()],
     }
 }
@@ -105,10 +103,9 @@ pub fn mask_ends_with(col: &ColumnBuffer, suffix: &str) -> Vec<bool> {
 /// Set-membership mask (`%in%`).
 pub fn mask_in(col: &ColumnBuffer, set: &[&str]) -> Vec<bool> {
     match col {
-        ColumnBuffer::Varchar(v) => v
-            .iter()
-            .map(|s| s.as_deref().is_some_and(|s| set.contains(&s)))
-            .collect(),
+        ColumnBuffer::Varchar(v) => {
+            v.iter().map(|s| s.as_deref().is_some_and(|s| set.contains(&s))).collect()
+        }
         other => vec![false; other.len()],
     }
 }
@@ -117,25 +114,20 @@ pub fn mask_in(col: &ColumnBuffer, set: &[&str]) -> Vec<bool> {
 /// dataframe library computes in.
 pub fn to_f64(col: &ColumnBuffer) -> Result<Vec<f64>> {
     Ok(match col {
-        ColumnBuffer::Int(v) => v
-            .iter()
-            .map(|&x| if x == NULL_I32 { f64::NAN } else { x as f64 })
-            .collect(),
-        ColumnBuffer::Bigint(v) => v
-            .iter()
-            .map(|&x| if x == NULL_I64 { f64::NAN } else { x as f64 })
-            .collect(),
+        ColumnBuffer::Int(v) => {
+            v.iter().map(|&x| if x == NULL_I32 { f64::NAN } else { x as f64 }).collect()
+        }
+        ColumnBuffer::Bigint(v) => {
+            v.iter().map(|&x| if x == NULL_I64 { f64::NAN } else { x as f64 }).collect()
+        }
         ColumnBuffer::Double(v) => v.clone(),
         ColumnBuffer::Decimal { data, scale } => {
             let f = monetlite_types::decimal::POW10[*scale as usize] as f64;
-            data.iter()
-                .map(|&x| if x == NULL_I64 { f64::NAN } else { x as f64 / f })
-                .collect()
+            data.iter().map(|&x| if x == NULL_I64 { f64::NAN } else { x as f64 / f }).collect()
         }
-        ColumnBuffer::Date(v) => v
-            .iter()
-            .map(|&x| if x == NULL_I32 { f64::NAN } else { x as f64 })
-            .collect(),
+        ColumnBuffer::Date(v) => {
+            v.iter().map(|&x| if x == NULL_I32 { f64::NAN } else { x as f64 }).collect()
+        }
         other => {
             return Err(monetlite_types::MlError::TypeMismatch(format!(
                 "no numeric view of {}",
@@ -159,9 +151,7 @@ pub fn map_f64(a: &[f64], f: impl Fn(f64) -> f64) -> ColumnBuffer {
 pub fn year(col: &ColumnBuffer) -> ColumnBuffer {
     match col {
         ColumnBuffer::Date(v) => ColumnBuffer::Int(
-            v.iter()
-                .map(|&d| if d == NULL_I32 { NULL_I32 } else { Date(d).year() })
-                .collect(),
+            v.iter().map(|&d| if d == NULL_I32 { NULL_I32 } else { Date(d).year() }).collect(),
         ),
         other => ColumnBuffer::Int(vec![NULL_I32; other.len()]),
     }
@@ -172,9 +162,7 @@ pub fn mask_date_between(col: &ColumnBuffer, lo: &str, hi: &str) -> Result<Vec<b
     let lo = Date::parse(lo)?.0;
     let hi = Date::parse(hi)?.0;
     Ok(match col {
-        ColumnBuffer::Date(v) => {
-            v.iter().map(|&d| d != NULL_I32 && d >= lo && d <= hi).collect()
-        }
+        ColumnBuffer::Date(v) => v.iter().map(|&d| d != NULL_I32 && d >= lo && d <= hi).collect(),
         other => vec![false; other.len()],
     })
 }
@@ -188,10 +176,7 @@ mod tests {
         let c = ColumnBuffer::Int(vec![1, 5, NULL_I32, 9]);
         assert_eq!(mask_cmp(&c, MaskOp::Gt, &Value::Int(4)), vec![false, true, false, true]);
         let d = ColumnBuffer::Int(vec![1, 6, 2, 9]);
-        assert_eq!(
-            mask_cmp_cols(&c, MaskOp::Eq, &d),
-            vec![true, false, false, true]
-        );
+        assert_eq!(mask_cmp_cols(&c, MaskOp::Eq, &d), vec![true, false, false, true]);
         assert_eq!(mask_and(&[true, false], &[true, true]), vec![true, false]);
         assert_eq!(mask_or(&[true, false], &[false, false]), vec![true, false]);
         assert_eq!(mask_not(&[true, false]), vec![false, true]);
@@ -199,11 +184,7 @@ mod tests {
 
     #[test]
     fn string_masks() {
-        let c = ColumnBuffer::Varchar(vec![
-            Some("forest green".into()),
-            Some("blue".into()),
-            None,
-        ]);
+        let c = ColumnBuffer::Varchar(vec![Some("forest green".into()), Some("blue".into()), None]);
         assert_eq!(mask_contains(&c, "green"), vec![true, false, false]);
         assert_eq!(mask_in(&c, &["blue", "red"]), vec![false, true, false]);
     }

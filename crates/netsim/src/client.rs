@@ -67,8 +67,7 @@ impl RemoteClient {
             return Err(MlError::Protocol(format!("server error: {msg}")));
         }
         if let Some(n) = head.strip_prefix("A ") {
-            let affected =
-                n.parse().map_err(|_| MlError::Protocol("bad affected count".into()))?;
+            let affected = n.parse().map_err(|_| MlError::Protocol("bad affected count".into()))?;
             return Ok(RemoteResult {
                 names: vec![],
                 types: vec![],
@@ -144,11 +143,8 @@ impl RemoteClient {
             .map(|(n, &t)| monetlite_types::Field::new(n.as_str(), t))
             .collect();
         let schema = Schema::new(fields)?;
-        let mut cols: Vec<ColumnBuffer> = r
-            .types
-            .iter()
-            .map(|&t| ColumnBuffer::with_capacity(t, r.rows.len()))
-            .collect();
+        let mut cols: Vec<ColumnBuffer> =
+            r.types.iter().map(|&t| ColumnBuffer::with_capacity(t, r.rows.len())).collect();
         for row in &r.rows {
             for (c, v) in cols.iter_mut().zip(row) {
                 c.push(v)?;

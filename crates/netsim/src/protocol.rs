@@ -110,9 +110,8 @@ pub fn parse_type(name: &str) -> Result<LogicalType> {
         let inner = rest
             .strip_suffix(')')
             .ok_or_else(|| MlError::Protocol(format!("bad type '{name}'")))?;
-        let (w, s) = inner
-            .split_once(',')
-            .ok_or_else(|| MlError::Protocol(format!("bad type '{name}'")))?;
+        let (w, s) =
+            inner.split_once(',').ok_or_else(|| MlError::Protocol(format!("bad type '{name}'")))?;
         return Ok(LogicalType::Decimal {
             width: w.parse().map_err(|_| MlError::Protocol("bad decimal width".into()))?,
             scale: s.parse().map_err(|_| MlError::Protocol("bad decimal scale".into()))?,

@@ -19,10 +19,13 @@ pub enum ServerEngine {
     Row(RowDb),
 }
 
+/// A row-wise result set: (names, types, rows, rows_affected).
+type RowResult = (Vec<String>, Vec<LogicalType>, Vec<Vec<Value>>, u64);
+
 impl ServerEngine {
     /// Execute SQL, producing a row-wise result (the server always
     /// serialises row-at-a-time regardless of engine layout).
-    fn run(&self, sql: &str) -> Result<(Vec<String>, Vec<LogicalType>, Vec<Vec<Value>>, u64)> {
+    fn run(&self, sql: &str) -> Result<RowResult> {
         match self {
             ServerEngine::Monet(db) => {
                 // A connection per statement keeps the server stateless

@@ -184,8 +184,7 @@ impl RowDb {
     /// Execute a `;`-separated script; returns the last result.
     pub fn run_script(&self, sql: &str) -> Result<RowsResult> {
         let stmts = monetlite_sql::parse_statements(sql)?;
-        let mut last =
-            RowsResult { names: vec![], types: vec![], rows: vec![], rows_affected: 0 };
+        let mut last = RowsResult { names: vec![], types: vec![], rows: vec![], rows_affected: 0 };
         for s in stmts {
             last = self.run_statement(s)?;
         }
@@ -199,12 +198,8 @@ impl RowDb {
     }
 
     fn run_statement(&self, stmt: ast::Statement) -> Result<RowsResult> {
-        let empty = |n: u64| RowsResult {
-            names: vec![],
-            types: vec![],
-            rows: vec![],
-            rows_affected: n,
-        };
+        let empty =
+            |n: u64| RowsResult { names: vec![], types: vec![], rows: vec![], rows_affected: n };
         match stmt {
             ast::Statement::Select(sel) => self.run_select(&sel),
             ast::Statement::CreateTable { name, columns } => {
@@ -225,8 +220,7 @@ impl RowDb {
                     return Err(MlError::Catalog(format!("table '{name}' already exists")));
                 }
                 let spill = self.spill_dir(&g).join(format!("{lname}.rsdb"));
-                g.tables
-                    .insert(lname, RowTable::new(schema, spill, self.opts.page_cache_pages)?);
+                g.tables.insert(lname, RowTable::new(schema, spill, self.opts.page_cache_pages)?);
                 Ok(empty(0))
             }
             ast::Statement::DropTable { name, if_exists } => {
@@ -431,10 +425,8 @@ impl RowDb {
             let view = CatalogView { tables: &g.tables };
             let schema = view.table_schema(&lname)?;
             let binder = Binder::new(&view);
-            let pred = filter
-                .map(|f| binder.bind_table_expr(&lname, f))
-                .transpose()?
-                .map(|(b, _)| b);
+            let pred =
+                filter.map(|f| binder.bind_table_expr(&lname, f)).transpose()?.map(|(b, _)| b);
             let mut bound = Vec::new();
             for (col, e) in sets {
                 let idx = schema
@@ -509,9 +501,7 @@ mod tests {
     fn group_by() {
         let db = sample();
         db.execute("INSERT INTO t VALUES (4, 'one', 0.50)").unwrap();
-        let r = db
-            .query("SELECT b, count(*) AS c FROM t GROUP BY b ORDER BY c DESC, b")
-            .unwrap();
+        let r = db.query("SELECT b, count(*) AS c FROM t GROUP BY b ORDER BY c DESC, b").unwrap();
         assert_eq!(r.rows.len(), 3);
         assert_eq!(r.rows[0][1], Value::Bigint(2));
     }
@@ -588,11 +578,8 @@ mod tests {
 
     #[test]
     fn spill_to_disk_and_read_back() {
-        let db = RowDb::open_with(RowDbOptions {
-            page_cache_pages: 2,
-            ..Default::default()
-        })
-        .unwrap();
+        let db =
+            RowDb::open_with(RowDbOptions { page_cache_pages: 2, ..Default::default() }).unwrap();
         db.execute("CREATE TABLE s (x INT, pad VARCHAR(100))").unwrap();
         let pad = "p".repeat(100);
         let rows: Vec<Vec<Value>> =

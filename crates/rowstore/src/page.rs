@@ -173,8 +173,7 @@ impl PageStore {
 
     fn spill(&mut self, page: u32) -> Result<()> {
         let i = page as usize;
-        let Slot::Resident { data, dirty } =
-            std::mem::replace(&mut self.slots[i], Slot::Spilled)
+        let Slot::Resident { data, dirty } = std::mem::replace(&mut self.slots[i], Slot::Spilled)
         else {
             return Ok(());
         };

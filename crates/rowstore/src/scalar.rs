@@ -89,8 +89,7 @@ pub fn eval_row(e: &BExpr, row: &[Value]) -> Result<Value> {
             }
         }
         BExpr::Func { func, args, .. } => {
-            let vals: Vec<Value> =
-                args.iter().map(|a| eval_row(a, row)).collect::<Result<_>>()?;
+            let vals: Vec<Value> = args.iter().map(|a| eval_row(a, row)).collect::<Result<_>>()?;
             func_value(*func, vals)
         }
         BExpr::Neg { input, .. } => Ok(match eval_row(input, row)? {
@@ -204,9 +203,7 @@ fn arith_value(op: ArithOp, l: Value, r: Value, ty: LogicalType) -> Result<Value
                 Value::Int(a % b)
             }
         },
-        (Value::Bigint(_), _) | (_, Value::Bigint(_))
-            if matches!(ty, LogicalType::Bigint) =>
-        {
+        (Value::Bigint(_), _) | (_, Value::Bigint(_)) if matches!(ty, LogicalType::Bigint) => {
             let (a, b) = (l.as_i64()?, r.as_i64()?);
             match op {
                 ArithOp::Add => Value::Bigint(a.checked_add(b).ok_or_else(overflow)?),
@@ -341,18 +338,15 @@ mod tests {
     fn decimal_arith() {
         let a = Value::Decimal(Decimal::new(150, 2));
         let b = Value::Decimal(Decimal::new(50, 2));
-        let v = arith_value(ArithOp::Add, a, b, LogicalType::Decimal { width: 10, scale: 2 })
-            .unwrap();
+        let v =
+            arith_value(ArithOp::Add, a, b, LogicalType::Decimal { width: 10, scale: 2 }).unwrap();
         assert_eq!(v.to_string(), "2.00");
     }
 
     #[test]
     fn date_functions() {
         let d = Value::Date(Date::parse("1995-06-15").unwrap());
-        assert_eq!(
-            func_value(ScalarFunc::Year, vec![d.clone()]).unwrap(),
-            Value::Int(1995)
-        );
+        assert_eq!(func_value(ScalarFunc::Year, vec![d.clone()]).unwrap(), Value::Int(1995));
         assert_eq!(
             func_value(ScalarFunc::AddMonths, vec![d, Value::Int(2)]).unwrap().to_string(),
             "1995-08-15"

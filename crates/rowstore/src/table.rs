@@ -101,10 +101,7 @@ impl RowTable {
     }
 
     /// Delete rows matching the predicate; returns the count.
-    pub fn delete_where(
-        &mut self,
-        mut pred: impl FnMut(&[Value]) -> Result<bool>,
-    ) -> Result<u64> {
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&[Value]) -> Result<bool>) -> Result<u64> {
         let ptrs: Vec<(u64, RowPtr)> = self.btree.iter().map(|(k, v)| (*k, *v)).collect();
         let mut doomed = Vec::new();
         for (rowid, ptr) in ptrs {
@@ -152,8 +149,7 @@ impl RowTable {
             };
             let offset = pages.append(page, &bytes)?;
             drop(pages);
-            self.btree
-                .insert(rowid, RowPtr { page, offset, len: bytes.len() as u32 });
+            self.btree.insert(rowid, RowPtr { page, offset, len: bytes.len() as u32 });
         }
         Ok(n)
     }
@@ -178,9 +174,7 @@ pub fn encode_row(row: &[Value], schema: &Schema) -> Result<Vec<u8>> {
                 out.push(1);
                 match (v, f.ty) {
                     (Value::Bool(b), LogicalType::Bool) => out.push(*b as u8),
-                    (Value::Int(x), LogicalType::Int) => {
-                        out.extend_from_slice(&x.to_le_bytes())
-                    }
+                    (Value::Int(x), LogicalType::Int) => out.extend_from_slice(&x.to_le_bytes()),
                     (Value::Bigint(x), LogicalType::Bigint) => {
                         out.extend_from_slice(&x.to_le_bytes())
                     }
@@ -335,8 +329,7 @@ mod tests {
     #[test]
     fn table_insert_scan_delete_update() {
         let dir = tempfile::tempdir().unwrap();
-        let mut t =
-            RowTable::new(schema(), dir.path().join("x.rsdb"), usize::MAX).unwrap();
+        let mut t = RowTable::new(schema(), dir.path().join("x.rsdb"), usize::MAX).unwrap();
         for i in 0..10 {
             let mut row = sample_row();
             row[0] = Value::Int(i);

@@ -71,8 +71,7 @@ impl VolcanoExec<'_> {
                 t.scan(|full_row| {
                     // Row stores read the whole row no matter what;
                     // projection happens after deserialisation.
-                    let row: Vec<Value> =
-                        projected.iter().map(|&c| full_row[c].clone()).collect();
+                    let row: Vec<Value> = projected.iter().map(|&c| full_row[c].clone()).collect();
                     for f in filters {
                         if eval_row(f, &row)? != Value::Bool(true) {
                             return Ok(true);
@@ -80,7 +79,7 @@ impl VolcanoExec<'_> {
                     }
                     out.push(row);
                     ticker += 1;
-                    if ticker % 4096 == 0 {
+                    if ticker.is_multiple_of(4096) {
                         if let Err(e) = self.check_deadline() {
                             deadline_err = Some(e);
                             return Ok(false);
@@ -114,7 +113,7 @@ impl VolcanoExec<'_> {
                     }
                     out.push(new);
                     ticker += 1;
-                    if ticker % 8192 == 0 {
+                    if ticker.is_multiple_of(8192) {
                         self.check_deadline()?;
                     }
                 }
@@ -209,7 +208,7 @@ impl VolcanoExec<'_> {
             for l in &lrows {
                 for r in &rrows {
                     ticker += 1;
-                    if ticker % 16384 == 0 {
+                    if ticker.is_multiple_of(16384) {
                         self.check_deadline()?;
                         self.check_blowup(out.len())?;
                     }
@@ -227,10 +226,8 @@ impl VolcanoExec<'_> {
                 // Build on the right.
                 let mut table: HashMap<String, Vec<usize>> = HashMap::new();
                 for (i, r) in rrows.iter().enumerate() {
-                    let keys: Vec<Value> = right_keys
-                        .iter()
-                        .map(|k| eval_row(k, r))
-                        .collect::<Result<_>>()?;
+                    let keys: Vec<Value> =
+                        right_keys.iter().map(|k| eval_row(k, r)).collect::<Result<_>>()?;
                     if keys.iter().any(|k| k.is_null()) {
                         continue;
                     }
@@ -239,14 +236,12 @@ impl VolcanoExec<'_> {
                 let mut ticker = 0u64;
                 for l in &lrows {
                     ticker += 1;
-                    if ticker % 8192 == 0 {
+                    if ticker.is_multiple_of(8192) {
                         self.check_deadline()?;
                         self.check_blowup(out.len())?;
                     }
-                    let keys: Vec<Value> = left_keys
-                        .iter()
-                        .map(|k| eval_row(k, l))
-                        .collect::<Result<_>>()?;
+                    let keys: Vec<Value> =
+                        left_keys.iter().map(|k| eval_row(k, l)).collect::<Result<_>>()?;
                     let null_key = keys.iter().any(|k| k.is_null());
                     let mut matched = false;
                     if !null_key {
@@ -271,23 +266,19 @@ impl VolcanoExec<'_> {
                 // SQLite-style block nested loops: O(n·m) key comparisons.
                 let mut ticker = 0u64;
                 for l in &lrows {
-                    let lkeys: Vec<Value> = left_keys
-                        .iter()
-                        .map(|k| eval_row(k, l))
-                        .collect::<Result<_>>()?;
+                    let lkeys: Vec<Value> =
+                        left_keys.iter().map(|k| eval_row(k, l)).collect::<Result<_>>()?;
                     let null_key = lkeys.iter().any(|k| k.is_null());
                     let mut matched = false;
                     if !null_key {
                         for r in &rrows {
                             ticker += 1;
-                            if ticker % 65536 == 0 {
+                            if ticker.is_multiple_of(65536) {
                                 self.check_deadline()?;
                                 self.check_blowup(out.len())?;
                             }
-                            let rkeys: Vec<Value> = right_keys
-                                .iter()
-                                .map(|k| eval_row(k, r))
-                                .collect::<Result<_>>()?;
+                            let rkeys: Vec<Value> =
+                                right_keys.iter().map(|k| eval_row(k, r)).collect::<Result<_>>()?;
                             if rkeys.iter().any(|k| k.is_null()) {
                                 continue;
                             }
@@ -346,9 +337,7 @@ impl VolcanoExec<'_> {
                         (PAggFunc::Count, false) => Acc::Count(0),
                         (PAggFunc::Sum, _) => match a.arg.as_ref().map(|x| x.ty()) {
                             Some(monetlite_types::LogicalType::Int)
-                            | Some(monetlite_types::LogicalType::Bigint) => {
-                                Acc::SumInt(0, false)
-                            }
+                            | Some(monetlite_types::LogicalType::Bigint) => Acc::SumInt(0, false),
                             Some(monetlite_types::LogicalType::Decimal { scale, .. }) => {
                                 Acc::SumDec(0, false, scale)
                             }
@@ -449,10 +438,7 @@ impl VolcanoExec<'_> {
         }
         // Global aggregate over empty input still yields one row.
         if groups.is_empty() && table.is_empty() {
-            table.insert(
-                String::new(),
-                GroupState { keys: vec![], accs: new_accs(aggs)? },
-            );
+            table.insert(String::new(), GroupState { keys: vec![], accs: new_accs(aggs)? });
             order.push(String::new());
         }
         let mut out = Vec::with_capacity(order.len());
@@ -567,10 +553,7 @@ mod tests {
 
     #[test]
     fn values_key_distinguishes() {
-        assert_ne!(
-            values_key(&[Value::Int(1), Value::Int(2)]),
-            values_key(&[Value::Int(12)])
-        );
+        assert_ne!(values_key(&[Value::Int(1), Value::Int(2)]), values_key(&[Value::Int(12)]));
         assert_eq!(values_key(&[Value::Null]), values_key(&[Value::Null]));
         assert_ne!(values_key(&[Value::Null]), values_key(&[Value::Str("".into())]));
     }

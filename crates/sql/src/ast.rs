@@ -413,16 +413,16 @@ mod tests {
 
     #[test]
     fn contains_aggregate_walks_tree() {
-        let agg = Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("x"))), distinct: false };
-        let e = Expr::Binary {
-            op: BinOp::Add,
-            left: Box::new(Expr::int(1)),
-            right: Box::new(agg),
-        };
+        let agg =
+            Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("x"))), distinct: false };
+        let e = Expr::Binary { op: BinOp::Add, left: Box::new(Expr::int(1)), right: Box::new(agg) };
         assert!(e.contains_aggregate());
         assert!(!Expr::col("x").contains_aggregate());
         let case = Expr::Case {
-            branches: vec![(Expr::col("c"), Expr::Agg { func: AggFunc::Count, arg: None, distinct: false })],
+            branches: vec![(
+                Expr::col("c"),
+                Expr::Agg { func: AggFunc::Count, arg: None, distinct: false },
+            )],
             else_expr: None,
         };
         assert!(case.contains_aggregate());

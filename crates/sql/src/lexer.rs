@@ -157,9 +157,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
                     });
                 } else {
                     let text = &src[start..i];
-                    let v: i64 = text
-                        .parse()
-                        .map_err(|_| MlError::parse(format!("integer '{text}' too large"), start))?;
+                    let v: i64 = text.parse().map_err(|_| {
+                        MlError::parse(format!("integer '{text}' too large"), start)
+                    })?;
                     out.push(Token { kind: TokenKind::Int(v), offset: start });
                 }
             }
@@ -246,7 +246,10 @@ mod tests {
 
     #[test]
     fn numbers_int_and_decimal() {
-        assert_eq!(kinds("42 0.05 1.1"), vec![Int(42), Number("0.05".into()), Number("1.1".into()), Eof]);
+        assert_eq!(
+            kinds("42 0.05 1.1"),
+            vec![Int(42), Number("0.05".into()), Number("1.1".into()), Eof]
+        );
         // `1.` followed by non-digit is Int + Dot (qualified names like t.c).
         assert_eq!(kinds("t.c"), vec![Ident("t".into()), Dot, Ident("c".into()), Eof]);
     }
@@ -279,9 +282,10 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(kinds("select -- hi\n 1 /* block\nmore */ 2"), vec![
-            Ident("select".into()), Int(1), Int(2), Eof
-        ]);
+        assert_eq!(
+            kinds("select -- hi\n 1 /* block\nmore */ 2"),
+            vec![Ident("select".into()), Int(1), Int(2), Eof]
+        );
         assert!(tokenize("/* unterminated").is_err());
     }
 

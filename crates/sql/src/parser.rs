@@ -374,7 +374,16 @@ impl Parser {
             }
         }
         let limit = if self.eat_kw("limit") { Some(self.int_literal()? as u64) } else { None };
-        Ok(SelectStmt { distinct, projections, from, where_clause, group_by, having, order_by, limit })
+        Ok(SelectStmt {
+            distinct,
+            projections,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -433,12 +442,7 @@ impl Parser {
                 self.expect_kw("on")?;
                 Some(self.expr()?)
             };
-            left = TableRef::Join {
-                left: Box::new(left),
-                right: Box::new(right),
-                kind,
-                on,
-            };
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
         }
     }
 
@@ -871,10 +875,8 @@ mod tests {
 
     #[test]
     fn select_with_all_clauses() {
-        let s = sel(
-            "SELECT a, sum(b) AS total FROM t WHERE c > 5 GROUP BY a \
-             HAVING sum(b) > 10 ORDER BY total DESC LIMIT 3",
-        );
+        let s = sel("SELECT a, sum(b) AS total FROM t WHERE c > 5 GROUP BY a \
+             HAVING sum(b) > 10 ORDER BY total DESC LIMIT 3");
         assert!(s.having.is_some());
         assert_eq!(s.group_by.len(), 1);
         assert_eq!(s.limit, Some(3));
@@ -926,9 +928,10 @@ mod tests {
             Expr::Binary { op: BinOp::LtEq, right, .. } => match *right {
                 Expr::Binary { op: BinOp::Sub, left, right } => {
                     assert!(matches!(*left, Expr::Literal(Value::Date(_))));
-                    assert!(
-                        matches!(*right, Expr::Interval { value: 90, unit: IntervalUnit::Day })
-                    );
+                    assert!(matches!(
+                        *right,
+                        Expr::Interval { value: 90, unit: IntervalUnit::Day }
+                    ));
                 }
                 other => panic!("{other:?}"),
             },
@@ -938,10 +941,8 @@ mod tests {
 
     #[test]
     fn between_like_in() {
-        let s = sel(
-            "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE '%green%' \
-             AND c IN ('x','y') AND d NOT LIKE 'q%' AND e NOT IN (1,2)",
-        );
+        let s = sel("SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE '%green%' \
+             AND c IN ('x','y') AND d NOT LIKE 'q%' AND e NOT IN (1,2)");
         let mut count_preds = 0;
         fn walk(e: &Expr, n: &mut usize) {
             match e {
@@ -959,18 +960,16 @@ mod tests {
 
     #[test]
     fn case_when() {
-        let s = sel(
-            "SELECT sum(CASE WHEN n = 'BRAZIL' THEN v ELSE 0 END) / sum(v) FROM t",
+        let s = sel("SELECT sum(CASE WHEN n = 'BRAZIL' THEN v ELSE 0 END) / sum(v) FROM t");
+        assert!(
+            matches!(&s.projections[0], SelectItem::Expr { expr, .. } if expr.contains_aggregate())
         );
-        assert!(matches!(&s.projections[0], SelectItem::Expr { expr, .. } if expr.contains_aggregate()));
     }
 
     #[test]
     fn exists_subquery() {
-        let s = sel(
-            "SELECT * FROM orders o WHERE EXISTS (SELECT * FROM lineitem l \
-             WHERE l.l_orderkey = o.o_orderkey)",
-        );
+        let s = sel("SELECT * FROM orders o WHERE EXISTS (SELECT * FROM lineitem l \
+             WHERE l.l_orderkey = o.o_orderkey)");
         assert!(matches!(s.where_clause.unwrap(), Expr::Exists { negated: false, .. }));
     }
 
@@ -982,10 +981,8 @@ mod tests {
 
     #[test]
     fn scalar_subquery() {
-        let s = sel(
-            "SELECT * FROM partsupp WHERE ps_supplycost = \
-             (SELECT min(ps_supplycost) FROM partsupp)",
-        );
+        let s = sel("SELECT * FROM partsupp WHERE ps_supplycost = \
+             (SELECT min(ps_supplycost) FROM partsupp)");
         match s.where_clause.unwrap() {
             Expr::Binary { right, .. } => assert!(matches!(*right, Expr::ScalarSubquery(_))),
             other => panic!("{other:?}"),
@@ -994,9 +991,7 @@ mod tests {
 
     #[test]
     fn joins_explicit_and_left() {
-        let s = sel(
-            "SELECT * FROM a JOIN b ON a.x = b.x LEFT OUTER JOIN c ON b.y = c.y",
-        );
+        let s = sel("SELECT * FROM a JOIN b ON a.x = b.x LEFT OUTER JOIN c ON b.y = c.y");
         match &s.from[0] {
             TableRef::Join { kind: JoinKind::Left, left, .. } => {
                 assert!(matches!(**left, TableRef::Join { kind: JoinKind::Inner, .. }));
@@ -1053,8 +1048,7 @@ mod tests {
 
     #[test]
     fn insert_multi_row() {
-        let stmt =
-            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
         match stmt {
             Statement::Insert { columns, rows, .. } => {
                 assert_eq!(columns.unwrap(), vec!["a", "b"]);
@@ -1110,10 +1104,9 @@ mod tests {
 
     #[test]
     fn multi_statement_script() {
-        let stmts = parse_statements(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 

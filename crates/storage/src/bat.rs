@@ -261,27 +261,39 @@ impl Bat {
     /// backing `Arc<Bat>` instead and never calls this.
     pub fn to_buffer(&self, sel: Option<&[u32]>) -> ColumnBuffer {
         match sel {
-            None => match self {
-                Bat::Bool(v) => ColumnBuffer::Bool(v.clone()),
-                Bat::Int(v) => ColumnBuffer::Int(v.clone()),
-                Bat::Bigint(v) => ColumnBuffer::Bigint(v.clone()),
-                Bat::Double(v) => ColumnBuffer::Double(v.clone()),
-                Bat::Decimal { data, scale } => {
-                    ColumnBuffer::Decimal { data: data.clone(), scale: *scale }
+            None => {
+                match self {
+                    Bat::Bool(v) => ColumnBuffer::Bool(v.clone()),
+                    Bat::Int(v) => ColumnBuffer::Int(v.clone()),
+                    Bat::Bigint(v) => ColumnBuffer::Bigint(v.clone()),
+                    Bat::Double(v) => ColumnBuffer::Double(v.clone()),
+                    Bat::Decimal { data, scale } => {
+                        ColumnBuffer::Decimal { data: data.clone(), scale: *scale }
+                    }
+                    Bat::Varchar { offsets, heap } => ColumnBuffer::Varchar(
+                        offsets
+                            .iter()
+                            .map(|&o| {
+                                if o == NULL_OFFSET {
+                                    None
+                                } else {
+                                    Some(heap.get(o).to_string())
+                                }
+                            })
+                            .collect(),
+                    ),
+                    Bat::Date(v) => ColumnBuffer::Date(v.clone()),
                 }
-                Bat::Varchar { offsets, heap } => ColumnBuffer::Varchar(
-                    offsets
-                        .iter()
-                        .map(|&o| if o == NULL_OFFSET { None } else { Some(heap.get(o).to_string()) })
-                        .collect(),
-                ),
-                Bat::Date(v) => ColumnBuffer::Date(v.clone()),
-            },
+            }
             Some(sel) => match self {
                 Bat::Bool(v) => ColumnBuffer::Bool(sel.iter().map(|&i| v[i as usize]).collect()),
                 Bat::Int(v) => ColumnBuffer::Int(sel.iter().map(|&i| v[i as usize]).collect()),
-                Bat::Bigint(v) => ColumnBuffer::Bigint(sel.iter().map(|&i| v[i as usize]).collect()),
-                Bat::Double(v) => ColumnBuffer::Double(sel.iter().map(|&i| v[i as usize]).collect()),
+                Bat::Bigint(v) => {
+                    ColumnBuffer::Bigint(sel.iter().map(|&i| v[i as usize]).collect())
+                }
+                Bat::Double(v) => {
+                    ColumnBuffer::Double(sel.iter().map(|&i| v[i as usize]).collect())
+                }
                 Bat::Decimal { data, scale } => ColumnBuffer::Decimal {
                     data: sel.iter().map(|&i| data[i as usize]).collect(),
                     scale: *scale,
@@ -354,9 +366,10 @@ impl Bat {
             Bat::Int(v) => Bat::Int(sel.iter().map(|&i| v[i as usize]).collect()),
             Bat::Bigint(v) => Bat::Bigint(sel.iter().map(|&i| v[i as usize]).collect()),
             Bat::Double(v) => Bat::Double(sel.iter().map(|&i| v[i as usize]).collect()),
-            Bat::Decimal { data, scale } => {
-                Bat::Decimal { data: sel.iter().map(|&i| data[i as usize]).collect(), scale: *scale }
-            }
+            Bat::Decimal { data, scale } => Bat::Decimal {
+                data: sel.iter().map(|&i| data[i as usize]).collect(),
+                scale: *scale,
+            },
             Bat::Varchar { offsets, heap } => Bat::Varchar {
                 offsets: sel.iter().map(|&i| offsets[i as usize]).collect(),
                 heap: heap.clone(),
@@ -394,12 +407,8 @@ mod tests {
 
     #[test]
     fn from_to_buffer_roundtrip_strings() {
-        let buf = ColumnBuffer::Varchar(vec![
-            Some("a".into()),
-            None,
-            Some("b".into()),
-            Some("a".into()),
-        ]);
+        let buf =
+            ColumnBuffer::Varchar(vec![Some("a".into()), None, Some("b".into()), Some("a".into())]);
         let bat = Bat::from_buffer(&buf);
         assert_eq!(bat.null_count(), 1);
         assert_eq!(bat.str_at(0), Some("a"));

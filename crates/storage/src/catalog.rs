@@ -633,7 +633,9 @@ mod tests {
         let t3 = t2.with_deleted(&[1]);
         assert_eq!(t3.visible_rows(), 2);
         // Append after delete keeps the mask consistent.
-        let t4 = t2.appended(vec![Bat::Int(vec![9]), Bat::from_buffer(&ColumnBuffer::Varchar(vec![None]))]).unwrap();
+        let t4 = t2
+            .appended(vec![Bat::Int(vec![9]), Bat::from_buffer(&ColumnBuffer::Varchar(vec![None]))])
+            .unwrap();
         assert_eq!(t4.rows, 4);
         assert_eq!(t4.visible_rows(), 3);
     }
@@ -643,11 +645,9 @@ mod tests {
         let schema = Schema::new(vec![Field::new("a", LogicalType::Int)]).unwrap();
         let t0 = TableData::empty(&schema);
         assert!(t0.appended(vec![]).is_err());
-        let schema2 = Schema::new(vec![
-            Field::new("a", LogicalType::Int),
-            Field::new("b", LogicalType::Int),
-        ])
-        .unwrap();
+        let schema2 =
+            Schema::new(vec![Field::new("a", LogicalType::Int), Field::new("b", LogicalType::Int)])
+                .unwrap();
         let t0 = TableData::empty(&schema2);
         assert!(t0.appended(vec![Bat::Int(vec![1]), Bat::Int(vec![1, 2])]).is_err());
     }

@@ -139,10 +139,7 @@ impl Store {
             Err(e) => return Err(e.into()),
         }
         let open_inner = || -> Result<Store> {
-            let (mut tables, mut next_table_id) = match load_catalog(&dir, &vmem) {
-                Ok(x) => x,
-                Err(e) => return Err(e),
-            };
+            let (mut tables, mut next_table_id) = load_catalog(&dir, &vmem)?;
             // Replay committed WAL transactions on top of the checkpoint.
             let txns = wal::replay(&dir.join("wal.log"))?;
             let replayed = !txns.is_empty();
@@ -265,9 +262,7 @@ impl Store {
             let compacting = meta.data.deleted_count > 0;
             let sel: Option<Vec<u32>> = if compacting {
                 let deleted = meta.data.deleted.as_ref().unwrap();
-                Some(
-                    (0..meta.data.rows as u32).filter(|&r| !deleted[r as usize]).collect(),
-                )
+                Some((0..meta.data.rows as u32).filter(|&r| !deleted[r as usize]).collect())
             } else {
                 None
             };
@@ -493,10 +488,7 @@ fn write_catalog(dir: &Path, snap: &CatalogSnapshot, next_table_id: u64) -> Resu
     Ok(())
 }
 
-fn load_catalog(
-    dir: &Path,
-    vmem: &Arc<Vmem>,
-) -> Result<(HashMap<String, Arc<TableMeta>>, u64)> {
+fn load_catalog(dir: &Path, vmem: &Arc<Vmem>) -> Result<(HashMap<String, Arc<TableMeta>>, u64)> {
     let path = dir.join("catalog.bin");
     let mut f = match File::open(&path) {
         Ok(f) => f,
@@ -633,10 +625,7 @@ mod tests {
         w.base_versions.insert("t".into(), old.table("t").unwrap().version);
         w.ops.push(WalRecord::Append {
             table: "t".into(),
-            cols: vec![
-                Bat::Int(vec![2]),
-                Bat::from_buffer(&ColumnBuffer::Varchar(vec![None])),
-            ],
+            cols: vec![Bat::Int(vec![2]), Bat::from_buffer(&ColumnBuffer::Varchar(vec![None]))],
         });
         store.commit(w).unwrap();
         assert_eq!(old.table("t").unwrap().data.visible_rows(), 1);
@@ -740,8 +729,7 @@ mod tests {
     #[test]
     fn database_locked_error() {
         let dir = tempfile::tempdir().unwrap();
-        let opts =
-            StoreOptions { path: Some(dir.path().to_path_buf()), ..Default::default() };
+        let opts = StoreOptions { path: Some(dir.path().to_path_buf()), ..Default::default() };
         let _s1 = Store::open(opts.clone()).unwrap();
         match Store::open(opts) {
             Err(MlError::Catalog(msg)) => assert!(msg.contains("database locked"), "{msg}"),
@@ -753,8 +741,7 @@ mod tests {
     #[test]
     fn lock_released_on_drop() {
         let dir = tempfile::tempdir().unwrap();
-        let opts =
-            StoreOptions { path: Some(dir.path().to_path_buf()), ..Default::default() };
+        let opts = StoreOptions { path: Some(dir.path().to_path_buf()), ..Default::default() };
         {
             let _s1 = Store::open(opts.clone()).unwrap();
         }
@@ -774,8 +761,7 @@ mod tests {
         let files_before = std::fs::read_dir(dir.path().join("cols")).unwrap().count();
         assert!(files_before >= 2);
         let mut w = TxWrites::default();
-        w.base_versions
-            .insert("t".into(), store.snapshot().table("t").unwrap().version);
+        w.base_versions.insert("t".into(), store.snapshot().table("t").unwrap().version);
         w.ops.push(WalRecord::DropTable { name: "t".into() });
         store.commit(w).unwrap();
         store.checkpoint().unwrap();
@@ -799,7 +785,10 @@ mod tests {
         let mut w = TxWrites::default();
         w.ops.push(WalRecord::Append {
             table: "t".into(),
-            cols: vec![Bat::Double(vec![1.0]), Bat::from_buffer(&ColumnBuffer::Varchar(vec![None]))],
+            cols: vec![
+                Bat::Double(vec![1.0]),
+                Bat::from_buffer(&ColumnBuffer::Varchar(vec![None])),
+            ],
         });
         assert!(matches!(store.commit(w), Err(MlError::TypeMismatch(_))));
     }
@@ -816,8 +805,7 @@ mod tests {
         // Two tables with one 1000-row int column each (4 kB).
         for name in ["x", "y"] {
             let mut w = TxWrites::default();
-            let schema =
-                Schema::new(vec![Field::not_null("v", LogicalType::Int)]).unwrap();
+            let schema = Schema::new(vec![Field::not_null("v", LogicalType::Int)]).unwrap();
             w.ops.push(WalRecord::CreateTable { name: name.into(), schema });
             w.ops.push(WalRecord::Append {
                 table: name.into(),

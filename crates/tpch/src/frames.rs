@@ -92,8 +92,7 @@ pub fn q1(f: &TpchFrames) -> Result<DataFrame> {
     let price = ops::to_f64(li.col("l_extendedprice")?)?;
     let disc = ops::to_f64(li.col("l_discount")?)?;
     let tax = ops::to_f64(li.col("l_tax")?)?;
-    let disc_price: Vec<f64> =
-        price.iter().zip(&disc).map(|(&p, &d)| p * (1.0 - d)).collect();
+    let disc_price: Vec<f64> = price.iter().zip(&disc).map(|(&p, &d)| p * (1.0 - d)).collect();
     let charge = disc_price.iter().zip(&tax).map(|(&dp, &t)| dp * (1.0 + t)).collect();
     let li = li
         .with_column("disc_price", monetlite_types::ColumnBuffer::Double(disc_price))?
@@ -117,18 +116,30 @@ pub fn q1(f: &TpchFrames) -> Result<DataFrame> {
 /// Q2: minimum-cost supplier (correlated min decorrelated by hand).
 pub fn q2(f: &TpchFrames) -> Result<DataFrame> {
     // European suppliers only.
-    let eu = f
-        .region
-        .filter(&ops::mask_cmp(f.region.col("r_name")?, MaskOp::Eq, &Value::Str("EUROPE".into())))?;
+    let eu = f.region.filter(&ops::mask_cmp(
+        f.region.col("r_name")?,
+        MaskOp::Eq,
+        &Value::Str("EUROPE".into()),
+    ))?;
     let nations = f.nation.join(&eu, &["n_regionkey"], &["r_regionkey"], JoinHow::Semi)?;
     let supp = f
         .supplier
-        .select(&["s_suppkey", "s_nationkey", "s_acctbal", "s_name", "s_address", "s_phone", "s_comment"])?
+        .select(&[
+            "s_suppkey",
+            "s_nationkey",
+            "s_acctbal",
+            "s_name",
+            "s_address",
+            "s_phone",
+            "s_comment",
+        ])?
         .join(&nations, &["s_nationkey"], &["n_nationkey"], JoinHow::Semi)?;
-    let ps = f
-        .partsupp
-        .select(&["ps_partkey", "ps_suppkey", "ps_supplycost"])?
-        .join(&supp, &["ps_suppkey"], &["s_suppkey"], JoinHow::Semi)?;
+    let ps = f.partsupp.select(&["ps_partkey", "ps_suppkey", "ps_supplycost"])?.join(
+        &supp,
+        &["ps_suppkey"],
+        &["s_suppkey"],
+        JoinHow::Semi,
+    )?;
     // Per-part minimum cost among European suppliers.
     let mins = ps.group_by(&["ps_partkey"], &[("ps_supplycost", AggOp::Min, "min_cost")])?;
     // Parts of interest.
@@ -151,12 +162,16 @@ pub fn q2(f: &TpchFrames) -> Result<DataFrame> {
         JoinHow::Inner,
     )?;
     let out = hits.join(&supp_full, &["ps_suppkey"], &["s_suppkey"], JoinHow::Inner)?;
-    let out = out
-        .with_column("p_partkey", out.col("ps_partkey")?.clone())?
-        .select(&[
-            "s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address", "s_phone",
-            "s_comment",
-        ])?;
+    let out = out.with_column("p_partkey", out.col("ps_partkey")?.clone())?.select(&[
+        "s_acctbal",
+        "s_name",
+        "n_name",
+        "p_partkey",
+        "p_mfgr",
+        "s_address",
+        "s_phone",
+        "s_comment",
+    ])?;
     out.sort_by(&[("s_acctbal", true), ("n_name", false), ("s_name", false), ("p_partkey", false)])?
         .head(100)
 }
@@ -179,12 +194,9 @@ pub fn q3(f: &TpchFrames) -> Result<DataFrame> {
     let price = ops::to_f64(j.col("l_extendedprice")?)?;
     let disc = ops::to_f64(j.col("l_discount")?)?;
     let j = j.with_column("rev", ops::zip_f64(&price, &disc, |p, d| p * (1.0 - d)))?;
-    j.group_by(
-        &["l_orderkey", "o_orderdate", "o_shippriority"],
-        &[("rev", AggOp::Sum, "revenue")],
-    )?
-    .sort_by(&[("revenue", true), ("o_orderdate", false)])?
-    .head(10)
+    j.group_by(&["l_orderkey", "o_orderdate", "o_shippriority"], &[("rev", AggOp::Sum, "revenue")])?
+        .sort_by(&[("revenue", true), ("o_orderdate", false)])?
+        .head(10)
 }
 
 /// Q4: order priority checking (EXISTS → semi join by hand).
@@ -193,8 +205,7 @@ pub fn q4(f: &TpchFrames) -> Result<DataFrame> {
     let m = ops::mask_date_between(ord.col("o_orderdate")?, "1993-07-01", "1993-09-30")?;
     let ord = ord.filter(&m)?;
     let li = f.lineitem.select(&["l_orderkey", "l_commitdate", "l_receiptdate"])?;
-    let late =
-        ops::mask_cmp_cols(li.col("l_commitdate")?, MaskOp::Lt, li.col("l_receiptdate")?);
+    let late = ops::mask_cmp_cols(li.col("l_commitdate")?, MaskOp::Lt, li.col("l_receiptdate")?);
     let li = li.filter(&late)?;
     let ord = ord.join(&li, &["o_orderkey"], &["l_orderkey"], JoinHow::Semi)?;
     ord.group_by(&["o_orderpriority"], &[("o_orderkey", AggOp::CountStar, "order_count")])?
@@ -203,13 +214,17 @@ pub fn q4(f: &TpchFrames) -> Result<DataFrame> {
 
 /// Q5: local supplier volume (6-way join, hand-ordered smallest-first).
 pub fn q5(f: &TpchFrames) -> Result<DataFrame> {
-    let asia = f
-        .region
-        .filter(&ops::mask_cmp(f.region.col("r_name")?, MaskOp::Eq, &Value::Str("ASIA".into())))?;
-    let nations = f
-        .nation
-        .select(&["n_nationkey", "n_name", "n_regionkey"])?
-        .join(&asia, &["n_regionkey"], &["r_regionkey"], JoinHow::Semi)?;
+    let asia = f.region.filter(&ops::mask_cmp(
+        f.region.col("r_name")?,
+        MaskOp::Eq,
+        &Value::Str("ASIA".into()),
+    ))?;
+    let nations = f.nation.select(&["n_nationkey", "n_name", "n_regionkey"])?.join(
+        &asia,
+        &["n_regionkey"],
+        &["r_regionkey"],
+        JoinHow::Semi,
+    )?;
     let ord = f.orders.select(&["o_orderkey", "o_custkey", "o_orderdate"])?;
     let m = ops::mask_date_between(ord.col("o_orderdate")?, "1994-01-01", "1994-12-31")?;
     let ord = ord.filter(&m)?;
@@ -220,13 +235,17 @@ pub fn q5(f: &TpchFrames) -> Result<DataFrame> {
     let supp = f.supplier.select(&["s_suppkey", "s_nationkey"])?;
     // Both join conditions at once: supplier key AND same nation as the
     // customer (the "local supplier" condition).
-    let j = j.join(&supp, &["l_suppkey", "c_nationkey"], &["s_suppkey", "s_nationkey"], JoinHow::Inner)?;
+    let j = j.join(
+        &supp,
+        &["l_suppkey", "c_nationkey"],
+        &["s_suppkey", "s_nationkey"],
+        JoinHow::Inner,
+    )?;
     let j = j.join(&nations, &["c_nationkey"], &["n_nationkey"], JoinHow::Inner)?;
     let price = ops::to_f64(j.col("l_extendedprice")?)?;
     let disc = ops::to_f64(j.col("l_discount")?)?;
     let j = j.with_column("rev", ops::zip_f64(&price, &disc, |p, d| p * (1.0 - d)))?;
-    j.group_by(&["n_name"], &[("rev", AggOp::Sum, "revenue")])?
-        .sort_by(&[("revenue", true)])
+    j.group_by(&["n_name"], &[("rev", AggOp::Sum, "revenue")])?.sort_by(&[("revenue", true)])
 }
 
 /// Q6: forecasting revenue change (pure scan).
@@ -297,10 +316,9 @@ pub fn q7(f: &TpchFrames) -> Result<DataFrame> {
     ])?;
     let ord = f.orders.select(&["o_orderkey", "o_custkey"])?;
     let oc = ord.join(&cust, &["o_custkey"], &["c_custkey"], JoinHow::Inner)?;
-    let oc = oc.with_column("cust_nation", oc.col("n_name")?.clone())?.select(&[
-        "o_orderkey",
-        "cust_nation",
-    ])?;
+    let oc = oc
+        .with_column("cust_nation", oc.col("n_name")?.clone())?
+        .select(&["o_orderkey", "cust_nation"])?;
     let j = li.join(&oc, &["l_orderkey"], &["o_orderkey"], JoinHow::Inner)?;
     // Keep only the FR→DE and DE→FR pairs.
     let fr_de = ops::mask_and(
@@ -347,14 +365,18 @@ pub fn q8(f: &TpchFrames) -> Result<DataFrame> {
         MaskOp::Eq,
         &Value::Str("AMERICA".into()),
     ))?;
-    let n1 = f
-        .nation
-        .select(&["n_nationkey", "n_regionkey"])?
-        .join(&america, &["n_regionkey"], &["r_regionkey"], JoinHow::Semi)?;
-    let cust = f
-        .customer
-        .select(&["c_custkey", "c_nationkey"])?
-        .join(&n1, &["c_nationkey"], &["n_nationkey"], JoinHow::Semi)?;
+    let n1 = f.nation.select(&["n_nationkey", "n_regionkey"])?.join(
+        &america,
+        &["n_regionkey"],
+        &["r_regionkey"],
+        JoinHow::Semi,
+    )?;
+    let cust = f.customer.select(&["c_custkey", "c_nationkey"])?.join(
+        &n1,
+        &["c_nationkey"],
+        &["n_nationkey"],
+        JoinHow::Semi,
+    )?;
     let j = j.join(&cust, &["o_custkey"], &["c_custkey"], JoinHow::Semi)?;
     // Supplier nation name.
     let supp = f.supplier.select(&["s_suppkey", "s_nationkey"])?;
@@ -395,7 +417,8 @@ pub fn q9(f: &TpchFrames) -> Result<DataFrame> {
     ])?;
     let li = li.join(&p, &["l_partkey"], &["p_partkey"], JoinHow::Semi)?;
     let ps = f.partsupp.select(&["ps_partkey", "ps_suppkey", "ps_supplycost"])?;
-    let j = li.join(&ps, &["l_partkey", "l_suppkey"], &["ps_partkey", "ps_suppkey"], JoinHow::Inner)?;
+    let j =
+        li.join(&ps, &["l_partkey", "l_suppkey"], &["ps_partkey", "ps_suppkey"], JoinHow::Inner)?;
     let supp = f.supplier.select(&["s_suppkey", "s_nationkey"])?;
     let j = j.join(&supp, &["l_suppkey"], &["s_suppkey"], JoinHow::Inner)?;
     let nat = f.nation.select(&["n_nationkey", "n_name"])?;
@@ -406,9 +429,8 @@ pub fn q9(f: &TpchFrames) -> Result<DataFrame> {
     let disc = ops::to_f64(j.col("l_discount")?)?;
     let cost = ops::to_f64(j.col("ps_supplycost")?)?;
     let qty = ops::to_f64(j.col("l_quantity")?)?;
-    let amount: Vec<f64> = (0..price.len())
-        .map(|i| price[i] * (1.0 - disc[i]) - cost[i] * qty[i])
-        .collect();
+    let amount: Vec<f64> =
+        (0..price.len()).map(|i| price[i] * (1.0 - disc[i]) - cost[i] * qty[i]).collect();
     let j = j
         .with_column("amount", monetlite_types::ColumnBuffer::Double(amount))?
         .with_column("o_year", ops::year(j.col("o_orderdate")?))?
@@ -423,11 +445,8 @@ pub fn q10(f: &TpchFrames) -> Result<DataFrame> {
     let m = ops::mask_date_between(ord.col("o_orderdate")?, "1993-10-01", "1993-12-31")?;
     let ord = ord.filter(&m)?;
     let li = f.lineitem.select(&["l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"])?;
-    let li = li.filter(&ops::mask_cmp(
-        li.col("l_returnflag")?,
-        MaskOp::Eq,
-        &Value::Str("R".into()),
-    ))?;
+    let li =
+        li.filter(&ops::mask_cmp(li.col("l_returnflag")?, MaskOp::Eq, &Value::Str("R".into())))?;
     let j = li.join(&ord, &["l_orderkey"], &["o_orderkey"], JoinHow::Inner)?;
     let cust = f.customer.select(&[
         "c_custkey",

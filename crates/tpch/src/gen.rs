@@ -105,20 +105,48 @@ const NATIONS: [(&str, i32); 25] = [
 const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTIONS: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
 const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINERS1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 const CONTAINERS2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 const COLORS: [&str; 17] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "green", "red",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "green",
+    "red",
 ];
 const WORDS: [&str; 16] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "ideas", "packages", "requests",
-    "accounts", "deposits", "foxes", "theodolites", "pinto", "beans", "instructions", "asymptotes",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "ideas",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "foxes",
+    "theodolites",
+    "pinto",
+    "beans",
+    "instructions",
+    "asymptotes",
 ];
 
 fn comment(rng: &mut StdRng, words: usize) -> String {
@@ -413,7 +441,7 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
         o_date.push(odate);
         o_prio.push(Some(PRIORITIES[rng.random_range(0..PRIORITIES.len())].to_string()));
         o_clerk.push(Some(format!("Clerk#{:09}", rng.random_range(1..=1000))));
-        o_ship.push(rng.random_range(0..5) as i32);
+        o_ship.push(rng.random_range(0..5));
         o_comment.push(Some(comment(&mut rng, 6)));
         let nlines = rng.random_range(1..=7);
         let mut total: i64 = 0;
@@ -553,8 +581,7 @@ mod tests {
         let orders = &d.orders;
         assert!(li.rows() >= orders.rows(), "at least one line per order");
         // Dates ordered: ship < receipt.
-        let (ColumnBuffer::Date(ship), ColumnBuffer::Date(receipt)) =
-            (&li.cols[10], &li.cols[12])
+        let (ColumnBuffer::Date(ship), ColumnBuffer::Date(receipt)) = (&li.cols[10], &li.cols[12])
         else {
             panic!()
         };

@@ -23,7 +23,8 @@ where l_shipdate <= date '1998-12-01' - interval '90' day \
 group by l_returnflag, l_linestatus \
 order by l_returnflag, l_linestatus";
 
-const Q2: &str = "select s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment \
+const Q2: &str =
+    "select s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment \
 from part, supplier, partsupp, nation, region \
 where p_partkey = ps_partkey and s_suppkey = ps_suppkey and p_size = 15 \
 and p_type like '%BRASS' and s_nationkey = n_nationkey and n_regionkey = r_regionkey \

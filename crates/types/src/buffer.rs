@@ -84,7 +84,9 @@ impl ColumnBuffer {
             ColumnBuffer::Int(_) => LogicalType::Int,
             ColumnBuffer::Bigint(_) => LogicalType::Bigint,
             ColumnBuffer::Double(_) => LogicalType::Double,
-            ColumnBuffer::Decimal { scale, .. } => LogicalType::Decimal { width: 18, scale: *scale },
+            ColumnBuffer::Decimal { scale, .. } => {
+                LogicalType::Decimal { width: 18, scale: *scale }
+            }
             ColumnBuffer::Varchar(_) => LogicalType::Varchar,
             ColumnBuffer::Date(_) => LogicalType::Date,
         }
@@ -199,7 +201,9 @@ impl ColumnBuffer {
     /// positional fetch).
     pub fn take(&self, idx: &[u32]) -> ColumnBuffer {
         match self {
-            ColumnBuffer::Bool(v) => ColumnBuffer::Bool(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnBuffer::Bool(v) => {
+                ColumnBuffer::Bool(idx.iter().map(|&i| v[i as usize]).collect())
+            }
             ColumnBuffer::Int(v) => ColumnBuffer::Int(idx.iter().map(|&i| v[i as usize]).collect()),
             ColumnBuffer::Bigint(v) => {
                 ColumnBuffer::Bigint(idx.iter().map(|&i| v[i as usize]).collect())
@@ -214,7 +218,9 @@ impl ColumnBuffer {
             ColumnBuffer::Varchar(v) => {
                 ColumnBuffer::Varchar(idx.iter().map(|&i| v[i as usize].clone()).collect())
             }
-            ColumnBuffer::Date(v) => ColumnBuffer::Date(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnBuffer::Date(v) => {
+                ColumnBuffer::Date(idx.iter().map(|&i| v[i as usize]).collect())
+            }
         }
     }
 

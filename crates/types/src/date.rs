@@ -33,9 +33,7 @@ impl Date {
         }
         let dim = days_in_month(year, month);
         if day == 0 || day > dim {
-            return Err(MlError::Execution(format!(
-                "invalid day {day} for {year:04}-{month:02}"
-            )));
+            return Err(MlError::Execution(format!("invalid day {day} for {year:04}-{month:02}")));
         }
         Ok(Date(days_from_civil(year, month, day)))
     }

@@ -36,7 +36,10 @@ impl LogicalType {
     pub fn is_numeric(self) -> bool {
         matches!(
             self,
-            LogicalType::Int | LogicalType::Bigint | LogicalType::Double | LogicalType::Decimal { .. }
+            LogicalType::Int
+                | LogicalType::Bigint
+                | LogicalType::Double
+                | LogicalType::Decimal { .. }
         )
     }
 
@@ -69,15 +72,10 @@ impl LogicalType {
             | (Int, Decimal { width, scale })
             | (Decimal { width, scale }, Bigint)
             | (Bigint, Decimal { width, scale }) => Decimal { width, scale },
-            (Decimal { width: w1, scale: s1 }, Decimal { width: w2, scale: s2 }) => Decimal {
-                width: w1.max(w2),
-                scale: s1.max(s2),
-            },
-            _ => {
-                return Err(MlError::TypeMismatch(format!(
-                    "no common type for {a} and {b}"
-                )))
+            (Decimal { width: w1, scale: s1 }, Decimal { width: w2, scale: s2 }) => {
+                Decimal { width: w1.max(w2), scale: s1.max(s2) }
             }
+            _ => return Err(MlError::TypeMismatch(format!("no common type for {a} and {b}"))),
         };
         Ok(r)
     }

@@ -149,10 +149,7 @@ mod tests {
     #[test]
     fn mixed_numeric_ordering() {
         assert_eq!(Value::Int(2).cmp_sql(&Value::Double(2.5)), Ordering::Less);
-        assert_eq!(
-            Value::Decimal(Decimal::new(250, 2)).cmp_sql(&Value::Int(2)),
-            Ordering::Greater
-        );
+        assert_eq!(Value::Decimal(Decimal::new(250, 2)).cmp_sql(&Value::Int(2)), Ordering::Greater);
     }
 
     #[test]

@@ -28,7 +28,10 @@ fn main() -> monetlite::types::Result<()> {
     let r = conn.query("SELECT * FROM t")?;
     let frame = HostFrame::import(&r, TransferMode::ZeroCopy);
     let embedded = t0.elapsed();
-    println!("embedded:  {} rows in {embedded:?} (zero-copy: {} cols)", frame.rows, frame.stats.zero_copied);
+    println!(
+        "embedded:  {} rows in {embedded:?} (zero-copy: {} cols)",
+        frame.rows, frame.stats.zero_copied
+    );
 
     // Same engine behind a TCP socket with a row-wise text protocol.
     let db2 = Database::open_in_memory();

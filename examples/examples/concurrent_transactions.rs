@@ -25,11 +25,7 @@ fn main() -> monetlite::types::Result<()> {
         let before = reader.query("SELECT sum(balance) FROM accounts")?;
         writer.execute("UPDATE accounts SET balance = balance + 50.00 WHERE id = 1")?;
         let during = reader.query("SELECT sum(balance) FROM accounts")?;
-        println!(
-            "reader snapshot stable: {} == {}",
-            before.value(0, 0),
-            during.value(0, 0)
-        );
+        println!("reader snapshot stable: {} == {}", before.value(0, 0), during.value(0, 0));
         reader.execute("COMMIT")?;
 
         // Write-write conflict: both transactions touch `accounts`.

@@ -48,7 +48,8 @@ fn main() -> monetlite::types::Result<()> {
     conn.execute("BEGIN")?;
     conn.execute("UPDATE weather SET temp_c = temp_c + 1.0 WHERE city = 'Turin'")?;
     conn.execute("COMMIT")?;
-    let check = conn.query("SELECT temp_c FROM weather WHERE day = date '2018-10-23' AND city = 'Turin'")?;
+    let check =
+        conn.query("SELECT temp_c FROM weather WHERE day = date '2018-10-23' AND city = 'Turin'")?;
     println!("after update: {:?}", check.value(0, 0));
     Ok(())
 }

@@ -8,15 +8,13 @@ use monetlite_types::Value;
 fn approx_eq(a: &Value, b: &Value) -> bool {
     match (a, b) {
         (Value::Null, Value::Null) => true,
-        (x, y) => {
-            match (x.as_f64(), y.as_f64()) {
-                (Ok(fx), Ok(fy)) => {
-                    let tol = 1e-6 * fx.abs().max(fy.abs()).max(1.0);
-                    (fx - fy).abs() <= tol
-                }
-                _ => x == y,
+        (x, y) => match (x.as_f64(), y.as_f64()) {
+            (Ok(fx), Ok(fy)) => {
+                let tol = 1e-6 * fx.abs().max(fy.abs()).max(1.0);
+                (fx - fy).abs() <= tol
             }
-        }
+            _ => x == y,
+        },
     }
 }
 

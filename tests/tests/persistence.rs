@@ -25,8 +25,14 @@ fn full_lifecycle_with_restart() {
     let mut conn = db.connect();
     let r = conn.query("SELECT k, v, d FROM t ORDER BY k").unwrap();
     assert_eq!(r.nrows(), 3);
-    assert_eq!(r.row(0), vec![Value::Int(1), Value::Str("one".into()),
-        Value::Decimal(monetlite_types::Decimal::new(200, 2))]);
+    assert_eq!(
+        r.row(0),
+        vec![
+            Value::Int(1),
+            Value::Str("one".into()),
+            Value::Decimal(monetlite_types::Decimal::new(200, 2))
+        ]
+    );
     assert_eq!(r.value(1, 0), Value::Int(3));
     assert_eq!(r.value(2, 0), Value::Int(4));
 }

@@ -8,9 +8,8 @@ use proptest::prelude::*;
 fn setup(seed: i32) -> (monetlite::Database, RowDb) {
     let n = 300;
     let ints: Vec<i32> = (0..n).map(|i| (i * seed.wrapping_add(7)) % 50).collect();
-    let strs: Vec<Option<String>> = (0..n)
-        .map(|i| if i % 11 == 0 { None } else { Some(format!("s{}", i % 13)) })
-        .collect();
+    let strs: Vec<Option<String>> =
+        (0..n).map(|i| if i % 11 == 0 { None } else { Some(format!("s{}", i % 13)) }).collect();
     let dbls: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25).collect();
     let ddl = "CREATE TABLE t (a INT, b VARCHAR(8), c DOUBLE)";
     let db = monetlite::Database::open_in_memory();

@@ -91,11 +91,9 @@ fn q4_order_counts_match_semi_join_by_hand() {
         .collect();
     let lo = Date::parse("1993-07-01").unwrap().0;
     let hi = Date::parse("1993-10-01").unwrap().0;
-    let expect: i64 = o_key
-        .iter()
-        .zip(o_date)
-        .filter(|(k, d)| **d >= lo && **d < hi && late.contains(k))
-        .count() as i64;
+    let expect: i64 =
+        o_key.iter().zip(o_date).filter(|(k, d)| **d >= lo && **d < hi && late.contains(k)).count()
+            as i64;
     let mut conn = db.connect();
     let r = conn.query(queries::sql(4)).unwrap();
     let total: i64 = (0..r.nrows())
@@ -111,7 +109,7 @@ fn q4_order_counts_match_semi_join_by_hand() {
 fn q2_minimum_cost_property() {
     // Every returned (partkey) must truly be served at the EUROPE-minimum
     // supply cost for that part.
-    let (data, db) = data_and_conn();
+    let (_data, db) = data_and_conn();
     let mut conn = db.connect();
     let r = conn.query(queries::sql(2)).unwrap();
     if r.nrows() == 0 {
@@ -150,8 +148,6 @@ fn q10_is_top20_by_revenue() {
     let r = conn.query(queries::sql(10)).unwrap();
     assert!(r.nrows() <= 20);
     let rev_col = r.names().iter().position(|n| n == "revenue").unwrap();
-    let revs: Vec<f64> = (0..r.nrows())
-        .map(|i| r.value(i, rev_col).as_f64().unwrap())
-        .collect();
+    let revs: Vec<f64> = (0..r.nrows()).map(|i| r.value(i, rev_col).as_f64().unwrap()).collect();
     assert!(revs.windows(2).all(|w| w[0] >= w[1]), "descending revenue: {revs:?}");
 }

@@ -1,0 +1,239 @@
+//! Minimal local stand-in for `criterion` (no network in the build
+//! environment). Real wall-clock measurement behind the familiar
+//! `criterion_group!`/`criterion_main!`/`benchmark_group` API:
+//!
+//! * each benchmark is warmed up, then timed over `sample_size` samples,
+//!   with the per-iteration median/mean/min reported on stdout;
+//! * when `MONETLITE_BENCH_JSON` is set, all results are appended to that
+//!   file as a JSON array (used to record bench artifacts in-repo).
+//!
+//! No statistical outlier analysis, plots, or baselines.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { default_sample_size: 10, results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            crit: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(id.to_string(), sample_size, Duration::from_millis(500), f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, budget: Duration, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warmup + calibration: one iteration to estimate cost.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = (b.elapsed.as_nanos().max(1)) as u64;
+        // Pick iterations per sample so one sample is >= budget/samples.
+        let per_sample_ns = (budget.as_nanos() as u64 / sample_size.max(1) as u64).max(1);
+        let iters = (per_sample_ns / per_iter).clamp(1, 1_000_000);
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns[0];
+        println!(
+            "{id:<50} time: [min {} median {} mean {}] ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            sample_size,
+            iters
+        );
+        self.results.push(Measurement {
+            id,
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+            samples: sample_size,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if let Ok(path) = std::env::var("MONETLITE_BENCH_JSON") {
+            if path.is_empty() || self.results.is_empty() {
+                return;
+            }
+            let mut out = String::from("[\n");
+            for (i, m) in self.results.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&format!(
+                    "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+                    m.id.replace('"', "'"),
+                    m.median_ns,
+                    m.mean_ns,
+                    m.min_ns,
+                    m.samples,
+                    m.iters_per_sample
+                ));
+            }
+            out.push_str("\n]\n");
+            let _ = std::fs::write(path, out);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    crit: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let (n, t) = (self.sample_size, self.measurement_time);
+        self.crit.run_one(full, n, t, f);
+        self
+    }
+
+    /// Finish the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declare a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes harness flags like --bench; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).measurement_time(Duration::from_millis(5));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].median_ns >= 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimal local stand-in for `rand` 0.9 (no network in the build
+//! environment). Deterministic xoshiro256++ generator behind the small
+//! `Rng`/`SeedableRng` surface this workspace uses: `random_range` over
+//! integer/float ranges and `random_ratio`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Raw 64-bit source.
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level random-value API (blanket-implemented over [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Uniform value from a range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// True with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "random_bool({p})");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// True with probability `num/denom`.
+    fn random_ratio(&mut self, num: u32, denom: u32) -> bool {
+        assert!(denom > 0 && num <= denom, "random_ratio({num}, {denom})");
+        (self.next_u64() % denom as u64) < num as u64
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// The standard generator: xoshiro256++ seeded via splitmix64.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // splitmix64 expansion of the seed into the full state.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draw one value from the source.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f32 / (1u64 << 53) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Generator namespace mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i32 = r.random_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let w: i64 = r.random_range(10..=12);
+            assert!((10..=12).contains(&w));
+            let f: f64 = r.random_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let u: usize = r.random_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn ratio_is_plausible() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.random_ratio(1, 4)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Minimal local stand-in for `tempfile` (no network in the build
+//! environment): `tempdir()`/`TempDir` creating unique directories under
+//! the system temp dir, removed recursively on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+use std::{env, fs, io};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory that is deleted (recursively) when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consume without deleting, returning the path.
+    pub fn keep(self) -> PathBuf {
+        let p = self.path.clone();
+        std::mem::forget(self);
+        p
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Create a fresh unique temporary directory.
+pub fn tempdir() -> io::Result<TempDir> {
+    let nanos = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.subsec_nanos()).unwrap_or(0);
+    let base = env::temp_dir();
+    for _ in 0..64 {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = base.join(format!("monetlite-tmp-{}-{}-{}", std::process::id(), nanos, n));
+        match fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::other("could not create unique temp dir"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let keep;
+        {
+            let d = tempdir().unwrap();
+            keep = d.path().to_path_buf();
+            assert!(keep.is_dir());
+        }
+        assert!(!keep.exists(), "removed on drop");
+    }
+
+    #[test]
+    fn dirs_are_unique() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
