@@ -93,6 +93,14 @@ impl GroupTable {
         self.keys
     }
 
+    /// Approximate resident bytes (representative keys + bucket map) —
+    /// the quantity the spill budget checks against.
+    pub fn mem_bytes(&self) -> usize {
+        let keys: usize = self.keys.iter().map(|k| k.mem_bytes()).sum();
+        // Bucket map: hash key + Vec header + ~one group id per entry.
+        keys + self.buckets.len() * (8 + 24 + 8)
+    }
+
     /// Intern a block of key rows, returning each row's dense group id.
     pub fn intern_block(&mut self, block: &[&Bat], rows: usize) -> Result<Vec<u32>> {
         debug_assert_eq!(block.len(), self.keys.len());
@@ -412,6 +420,31 @@ impl AggState {
         }
     }
 
+    /// Approximate resident bytes of the accumulator — drives the
+    /// spill-or-not decision of the streaming engine's partial hash
+    /// aggregation. Holistic states (MEDIAN buffers, COUNT(DISTINCT)
+    /// sets) grow with input, not group count, so they are measured by
+    /// content.
+    pub fn mem_bytes(&self) -> usize {
+        fn value_bytes(v: &Value) -> usize {
+            16 + match v {
+                Value::Str(s) => s.len(),
+                _ => 8,
+            }
+        }
+        match self {
+            AggState::Count(c) => c.len() * 8,
+            AggState::SumInt(s, seen) | AggState::SumDec(s, seen, _) => s.len() * 16 + seen.len(),
+            AggState::SumF64(s, seen) => s.len() * 8 + seen.len(),
+            AggState::Avg(s, c) => s.len() * 8 + c.len() * 8,
+            AggState::Best(b, _) => b.iter().map(value_bytes).sum(),
+            AggState::Median(bufs) => bufs.iter().map(|b| 24 + b.len() * 8).sum(),
+            AggState::CountDistinct(sets) => {
+                sets.iter().map(|s| 48 + s.iter().map(|x| 48 + x.len()).sum::<usize>()).sum()
+            }
+        }
+    }
+
     /// Current group capacity.
     pub fn n_groups(&self) -> usize {
         match self {
@@ -710,6 +743,108 @@ mod tests {
         let a = whole.finish(LogicalType::Bigint).unwrap();
         let b = p1.finish(LogicalType::Bigint).unwrap();
         assert_eq!(a.to_buffer(None), b.to_buffer(None));
+    }
+
+    // -----------------------------------------------------------------
+    // Overflow audit: integer and decimal SUM must accumulate in i128 and
+    // report "SUM overflow" at finish instead of silently wrapping —
+    // exercised at i64::MAX-adjacent magnitudes, including the streaming
+    // engine's partial-merge path.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn bigint_sum_overflow_is_an_error_not_a_wrap() {
+        let arg = Bat::Bigint(vec![i64::MAX, 1]);
+        let mut s = AggState::new(PAggFunc::Sum, Some(LogicalType::Bigint), false, 1).unwrap();
+        s.update(Some(&arg), &[0, 0]).unwrap();
+        match s.finish(LogicalType::Bigint) {
+            Err(MlError::Execution(m)) => assert!(m.contains("SUM overflow"), "{m}"),
+            other => panic!("expected SUM overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decimal_sum_near_i64_max_is_exact() {
+        // i64::MAX - 10 plus 10 lands exactly on i64::MAX: representable,
+        // must not error and must not lose precision to a float path.
+        let arg = Bat::Decimal { data: vec![i64::MAX - 10, 10], scale: 2 };
+        let mut s = AggState::new(
+            PAggFunc::Sum,
+            Some(LogicalType::Decimal { width: 18, scale: 2 }),
+            false,
+            1,
+        )
+        .unwrap();
+        s.update(Some(&arg), &[0, 0]).unwrap();
+        let out = s.finish(LogicalType::Decimal { width: 18, scale: 2 }).unwrap();
+        assert_eq!(out.get(0), Value::Decimal(Decimal::new(i64::MAX, 2)));
+    }
+
+    #[test]
+    fn decimal_sum_overflow_is_an_error_not_a_wrap() {
+        let arg = Bat::Decimal { data: vec![i64::MAX, 1], scale: 2 };
+        let mut s = AggState::new(
+            PAggFunc::Sum,
+            Some(LogicalType::Decimal { width: 18, scale: 2 }),
+            false,
+            1,
+        )
+        .unwrap();
+        s.update(Some(&arg), &[0, 0]).unwrap();
+        match s.finish(LogicalType::Decimal { width: 18, scale: 2 }) {
+            Err(MlError::Execution(m)) => assert!(m.contains("SUM overflow"), "{m}"),
+            other => panic!("expected SUM overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decimal_sum_overflow_detected_across_partial_merge() {
+        // Each partial is in range; only their merged total overflows —
+        // the i128 widening must carry through merge() and merge_mapped().
+        let dec_ty = LogicalType::Decimal { width: 18, scale: 0 };
+        let mk = |raw: i64| -> AggState {
+            let mut s = AggState::new(PAggFunc::Sum, Some(dec_ty), false, 1).unwrap();
+            s.update(Some(&Bat::Decimal { data: vec![raw], scale: 0 }), &[0]).unwrap();
+            s
+        };
+        let mut merged = mk(i64::MAX - 1);
+        merged.merge(mk(i64::MAX - 1)).unwrap();
+        assert!(merged.finish(dec_ty).is_err(), "merged overflow must surface");
+        let mut mapped = mk(i64::MAX - 1);
+        mapped.merge_mapped(mk(i64::MAX - 1), &[0]).unwrap();
+        assert!(mapped.finish(dec_ty).is_err(), "mapped-merge overflow must surface");
+    }
+
+    #[test]
+    fn decimal_sum_negative_overflow_and_null_sentinel_guard() {
+        // The decimal NULL sentinel is i64::MIN: a sum landing exactly on
+        // it must error rather than materialise as NULL.
+        let dec_ty = LogicalType::Decimal { width: 18, scale: 0 };
+        let mut s = AggState::new(PAggFunc::Sum, Some(dec_ty), false, 1).unwrap();
+        s.update(Some(&Bat::Decimal { data: vec![i64::MIN + 1, -1], scale: 0 }), &[0, 0]).unwrap();
+        assert!(s.finish(dec_ty).is_err(), "sum == NULL sentinel must not round-trip as NULL");
+    }
+
+    #[test]
+    fn decimal_avg_near_i64_max_stays_finite() {
+        // AVG finalises to DOUBLE; near-sentinel magnitudes must neither
+        // wrap nor produce NULL/NaN for non-empty groups.
+        let arg = Bat::Decimal { data: vec![i64::MAX - 1, i64::MAX - 1], scale: 2 };
+        let mut a = AggState::new(
+            PAggFunc::Avg,
+            Some(LogicalType::Decimal { width: 18, scale: 2 }),
+            false,
+            1,
+        )
+        .unwrap();
+        a.update(Some(&arg), &[0, 0]).unwrap();
+        match a.finish(LogicalType::Double).unwrap().get(0) {
+            Value::Double(v) => {
+                let expect = (i64::MAX - 1) as f64 / 100.0;
+                assert!(v.is_finite() && (v - expect).abs() <= 1e-3 * expect, "{v}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

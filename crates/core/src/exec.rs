@@ -75,19 +75,35 @@ pub struct ExecOptions {
     pub use_order_index: bool,
     /// Per-query timeout.
     pub timeout: Option<Duration>,
+    /// Byte budget for transient pipeline-breaker state (hash-aggregate
+    /// group tables, hash-join build sides, sort buffers). When a
+    /// breaker's state would exceed it, the operator spills partitions /
+    /// sorted runs to temp files and processes them piecewise.
+    /// `usize::MAX` (the default) disables spilling; when unset, the
+    /// executor falls back to the headroom of the store's [`Vmem`] budget
+    /// (see [`ExecContext::spill_budget`]).
+    pub memory_budget: usize,
+}
+
+/// Environment override for test/CI matrices (`MONETLITE_THREADS`,
+/// `MONETLITE_VECTOR_SIZE`, `MONETLITE_MEMORY_BUDGET`): lets the whole
+/// suite run under non-default execution shapes without code changes.
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).filter(|&v| v > 0).unwrap_or(default)
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
             mode: ExecMode::Streaming,
-            threads: 1,
-            vector_size: 64 * 1024,
+            threads: env_usize("MONETLITE_THREADS", 1),
+            vector_size: env_usize("MONETLITE_VECTOR_SIZE", 64 * 1024),
             mitosis_min_rows: 64 * 1024,
             use_imprints: true,
             use_hash_index: true,
             use_order_index: true,
             timeout: None,
+            memory_budget: env_usize("MONETLITE_MEMORY_BUDGET", usize::MAX),
         }
     }
 }
@@ -119,11 +135,67 @@ pub struct ExecCounters {
     pub morsels: AtomicU64,
     /// Vectors pushed through streaming operator chains.
     pub vectors: AtomicU64,
+    /// Spill partitions / sorted runs written by pipeline breakers that
+    /// exceeded the memory budget.
+    pub spilled_partitions: AtomicU64,
+    /// Total bytes written to spill files.
+    pub spill_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of [`ExecCounters`], exposed on the connection
+/// after each query so embedders, benches and tests can observe tactical
+/// decisions (including spill traffic) without holding the context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Range selects answered through imprints.
+    pub imprint_selects: u64,
+    /// Range selects answered through an order index.
+    pub order_index_selects: u64,
+    /// Joins probing an automatic per-column hash index.
+    pub hash_index_joins: u64,
+    /// Merge joins over order indexes.
+    pub merge_joins: u64,
+    /// Mitosis fan-outs performed.
+    pub mitosis_runs: u64,
+    /// Total chunks executed in parallel.
+    pub mitosis_chunks: u64,
+    /// Streaming pipelines driven.
+    pub pipelines: u64,
+    /// Morsels dispatched to streaming workers.
+    pub morsels: u64,
+    /// Vectors pushed through streaming operator chains.
+    pub vectors: u64,
+    /// Spill partitions / sorted runs written.
+    pub spilled_partitions: u64,
+    /// Total bytes written to spill files.
+    pub spill_bytes: u64,
 }
 
 impl ExecCounters {
     pub(crate) fn bump(&self, c: &AtomicU64) {
         c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(&self, c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        CountersSnapshot {
+            imprint_selects: g(&self.imprint_selects),
+            order_index_selects: g(&self.order_index_selects),
+            hash_index_joins: g(&self.hash_index_joins),
+            merge_joins: g(&self.merge_joins),
+            mitosis_runs: g(&self.mitosis_runs),
+            mitosis_chunks: g(&self.mitosis_chunks),
+            pipelines: g(&self.pipelines),
+            morsels: g(&self.morsels),
+            vectors: g(&self.vectors),
+            spilled_partitions: g(&self.spilled_partitions),
+            spill_bytes: g(&self.spill_bytes),
+        }
     }
 }
 
@@ -137,6 +209,15 @@ pub struct ExecContext<'a> {
     pub deadline: Option<Instant>,
     /// Tactical-decision counters.
     pub counters: ExecCounters,
+    /// The store's paging manager, when executing against a [`Store`]
+    /// (`None` for bare plan-level execution). Ties the operator memory
+    /// budget to the same byte budget that governs column residency.
+    ///
+    /// [`Store`]: monetlite_storage::Store
+    pub vmem: Option<Arc<monetlite_storage::Vmem>>,
+    /// Lazily created temp directory holding this execution's spill files
+    /// (removed when the context is dropped).
+    pub(crate) spill: crate::spill::SpillDir,
 }
 
 impl<'a> ExecContext<'a> {
@@ -147,6 +228,30 @@ impl<'a> ExecContext<'a> {
             opts,
             deadline: opts.timeout.map(|t| Instant::now() + t),
             counters: ExecCounters::default(),
+            vmem: None,
+            spill: crate::spill::SpillDir::default(),
+        }
+    }
+
+    /// Attach the store's paging manager (budget source for spilling).
+    pub fn with_vmem(mut self, vmem: Arc<monetlite_storage::Vmem>) -> ExecContext<'a> {
+        self.vmem = Some(vmem);
+        self
+    }
+
+    /// The byte budget pipeline breakers must stay under, or `None` when
+    /// unlimited. An explicit [`ExecOptions::memory_budget`] wins;
+    /// otherwise the headroom of the attached [`Vmem`] budget applies —
+    /// operator state competes with resident columns for the same bytes.
+    ///
+    /// [`Vmem`]: monetlite_storage::Vmem
+    pub fn spill_budget(&self) -> Option<usize> {
+        if self.opts.memory_budget != usize::MAX {
+            return Some(self.opts.memory_budget);
+        }
+        match &self.vmem {
+            Some(vm) if vm.budget() != usize::MAX => Some(vm.headroom()),
+            _ => None,
         }
     }
 
@@ -217,6 +322,12 @@ impl Chunk {
     /// sources must still produce correctly-typed outputs).
     pub fn empty(schema: &[crate::plan::OutCol]) -> Chunk {
         Chunk { cols: schema.iter().map(|c| Arc::new(Bat::new(c.ty))).collect(), rows: 0 }
+    }
+
+    /// Approximate resident bytes of all columns (the spill-decision
+    /// measure; includes transient heap structures).
+    pub fn mem_bytes(&self) -> usize {
+        self.cols.iter().map(|c| c.mem_bytes()).sum()
     }
 
     /// Extract rows `[lo, hi)` as a new chunk (`lo == hi` yields an empty
@@ -889,7 +1000,9 @@ mod tests {
         let n = 10_000;
         let t = make_table("t", vec![("a", Bat::Int((0..n).collect()))], vec![]);
         let tables = TestTables { tables: HashMap::from([("t".into(), t)]) };
-        let ctx = ctx_with(&tables, ExecOptions::default());
+        // One probe per morsel: pin the vector size so the count is exact
+        // under the CI env matrix (MONETLITE_VECTOR_SIZE).
+        let ctx = ctx_with(&tables, ExecOptions { vector_size: 64 * 1024, ..Default::default() });
         let plan = Plan::Scan {
             table: "t".into(),
             projected: vec![0],

@@ -39,6 +39,7 @@ pub mod pipeline;
 pub mod plan;
 pub mod rows;
 pub mod sort;
+pub mod spill;
 
 use bind::{Binder, CatalogAccess};
 use exec::{ExecContext, ExecOptions, TableProvider};
@@ -127,6 +128,7 @@ impl Database {
             exec_opts: self.opts.exec,
             opt_flags: self.opts.opt_flags,
             txn: None,
+            last_counters: None,
         }
     }
 
@@ -236,6 +238,7 @@ pub struct Connection {
     exec_opts: ExecOptions,
     opt_flags: OptFlags,
     txn: Option<ActiveTxn>,
+    last_counters: Option<exec::CountersSnapshot>,
 }
 
 /// The transaction's catalog view, usable by the binder, the optimizer's
@@ -282,6 +285,14 @@ impl Connection {
     /// Override optimizer flags (ablation benches).
     pub fn set_opt_flags(&mut self, flags: OptFlags) {
         self.opt_flags = flags;
+    }
+
+    /// Execution counters of the last successful SELECT on this
+    /// connection (`None` before the first one): tactical decisions,
+    /// pipeline/morsel traffic, and — under a memory budget — spill
+    /// activity (`spilled_partitions` / `spill_bytes`).
+    pub fn last_exec_counters(&self) -> Option<exec::CountersSnapshot> {
+        self.last_counters
     }
 
     /// Execute one SQL statement, returning its full result
@@ -522,14 +533,22 @@ impl Connection {
     }
 
     fn run_select(&mut self, sel: &ast::SelectStmt) -> Result<QueryResult> {
-        let txn = self.txn.as_ref().expect("txn");
-        let view = TxnView { tables: &txn.tables };
-        let plan = Binder::new(&view).bind_select(sel)?;
-        let plan = opt::optimize(plan, self.opt_flags, &view, &view)?;
-        let ctx = ExecContext::new(&view, self.exec_opts);
-        let chunk = exec::execute(&plan, &ctx)?;
-        let names: Vec<String> = plan.schema().iter().map(|c| c.name.clone()).collect();
-        let types: Vec<LogicalType> = plan.schema().iter().map(|c| c.ty).collect();
+        let (chunk, names, types, counters) = {
+            let txn = self.txn.as_ref().expect("txn");
+            let view = TxnView { tables: &txn.tables };
+            let plan = Binder::new(&view).bind_select(sel)?;
+            let plan = opt::optimize(plan, self.opt_flags, &view, &view)?;
+            // The store's paging manager supplies the memory budget when
+            // ExecOptions leaves it unset: operator state competes with
+            // resident columns for the same byte budget, and pipeline
+            // breakers spill once it is exceeded.
+            let ctx = ExecContext::new(&view, self.exec_opts).with_vmem(self.store.vmem().clone());
+            let chunk = exec::execute(&plan, &ctx)?;
+            let names: Vec<String> = plan.schema().iter().map(|c| c.name.clone()).collect();
+            let types: Vec<LogicalType> = plan.schema().iter().map(|c| c.ty).collect();
+            (chunk, names, types, ctx.counters.snapshot())
+        };
+        self.last_counters = Some(counters);
         Ok(QueryResult { names, types, cols: chunk.cols, rows: chunk.rows, rows_affected: 0 })
     }
 

@@ -295,7 +295,9 @@ mod tests {
             filters: vec![],
             schema: vec![OutCol { name: "a".into(), ty: LogicalType::Int }],
         };
-        let opts = ExecOptions { threads: 4, ..Default::default() };
+        // Pin the vector size: the morsel count below is exact and must
+        // not drift under the CI env matrix (MONETLITE_VECTOR_SIZE).
+        let opts = ExecOptions { threads: 4, vector_size: 64 * 1024, ..Default::default() };
         let s = explain(&plan, &opts, Some(&FixedStats));
         // 200_000 rows / 65_536-row vectors = 4 morsels.
         assert!(s.contains("scan t [morsels=4]"), "{s}");
@@ -304,6 +306,26 @@ mod tests {
         let mat = ExecOptions { mode: crate::exec::ExecMode::Materialized, ..Default::default() };
         let s2 = explain(&plan, &mat, Some(&FixedStats));
         assert!(!s2.contains("-- pipelines"), "{s2}");
+    }
+
+    #[test]
+    fn explain_shows_memory_budget_and_spillable_breakers() {
+        let scan = Plan::Scan {
+            table: "t".into(),
+            projected: vec![0],
+            filters: vec![],
+            schema: vec![OutCol { name: "a".into(), ty: LogicalType::Int }],
+        };
+        let plan = Plan::Sort { input: Box::new(scan), keys: vec![(0, false)] };
+        let opts = ExecOptions { memory_budget: 4096, ..Default::default() };
+        let s = explain(&plan, &opts, None);
+        assert!(s.contains("memory_budget=4096"), "{s}");
+        assert!(s.contains("external merge [spillable]"), "{s}");
+        // Without a budget the header stays clean and the sort is the
+        // plain blocking operator.
+        let s2 = explain(&plan, &ExecOptions::default(), None);
+        assert!(!s2.contains("memory_budget"), "{s2}");
+        assert!(s2.contains("(blocking)"), "{s2}");
     }
 
     #[test]
@@ -337,9 +359,15 @@ mod tests {
         );
         assert!(par.contains("mitosis"), "{par}");
         assert!(par.contains("blocking"), "{par}");
+        // threads pinned to 1: the annotation must not appear for a
+        // sequential plan even under the CI env matrix.
         let seq = explain(
             &plan,
-            &ExecOptions { mode: crate::exec::ExecMode::Materialized, ..Default::default() },
+            &ExecOptions {
+                mode: crate::exec::ExecMode::Materialized,
+                threads: 1,
+                ..Default::default()
+            },
             None,
         );
         assert!(!seq.contains("mitosis"));

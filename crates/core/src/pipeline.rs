@@ -35,8 +35,9 @@ use crate::expr::{AggSpec, BExpr};
 use crate::join::{build_hash_map, probe_hash, probe_index};
 use crate::kernels::{bool_to_sel, eval};
 use crate::plan::{OutCol, PJoinKind, Plan};
-use crate::rows::take_padded;
+use crate::rows::{col_cmp2, take_padded};
 use crate::sort::{sort_perm, topn_perm};
+use crate::spill::{PartitionWriter, SpillFile, SpillReader, MAX_SPILL_DEPTH};
 use monetlite_storage::index::HashIndex;
 use monetlite_storage::Bat;
 use monetlite_types::{MlError, Result};
@@ -138,7 +139,7 @@ fn decompose<'p>(plan: &'p Plan, ctx: &ExecContext) -> Result<Pipeline<'p>> {
             p.ops.push(PipeOp::Project(exprs));
             Ok(p)
         }
-        Plan::Join { left, right, kind, left_keys, right_keys, residual, .. } => {
+        Plan::Join { left, right, kind, left_keys, right_keys, residual, schema } => {
             if left_keys.is_empty() && matches!(kind, PJoinKind::Semi | PJoinKind::Anti) {
                 return Err(MlError::Execution("semi/anti join requires keys".into()));
             }
@@ -152,20 +153,41 @@ fn decompose<'p>(plan: &'p Plan, ctx: &ExecContext) -> Result<Pipeline<'p>> {
                 .iter()
                 .map(|k| crate::kernels::eval_shared(k, &build_chunk.cols, build_chunk.rows))
                 .collect::<Result<_>>()?;
-            let build = if right_keys.len() == 1 && ctx.opts.use_hash_index {
-                match bare_scan_hash_entry(right, right_keys, ctx) {
-                    Some(entry) => {
-                        ctx.counters.bump(&ctx.counters.hash_index_joins);
-                        Build::Index(entry.hash_index()?)
-                    }
-                    None => Build::Transient(build_hash_map(
-                        &build_keys.iter().map(|a| &**a).collect::<Vec<_>>(),
-                    )),
-                }
+            let index_entry = if right_keys.len() == 1 && ctx.opts.use_hash_index {
+                bare_scan_hash_entry(right, right_keys, ctx)
             } else {
-                Build::Transient(build_hash_map(
+                None
+            };
+            // Out-of-core path: a *transient* build side larger than the
+            // memory budget is hash-partitioned to disk together with the
+            // probe stream (grace join) and joined partition-by-partition.
+            // Index builds are exempt — the probed column is persistent
+            // data already under vmem control, not operator state.
+            if index_entry.is_none() && !left_keys.is_empty() && !matches!(kind, PJoinKind::Cross) {
+                if let Some(budget) = ctx.spill_budget() {
+                    if build_chunk.mem_bytes() > budget {
+                        let joined = grace_hash_join(
+                            &p,
+                            ctx,
+                            *kind,
+                            left_keys,
+                            residual.as_ref(),
+                            build_chunk,
+                            build_keys,
+                            schema,
+                        )?;
+                        return Ok(Pipeline { source: Source::Mem(joined), ops: Vec::new() });
+                    }
+                }
+            }
+            let build = match index_entry {
+                Some(entry) => {
+                    ctx.counters.bump(&ctx.counters.hash_index_joins);
+                    Build::Index(entry.hash_index()?)
+                }
+                None => Build::Transient(build_hash_map(
                     &build_keys.iter().map(|a| &**a).collect::<Vec<_>>(),
-                ))
+                )),
             };
             p.ops.push(PipeOp::Probe {
                 kind: *kind,
@@ -298,26 +320,46 @@ fn apply_ops(mut chunk: Chunk, ops: &[PipeOp], _ctx: &ExecContext) -> Result<Chu
                         Build::Index(idx) => probe_index(&lrefs, &rrefs, idx, *kind),
                     }
                 };
-                let semi = matches!(kind, PJoinKind::Semi | PJoinKind::Anti);
-                let mut cols: Vec<Arc<Bat>> = Vec::with_capacity(
-                    chunk.cols.len() + if semi { 0 } else { build_chunk.cols.len() },
-                );
-                for c in &chunk.cols {
-                    cols.push(Arc::new(c.take(&sel.lsel)));
-                }
-                if !semi {
-                    for c in &build_chunk.cols {
-                        cols.push(Arc::new(take_padded(c, &sel.rsel)));
-                    }
-                }
-                chunk = Chunk { cols, rows: sel.lsel.len() };
-                if let Some(res) = residual {
-                    let mask = eval(res, &chunk.cols, chunk.rows)?;
-                    let keep = bool_to_sel(&mask)?;
-                    chunk = chunk.take(&keep);
-                }
+                chunk = materialize_probe_output(
+                    &chunk.cols,
+                    &build_chunk.cols,
+                    &sel,
+                    *kind,
+                    *residual,
+                )?;
             }
         }
+    }
+    Ok(chunk)
+}
+
+/// Materialise one probed vector: gather probe-side rows by `lsel`,
+/// NULL-pad build-side rows by `rsel` (skipped for semi/anti), then apply
+/// the residual predicate. Shared by the in-memory probe operator and the
+/// grace join's partition probe so the two code paths cannot diverge.
+fn materialize_probe_output(
+    probe_cols: &[Arc<Bat>],
+    build_cols: &[Arc<Bat>],
+    sel: &crate::join::JoinSel,
+    kind: PJoinKind,
+    residual: Option<&BExpr>,
+) -> Result<Chunk> {
+    let semi = matches!(kind, PJoinKind::Semi | PJoinKind::Anti);
+    let mut cols: Vec<Arc<Bat>> =
+        Vec::with_capacity(probe_cols.len() + if semi { 0 } else { build_cols.len() });
+    for c in probe_cols {
+        cols.push(Arc::new(c.take(&sel.lsel)));
+    }
+    if !semi {
+        for c in build_cols {
+            cols.push(Arc::new(take_padded(c, &sel.rsel)));
+        }
+    }
+    let mut chunk = Chunk { cols, rows: sel.lsel.len() };
+    if let Some(res) = residual {
+        let mask = eval(res, &chunk.cols, chunk.rows)?;
+        let keep = bool_to_sel(&mask)?;
+        chunk = chunk.take(&keep);
     }
     Ok(chunk)
 }
@@ -443,6 +485,102 @@ fn agg_merge(mut acc: AggPartial, other: AggPartial) -> Result<AggPartial> {
     Ok(acc)
 }
 
+/// Approximate resident bytes of one partial (group table + states).
+fn agg_partial_bytes(p: &AggPartial) -> usize {
+    p.table.as_ref().map_or(0, |t| t.mem_bytes())
+        + p.states.iter().map(|s| s.mem_bytes()).sum::<usize>()
+}
+
+/// Per-thread aggregation state: the in-memory partial plus an optional
+/// spill partitioner. Once the partial outgrows its budget share it is
+/// frozen (it stays within budget by construction) and every later
+/// vector is hash-partitioned to disk by its group keys instead.
+struct AggWorker {
+    part: AggPartial,
+    spill: Option<PartitionWriter>,
+}
+
+fn agg_worker_consume(
+    w: &mut AggWorker,
+    c: &Chunk,
+    groups: &[BExpr],
+    aggs: &[AggSpec],
+    ctx: &ExecContext,
+    share: Option<usize>,
+) -> Result<()> {
+    if c.rows == 0 {
+        return Ok(());
+    }
+    if let Some(sp) = &mut w.spill {
+        let key_bats: Vec<Bat> =
+            groups.iter().map(|g| eval(g, &c.cols, c.rows)).collect::<Result<_>>()?;
+        let refs: Vec<&Bat> = key_bats.iter().collect();
+        return sp.route(&ctx.spill, c, &refs);
+    }
+    agg_consume(&mut w.part, c, groups, aggs)?;
+    if let Some(share) = share {
+        // Global (ungrouped) aggregates hold O(1) state — never spill.
+        if w.part.table.is_some() && agg_partial_bytes(&w.part) > share {
+            w.spill = Some(PartitionWriter::new(0));
+        }
+    }
+    Ok(())
+}
+
+/// Aggregate one spilled partition file. If its state outgrows the
+/// budget and the recursion cap allows, the remaining frames are
+/// re-partitioned with a re-seeded hash and the sub-partitions merged in.
+fn aggregate_spill_file(
+    file: SpillFile,
+    groups: &[BExpr],
+    aggs: &[AggSpec],
+    ctx: &ExecContext,
+    budget: usize,
+    depth: u32,
+) -> Result<AggPartial> {
+    let mut part = new_agg_partial(groups, aggs)?;
+    let mut respill: Option<PartitionWriter> = None;
+    let mut reader = file.into_reader()?;
+    let vs = ctx.opts.vector_size.max(1);
+    while let Some(c) = reader.next()? {
+        ctx.check_deadline()?;
+        // Spill frames are flushed in coarse blocks; re-slice to vectors
+        // so the budget check interleaves with consumption (otherwise one
+        // oversized frame would be swallowed whole before re-spilling).
+        let mut start = 0;
+        while start < c.rows {
+            let end = (start + vs).min(c.rows);
+            let s = c.slice(start, end);
+            start = end;
+            match &mut respill {
+                Some(sp) => {
+                    let key_bats: Vec<Bat> =
+                        groups.iter().map(|g| eval(g, &s.cols, s.rows)).collect::<Result<_>>()?;
+                    let refs: Vec<&Bat> = key_bats.iter().collect();
+                    sp.route(&ctx.spill, &s, &refs)?;
+                }
+                None => {
+                    agg_consume(&mut part, &s, groups, aggs)?;
+                    if depth < MAX_SPILL_DEPTH && agg_partial_bytes(&part) > budget {
+                        respill = Some(PartitionWriter::new(depth));
+                    }
+                }
+            }
+        }
+    }
+    drop(reader);
+    if let Some(sp) = respill {
+        let (files, bytes) = sp.finish(&ctx.spill)?;
+        ctx.counters.add(&ctx.counters.spill_bytes, bytes);
+        for f in files.into_iter().flatten() {
+            ctx.counters.bump(&ctx.counters.spilled_partitions);
+            let sub = aggregate_spill_file(f, groups, aggs, ctx, budget, depth + 1)?;
+            part = agg_merge(part, sub)?;
+        }
+    }
+    Ok(part)
+}
+
 fn run_aggregate(
     input: &Plan,
     groups: &[BExpr],
@@ -451,15 +589,17 @@ fn run_aggregate(
     ctx: &ExecContext,
 ) -> Result<Chunk> {
     let pipe = decompose(input, ctx)?;
+    let budget = ctx.spill_budget();
+    let share = budget.map(|b| (b / ctx.opts.threads.max(1)).max(1));
     // Each worker's closure may fail on first use; surface errors from
     // partial construction through a per-worker Result partial.
-    let parts: Vec<Result<AggPartial>> = drive(
+    let parts: Vec<Result<AggWorker>> = drive(
         &pipe,
         ctx,
-        || new_agg_partial(groups, aggs),
-        |p: &mut Result<AggPartial>, _m, c| {
-            if let Ok(part) = p.as_mut() {
-                if let Err(e) = agg_consume(part, &c, groups, aggs) {
+        || new_agg_partial(groups, aggs).map(|part| AggWorker { part, spill: None }),
+        |p: &mut Result<AggWorker>, _m, c| {
+            if let Ok(w) = p.as_mut() {
+                if let Err(e) = agg_worker_consume(w, &c, groups, aggs, ctx, share) {
                     *p = Err(e);
                     return Ok(false);
                 }
@@ -468,11 +608,30 @@ fn run_aggregate(
         },
     )?;
     let mut merged: Option<AggPartial> = None;
+    let mut spill_files: Vec<SpillFile> = Vec::new();
     for p in parts {
-        let p = p?;
+        let w = p?;
         merged = Some(match merged {
-            None => p,
-            Some(acc) => agg_merge(acc, p)?,
+            None => w.part,
+            Some(acc) => agg_merge(acc, w.part)?,
+        });
+        if let Some(sp) = w.spill {
+            let (files, bytes) = sp.finish(&ctx.spill)?;
+            ctx.counters.add(&ctx.counters.spill_bytes, bytes);
+            for f in files.into_iter().flatten() {
+                ctx.counters.bump(&ctx.counters.spilled_partitions);
+                spill_files.push(f);
+            }
+        }
+    }
+    // Drain spilled partitions one at a time; each partition's groups are
+    // disjoint from no one — agg_merge remaps overlapping groups, so the
+    // in-memory partials and every partition merge exactly once.
+    for f in spill_files {
+        let sub = aggregate_spill_file(f, groups, aggs, ctx, budget.unwrap_or(usize::MAX), 1)?;
+        merged = Some(match merged {
+            None => sub,
+            Some(acc) => agg_merge(acc, sub)?,
         });
     }
     // Zero-morsel (empty source) aggregation still produces output: one
@@ -511,6 +670,12 @@ pub fn execute_streaming(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
             run_aggregate(input, groups, aggs, schema, ctx)
         }
         Plan::Sort { input, keys } => {
+            // Under a memory budget the blocking sort runs as an external
+            // merge sort (sorted runs spilled per morsel batch, k-way
+            // merge on collect); byte-identical to the in-memory path.
+            if let Some(budget) = ctx.spill_budget() {
+                return external_sort(input, keys, ctx, budget);
+            }
             let chunk = collect(input, ctx)?;
             ctx.check_deadline()?;
             let key_refs: Vec<(&Bat, bool)> =
@@ -614,6 +779,490 @@ pub fn execute_streaming(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
 }
 
 // ---------------------------------------------------------------------------
+// Out-of-core operators (grace hash join, external merge sort)
+// ---------------------------------------------------------------------------
+
+/// Record freshly finished spill partitions in the counters.
+fn note_spill(ctx: &ExecContext, parts: &[Option<SpillFile>], bytes: u64) {
+    let n = parts.iter().flatten().count() as u64;
+    ctx.counters.add(&ctx.counters.spilled_partitions, n);
+    ctx.counters.add(&ctx.counters.spill_bytes, bytes);
+}
+
+/// Grace hash join: the oversized build chunk and the streamed probe side
+/// are both hash-partitioned to temp files by key hash (the build's
+/// evaluated key columns travel as a trailing column group, so nothing is
+/// re-evaluated on load); partition pairs then join one at a time, with a
+/// re-seeded re-partition when a build partition still exceeds the
+/// budget. Output row order is partition-major — a correct (unordered)
+/// join result; order-sensitive parents (sort/top-n) re-establish order.
+#[allow(clippy::too_many_arguments)]
+fn grace_hash_join(
+    probe_pipe: &Pipeline,
+    ctx: &ExecContext,
+    kind: PJoinKind,
+    left_keys: &[BExpr],
+    residual: Option<&BExpr>,
+    build_chunk: Chunk,
+    build_keys: Vec<Arc<Bat>>,
+    schema: &[OutCol],
+) -> Result<Chunk> {
+    let budget = ctx.spill_budget().unwrap_or(usize::MAX);
+    let vs = ctx.opts.vector_size.max(1);
+    let nkeys = build_keys.len();
+    // Build columns + evaluated key columns as one aligned chunk.
+    let combined = Chunk {
+        cols: build_chunk.cols.iter().cloned().chain(build_keys).collect(),
+        rows: build_chunk.rows,
+    };
+    // Typed zero-row template (cols + keys): NULL padding and empty maps
+    // for partitions whose build side received no rows.
+    let build_template = combined.slice(0, 0);
+    // 1. Partition the build side, one vector-sized slice at a time so
+    // the gather buffers stay bounded.
+    let mut bw = PartitionWriter::new(0);
+    let mut start = 0;
+    while start < combined.rows {
+        ctx.check_deadline()?;
+        let end = (start + vs).min(combined.rows);
+        let s = combined.slice(start, end);
+        let keyrefs: Vec<&Bat> = s.cols[s.cols.len() - nkeys..].iter().map(|a| &**a).collect();
+        bw.route(&ctx.spill, &s, &keyrefs)?;
+        start = end;
+    }
+    drop(combined);
+    let (bparts, bbytes) = bw.finish(&ctx.spill)?;
+    note_spill(ctx, &bparts, bbytes);
+    // 2. Partition the probe stream (morsel-parallel; the partitioner is
+    // shared behind a lock — the gather work dominates the lock hold).
+    let pw = Mutex::new(PartitionWriter::new(0));
+    drive(
+        probe_pipe,
+        ctx,
+        || (),
+        |_, _m, c| {
+            if c.rows == 0 {
+                return Ok(true);
+            }
+            let key_bats: Vec<Arc<Bat>> = left_keys
+                .iter()
+                .map(|k| crate::kernels::eval_shared(k, &c.cols, c.rows))
+                .collect::<Result<_>>()?;
+            let rows = c.rows;
+            let combined = Chunk { cols: c.cols.iter().cloned().chain(key_bats).collect(), rows };
+            let keyrefs: Vec<&Bat> =
+                combined.cols[combined.cols.len() - nkeys..].iter().map(|a| &**a).collect();
+            pw.lock().expect("probe partitioner").route(&ctx.spill, &combined, &keyrefs)?;
+            Ok(true)
+        },
+    )?;
+    let (pparts, pbytes) = pw.into_inner().expect("probe partitioner").finish(&ctx.spill)?;
+    note_spill(ctx, &pparts, pbytes);
+    // 3. Join partition pairs.
+    let mut out: Vec<Chunk> = Vec::new();
+    for (bf, pf) in bparts.into_iter().zip(pparts) {
+        grace_join_partition(
+            ctx,
+            kind,
+            residual,
+            nkeys,
+            &build_template,
+            bf,
+            pf,
+            budget,
+            1,
+            &mut out,
+        )?;
+    }
+    if out.is_empty() {
+        return Ok(Chunk::empty(schema));
+    }
+    Chunk::pack(out)
+}
+
+/// Join one (build partition, probe partition) pair, re-partitioning both
+/// at a deeper seed when the build side still exceeds the budget.
+#[allow(clippy::too_many_arguments)]
+fn grace_join_partition(
+    ctx: &ExecContext,
+    kind: PJoinKind,
+    residual: Option<&BExpr>,
+    nkeys: usize,
+    build_template: &Chunk,
+    build: Option<SpillFile>,
+    probe: Option<SpillFile>,
+    budget: usize,
+    depth: u32,
+    out: &mut Vec<Chunk>,
+) -> Result<()> {
+    // Every output row is driven by a probe row (inner/left/semi/anti):
+    // no probe rows means no output, whatever the build side holds.
+    let Some(probe) = probe else {
+        return Ok(());
+    };
+    // Load the build partition. An absent file still joins (left/anti
+    // emit probe rows against an empty map).
+    let loaded = match build {
+        None => build_template.clone(),
+        Some(f) => {
+            let mut chunks = Vec::new();
+            let mut r = f.into_reader()?;
+            while let Some(c) = r.next()? {
+                chunks.push(c);
+            }
+            if chunks.is_empty() {
+                build_template.clone()
+            } else {
+                Chunk::pack(chunks)?
+            }
+        }
+    };
+    // Oversized partition: split both sides again with a re-seeded hash.
+    if loaded.mem_bytes() > budget && depth < MAX_SPILL_DEPTH {
+        let vs = ctx.opts.vector_size.max(1);
+        let mut bw = PartitionWriter::new(depth);
+        let mut start = 0;
+        while start < loaded.rows {
+            ctx.check_deadline()?;
+            let end = (start + vs).min(loaded.rows);
+            let s = loaded.slice(start, end);
+            let keyrefs: Vec<&Bat> = s.cols[s.cols.len() - nkeys..].iter().map(|a| &**a).collect();
+            bw.route(&ctx.spill, &s, &keyrefs)?;
+            start = end;
+        }
+        drop(loaded);
+        let (bparts, bbytes) = bw.finish(&ctx.spill)?;
+        note_spill(ctx, &bparts, bbytes);
+        let mut pw = PartitionWriter::new(depth);
+        let mut pr = probe.into_reader()?;
+        while let Some(c) = pr.next()? {
+            ctx.check_deadline()?;
+            let keyrefs: Vec<&Bat> = c.cols[c.cols.len() - nkeys..].iter().map(|a| &**a).collect();
+            pw.route(&ctx.spill, &c, &keyrefs)?;
+        }
+        drop(pr);
+        let (pparts, pbytes) = pw.finish(&ctx.spill)?;
+        note_spill(ctx, &pparts, pbytes);
+        for (bf, pf) in bparts.into_iter().zip(pparts) {
+            grace_join_partition(
+                ctx,
+                kind,
+                residual,
+                nkeys,
+                build_template,
+                bf,
+                pf,
+                budget,
+                depth + 1,
+                out,
+            )?;
+        }
+        return Ok(());
+    }
+    let ncols = loaded.cols.len() - nkeys;
+    let bcols = &loaded.cols[..ncols];
+    let bkeyrefs: Vec<&Bat> = loaded.cols[ncols..].iter().map(|a| &**a).collect();
+    let map = build_hash_map(&bkeyrefs);
+    let mut r = probe.into_reader()?;
+    while let Some(c) = r.next()? {
+        ctx.check_deadline()?;
+        let pncols = c.cols.len() - nkeys;
+        let pkeyrefs: Vec<&Bat> = c.cols[pncols..].iter().map(|a| &**a).collect();
+        let sel = probe_hash(&pkeyrefs, &bkeyrefs, &map, kind);
+        if sel.lsel.is_empty() {
+            continue;
+        }
+        let chunk = materialize_probe_output(&c.cols[..pncols], bcols, &sel, kind, residual)?;
+        if chunk.rows > 0 {
+            out.push(chunk);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// External merge sort
+// ---------------------------------------------------------------------------
+
+/// Per-thread state of the external merge sort: vectors accumulate (with
+/// a trailing global-row-id column as the stability tie-break) until the
+/// budget share is exceeded, then sort-and-spill as one run.
+#[derive(Default)]
+struct SortWorker {
+    chunks: Vec<(usize, Chunk)>,
+    bytes: usize,
+    runs: Vec<SpillFile>,
+}
+
+/// Sort-key columns of a run chunk: the requested keys plus the trailing
+/// rowid column ascending, making the order total and therefore exactly
+/// the stable [`sort_perm`] order of the packed input.
+fn sort_key_refs<'c>(chunk: &'c Chunk, keys: &[(usize, bool)]) -> Vec<(&'c Bat, bool)> {
+    let mut k: Vec<(&Bat, bool)> = keys.iter().map(|&(c, d)| (&*chunk.cols[c], d)).collect();
+    k.push((&*chunk.cols[chunk.cols.len() - 1], false));
+    k
+}
+
+/// Sort accumulated vectors into one run and spill it in vector-sized
+/// frames.
+fn write_sorted_run(
+    mut chunks: Vec<(usize, Chunk)>,
+    keys: &[(usize, bool)],
+    ctx: &ExecContext,
+) -> Result<SpillFile> {
+    chunks.sort_by_key(|(m, _)| *m);
+    let packed = Chunk::pack(chunks.into_iter().map(|(_, c)| c).collect())?;
+    let key_refs = sort_key_refs(&packed, keys);
+    let perm = sort_perm(&key_refs, packed.rows);
+    let sorted = packed.take(&perm);
+    let mut f = ctx.spill.file()?;
+    let vs = ctx.opts.vector_size.max(1);
+    let mut start = 0;
+    while start < sorted.rows {
+        let end = (start + vs).min(sorted.rows);
+        let s = sorted.slice(start, end);
+        let refs: Vec<&Bat> = s.cols.iter().map(|a| &**a).collect();
+        f.write(&refs)?;
+        start = end;
+    }
+    Ok(f)
+}
+
+/// One run of the k-way merge: either a spilled file read sequentially or
+/// the sorted in-memory leftover.
+enum RunSrc {
+    Disk(SpillReader),
+    Mem(Option<Chunk>),
+}
+
+struct RunCursor {
+    src: RunSrc,
+    chunk: Option<Chunk>,
+    pos: usize,
+}
+
+impl RunCursor {
+    /// Ensure `chunk`/`pos` address a live row (or `chunk` is `None` at
+    /// exhaustion).
+    fn settle(&mut self) -> Result<()> {
+        loop {
+            if let Some(c) = &self.chunk {
+                if self.pos < c.rows {
+                    return Ok(());
+                }
+            }
+            self.pos = 0;
+            self.chunk = match &mut self.src {
+                RunSrc::Disk(r) => r.next()?,
+                RunSrc::Mem(c) => c.take(),
+            };
+            if self.chunk.is_none() {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Ordering between the head rows of two cursors: keys (with direction)
+/// then rowid ascending.
+fn cursor_cmp(a: &RunCursor, b: &RunCursor, keys: &[(usize, bool)]) -> std::cmp::Ordering {
+    let (ca, cb) = (a.chunk.as_ref().expect("live cursor"), b.chunk.as_ref().expect("live cursor"));
+    for &(k, desc) in keys {
+        let ord = col_cmp2(&ca.cols[k], a.pos, &cb.cols[k], b.pos);
+        let ord = if desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    let (ra, rb) = (&ca.cols[ca.cols.len() - 1], &cb.cols[cb.cols.len() - 1]);
+    col_cmp2(ra, a.pos, rb, b.pos)
+}
+
+/// Maximum live runs per merge pass: beyond this the linear min-scan
+/// (and the open-file count) degrades, so batches merge into
+/// intermediate runs first — the classic multi-pass external sort.
+const MERGE_FANIN: usize = 64;
+
+/// Floor on the per-worker sort buffer. A degenerate budget (e.g. zero
+/// vmem headroom) must not generate one run per vector — run count, not
+/// buffer size, is what makes the merge expensive.
+const MIN_SORT_SHARE: usize = 16 * 1024;
+
+/// K-way merge of sorted runs by (keys, rowid), emitting chunks of `vs`
+/// rows with *all* columns including the trailing rowid (the final
+/// caller strips it; intermediate passes need it for later tie-breaks).
+/// Fan-in is capped by the caller; a linear min-scan over ≤ [`MERGE_FANIN`]
+/// cursors is cheap.
+fn merge_cursors(
+    mut cursors: Vec<RunCursor>,
+    keys: &[(usize, bool)],
+    vs: usize,
+    ctx: &ExecContext,
+    mut emit: impl FnMut(Chunk) -> Result<()>,
+) -> Result<()> {
+    for c in &mut cursors {
+        c.settle()?;
+    }
+    let types: Vec<monetlite_types::LogicalType> =
+        match cursors.iter().find_map(|c| c.chunk.as_ref()) {
+            None => return Ok(()),
+            Some(c) => c.cols.iter().map(|b| b.logical_type()).collect(),
+        };
+    let mut out: Vec<Bat> = types.iter().map(|&t| Bat::new(t)).collect();
+    let mut rows = 0usize;
+    loop {
+        let mut best: Option<usize> = None;
+        for i in 0..cursors.len() {
+            if cursors[i].chunk.is_none() {
+                continue;
+            }
+            best = Some(match best {
+                None => i,
+                Some(b) => {
+                    if cursor_cmp(&cursors[i], &cursors[b], keys) == std::cmp::Ordering::Less {
+                        i
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let Some(w) = best else { break };
+        {
+            let cur = &cursors[w];
+            let chunk = cur.chunk.as_ref().expect("live cursor");
+            for (dst, src) in out.iter_mut().zip(&chunk.cols) {
+                dst.push(&src.get(cur.pos))?;
+            }
+            rows += 1;
+        }
+        cursors[w].pos += 1;
+        cursors[w].settle()?;
+        if rows == vs {
+            emit(Chunk {
+                cols: std::mem::take(&mut out).into_iter().map(Arc::new).collect(),
+                rows,
+            })?;
+            out = types.iter().map(|&t| Bat::new(t)).collect();
+            rows = 0;
+            ctx.check_deadline()?;
+        }
+    }
+    if rows > 0 {
+        emit(Chunk { cols: out.into_iter().map(Arc::new).collect(), rows })?;
+    }
+    Ok(())
+}
+
+/// External merge sort of a pipeline's output under `budget` bytes of
+/// in-memory state. Produces exactly the bytes of the unspilled stable
+/// sort; when no run ever spills, the code path degenerates to pack +
+/// stable sort.
+fn external_sort(
+    input: &Plan,
+    keys: &[(usize, bool)],
+    ctx: &ExecContext,
+    budget: usize,
+) -> Result<Chunk> {
+    let pipe = decompose(input, ctx)?;
+    let share = (budget / ctx.opts.threads.max(1)).max(MIN_SORT_SHARE);
+    let parts: Vec<Result<SortWorker>> = drive(
+        &pipe,
+        ctx,
+        || Ok(SortWorker::default()),
+        |p: &mut Result<SortWorker>, m, c| {
+            let Ok(w) = p.as_mut() else { return Ok(false) };
+            if c.rows == 0 {
+                return Ok(true);
+            }
+            // Global row id: (morsel, row-within-vector) — the packed
+            // input order, so ties break exactly as the stable sort does.
+            let rowid = Bat::Bigint((0..c.rows as i64).map(|i| ((m as i64) << 32) | i).collect());
+            let rows = c.rows;
+            let mut cols = c.cols;
+            cols.push(Arc::new(rowid));
+            let c2 = Chunk { cols, rows };
+            w.bytes += c2.mem_bytes();
+            w.chunks.push((m, c2));
+            if w.bytes > share {
+                match write_sorted_run(std::mem::take(&mut w.chunks), keys, ctx) {
+                    Ok(run) => {
+                        w.runs.push(run);
+                        w.bytes = 0;
+                    }
+                    Err(e) => {
+                        *p = Err(e);
+                        return Ok(false);
+                    }
+                }
+            }
+            Ok(true)
+        },
+    )?;
+    let mut runs: Vec<SpillFile> = Vec::new();
+    let mut mem: Vec<(usize, Chunk)> = Vec::new();
+    for p in parts {
+        let w = p?;
+        runs.extend(w.runs);
+        mem.extend(w.chunks);
+    }
+    ctx.check_deadline()?;
+    let input_cols = input.schema().len();
+    if runs.is_empty() {
+        // Everything fit: identical to the unspilled blocking sort.
+        if mem.is_empty() {
+            return Ok(Chunk::empty(input.schema()));
+        }
+        mem.sort_by_key(|(m, _)| *m);
+        let packed = Chunk::pack(mem.into_iter().map(|(_, c)| c).collect())?;
+        let key_refs = sort_key_refs(&packed, keys);
+        let perm = sort_perm(&key_refs, packed.rows);
+        let sorted = packed.take(&perm);
+        return Ok(Chunk { cols: sorted.cols[..input_cols].to_vec(), rows: sorted.rows });
+    }
+    ctx.counters.add(&ctx.counters.spilled_partitions, runs.len() as u64);
+    ctx.counters.add(&ctx.counters.spill_bytes, runs.iter().map(|r| r.bytes).sum());
+    let mut cursors: Vec<RunCursor> = Vec::new();
+    for r in runs {
+        cursors.push(RunCursor { src: RunSrc::Disk(r.into_reader()?), chunk: None, pos: 0 });
+    }
+    if !mem.is_empty() {
+        // Leftover in-memory rows form one final sorted run.
+        mem.sort_by_key(|(m, _)| *m);
+        let packed = Chunk::pack(mem.into_iter().map(|(_, c)| c).collect())?;
+        let key_refs = sort_key_refs(&packed, keys);
+        let perm = sort_perm(&key_refs, packed.rows);
+        cursors.push(RunCursor { src: RunSrc::Mem(Some(packed.take(&perm))), chunk: None, pos: 0 });
+    }
+    let vs = ctx.opts.vector_size.max(1);
+    // Intermediate merge passes while the run count exceeds the fan-in
+    // cap: batches of runs merge into one bigger on-disk run.
+    while cursors.len() > MERGE_FANIN {
+        let batch: Vec<RunCursor> = cursors.drain(..MERGE_FANIN).collect();
+        let mut f = ctx.spill.file()?;
+        merge_cursors(batch, keys, vs, ctx, |c| {
+            let refs: Vec<&Bat> = c.cols.iter().map(|a| &**a).collect();
+            f.write(&refs)?;
+            Ok(())
+        })?;
+        ctx.counters.bump(&ctx.counters.spilled_partitions);
+        ctx.counters.add(&ctx.counters.spill_bytes, f.bytes);
+        cursors.push(RunCursor { src: RunSrc::Disk(f.into_reader()?), chunk: None, pos: 0 });
+    }
+    // Final merge pass emits output chunks; the trailing rowid column is
+    // stripped when packing.
+    let mut out_chunks: Vec<Chunk> = Vec::new();
+    merge_cursors(cursors, keys, vs, ctx, |c| {
+        out_chunks.push(Chunk { cols: c.cols[..input_cols].to_vec(), rows: c.rows });
+        Ok(())
+    })?;
+    if out_chunks.is_empty() {
+        return Ok(Chunk::empty(input.schema()));
+    }
+    Chunk::pack(out_chunks)
+}
+
+// ---------------------------------------------------------------------------
 // EXPLAIN support
 // ---------------------------------------------------------------------------
 
@@ -623,9 +1272,17 @@ pub fn execute_streaming(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
 pub fn describe(plan: &Plan, opts: &ExecOptions, stats: Option<&dyn crate::opt::Stats>) -> String {
     use std::fmt::Write;
     let mut out = String::new();
+    let budget = if opts.memory_budget == usize::MAX {
+        String::new()
+    } else {
+        format!(
+            ", memory_budget={} (breakers spill; see spilled_partitions/spill_bytes counters)",
+            opts.memory_budget
+        )
+    };
     let _ = writeln!(
         out,
-        "-- pipelines: streaming engine, vector={}, threads={}",
+        "-- pipelines: streaming engine, vector={}, threads={}{budget}",
         opts.vector_size,
         opts.threads.max(1)
     );
@@ -646,15 +1303,25 @@ fn desc_node(
 ) -> usize {
     match plan {
         Plan::Aggregate { input, groups, .. } => {
+            let spillable = if groups.is_empty() || opts.memory_budget == usize::MAX {
+                ""
+            } else {
+                " [spillable]"
+            };
             let s = if groups.is_empty() {
                 format!("global-aggregate (merge partials) -> {sink}")
             } else {
-                format!("partial hash-aggregate + mapped merge -> {sink}")
+                format!("partial hash-aggregate + mapped merge{spillable} -> {sink}")
             };
             desc_chain(input, out, next, opts, stats, s)
         }
         Plan::Sort { input, keys } => {
-            desc_chain(input, out, next, opts, stats, format!("sort{keys:?} (blocking) -> {sink}"))
+            let how = if opts.memory_budget == usize::MAX {
+                "blocking"
+            } else {
+                "external merge [spillable]"
+            };
+            desc_chain(input, out, next, opts, stats, format!("sort{keys:?} ({how}) -> {sink}"))
         }
         Plan::TopN { input, keys, n } => desc_chain(
             input,
@@ -931,6 +1598,291 @@ mod tests {
         let out = execute_streaming(&scan("t", 1), &ctx).unwrap();
         assert_eq!(out.rows, n as usize);
         assert!(Arc::ptr_eq(&out.cols[0], &base), "bare scan must share the array");
+    }
+
+    /// Rows of a chunk as printable tuples, sorted — spilled execution may
+    /// emit groups/partitions in a different order.
+    fn sorted_rows(c: &Chunk) -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = (0..c.rows)
+            .map(|r| c.cols.iter().map(|col| format!("{:?}", col.get(r))).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    fn group_sum_plan(table: &str) -> Plan {
+        Plan::Aggregate {
+            input: Box::new(scan(table, 2)),
+            groups: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+            aggs: vec![
+                AggSpec {
+                    func: PAggFunc::Sum,
+                    arg: Some(BExpr::ColRef { idx: 1, ty: LogicalType::Int }),
+                    distinct: false,
+                    ty: LogicalType::Bigint,
+                },
+                AggSpec {
+                    func: PAggFunc::Count,
+                    arg: None,
+                    distinct: false,
+                    ty: LogicalType::Bigint,
+                },
+            ],
+            schema: vec![
+                OutCol { name: "g".into(), ty: LogicalType::Int },
+                OutCol { name: "s".into(), ty: LogicalType::Bigint },
+                OutCol { name: "c".into(), ty: LogicalType::Bigint },
+            ],
+        }
+    }
+
+    #[test]
+    fn spilled_grouped_aggregate_matches_unspilled() {
+        let n = 50_000i32;
+        let t = make_table(
+            "t",
+            vec![
+                ("g", Bat::Int((0..n).map(|i| i % 997).collect())),
+                ("v", Bat::Int((0..n).collect())),
+            ],
+        );
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let plan = group_sum_plan("t");
+        let base_ctx = ExecContext::new(&tables, opts(1, 1024));
+        let base = execute_streaming(&plan, &base_ctx).unwrap();
+        assert_eq!(base_ctx.counters.spilled_partitions.load(Ordering::Relaxed), 0);
+        for threads in [1, 4] {
+            // ~997 groups * (4B key + 16B sum + 8B count + map entry)
+            // far exceeds an 8 kB budget: most input must spill.
+            let mut o = opts(threads, 1024);
+            o.memory_budget = 8 * 1024;
+            let ctx = ExecContext::new(&tables, o);
+            let got = execute_streaming(&plan, &ctx).unwrap();
+            assert_eq!(sorted_rows(&base), sorted_rows(&got), "threads={threads}");
+            assert!(
+                ctx.counters.spilled_partitions.load(Ordering::Relaxed) > 0,
+                "budget of 8kB must force spilling"
+            );
+            assert!(ctx.counters.spill_bytes.load(Ordering::Relaxed) > 0);
+        }
+    }
+
+    #[test]
+    fn spilled_aggregate_recurses_on_oversized_partitions() {
+        // A budget far below even one partition's state forces re-seeded
+        // re-partitioning; results must still be exact.
+        let n = 20_000i32;
+        let t = make_table(
+            "t",
+            vec![
+                ("g", Bat::Int((0..n).collect())), // every row its own group
+                ("v", Bat::Int((0..n).collect())),
+            ],
+        );
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let plan = group_sum_plan("t");
+        let base = execute_streaming(&plan, &ExecContext::new(&tables, opts(1, 1024))).unwrap();
+        let mut o = opts(1, 1024);
+        o.memory_budget = 2 * 1024;
+        let ctx = ExecContext::new(&tables, o);
+        let got = execute_streaming(&plan, &ctx).unwrap();
+        assert_eq!(base.rows, n as usize);
+        assert_eq!(sorted_rows(&base), sorted_rows(&got));
+        // Fan-out plus recursion writes well over one pass worth of
+        // partitions.
+        assert!(
+            ctx.counters.spilled_partitions.load(Ordering::Relaxed)
+                > crate::spill::SPILL_FANOUT as u64,
+            "expected recursive re-partitioning"
+        );
+    }
+
+    #[test]
+    fn spilled_hash_join_matches_unspilled() {
+        let n = 30_000i32;
+        let nbuild = 4_000i32;
+        let probe = make_table("probe", vec![("k", Bat::Int((0..n).map(|i| i % 5_000).collect()))]);
+        let build = make_table(
+            "build",
+            vec![
+                ("k", Bat::Int((0..nbuild).collect())),
+                ("v", Bat::Int((0..nbuild).map(|i| i * 3).collect())),
+            ],
+        );
+        let tables =
+            TestTables { tables: Map::from([("probe".into(), probe), ("build".into(), build)]) };
+        let join = Plan::Join {
+            left: Box::new(scan("probe", 1)),
+            right: Box::new(scan("build", 2)),
+            kind: PJoinKind::Inner,
+            left_keys: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+            right_keys: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+            residual: None,
+            schema: vec![
+                OutCol { name: "k".into(), ty: LogicalType::Int },
+                OutCol { name: "k2".into(), ty: LogicalType::Int },
+                OutCol { name: "v".into(), ty: LogicalType::Int },
+            ],
+        };
+        // Disable the automatic hash index so the build side is transient
+        // (index builds never spill — they are persistent data).
+        let mut base_opts = opts(1, 1024);
+        base_opts.use_hash_index = false;
+        let base = execute_streaming(&join, &ExecContext::new(&tables, base_opts)).unwrap();
+        for threads in [1, 4] {
+            let mut o = opts(threads, 1024);
+            o.use_hash_index = false;
+            o.memory_budget = 8 * 1024; // build side is ~32 kB
+            let ctx = ExecContext::new(&tables, o);
+            let got = execute_streaming(&join, &ctx).unwrap();
+            assert_eq!(sorted_rows(&base), sorted_rows(&got), "threads={threads}");
+            assert!(
+                ctx.counters.spilled_partitions.load(Ordering::Relaxed) > 0,
+                "grace join must have partitioned to disk"
+            );
+        }
+    }
+
+    #[test]
+    fn spilled_left_and_semi_joins_match_unspilled() {
+        let probe = make_table("probe", vec![("k", Bat::Int((0..8_000).collect()))]);
+        let build = make_table(
+            "build",
+            vec![
+                ("k", Bat::Int((0..4_000).map(|i| i * 2).collect())),
+                ("v", Bat::Int((0..4_000).collect())),
+            ],
+        );
+        let tables =
+            TestTables { tables: Map::from([("probe".into(), probe), ("build".into(), build)]) };
+        for kind in [PJoinKind::Left, PJoinKind::Semi, PJoinKind::Anti] {
+            let semi = matches!(kind, PJoinKind::Semi | PJoinKind::Anti);
+            let mut schema = vec![OutCol { name: "k".into(), ty: LogicalType::Int }];
+            if !semi {
+                schema.push(OutCol { name: "k2".into(), ty: LogicalType::Int });
+                schema.push(OutCol { name: "v".into(), ty: LogicalType::Int });
+            }
+            let join = Plan::Join {
+                left: Box::new(scan("probe", 1)),
+                right: Box::new(scan("build", 2)),
+                kind,
+                left_keys: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+                right_keys: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+                residual: None,
+                schema,
+            };
+            let mut base_opts = opts(1, 512);
+            base_opts.use_hash_index = false;
+            let base = execute_streaming(&join, &ExecContext::new(&tables, base_opts)).unwrap();
+            let mut o = opts(1, 512);
+            o.use_hash_index = false;
+            o.memory_budget = 4 * 1024;
+            let ctx = ExecContext::new(&tables, o);
+            let got = execute_streaming(&join, &ctx).unwrap();
+            assert_eq!(sorted_rows(&base), sorted_rows(&got), "{kind:?}");
+            assert!(ctx.counters.spilled_partitions.load(Ordering::Relaxed) > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn external_sort_matches_in_memory_sort_byte_for_byte() {
+        // Duplicate keys everywhere: the rowid tie-break must reproduce
+        // the stable in-memory sort exactly, row for row.
+        let n = 40_000i32;
+        let t = make_table(
+            "t",
+            vec![
+                ("k", Bat::Int((0..n).map(|i| (i * 37) % 100).collect())),
+                ("payload", Bat::Int((0..n).collect())),
+            ],
+        );
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let plan = Plan::Sort { input: Box::new(scan("t", 2)), keys: vec![(0, false)] };
+        let base = execute_streaming(&plan, &ExecContext::new(&tables, opts(1, 1024))).unwrap();
+        for threads in [1, 4] {
+            let mut o = opts(threads, 1024);
+            o.memory_budget = 16 * 1024; // input is ~320 kB
+            let ctx = ExecContext::new(&tables, o);
+            let got = execute_streaming(&plan, &ctx).unwrap();
+            assert_eq!(base.rows, got.rows);
+            for c in 0..base.cols.len() {
+                for r in 0..base.rows {
+                    assert_eq!(
+                        base.cols[c].get(r),
+                        got.cols[c].get(r),
+                        "row {r} col {c} threads={threads}"
+                    );
+                }
+            }
+            assert!(
+                ctx.counters.spilled_partitions.load(Ordering::Relaxed) > 0,
+                "expected sorted runs on disk"
+            );
+        }
+        // With a budget that fits, the external-sort path degenerates to
+        // the identical in-memory sort and spills nothing.
+        let mut o = opts(1, 1024);
+        o.memory_budget = 64 << 20;
+        let ctx = ExecContext::new(&tables, o);
+        let got = execute_streaming(&plan, &ctx).unwrap();
+        assert_eq!(ctx.counters.spilled_partitions.load(Ordering::Relaxed), 0);
+        assert_eq!(got.rows, base.rows);
+    }
+
+    #[test]
+    fn external_sort_multipass_merge_beyond_fanin() {
+        // Enough input that the floored per-worker share produces more
+        // runs than MERGE_FANIN: intermediate merge passes must kick in
+        // and the result must still match the in-memory sort exactly.
+        let n = 200_000i32;
+        let t = make_table(
+            "t",
+            vec![
+                ("k", Bat::Int((0..n).map(|i| (i * 131) % 997).collect())),
+                ("payload", Bat::Int((0..n).collect())),
+            ],
+        );
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let plan = Plan::Sort { input: Box::new(scan("t", 2)), keys: vec![(0, false)] };
+        let base = execute_streaming(&plan, &ExecContext::new(&tables, opts(1, 1024))).unwrap();
+        let mut o = opts(1, 1024);
+        o.memory_budget = 1; // floored to MIN_SORT_SHARE
+        let ctx = ExecContext::new(&tables, o);
+        let got = execute_streaming(&plan, &ctx).unwrap();
+        assert_eq!(base.rows, got.rows);
+        for r in (0..base.rows).step_by(997) {
+            assert_eq!(base.cols[0].get(r), got.cols[0].get(r), "row {r}");
+            assert_eq!(base.cols[1].get(r), got.cols[1].get(r), "row {r}");
+        }
+        let spilled = ctx.counters.spilled_partitions.load(Ordering::Relaxed);
+        assert!(
+            spilled > MERGE_FANIN as u64,
+            "expected more runs than the fan-in cap plus intermediate merges, got {spilled}"
+        );
+    }
+
+    #[test]
+    fn global_aggregates_never_spill() {
+        let n = 100_000i32;
+        let t = make_table("t", vec![("a", Bat::Int((0..n).collect()))]);
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let plan = Plan::Aggregate {
+            input: Box::new(scan("t", 1)),
+            groups: vec![],
+            aggs: vec![AggSpec {
+                func: PAggFunc::Sum,
+                arg: Some(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                distinct: false,
+                ty: LogicalType::Bigint,
+            }],
+            schema: vec![OutCol { name: "s".into(), ty: LogicalType::Bigint }],
+        };
+        let mut o = opts(1, 1024);
+        o.memory_budget = 64; // absurdly small: O(1) state still fits policy
+        let ctx = ExecContext::new(&tables, o);
+        let out = execute_streaming(&plan, &ctx).unwrap();
+        assert_eq!(out.cols[0].get(0), Value::Bigint((0..n as i64).sum()));
+        assert_eq!(ctx.counters.spilled_partitions.load(Ordering::Relaxed), 0);
     }
 
     #[test]

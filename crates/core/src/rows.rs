@@ -90,6 +90,28 @@ pub fn col_cmp(c: &Bat, i: usize, j: usize) -> Ordering {
     }
 }
 
+/// Ordering of rows taken from two *different* columns of the same type
+/// (the k-way merge of the external sort compares run heads across
+/// chunks). Must match [`col_cmp`] exactly — NULLs smallest — or merged
+/// output would diverge from the in-memory sort.
+pub fn col_cmp2(a: &Bat, i: usize, b: &Bat, j: usize) -> Ordering {
+    match (a.is_null_at(i), b.is_null_at(j)) {
+        (true, true) => return Ordering::Equal,
+        (true, false) => return Ordering::Less,
+        (false, true) => return Ordering::Greater,
+        _ => {}
+    }
+    match (a, b) {
+        (Bat::Bool(x), Bat::Bool(y)) => x[i].cmp(&y[j]),
+        (Bat::Int(x), Bat::Int(y)) | (Bat::Date(x), Bat::Date(y)) => x[i].cmp(&y[j]),
+        (Bat::Bigint(x), Bat::Bigint(y)) => x[i].cmp(&y[j]),
+        (Bat::Double(x), Bat::Double(y)) => x[i].partial_cmp(&y[j]).unwrap_or(Ordering::Equal),
+        (Bat::Decimal { data: x, .. }, Bat::Decimal { data: y, .. }) => x[i].cmp(&y[j]),
+        (Bat::Varchar { .. }, Bat::Varchar { .. }) => a.str_at(i).cmp(&b.str_at(j)),
+        _ => a.get(i).cmp_sql(&b.get(j)),
+    }
+}
+
 /// Gather with NULL padding: `NO_ROW` entries produce NULL (left-outer
 /// join right side).
 pub fn take_padded(bat: &Bat, sel: &[u32]) -> Bat {

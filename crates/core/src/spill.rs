@@ -1,0 +1,315 @@
+//! Disk spilling for pipeline breakers (out-of-core execution).
+//!
+//! MonetDBLite runs *inside* the host process and shares memory with the
+//! analytical environment (paper §1), so operators whose transient state
+//! outgrows the memory budget must degrade gracefully instead of OOMing
+//! the host. This module provides the low-level machinery the streaming
+//! engine's breakers use when [`crate::exec::ExecContext::spill_budget`]
+//! is exceeded:
+//!
+//! * [`SpillDir`] — a lazily created per-execution temp directory; every
+//!   spill file lives (and dies) with the query.
+//! * [`SpillFile`] / [`SpillReader`] — append-only sequences of column
+//!   frames, reusing the column-file BAT encoding of
+//!   [`monetlite_storage::persist`].
+//! * [`PartitionWriter`] — hash-partitions incoming vectors into
+//!   [`SPILL_FANOUT`] buffered partition files by a depth-seeded key
+//!   hash. Re-seeding by depth lets an oversized partition be split
+//!   again ([`MAX_SPILL_DEPTH`] caps the recursion).
+//!
+//! The orchestration — spillable hash aggregation, grace hash join and
+//! external merge sort — lives in [`crate::pipeline`].
+
+use crate::exec::Chunk;
+use crate::rows::row_hash;
+use monetlite_storage::persist::{read_chunk_frame, write_chunk_frame};
+use monetlite_storage::Bat;
+use monetlite_types::Result;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Fan-out of one hash-partitioning pass.
+pub const SPILL_FANOUT: usize = 16;
+
+/// Maximum re-partitioning depth. A partition that still exceeds the
+/// budget after this many re-seeded splits is processed in memory anyway
+/// (the alternative is unbounded recursion on pathological key sets, e.g.
+/// a single group larger than the budget).
+pub const MAX_SPILL_DEPTH: u32 = 4;
+
+/// Buffered bytes per partition before a flush to its file.
+const PART_FLUSH_BYTES: usize = 256 * 1024;
+
+/// Partition id of one key row at a given recursion depth. The seed is
+/// folded over [`row_hash`] so rows that collided into one partition at
+/// depth `d` scatter differently at depth `d + 1`.
+pub(crate) fn partition_of(keys: &[&Bat], row: usize, depth: u32) -> usize {
+    let h = row_hash(keys, row) ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(depth as u64 + 1);
+    (h.wrapping_mul(0xD1B5_4A32_D192_ED03) >> 33) as usize % SPILL_FANOUT
+}
+
+/// Lazily created spill directory, one per [`crate::exec::ExecContext`].
+/// The directory (and every file still in it) is removed when the
+/// context is dropped — spill state never outlives its query.
+#[derive(Default)]
+pub(crate) struct SpillDir {
+    dir: Mutex<Option<Arc<tempfile::TempDir>>>,
+    next: AtomicU64,
+}
+
+impl SpillDir {
+    /// A fresh unique file path inside the (lazily created) directory.
+    fn fresh_path(&self) -> Result<PathBuf> {
+        let mut g = self.dir.lock().expect("spill dir lock");
+        let dir = match &*g {
+            Some(d) => d.clone(),
+            None => {
+                let d = Arc::new(tempfile::tempdir()?);
+                *g = Some(d.clone());
+                d
+            }
+        };
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        Ok(dir.path().join(format!("spill-{n}.bin")))
+    }
+
+    /// Create a new spill file.
+    pub fn file(&self) -> Result<SpillFile> {
+        let path = self.fresh_path()?;
+        let w = BufWriter::new(File::create(&path)?);
+        Ok(SpillFile { path, w: Some(w), bytes: 0, rows: 0 })
+    }
+}
+
+/// An append-only sequence of column frames on disk.
+pub(crate) struct SpillFile {
+    path: PathBuf,
+    w: Option<BufWriter<File>>,
+    /// Bytes written so far (drives the `spill_bytes` counter).
+    pub bytes: u64,
+    /// Rows written so far.
+    pub rows: u64,
+}
+
+impl SpillFile {
+    /// Append one frame of aligned columns.
+    pub fn write(&mut self, cols: &[&Bat]) -> Result<u64> {
+        let w = self.w.as_mut().expect("spill file already sealed");
+        let n = write_chunk_frame(w, cols)?;
+        self.bytes += n;
+        self.rows += cols.first().map_or(0, |c| c.len()) as u64;
+        Ok(n)
+    }
+
+    /// Seal the file and reopen it for sequential reads. The underlying
+    /// file is deleted when the reader is dropped.
+    pub fn into_reader(mut self) -> Result<SpillReader> {
+        use std::io::Write;
+        if let Some(mut w) = self.w.take() {
+            w.flush()?;
+        }
+        let r = BufReader::new(File::open(&self.path)?);
+        Ok(SpillReader { r, path: std::mem::take(&mut self.path) })
+    }
+}
+
+/// Sequential reader over a sealed [`SpillFile`]; removes the file when
+/// dropped so re-partitioning recursion does not accumulate dead files.
+pub(crate) struct SpillReader {
+    r: BufReader<File>,
+    path: PathBuf,
+}
+
+impl SpillReader {
+    /// The next frame as a chunk, or `None` at end of file.
+    pub fn next(&mut self) -> Result<Option<Chunk>> {
+        match read_chunk_frame(&mut self.r)? {
+            None => Ok(None),
+            Some(cols) => {
+                let rows = cols.first().map_or(0, |c| c.len());
+                Ok(Some(Chunk { cols: cols.into_iter().map(Arc::new).collect(), rows }))
+            }
+        }
+    }
+}
+
+impl Drop for SpillReader {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// One partition's buffered tail: rows accumulate in memory and flush to
+/// the partition file in coarse frames (frame-per-vector files would pay
+/// per-row framing overhead).
+#[derive(Default)]
+struct PartBuf {
+    bufs: Option<Vec<Bat>>,
+    buffered: usize,
+    file: Option<SpillFile>,
+}
+
+impl PartBuf {
+    fn append(&mut self, dir: &SpillDir, gathered: &Chunk) -> Result<()> {
+        let bufs = self.bufs.get_or_insert_with(|| {
+            gathered.cols.iter().map(|c| Bat::new(c.logical_type())).collect()
+        });
+        for (dst, src) in bufs.iter_mut().zip(&gathered.cols) {
+            dst.append_bat(src)?;
+        }
+        self.buffered += gathered.mem_bytes();
+        if self.buffered >= PART_FLUSH_BYTES {
+            self.flush(dir)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, dir: &SpillDir) -> Result<()> {
+        let Some(bufs) = self.bufs.take() else {
+            return Ok(());
+        };
+        if bufs.first().is_none_or(|b| b.is_empty()) {
+            return Ok(());
+        }
+        if self.file.is_none() {
+            self.file = Some(dir.file()?);
+        }
+        let refs: Vec<&Bat> = bufs.iter().collect();
+        self.file.as_mut().expect("partition file").write(&refs)?;
+        self.buffered = 0;
+        Ok(())
+    }
+}
+
+/// Hash-partitions vectors into [`SPILL_FANOUT`] spill files by the
+/// depth-seeded hash of their key columns.
+pub(crate) struct PartitionWriter {
+    parts: Vec<PartBuf>,
+    depth: u32,
+}
+
+impl PartitionWriter {
+    /// Empty writer partitioning at the given recursion depth.
+    pub fn new(depth: u32) -> PartitionWriter {
+        PartitionWriter { parts: (0..SPILL_FANOUT).map(|_| PartBuf::default()).collect(), depth }
+    }
+
+    /// Route every row of `chunk` to its partition. `keys` are the
+    /// partitioning key columns, aligned with the chunk's rows (they may
+    /// be — and for joins are — a suffix of the chunk's own columns).
+    pub fn route(&mut self, dir: &SpillDir, chunk: &Chunk, keys: &[&Bat]) -> Result<()> {
+        let mut sels: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+        for row in 0..chunk.rows {
+            sels[partition_of(keys, row, self.depth)].push(row as u32);
+        }
+        for (p, sel) in sels.iter().enumerate() {
+            if sel.is_empty() {
+                continue;
+            }
+            let gathered = if sel.len() == chunk.rows { chunk.clone() } else { chunk.take(sel) };
+            self.parts[p].append(dir, &gathered)?;
+        }
+        Ok(())
+    }
+
+    /// Flush all buffers and return the partition files (`None` for
+    /// partitions that never received a row) plus total bytes written.
+    pub fn finish(mut self, dir: &SpillDir) -> Result<(Vec<Option<SpillFile>>, u64)> {
+        let mut out = Vec::with_capacity(SPILL_FANOUT);
+        let mut total = 0u64;
+        for part in self.parts.iter_mut() {
+            part.flush(dir)?;
+            let f = part.file.take();
+            if let Some(f) = &f {
+                total += f.bytes;
+            }
+            out.push(f);
+        }
+        Ok((out, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monetlite_types::Value;
+
+    fn chunk(vals: Vec<i32>) -> Chunk {
+        let rows = vals.len();
+        Chunk { cols: vec![Arc::new(Bat::Int(vals))], rows }
+    }
+
+    #[test]
+    fn spill_file_roundtrips_chunks() {
+        let dir = SpillDir::default();
+        let mut f = dir.file().unwrap();
+        f.write(&[&Bat::Int(vec![1, 2, 3])]).unwrap();
+        f.write(&[&Bat::Int(vec![4])]).unwrap();
+        assert!(f.bytes > 0);
+        assert_eq!(f.rows, 4);
+        let mut r = f.into_reader().unwrap();
+        assert_eq!(r.next().unwrap().unwrap().rows, 3);
+        let c2 = r.next().unwrap().unwrap();
+        assert_eq!(c2.cols[0].get(0), Value::Int(4));
+        assert!(r.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn partitions_cover_input_exactly_once() {
+        let dir = SpillDir::default();
+        let mut w = PartitionWriter::new(0);
+        let n = 10_000;
+        let c = chunk((0..n).collect());
+        let keys: Vec<&Bat> = vec![&*c.cols[0]];
+        w.route(&dir, &c, &keys).unwrap();
+        let (parts, bytes) = w.finish(&dir).unwrap();
+        assert!(bytes > 0);
+        let mut seen = Vec::new();
+        let mut nonempty = 0;
+        for f in parts.into_iter().flatten() {
+            nonempty += 1;
+            let mut r = f.into_reader().unwrap();
+            while let Some(c) = r.next().unwrap() {
+                for i in 0..c.rows {
+                    match c.cols[0].get(i) {
+                        Value::Int(v) => seen.push(v),
+                        v => panic!("unexpected {v:?}"),
+                    }
+                }
+            }
+        }
+        assert!(nonempty > 1, "10k distinct keys should span partitions");
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reseeded_depth_splits_a_partition() {
+        // All rows of one depth-0 partition must scatter at depth 1.
+        let keys = Bat::Int((0..100_000).collect());
+        let kref: Vec<&Bat> = vec![&keys];
+        let target = partition_of(&kref, 0, 0);
+        let mut depth1 = std::collections::HashSet::new();
+        for row in 0..keys.len() {
+            if partition_of(&kref, row, 0) == target {
+                depth1.insert(partition_of(&kref, row, 1));
+            }
+        }
+        assert!(depth1.len() > 1, "re-seeded hash must split the partition");
+    }
+
+    #[test]
+    fn readers_remove_their_files() {
+        let dir = SpillDir::default();
+        let mut f = dir.file().unwrap();
+        f.write(&[&Bat::Int(vec![1])]).unwrap();
+        let path = f.path.clone();
+        let r = f.into_reader().unwrap();
+        assert!(path.exists());
+        drop(r);
+        assert!(!path.exists(), "spill file removed when reader drops");
+    }
+}

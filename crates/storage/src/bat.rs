@@ -110,6 +110,18 @@ impl Bat {
         }
     }
 
+    /// Approximate *resident* size in bytes, including transient heap
+    /// structures ([`StringHeap::mem_bytes`]) that the persisted image
+    /// omits. This is the quantity execution-time memory budgets (spill
+    /// decisions) account; [`Bat::size_bytes`] remains the vmem/persisted
+    /// measure.
+    pub fn mem_bytes(&self) -> usize {
+        match self {
+            Bat::Varchar { offsets, heap } => offsets.len() * 4 + heap.mem_bytes(),
+            other => other.size_bytes(),
+        }
+    }
+
     /// Row `i` as a dynamic [`Value`] (cold path: spot checks, wire
     /// protocol, row-store bridge).
     pub fn get(&self, i: usize) -> Value {

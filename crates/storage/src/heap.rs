@@ -118,6 +118,19 @@ impl StringHeap {
         self.buf.len()
     }
 
+    /// Approximate *resident* bytes: the packed heap plus the transient
+    /// dedup map. [`StringHeap::size_bytes`] is the persisted image the
+    /// vmem budget accounts; memory-budget decisions in the execution
+    /// engine (spill-or-not) must also count the map, which can dominate
+    /// for short strings.
+    pub fn mem_bytes(&self) -> usize {
+        let map = self.dedup.as_ref().map_or(0, |m| {
+            // hash + Vec header + one offset per entry, plus table slack.
+            m.len() * (8 + 24 + 8) + m.capacity() * 8
+        });
+        self.buf.len() + map
+    }
+
     /// Raw heap bytes, for persistence.
     pub fn raw(&self) -> &[u8] {
         &self.buf

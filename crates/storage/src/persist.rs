@@ -23,6 +23,10 @@ use std::path::Path;
 const MAGIC: &[u8; 4] = b"MLB1";
 const ENDIAN_MARK: u16 = 0xBEEF;
 
+/// Sanity cap on any decoded length field (a corrupt length must not
+/// trigger an enormous allocation).
+const MAX_LEN: u64 = 1 << 34;
+
 const TAG_BOOL: u8 = 0;
 const TAG_INT: u8 = 1;
 const TAG_BIGINT: u8 = 2;
@@ -109,7 +113,6 @@ fn read_u8(r: &mut impl Read) -> Result<u8> {
 /// Deserialise one BAT payload from `r`. Lengths are sanity-capped so a
 /// corrupt length cannot trigger an enormous allocation.
 pub fn decode_bat(r: &mut impl Read) -> Result<Bat> {
-    const MAX_LEN: u64 = 1 << 34;
     let tag = read_u8(r)?;
     let scale = if tag == TAG_DECIMAL { read_u8(r)? } else { 0 };
     let len = read_u64(r)?;
@@ -141,6 +144,50 @@ pub fn decode_bat(r: &mut impl Read) -> Result<Bat> {
         TAG_DATE => Bat::Date(read_pod_vec(r, len)?),
         t => return Err(MlError::Corrupt(format!("unknown column tag {t}"))),
     })
+}
+
+/// Serialise a block of aligned columns as one length-prefixed frame —
+/// the record format of execution-time spill files (pipeline breakers
+/// writing partitions/runs to disk reuse the column-file BAT encoding).
+/// Returns the number of bytes written.
+pub fn write_chunk_frame(w: &mut impl Write, cols: &[&Bat]) -> Result<u64> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(cols.len() as u32).to_le_bytes());
+    for c in cols {
+        encode_bat(&mut payload, c);
+    }
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(&payload)?;
+    Ok(8 + payload.len() as u64)
+}
+
+/// Read one frame written by [`write_chunk_frame`]. `Ok(None)` signals a
+/// clean end-of-file (no partial frame bytes).
+pub fn read_chunk_frame(r: &mut impl Read) -> Result<Option<Vec<Bat>>> {
+    let mut lenb = [0u8; 8];
+    match r.read_exact(&mut lenb) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u64::from_le_bytes(lenb);
+    if len > MAX_LEN {
+        return Err(MlError::Corrupt(format!("spill frame length {len} exceeds sanity bound")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut cursor = payload.as_slice();
+    let mut nb = [0u8; 4];
+    cursor.read_exact(&mut nb)?;
+    let ncols = u32::from_le_bytes(nb) as usize;
+    if ncols > 100_000 {
+        return Err(MlError::Corrupt("spill frame too wide".into()));
+    }
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        cols.push(decode_bat(&mut cursor)?);
+    }
+    Ok(Some(cols))
 }
 
 /// Write a BAT to a column file (atomically: temp file + rename).
@@ -215,6 +262,33 @@ mod tests {
             Some("hello".into()),
             Some("".into()),
         ])));
+    }
+
+    #[test]
+    fn chunk_frames_roundtrip_and_eof_cleanly() {
+        let a = Bat::Int(vec![1, 2, 3]);
+        let b = Bat::from_buffer(&ColumnBuffer::Varchar(vec![Some("x".into()), None]));
+        let mut buf = Vec::new();
+        let n1 = write_chunk_frame(&mut buf, &[&a, &b]).unwrap();
+        let n2 = write_chunk_frame(&mut buf, &[&a]).unwrap();
+        assert_eq!(buf.len() as u64, n1 + n2);
+        let mut r = buf.as_slice();
+        let f1 = read_chunk_frame(&mut r).unwrap().unwrap();
+        assert_eq!(f1.len(), 2);
+        assert_eq!(f1[0].to_buffer(None), a.to_buffer(None));
+        assert_eq!(f1[1].to_buffer(None), b.to_buffer(None));
+        let f2 = read_chunk_frame(&mut r).unwrap().unwrap();
+        assert_eq!(f2.len(), 1);
+        assert!(read_chunk_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_chunk_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_chunk_frame(&mut buf, &[&Bat::Int(vec![1, 2, 3])]).unwrap();
+        let cut = &buf[..buf.len() - 2];
+        let mut r = cut;
+        assert!(read_chunk_frame(&mut r).is_err(), "torn frame must not decode");
     }
 
     #[test]

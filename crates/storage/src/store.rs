@@ -31,7 +31,10 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-const CATALOG_MAGIC: &[u8; 4] = b"MLC1";
+// Bumped MLC1 -> MLC2 when the checkpoint-tx watermark was inserted into
+// the payload: an old-format file must fail with a clear "bad magic"
+// instead of misparsing its table count as a watermark.
+const CATALOG_MAGIC: &[u8; 4] = b"MLC2";
 const ENDIAN_MARK: u16 = 0xBEEF;
 
 /// Configuration for opening a [`Store`].
@@ -76,6 +79,21 @@ struct CommitInner {
     next_table_id: u64,
     next_tx: u64,
     autocheckpoint: u64,
+}
+
+/// Where a simulated crash interrupts a checkpoint. Test instrumentation
+/// for the recovery-equivalence suite: the checkpoint stops *before* the
+/// named step, exactly as if the process had been killed there, and the
+/// store must then be dropped and re-opened.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointCrash {
+    /// Column files written; the catalog rename has not happened.
+    BeforeCatalogRename,
+    /// New catalog in place; the WAL has not been truncated.
+    BeforeWalTruncate,
+    /// WAL truncated; stale column files have not been removed.
+    BeforeFileGc,
 }
 
 /// The shared, process-local database state. Cheap to share via `Arc`;
@@ -139,12 +157,23 @@ impl Store {
             Err(e) => return Err(e.into()),
         }
         let open_inner = || -> Result<Store> {
-            let (mut tables, mut next_table_id) = load_catalog(&dir, &vmem)?;
+            let (mut tables, mut next_table_id, checkpoint_tx) = load_catalog(&dir, &vmem)?;
             // Replay committed WAL transactions on top of the checkpoint.
+            // Transactions at or below the catalog's checkpoint watermark
+            // are already part of the checkpoint image: a crash between
+            // the catalog rename and the WAL truncation must not apply
+            // them a second time (appends would duplicate rows, deletes
+            // would hit renumbered rows after compaction).
             let txns = wal::replay(&dir.join("wal.log"))?;
-            let replayed = !txns.is_empty();
-            for txn in txns {
-                for rec in txn {
+            let mut max_tx = checkpoint_tx;
+            let mut replayed = false;
+            for (tx, recs) in txns {
+                if tx <= checkpoint_tx {
+                    continue;
+                }
+                replayed = true;
+                max_tx = max_tx.max(tx);
+                for rec in recs {
                     apply_record(&mut tables, &rec, &mut next_table_id)?;
                 }
             }
@@ -155,7 +184,9 @@ impl Store {
                 commit_lock: Mutex::new(CommitInner {
                     wal: Some(WalWriter::open(&dir.join("wal.log"))?),
                     next_table_id,
-                    next_tx: 1,
+                    // Transaction ids stay monotonic across restarts so
+                    // the watermark comparison is always meaningful.
+                    next_tx: max_tx + 1,
                     autocheckpoint: opts.wal_autocheckpoint,
                 }),
                 lock_path: None, // set by caller on success
@@ -238,19 +269,42 @@ impl Store {
         *self.catalog.write() = Arc::new(CatalogSnapshot { tables });
         let wal_bytes = ci.wal.as_ref().map_or(0, |w| w.bytes());
         if wal_bytes > ci.autocheckpoint {
-            self.checkpoint_locked(&mut ci)?;
+            self.checkpoint_locked(&mut ci, None)?;
         }
         Ok(())
     }
 
     /// Write all table data to column files, rewrite the catalog file, and
     /// truncate the WAL. No-op for in-memory stores.
+    ///
+    /// Crash safety: the steps are ordered so a kill at any point leaves a
+    /// recoverable state — (1) column files are written under fresh names
+    /// and the old catalog still references the old ones; (2) the catalog
+    /// rewrite is a temp-file + fsync + rename, atomically switching to
+    /// the new image *including its transaction watermark*; (3) only then
+    /// is the WAL truncated (a crash in between replays nothing twice
+    /// because recovery skips transactions at or below the watermark);
+    /// (4) unreferenced column files are removed last (a crash leaves
+    /// harmless orphans that the next checkpoint collects).
     pub fn checkpoint(&self) -> Result<()> {
         let mut ci = self.commit_lock.lock();
-        self.checkpoint_locked(&mut ci)
+        self.checkpoint_locked(&mut ci, None)
     }
 
-    fn checkpoint_locked(&self, ci: &mut CommitInner) -> Result<()> {
+    /// Run a checkpoint that stops (as if killed) before the given step.
+    /// Test instrumentation: the store must be dropped and re-opened
+    /// afterwards; see the crash-injection tests.
+    #[doc(hidden)]
+    pub fn checkpoint_crashing(&self, at: CheckpointCrash) -> Result<()> {
+        let mut ci = self.commit_lock.lock();
+        self.checkpoint_locked(&mut ci, Some(at))
+    }
+
+    fn checkpoint_locked(
+        &self,
+        ci: &mut CommitInner,
+        crash: Option<CheckpointCrash>,
+    ) -> Result<()> {
         let Some(dir) = &self.path else {
             return Ok(());
         };
@@ -302,8 +356,26 @@ impl Store {
             );
         }
         let snap2 = CatalogSnapshot { tables: new_tables };
-        write_catalog(dir, &snap2, ci.next_table_id)?;
-        // Remove column files no longer referenced by the catalog.
+        if crash == Some(CheckpointCrash::BeforeCatalogRename) {
+            return Ok(());
+        }
+        // Atomically publish the new image together with the watermark of
+        // the last transaction it contains.
+        write_catalog(dir, &snap2, ci.next_table_id, ci.next_tx - 1)?;
+        if crash == Some(CheckpointCrash::BeforeWalTruncate) {
+            return Ok(());
+        }
+        // Truncate and reopen the WAL (everything in it is at or below
+        // the watermark now, so this step is idempotent for recovery).
+        ci.wal = None;
+        File::create(dir.join("wal.log"))?;
+        ci.wal = Some(WalWriter::open(&dir.join("wal.log"))?);
+        if crash == Some(CheckpointCrash::BeforeFileGc) {
+            return Ok(());
+        }
+        // Remove column files no longer referenced by the catalog — last,
+        // so a crash anywhere above never deletes files a surviving
+        // catalog still points at.
         for e in std::fs::read_dir(&colsdir)? {
             let e = e?;
             let fname = e.file_name().to_string_lossy().into_owned();
@@ -311,10 +383,6 @@ impl Store {
                 let _ = std::fs::remove_file(e.path());
             }
         }
-        // Truncate and reopen the WAL.
-        ci.wal = None;
-        File::create(dir.join("wal.log"))?;
-        ci.wal = Some(WalWriter::open(&dir.join("wal.log"))?);
         *self.catalog.write() = Arc::new(snap2);
         Ok(())
     }
@@ -448,9 +516,17 @@ fn check_append_types(schema: &Schema, cols: &[Bat]) -> Result<()> {
 // Catalog file
 // ---------------------------------------------------------------------------
 
-fn write_catalog(dir: &Path, snap: &CatalogSnapshot, next_table_id: u64) -> Result<()> {
+fn write_catalog(
+    dir: &Path,
+    snap: &CatalogSnapshot,
+    next_table_id: u64,
+    checkpoint_tx: u64,
+) -> Result<()> {
     let mut payload = Vec::new();
     payload.extend_from_slice(&next_table_id.to_le_bytes());
+    // Watermark: the highest committed transaction id contained in this
+    // image. Recovery skips WAL transactions at or below it.
+    payload.extend_from_slice(&checkpoint_tx.to_le_bytes());
     let names = snap.table_names();
     payload.extend_from_slice(&(names.len() as u32).to_le_bytes());
     for name in &names {
@@ -488,12 +564,14 @@ fn write_catalog(dir: &Path, snap: &CatalogSnapshot, next_table_id: u64) -> Resu
     Ok(())
 }
 
-fn load_catalog(dir: &Path, vmem: &Arc<Vmem>) -> Result<(HashMap<String, Arc<TableMeta>>, u64)> {
+type LoadedCatalog = (HashMap<String, Arc<TableMeta>>, u64, u64);
+
+fn load_catalog(dir: &Path, vmem: &Arc<Vmem>) -> Result<LoadedCatalog> {
     let path = dir.join("catalog.bin");
     let mut f = match File::open(&path) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok((HashMap::new(), 1));
+            return Ok((HashMap::new(), 1, 0));
         }
         Err(e) => return Err(e.into()),
     };
@@ -511,6 +589,7 @@ fn load_catalog(dir: &Path, vmem: &Arc<Vmem>) -> Result<(HashMap<String, Arc<Tab
     }
     let mut r = payload;
     let next_table_id = take_u64(&mut r)?;
+    let checkpoint_tx = take_u64(&mut r)?;
     let ntables = take_u32(&mut r)? as usize;
     if ntables > 1_000_000 {
         return Err(MlError::Corrupt("catalog.bin: implausible table count".into()));
@@ -550,7 +629,7 @@ fn load_catalog(dir: &Path, vmem: &Arc<Vmem>) -> Result<(HashMap<String, Arc<Tab
             }),
         );
     }
-    Ok((tables, next_table_id))
+    Ok((tables, next_table_id, checkpoint_tx))
 }
 
 fn take_u32(r: &mut &[u8]) -> Result<u32> {
@@ -791,6 +870,127 @@ mod tests {
             ],
         });
         assert!(matches!(store.commit(w), Err(MlError::TypeMismatch(_))));
+    }
+
+    /// The full visible contents of table `t`, column 0, as a buffer.
+    fn col0(store: &Store) -> ColumnBuffer {
+        let snap = store.snapshot();
+        let t = snap.table("t").unwrap();
+        let bat = t.data.cols[0].entry().unwrap().bat().unwrap();
+        match &t.data.deleted {
+            None => bat.to_buffer(None),
+            Some(d) => {
+                let sel: Vec<u32> = (0..t.data.rows as u32).filter(|&r| !d[r as usize]).collect();
+                bat.take(&sel).to_buffer(None)
+            }
+        }
+    }
+
+    fn reopen(dir: &Path) -> Store {
+        Store::open(StoreOptions { path: Some(dir.to_path_buf()), ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn checkpoint_crash_at_every_step_recovers_equivalently() {
+        // Reference sequence: create+fill, checkpoint, append, delete —
+        // then crash the second checkpoint before each of its steps and
+        // assert the re-opened store sees exactly the committed state.
+        for at in [
+            CheckpointCrash::BeforeCatalogRename,
+            CheckpointCrash::BeforeWalTruncate,
+            CheckpointCrash::BeforeFileGc,
+        ] {
+            let dir = tempfile::tempdir().unwrap();
+            {
+                let store = reopen(dir.path());
+                create_and_fill(&store, vec![1, 2, 3]);
+                store.checkpoint().unwrap();
+                let mut w = TxWrites::default();
+                w.ops.push(WalRecord::Append {
+                    table: "t".into(),
+                    cols: vec![
+                        Bat::Int(vec![4, 5]),
+                        Bat::from_buffer(&ColumnBuffer::Varchar(vec![None, None])),
+                    ],
+                });
+                store.commit(w).unwrap();
+                let mut w = TxWrites::default();
+                w.ops.push(WalRecord::Delete { table: "t".into(), rows: vec![1] });
+                store.commit(w).unwrap();
+                store.checkpoint_crashing(at).unwrap();
+                // Simulated kill: the store is dropped without finishing.
+            }
+            let store = reopen(dir.path());
+            assert_eq!(
+                col0(&store),
+                ColumnBuffer::Int(vec![1, 3, 4, 5]),
+                "recovery after crash {at:?} must see each committed txn exactly once"
+            );
+            // A post-recovery checkpoint + reopen converges to the same state.
+            store.checkpoint().unwrap();
+            drop(store);
+            let store = reopen(dir.path());
+            assert_eq!(col0(&store), ColumnBuffer::Int(vec![1, 3, 4, 5]), "after {at:?}");
+        }
+    }
+
+    #[test]
+    fn crash_between_catalog_and_wal_truncate_does_not_double_apply() {
+        // The historical bug: the catalog image already contains the
+        // appended rows, and the un-truncated WAL replays them again.
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let store = reopen(dir.path());
+            create_and_fill(&store, vec![10]);
+            store.checkpoint_crashing(CheckpointCrash::BeforeWalTruncate).unwrap();
+        }
+        let store = reopen(dir.path());
+        assert_eq!(
+            col0(&store),
+            ColumnBuffer::Int(vec![10]),
+            "append must not be applied twice after a mid-checkpoint crash"
+        );
+    }
+
+    #[test]
+    fn crash_after_compaction_does_not_replay_stale_deletes() {
+        // Deletes compacted into the catalog renumber physical rows; a
+        // replayed Delete record with old row ids would remove the wrong
+        // rows without the watermark skip.
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let store = reopen(dir.path());
+            create_and_fill(&store, vec![1, 2, 3, 4]);
+            let mut w = TxWrites::default();
+            w.ops.push(WalRecord::Delete { table: "t".into(), rows: vec![0] });
+            store.commit(w).unwrap();
+            store.checkpoint_crashing(CheckpointCrash::BeforeWalTruncate).unwrap();
+        }
+        let store = reopen(dir.path());
+        assert_eq!(col0(&store), ColumnBuffer::Int(vec![2, 3, 4]));
+    }
+
+    #[test]
+    fn tx_ids_stay_monotonic_across_restart() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let store = reopen(dir.path());
+            create_and_fill(&store, vec![1]);
+            store.checkpoint().unwrap();
+        }
+        {
+            // New commits after restart get ids above the watermark; a
+            // crashless checkpoint keeps everything consistent.
+            let store = reopen(dir.path());
+            let mut w = TxWrites::default();
+            w.ops.push(WalRecord::Append {
+                table: "t".into(),
+                cols: vec![Bat::Int(vec![2]), Bat::from_buffer(&ColumnBuffer::Varchar(vec![None]))],
+            });
+            store.commit(w).unwrap();
+        }
+        let store = reopen(dir.path());
+        assert_eq!(col0(&store), ColumnBuffer::Int(vec![1, 2]));
     }
 
     #[test]

@@ -79,6 +79,17 @@ impl Vmem {
         self.budget
     }
 
+    /// Budget bytes not currently occupied by resident columns — the
+    /// memory the execution engine may devote to transient operator state
+    /// (pipeline-breaker hash tables, sort buffers) before it must spill
+    /// to disk. Unlimited budgets report unlimited headroom.
+    pub fn headroom(&self) -> usize {
+        if self.budget == usize::MAX {
+            return usize::MAX;
+        }
+        self.budget.saturating_sub(self.inner.lock().resident_bytes)
+    }
+
     /// Record that column `id` became resident with `bytes` bytes in
     /// `slot`, then enforce the budget by evicting the coldest columns.
     pub fn touch(&self, id: u64, slot: &Arc<ResidentSlot>, bytes: usize, loaded_from_disk: bool) {

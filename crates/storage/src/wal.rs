@@ -309,11 +309,16 @@ impl WalWriter {
     }
 }
 
-/// Read all *committed* transactions from a log. Torn tails (truncated or
-/// checksum-failing trailing records) end replay silently; a missing
-/// trailing `Commit` discards that transaction's records — uncommitted
-/// work never becomes visible.
-pub fn replay(path: &Path) -> Result<Vec<Vec<WalRecord>>> {
+/// Read all *committed* transactions from a log, each tagged with its
+/// transaction id. Torn tails (truncated or checksum-failing trailing
+/// records) end replay silently; a missing trailing `Commit` discards
+/// that transaction's records — uncommitted work never becomes visible.
+///
+/// The ids are what make replay idempotent across a checkpoint crash
+/// window: the catalog file records the highest transaction id included
+/// in its image, and recovery skips replayed transactions at or below
+/// that watermark instead of double-applying them.
+pub fn replay(path: &Path) -> Result<Vec<(u64, Vec<WalRecord>)>> {
     let mut f = match File::open(path) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
@@ -337,9 +342,9 @@ pub fn replay(path: &Path) -> Result<Vec<Vec<WalRecord>>> {
         pos += 4 + len + 8;
         match decode_record(payload)? {
             WalRecord::Begin(_) => pending = Some(Vec::new()),
-            WalRecord::Commit(_) => {
+            WalRecord::Commit(tx) => {
                 if let Some(recs) = pending.take() {
-                    committed.push(recs);
+                    committed.push((tx, recs));
                 }
             }
             rec => {
@@ -400,8 +405,10 @@ mod tests {
         }
         let txns = replay(&path).unwrap();
         assert_eq!(txns.len(), 2);
-        assert!(matches!(&txns[0][0], WalRecord::CreateTable { name, .. } if name == "t"));
-        match &txns[1][0] {
+        assert_eq!(txns[0].0, 1, "commit tx id surfaces for the watermark check");
+        assert_eq!(txns[1].0, 2);
+        assert!(matches!(&txns[0].1[0], WalRecord::CreateTable { name, .. } if name == "t"));
+        match &txns[1].1[0] {
             WalRecord::Append { table, cols } => {
                 assert_eq!(table, "t");
                 assert_eq!(cols.len(), 3);
