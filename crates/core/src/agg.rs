@@ -54,6 +54,41 @@ pub fn hash_group(keys: &[&Bat]) -> Grouping {
     Grouping { group_ids, repr_rows }
 }
 
+/// Candidate-list twin of [`hash_group`]: group only the `sel` positions
+/// of the key columns, reading the base arrays in place (no gather). The
+/// returned `group_ids`/`repr_rows` are indexed in the *logical*
+/// (selection) domain — `repr_rows[g] == i` names physical row
+/// `sel[i]` — so callers gather representatives with the selection-aware
+/// `Chunk::take`, touching only the survivors.
+pub fn hash_group_at(keys: &[&Bat], sel: &[u32]) -> Grouping {
+    let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut group_ids = Vec::with_capacity(sel.len());
+    let mut repr_rows: Vec<u32> = Vec::new();
+    for (li, &pi) in sel.iter().enumerate() {
+        let h = row_hash(keys, pi as usize);
+        let bucket = table.entry(h).or_default();
+        let mut gid = None;
+        for &g in bucket.iter() {
+            let repr_phys = sel[repr_rows[g as usize] as usize] as usize;
+            if rows_eq(keys, pi as usize, keys, repr_phys, true) {
+                gid = Some(g);
+                break;
+            }
+        }
+        let gid = match gid {
+            Some(g) => g,
+            None => {
+                let g = repr_rows.len() as u32;
+                repr_rows.push(li as u32);
+                bucket.push(g);
+                g
+            }
+        };
+        group_ids.push(gid);
+    }
+    Grouping { group_ids, repr_rows }
+}
+
 /// An incremental grouping table for the streaming engine: group keys are
 /// interned vector-at-a-time into dense ids, with representative key
 /// values accumulated as they are first seen (NULLs group together, SQL

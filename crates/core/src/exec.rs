@@ -83,6 +83,15 @@ pub struct ExecOptions {
     /// executor falls back to the headroom of the store's [`Vmem`] budget
     /// (see [`ExecContext::spill_budget`]).
     pub memory_budget: usize,
+    /// Candidate-list execution (streaming engine): filters narrow a
+    /// vector by refining a selection instead of gathering every
+    /// projected column, and downstream kernels evaluate only selected
+    /// positions. `false` restores gather-at-the-filter execution (the
+    /// ablation baseline).
+    pub use_candidates: bool,
+    /// Consult per-zone min/max zonemaps to skip whole vectors on
+    /// constant range predicates before any kernel runs.
+    pub use_zonemaps: bool,
 }
 
 /// Environment override for test/CI matrices (`MONETLITE_THREADS`,
@@ -90,6 +99,15 @@ pub struct ExecOptions {
 /// suite run under non-default execution shapes without code changes.
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|v| v.parse().ok()).filter(|&v| v > 0).unwrap_or(default)
+}
+
+/// Boolean env override (`MONETLITE_CANDIDATES=0` disables candidate
+/// lists for the whole suite, the CI ablation matrix's lever).
+fn env_bool(key: &str, default: bool) -> bool {
+    match std::env::var(key) {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off")),
+        Err(_) => default,
+    }
 }
 
 impl Default for ExecOptions {
@@ -104,6 +122,8 @@ impl Default for ExecOptions {
             use_order_index: true,
             timeout: None,
             memory_budget: env_usize("MONETLITE_MEMORY_BUDGET", usize::MAX),
+            use_candidates: env_bool("MONETLITE_CANDIDATES", true),
+            use_zonemaps: env_bool("MONETLITE_ZONEMAPS", true),
         }
     }
 }
@@ -140,6 +160,12 @@ pub struct ExecCounters {
     pub spilled_partitions: AtomicU64,
     /// Total bytes written to spill files.
     pub spill_bytes: AtomicU64,
+    /// Whole vectors (morsels) proven empty by a zonemap probe and
+    /// skipped before any kernel ran.
+    pub vectors_skipped: AtomicU64,
+    /// Vectors that left their operator chain carrying a candidate list
+    /// (materialization deferred to the pipeline sink).
+    pub sel_vectors: AtomicU64,
 }
 
 /// A point-in-time copy of [`ExecCounters`], exposed on the connection
@@ -169,6 +195,11 @@ pub struct CountersSnapshot {
     pub spilled_partitions: u64,
     /// Total bytes written to spill files.
     pub spill_bytes: u64,
+    /// Whole vectors skipped by zonemap probes.
+    pub vectors_skipped: u64,
+    /// Vectors carried through their operator chain with a candidate
+    /// list.
+    pub sel_vectors: u64,
 }
 
 impl ExecCounters {
@@ -195,6 +226,8 @@ impl ExecCounters {
             vectors: g(&self.vectors),
             spilled_partitions: g(&self.spilled_partitions),
             spill_bytes: g(&self.spill_bytes),
+            vectors_skipped: g(&self.vectors_skipped),
+            sel_vectors: g(&self.sel_vectors),
         }
     }
 }
@@ -269,31 +302,82 @@ impl<'a> ExecContext<'a> {
     }
 }
 
-/// A fully materialised intermediate result.
+/// An intermediate result: columns plus an optional **candidate list**.
+///
+/// Without a selection (`sel == None`) every column holds exactly `rows`
+/// rows — a fully materialised chunk. With a selection, the columns are
+/// *wider* shared arrays (often the base table's own columns, zero-copy)
+/// and `sel` lists the `rows` physical positions that logically belong
+/// to the chunk, in ascending order. Filters refine the selection
+/// instead of gathering; consumers either evaluate kernels at only the
+/// selected positions ([`crate::kernels::eval_sel`]) or call
+/// [`Chunk::materialize`] once at the pipeline sink.
 #[derive(Debug, Clone)]
 pub struct Chunk {
-    /// Columns (all the same length).
+    /// Columns (all the same physical length; equals `rows` when `sel`
+    /// is `None`).
     pub cols: Vec<Arc<Bat>>,
-    /// Row count.
+    /// Logical row count (`sel.len()` when a selection is present).
     pub rows: usize,
+    /// Candidate list: ascending physical positions into `cols`.
+    pub sel: Option<Arc<Vec<u32>>>,
 }
 
 impl Chunk {
-    /// Gather rows by id into a new chunk.
-    pub fn take(&self, sel: &[u32]) -> Chunk {
-        Chunk { cols: self.cols.iter().map(|c| Arc::new(c.take(sel))).collect(), rows: sel.len() }
+    /// A fully materialised chunk (no selection).
+    pub fn dense(cols: Vec<Arc<Bat>>, rows: usize) -> Chunk {
+        Chunk { cols, rows, sel: None }
     }
 
-    /// Concatenate chunks column-wise (the mitosis/pipeline "pack" step).
+    /// Physical rows of the backing columns (what dense kernels would
+    /// scan).
+    pub fn phys_rows(&self) -> usize {
+        self.cols.first().map_or(self.rows, |c| c.len())
+    }
+
+    /// Apply the candidate list, gathering each column once. The single
+    /// deferred materialisation of a candidate pipeline — called at the
+    /// sink. No-op for dense chunks.
+    pub fn materialize(self) -> Chunk {
+        match self.sel {
+            None => self,
+            Some(sel) => Chunk {
+                cols: self.cols.iter().map(|c| Arc::new(c.take(&sel))).collect(),
+                rows: sel.len(),
+                sel: None,
+            },
+        }
+    }
+
+    /// Gather *logical* rows by id into a new dense chunk (a selection
+    /// present on `self` is composed into the gather — one copy total).
+    pub fn take(&self, sel: &[u32]) -> Chunk {
+        match &self.sel {
+            None => {
+                Chunk::dense(self.cols.iter().map(|c| Arc::new(c.take(sel))).collect(), sel.len())
+            }
+            Some(base) => {
+                let phys: Vec<u32> = sel.iter().map(|&i| base[i as usize]).collect();
+                Chunk::dense(
+                    self.cols.iter().map(|c| Arc::new(c.take(&phys))).collect(),
+                    phys.len(),
+                )
+            }
+        }
+    }
+
+    /// Concatenate chunks column-wise (the mitosis/pipeline "pack" step),
+    /// materialising any candidate lists.
     ///
-    /// A single input chunk passes through untouched (keeping zero-copy
-    /// scans zero-copy), and zero-row inputs contribute nothing. Callers
-    /// that can receive an empty `chunks` list must supply their own
-    /// schema-typed empty chunk (see [`Chunk::empty`]) — an empty input
-    /// here yields a zero-column chunk.
-    pub fn pack(mut chunks: Vec<Chunk>) -> Result<Chunk> {
+    /// A single dense input chunk passes through untouched (keeping
+    /// zero-copy scans zero-copy), and zero-row inputs contribute
+    /// nothing. Callers that can receive an empty `chunks` list must
+    /// supply their own schema-typed empty chunk (see [`Chunk::empty`]) —
+    /// an empty input here yields a zero-column chunk.
+    pub fn pack(chunks: Vec<Chunk>) -> Result<Chunk> {
+        let mut chunks: Vec<Chunk> = chunks.into_iter().map(Chunk::materialize).collect();
         if chunks.len() <= 1 {
-            return Ok(chunks.pop().unwrap_or(Chunk { cols: vec![], rows: 0 }));
+            return Ok(chunks.pop().unwrap_or(Chunk::dense(vec![], 0)));
         }
         // Drop zero-row chunks (appending them is wasted work), keeping the
         // first as a type template in case every chunk is empty.
@@ -315,13 +399,13 @@ impl Chunk {
             }
             rows += ch.rows;
         }
-        Ok(Chunk { cols: cols.into_iter().map(Arc::new).collect(), rows })
+        Ok(Chunk::dense(cols.into_iter().map(Arc::new).collect(), rows))
     }
 
     /// A zero-row chunk with the column types of `schema` (zero-row
     /// sources must still produce correctly-typed outputs).
     pub fn empty(schema: &[crate::plan::OutCol]) -> Chunk {
-        Chunk { cols: schema.iter().map(|c| Arc::new(Bat::new(c.ty))).collect(), rows: 0 }
+        Chunk::dense(schema.iter().map(|c| Arc::new(Bat::new(c.ty))).collect(), 0)
     }
 
     /// Approximate resident bytes of all columns (the spill-decision
@@ -330,8 +414,8 @@ impl Chunk {
         self.cols.iter().map(|c| c.mem_bytes()).sum()
     }
 
-    /// Extract rows `[lo, hi)` as a new chunk (`lo == hi` yields an empty
-    /// chunk of the same column types).
+    /// Extract *logical* rows `[lo, hi)` as a new chunk (`lo == hi`
+    /// yields an empty chunk of the same column types).
     pub fn slice(&self, lo: usize, hi: usize) -> Chunk {
         debug_assert!(lo <= hi && hi <= self.rows, "slice {lo}..{hi} of {}", self.rows);
         if lo == 0 && hi == self.rows {
@@ -340,15 +424,28 @@ impl Chunk {
         let sel: Vec<u32> = (lo as u32..hi as u32).collect();
         self.take(&sel)
     }
+
+    /// Evaluate an expression over this chunk's logical rows: dense
+    /// chunks run the dense kernels, candidate chunks run the sel-aware
+    /// kernels — the result is always compacted to `rows` rows.
+    pub(crate) fn eval(&self, e: &BExpr) -> Result<Bat> {
+        match &self.sel {
+            None => eval(e, &self.cols, self.rows),
+            Some(sel) => crate::kernels::eval_sel(e, &self.cols, sel),
+        }
+    }
 }
 
 /// Execute a plan to completion with the engine selected by
-/// [`ExecOptions::mode`].
+/// [`ExecOptions::mode`]. The result is always dense — any candidate
+/// list still pending at the top of the plan materialises here, exactly
+/// once.
 pub fn execute(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
-    match ctx.opts.mode {
-        ExecMode::Streaming => crate::pipeline::execute_streaming(plan, ctx),
-        ExecMode::Materialized => exec_node(plan, ctx, None),
-    }
+    let out = match ctx.opts.mode {
+        ExecMode::Streaming => crate::pipeline::execute_streaming(plan, ctx)?,
+        ExecMode::Materialized => exec_node(plan, ctx, None)?,
+    };
+    Ok(out.materialize())
 }
 
 pub(crate) fn exec_node(
@@ -376,7 +473,7 @@ pub(crate) fn exec_node(
         }
         Plan::Project { input, exprs, .. } => {
             let chunk = exec_node(input, ctx, range)?;
-            Ok(Chunk { cols: project_cols(exprs, &chunk)?, rows: chunk.rows })
+            Ok(Chunk::dense(project_cols(exprs, &chunk)?, chunk.rows))
         }
         Plan::Join { left, right, kind, left_keys, right_keys, residual, .. } => {
             exec_join(left, right, *kind, left_keys, right_keys, residual.as_ref(), ctx)
@@ -445,13 +542,30 @@ pub(crate) fn exec_values(rows: &[Vec<BExpr>], schema: &[crate::plan::OutCol]) -
         }
     }
     // A zero-column VALUES still has its row count.
-    Ok(Chunk { cols: cols.into_iter().map(Arc::new).collect(), rows: rows.len() })
+    Ok(Chunk::dense(cols.into_iter().map(Arc::new).collect(), rows.len()))
 }
 
 // ---------------------------------------------------------------------------
 // Scan with index-assisted selection
 // ---------------------------------------------------------------------------
 
+/// Enforce the `u32` candidate-list width at scan setup: positions are
+/// 32-bit row ids throughout the engine (see
+/// [`crate::kernels::bool_to_sel`]), so a table beyond 2³² physical rows
+/// must refuse to scan instead of silently truncating positions.
+pub(crate) fn check_candidate_width(phys_rows: usize) -> Result<()> {
+    if phys_rows > u32::MAX as usize {
+        return Err(MlError::Unsupported(format!(
+            "table has {phys_rows} physical rows, beyond the 4Gi-row candidate-list (u32 row id) \
+             limit"
+        )));
+    }
+    Ok(())
+}
+
+/// Dense scan (materialized engine, and the streaming engine's fallback
+/// when candidate lists are disabled): any selection gathers before the
+/// chunk is returned.
 pub(crate) fn exec_scan(
     table: &str,
     projected: &[usize],
@@ -459,14 +573,72 @@ pub(crate) fn exec_scan(
     ctx: &ExecContext,
     range: Option<(u32, u32)>,
 ) -> Result<Chunk> {
+    exec_scan_inner(table, projected, filters, ctx, range, false)
+}
+
+/// Streaming scan: a sparse enough selection is *carried* on the chunk
+/// (columns stay the zero-copy base arrays) instead of gathered; the
+/// density cutoff keeps near-full selections on the dense path so
+/// unselective chains don't regress.
+pub(crate) fn exec_scan_streaming(
+    table: &str,
+    projected: &[usize],
+    filters: &[BExpr],
+    ctx: &ExecContext,
+    range: Option<(u32, u32)>,
+) -> Result<Chunk> {
+    exec_scan_inner(table, projected, filters, ctx, range, ctx.opts.use_candidates)
+}
+
+/// Selections covering at least this fraction (in tenths) of the scanned
+/// span materialise eagerly — dense chains must not pay indexed access
+/// downstream for a selection that kept almost everything.
+pub(crate) const SEL_DENSITY_CUTOFF_TENTHS: usize = 9;
+
+fn exec_scan_inner(
+    table: &str,
+    projected: &[usize],
+    filters: &[BExpr],
+    ctx: &ExecContext,
+    range: Option<(u32, u32)>,
+    allow_sel: bool,
+) -> Result<Chunk> {
     let meta = ctx.tables.table_meta(table)?;
     let phys_rows = meta.data.rows;
+    check_candidate_width(phys_rows)?;
     let (lo, hi) = range.map(|(a, b)| (a as usize, b as usize)).unwrap_or((0, phys_rows));
     // Zero-width ranges (empty morsels) must still produce correctly
     // typed, zero-row output — clamp rather than underflow below.
     let (lo, hi) = (lo.min(phys_rows), hi.min(phys_rows).max(lo.min(phys_rows)));
     let entries: Vec<Arc<ColumnEntry>> =
         projected.iter().map(|&c| meta.data.cols[c].entry()).collect::<Result<_>>()?;
+
+    // Zonemap skipping: before any index probe or kernel run, a constant
+    // range predicate whose bounds exclude every zone overlapping
+    // [lo, hi) proves the whole vector empty. Valid under deletion masks
+    // too — deletes only remove potential matches, and per-zone min/max
+    // over the physical rows stays a conservative superset.
+    if ctx.opts.use_zonemaps && hi > lo {
+        for f in filters {
+            let Some((col_pos, plo, phi)) = zone_probe_of(f) else {
+                continue;
+            };
+            let Some(entry) = entries.get(col_pos) else {
+                continue;
+            };
+            if entry.is_empty() || entry.ty() == LogicalType::Varchar {
+                continue;
+            }
+            let zm = entry.zonemap()?;
+            if !zm.range_may_match(lo, hi, plo, phi) {
+                ctx.counters.bump(&ctx.counters.vectors_skipped);
+                return Ok(Chunk::dense(
+                    entries.iter().map(|e| Arc::new(Bat::new(e.ty()))).collect(),
+                    0,
+                ));
+            }
+        }
+    }
 
     let mut sel: Option<Vec<u32>> = None;
     let mut remaining: Vec<&BExpr> = filters.iter().collect();
@@ -542,14 +714,27 @@ pub(crate) fn exec_scan(
 
     // Materialise output columns; an unfiltered scan shares the base
     // arrays (zero copy — the Arc is the "shared pointer" of §3.3).
-    let cols: Vec<Arc<Bat>> = match &sel {
-        None => entries.iter().map(|e| e.bat()).collect::<Result<_>>()?,
-        Some(sel) => {
-            entries.iter().map(|e| Ok(Arc::new(e.bat()?.take(sel)))).collect::<Result<_>>()?
+    match sel {
+        None => {
+            Ok(Chunk::dense(entries.iter().map(|e| e.bat()).collect::<Result<_>>()?, phys_rows))
         }
-    };
-    let rows = sel.as_ref().map_or(phys_rows, |s| s.len());
-    Ok(Chunk { cols, rows })
+        Some(sel) => {
+            // Candidate pass-through: a sparse selection rides on the
+            // zero-copy base columns; downstream kernels evaluate only
+            // the selected positions and materialisation happens once, at
+            // the pipeline sink. Near-full selections gather here (the
+            // density cutoff) so dense chains keep contiguous access.
+            let span = hi - lo;
+            if allow_sel && sel.len() * 10 < span * SEL_DENSITY_CUTOFF_TENTHS {
+                let cols: Vec<Arc<Bat>> = entries.iter().map(|e| e.bat()).collect::<Result<_>>()?;
+                let rows = sel.len();
+                return Ok(Chunk { cols, rows, sel: Some(Arc::new(sel)) });
+            }
+            let cols: Vec<Arc<Bat>> =
+                entries.iter().map(|e| Ok(Arc::new(e.bat()?.take(&sel)))).collect::<Result<_>>()?;
+            Ok(Chunk::dense(cols, sel.len()))
+        }
+    }
 }
 
 fn entries_bats(entries: &[Arc<ColumnEntry>]) -> Result<Vec<Arc<Bat>>> {
@@ -577,9 +762,37 @@ fn verify_rows(f: &BExpr, entries: &[Arc<ColumnEntry>], cands: Vec<u32>) -> Resu
     Ok(hits.into_iter().map(|i| cands[i as usize]).collect())
 }
 
-/// Recognise `#col <op> literal` range probes over orderable persistent
-/// columns, returning (column position, lo, hi, bounds_are_exact) in the
-/// order-key domain.
+/// Recognise `#col <op> literal` as an inclusive key-domain range probe,
+/// returning (column position, lo, hi). Purely syntactic — the shape
+/// zonemap skipping, imprint/order-index probes and EXPLAIN's
+/// zonemap-eligibility tag all share. Bounds use the order-preserving
+/// `i64` key domain of [`monetlite_storage::index::key_at`].
+pub(crate) fn zone_probe_of(f: &BExpr) -> Option<(usize, Option<i64>, Option<i64>)> {
+    let BExpr::Cmp { op, left, right } = f else {
+        return None;
+    };
+    let (col, ty, lit, op) = match (left.as_ref(), right.as_ref()) {
+        (BExpr::ColRef { idx, ty }, BExpr::Lit(v)) => (*idx, *ty, v, *op),
+        (BExpr::Lit(v), BExpr::ColRef { idx, ty }) => (*idx, *ty, v, op.flip()),
+        _ => return None,
+    };
+    if lit.is_null() {
+        return None; // NULL comparisons select nothing; not a range probe
+    }
+    let k = value_key(lit, ty)?;
+    Some(match op {
+        CmpOp::Eq => (col, Some(k), Some(k)),
+        CmpOp::Lt => (col, None, Some(k.checked_sub(1)?)),
+        CmpOp::LtEq => (col, None, Some(k)),
+        CmpOp::Gt => (col, Some(k.checked_add(1)?), None),
+        CmpOp::GtEq => (col, Some(k), None),
+        CmpOp::NotEq => return None,
+    })
+}
+
+/// Recognise range probes answerable by an index (imprints / order
+/// index) over orderable persistent columns, returning (column position,
+/// lo, hi, bounds_are_exact) in the order-key domain.
 #[allow(clippy::type_complexity)]
 fn probe_of(
     f: &BExpr,
@@ -588,14 +801,7 @@ fn probe_of(
     projected: &[usize],
     ctx: &ExecContext,
 ) -> Option<(usize, Option<i64>, Option<i64>, bool)> {
-    let BExpr::Cmp { op, left, right } = f else {
-        return None;
-    };
-    let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
-        (BExpr::ColRef { idx, .. }, BExpr::Lit(v)) => (*idx, v, *op),
-        (BExpr::Lit(v), BExpr::ColRef { idx, .. }) => (*idx, v, op.flip()),
-        _ => return None,
-    };
+    let (col, plo, phi) = zone_probe_of(f)?;
     let entry = entries.get(col)?;
     if !orderable(entry.bat().ok()?.as_ref()) {
         return None;
@@ -604,15 +810,7 @@ fn probe_of(
     if !have_order && !ctx.opts.use_imprints {
         return None;
     }
-    let k = value_key(lit, entry.ty())?;
-    Some(match op {
-        CmpOp::Eq => (col, Some(k), Some(k), true),
-        CmpOp::Lt => (col, None, Some(k.checked_sub(1)?), true),
-        CmpOp::LtEq => (col, None, Some(k), true),
-        CmpOp::Gt => (col, Some(k.checked_add(1)?), None, true),
-        CmpOp::GtEq => (col, Some(k), None, true),
-        CmpOp::NotEq => return None,
-    })
+    Some((col, plo, phi, true))
 }
 
 /// Map a literal into the column's order-key domain (see
@@ -711,7 +909,7 @@ fn materialize_join(
             cols.push(Arc::new(take_padded(c, &sel.rsel)));
         }
     }
-    let mut out = Chunk { cols, rows: sel.lsel.len() };
+    let mut out = Chunk::dense(cols, sel.lsel.len());
     if let Some(res) = residual {
         let mask = eval(res, &out.cols, out.rows)?;
         let keep = bool_to_sel(&mask)?;
@@ -801,7 +999,7 @@ fn exec_aggregate(
         out_cols.push(Arc::new(finished));
     }
     let rows = if groups.is_empty() { 1 } else { repr_rows.len() };
-    Ok(Chunk { cols: out_cols, rows })
+    Ok(Chunk::dense(out_cols, rows))
 }
 
 // ---------------------------------------------------------------------------
@@ -875,7 +1073,7 @@ fn try_mitosis(plan: &Plan, ctx: &ExecContext) -> Result<Option<Chunk>> {
             for (i, st) in merged.into_iter().enumerate() {
                 cols.push(Arc::new(st.finish(schema[i].ty)?));
             }
-            Ok(Some(Chunk { cols, rows: 1 }))
+            Ok(Some(Chunk::dense(cols, 1)))
         }
         Plan::Filter { .. } | Plan::Project { .. } => {
             let Some((_, rows)) = pipeline_base(plan, ctx) else {
@@ -982,6 +1180,17 @@ mod tests {
                 .map(|i| crate::plan::OutCol { name: format!("c{i}"), ty: tys[i] })
                 .collect(),
         }
+    }
+
+    #[test]
+    fn candidate_width_guard() {
+        // Candidate lists are u32 row ids: a table past 2^32 physical
+        // rows must refuse at scan setup, never truncate silently.
+        assert!(check_candidate_width(u32::MAX as usize).is_ok());
+        assert!(matches!(
+            check_candidate_width(u32::MAX as usize + 1),
+            Err(MlError::Unsupported(_))
+        ));
     }
 
     #[test]

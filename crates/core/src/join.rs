@@ -26,6 +26,19 @@ pub struct JoinSel {
     pub rsel: Vec<u32>,
 }
 
+impl JoinSel {
+    /// Rewrite probe-side row ids through a candidate list: each `lsel`
+    /// entry was a *logical* position into the probe vector's selection
+    /// (the probe keys were compacted through it); afterwards it is the
+    /// physical row id in the underlying columns, so the output gather
+    /// is the candidate chain's single materialisation.
+    pub fn compose_lsel(&mut self, sel: &[u32]) {
+        for l in &mut self.lsel {
+            *l = sel[*l as usize];
+        }
+    }
+}
+
 /// Hash join over aligned key column sets: build then probe in one call
 /// (the materialized engine's entry point). The streaming engine builds
 /// once with [`build_hash_map`] and probes vector-at-a-time with

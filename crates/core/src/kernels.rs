@@ -6,6 +6,16 @@
 //! operator."). Predicates produce BOOLEAN columns which
 //! [`bool_to_sel`] turns into candidate lists (`Vec<u32>` row ids), the
 //! monetlite equivalent of MonetDB candidate lists.
+//!
+//! Every dense kernel has a candidate-list twin reachable through
+//! [`eval_sel`]: instead of processing the full vector it evaluates only
+//! the selected positions, producing a *compacted* result aligned with
+//! the selection. The hot predicate shapes (column-vs-constant and
+//! column-vs-column comparisons, `IS NULL`, `LIKE` over a bare column)
+//! index the base arrays directly; everything else gathers its column
+//! operands once (`Bat::take`) and reuses the dense kernel over the
+//! compacted operands — either way, work is proportional to the
+//! selection, not the vector.
 
 use crate::expr::{ArithOp, BExpr, CmpOp, ScalarFunc};
 use monetlite_storage::heap::NULL_OFFSET;
@@ -72,7 +82,7 @@ pub fn eval(e: &BExpr, cols: &[Arc<Bat>], rows: usize) -> Result<Bat> {
             like_kernel(&b, pattern, *negated)
         }
         BExpr::Case { branches, else_expr, ty } => {
-            case_kernel(branches, else_expr.as_deref(), *ty, cols, rows)
+            case_kernel(branches, else_expr.as_deref(), *ty, rows, &|e| eval(e, cols, rows))
         }
         BExpr::Func { func, args, ty } => {
             let bats: Vec<Bat> = args.iter().map(|a| eval(a, cols, rows)).collect::<Result<_>>()?;
@@ -97,6 +107,99 @@ pub fn eval_shared(e: &BExpr, cols: &[Arc<Bat>], rows: usize) -> Result<Arc<Bat>
     }
 }
 
+/// Candidate-list evaluation: compute `e` at only the `sel` positions of
+/// `cols`, returning a compacted column of `sel.len()` rows (result row
+/// `i` is `e` evaluated at physical row `sel[i]`). Agrees with dense
+/// evaluation over gathered inputs byte for byte; the predicate shapes
+/// are evaluated in place on the base arrays (no gather at all).
+pub fn eval_sel(e: &BExpr, cols: &[Arc<Bat>], sel: &[u32]) -> Result<Bat> {
+    match e {
+        BExpr::ColRef { idx, .. } => Ok(cols[*idx].take(sel)),
+        BExpr::Lit(v) => materialize_const(v, e.ty(), sel.len()),
+        BExpr::Cast { input, ty } => {
+            let b = eval_sel(input, cols, sel)?;
+            cast(&b, *ty)
+        }
+        BExpr::Arith { op, left, right, ty } => {
+            let l = eval_sel(left, cols, sel)?;
+            let r = eval_sel(right, cols, sel)?;
+            arith(*op, &l, &r, *ty)
+        }
+        BExpr::Cmp { op, left, right } => {
+            // Constant comparisons over a bare column read the base array
+            // in place — the canonical candidate-list kernel.
+            if let BExpr::Lit(v) = right.as_ref() {
+                if let BExpr::ColRef { idx, .. } = left.as_ref() {
+                    return cmp_const_sel(*op, &cols[*idx], v, sel);
+                }
+                let l = eval_sel(left, cols, sel)?;
+                return cmp_const(*op, &l, v);
+            }
+            if let BExpr::Lit(v) = left.as_ref() {
+                if let BExpr::ColRef { idx, .. } = right.as_ref() {
+                    return cmp_const_sel(op.flip(), &cols[*idx], v, sel);
+                }
+                let r = eval_sel(right, cols, sel)?;
+                return cmp_const(op.flip(), &r, v);
+            }
+            if let (BExpr::ColRef { idx: li, .. }, BExpr::ColRef { idx: ri, .. }) =
+                (left.as_ref(), right.as_ref())
+            {
+                return cmp_sel(*op, &cols[*li], &cols[*ri], sel);
+            }
+            let l = eval_sel(left, cols, sel)?;
+            let r = eval_sel(right, cols, sel)?;
+            cmp(*op, &l, &r)
+        }
+        BExpr::And(a, b) => {
+            let l = eval_sel(a, cols, sel)?;
+            let r = eval_sel(b, cols, sel)?;
+            bool_and(&l, &r)
+        }
+        BExpr::Or(a, b) => {
+            let l = eval_sel(a, cols, sel)?;
+            let r = eval_sel(b, cols, sel)?;
+            bool_or(&l, &r)
+        }
+        BExpr::Not(a) => {
+            let l = eval_sel(a, cols, sel)?;
+            bool_not(&l)
+        }
+        BExpr::IsNull { input, negated } => {
+            if let BExpr::ColRef { idx, .. } = input.as_ref() {
+                let b = &cols[*idx];
+                let out = sel.iter().map(|&i| (b.is_null_at(i as usize) != *negated) as i8);
+                return Ok(Bat::Bool(out.collect()));
+            }
+            let b = eval_sel(input, cols, sel)?;
+            let mut out = Vec::with_capacity(b.len());
+            for i in 0..b.len() {
+                out.push((b.is_null_at(i) != *negated) as i8);
+            }
+            Ok(Bat::Bool(out))
+        }
+        BExpr::Like { input, pattern, negated } => {
+            if let BExpr::ColRef { idx, .. } = input.as_ref() {
+                return like_kernel_sel(&cols[*idx], pattern, *negated, sel);
+            }
+            let b = eval_sel(input, cols, sel)?;
+            like_kernel(&b, pattern, *negated)
+        }
+        BExpr::Case { branches, else_expr, ty } => {
+            case_kernel(branches, else_expr.as_deref(), *ty, sel.len(), &|e| eval_sel(e, cols, sel))
+        }
+        BExpr::Func { func, args, ty } => {
+            let bats: Vec<Bat> =
+                args.iter().map(|a| eval_sel(a, cols, sel)).collect::<Result<_>>()?;
+            func_kernel(*func, &bats, *ty)
+        }
+        BExpr::Neg { input, .. } => {
+            let b = eval_sel(input, cols, sel)?;
+            neg(&b)
+        }
+    }
+}
+
 /// Materialise a constant column (used when no fast path applies).
 pub fn materialize_const(v: &Value, ty: LogicalType, rows: usize) -> Result<Bat> {
     let mut b = Bat::with_capacity(ty, rows);
@@ -108,6 +211,13 @@ pub fn materialize_const(v: &Value, ty: LogicalType, rows: usize) -> Result<Bat>
 
 /// Convert a BOOLEAN column into a candidate list of matching row ids
 /// (`NULL` counts as not matching, per SQL semantics).
+///
+/// Candidate lists are `u32` row positions throughout the engine (half
+/// the memory traffic of `u64`, matching MonetDB's `oid` discipline on
+/// 32-bit candidate columns). The executor enforces the resulting
+/// 2³²-row ceiling with a checked error at scan setup
+/// (`crate::exec`): a table larger than 4Gi physical rows refuses to
+/// scan rather than silently truncating positions.
 pub fn bool_to_sel(b: &Bat) -> Result<Vec<u32>> {
     match b {
         Bat::Bool(v) => {
@@ -267,6 +377,37 @@ macro_rules! cmp_const_loop {
     }};
 }
 
+macro_rules! cmp_const_sel_loop {
+    ($l:expr, $k:expr, $op:expr, $null:expr, $sel:expr) => {{
+        let k = $k;
+        let mut out = Vec::with_capacity($sel.len());
+        for &i in $sel {
+            let a = $l[i as usize];
+            if $null(a) {
+                out.push(NULL_I8);
+            } else {
+                out.push(apply_cmp($op, a.partial_cmp(&k).unwrap()) as i8);
+            }
+        }
+        Bat::Bool(out)
+    }};
+}
+
+macro_rules! cmp_sel_loop {
+    ($l:expr, $r:expr, $op:expr, $null:expr, $sel:expr) => {{
+        let mut out = Vec::with_capacity($sel.len());
+        for &i in $sel {
+            let (a, b) = ($l[i as usize], $r[i as usize]);
+            if $null(a) || $null(b) {
+                out.push(NULL_I8);
+            } else {
+                out.push(apply_cmp($op, a.partial_cmp(&b).unwrap()) as i8);
+            }
+        }
+        Bat::Bool(out)
+    }};
+}
+
 #[inline]
 fn apply_cmp(op: CmpOp, ord: std::cmp::Ordering) -> bool {
     use std::cmp::Ordering::*;
@@ -340,6 +481,92 @@ pub fn cmp_const(op: CmpOp, l: &Bat, v: &Value) -> Result<Bat> {
         (Bat::Varchar { offsets, heap }, Value::Str(s)) => {
             let mut out = Vec::with_capacity(offsets.len());
             for &o in offsets {
+                if o == NULL_OFFSET {
+                    out.push(NULL_I8);
+                } else {
+                    out.push(apply_cmp(op, heap.get(o).cmp(s.as_str())) as i8);
+                }
+            }
+            Bat::Bool(out)
+        }
+        (a, v) => {
+            return Err(MlError::Execution(format!(
+                "constant comparison over mismatched types {} vs {v:?} (binder bug)",
+                a.logical_type()
+            )))
+        }
+    })
+}
+
+/// Candidate-list twin of [`cmp`]: compare two base columns at only the
+/// selected positions, producing a compacted BOOLEAN column.
+pub fn cmp_sel(op: CmpOp, l: &Bat, r: &Bat, sel: &[u32]) -> Result<Bat> {
+    if l.len() != r.len() {
+        return Err(MlError::Execution("comparison operand length mismatch".into()));
+    }
+    Ok(match (l, r) {
+        (Bat::Int(a), Bat::Int(b)) => cmp_sel_loop!(a, b, op, |x: i32| x == NULL_I32, sel),
+        (Bat::Date(a), Bat::Date(b)) => cmp_sel_loop!(a, b, op, |x: i32| x == NULL_I32, sel),
+        (Bat::Bigint(a), Bat::Bigint(b)) => cmp_sel_loop!(a, b, op, |x: i64| x == NULL_I64, sel),
+        (Bat::Double(a), Bat::Double(b)) => cmp_sel_loop!(a, b, op, |x: f64| x.is_nan(), sel),
+        (Bat::Bool(a), Bat::Bool(b)) => cmp_sel_loop!(a, b, op, |x: i8| x == NULL_I8, sel),
+        (Bat::Decimal { data: a, scale: s1 }, Bat::Decimal { data: b, scale: s2 }) => {
+            if s1 != s2 {
+                return Err(MlError::Execution(
+                    "decimal comparison requires aligned scales (binder bug)".into(),
+                ));
+            }
+            cmp_sel_loop!(a, b, op, |x: i64| x == NULL_I64, sel)
+        }
+        (Bat::Varchar { .. }, Bat::Varchar { .. }) => {
+            let mut out = Vec::with_capacity(sel.len());
+            for &i in sel {
+                match (l.str_at(i as usize), r.str_at(i as usize)) {
+                    (Some(a), Some(b)) => out.push(apply_cmp(op, a.cmp(b)) as i8),
+                    _ => out.push(NULL_I8),
+                }
+            }
+            Bat::Bool(out)
+        }
+        (a, b) => {
+            return Err(MlError::Execution(format!(
+                "comparison over mismatched types {} / {} (binder bug)",
+                a.logical_type(),
+                b.logical_type()
+            )))
+        }
+    })
+}
+
+/// Candidate-list twin of [`cmp_const`]: compare a base column against a
+/// constant at only the selected positions (no gather — the base array is
+/// read in place).
+pub fn cmp_const_sel(op: CmpOp, l: &Bat, v: &Value, sel: &[u32]) -> Result<Bat> {
+    if v.is_null() {
+        return Ok(Bat::Bool(vec![NULL_I8; sel.len()]));
+    }
+    Ok(match (l, v) {
+        (Bat::Int(a), Value::Int(k)) => cmp_const_sel_loop!(a, *k, op, |x: i32| x == NULL_I32, sel),
+        (Bat::Date(a), Value::Date(k)) => {
+            cmp_const_sel_loop!(a, k.0, op, |x: i32| x == NULL_I32, sel)
+        }
+        (Bat::Bigint(a), Value::Bigint(k)) => {
+            cmp_const_sel_loop!(a, *k, op, |x: i64| x == NULL_I64, sel)
+        }
+        (Bat::Double(a), Value::Double(k)) => {
+            cmp_const_sel_loop!(a, *k, op, |x: f64| x.is_nan(), sel)
+        }
+        (Bat::Bool(a), Value::Bool(k)) => {
+            cmp_const_sel_loop!(a, *k as i8, op, |x: i8| x == NULL_I8, sel)
+        }
+        (Bat::Decimal { data, scale }, Value::Decimal(d)) => {
+            let k = d.rescale(*scale)?.raw;
+            cmp_const_sel_loop!(data, k, op, |x: i64| x == NULL_I64, sel)
+        }
+        (Bat::Varchar { offsets, heap }, Value::Str(s)) => {
+            let mut out = Vec::with_capacity(sel.len());
+            for &i in sel {
+                let o = offsets[i as usize];
                 if o == NULL_OFFSET {
                     out.push(NULL_I8);
                 } else {
@@ -597,7 +824,58 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
     pi == p.len()
 }
 
+/// A LIKE pattern compiled once per kernel call. The Q13-style shapes
+/// (`'foo%'` / `'%foo'` / `'%foo%'` / no wildcards at all) dispatch to
+/// `starts_with`/`ends_with`/substring search instead of running the
+/// backtracking state machine per row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LikePlan {
+    /// No wildcards: exact string equality.
+    Exact(String),
+    /// `'foo%'`: prefix match.
+    Prefix(String),
+    /// `'%foo'`: suffix match.
+    Suffix(String),
+    /// `'%foo%'`: substring search.
+    Contains(String),
+    /// Anything else (embedded `%` runs or `_`): the general matcher.
+    Generic,
+}
+
+/// Classify a LIKE pattern into its fast-path shape.
+pub fn compile_like(pattern: &str) -> LikePlan {
+    if pattern.contains('_') {
+        return LikePlan::Generic;
+    }
+    // Runs of consecutive '%' collapse, so trimming every leading and
+    // trailing '%' is semantics-preserving.
+    let inner = pattern.trim_matches('%');
+    if inner.contains('%') {
+        return LikePlan::Generic;
+    }
+    let starts = pattern.starts_with('%');
+    let ends = pattern.ends_with('%');
+    match (starts, ends) {
+        (false, false) => LikePlan::Exact(inner.to_string()),
+        (false, true) => LikePlan::Prefix(inner.to_string()),
+        (true, false) => LikePlan::Suffix(inner.to_string()),
+        (true, true) => LikePlan::Contains(inner.to_string()),
+    }
+}
+
+#[inline]
+fn like_plan_match(plan: &LikePlan, pattern: &str, s: &str) -> bool {
+    match plan {
+        LikePlan::Exact(p) => s == p,
+        LikePlan::Prefix(p) => s.starts_with(p.as_str()),
+        LikePlan::Suffix(p) => s.ends_with(p.as_str()),
+        LikePlan::Contains(p) => s.contains(p.as_str()),
+        LikePlan::Generic => like_match(s, pattern),
+    }
+}
+
 fn like_kernel(b: &Bat, pattern: &str, negated: bool) -> Result<Bat> {
+    let plan = compile_like(pattern);
     match b {
         Bat::Varchar { offsets, heap } => {
             let mut out = Vec::with_capacity(offsets.len());
@@ -605,7 +883,28 @@ fn like_kernel(b: &Bat, pattern: &str, negated: bool) -> Result<Bat> {
                 if o == NULL_OFFSET {
                     out.push(NULL_I8);
                 } else {
-                    out.push((like_match(heap.get(o), pattern) != negated) as i8);
+                    out.push((like_plan_match(&plan, pattern, heap.get(o)) != negated) as i8);
+                }
+            }
+            Ok(Bat::Bool(out))
+        }
+        other => Err(MlError::Execution(format!("LIKE over {}", other.logical_type()))),
+    }
+}
+
+/// Candidate-list twin of [`like_kernel`]: match only the selected rows
+/// of a base column, reading offsets in place.
+fn like_kernel_sel(b: &Bat, pattern: &str, negated: bool, sel: &[u32]) -> Result<Bat> {
+    let plan = compile_like(pattern);
+    match b {
+        Bat::Varchar { offsets, heap } => {
+            let mut out = Vec::with_capacity(sel.len());
+            for &i in sel {
+                let o = offsets[i as usize];
+                if o == NULL_OFFSET {
+                    out.push(NULL_I8);
+                } else {
+                    out.push((like_plan_match(&plan, pattern, heap.get(o)) != negated) as i8);
                 }
             }
             Ok(Bat::Bool(out))
@@ -618,19 +917,19 @@ fn like_kernel(b: &Bat, pattern: &str, negated: bool) -> Result<Bat> {
 // CASE
 // ---------------------------------------------------------------------------
 
+/// CASE over `rows` rows; `evalf` supplies sub-expression evaluation so
+/// the dense and candidate-list paths share the row-selection logic.
 fn case_kernel(
     branches: &[(BExpr, BExpr)],
     else_expr: Option<&BExpr>,
     ty: LogicalType,
-    cols: &[Arc<Bat>],
     rows: usize,
+    evalf: &dyn Fn(&BExpr) -> Result<Bat>,
 ) -> Result<Bat> {
     // Evaluate all conditions and branch values, then select row-wise.
-    let conds: Vec<Bat> =
-        branches.iter().map(|(c, _)| eval(c, cols, rows)).collect::<Result<_>>()?;
-    let vals: Vec<Bat> =
-        branches.iter().map(|(_, v)| eval(v, cols, rows)).collect::<Result<_>>()?;
-    let else_vals = else_expr.map(|e| eval(e, cols, rows)).transpose()?;
+    let conds: Vec<Bat> = branches.iter().map(|(c, _)| evalf(c)).collect::<Result<_>>()?;
+    let vals: Vec<Bat> = branches.iter().map(|(_, v)| evalf(v)).collect::<Result<_>>()?;
+    let else_vals = else_expr.map(evalf).transpose()?;
     let mut out = Bat::with_capacity(ty, rows);
     'rows: for i in 0..rows {
         for (c, v) in conds.iter().zip(&vals) {
@@ -964,7 +1263,123 @@ mod tests {
         assert_eq!(b.get(1), Value::Null);
     }
 
+    #[test]
+    fn like_compile_shapes() {
+        assert_eq!(compile_like("foo"), LikePlan::Exact("foo".into()));
+        assert_eq!(compile_like("foo%"), LikePlan::Prefix("foo".into()));
+        assert_eq!(compile_like("%foo"), LikePlan::Suffix("foo".into()));
+        assert_eq!(compile_like("%foo%"), LikePlan::Contains("foo".into()));
+        assert_eq!(compile_like("%%foo%%"), LikePlan::Contains("foo".into()));
+        assert_eq!(compile_like("%"), LikePlan::Contains("".into()));
+        assert_eq!(compile_like(""), LikePlan::Exact("".into()));
+        assert_eq!(compile_like("a%b"), LikePlan::Generic);
+        assert_eq!(compile_like("f_o%"), LikePlan::Generic);
+    }
+
+    #[test]
+    fn eval_sel_matches_dense_on_predicates() {
+        use monetlite_types::ColumnBuffer;
+        let a = Bat::Int(vec![5, NULL_I32, 7, 1, 9, 3]);
+        let s = Bat::from_buffer(&ColumnBuffer::Varchar(vec![
+            Some("apple pie".into()),
+            None,
+            Some("pear".into()),
+            Some("applet".into()),
+            Some("grape".into()),
+            Some("app".into()),
+        ]));
+        let cols = vec![Arc::new(a), Arc::new(s)];
+        let sel: Vec<u32> = vec![0, 2, 3, 5];
+        let exprs = vec![
+            BExpr::Cmp {
+                op: CmpOp::Gt,
+                left: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                right: Box::new(BExpr::Lit(Value::Int(4))),
+            },
+            BExpr::Like {
+                input: Box::new(BExpr::ColRef { idx: 1, ty: LogicalType::Varchar }),
+                pattern: "app%".into(),
+                negated: false,
+            },
+            BExpr::IsNull {
+                input: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                negated: true,
+            },
+        ];
+        let gathered: Vec<Arc<Bat>> = cols.iter().map(|c| Arc::new(c.take(&sel))).collect();
+        for e in &exprs {
+            let lazy = eval_sel(e, &cols, &sel).unwrap();
+            let dense = eval(e, &gathered, sel.len()).unwrap();
+            assert_eq!(lazy.to_buffer(None), dense.to_buffer(None), "{e:?}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_like_fast_paths_agree_with_matcher(
+            s in "[ab%_]{0,12}",
+            core in "[ab]{0,4}",
+            shape in 0usize..5,
+        ) {
+            let pattern = match shape {
+                0 => core.clone(),
+                1 => format!("{core}%"),
+                2 => format!("%{core}"),
+                3 => format!("%{core}%"),
+                _ => format!("%%{core}"),
+            };
+            let plan = compile_like(&pattern);
+            prop_assert!(plan != LikePlan::Generic, "shape {} must compile to a fast path", pattern);
+            prop_assert_eq!(like_plan_match(&plan, &pattern, &s), like_match(&s, &pattern),
+                "pattern {} over {}", pattern, s);
+        }
+
+        #[test]
+        fn prop_eval_sel_agrees_with_dense_gather(
+            a in proptest::collection::vec(-50i32..50, 1..60),
+            b in proptest::collection::vec(-50i64..50, 1..60),
+            picks in proptest::collection::vec(0usize..60, 0..30),
+            k1 in -50i32..50,
+            k2 in -50i64..50,
+        ) {
+            let n = a.len().min(b.len());
+            // Values divisible by 5 become NULL sentinels (the vendored
+            // proptest shim has no Option strategy).
+            let ac: Vec<i32> = a[..n].iter().map(|&v| if v % 5 == 0 { NULL_I32 } else { v }).collect();
+            let bc: Vec<i64> = b[..n].iter().map(|&v| if v % 5 == 0 { NULL_I64 } else { v }).collect();
+            let cols = vec![Arc::new(Bat::Int(ac)), Arc::new(Bat::Bigint(bc))];
+            let sel: Vec<u32> = picks.into_iter().filter(|&p| p < n).map(|p| p as u32).collect();
+            let col0 = || Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int });
+            let col1 = || Box::new(BExpr::ColRef { idx: 1, ty: LogicalType::Bigint });
+            // A chain mixing const-cmp, col-col cmp, casts, arithmetic and
+            // three-valued logic: (CAST(a AS BIGINT) < b AND a >= k1) OR b = k2
+            let e = BExpr::Or(
+                Box::new(BExpr::And(
+                    Box::new(BExpr::Cmp {
+                        op: CmpOp::Lt,
+                        left: Box::new(BExpr::Cast { input: col0(), ty: LogicalType::Bigint }),
+                        right: col1(),
+                    }),
+                    Box::new(BExpr::Cmp {
+                        op: CmpOp::GtEq,
+                        left: col0(),
+                        right: Box::new(BExpr::Lit(Value::Int(k1))),
+                    }),
+                )),
+                Box::new(BExpr::Cmp {
+                    op: CmpOp::Eq,
+                    left: col1(),
+                    right: Box::new(BExpr::Lit(Value::Bigint(k2))),
+                }),
+            );
+            let lazy = eval_sel(&e, &cols, &sel).unwrap();
+            let gathered: Vec<Arc<Bat>> = cols.iter().map(|c| Arc::new(c.take(&sel))).collect();
+            let dense = eval(&e, &gathered, sel.len()).unwrap();
+            prop_assert_eq!(lazy.to_buffer(None), dense.to_buffer(None));
+            // And the derived candidate lists agree too.
+            prop_assert_eq!(bool_to_sel(&lazy).unwrap(), bool_to_sel(&dense).unwrap());
+        }
+
         #[test]
         fn prop_like_percent_always_matches(s in ".{0,30}") {
             prop_assert!(like_match(&s, "%"));

@@ -309,6 +309,40 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_section_tags_zonemap_eligible_scans() {
+        use crate::expr::CmpOp;
+        use monetlite_types::Value;
+        let plan = Plan::Scan {
+            table: "t".into(),
+            projected: vec![0],
+            filters: vec![BExpr::Cmp {
+                op: CmpOp::Lt,
+                left: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                right: Box::new(BExpr::Lit(Value::Int(100))),
+            }],
+            schema: vec![OutCol { name: "a".into(), ty: LogicalType::Int }],
+        };
+        let s = explain(&plan, &ExecOptions { use_zonemaps: true, ..Default::default() }, None);
+        assert!(s.contains("scan t [morsels=?] [zonemap]"), "{s}");
+        // Zonemaps disabled: no tag.
+        let s2 = explain(&plan, &ExecOptions { use_zonemaps: false, ..Default::default() }, None);
+        assert!(!s2.contains("[zonemap]"), "{s2}");
+        // A LIKE filter is not a range probe: no tag either.
+        let unprobed = Plan::Scan {
+            table: "t".into(),
+            projected: vec![0],
+            filters: vec![BExpr::Like {
+                input: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Varchar }),
+                pattern: "%x%".into(),
+                negated: false,
+            }],
+            schema: vec![OutCol { name: "a".into(), ty: LogicalType::Varchar }],
+        };
+        let s3 = explain(&unprobed, &ExecOptions::default(), None);
+        assert!(!s3.contains("[zonemap]"), "{s3}");
+    }
+
+    #[test]
     fn explain_shows_memory_budget_and_spillable_breakers() {
         let scan = Plan::Scan {
             table: "t".into(),

@@ -27,9 +27,10 @@
 //! Both engines produce identical results; `ExecOptions::mode` selects
 //! between them and the parity suites assert agreement.
 
-use crate::agg::{hash_group, AggState, GroupTable};
+use crate::agg::{hash_group, hash_group_at, AggState, GroupTable};
 use crate::exec::{
-    bare_scan_hash_entry, exec_scan, exec_values, project_cols, Chunk, ExecContext, ExecOptions,
+    bare_scan_hash_entry, exec_scan_streaming, exec_values, project_cols, Chunk, ExecContext,
+    ExecOptions,
 };
 use crate::expr::{AggSpec, BExpr};
 use crate::join::{build_hash_map, probe_hash, probe_index};
@@ -72,9 +73,10 @@ impl Source<'_> {
             Source::Table { table, projected, filters, .. } => {
                 // A morsel covering the whole table scans unranged, which
                 // preserves imprint/order-index selection and zero-copy
-                // column sharing.
+                // column sharing. The streaming scan may return a chunk
+                // carrying a candidate list over the base columns.
                 let range = if whole { None } else { Some((lo as u32, hi as u32)) };
-                exec_scan(table, projected, filters, ctx, range)
+                exec_scan_streaming(table, projected, filters, ctx, range)
             }
             Source::Mem(c) => Ok(c.slice(lo, hi)),
         }
@@ -292,27 +294,51 @@ where
 }
 
 /// Push one vector through the operator chain.
-fn apply_ops(mut chunk: Chunk, ops: &[PipeOp], _ctx: &ExecContext) -> Result<Chunk> {
+fn apply_ops(mut chunk: Chunk, ops: &[PipeOp], ctx: &ExecContext) -> Result<Chunk> {
     for op in ops {
         match op {
             PipeOp::Filter(pred) => {
-                let mask = eval(pred, &chunk.cols, chunk.rows)?;
-                let sel = bool_to_sel(&mask)?;
-                chunk = chunk.take(&sel);
+                if ctx.opts.use_candidates {
+                    chunk = filter_chunk(chunk, pred)?;
+                } else {
+                    let mask = eval(pred, &chunk.cols, chunk.rows)?;
+                    let sel = bool_to_sel(&mask)?;
+                    chunk = chunk.take(&sel);
+                }
             }
             PipeOp::Project(exprs) => {
-                chunk = Chunk { cols: project_cols(exprs, &chunk)?, rows: chunk.rows };
+                // Projection consumes any candidate list: each output
+                // expression evaluates at only the selected positions
+                // (bare columns gather once), yielding a dense chunk.
+                chunk = match chunk.sel {
+                    None => Chunk::dense(project_cols(exprs, &chunk)?, chunk.rows),
+                    Some(_) => {
+                        let cols: Vec<Arc<Bat>> = exprs
+                            .iter()
+                            .map(|e| chunk.eval(e).map(Arc::new))
+                            .collect::<Result<_>>()?;
+                        Chunk::dense(cols, chunk.rows)
+                    }
+                };
             }
             PipeOp::Probe { kind, left_keys, residual, build_chunk, build_keys, build } => {
-                let sel = if *kind == PJoinKind::Cross || left_keys.is_empty() {
+                let base_sel = chunk.sel.clone();
+                let mut sel = if *kind == PJoinKind::Cross || left_keys.is_empty() {
                     crate::join::cross_join(chunk.rows, build_chunk.rows)
                 } else {
                     // eval_shared: bare-column probe keys alias the
-                    // vector's columns (no per-vector key copy).
-                    let lkey_bats: Vec<Arc<Bat>> = left_keys
-                        .iter()
-                        .map(|k| crate::kernels::eval_shared(k, &chunk.cols, chunk.rows))
-                        .collect::<Result<_>>()?;
+                    // vector's columns (no per-vector key copy); under a
+                    // candidate list they compact to the selected rows.
+                    let lkey_bats: Vec<Arc<Bat>> = match &base_sel {
+                        None => left_keys
+                            .iter()
+                            .map(|k| crate::kernels::eval_shared(k, &chunk.cols, chunk.rows))
+                            .collect::<Result<_>>()?,
+                        Some(_) => left_keys
+                            .iter()
+                            .map(|k| chunk.eval(k).map(Arc::new))
+                            .collect::<Result<_>>()?,
+                    };
                     let lrefs: Vec<&Bat> = lkey_bats.iter().map(|a| &**a).collect();
                     let rrefs: Vec<&Bat> = build_keys.iter().map(|a| &**a).collect();
                     match build {
@@ -320,6 +346,12 @@ fn apply_ops(mut chunk: Chunk, ops: &[PipeOp], _ctx: &ExecContext) -> Result<Chu
                         Build::Index(idx) => probe_index(&lrefs, &rrefs, idx, *kind),
                     }
                 };
+                // The probe emitted logical positions; rewrite them to
+                // physical row ids so the output gather is the single
+                // materialisation of the candidate chain.
+                if let Some(s) = &base_sel {
+                    sel.compose_lsel(s);
+                }
                 chunk = materialize_probe_output(
                     &chunk.cols,
                     &build_chunk.cols,
@@ -330,7 +362,42 @@ fn apply_ops(mut chunk: Chunk, ops: &[PipeOp], _ctx: &ExecContext) -> Result<Chu
             }
         }
     }
+    if chunk.sel.is_some() {
+        ctx.counters.bump(&ctx.counters.sel_vectors);
+    }
     Ok(chunk)
+}
+
+/// σ with candidate lists: refine the chunk's selection instead of
+/// gathering. A chunk already carrying a selection always evaluates the
+/// predicate sel-aware — only surviving positions are touched, so a
+/// row-level evaluation error (e.g. division by zero) can never surface
+/// from a row an earlier filter removed, exactly matching the
+/// gather-based baseline. A near-full result (the ~90% density cutoff)
+/// materialises eagerly, as the baseline would, so unselective filters
+/// don't trade contiguous access for indexed access downstream.
+fn filter_chunk(chunk: Chunk, pred: &BExpr) -> Result<Chunk> {
+    let new_sel: Vec<u32> = match &chunk.sel {
+        None => {
+            let mask = eval(pred, &chunk.cols, chunk.rows)?;
+            bool_to_sel(&mask)?
+        }
+        Some(cur) => {
+            let mask = chunk.eval(pred)?;
+            let hits = bool_to_sel(&mask)?;
+            hits.into_iter().map(|i| cur[i as usize]).collect()
+        }
+    };
+    let rows = new_sel.len();
+    let narrowed = Chunk { cols: chunk.cols, rows, sel: Some(Arc::new(new_sel)) };
+    // Scan-origin selections sit on table-wide base columns, so their
+    // density against phys_rows is always far below the cutoff and they
+    // keep riding; a dense morsel whose filter kept nearly everything
+    // gathers here instead.
+    if rows * 10 >= narrowed.phys_rows() * crate::exec::SEL_DENSITY_CUTOFF_TENTHS {
+        return Ok(narrowed.materialize());
+    }
+    Ok(narrowed)
 }
 
 /// Materialise one probed vector: gather probe-side rows by `lsel`,
@@ -355,7 +422,7 @@ fn materialize_probe_output(
             cols.push(Arc::new(take_padded(c, &sel.rsel)));
         }
     }
-    let mut chunk = Chunk { cols, rows: sel.lsel.len() };
+    let mut chunk = Chunk::dense(cols, sel.lsel.len());
     if let Some(res) = residual {
         let mask = eval(res, &chunk.cols, chunk.rows)?;
         let keep = bool_to_sel(&mask)?;
@@ -403,7 +470,9 @@ fn collect(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
     }
     let parts = drive(&pipe, ctx, Vec::new, |p: &mut Vec<(usize, Chunk)>, m, c| {
         if c.rows > 0 {
-            p.push((m, c));
+            // The pipeline sink: a candidate chunk materialises here,
+            // exactly once.
+            p.push((m, c.materialize()));
         }
         Ok(true)
     })?;
@@ -440,11 +509,14 @@ fn agg_consume(
     if chunk.rows == 0 {
         return Ok(());
     }
+    // Candidate-list ingest: group keys and aggregate arguments compact
+    // through the chunk's selection ([`Chunk::eval`]) — the filtered-out
+    // rows of a candidate chunk are never touched, and nothing is
+    // materialised.
     let gids: Vec<u32> = match &mut part.table {
         None => vec![0; chunk.rows],
         Some(table) => {
-            let key_bats: Vec<Bat> =
-                groups.iter().map(|g| eval(g, &chunk.cols, chunk.rows)).collect::<Result<_>>()?;
+            let key_bats: Vec<Bat> = groups.iter().map(|g| chunk.eval(g)).collect::<Result<_>>()?;
             let refs: Vec<&Bat> = key_bats.iter().collect();
             let gids = table.intern_block(&refs, chunk.rows)?;
             let n = table.n_groups();
@@ -455,7 +527,7 @@ fn agg_consume(
         }
     };
     for (st, spec) in part.states.iter_mut().zip(aggs) {
-        let arg = spec.arg.as_ref().map(|a| eval(a, &chunk.cols, chunk.rows)).transpose()?;
+        let arg = spec.arg.as_ref().map(|a| chunk.eval(a)).transpose()?;
         st.update(arg.as_ref(), &gids)?;
     }
     Ok(())
@@ -512,10 +584,13 @@ fn agg_worker_consume(
         return Ok(());
     }
     if let Some(sp) = &mut w.spill {
+        // Spill routing writes whole rows to disk: materialise a
+        // candidate chunk first (cheap Arc clones when already dense).
+        let dense = c.clone().materialize();
         let key_bats: Vec<Bat> =
-            groups.iter().map(|g| eval(g, &c.cols, c.rows)).collect::<Result<_>>()?;
+            groups.iter().map(|g| eval(g, &dense.cols, dense.rows)).collect::<Result<_>>()?;
         let refs: Vec<&Bat> = key_bats.iter().collect();
-        return sp.route(&ctx.spill, c, &refs);
+        return sp.route(&ctx.spill, &dense, &refs);
     }
     agg_consume(&mut w.part, c, groups, aggs)?;
     if let Some(share) = share {
@@ -653,7 +728,7 @@ fn run_aggregate(
         st.ensure_groups(rows.max(if groups.is_empty() { 1 } else { 0 }));
         cols.push(Arc::new(st.finish(schema[groups.len() + i].ty)?));
     }
-    Ok(Chunk { cols, rows })
+    Ok(Chunk::dense(cols, rows))
 }
 
 // ---------------------------------------------------------------------------
@@ -693,6 +768,7 @@ pub fn execute_streaming(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
                 if c.rows == 0 {
                     return Ok(true);
                 }
+                let c = c.materialize(); // top-n ingest is this pipeline's sink
                 let compact = if c.rows > n {
                     let key_refs: Vec<(&Bat, bool)> =
                         keys.iter().map(|&(ci, d)| (&*c.cols[ci], d)).collect();
@@ -720,7 +796,7 @@ pub fn execute_streaming(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
             let done: Mutex<HashMap<usize, usize>> = Mutex::new(HashMap::new());
             let parts = drive(&pipe, ctx, Vec::new, |p: &mut Vec<(usize, Chunk)>, m, c| {
                 let rows = c.rows;
-                p.push((m, c));
+                p.push((m, c.materialize()));
                 let mut map = done.lock().expect("limit tracker");
                 map.insert(m, rows);
                 let mut prefix = 0usize;
@@ -761,8 +837,13 @@ pub fn execute_streaming(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
                 if c.rows == 0 {
                     return Ok(true);
                 }
+                // Candidate chunks dedup in place over the selected
+                // positions; only the surviving representatives gather.
                 let refs: Vec<&Bat> = c.cols.iter().map(|b| &**b).collect();
-                let grouping = hash_group(&refs);
+                let grouping = match &c.sel {
+                    None => hash_group(&refs),
+                    Some(s) => hash_group_at(&refs, s),
+                };
                 let deduped = c.take(&grouping.repr_rows);
                 p.push((m, deduped));
                 Ok(true)
@@ -811,10 +892,10 @@ fn grace_hash_join(
     let vs = ctx.opts.vector_size.max(1);
     let nkeys = build_keys.len();
     // Build columns + evaluated key columns as one aligned chunk.
-    let combined = Chunk {
-        cols: build_chunk.cols.iter().cloned().chain(build_keys).collect(),
-        rows: build_chunk.rows,
-    };
+    let combined = Chunk::dense(
+        build_chunk.cols.iter().cloned().chain(build_keys).collect(),
+        build_chunk.rows,
+    );
     // Typed zero-row template (cols + keys): NULL padding and empty maps
     // for partitions whose build side received no rows.
     let build_template = combined.slice(0, 0);
@@ -844,12 +925,13 @@ fn grace_hash_join(
             if c.rows == 0 {
                 return Ok(true);
             }
+            let c = c.materialize(); // partition frames hold whole rows
             let key_bats: Vec<Arc<Bat>> = left_keys
                 .iter()
                 .map(|k| crate::kernels::eval_shared(k, &c.cols, c.rows))
                 .collect::<Result<_>>()?;
             let rows = c.rows;
-            let combined = Chunk { cols: c.cols.iter().cloned().chain(key_bats).collect(), rows };
+            let combined = Chunk::dense(c.cols.iter().cloned().chain(key_bats).collect(), rows);
             let keyrefs: Vec<&Bat> =
                 combined.cols[combined.cols.len() - nkeys..].iter().map(|a| &**a).collect();
             pw.lock().expect("probe partitioner").route(&ctx.spill, &combined, &keyrefs)?;
@@ -1139,17 +1221,14 @@ fn merge_cursors(
         cursors[w].pos += 1;
         cursors[w].settle()?;
         if rows == vs {
-            emit(Chunk {
-                cols: std::mem::take(&mut out).into_iter().map(Arc::new).collect(),
-                rows,
-            })?;
+            emit(Chunk::dense(std::mem::take(&mut out).into_iter().map(Arc::new).collect(), rows))?;
             out = types.iter().map(|&t| Bat::new(t)).collect();
             rows = 0;
             ctx.check_deadline()?;
         }
     }
     if rows > 0 {
-        emit(Chunk { cols: out.into_iter().map(Arc::new).collect(), rows })?;
+        emit(Chunk::dense(out.into_iter().map(Arc::new).collect(), rows))?;
     }
     Ok(())
 }
@@ -1175,13 +1254,14 @@ fn external_sort(
             if c.rows == 0 {
                 return Ok(true);
             }
-            // Global row id: (morsel, row-within-vector) — the packed
-            // input order, so ties break exactly as the stable sort does.
+            let c = c.materialize(); // sort ingest is this pipeline's sink
+                                     // Global row id: (morsel, row-within-vector) — the packed
+                                     // input order, so ties break exactly as the stable sort does.
             let rowid = Bat::Bigint((0..c.rows as i64).map(|i| ((m as i64) << 32) | i).collect());
             let rows = c.rows;
             let mut cols = c.cols;
             cols.push(Arc::new(rowid));
-            let c2 = Chunk { cols, rows };
+            let c2 = Chunk::dense(cols, rows);
             w.bytes += c2.mem_bytes();
             w.chunks.push((m, c2));
             if w.bytes > share {
@@ -1218,7 +1298,7 @@ fn external_sort(
         let key_refs = sort_key_refs(&packed, keys);
         let perm = sort_perm(&key_refs, packed.rows);
         let sorted = packed.take(&perm);
-        return Ok(Chunk { cols: sorted.cols[..input_cols].to_vec(), rows: sorted.rows });
+        return Ok(Chunk::dense(sorted.cols[..input_cols].to_vec(), sorted.rows));
     }
     ctx.counters.add(&ctx.counters.spilled_partitions, runs.len() as u64);
     ctx.counters.add(&ctx.counters.spill_bytes, runs.iter().map(|r| r.bytes).sum());
@@ -1253,7 +1333,7 @@ fn external_sort(
     // stripped when packing.
     let mut out_chunks: Vec<Chunk> = Vec::new();
     merge_cursors(cursors, keys, vs, ctx, |c| {
-        out_chunks.push(Chunk { cols: c.cols[..input_cols].to_vec(), rows: c.rows });
+        out_chunks.push(Chunk::dense(c.cols[..input_cols].to_vec(), c.rows));
         Ok(())
     })?;
     if out_chunks.is_empty() {
@@ -1374,7 +1454,7 @@ fn desc_chain(
     }
     ops.reverse();
     let src = match cur {
-        Plan::Scan { table, .. } => {
+        Plan::Scan { table, filters, .. } => {
             let morsels = match stats {
                 Some(s) => {
                     let rows = s.table_rows(table);
@@ -1382,7 +1462,15 @@ fn desc_chain(
                 }
                 None => "?".to_string(),
             };
-            format!("scan {table} [morsels={morsels}]")
+            // Mark scans whose filters can skip whole vectors by zonemap.
+            let zm = if opts.use_zonemaps
+                && filters.iter().any(|f| crate::exec::zone_probe_of(f).is_some())
+            {
+                " [zonemap]"
+            } else {
+                ""
+            };
+            format!("scan {table} [morsels={morsels}]{zm}")
         }
         Plan::Values { rows, .. } => format!("values [{} row(s)]", rows.len()),
         other => {
@@ -1564,10 +1652,14 @@ mod tests {
     fn morsel_scans_keep_imprint_selection() {
         // Index-assisted selection must survive morselization: each
         // ranged morsel clips imprint candidates to its own range.
+        // Zonemaps off: they would (correctly) skip the tail morsels
+        // before any imprint probe; this test pins the imprint path.
         let n = 10_000i32;
         let t = make_table("t", vec![("a", Bat::Int((0..n).collect()))]);
         let tables = TestTables { tables: Map::from([("t".into(), t)]) };
-        let ctx = ExecContext::new(&tables, opts(1, 512));
+        let mut o = opts(1, 512);
+        o.use_zonemaps = false;
+        let ctx = ExecContext::new(&tables, o);
         let plan = Plan::Scan {
             table: "t".into(),
             projected: vec![0],
@@ -1883,6 +1975,236 @@ mod tests {
         let out = execute_streaming(&plan, &ctx).unwrap();
         assert_eq!(out.cols[0].get(0), Value::Bigint((0..n as i64).sum()));
         assert_eq!(ctx.counters.spilled_partitions.load(Ordering::Relaxed), 0);
+    }
+
+    fn lt_filter(col: usize, k: i32) -> BExpr {
+        BExpr::Cmp {
+            op: CmpOp::Lt,
+            left: Box::new(BExpr::ColRef { idx: col, ty: LogicalType::Int }),
+            right: Box::new(BExpr::Lit(Value::Int(k))),
+        }
+    }
+
+    /// Candidate lists + zonemaps pinned on, regardless of the CI env
+    /// matrix (MONETLITE_CANDIDATES/MONETLITE_ZONEMAPS).
+    fn opts_cand(threads: usize, vector_size: usize) -> crate::exec::ExecOptions {
+        let mut o = opts(threads, vector_size);
+        o.use_candidates = true;
+        o.use_zonemaps = true;
+        o
+    }
+
+    #[test]
+    fn selective_filter_carries_candidate_list_to_the_agg_sink() {
+        // A sparse filter must not gather: the chunk rides its candidate
+        // list into grouped-aggregate ingest (sel_vectors counts it) and
+        // the result matches the gather-based baseline exactly.
+        let n = 40_000i32;
+        let t = make_table(
+            "t",
+            vec![
+                ("k", Bat::Int((0..n).map(|i| (i * 131) % 10_000).collect())), // scattered
+                ("g", Bat::Int((0..n).map(|i| i % 7).collect())),
+                ("v", Bat::Int((0..n).collect())),
+            ],
+        );
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::Filter {
+                input: Box::new(scan("t", 3)),
+                pred: lt_filter(0, 100), // ~1% selective, scattered (no zonemap skip)
+            }),
+            groups: vec![BExpr::ColRef { idx: 1, ty: LogicalType::Int }],
+            aggs: vec![AggSpec {
+                func: PAggFunc::Sum,
+                arg: Some(BExpr::ColRef { idx: 2, ty: LogicalType::Int }),
+                distinct: false,
+                ty: LogicalType::Bigint,
+            }],
+            schema: vec![
+                OutCol { name: "g".into(), ty: LogicalType::Int },
+                OutCol { name: "s".into(), ty: LogicalType::Bigint },
+            ],
+        };
+        let mut base_opts = opts(1, 1024);
+        base_opts.use_candidates = false;
+        base_opts.use_zonemaps = false;
+        let base_ctx = ExecContext::new(&tables, base_opts);
+        let base = execute_streaming(&plan, &base_ctx).unwrap();
+        assert_eq!(base_ctx.counters.sel_vectors.load(Ordering::Relaxed), 0);
+        for threads in [1, 4] {
+            let ctx = ExecContext::new(&tables, opts_cand(threads, 1024));
+            let got = execute_streaming(&plan, &ctx).unwrap();
+            assert_eq!(sorted_rows(&base), sorted_rows(&got), "threads={threads}");
+            assert!(
+                ctx.counters.sel_vectors.load(Ordering::Relaxed) > 0,
+                "sparse filters must carry candidate lists"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_selections_fall_back_to_gather() {
+        // A ~99% filter is above the density cutoff: the chunk gathers
+        // (as the baseline would) and no candidate list is carried —
+        // sel_vectors stays 0, which the sink's materialize() could not
+        // fake.
+        let n = 10_000i32;
+        let t = make_table("t", vec![("a", Bat::Int((0..n).map(|i| (i * 131) % n).collect()))]);
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let ctx = ExecContext::new(&tables, opts_cand(1, 1024));
+        let plan = Plan::Filter { input: Box::new(scan("t", 1)), pred: lt_filter(0, n - 100) };
+        let out = execute_streaming(&plan, &ctx).unwrap();
+        assert_eq!(out.rows, (n - 100) as usize);
+        assert!(out.sel.is_none());
+        assert_eq!(
+            ctx.counters.sel_vectors.load(Ordering::Relaxed),
+            0,
+            "near-full selections must not ride as candidate lists"
+        );
+    }
+
+    #[test]
+    fn stacked_filters_only_evaluate_surviving_rows() {
+        // Division by zero on rows an earlier filter removed must not
+        // surface: the second predicate runs sel-aware over survivors
+        // only, matching the gather-based baseline.
+        let n = 4_000i32;
+        let t = make_table(
+            "t",
+            vec![
+                ("a", Bat::Int((0..n).collect())),
+                // b == 0 on ~5% of rows (dense enough that the first
+                // filter's survivors stay above the old dense-eval path's
+                // threshold).
+                ("b", Bat::Int((0..n).map(|i| if i % 20 == 0 { 0 } else { i % 7 + 1 }).collect())),
+            ],
+        );
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        // filter 1: b <> 0 (keeps 95%); filter 2: a % b = 0 — errors on
+        // any b == 0 row it is (wrongly) evaluated at.
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Filter {
+                input: Box::new(scan("t", 2)),
+                pred: BExpr::Cmp {
+                    op: CmpOp::NotEq,
+                    left: Box::new(BExpr::ColRef { idx: 1, ty: LogicalType::Int }),
+                    right: Box::new(BExpr::Lit(Value::Int(0))),
+                },
+            }),
+            pred: BExpr::Cmp {
+                op: CmpOp::Eq,
+                left: Box::new(BExpr::Arith {
+                    op: crate::expr::ArithOp::Mod,
+                    left: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+                    right: Box::new(BExpr::ColRef { idx: 1, ty: LogicalType::Int }),
+                    ty: LogicalType::Int,
+                }),
+                right: Box::new(BExpr::Lit(Value::Int(0))),
+            },
+        };
+        let mut base_opts = opts(1, 1024);
+        base_opts.use_candidates = false;
+        base_opts.use_zonemaps = false;
+        let base = execute_streaming(&plan, &ExecContext::new(&tables, base_opts)).unwrap();
+        let ctx = ExecContext::new(&tables, opts_cand(1, 1024));
+        let got = execute_streaming(&plan, &ctx).unwrap();
+        assert_eq!(sorted_rows(&base), sorted_rows(&got));
+    }
+
+    #[test]
+    fn zonemap_skips_clustered_morsels_and_counts_them() {
+        // Clustered key, 0.5% selective probe: whole morsels outside the
+        // matching zones are skipped before any kernel runs. Imprints are
+        // off to isolate the zonemap path.
+        let n = 64_000i32;
+        let t = make_table(
+            "t",
+            vec![("k", Bat::Int((0..n).collect())), ("v", Bat::Int((0..n).collect()))],
+        );
+        let tables = TestTables { tables: Map::from([("t".into(), t)]) };
+        let plan = Plan::Scan {
+            table: "t".into(),
+            projected: vec![0, 1],
+            filters: vec![lt_filter(0, 320)],
+            schema: vec![
+                OutCol { name: "k".into(), ty: LogicalType::Int },
+                OutCol { name: "v".into(), ty: LogicalType::Int },
+            ],
+        };
+        let mut o = opts_cand(1, 1024);
+        o.use_imprints = false;
+        let ctx = ExecContext::new(&tables, o);
+        let out = execute_streaming(&plan, &ctx).unwrap();
+        assert_eq!(out.rows, 320);
+        assert_eq!(out.cols[0].get(319), Value::Int(319));
+        let skipped = ctx.counters.vectors_skipped.load(Ordering::Relaxed);
+        // Zones are 8Ki rows; only zone 0 matches, so every morsel beyond
+        // the first zone (and none inside it) skips.
+        assert!(skipped >= 50, "expected most of the 63 tail morsels skipped, got {skipped}");
+        // Zonemaps off: same rows, no skips.
+        let mut o2 = opts(1, 1024);
+        o2.use_imprints = false;
+        o2.use_zonemaps = false;
+        let ctx2 = ExecContext::new(&tables, o2);
+        let out2 = execute_streaming(&plan, &ctx2).unwrap();
+        assert_eq!(out2.rows, 320);
+        assert_eq!(ctx2.counters.vectors_skipped.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn candidate_probe_and_distinct_match_baseline() {
+        // Filter → probe: the probe must compose the candidate list into
+        // its output gather. Filter → distinct: dedup over selected
+        // positions only.
+        let n = 20_000i32;
+        let probe = make_table(
+            "probe",
+            vec![
+                ("k", Bat::Int((0..n).map(|i| (i * 7) % 500).collect())),
+                ("f", Bat::Int((0..n).map(|i| (i * 131) % 1000).collect())),
+            ],
+        );
+        let build = make_table(
+            "build",
+            vec![("k", Bat::Int((0..250).collect())), ("v", Bat::Int((0..250).collect()))],
+        );
+        let tables =
+            TestTables { tables: Map::from([("probe".into(), probe), ("build".into(), build)]) };
+        let join = Plan::Join {
+            left: Box::new(Plan::Filter {
+                input: Box::new(scan("probe", 2)),
+                pred: lt_filter(1, 20), // ~2% selective
+            }),
+            right: Box::new(scan("build", 2)),
+            kind: PJoinKind::Inner,
+            left_keys: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+            right_keys: vec![BExpr::ColRef { idx: 0, ty: LogicalType::Int }],
+            residual: None,
+            schema: vec![
+                OutCol { name: "k".into(), ty: LogicalType::Int },
+                OutCol { name: "f".into(), ty: LogicalType::Int },
+                OutCol { name: "k2".into(), ty: LogicalType::Int },
+                OutCol { name: "v".into(), ty: LogicalType::Int },
+            ],
+        };
+        let distinct = Plan::Distinct {
+            input: Box::new(Plan::Filter {
+                input: Box::new(scan("probe", 2)),
+                pred: lt_filter(1, 20),
+            }),
+        };
+        for plan in [&join, &distinct] {
+            let mut base_opts = opts(1, 1024);
+            base_opts.use_candidates = false;
+            base_opts.use_zonemaps = false;
+            let base = execute_streaming(plan, &ExecContext::new(&tables, base_opts)).unwrap();
+            for threads in [1, 4] {
+                let ctx = ExecContext::new(&tables, opts_cand(threads, 1024));
+                let got = execute_streaming(plan, &ctx).unwrap();
+                assert_eq!(sorted_rows(&base), sorted_rows(&got), "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -130,7 +130,7 @@ impl SpillReader {
             None => Ok(None),
             Some(cols) => {
                 let rows = cols.first().map_or(0, |c| c.len());
-                Ok(Some(Chunk { cols: cols.into_iter().map(Arc::new).collect(), rows }))
+                Ok(Some(Chunk::dense(cols.into_iter().map(Arc::new).collect(), rows)))
             }
         }
     }
@@ -239,7 +239,7 @@ mod tests {
 
     fn chunk(vals: Vec<i32>) -> Chunk {
         let rows = vals.len();
-        Chunk { cols: vec![Arc::new(Bat::Int(vals))], rows }
+        Chunk::dense(vec![Arc::new(Bat::Int(vals))], rows)
     }
 
     #[test]

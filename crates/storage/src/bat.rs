@@ -390,6 +390,30 @@ impl Bat {
         }
     }
 
+    /// Minimum and maximum of the non-NULL rows in `[lo, hi)`, in the
+    /// order-preserving `i64` key domain of [`crate::index::key_at`] (the
+    /// zonemap builder's one-pass summary). `None` when every row in the
+    /// range is NULL, or for VARCHAR (strings only hash — no
+    /// order-preserving key domain).
+    pub fn key_range(&self, lo: usize, hi: usize) -> Option<(i64, i64)> {
+        if matches!(self, Bat::Varchar { .. }) {
+            return None;
+        }
+        let mut mn = i64::MAX;
+        let mut mx = i64::MIN;
+        let mut any = false;
+        for i in lo..hi.min(self.len()) {
+            if self.is_null_at(i) {
+                continue;
+            }
+            let k = crate::index::key_at(self, i);
+            mn = mn.min(k);
+            mx = mx.max(k);
+            any = true;
+        }
+        any.then_some((mn, mx))
+    }
+
     /// Count of NULL rows.
     pub fn null_count(&self) -> usize {
         match self {

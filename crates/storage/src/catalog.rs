@@ -13,7 +13,7 @@
 //! consolidated contiguous array.
 
 use crate::bat::Bat;
-use crate::index::{bat_keys, HashIndex, Imprints, OrderIndex};
+use crate::index::{bat_keys, HashIndex, Imprints, OrderIndex, Zonemap};
 use crate::persist;
 use crate::vmem::{ResidentSlot, Vmem};
 use monetlite_types::{LogicalType, MlError, Result, Schema};
@@ -44,6 +44,10 @@ pub struct IdxCache {
     pub hash: Option<Arc<HashIndex>>,
     /// Order index — only ever created via `CREATE ORDER INDEX`.
     pub order: Option<Arc<OrderIndex>>,
+    /// Per-zone min/max summary — built on the first zonemap-eligible
+    /// scan (or loaded from the checkpoint's `.zm` sidecar), used to skip
+    /// whole vectors before any kernel runs.
+    pub zonemap: Option<Arc<Zonemap>>,
 }
 
 /// A handle to one physical column: its data (resident or off-loaded to a
@@ -191,6 +195,43 @@ impl ColumnEntry {
         let built = Arc::new(Imprints::build(&bat_keys(&bat)));
         let mut g = self.idx.lock();
         Ok(g.imprints.get_or_insert(built).clone())
+    }
+
+    /// Get or build the column's zonemap. Resolution order: in-memory
+    /// cache, then the checkpoint's `.zm` sidecar (so a cold column can
+    /// be skipped without faulting its data in), then a one-pass build
+    /// from the column. Sidecar validation failures are cache misses, not
+    /// errors.
+    pub fn zonemap(&self) -> Result<Arc<Zonemap>> {
+        if let Some(z) = &self.idx.lock().zonemap {
+            return Ok(z.clone());
+        }
+        if let Some(p) = self.backing_path() {
+            let zp = crate::persist::zonemap_sidecar(&p);
+            if zp.exists() {
+                if let Ok(zm) = crate::persist::read_zonemap_file(&zp) {
+                    if zm.rows() == self.len {
+                        let mut g = self.idx.lock();
+                        return Ok(g.zonemap.get_or_insert(Arc::new(zm)).clone());
+                    }
+                }
+            }
+        }
+        let bat = self.bat()?;
+        let built = Arc::new(Zonemap::build(&bat));
+        let mut g = self.idx.lock();
+        Ok(g.zonemap.get_or_insert(built).clone())
+    }
+
+    /// Install a pre-built zonemap (checkpoint writes the sidecar from
+    /// the freshly consolidated column and caches it here).
+    pub fn install_zonemap(&self, z: Arc<Zonemap>) {
+        self.idx.lock().zonemap = Some(z);
+    }
+
+    /// Peek at an existing zonemap without building one.
+    pub fn zonemap_opt(&self) -> Option<Arc<Zonemap>> {
+        self.idx.lock().zonemap.clone()
     }
 
     /// Get or build the order index (CREATE ORDER INDEX and its users).
@@ -586,6 +627,21 @@ mod tests {
         let e = col.entry().unwrap();
         assert!(e.order_index_opt().is_none(), "order index must not survive appends");
         assert!(e.idx.lock().imprints.is_none(), "imprints must not survive appends");
+        assert!(e.zonemap_opt().is_none(), "zonemaps must not survive appends");
+    }
+
+    #[test]
+    fn zonemap_cached_and_dropped_on_consolidation() {
+        let base = int_entry((0..100).collect());
+        let z1 = base.zonemap().unwrap();
+        assert_eq!(z1.rows(), 100);
+        assert!(Arc::ptr_eq(&z1, &base.zonemap().unwrap()), "second call hits the cache");
+        let _ = base.zonemap_opt().expect("cached");
+        // Consolidation produces a fresh entry with no stale zonemap.
+        let col = SegColumn::from_entry(base).appended(Bat::Int(vec![7]));
+        let e = col.entry().unwrap();
+        assert!(e.zonemap_opt().is_none());
+        assert_eq!(e.zonemap().unwrap().rows(), 101, "rebuilt over the consolidated data");
     }
 
     #[test]

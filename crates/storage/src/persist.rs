@@ -14,13 +14,15 @@
 
 use crate::bat::Bat;
 use crate::heap::StringHeap;
-use crate::index::fnv1a;
+use crate::index::{fnv1a, Zonemap};
 use monetlite_types::{MlError, Result};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"MLB1";
+/// Zonemap sidecar magic ([`write_zonemap_file`]).
+const ZM_MAGIC: &[u8; 4] = b"MLZ1";
 const ENDIAN_MARK: u16 = 0xBEEF;
 
 /// Sanity cap on any decoded length field (a corrupt length must not
@@ -236,6 +238,76 @@ pub fn read_column_file(path: &Path) -> Result<Bat> {
     decode_bat(&mut cursor)
 }
 
+// ---------------------------------------------------------------------------
+// Zonemap sidecars
+// ---------------------------------------------------------------------------
+
+/// The sidecar path of a column file's zonemap (`<file>.zm`).
+pub fn zonemap_sidecar(column_path: &Path) -> PathBuf {
+    let mut os = column_path.as_os_str().to_os_string();
+    os.push(".zm");
+    PathBuf::from(os)
+}
+
+/// Write a zonemap sidecar:
+/// `[magic "MLZ1"][endian][rows u64][nzones u64][mins][maxs][fnv checksum]`,
+/// atomically via temp file + rename. Sidecars are pure caches — readers
+/// fall back to rebuilding from the column on any validation failure.
+pub fn write_zonemap_file(path: &Path, zm: &Zonemap) -> Result<()> {
+    let tmp = path.with_extension("zmtmp");
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        let mut payload = Vec::with_capacity(16 + zm.n_zones() * 16);
+        payload.extend_from_slice(&(zm.rows() as u64).to_le_bytes());
+        payload.extend_from_slice(&(zm.n_zones() as u64).to_le_bytes());
+        payload.extend_from_slice(pod_bytes(zm.mins()));
+        payload.extend_from_slice(pod_bytes(zm.maxs()));
+        w.write_all(ZM_MAGIC)?;
+        w.write_all(&ENDIAN_MARK.to_ne_bytes())?;
+        w.write_all(&payload)?;
+        w.write_all(&fnv1a(&payload).to_le_bytes())?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a zonemap sidecar, validating magic, endianness, checksum and
+/// shape. Any failure is [`MlError::Corrupt`]; callers treat it as a
+/// cache miss and rebuild from the column data.
+pub fn read_zonemap_file(path: &Path) -> Result<Zonemap> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != ZM_MAGIC {
+        return Err(MlError::Corrupt(format!("{}: bad zonemap magic", path.display())));
+    }
+    let mut em = [0u8; 2];
+    r.read_exact(&mut em)?;
+    if u16::from_ne_bytes(em) != ENDIAN_MARK {
+        return Err(MlError::Corrupt(format!("{}: foreign endianness", path.display())));
+    }
+    let mut rest = Vec::new();
+    r.read_to_end(&mut rest)?;
+    if rest.len() < 8 {
+        return Err(MlError::Corrupt(format!("{}: truncated zonemap", path.display())));
+    }
+    let (payload, ck) = rest.split_at(rest.len() - 8);
+    if fnv1a(payload) != u64::from_le_bytes(ck.try_into().unwrap()) {
+        return Err(MlError::Corrupt(format!("{}: zonemap checksum mismatch", path.display())));
+    }
+    let mut cursor = payload;
+    let rows = read_u64(&mut cursor)?;
+    let nz = read_u64(&mut cursor)?;
+    if rows > MAX_LEN || nz > MAX_LEN {
+        return Err(MlError::Corrupt("zonemap length exceeds sanity bound".into()));
+    }
+    let mins: Vec<i64> = read_pod_vec(&mut cursor, nz as usize)?;
+    let maxs: Vec<i64> = read_pod_vec(&mut cursor, nz as usize)?;
+    Zonemap::from_parts(rows as usize, mins, maxs)
+        .ok_or_else(|| MlError::Corrupt(format!("{}: zonemap shape mismatch", path.display())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +412,27 @@ mod tests {
         let mut buf = vec![TAG_INT];
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
         assert!(matches!(decode_bat(&mut buf.as_slice()), Err(MlError::Corrupt(_))));
+    }
+
+    #[test]
+    fn zonemap_file_roundtrip_and_corruption() {
+        let dir = tempfile::tempdir().unwrap();
+        let col = dir.path().join("c1.bat");
+        let zp = zonemap_sidecar(&col);
+        assert!(zp.to_string_lossy().ends_with("c1.bat.zm"));
+        let bat = Bat::Int((0..20_000).collect());
+        let zm = Zonemap::build(&bat);
+        write_zonemap_file(&zp, &zm).unwrap();
+        let got = read_zonemap_file(&zp).unwrap();
+        assert_eq!(got.rows(), zm.rows());
+        assert_eq!(got.mins(), zm.mins());
+        assert_eq!(got.maxs(), zm.maxs());
+        // Corruption surfaces as Corrupt (callers rebuild).
+        let mut bytes = std::fs::read(&zp).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&zp, &bytes).unwrap();
+        assert!(matches!(read_zonemap_file(&zp), Err(MlError::Corrupt(_))));
     }
 
     #[test]

@@ -329,12 +329,31 @@ impl Store {
                 };
                 if !entry.is_backed() {
                     let fname = format!("c{}.bat", entry.id);
-                    persist::write_column_file(&colsdir.join(&fname), entry.bat()?.as_ref())?;
-                    entry.attach_backing(colsdir.join(&fname), self.vmem.clone());
+                    let fpath = colsdir.join(&fname);
+                    let bat = entry.bat()?;
+                    persist::write_column_file(&fpath, bat.as_ref())?;
+                    // Zonemap sidecar: computed at checkpoint (ingest has
+                    // consolidated the column by now) so a restarted
+                    // process can skip vectors on range predicates without
+                    // faulting the column back in. Sidecars are caches —
+                    // a write failure must not fail the checkpoint.
+                    if LogicalType::Varchar != entry.ty() && !bat.is_empty() {
+                        // Entries are immutable between consolidations, so a
+                        // zonemap cached by earlier scans is identical —
+                        // reuse it instead of a second min/max pass.
+                        let zm = entry.zonemap_opt().unwrap_or_else(|| {
+                            Arc::new(crate::index::Zonemap::build(bat.as_ref()))
+                        });
+                        let _ = persist::write_zonemap_file(&persist::zonemap_sidecar(&fpath), &zm);
+                        entry.install_zonemap(zm);
+                    }
+                    entry.attach_backing(fpath, self.vmem.clone());
                 }
                 if let Some(p) = entry.backing_path() {
                     if let Some(f) = p.file_name() {
-                        referenced.insert(f.to_string_lossy().into_owned());
+                        let f = f.to_string_lossy().into_owned();
+                        referenced.insert(format!("{f}.zm"));
+                        referenced.insert(f);
                     }
                 }
                 new_cols.push(SegColumn::from_entry(entry));
@@ -753,6 +772,46 @@ mod tests {
         assert_eq!(t.data.visible_rows(), 2);
         let bat = t.data.cols[1].entry().unwrap().bat().unwrap();
         assert_eq!(bat.str_at(1), Some("s20"));
+    }
+
+    #[test]
+    fn checkpoint_writes_zonemap_sidecars_readable_after_restart() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let store = Store::open(StoreOptions {
+                path: Some(dir.path().to_path_buf()),
+                ..Default::default()
+            })
+            .unwrap();
+            create_and_fill(&store, (0..20_000).collect());
+            store.checkpoint().unwrap();
+            // The INTEGER column gets a sidecar; the VARCHAR column does
+            // not (strings have no order-preserving key domain).
+            let snap = store.snapshot();
+            let t = snap.table("t").unwrap();
+            let int_path = t.data.cols[0].entry().unwrap().backing_path().unwrap();
+            let str_path = t.data.cols[1].entry().unwrap().backing_path().unwrap();
+            assert!(persist::zonemap_sidecar(&int_path).exists());
+            assert!(!persist::zonemap_sidecar(&str_path).exists());
+        }
+        // After restart the sidecar resolves without rebuilding.
+        let store = Store::open(StoreOptions {
+            path: Some(dir.path().to_path_buf()),
+            ..Default::default()
+        })
+        .unwrap();
+        let snap = store.snapshot();
+        let entry = snap.table("t").unwrap().data.cols[0].entry().unwrap();
+        let zm = entry.zonemap().unwrap();
+        assert_eq!(zm.rows(), 20_000);
+        assert_eq!(zm.n_zones(), 20_000usize.div_ceil(crate::index::ZONE_ROWS));
+        // Clustered ints: a probe below the first value matches nowhere.
+        assert!(!zm.range_may_match(0, 20_000, Some(20_001), None));
+        // A checkpoint with no new columns keeps the sidecar (GC must
+        // treat it as referenced).
+        store.checkpoint().unwrap();
+        let int_path = snap.table("t").unwrap().data.cols[0].entry().unwrap();
+        assert!(persist::zonemap_sidecar(&int_path.backing_path().unwrap()).exists());
     }
 
     #[test]

@@ -97,6 +97,138 @@ fn tpch_queries_agree_spilled_vs_unspilled() {
     assert!(total_spilled > 0, "a 24kB budget must force spilling somewhere in Q1–Q10");
 }
 
+/// Streaming options with candidate lists and zonemaps forced off (the
+/// gather-at-the-filter baseline).
+fn candidates_off(mut o: ExecOptions) -> ExecOptions {
+    o.use_candidates = false;
+    o.use_zonemaps = false;
+    o
+}
+
+/// Streaming options with candidate lists and zonemaps forced on,
+/// regardless of the CI env matrix (MONETLITE_CANDIDATES=0 leg).
+fn candidates_on(mut o: ExecOptions) -> ExecOptions {
+    o.use_candidates = true;
+    o.use_zonemaps = true;
+    o
+}
+
+#[test]
+fn tpch_queries_agree_with_candidates_on_and_off() {
+    // Candidate-list execution must be invisible in results: every TPC-H
+    // query returns identical rows with selection pass-through + zonemap
+    // skipping enabled and disabled, across thread counts and vector
+    // sizes that force many chunk boundaries.
+    let data = generate(0.005, 42);
+    let db = monetlite::Database::open_in_memory();
+    let mut conn = db.connect();
+    load_monet(&mut conn, &data).unwrap();
+    drop(conn);
+    for (n, sql) in queries::all() {
+        let base = run(&db, sql, candidates_off(streaming(1, 1024)));
+        for (threads, vs) in [(1, 1024), (1, 333), (4, 1024)] {
+            let got = run(&db, sql, candidates_on(streaming(threads, vs)));
+            assert_rows_eq(sql, &base, &got, &format!("Q{n} candidates t={threads} v={vs}"));
+        }
+    }
+}
+
+/// Reorder a generated table's rows by the permutation (applied to every
+/// column buffer) — used to simulate date-clustered ingest order.
+fn permute_table(t: &mut monetlite_tpch::gen::Table, perm: &[usize]) {
+    use monetlite_types::ColumnBuffer as C;
+    for c in &mut t.cols {
+        *c = match c {
+            C::Bool(v) => C::Bool(perm.iter().map(|&i| v[i]).collect()),
+            C::Int(v) => C::Int(perm.iter().map(|&i| v[i]).collect()),
+            C::Bigint(v) => C::Bigint(perm.iter().map(|&i| v[i]).collect()),
+            C::Double(v) => C::Double(perm.iter().map(|&i| v[i]).collect()),
+            C::Decimal { data, scale } => {
+                C::Decimal { data: perm.iter().map(|&i| data[i]).collect(), scale: *scale }
+            }
+            C::Varchar(v) => C::Varchar(perm.iter().map(|&i| v[i].clone()).collect()),
+            C::Date(v) => C::Date(perm.iter().map(|&i| v[i]).collect()),
+        };
+    }
+}
+
+#[test]
+fn q6_zonemap_skips_on_date_clustered_lineitem() {
+    // The acceptance shape: lineitem ingested in ship-date order (the
+    // canonical clustered fact table) lets Q6's one-year date range skip
+    // whole vectors via zonemaps — with results identical to the
+    // gather-based baseline. SF 0.02 gives ~120k lineitem rows, i.e.
+    // many 8Ki-row zones.
+    let mut data = generate(0.02, 7);
+    let ship_col = data.lineitem.schema.index_of("l_shipdate").expect("lineitem has l_shipdate");
+    let monetlite_types::ColumnBuffer::Date(dates) = &data.lineitem.cols[ship_col] else {
+        panic!("l_shipdate must be DATE");
+    };
+    let mut perm: Vec<usize> = (0..dates.len()).collect();
+    perm.sort_by_key(|&i| dates[i]);
+    permute_table(&mut data.lineitem, &perm);
+    let db = monetlite::Database::open_in_memory();
+    let mut conn = db.connect();
+    load_monet(&mut conn, &data).unwrap();
+    drop(conn);
+    let sql = queries::sql(6);
+    let base = run(&db, sql, candidates_off(streaming(1, 2048)));
+    let (got, counters) = run_counting(&db, sql, candidates_on(streaming(1, 2048)));
+    assert_rows_eq(sql, &base, &got, "Q6 date-clustered");
+    assert!(
+        counters.vectors_skipped > 0,
+        "Q6's shipdate range must skip zones on date-clustered lineitem (got {counters:?})"
+    );
+    assert!(counters.sel_vectors > 0, "Q6's selective filter must carry candidate lists");
+}
+
+#[test]
+fn zonemap_skipping_correct_across_deletes_and_vector_boundaries() {
+    // Deletes shrink the set of matches but never invalidate a zonemap
+    // skip; probes landing exactly on zone / vector boundaries must not
+    // lose rows. Compare candidates+zonemaps on vs off at awkward vector
+    // sizes, over a clustered key with a deleted stripe.
+    let db = monetlite::Database::open_in_memory();
+    let mut conn = db.connect();
+    conn.execute("CREATE TABLE t (k INTEGER NOT NULL, v INTEGER NOT NULL)").unwrap();
+    let n: i32 = 40_000;
+    conn.append(
+        "t",
+        vec![
+            ColumnBuffer::Int((0..n).collect()),
+            ColumnBuffer::Int((0..n).map(|x| x * 3).collect()),
+        ],
+    )
+    .unwrap();
+    // Delete a stripe straddling the first 8Ki zone boundary and a few
+    // scattered rows (every 97th).
+    conn.execute("DELETE FROM t WHERE k >= 8000 AND k < 8500").unwrap();
+    conn.execute("DELETE FROM t WHERE k % 97 = 0").unwrap();
+    drop(conn);
+    // Probes at and around zone boundaries (8192-row zones), including
+    // empty ranges and ranges entirely within the deleted stripe.
+    let queries = [
+        "SELECT count(*), sum(v) FROM t WHERE k < 100".to_string(),
+        "SELECT count(*), sum(v) FROM t WHERE k < 8192".to_string(),
+        "SELECT count(*), sum(v) FROM t WHERE k >= 8191 AND k <= 8193".to_string(),
+        "SELECT count(*), sum(v) FROM t WHERE k >= 8100 AND k < 8400".to_string(),
+        "SELECT count(*), sum(v) FROM t WHERE k >= 16384 AND k < 16390".to_string(),
+        "SELECT count(*), sum(v) FROM t WHERE k >= 39999".to_string(),
+        "SELECT count(*), sum(v) FROM t WHERE k >= 40000".to_string(),
+        "SELECT count(*) FROM t WHERE k = 8192".to_string(),
+    ];
+    let mut any_skipped = 0u64;
+    for sql in &queries {
+        let base = run(&db, sql, candidates_off(streaming(1, 1024)));
+        for vs in [512, 1000, 1024, 8192, 64 * 1024] {
+            let (got, counters) = run_counting(&db, sql, candidates_on(streaming(1, vs)));
+            assert_rows_eq(sql, &base, &got, &format!("v={vs}"));
+            any_skipped += counters.vectors_skipped;
+        }
+    }
+    assert!(any_skipped > 0, "selective probes over clustered data must skip vectors");
+}
+
 #[test]
 fn grouped_aggregate_and_join_spill_with_vmem_budget_smaller_than_state() {
     // The acceptance shape: a Vmem budget smaller than the query's

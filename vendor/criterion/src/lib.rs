@@ -39,11 +39,20 @@ pub struct Measurement {
 pub struct Criterion {
     default_sample_size: usize,
     results: Vec<Measurement>,
+    /// `cargo bench --bench X -- --test`: run every benchmark once to
+    /// prove it still compiles and executes, skip the timed sampling (and
+    /// JSON recording). Mirrors real criterion's test mode; CI smoke jobs
+    /// use it so bench code cannot rot.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { default_sample_size: 10, results: Vec::new() }
+        Criterion {
+            default_sample_size: 10,
+            results: Vec::new(),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
@@ -75,6 +84,10 @@ impl Criterion {
         // Warmup + calibration: one iteration to estimate cost.
         let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
         f(&mut b);
+        if self.test_mode {
+            println!("{id:<50} ok (test mode: 1 iteration)");
+            return;
+        }
         let per_iter = (b.elapsed.as_nanos().max(1)) as u64;
         // Pick iterations per sample so one sample is >= budget/samples.
         let per_sample_ns = (budget.as_nanos() as u64 / sample_size.max(1) as u64).max(1);
