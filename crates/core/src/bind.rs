@@ -2,25 +2,60 @@
 //! extraction and subquery decorrelation (AST → [`Plan`]).
 //!
 //! Correlated subqueries are flattened at bind time, the classic
-//! MonetDB/relational approach:
+//! MonetDB/relational approach (see ARCHITECTURE.md "Subquery flattening
+//! and TPC-H coverage" for worked examples):
 //! * `EXISTS (SELECT ... WHERE inner = outer AND p)` → left **semi** join
 //!   on the correlated equality keys (NOT EXISTS → **anti** join);
-//! * `x IN (SELECT c ...)` → semi join on `x = c`;
-//! * `x = (SELECT MIN(c) ... WHERE inner = outer)` (TPC-H Q2's pattern) →
-//!   group the subquery by its correlated keys, **left join** the outer
-//!   plan against the per-group aggregate, and rewrite the comparison to
-//!   the joined column.
+//!   non-equality correlated predicates (Q21's `l2.l_suppkey <>
+//!   l1.l_suppkey`) become the join's **residual**, applied per candidate
+//!   match;
+//! * `x IN (SELECT c ...)` → semi join on `x = c`; an uncorrelated
+//!   subquery (including grouped ones, Q18) binds standalone first;
+//! * `x NOT IN (SELECT c ...)` → anti join **plus** a count-based guard
+//!   that restores SQL's three-valued NULL semantics (Q16): the row
+//!   survives only when the subquery is empty, or `x` is not NULL and the
+//!   subquery produced no NULL — implemented with existing operators
+//!   (aggregate + cross/left join + filter), so every engine inherits it;
+//! * `x = (SELECT MIN(c) ... WHERE inner = outer)` (Q2/Q17/Q20) → group
+//!   the subquery by its correlated keys, **left join** the outer plan
+//!   against the per-group aggregate, and rewrite the comparison to an
+//!   expression over the joined aggregate columns (COUNT results are
+//!   NULL-coalesced to 0, the empty-group answer);
+//! * an **uncorrelated scalar subquery** (Q11's HAVING, Q15, Q22) →
+//!   key-less LEFT join against the single-row subquery plan: zero rows
+//!   pad NULL (the SQL answer), more than one row is a runtime error.
+//!
+//! `WITH` common table expressions and `CREATE VIEW` definitions expand
+//! at bind time as named derived tables.
 
 use crate::expr::{agg_output_type, AggSpec, ArithOp, BExpr, CmpOp, PAggFunc, ScalarFunc};
 use crate::plan::{OutCol, PJoinKind, Plan};
 use monetlite_sql::ast;
 use monetlite_types::{Date, LogicalType, MlError, Result, Schema, Value};
+use std::cell::{Cell, RefCell};
+
+/// A stored view definition: the parsed query plus the optional output
+/// column rename list. Expanded by the binder like a derived table.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    /// Optional output column renames.
+    pub columns: Option<Vec<String>>,
+    /// The defining query.
+    pub query: ast::SelectStmt,
+}
 
 /// Catalog lookup used by the binder; implemented by the core engine's
 /// transaction view and by the rowstore baseline's catalog.
 pub trait CatalogAccess {
     /// Schema of a base table.
     fn table_schema(&self, name: &str) -> Result<Schema>;
+
+    /// Definition of a view (lower-case name), if one exists. Consulted
+    /// when `table_schema` fails; the default implementation knows no
+    /// views.
+    fn view_def(&self, _name: &str) -> Option<ViewDef> {
+        None
+    }
 }
 
 /// One visible column while binding.
@@ -68,12 +103,30 @@ impl Scope {
 /// Binds statements against a catalog.
 pub struct Binder<'a> {
     catalog: &'a dyn CatalogAccess,
+    /// CTEs currently in scope (statement `WITH` lists, innermost last).
+    ctes: RefCell<Vec<ast::Cte>>,
+    /// View-expansion depth guard (recursive views are rejected).
+    view_depth: Cell<usize>,
 }
+
+/// Maximum view-in-view expansion depth before the binder assumes a
+/// recursive definition.
+const MAX_VIEW_DEPTH: usize = 16;
 
 impl<'a> Binder<'a> {
     /// New binder over a catalog view.
     pub fn new(catalog: &'a dyn CatalogAccess) -> Binder<'a> {
-        Binder { catalog }
+        Binder { catalog, ctes: RefCell::new(Vec::new()), view_depth: Cell::new(0) }
+    }
+
+    /// Run `f` with `ctes` pushed onto the in-scope stack.
+    fn with_ctes<T>(&self, ctes: &[ast::Cte], f: impl FnOnce(&Self) -> Result<T>) -> Result<T> {
+        self.ctes.borrow_mut().extend(ctes.iter().cloned());
+        let r = f(self);
+        let mut v = self.ctes.borrow_mut();
+        let keep = v.len() - ctes.len();
+        v.truncate(keep);
+        r
     }
 
     /// Bind a SELECT statement to a plan.
@@ -105,8 +158,16 @@ impl<'a> Binder<'a> {
         stmt: &ast::SelectStmt,
         outer: Option<&Scope>,
     ) -> Result<(Plan, Scope)> {
+        self.with_ctes(&stmt.ctes, |b| b.bind_select_inner(stmt, outer))
+    }
+
+    fn bind_select_inner(
+        &self,
+        stmt: &ast::SelectStmt,
+        outer: Option<&Scope>,
+    ) -> Result<(Plan, Scope)> {
         // 1. FROM clause.
-        let (mut plan, mut scope) = if stmt.from.is_empty() {
+        let (mut plan, scope) = if stmt.from.is_empty() {
             (Plan::Values { rows: vec![vec![]], schema: vec![] }, Scope::default())
         } else {
             let mut iter = stmt.from.iter();
@@ -128,13 +189,23 @@ impl<'a> Binder<'a> {
             (p, s)
         };
 
-        // 2. WHERE: split into conjuncts, flatten subqueries, filter.
+        // 2. WHERE: split into conjuncts (factoring conjuncts common to
+        // every branch out of OR groups, Q19's shape — the optimizer can
+        // then extract the hoisted equalities as join keys), flatten
+        // subqueries, filter.
         if let Some(w) = &stmt.where_clause {
-            let mut conjuncts = Vec::new();
-            split_conjuncts(w, &mut conjuncts);
+            let mut raw = Vec::new();
+            split_conjuncts(w, &mut raw);
+            let mut conjuncts: Vec<ast::Expr> = Vec::new();
+            for c in raw {
+                match factor_or_common(c) {
+                    Some(parts) => conjuncts.extend(parts),
+                    None => conjuncts.push(c.clone()),
+                }
+            }
             let mut plain = Vec::new();
-            for c in conjuncts {
-                if let Some(p2) = self.try_bind_subquery_conjunct(c, plan.clone(), &mut scope)? {
+            for c in &conjuncts {
+                if let Some(p2) = self.try_bind_subquery_conjunct(c, plan.clone(), &scope)? {
                     plan = p2;
                 } else {
                     plain.push(self.bind_expr_bool(c, &scope, outer)?);
@@ -173,12 +244,50 @@ impl<'a> Binder<'a> {
                     }
                 }
             }
-            // HAVING in aggregate context.
-            let having = stmt
-                .having
-                .as_ref()
-                .map(|h| self.bind_agg_expr(h, &scope, &group_bexprs, &mut aggs))
-                .transpose()?;
+            // HAVING in aggregate context. Conjuncts comparing against an
+            // uncorrelated scalar subquery (Q11's shape) are pre-bound
+            // here — before the Aggregate node exists — so any aggregates
+            // they mention register in `aggs`; the subquery itself joins
+            // in after aggregation (phase B below).
+            enum HavingPred {
+                Plain(BExpr),
+                Subquery { other: BExpr, op: ast::BinOp, flipped: bool, subplan: Plan },
+            }
+            let mut having_preds: Vec<HavingPred> = Vec::new();
+            if let Some(h) = &stmt.having {
+                let mut hconj = Vec::new();
+                split_conjuncts(h, &mut hconj);
+                for c in hconj {
+                    if let Some((q, other, op, flipped)) = as_scalar_cmp(c) {
+                        let (subplan, subscope) =
+                            self.bind_select_scoped(q, None).map_err(|e| {
+                                MlError::Unsupported(format!(
+                                    "HAVING subquery `{c}` must be uncorrelated: {e}"
+                                ))
+                            })?;
+                        if subscope.cols.len() != 1 {
+                            return Err(MlError::Bind(format!(
+                                "scalar subquery `{c}` must produce exactly one column"
+                            )));
+                        }
+                        let other_b =
+                            self.bind_agg_expr(other, &scope, &group_bexprs, &mut aggs)?;
+                        having_preds.push(HavingPred::Subquery {
+                            other: other_b,
+                            op,
+                            flipped,
+                            subplan,
+                        });
+                    } else {
+                        having_preds.push(HavingPred::Plain(self.bind_agg_expr(
+                            c,
+                            &scope,
+                            &group_bexprs,
+                            &mut aggs,
+                        )?));
+                    }
+                }
+            }
             // Build Aggregate node schema: groups then aggs.
             let mut agg_schema = Vec::new();
             for (i, g) in group_bexprs.iter().enumerate() {
@@ -187,14 +296,54 @@ impl<'a> Binder<'a> {
             for (i, a) in aggs.iter().enumerate() {
                 agg_schema.push(OutCol { name: format!("a{i}"), ty: a.ty });
             }
+            let agg_width = agg_schema.len();
             let mut plan = Plan::Aggregate {
                 input: Box::new(plan),
                 groups: group_bexprs,
                 aggs,
                 schema: agg_schema,
             };
-            if let Some(h) = having {
-                plan = Plan::Filter { input: Box::new(plan), pred: h };
+            // Phase B: apply HAVING predicates over the aggregate output.
+            // Each subquery comparison joins the single-row subquery in
+            // (key-less LEFT = scalar join), filters, and projects back to
+            // the aggregate width so later predicates see stable columns.
+            for hp in having_preds {
+                match hp {
+                    HavingPred::Plain(pred) => {
+                        plan = Plan::Filter { input: Box::new(plan), pred };
+                    }
+                    HavingPred::Subquery { other, op, flipped, subplan } => {
+                        let sub_ty = subplan.schema()[0].ty;
+                        let mut schema = plan.schema().to_vec();
+                        schema.push(OutCol { name: "subq".into(), ty: sub_ty });
+                        plan = Plan::Join {
+                            left: Box::new(plan),
+                            right: Box::new(subplan),
+                            kind: PJoinKind::Left,
+                            left_keys: vec![],
+                            right_keys: vec![],
+                            residual: None,
+                            schema,
+                        };
+                        let subref = BExpr::ColRef { idx: agg_width, ty: sub_ty };
+                        let (l, r) = if flipped {
+                            coerce_pair(subref, other)?
+                        } else {
+                            coerce_pair(other, subref)?
+                        };
+                        let pred = BExpr::Cmp {
+                            op: bin_to_cmp(op)?,
+                            left: Box::new(l),
+                            right: Box::new(r),
+                        };
+                        plan = Plan::Filter { input: Box::new(plan), pred };
+                        let exprs: Vec<BExpr> = (0..agg_width)
+                            .map(|i| BExpr::ColRef { idx: i, ty: plan.schema()[i].ty })
+                            .collect();
+                        let schema = plan.schema()[..agg_width].to_vec();
+                        plan = Plan::Project { input: Box::new(plan), exprs, schema };
+                    }
+                }
             }
             let schema: Vec<OutCol> = proj_exprs
                 .iter()
@@ -299,7 +448,56 @@ impl<'a> Binder<'a> {
     fn bind_table_ref(&self, tr: &ast::TableRef) -> Result<(Plan, Scope)> {
         match tr {
             ast::TableRef::Table { name, alias } => {
-                let schema = self.catalog.table_schema(name)?;
+                let lname = name.to_ascii_lowercase();
+                // 1. CTEs shadow catalog objects. The definition sees only
+                // CTEs declared before it (non-recursive WITH).
+                let cte_pos =
+                    self.ctes.borrow().iter().rposition(|c| c.name.to_ascii_lowercase() == lname);
+                if let Some(i) = cte_pos {
+                    let (cte, hidden_tail) = {
+                        let mut v = self.ctes.borrow_mut();
+                        let tail = v.split_off(i);
+                        (tail[0].clone(), tail)
+                    };
+                    let result = self.bind_select_scoped(&cte.query, None);
+                    self.ctes.borrow_mut().extend(hidden_tail);
+                    let (plan, scope) = result?;
+                    return rename_derived(
+                        plan,
+                        scope,
+                        alias.as_deref().unwrap_or(name),
+                        cte.columns.as_deref(),
+                    );
+                }
+                // 2. Base table.
+                let schema = match self.catalog.table_schema(name) {
+                    Ok(s) => s,
+                    Err(table_err) => {
+                        // 3. View: expand like a derived table. A view's
+                        // body must not see the statement's CTEs.
+                        let Some(vd) = self.catalog.view_def(&lname) else {
+                            return Err(table_err);
+                        };
+                        let depth = self.view_depth.get();
+                        if depth >= MAX_VIEW_DEPTH {
+                            return Err(MlError::Bind(format!(
+                                "view '{name}' expands too deep (recursive view definition?)"
+                            )));
+                        }
+                        self.view_depth.set(depth + 1);
+                        let saved = std::mem::take(&mut *self.ctes.borrow_mut());
+                        let result = self.bind_select_scoped(&vd.query, None);
+                        *self.ctes.borrow_mut() = saved;
+                        self.view_depth.set(depth);
+                        let (plan, scope) = result?;
+                        return rename_derived(
+                            plan,
+                            scope,
+                            alias.as_deref().unwrap_or(name),
+                            vd.columns.as_deref(),
+                        );
+                    }
+                };
                 let qualifier = alias.clone().unwrap_or_else(|| name.clone()).to_ascii_lowercase();
                 let cols: Vec<ScopeCol> = schema
                     .fields()
@@ -321,14 +519,9 @@ impl<'a> Binder<'a> {
                 };
                 Ok((plan, Scope { cols }))
             }
-            ast::TableRef::Subquery { query, alias } => {
+            ast::TableRef::Subquery { query, alias, columns } => {
                 let (plan, scope) = self.bind_select_scoped(query, None)?;
-                let cols = scope
-                    .cols
-                    .into_iter()
-                    .map(|c| ScopeCol { qualifier: Some(alias.to_ascii_lowercase()), ..c })
-                    .collect();
-                Ok((plan, Scope { cols }))
+                rename_derived(plan, scope, alias, columns.as_deref())
             }
             ast::TableRef::Join { left, right, kind, on } => {
                 let (lp, ls) = self.bind_table_ref(left)?;
@@ -361,50 +554,43 @@ impl<'a> Binder<'a> {
     }
 
     /// If `conjunct` is a flattenable subquery predicate, rewrite `plan`
-    /// (joining in the subquery) and return the new plan.
+    /// (joining in the subquery) and return the new plan. The rewrites
+    /// preserve `plan`'s schema, so the caller's scope stays valid.
     fn try_bind_subquery_conjunct(
         &self,
         conjunct: &ast::Expr,
         plan: Plan,
-        scope: &mut Scope,
+        scope: &Scope,
     ) -> Result<Option<Plan>> {
         match conjunct {
             ast::Expr::Exists { query, negated } => {
                 Ok(Some(self.flatten_exists(query, *negated, plan, scope)?))
             }
-            ast::Expr::Not(inner) => {
-                if let ast::Expr::Exists { query, negated } = inner.as_ref() {
-                    return Ok(Some(self.flatten_exists(query, !negated, plan, scope)?));
+            ast::Expr::Not(inner) => match inner.as_ref() {
+                ast::Expr::Exists { query, negated } => {
+                    Ok(Some(self.flatten_exists(query, !negated, plan, scope)?))
                 }
-                Ok(None)
-            }
+                ast::Expr::InSubquery { expr, query, negated } => {
+                    Ok(Some(self.flatten_in(expr, query, !negated, plan, scope)?))
+                }
+                _ => Ok(None),
+            },
             ast::Expr::InSubquery { expr, query, negated } => {
                 Ok(Some(self.flatten_in(expr, query, *negated, plan, scope)?))
             }
-            ast::Expr::Binary { op, left, right }
-                if matches!(
-                    op,
-                    ast::BinOp::Eq
-                        | ast::BinOp::Lt
-                        | ast::BinOp::LtEq
-                        | ast::BinOp::Gt
-                        | ast::BinOp::GtEq
-                        | ast::BinOp::NotEq
-                ) =>
-            {
-                let (scalar_side, other, flip) = match (left.as_ref(), right.as_ref()) {
-                    (ast::Expr::ScalarSubquery(q), o) => (q, o, true),
-                    (o, ast::Expr::ScalarSubquery(q)) => (q, o, false),
-                    _ => return Ok(None),
-                };
-                let p = self.flatten_scalar_cmp(scalar_side, other, *op, flip, plan, scope)?;
-                Ok(Some(p))
-            }
-            _ => Ok(None),
+            _ => match as_scalar_cmp(conjunct) {
+                Some((q, other, op, flip)) => {
+                    Ok(Some(self.flatten_scalar_cmp(q, other, op, flip, plan, scope)?))
+                }
+                None => Ok(None),
+            },
         }
     }
 
-    /// EXISTS/NOT EXISTS → semi/anti join.
+    /// EXISTS/NOT EXISTS → semi/anti join on the correlated equality keys,
+    /// with any non-equality correlated predicates as the join residual
+    /// (Q21). An uncorrelated EXISTS desugars to a single-row COUNT(*)
+    /// cross join plus a filter.
     fn flatten_exists(
         &self,
         query: &ast::SelectStmt,
@@ -412,22 +598,60 @@ impl<'a> Binder<'a> {
         plan: Plan,
         scope: &Scope,
     ) -> Result<Plan> {
-        let (inner_plan, inner_scope, lkeys, rkeys) =
-            self.bind_correlated_subquery(query, scope)?;
-        let _ = inner_scope;
+        // Uncorrelated: EXISTS(S) ⇔ (SELECT count(*) FROM S) > 0.
+        let standalone_err = match self.bind_select_scoped(query, None) {
+            Ok((subplan, _)) => {
+                let n = plan.schema().len();
+                let counts = count_aggregate(subplan, vec![], None);
+                let mut schema = plan.schema().to_vec();
+                schema.extend(counts.schema().iter().cloned());
+                let joined = Plan::Join {
+                    left: Box::new(plan),
+                    right: Box::new(counts),
+                    kind: PJoinKind::Cross,
+                    left_keys: vec![],
+                    right_keys: vec![],
+                    residual: None,
+                    schema,
+                };
+                let cnt = BExpr::ColRef { idx: n, ty: LogicalType::Bigint };
+                let zero = BExpr::Lit(Value::Bigint(0));
+                let pred = BExpr::Cmp {
+                    op: if negated { CmpOp::Eq } else { CmpOp::Gt },
+                    left: Box::new(cnt),
+                    right: Box::new(zero),
+                };
+                return Ok(project_prefix(Plan::Filter { input: Box::new(joined), pred }, n));
+            }
+            Err(e) => e,
+        };
+        let sub = self
+            .bind_subquery_relational(query, scope)
+            .map_err(|e| with_standalone_context(e, &standalone_err))?;
+        if sub.lkeys.is_empty() {
+            return Err(MlError::Unsupported(format!(
+                "EXISTS subquery `{}` has no correlated equality to join on; at least one is \
+                 required (binding it standalone failed too: {standalone_err})",
+                ast::Expr::Exists { query: Box::new(query.clone()), negated }
+            )));
+        }
         let schema = plan.schema().to_vec();
         Ok(Plan::Join {
             left: Box::new(plan),
-            right: Box::new(inner_plan),
+            right: Box::new(sub.plan),
             kind: if negated { PJoinKind::Anti } else { PJoinKind::Semi },
-            left_keys: lkeys,
-            right_keys: rkeys,
-            residual: None,
+            left_keys: sub.lkeys,
+            right_keys: sub.rkeys,
+            residual: sub.residual,
             schema,
         })
     }
 
-    /// `x IN (SELECT c ...)` → semi join on x = c (+ correlated keys).
+    /// `x IN (SELECT c ...)` → semi join on x = c (+ correlated keys and
+    /// residual). `x NOT IN (...)` → anti join plus the three-valued NULL
+    /// guard (see the module docs): the anti join keeps unmatched and
+    /// NULL-probe rows, and a count aggregate over the same subquery
+    /// decides which of those SQL actually keeps.
     fn flatten_in(
         &self,
         expr: &ast::Expr,
@@ -436,31 +660,142 @@ impl<'a> Binder<'a> {
         plan: Plan,
         scope: &Scope,
     ) -> Result<Plan> {
-        let (inner_plan, inner_scope, mut lkeys, mut rkeys) =
-            self.bind_correlated_subquery(query, scope)?;
-        if inner_scope.cols.len() != 1 {
-            return Err(MlError::Bind("IN subquery must produce exactly one column".into()));
+        // Uncorrelated subqueries (including grouped ones, Q18) bind
+        // standalone.
+        let standalone = self.bind_select_scoped(query, None);
+        if let Ok((subplan, subscope)) = standalone {
+            if subscope.cols.len() != 1 {
+                return Err(MlError::Bind(format!(
+                    "IN subquery of `{expr} in (select ...)` must produce exactly one column, \
+                     got {}",
+                    subscope.cols.len()
+                )));
+            }
+            let left_key = self.bind_expr(expr, scope)?;
+            let right_key = BExpr::ColRef { idx: 0, ty: subscope.cols[0].ty };
+            let (lk, rk) = coerce_pair(left_key, right_key)?;
+            if !negated {
+                let schema = plan.schema().to_vec();
+                return Ok(Plan::Join {
+                    left: Box::new(plan),
+                    right: Box::new(subplan),
+                    kind: PJoinKind::Semi,
+                    left_keys: vec![lk],
+                    right_keys: vec![rk],
+                    residual: None,
+                    schema,
+                });
+            }
+            let counts = count_aggregate(
+                subplan.clone(),
+                vec![],
+                Some(BExpr::ColRef { idx: 0, ty: subplan.schema()[0].ty }),
+            );
+            let n = plan.schema().len();
+            let anti_schema = plan.schema().to_vec();
+            let anti = Plan::Join {
+                left: Box::new(plan),
+                right: Box::new(subplan),
+                kind: PJoinKind::Anti,
+                left_keys: vec![lk.clone()],
+                right_keys: vec![rk],
+                residual: None,
+                schema: anti_schema,
+            };
+            let mut schema = anti.schema().to_vec();
+            schema.extend(counts.schema().iter().cloned());
+            let joined = Plan::Join {
+                left: Box::new(anti),
+                right: Box::new(counts),
+                kind: PJoinKind::Cross,
+                left_keys: vec![],
+                right_keys: vec![],
+                residual: None,
+                schema,
+            };
+            let pred = not_in_guard(lk, n, false);
+            return Ok(project_prefix(Plan::Filter { input: Box::new(joined), pred }, n));
         }
+        // Correlated; a failure here is ambiguous with a plain broken
+        // subquery, so carry the standalone attempt's error along.
+        let standalone_err = standalone.expect_err("Ok returned above");
+        let sub = self
+            .bind_subquery_relational(query, scope)
+            .map_err(|e| with_standalone_context(e, &standalone_err))?;
+        let proj = single_projection(query, expr)?;
+        let in_key = self
+            .bind_expr(proj, &sub.scope)
+            .map_err(|e| with_standalone_context(e, &standalone_err))?;
         let left_key = self.bind_expr(expr, scope)?;
-        let right_key = BExpr::ColRef { idx: 0, ty: inner_scope.cols[0].ty };
-        let (lk, rk) = coerce_pair(left_key, right_key)?;
-        lkeys.push(lk);
+        let (lk, rk) = coerce_pair(left_key, in_key)?;
+        if !negated {
+            let mut lkeys = sub.lkeys;
+            let mut rkeys = sub.rkeys;
+            lkeys.push(lk);
+            rkeys.push(rk);
+            let schema = plan.schema().to_vec();
+            return Ok(Plan::Join {
+                left: Box::new(plan),
+                right: Box::new(sub.plan),
+                kind: PJoinKind::Semi,
+                left_keys: lkeys,
+                right_keys: rkeys,
+                residual: sub.residual,
+                schema,
+            });
+        }
+        if sub.residual.is_some() {
+            return Err(MlError::Unsupported(format!(
+                "NOT IN subquery of `{expr} not in (select ...)` combines non-equality \
+                 correlated predicates with NOT IN's NULL semantics; rewrite with NOT EXISTS"
+            )));
+        }
+        // Per-group NULL guard: counts grouped by the correlated keys,
+        // LEFT-joined back (an absent group means an empty subquery for
+        // that outer row — NOT IN is then TRUE).
+        let nk = sub.lkeys.len();
+        let n = plan.schema().len();
+        let counts = count_aggregate(sub.plan.clone(), sub.rkeys.clone(), Some(rk.clone()));
+        let anti_schema = plan.schema().to_vec();
+        let mut lkeys = sub.lkeys.clone();
+        let mut rkeys = sub.rkeys;
+        lkeys.push(lk.clone());
         rkeys.push(rk);
-        let schema = plan.schema().to_vec();
-        Ok(Plan::Join {
+        let anti = Plan::Join {
             left: Box::new(plan),
-            right: Box::new(inner_plan),
-            kind: if negated { PJoinKind::Anti } else { PJoinKind::Semi },
+            right: Box::new(sub.plan),
+            kind: PJoinKind::Anti,
             left_keys: lkeys,
             right_keys: rkeys,
             residual: None,
+            schema: anti_schema,
+        };
+        let mut schema = anti.schema().to_vec();
+        schema.extend(counts.schema().iter().cloned());
+        let group_refs: Vec<BExpr> = counts.schema()[..nk]
+            .iter()
+            .enumerate()
+            .map(|(i, c)| BExpr::ColRef { idx: i, ty: c.ty })
+            .collect();
+        let joined = Plan::Join {
+            left: Box::new(anti),
+            right: Box::new(counts),
+            kind: PJoinKind::Left,
+            left_keys: sub.lkeys,
+            right_keys: group_refs,
+            residual: None,
             schema,
-        })
+        };
+        let pred = not_in_guard(lk, n + nk, true);
+        Ok(project_prefix(Plan::Filter { input: Box::new(joined), pred }, n))
     }
 
-    /// `other <op> (SELECT agg(..) ... WHERE correlated)` → left join on
-    /// the correlated group keys + comparison against the aggregate
-    /// column.
+    /// `other <op> (SELECT expr-around-agg ... [WHERE correlated])`.
+    /// Uncorrelated subqueries bind standalone and join in as a key-less
+    /// LEFT (scalar) join; correlated ones group by the correlated keys
+    /// and LEFT-join per group, recomputing the projected expression over
+    /// the joined aggregate columns (COUNTs NULL-coalesce to 0 so an
+    /// empty group gives the SQL answer).
     fn flatten_scalar_cmp(
         &self,
         query: &ast::SelectStmt,
@@ -468,156 +803,227 @@ impl<'a> Binder<'a> {
         op: ast::BinOp,
         flipped: bool,
         plan: Plan,
-        scope: &mut Scope,
+        scope: &Scope,
     ) -> Result<Plan> {
-        let (inner_plan, inner_scope, lkeys, rkeys) =
-            self.bind_correlated_subquery_grouped(query, scope)?;
-        if inner_scope.cols.len() != rkeys.len() + 1 {
-            return Err(MlError::Bind("scalar subquery must produce exactly one column".into()));
+        let n = plan.schema().len();
+        // Uncorrelated: scalar join against the single-row plan.
+        let standalone = self.bind_select_scoped(query, None);
+        if let Ok((subplan, subscope)) = standalone {
+            if subscope.cols.len() != 1 {
+                return Err(MlError::Bind(format!(
+                    "scalar subquery compared with `{other}` must produce exactly one column, \
+                     got {}",
+                    subscope.cols.len()
+                )));
+            }
+            let sub_ty = subplan.schema()[0].ty;
+            let mut schema = plan.schema().to_vec();
+            schema.push(OutCol { name: "subq".into(), ty: sub_ty });
+            let joined = Plan::Join {
+                left: Box::new(plan),
+                right: Box::new(subplan),
+                kind: PJoinKind::Left,
+                left_keys: vec![],
+                right_keys: vec![],
+                residual: None,
+                schema,
+            };
+            let other_b = self.bind_expr(other, scope)?;
+            let subref = BExpr::ColRef { idx: n, ty: sub_ty };
+            let (l, r) =
+                if flipped { coerce_pair(subref, other_b)? } else { coerce_pair(other_b, subref)? };
+            let pred = BExpr::Cmp { op: bin_to_cmp(op)?, left: Box::new(l), right: Box::new(r) };
+            return Ok(project_prefix(Plan::Filter { input: Box::new(joined), pred }, n));
         }
-        let val_idx = inner_scope.cols.len() - 1;
-        let val_ty = inner_scope.cols[val_idx].ty;
-        // Join: outer LEFT JOIN inner-grouped.
-        let nleft = plan.schema().len();
+        // Correlated: group the subquery by its correlated keys (carrying
+        // the standalone attempt's error for the ambiguous-failure case).
+        let standalone_err = standalone.expect_err("Ok returned above");
+        let (grouped, outer_keys, inner_key_refs, val) = self
+            .bind_correlated_subquery_grouped(query, scope)
+            .map_err(|e| with_standalone_context(e, &standalone_err))?;
         let mut schema = plan.schema().to_vec();
-        schema.extend(inner_plan.schema().iter().cloned());
+        schema.extend(grouped.schema().iter().cloned());
         let joined = Plan::Join {
             left: Box::new(plan),
-            right: Box::new(inner_plan),
+            right: Box::new(grouped),
             kind: PJoinKind::Left,
-            left_keys: lkeys,
-            right_keys: rkeys,
+            left_keys: outer_keys,
+            right_keys: inner_key_refs,
             residual: None,
             schema,
         };
-        // Comparison over the joined schema.
+        // The projected value, recomputed over the joined aggregate
+        // columns (shifted by the outer width).
+        let val = val.remap_cols(&|c| n + c);
         let other_b = self.bind_expr(other, scope)?;
-        let subq_col = BExpr::ColRef { idx: nleft + val_idx, ty: val_ty };
-        let (l, r) =
-            if flipped { coerce_pair(subq_col, other_b)? } else { coerce_pair(other_b, subq_col)? };
+        let (l, r) = if flipped { coerce_pair(val, other_b)? } else { coerce_pair(other_b, val)? };
         let pred = BExpr::Cmp { op: bin_to_cmp(op)?, left: Box::new(l), right: Box::new(r) };
-        let filtered = Plan::Filter { input: Box::new(joined), pred };
-        // Project back to the outer columns only.
-        let exprs: Vec<BExpr> =
-            (0..nleft).map(|i| BExpr::ColRef { idx: i, ty: filtered.schema()[i].ty }).collect();
-        let out_schema: Vec<OutCol> = filtered.schema()[..nleft].to_vec();
-        // Scope is unchanged: same outer columns.
-        Ok(Plan::Project { input: Box::new(filtered), exprs, schema: out_schema })
+        Ok(project_prefix(Plan::Filter { input: Box::new(joined), pred }, n))
     }
 
-    /// Bind a subquery, splitting its WHERE into inner-only conjuncts
-    /// (applied inside) and correlated equalities (returned as join keys:
-    /// outer-side, inner-side).
-    fn bind_correlated_subquery(
+    /// Bind a (correlated) subquery's relational part: FROM + WHERE, with
+    /// the WHERE split into inner conjuncts (filtered inside, including
+    /// nested subquery predicates, Q20), correlated equality key pairs,
+    /// and other correlated predicates bound over (outer ++ inner) — the
+    /// enclosing join's residual.
+    fn bind_subquery_relational(
         &self,
         query: &ast::SelectStmt,
         outer: &Scope,
-    ) -> Result<(Plan, Scope, Vec<BExpr>, Vec<BExpr>)> {
+    ) -> Result<BoundSubquery> {
         if !query.group_by.is_empty() || query.limit.is_some() {
-            return Err(MlError::Unsupported("GROUP BY/LIMIT inside EXISTS/IN subqueries".into()));
+            return Err(MlError::Unsupported(
+                "GROUP BY/LIMIT inside correlated EXISTS/IN subqueries".into(),
+            ));
         }
-        // Bind the subquery FROM to get the inner scope.
-        let inner_stmt = ast::SelectStmt { where_clause: None, order_by: vec![], ..query.clone() };
-        let (mut inner_plan, inner_scope) = self.bind_from_only(&inner_stmt)?;
-        let mut lkeys = Vec::new();
-        let mut rkeys = Vec::new();
-        if let Some(w) = &query.where_clause {
-            let mut conjuncts = Vec::new();
-            split_conjuncts(w, &mut conjuncts);
-            for c in conjuncts {
-                match self.classify_conjunct(c, &inner_scope, outer)? {
-                    Classified::Inner(pred) => {
-                        inner_plan = Plan::Filter { input: Box::new(inner_plan), pred };
+        self.with_ctes(&query.ctes, |b| {
+            let (mut inner_plan, inner_scope) = b.bind_from_only(query)?;
+            let mut lkeys = Vec::new();
+            let mut rkeys = Vec::new();
+            let mut residuals: Vec<BExpr> = Vec::new();
+            if let Some(w) = &query.where_clause {
+                let mut conjuncts = Vec::new();
+                split_conjuncts(w, &mut conjuncts);
+                for c in conjuncts {
+                    // Nested subquery predicates flatten against the inner
+                    // plan (the nested level treats this level as its
+                    // outer scope).
+                    if is_subquery_conjunct(c) {
+                        match b.try_bind_subquery_conjunct(c, inner_plan.clone(), &inner_scope)? {
+                            Some(p2) => {
+                                inner_plan = p2;
+                                continue;
+                            }
+                            None => unreachable!("is_subquery_conjunct gates the shapes"),
+                        }
                     }
-                    Classified::CorrelatedEq { outer_key, inner_key } => {
-                        lkeys.push(outer_key);
-                        rkeys.push(inner_key);
+                    match b.classify_conjunct(c, &inner_scope, outer)? {
+                        Classified::Inner(pred) => {
+                            inner_plan = Plan::Filter { input: Box::new(inner_plan), pred };
+                        }
+                        Classified::CorrelatedEq { outer_key, inner_key } => {
+                            lkeys.push(outer_key);
+                            rkeys.push(inner_key);
+                        }
+                        Classified::Residual(pred) => residuals.push(pred),
                     }
                 }
             }
-        }
-        // Select the projected columns of the subquery (for IN).
-        let (proj_plan, proj_scope) =
-            self.project_subquery_outputs(query, inner_plan, &inner_scope, &mut rkeys)?;
-        Ok((proj_plan, proj_scope, lkeys, rkeys))
+            let residual =
+                residuals.into_iter().reduce(|a, b| BExpr::And(Box::new(a), Box::new(b)));
+            Ok(BoundSubquery { plan: inner_plan, scope: inner_scope, lkeys, rkeys, residual })
+        })
     }
 
-    /// Like [`Self::bind_correlated_subquery`] but for scalar aggregate
-    /// subqueries: the result plan groups by the correlated inner keys and
-    /// outputs (keys..., aggregate).
+    /// Correlated scalar aggregate subquery: returns the grouped plan
+    /// (keys ++ raw aggregate columns), the outer-side keys, references to
+    /// the key columns of the grouped output, and the projected value
+    /// expression over the grouped output (with COUNT columns coalesced
+    /// to 0 for absent groups).
+    #[allow(clippy::type_complexity)]
     fn bind_correlated_subquery_grouped(
         &self,
         query: &ast::SelectStmt,
         outer: &Scope,
-    ) -> Result<(Plan, Scope, Vec<BExpr>, Vec<BExpr>)> {
+    ) -> Result<(Plan, Vec<BExpr>, Vec<BExpr>, BExpr)> {
         if query.projections.len() != 1 {
-            return Err(MlError::Bind("scalar subquery must select one expression".into()));
+            return Err(MlError::Bind("scalar subquery must select exactly one expression".into()));
         }
         let agg_expr = match &query.projections[0] {
             ast::SelectItem::Expr { expr, .. } if expr.contains_aggregate() => expr,
+            ast::SelectItem::Expr { expr, .. } => {
+                return Err(MlError::Unsupported(format!(
+                    "correlated scalar subquery `select {expr} ...` must be an aggregate \
+                     expression"
+                )))
+            }
             _ => {
                 return Err(MlError::Unsupported(
-                    "scalar subqueries must be a single aggregate".into(),
+                    "correlated scalar subquery must select an aggregate expression, not `*`"
+                        .into(),
                 ))
             }
         };
-        let inner_stmt = ast::SelectStmt {
-            where_clause: None,
-            order_by: vec![],
-            projections: vec![],
-            ..query.clone()
-        };
-        let (mut inner_plan, inner_scope) = self.bind_from_only(&inner_stmt)?;
-        let mut outer_keys = Vec::new();
-        let mut inner_keys = Vec::new();
-        if let Some(w) = &query.where_clause {
-            let mut conjuncts = Vec::new();
-            split_conjuncts(w, &mut conjuncts);
-            for c in conjuncts {
-                match self.classify_conjunct(c, &inner_scope, outer)? {
-                    Classified::Inner(pred) => {
-                        inner_plan = Plan::Filter { input: Box::new(inner_plan), pred };
+        self.with_ctes(&query.ctes, |b| {
+            let (mut inner_plan, inner_scope) = b.bind_from_only(query)?;
+            let mut outer_keys = Vec::new();
+            let mut inner_keys = Vec::new();
+            if let Some(w) = &query.where_clause {
+                let mut conjuncts = Vec::new();
+                split_conjuncts(w, &mut conjuncts);
+                for c in conjuncts {
+                    if is_subquery_conjunct(c) {
+                        if let Some(p2) =
+                            b.try_bind_subquery_conjunct(c, inner_plan.clone(), &inner_scope)?
+                        {
+                            inner_plan = p2;
+                            continue;
+                        }
                     }
-                    Classified::CorrelatedEq { outer_key, inner_key } => {
-                        outer_keys.push(outer_key);
-                        inner_keys.push(inner_key);
+                    match b.classify_conjunct(c, &inner_scope, outer)? {
+                        Classified::Inner(pred) => {
+                            inner_plan = Plan::Filter { input: Box::new(inner_plan), pred };
+                        }
+                        Classified::CorrelatedEq { outer_key, inner_key } => {
+                            outer_keys.push(outer_key);
+                            inner_keys.push(inner_key);
+                        }
+                        Classified::Residual(_) => {
+                            return Err(MlError::Unsupported(format!(
+                                "correlated scalar subquery predicate `{c}` must be an equality \
+                                 (non-equality correlation cannot be grouped away)"
+                            )))
+                        }
                     }
                 }
             }
-        }
-        // Aggregate grouped by the correlated inner keys.
-        let mut aggs = Vec::new();
-        let bound_agg = self.bind_agg_expr(agg_expr, &inner_scope, &inner_keys, &mut aggs)?;
-        if aggs.len() != 1 || !matches!(bound_agg, BExpr::ColRef { .. }) {
-            return Err(MlError::Unsupported(
-                "scalar subquery must be a single plain aggregate".into(),
-            ));
-        }
-        let mut schema = Vec::new();
-        for (i, k) in inner_keys.iter().enumerate() {
-            schema.push(OutCol { name: format!("k{i}"), ty: k.ty() });
-        }
-        let agg_ty = aggs[0].ty;
-        schema.push(OutCol { name: "agg".into(), ty: agg_ty });
-        let grouped = Plan::Aggregate {
-            input: Box::new(inner_plan),
-            groups: inner_keys.clone(),
-            aggs,
-            schema: schema.clone(),
-        };
-        // Join keys on the grouped output: positions 0..nkeys.
-        let rkeys: Vec<BExpr> = inner_keys
-            .iter()
-            .enumerate()
-            .map(|(i, k)| BExpr::ColRef { idx: i, ty: k.ty() })
-            .collect();
-        let scope = Scope {
-            cols: schema
+            // The projected expression, bound in aggregate context with
+            // the correlated inner keys as the group keys.
+            let mut aggs: Vec<AggSpec> = Vec::new();
+            let bound_val = b.bind_agg_expr(agg_expr, &inner_scope, &inner_keys, &mut aggs)?;
+            let nk = inner_keys.len();
+            let mut schema = Vec::new();
+            for (i, k) in inner_keys.iter().enumerate() {
+                schema.push(OutCol { name: format!("k{i}"), ty: k.ty() });
+            }
+            for (i, a) in aggs.iter().enumerate() {
+                schema.push(OutCol { name: format!("a{i}"), ty: a.ty });
+            }
+            let grouped = Plan::Aggregate {
+                input: Box::new(inner_plan),
+                groups: inner_keys.clone(),
+                aggs: aggs.clone(),
+                schema,
+            };
+            let key_refs: Vec<BExpr> = inner_keys
                 .iter()
-                .map(|c| ScopeCol { qualifier: None, name: c.name.clone(), ty: c.ty })
-                .collect(),
-        };
-        Ok((grouped, scope, outer_keys, rkeys))
+                .enumerate()
+                .map(|(i, k)| BExpr::ColRef { idx: i, ty: k.ty() })
+                .collect();
+            // Substitution table over the grouped output: keys pass
+            // through; COUNT aggregates coalesce NULL (absent group after
+            // the LEFT join) to 0 — COUNT over an empty set is 0, not
+            // NULL; every other aggregate is NULL over an empty set, which
+            // the pad already provides.
+            let mut table: Vec<BExpr> = key_refs.clone();
+            for (j, a) in aggs.iter().enumerate() {
+                let col = BExpr::ColRef { idx: nk + j, ty: a.ty };
+                table.push(if a.func == PAggFunc::Count {
+                    BExpr::Case {
+                        branches: vec![(
+                            BExpr::IsNull { input: Box::new(col.clone()), negated: false },
+                            BExpr::Lit(Value::Bigint(0)),
+                        )],
+                        else_expr: Some(Box::new(col)),
+                        ty: LogicalType::Bigint,
+                    }
+                } else {
+                    col
+                });
+            }
+            let val = crate::opt::substitute(&bound_val, &table);
+            Ok((grouped, outer_keys, key_refs, val))
+        })
     }
 
     fn bind_from_only(&self, stmt: &ast::SelectStmt) -> Result<(Plan, Scope)> {
@@ -642,76 +1048,8 @@ impl<'a> Binder<'a> {
         Ok((p, s))
     }
 
-    fn project_subquery_outputs(
-        &self,
-        query: &ast::SelectStmt,
-        inner_plan: Plan,
-        inner_scope: &Scope,
-        rkeys: &mut [BExpr],
-    ) -> Result<(Plan, Scope)> {
-        // For EXISTS the projection is irrelevant (`SELECT *` common); for
-        // IN the single projected expression becomes output column 0. Join
-        // keys bound against the inner scope must be remapped through the
-        // projection, so we append them as extra hidden outputs.
-        let mut exprs = Vec::new();
-        let mut names = Vec::new();
-        match query.projections.as_slice() {
-            [ast::SelectItem::Wildcard] => {}
-            items => {
-                for (i, item) in items.iter().enumerate() {
-                    match item {
-                        ast::SelectItem::Expr { expr, alias } => {
-                            exprs.push(self.bind_expr(expr, inner_scope)?);
-                            names.push(output_name(alias.as_deref(), expr, i));
-                        }
-                        _ => {
-                            // Wildcards in EXISTS: nothing to project.
-                        }
-                    }
-                }
-            }
-        }
-        if exprs.is_empty() {
-            // EXISTS(SELECT * ...): keys only.
-            let mut schema = Vec::new();
-            let mut kexprs = Vec::new();
-            for (i, k) in rkeys.iter().enumerate() {
-                schema.push(OutCol { name: format!("k{i}"), ty: k.ty() });
-                kexprs.push(k.clone());
-            }
-            for (i, k) in rkeys.iter_mut().enumerate() {
-                *k = BExpr::ColRef { idx: i, ty: k.ty() };
-            }
-            let scope = Scope {
-                cols: schema
-                    .iter()
-                    .map(|c| ScopeCol { qualifier: None, name: c.name.clone(), ty: c.ty })
-                    .collect(),
-            };
-            return Ok((
-                Plan::Project { input: Box::new(inner_plan), exprs: kexprs, schema },
-                scope,
-            ));
-        }
-        let nout = exprs.len();
-        let mut schema: Vec<OutCol> =
-            exprs.iter().zip(&names).map(|(e, n)| OutCol { name: n.clone(), ty: e.ty() }).collect();
-        for (i, k) in rkeys.iter_mut().enumerate() {
-            exprs.push(k.clone());
-            schema.push(OutCol { name: format!("k{i}"), ty: k.ty() });
-            *k = BExpr::ColRef { idx: nout + i, ty: k.ty() };
-        }
-        let scope = Scope {
-            cols: schema[..nout]
-                .iter()
-                .map(|c| ScopeCol { qualifier: None, name: c.name.clone(), ty: c.ty })
-                .collect(),
-        };
-        Ok((Plan::Project { input: Box::new(inner_plan), exprs, schema }, scope))
-    }
-
     fn classify_conjunct(&self, e: &ast::Expr, inner: &Scope, outer: &Scope) -> Result<Classified> {
-        // Pure inner predicate?
+        // Pure inner predicate? (Innermost scope wins, the SQL rule.)
         if let Ok(b) = self.bind_expr(e, inner) {
             return Ok(Classified::Inner(b));
         }
@@ -730,7 +1068,17 @@ impl<'a> Binder<'a> {
                 return Ok(Classified::CorrelatedEq { outer_key: ok2, inner_key: ik2 });
             }
         }
-        Err(MlError::Unsupported(format!("unsupported correlated predicate in subquery: {e:?}")))
+        // Any other correlated predicate binds over (outer ++ inner) and
+        // becomes the enclosing join's residual — Q21's
+        // `l2.l_suppkey <> l1.l_suppkey`.
+        let mut combined = outer.clone();
+        combined.cols.extend(inner.cols.iter().cloned());
+        match self.bind_expr_bool(e, &combined, None) {
+            Ok(b) => Ok(Classified::Residual(b)),
+            Err(err) => Err(MlError::Unsupported(format!(
+                "unsupported predicate `{e}` in WHERE clause of subquery: {err}"
+            ))),
+        }
     }
 
     // -- expressions -------------------------------------------------------
@@ -838,12 +1186,16 @@ impl<'a> Binder<'a> {
                 let b = self.bind_expr(&acc, scope)?;
                 Ok(if *negated { BExpr::Not(Box::new(b)) } else { b })
             }
-            ast::Expr::InSubquery { .. } | ast::Expr::Exists { .. } => Err(MlError::Unsupported(
-                "subquery predicates are only supported as top-level WHERE conjuncts".into(),
-            )),
-            ast::Expr::ScalarSubquery(_) => Err(MlError::Unsupported(
-                "scalar subqueries are only supported in top-level WHERE comparisons".into(),
-            )),
+            ast::Expr::InSubquery { .. } | ast::Expr::Exists { .. } => {
+                Err(MlError::Unsupported(format!(
+                    "subquery predicate `{e}` is only supported as a top-level AND-conjunct of \
+                     WHERE (found in expression position, e.g. under OR or in a projection)"
+                )))
+            }
+            ast::Expr::ScalarSubquery(_) => Err(MlError::Unsupported(format!(
+                "scalar subquery `{e}` is only supported in top-level WHERE/HAVING comparisons \
+                 (found in expression position)"
+            ))),
             ast::Expr::Case { branches, else_expr } => {
                 let mut bound: Vec<(BExpr, BExpr)> = Vec::new();
                 for (c, v) in branches {
@@ -1161,7 +1513,245 @@ impl<'a> Binder<'a> {
 
 enum Classified {
     Inner(BExpr),
-    CorrelatedEq { outer_key: BExpr, inner_key: BExpr },
+    CorrelatedEq {
+        outer_key: BExpr,
+        inner_key: BExpr,
+    },
+    /// A correlated non-equality predicate bound over (outer ++ inner):
+    /// the enclosing semi/anti join's residual.
+    Residual(BExpr),
+}
+
+/// Bound ingredients of a correlated subquery: the filtered inner plan
+/// and scope, the correlated equality key pairs, and the join residual.
+struct BoundSubquery {
+    plan: Plan,
+    scope: Scope,
+    lkeys: Vec<BExpr>,
+    rkeys: Vec<BExpr>,
+    residual: Option<BExpr>,
+}
+
+/// Is this conjunct a subquery predicate shape that
+/// [`Binder::try_bind_subquery_conjunct`] flattens?
+fn is_subquery_conjunct(e: &ast::Expr) -> bool {
+    match e {
+        ast::Expr::Exists { .. } | ast::Expr::InSubquery { .. } => true,
+        ast::Expr::Not(inner) => {
+            matches!(inner.as_ref(), ast::Expr::Exists { .. } | ast::Expr::InSubquery { .. })
+        }
+        other => as_scalar_cmp(other).is_some(),
+    }
+}
+
+/// Recognise `other <op> (SELECT ...)` / `(SELECT ...) <op> other`,
+/// returning (query, other side, op, scalar-was-on-the-left).
+fn as_scalar_cmp(e: &ast::Expr) -> Option<(&ast::SelectStmt, &ast::Expr, ast::BinOp, bool)> {
+    let ast::Expr::Binary { op, left, right } = e else {
+        return None;
+    };
+    if !matches!(
+        op,
+        ast::BinOp::Eq
+            | ast::BinOp::NotEq
+            | ast::BinOp::Lt
+            | ast::BinOp::LtEq
+            | ast::BinOp::Gt
+            | ast::BinOp::GtEq
+    ) {
+        return None;
+    }
+    match (left.as_ref(), right.as_ref()) {
+        (ast::Expr::ScalarSubquery(q), o) => Some((q, o, *op, true)),
+        (o, ast::Expr::ScalarSubquery(q)) => Some((q, o, *op, false)),
+        _ => None,
+    }
+}
+
+/// The IN subquery's single projected expression (`x IN (SELECT c ...)`).
+fn single_projection<'q>(query: &'q ast::SelectStmt, ctx: &ast::Expr) -> Result<&'q ast::Expr> {
+    match query.projections.as_slice() {
+        [ast::SelectItem::Expr { expr, .. }] => Ok(expr),
+        _ => Err(MlError::Bind(format!(
+            "IN subquery of `{ctx} in (select ...)` must select exactly one expression"
+        ))),
+    }
+}
+
+/// `COUNT(*)` (+ `COUNT(arg)` when `arg` is given) over `input`, grouped
+/// by `groups`. Output schema: group columns, then the count(s). The
+/// NOT-IN NULL guard and uncorrelated EXISTS build on this.
+fn count_aggregate(input: Plan, groups: Vec<BExpr>, arg: Option<BExpr>) -> Plan {
+    let mut schema: Vec<OutCol> = groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| OutCol { name: format!("k{i}"), ty: g.ty() })
+        .collect();
+    let mut aggs = vec![AggSpec {
+        func: PAggFunc::Count,
+        arg: None,
+        distinct: false,
+        ty: agg_output_type(PAggFunc::Count, None),
+    }];
+    schema.push(OutCol { name: "cnt_all".into(), ty: LogicalType::Bigint });
+    if let Some(a) = arg {
+        let ty = agg_output_type(PAggFunc::Count, Some(a.ty()));
+        aggs.push(AggSpec { func: PAggFunc::Count, arg: Some(a), distinct: false, ty });
+        schema.push(OutCol { name: "cnt_nonnull".into(), ty: LogicalType::Bigint });
+    }
+    Plan::Aggregate { input: Box::new(input), groups, aggs, schema }
+}
+
+/// The NOT IN three-valued-logic guard over the (outer ++ counts) join
+/// output: keep the anti-join survivor when the subquery group is absent
+/// (`grouped` only) or empty, or when the probe value is not NULL and the
+/// subquery produced no NULL values.
+fn not_in_guard(probe: BExpr, counts_at: usize, grouped: bool) -> BExpr {
+    let cnt_all = BExpr::ColRef { idx: counts_at, ty: LogicalType::Bigint };
+    let cnt_nonnull = BExpr::ColRef { idx: counts_at + 1, ty: LogicalType::Bigint };
+    let empty = BExpr::Cmp {
+        op: CmpOp::Eq,
+        left: Box::new(cnt_all.clone()),
+        right: Box::new(BExpr::Lit(Value::Bigint(0))),
+    };
+    let probe_not_null = BExpr::IsNull { input: Box::new(probe), negated: true };
+    let no_nulls =
+        BExpr::Cmp { op: CmpOp::Eq, left: Box::new(cnt_nonnull), right: Box::new(cnt_all.clone()) };
+    let ok = BExpr::Or(
+        Box::new(empty),
+        Box::new(BExpr::And(Box::new(probe_not_null), Box::new(no_nulls))),
+    );
+    if grouped {
+        let absent = BExpr::IsNull { input: Box::new(cnt_all), negated: false };
+        BExpr::Or(Box::new(absent), Box::new(ok))
+    } else {
+        ok
+    }
+}
+
+/// Project a plan back to its first `n` columns (the flattening rewrites
+/// preserve the outer schema this way).
+fn project_prefix(plan: Plan, n: usize) -> Plan {
+    let exprs: Vec<BExpr> =
+        (0..n).map(|i| BExpr::ColRef { idx: i, ty: plan.schema()[i].ty }).collect();
+    let schema = plan.schema()[..n].to_vec();
+    Plan::Project { input: Box::new(plan), exprs, schema }
+}
+
+/// Apply a derived table's qualifier and optional column rename list to a
+/// bound subquery/CTE/view.
+fn rename_derived(
+    plan: Plan,
+    scope: Scope,
+    qualifier: &str,
+    columns: Option<&[String]>,
+) -> Result<(Plan, Scope)> {
+    if let Some(cols) = columns {
+        if cols.len() != scope.cols.len() {
+            return Err(MlError::Bind(format!(
+                "'{qualifier}' has {} output column(s) but {} alias(es) were given",
+                scope.cols.len(),
+                cols.len()
+            )));
+        }
+    }
+    let q = qualifier.to_ascii_lowercase();
+    let cols = scope
+        .cols
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| ScopeCol {
+            qualifier: Some(q.clone()),
+            name: columns.map_or(c.name.clone(), |cs| cs[i].to_ascii_lowercase()),
+            ty: c.ty,
+        })
+        .collect();
+    Ok((plan, Scope { cols }))
+}
+
+/// Factor conjuncts common to every branch out of an OR expression
+/// (Q19's `(p AND a1) OR (p AND a2) OR (p AND a3)` → `p AND (a1 OR a2 OR
+/// a3)`), so the optimizer can extract the hoisted equalities as join
+/// keys. Returns `None` when there is nothing to factor.
+fn factor_or_common(e: &ast::Expr) -> Option<Vec<ast::Expr>> {
+    let mut branches = Vec::new();
+    split_disjuncts(e, &mut branches);
+    if branches.len() < 2 {
+        return None;
+    }
+    let branch_conjs: Vec<Vec<&ast::Expr>> = branches
+        .iter()
+        .map(|b| {
+            let mut v = Vec::new();
+            split_conjuncts(b, &mut v);
+            v
+        })
+        .collect();
+    let common: Vec<&ast::Expr> = branch_conjs[0]
+        .iter()
+        .copied()
+        .filter(|c| branch_conjs[1..].iter().all(|b| b.iter().any(|x| x == c)))
+        .collect();
+    if common.is_empty() {
+        return None;
+    }
+    let mut out: Vec<ast::Expr> = common.iter().map(|c| (*c).clone()).collect();
+    // Rebuild each branch without the common conjuncts; a branch left
+    // empty makes the whole OR implied by the common part.
+    let mut residual_branches: Vec<ast::Expr> = Vec::new();
+    for conjs in &branch_conjs {
+        let rest: Vec<&ast::Expr> =
+            conjs.iter().copied().filter(|c| !common.iter().any(|x| x == c)).collect();
+        if rest.is_empty() {
+            return Some(out);
+        }
+        let rebuilt = rest
+            .into_iter()
+            .cloned()
+            .reduce(|a, b| ast::Expr::Binary {
+                op: ast::BinOp::And,
+                left: Box::new(a),
+                right: Box::new(b),
+            })
+            .expect("nonempty branch");
+        residual_branches.push(rebuilt);
+    }
+    let or = residual_branches
+        .into_iter()
+        .reduce(|a, b| ast::Expr::Binary {
+            op: ast::BinOp::Or,
+            left: Box::new(a),
+            right: Box::new(b),
+        })
+        .expect("at least two branches");
+    out.push(or);
+    Some(out)
+}
+
+/// A correlated-path bind failure is ambiguous: the subquery may be
+/// genuinely correlated, or simply broken (typo'd column, unknown
+/// table). Append the standalone attempt's error so the diagnostic names
+/// the real problem instead of a correlation-shaped red herring.
+fn with_standalone_context(e: MlError, standalone: &MlError) -> MlError {
+    let text = |msg: &dyn std::fmt::Display| {
+        format!("{msg} (binding the subquery standalone failed: {standalone})")
+    };
+    match e {
+        MlError::Bind(m) => MlError::Bind(text(&m)),
+        MlError::Unsupported(m) => MlError::Unsupported(text(&m)),
+        MlError::Catalog(m) => MlError::Catalog(text(&m)),
+        MlError::TypeMismatch(m) => MlError::TypeMismatch(text(&m)),
+        other => other,
+    }
+}
+
+fn split_disjuncts<'e>(e: &'e ast::Expr, out: &mut Vec<&'e ast::Expr>) {
+    if let ast::Expr::Binary { op: ast::BinOp::Or, left, right } = e {
+        split_disjuncts(left, out);
+        split_disjuncts(right, out);
+    } else {
+        out.push(e);
+    }
 }
 
 fn split_conjuncts<'e>(e: &'e ast::Expr, out: &mut Vec<&'e ast::Expr>) {
@@ -1603,5 +2193,190 @@ mod tests {
         let p = bind("SELECT t.a FROM t JOIN u ON t.a = u.a").unwrap();
         let s = p.render();
         assert!(s.contains("residual"), "keys extracted later by optimizer: {s}");
+    }
+
+    #[test]
+    fn uncorrelated_scalar_binds_as_keyless_left_join() {
+        let p = bind("SELECT a FROM t WHERE a > (SELECT min(a) FROM u)").unwrap();
+        let s = p.render();
+        assert!(s.contains("left join on \n"), "key-less scalar join: {s}");
+        assert!(s.contains("min"), "{s}");
+    }
+
+    #[test]
+    fn having_scalar_subquery_joins_after_aggregation() {
+        let p = bind(
+            "SELECT b, sum(a) AS s FROM t GROUP BY b \
+             HAVING sum(a) > (SELECT sum(a) FROM u)",
+        )
+        .unwrap();
+        let s = p.render();
+        // Two aggregates: the outer grouped one and the subquery's global
+        // one, joined key-less and filtered.
+        assert_eq!(s.matches("aggregate").count(), 2, "{s}");
+        assert!(s.contains("left join"), "{s}");
+    }
+
+    #[test]
+    fn not_in_subquery_plans_null_guard() {
+        let p = bind("SELECT a FROM t WHERE a NOT IN (SELECT a FROM u)").unwrap();
+        let s = p.render();
+        assert!(s.contains("anti join"), "{s}");
+        // The three-valued guard: counts cross-joined and filtered.
+        assert!(s.contains("count"), "{s}");
+        assert!(s.contains("cross join"), "{s}");
+    }
+
+    #[test]
+    fn exists_with_non_equality_correlation_becomes_residual() {
+        // Q21's shape: one correlated equality (the key) plus a
+        // correlated inequality (the residual).
+        let p = bind(
+            "SELECT a FROM t WHERE EXISTS \
+             (SELECT * FROM u WHERE u.a = t.a AND u.x <> t.p)",
+        )
+        .unwrap();
+        let s = p.render();
+        assert!(s.contains("semi join"), "{s}");
+        assert!(s.contains("residual"), "{s}");
+    }
+
+    #[test]
+    fn uncorrelated_in_with_group_by_binds_standalone() {
+        // Q18's shape: a grouped + HAVING subquery inside IN.
+        let p = bind(
+            "SELECT a FROM t WHERE a IN \
+             (SELECT a FROM u GROUP BY a HAVING count(*) > 1)",
+        )
+        .unwrap();
+        let s = p.render();
+        assert!(s.contains("semi join"), "{s}");
+        assert!(s.contains("aggregate"), "{s}");
+    }
+
+    #[test]
+    fn correlated_scalar_with_expression_around_aggregate() {
+        // Q17/Q20's shape: the subquery projects 0.5 * sum(...).
+        let p = bind(
+            "SELECT a FROM t WHERE p > \
+             (SELECT 0.5 * min(x) FROM u WHERE u.a = t.a)",
+        )
+        .unwrap();
+        let s = p.render();
+        assert!(s.contains("left join"), "{s}");
+        assert!(s.contains("0.5") || s.contains("0.50"), "value recomputed outside: {s}");
+    }
+
+    #[test]
+    fn or_common_conjuncts_are_factored() {
+        // Q19's shape: the shared equality hoists out of the OR.
+        let p = bind(
+            "SELECT t.a FROM t, u WHERE \
+             (t.a = u.a AND t.b = 'x' AND u.x > 1.0) OR \
+             (t.a = u.a AND t.b = 'y' AND u.x > 2.0)",
+        )
+        .unwrap();
+        let s = p.render();
+        let factored = factor_or_common(&match monetlite_sql::parse_statement(
+            "SELECT 1 FROM t WHERE (a = 1 AND b = 'x') OR (a = 1 AND b = 'y')",
+        )
+        .unwrap()
+        {
+            monetlite_sql::Statement::Select(sel) => sel.where_clause.clone().unwrap(),
+            _ => unreachable!(),
+        });
+        let factored = factored.expect("common conjunct found");
+        assert_eq!(factored.len(), 2, "common + reduced OR: {factored:?}");
+        // In the bound plan, the hoisted equality is a separate conjunct
+        // the optimizer can later turn into a join key.
+        assert!(s.contains("(#0 = #4)") || s.contains("filter"), "{s}");
+    }
+
+    #[test]
+    fn cte_binds_like_a_derived_table() {
+        let p = bind(
+            "WITH big (k, total) AS (SELECT a, sum(p) FROM t GROUP BY a) \
+             SELECT k FROM big WHERE total > 10",
+        )
+        .unwrap();
+        assert_eq!(p.schema().len(), 1);
+        assert_eq!(p.schema()[0].name, "k");
+        // Later CTEs see earlier ones; a CTE shadows a base table.
+        let p2 = bind(
+            "WITH t (z) AS (SELECT a FROM u), second AS (SELECT z FROM t) \
+             SELECT z FROM second",
+        )
+        .unwrap();
+        assert_eq!(p2.schema()[0].name, "z");
+    }
+
+    #[test]
+    fn derived_table_column_aliases_rename_scope() {
+        // Q13's shape.
+        let p = bind(
+            "SELECT c, count(*) FROM \
+             (SELECT a, b FROM t) AS d (k, c) GROUP BY c",
+        )
+        .unwrap();
+        assert_eq!(p.schema()[0].name, "c");
+        assert!(matches!(
+            bind("SELECT 1 FROM (SELECT a, b FROM t) AS d (only_one)"),
+            Err(MlError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn view_expands_at_bind_time() {
+        struct ViewCat {
+            inner: MockCatalog,
+        }
+        impl CatalogAccess for ViewCat {
+            fn table_schema(&self, name: &str) -> Result<Schema> {
+                self.inner.table_schema(name)
+            }
+            fn view_def(&self, name: &str) -> Option<ViewDef> {
+                (name == "v").then(|| ViewDef {
+                    columns: Some(vec!["k".into(), "total".into()]),
+                    query: match monetlite_sql::parse_statement(
+                        "SELECT a, sum(p) FROM t GROUP BY a",
+                    )
+                    .unwrap()
+                    {
+                        monetlite_sql::Statement::Select(s) => *s,
+                        _ => unreachable!(),
+                    },
+                })
+            }
+        }
+        let cat = ViewCat { inner: catalog() };
+        let stmt =
+            monetlite_sql::parse_statement("SELECT k, total FROM v WHERE total > 1").unwrap();
+        let monetlite_sql::Statement::Select(s) = stmt else { unreachable!() };
+        let p = Binder::new(&cat).bind_select(&s).unwrap();
+        assert_eq!(p.schema().len(), 2);
+        assert_eq!(p.schema()[1].name, "total");
+    }
+
+    #[test]
+    fn unsupported_errors_name_the_sql_fragment() {
+        // The diagnostic must quote SQL, not debug-print the AST.
+        let e = bind("SELECT a FROM t WHERE b = 'x' OR a IN (SELECT a FROM u)").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("in (select ...)"), "fragment quoted as SQL: {msg}");
+        assert!(!msg.contains("InSubquery"), "no AST debug dump: {msg}");
+    }
+
+    #[test]
+    fn broken_subquery_reports_the_real_error_not_correlation() {
+        // A typo'd column in an EXISTS subquery must not be misreported
+        // as a correlation problem: the standalone bind failure is
+        // carried into the diagnostic.
+        let e = bind("SELECT a FROM t WHERE EXISTS (SELECT nosuch FROM u)").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("nosuch"), "names the unknown column: {msg}");
+        let e2 = bind("SELECT a FROM t WHERE a IN (SELECT nosuch FROM u)").unwrap_err();
+        assert!(e2.to_string().contains("nosuch"), "{e2}");
+        let e3 = bind("SELECT a FROM t WHERE a > (SELECT min(nosuch) FROM u)").unwrap_err();
+        assert!(e3.to_string().contains("nosuch"), "{e3}");
     }
 }

@@ -22,7 +22,7 @@
 
 use crate::agg::{hash_group, AggState};
 use crate::expr::{BExpr, CmpOp};
-use crate::join::{cross_join, hash_join, merge_join, JoinSel};
+use crate::join::{cross_join, hash_join, merge_join, scalar_left_pairs, JoinSel};
 use crate::kernels::{bool_to_sel, eval};
 use crate::plan::{PJoinKind, Plan};
 use crate::rows::take_padded;
@@ -847,11 +847,19 @@ fn exec_join(
     let lchunk = exec_node(left, ctx, None)?;
     let rchunk = exec_node(right, ctx, None)?;
     ctx.check_deadline()?;
+    let probe_kind = pair_probe_kind(kind, residual);
     let sel: JoinSel = if kind == PJoinKind::Cross || left_keys.is_empty() {
         if matches!(kind, PJoinKind::Semi | PJoinKind::Anti) {
             return Err(MlError::Execution("semi/anti join requires keys".into()));
         }
-        cross_join(lchunk.rows, rchunk.rows)
+        if kind == PJoinKind::Left && residual.is_none() {
+            // Binder-planned scalar join: `x <op> (SELECT ...)`.
+            scalar_left_pairs(lchunk.rows, rchunk.rows)?
+        } else {
+            // Key-less LEFT with a residual uses cross pairs; the
+            // finisher pads probe rows whose matches all fail.
+            cross_join(lchunk.rows, rchunk.rows)
+        }
     } else {
         let lkey_bats: Vec<Bat> =
             left_keys.iter().map(|k| eval(k, &lchunk.cols, lchunk.rows)).collect::<Result<_>>()?;
@@ -868,7 +876,15 @@ fn exec_join(
                 ctx.counters.bump(&ctx.counters.merge_joins);
                 let (loi, roi) = (le.order_index()?, re.order_index()?);
                 let sel = merge_join(&lrefs[0].clone(), &loi, &rrefs[0].clone(), &roi);
-                return materialize_join(kind, &lchunk, &rchunk, sel, residual, ctx);
+                ctx.check_deadline()?;
+                return finish_join_output(
+                    &lchunk.cols,
+                    &rchunk.cols,
+                    sel,
+                    kind,
+                    residual,
+                    lchunk.rows,
+                );
             }
         }
         // Automatic hash index on a bare persistent build column.
@@ -883,39 +899,116 @@ fn exec_join(
         } else {
             None
         };
-        hash_join(&lrefs, &rrefs, kind, prebuilt.as_deref())?
+        hash_join(&lrefs, &rrefs, probe_kind, prebuilt.as_deref())?
     };
-    materialize_join(kind, &lchunk, &rchunk, sel, residual, ctx)
+    ctx.check_deadline()?;
+    finish_join_output(&lchunk.cols, &rchunk.cols, sel, kind, residual, lchunk.rows)
 }
 
-fn materialize_join(
-    kind: PJoinKind,
-    lchunk: &Chunk,
-    rchunk: &Chunk,
-    sel: JoinSel,
-    residual: Option<&BExpr>,
-    ctx: &ExecContext,
-) -> Result<Chunk> {
-    ctx.check_deadline()?;
-    let mut cols: Vec<Arc<Bat>> = Vec::with_capacity(
-        lchunk.cols.len()
-            + if matches!(kind, PJoinKind::Semi | PJoinKind::Anti) { 0 } else { rchunk.cols.len() },
-    );
-    for c in &lchunk.cols {
-        cols.push(Arc::new(c.take(&sel.lsel)));
+/// Probe kind producing the row pairs `finish_join_output` needs for
+/// `kind` with `residual`: semi/anti with a residual probe as Inner so
+/// every candidate match is available for the per-pair residual check.
+pub(crate) fn pair_probe_kind(kind: PJoinKind, residual: Option<&BExpr>) -> PJoinKind {
+    match (kind, residual) {
+        (PJoinKind::Semi | PJoinKind::Anti, Some(_)) => PJoinKind::Inner,
+        _ => kind,
     }
-    if !matches!(kind, PJoinKind::Semi | PJoinKind::Anti) {
-        for c in &rchunk.cols {
-            cols.push(Arc::new(take_padded(c, &sel.rsel)));
+}
+
+/// Turn a join's row-id pairs into its output chunk, applying SQL ON
+/// semantics for the residual predicate. Shared by the materialized
+/// engine, the streaming probe operator and the grace join, so the paths
+/// cannot diverge:
+/// * inner/cross — pairs failing the residual drop (a plain filter);
+/// * semi/anti — `sel` holds **Inner** pairs (see [`pair_probe_kind`]); a
+///   probe row qualifies when at least one of its matches passes the
+///   residual; semi keeps qualifying rows, anti keeps the complement
+///   (including rows with no key match at all);
+/// * left — matches failing the residual are discarded and a probe row
+///   whose matches all fail (or that has none) is NULL-padded instead of
+///   dropped.
+///
+/// `probe_rows` is the probe side's logical row count, required for the
+/// anti complement and left padding; `sel.lsel` must be ascending (all
+/// probe paths produce it that way).
+pub(crate) fn finish_join_output(
+    probe_cols: &[Arc<Bat>],
+    build_cols: &[Arc<Bat>],
+    sel: JoinSel,
+    kind: PJoinKind,
+    residual: Option<&BExpr>,
+    probe_rows: usize,
+) -> Result<Chunk> {
+    let semi_like = matches!(kind, PJoinKind::Semi | PJoinKind::Anti);
+    let gather = |lsel: &[u32], rsel: Option<&[u32]>| -> Chunk {
+        let mut cols: Vec<Arc<Bat>> =
+            Vec::with_capacity(probe_cols.len() + rsel.map_or(0, |_| build_cols.len()));
+        for c in probe_cols {
+            cols.push(Arc::new(c.take(lsel)));
+        }
+        if let Some(rs) = rsel {
+            for c in build_cols {
+                cols.push(Arc::new(take_padded(c, rs)));
+            }
+        }
+        Chunk::dense(cols, lsel.len())
+    };
+    let Some(res) = residual else {
+        return Ok(if semi_like {
+            gather(&sel.lsel, None)
+        } else {
+            gather(&sel.lsel, Some(&sel.rsel))
+        });
+    };
+    match kind {
+        PJoinKind::Inner | PJoinKind::Cross => {
+            let out = gather(&sel.lsel, Some(&sel.rsel));
+            let mask = eval(res, &out.cols, out.rows)?;
+            let keep = bool_to_sel(&mask)?;
+            Ok(out.take(&keep))
+        }
+        PJoinKind::Semi | PJoinKind::Anti => {
+            let pairs = gather(&sel.lsel, Some(&sel.rsel));
+            let mask = eval(res, &pairs.cols, pairs.rows)?;
+            let hits = bool_to_sel(&mask)?;
+            let mut qualifies = vec![false; probe_rows];
+            for &h in &hits {
+                qualifies[sel.lsel[h as usize] as usize] = true;
+            }
+            let want = kind == PJoinKind::Semi;
+            let lsel: Vec<u32> =
+                (0..probe_rows as u32).filter(|&l| qualifies[l as usize] == want).collect();
+            Ok(gather(&lsel, None))
+        }
+        PJoinKind::Left => {
+            let pairs = gather(&sel.lsel, Some(&sel.rsel));
+            let mask = eval(res, &pairs.cols, pairs.rows)?;
+            let hits = bool_to_sel(&mask)?;
+            let mut pass = vec![false; pairs.rows];
+            for &h in &hits {
+                pass[h as usize] = true;
+            }
+            let mut lsel: Vec<u32> = Vec::new();
+            let mut rsel: Vec<u32> = Vec::new();
+            let mut i = 0usize;
+            for l in 0..probe_rows as u32 {
+                let mut any = false;
+                while i < sel.lsel.len() && sel.lsel[i] == l {
+                    if sel.rsel[i] != crate::rows::NO_ROW && pass[i] {
+                        lsel.push(l);
+                        rsel.push(sel.rsel[i]);
+                        any = true;
+                    }
+                    i += 1;
+                }
+                if !any {
+                    lsel.push(l);
+                    rsel.push(crate::rows::NO_ROW);
+                }
+            }
+            Ok(gather(&lsel, Some(&rsel)))
         }
     }
-    let mut out = Chunk::dense(cols, sel.lsel.len());
-    if let Some(res) = residual {
-        let mask = eval(res, &out.cols, out.rows)?;
-        let keep = bool_to_sel(&mask)?;
-        out = out.take(&keep);
-    }
-    Ok(out)
 }
 
 /// If `plan` is a filterless scan and the single key is a plain column

@@ -210,6 +210,20 @@ pub fn merge_join(lkey: &Bat, lidx: &OrderIndex, rkey: &Bat, ridx: &OrderIndex) 
     out
 }
 
+/// Pairs of a **scalar join** — a key-less LEFT join as planned by the
+/// binder for uncorrelated scalar subqueries: the right side must hold at
+/// most one row; zero rows pad every probe row with NULL (SQL's empty
+/// scalar subquery answer), more than one row is the SQL error.
+pub fn scalar_left_pairs(lrows: usize, rrows: usize) -> Result<JoinSel> {
+    if rrows > 1 {
+        return Err(MlError::Execution(format!(
+            "scalar subquery returned {rrows} rows (at most one expected)"
+        )));
+    }
+    let rid = if rrows == 0 { NO_ROW } else { 0 };
+    Ok(JoinSel { lsel: (0..lrows as u32).collect(), rsel: vec![rid; lrows] })
+}
+
 /// Cross product row-id pairs.
 pub fn cross_join(lrows: usize, rrows: usize) -> JoinSel {
     let mut out = JoinSel {

@@ -41,7 +41,7 @@ pub mod rows;
 pub mod sort;
 pub mod spill;
 
-use bind::{Binder, CatalogAccess};
+use bind::{Binder, CatalogAccess, ViewDef};
 use exec::{ExecContext, ExecOptions, TableProvider};
 use monetlite_sql::ast;
 use monetlite_storage::catalog::{CatalogSnapshot, TableMeta};
@@ -95,13 +95,21 @@ impl Default for DbOptions {
 pub struct Database {
     store: Arc<Store>,
     opts: DbOptions,
+    /// View definitions, shared by every connection. Views live for the
+    /// database handle's lifetime (they are not checkpointed) and apply
+    /// immediately — CREATE/DROP VIEW are not transactional.
+    views: Arc<std::sync::Mutex<HashMap<String, ViewDef>>>,
 }
 
 impl Database {
     /// In-memory database: nothing is persisted, everything is discarded
     /// on drop.
     pub fn open_in_memory() -> Database {
-        Database { store: Arc::new(Store::in_memory()), opts: DbOptions::default() }
+        Database {
+            store: Arc::new(Store::in_memory()),
+            opts: DbOptions::default(),
+            views: Arc::default(),
+        }
     }
 
     /// Open (or create) a persistent database in `dir`.
@@ -116,7 +124,7 @@ impl Database {
             vmem_budget: opts.vmem_budget,
             wal_autocheckpoint: opts.wal_autocheckpoint,
         })?);
-        Ok(Database { store, opts })
+        Ok(Database { store, opts, views: Arc::default() })
     }
 
     /// Create a connection ("dummy clients that only hold a query context",
@@ -129,6 +137,7 @@ impl Database {
             opt_flags: self.opts.opt_flags,
             txn: None,
             last_counters: None,
+            db_views: self.views.clone(),
         }
     }
 
@@ -230,6 +239,9 @@ struct ActiveTxn {
     next_temp_id: u64,
     /// Started by explicit BEGIN (vs autocommit wrapper).
     explicit: bool,
+    /// View definitions visible to this transaction (snapshot taken at
+    /// txn start; CREATE/DROP VIEW update it immediately).
+    views: HashMap<String, ViewDef>,
 }
 
 /// A connection: holds the per-query context and transaction state.
@@ -239,12 +251,14 @@ pub struct Connection {
     opt_flags: OptFlags,
     txn: Option<ActiveTxn>,
     last_counters: Option<exec::CountersSnapshot>,
+    db_views: Arc<std::sync::Mutex<HashMap<String, ViewDef>>>,
 }
 
 /// The transaction's catalog view, usable by the binder, the optimizer's
 /// stats and the executor.
 struct TxnView<'a> {
     tables: &'a HashMap<String, Arc<TableMeta>>,
+    views: &'a HashMap<String, ViewDef>,
 }
 
 impl CatalogAccess for TxnView<'_> {
@@ -253,6 +267,10 @@ impl CatalogAccess for TxnView<'_> {
             .get(&name.to_ascii_lowercase())
             .map(|t| t.schema.clone())
             .ok_or_else(|| MlError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    fn view_def(&self, name: &str) -> Option<ViewDef> {
+        self.views.get(name).cloned()
     }
 }
 
@@ -332,7 +350,7 @@ impl Connection {
         let table = table.to_ascii_lowercase();
         let schema = {
             let txn = self.txn.as_ref().expect("txn ensured");
-            let view = TxnView { tables: &txn.tables };
+            let view = TxnView { tables: &txn.tables, views: &txn.views };
             view.table_schema(&table)?
         };
         if cols.len() != schema.len() {
@@ -380,12 +398,14 @@ impl Connection {
 
     fn start_txn(&mut self, explicit: bool) {
         let snapshot = self.store.snapshot();
+        let views = self.db_views.lock().expect("views lock").clone();
         self.txn = Some(ActiveTxn {
             tables: snapshot.tables.clone(),
             base: snapshot,
             writes: TxWrites::default(),
             next_temp_id: u64::MAX / 2,
             explicit,
+            views,
         });
     }
 
@@ -462,6 +482,15 @@ impl Connection {
             ast::Statement::Select(sel) => self.run_select(&sel),
             ast::Statement::Explain(inner) => self.run_explain(*inner),
             ast::Statement::CreateTable { name, columns } => {
+                let lname = name.to_ascii_lowercase();
+                // Tables shadow views at name resolution, so a colliding
+                // CREATE TABLE would silently hide an existing view —
+                // reject it symmetrically with CREATE VIEW's check.
+                if self.txn.as_ref().expect("txn").views.contains_key(&lname)
+                    || self.db_views.lock().expect("views lock").contains_key(&lname)
+                {
+                    return Err(MlError::Catalog(format!("'{name}' already exists as a view")));
+                }
                 let fields: Vec<Field> = columns
                     .iter()
                     .map(|c| {
@@ -473,10 +502,7 @@ impl Connection {
                     })
                     .collect();
                 let schema = Schema::new(fields)?;
-                self.apply_write(WalRecord::CreateTable {
-                    name: name.to_ascii_lowercase(),
-                    schema,
-                })?;
+                self.apply_write(WalRecord::CreateTable { name: lname, schema })?;
                 Ok(QueryResult::empty(0))
             }
             ast::Statement::DropTable { name, if_exists } => {
@@ -491,6 +517,54 @@ impl Connection {
                 self.apply_write(WalRecord::DropTable { name: lname })?;
                 Ok(QueryResult::empty(0))
             }
+            ast::Statement::CreateView { name, columns, query } => {
+                let lname = name.to_ascii_lowercase();
+                let vd = ViewDef { columns, query: *query };
+                {
+                    let txn = self.txn.as_ref().expect("txn");
+                    if txn.tables.contains_key(&lname) {
+                        return Err(MlError::Catalog(format!(
+                            "'{name}' already exists as a table"
+                        )));
+                    }
+                    // Validate eagerly: the definition must bind, and a
+                    // rename list must match the output width.
+                    let view = TxnView { tables: &txn.tables, views: &txn.views };
+                    let plan = Binder::new(&view).bind_select(&vd.query)?;
+                    if let Some(cols) = &vd.columns {
+                        if cols.len() != plan.schema().len() {
+                            return Err(MlError::Bind(format!(
+                                "view '{name}' selects {} column(s) but {} alias(es) were given",
+                                plan.schema().len(),
+                                cols.len()
+                            )));
+                        }
+                    }
+                }
+                // Check-and-insert atomically against the *shared* map, so
+                // two connections racing on the same name cannot both
+                // succeed (the second would silently replace the first).
+                {
+                    let mut shared = self.db_views.lock().expect("views lock");
+                    if shared.contains_key(&lname)
+                        || self.txn.as_ref().expect("txn").views.contains_key(&lname)
+                    {
+                        return Err(MlError::Catalog(format!("view '{name}' already exists")));
+                    }
+                    shared.insert(lname.clone(), vd.clone());
+                }
+                self.txn.as_mut().expect("txn").views.insert(lname, vd);
+                Ok(QueryResult::empty(0))
+            }
+            ast::Statement::DropView { name, if_exists } => {
+                let lname = name.to_ascii_lowercase();
+                let known = self.txn.as_mut().expect("txn").views.remove(&lname).is_some();
+                let shared = self.db_views.lock().expect("views lock").remove(&lname).is_some();
+                if !known && !shared && !if_exists {
+                    return Err(MlError::Catalog(format!("unknown view '{name}'")));
+                }
+                Ok(QueryResult::empty(0))
+            }
             ast::Statement::Insert { table, columns, rows } => {
                 self.run_insert(&table, columns.as_deref(), &rows)
             }
@@ -502,7 +576,8 @@ impl Connection {
                 let lname = table.to_ascii_lowercase();
                 let (col_idx, meta) = {
                     let txn = self.txn.as_ref().expect("txn");
-                    let meta = TxnView { tables: &txn.tables }.table_meta(&lname)?;
+                    let meta =
+                        TxnView { tables: &txn.tables, views: &txn.views }.table_meta(&lname)?;
                     let idx = meta
                         .schema
                         .index_of(&column)
@@ -535,7 +610,7 @@ impl Connection {
     fn run_select(&mut self, sel: &ast::SelectStmt) -> Result<QueryResult> {
         let (chunk, names, types, counters) = {
             let txn = self.txn.as_ref().expect("txn");
-            let view = TxnView { tables: &txn.tables };
+            let view = TxnView { tables: &txn.tables, views: &txn.views };
             let plan = Binder::new(&view).bind_select(sel)?;
             let plan = opt::optimize(plan, self.opt_flags, &view, &view)?;
             // The store's paging manager supplies the memory budget when
@@ -557,7 +632,7 @@ impl Connection {
             return Err(MlError::Unsupported("EXPLAIN is only supported for SELECT".into()));
         };
         let txn = self.txn.as_ref().expect("txn");
-        let view = TxnView { tables: &txn.tables };
+        let view = TxnView { tables: &txn.tables, views: &txn.views };
         let plan = Binder::new(&view).bind_select(&sel)?;
         let plan = opt::optimize(plan, self.opt_flags, &view, &view)?;
         let text = mal::explain(&plan, &self.exec_opts, Some(&view));
@@ -581,7 +656,7 @@ impl Connection {
         let lname = table.to_ascii_lowercase();
         let schema = {
             let txn = self.txn.as_ref().expect("txn");
-            TxnView { tables: &txn.tables }.table_schema(&lname)?
+            TxnView { tables: &txn.tables, views: &txn.views }.table_schema(&lname)?
         };
         // Map provided columns to schema positions.
         let positions: Vec<usize> = match columns {
@@ -638,7 +713,7 @@ impl Connection {
     /// Physical ids of visible rows matching `filter`.
     fn matching_rows(&self, meta: &TableMeta, filter: Option<&ast::Expr>) -> Result<Vec<u32>> {
         let txn = self.txn.as_ref().expect("txn");
-        let view = TxnView { tables: &txn.tables };
+        let view = TxnView { tables: &txn.tables, views: &txn.views };
         let deleted = meta.data.deleted.as_deref();
         let visible = |r: u32| deleted.is_none_or(|d| !d[r as usize]);
         match filter {
@@ -659,7 +734,7 @@ impl Connection {
         let lname = table.to_ascii_lowercase();
         let meta = {
             let txn = self.txn.as_ref().expect("txn");
-            TxnView { tables: &txn.tables }.table_meta(&lname)?
+            TxnView { tables: &txn.tables, views: &txn.views }.table_meta(&lname)?
         };
         let rows = self.matching_rows(&meta, filter)?;
         let n = rows.len() as u64;
@@ -680,7 +755,7 @@ impl Connection {
         let lname = table.to_ascii_lowercase();
         let meta = {
             let txn = self.txn.as_ref().expect("txn");
-            TxnView { tables: &txn.tables }.table_meta(&lname)?
+            TxnView { tables: &txn.tables, views: &txn.views }.table_meta(&lname)?
         };
         let rows = self.matching_rows(&meta, filter)?;
         if rows.is_empty() {
@@ -690,7 +765,7 @@ impl Connection {
         let mut set_exprs: HashMap<usize, expr::BExpr> = HashMap::new();
         {
             let txn = self.txn.as_ref().expect("txn");
-            let view = TxnView { tables: &txn.tables };
+            let view = TxnView { tables: &txn.tables, views: &txn.views };
             let binder = Binder::new(&view);
             for (col, e) in sets {
                 let idx = meta

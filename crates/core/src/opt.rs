@@ -167,7 +167,7 @@ fn extract_join_keys(p: Plan) -> Result<Plan> {
     Ok(match p {
         Plan::Join { left, right, kind, mut left_keys, mut right_keys, residual, schema } => {
             let left = Box::new(extract_join_keys(*left)?);
-            let right = Box::new(extract_join_keys(*right)?);
+            let mut right = Box::new(extract_join_keys(*right)?);
             let nleft = left.schema().len();
             let mut rest = Vec::new();
             if let Some(res) = residual {
@@ -179,6 +179,34 @@ fn extract_join_keys(p: Plan) -> Result<Plan> {
                         }
                         None => rest.push(c),
                     }
+                }
+            }
+            // LEFT JOIN: ON conjuncts touching only the build side
+            // restrict which rows can match (never which probe rows
+            // survive) — sink them into the right input (Q13's
+            // `o_comment NOT LIKE ...`).
+            if kind == PJoinKind::Left {
+                let mut keep = Vec::new();
+                let mut sank = false;
+                for c in rest {
+                    let mut cols = Vec::new();
+                    c.collect_cols(&mut cols);
+                    if !cols.is_empty() && cols.iter().all(|&x| x >= nleft) {
+                        let pred = c.remap_cols(&|x| x - nleft);
+                        right = Box::new(Plan::Filter { input: right, pred });
+                        sank = true;
+                    } else {
+                        keep.push(c);
+                    }
+                }
+                rest = keep;
+                // A key-less LEFT join with no residual is the binder's
+                // *scalar join* shape (right side must hold ≤ 1 row).
+                // Sinking must not manufacture it from a user LEFT JOIN —
+                // keep a vacuous residual so the executors take the
+                // general cross-pair + pad path.
+                if sank && left_keys.is_empty() && rest.is_empty() {
+                    rest.push(BExpr::Lit(Value::Bool(true)));
                 }
             }
             let kind = if kind == PJoinKind::Cross && !left_keys.is_empty() {
@@ -368,7 +396,10 @@ fn push_one_filter(p: Plan, pred: BExpr) -> Result<Plan> {
     }
 }
 
-fn substitute(pred: &BExpr, exprs: &[BExpr]) -> BExpr {
+/// Replace every `ColRef { idx }` in `pred` with `exprs[idx]` (also used
+/// by the binder to recompute a subquery's projected expression over
+/// joined aggregate columns).
+pub(crate) fn substitute(pred: &BExpr, exprs: &[BExpr]) -> BExpr {
     match pred {
         BExpr::ColRef { idx, .. } => exprs[*idx].clone(),
         BExpr::Lit(v) => BExpr::Lit(v.clone()),

@@ -29,14 +29,14 @@
 
 use crate::agg::{hash_group, hash_group_at, AggState, GroupTable};
 use crate::exec::{
-    bare_scan_hash_entry, exec_scan_streaming, exec_values, project_cols, Chunk, ExecContext,
-    ExecOptions,
+    bare_scan_hash_entry, exec_scan_streaming, exec_values, finish_join_output, project_cols,
+    Chunk, ExecContext, ExecOptions,
 };
 use crate::expr::{AggSpec, BExpr};
 use crate::join::{build_hash_map, probe_hash, probe_index};
 use crate::kernels::{bool_to_sel, eval};
 use crate::plan::{OutCol, PJoinKind, Plan};
-use crate::rows::{col_cmp2, take_padded};
+use crate::rows::col_cmp2;
 use crate::sort::{sort_perm, topn_perm};
 use crate::spill::{PartitionWriter, SpillFile, SpillReader, MAX_SPILL_DEPTH};
 use monetlite_storage::index::HashIndex;
@@ -322,9 +322,25 @@ fn apply_ops(mut chunk: Chunk, ops: &[PipeOp], ctx: &ExecContext) -> Result<Chun
                 };
             }
             PipeOp::Probe { kind, left_keys, residual, build_chunk, build_keys, build } => {
+                // Pair-wise residual semantics (semi/anti/left) and the
+                // scalar (key-less left) join reason over probe-row
+                // groups, so they need materialised (logical == physical)
+                // probe rows; the common inner/cross shapes keep the
+                // candidate fast path.
+                let pairwise = (residual.is_some()
+                    && matches!(kind, PJoinKind::Semi | PJoinKind::Anti | PJoinKind::Left))
+                    || (*kind == PJoinKind::Left && left_keys.is_empty());
+                if pairwise {
+                    chunk = chunk.materialize();
+                }
                 let base_sel = chunk.sel.clone();
+                let probe_kind = crate::exec::pair_probe_kind(*kind, *residual);
                 let mut sel = if *kind == PJoinKind::Cross || left_keys.is_empty() {
-                    crate::join::cross_join(chunk.rows, build_chunk.rows)
+                    if *kind == PJoinKind::Left && residual.is_none() {
+                        crate::join::scalar_left_pairs(chunk.rows, build_chunk.rows)?
+                    } else {
+                        crate::join::cross_join(chunk.rows, build_chunk.rows)
+                    }
                 } else {
                     // eval_shared: bare-column probe keys alias the
                     // vector's columns (no per-vector key copy); under a
@@ -342,8 +358,8 @@ fn apply_ops(mut chunk: Chunk, ops: &[PipeOp], ctx: &ExecContext) -> Result<Chun
                     let lrefs: Vec<&Bat> = lkey_bats.iter().map(|a| &**a).collect();
                     let rrefs: Vec<&Bat> = build_keys.iter().map(|a| &**a).collect();
                     match build {
-                        Build::Transient(map) => probe_hash(&lrefs, &rrefs, map, *kind),
-                        Build::Index(idx) => probe_index(&lrefs, &rrefs, idx, *kind),
+                        Build::Transient(map) => probe_hash(&lrefs, &rrefs, map, probe_kind),
+                        Build::Index(idx) => probe_index(&lrefs, &rrefs, idx, probe_kind),
                     }
                 };
                 // The probe emitted logical positions; rewrite them to
@@ -352,12 +368,14 @@ fn apply_ops(mut chunk: Chunk, ops: &[PipeOp], ctx: &ExecContext) -> Result<Chun
                 if let Some(s) = &base_sel {
                     sel.compose_lsel(s);
                 }
-                chunk = materialize_probe_output(
+                let probe_rows = chunk.rows;
+                chunk = finish_join_output(
                     &chunk.cols,
                     &build_chunk.cols,
-                    &sel,
+                    sel,
                     *kind,
                     *residual,
+                    probe_rows,
                 )?;
             }
         }
@@ -398,37 +416,6 @@ fn filter_chunk(chunk: Chunk, pred: &BExpr) -> Result<Chunk> {
         return Ok(narrowed.materialize());
     }
     Ok(narrowed)
-}
-
-/// Materialise one probed vector: gather probe-side rows by `lsel`,
-/// NULL-pad build-side rows by `rsel` (skipped for semi/anti), then apply
-/// the residual predicate. Shared by the in-memory probe operator and the
-/// grace join's partition probe so the two code paths cannot diverge.
-fn materialize_probe_output(
-    probe_cols: &[Arc<Bat>],
-    build_cols: &[Arc<Bat>],
-    sel: &crate::join::JoinSel,
-    kind: PJoinKind,
-    residual: Option<&BExpr>,
-) -> Result<Chunk> {
-    let semi = matches!(kind, PJoinKind::Semi | PJoinKind::Anti);
-    let mut cols: Vec<Arc<Bat>> =
-        Vec::with_capacity(probe_cols.len() + if semi { 0 } else { build_cols.len() });
-    for c in probe_cols {
-        cols.push(Arc::new(c.take(&sel.lsel)));
-    }
-    if !semi {
-        for c in build_cols {
-            cols.push(Arc::new(take_padded(c, &sel.rsel)));
-        }
-    }
-    let mut chunk = Chunk::dense(cols, sel.lsel.len());
-    if let Some(res) = residual {
-        let mask = eval(res, &chunk.cols, chunk.rows)?;
-        let keep = bool_to_sel(&mask)?;
-        chunk = chunk.take(&keep);
-    }
-    Ok(chunk)
 }
 
 // ---------------------------------------------------------------------------
@@ -1045,16 +1032,16 @@ fn grace_join_partition(
     let bcols = &loaded.cols[..ncols];
     let bkeyrefs: Vec<&Bat> = loaded.cols[ncols..].iter().map(|a| &**a).collect();
     let map = build_hash_map(&bkeyrefs);
+    let probe_kind = crate::exec::pair_probe_kind(kind, residual);
     let mut r = probe.into_reader()?;
     while let Some(c) = r.next()? {
         ctx.check_deadline()?;
         let pncols = c.cols.len() - nkeys;
         let pkeyrefs: Vec<&Bat> = c.cols[pncols..].iter().map(|a| &**a).collect();
-        let sel = probe_hash(&pkeyrefs, &bkeyrefs, &map, kind);
-        if sel.lsel.is_empty() {
-            continue;
-        }
-        let chunk = materialize_probe_output(&c.cols[..pncols], bcols, &sel, kind, residual)?;
+        let sel = probe_hash(&pkeyrefs, &bkeyrefs, &map, probe_kind);
+        // No early-out on empty pair lists: anti joins (and left padding)
+        // emit probe rows precisely when nothing matched.
+        let chunk = finish_join_output(&c.cols[..pncols], bcols, sel, kind, residual, c.rows)?;
         if chunk.rows > 0 {
             out.push(chunk);
         }

@@ -28,7 +28,7 @@ pub mod scalar;
 pub mod table;
 pub mod volcano;
 
-use monetlite::bind::{Binder, CatalogAccess};
+use monetlite::bind::{Binder, CatalogAccess, ViewDef};
 use monetlite::opt::{self, OptFlags, Stats};
 use monetlite_sql::ast;
 use monetlite_types::{Field, LogicalType, MlError, Result, Schema, Value};
@@ -90,6 +90,8 @@ pub struct RowDb {
 
 struct Inner {
     tables: HashMap<String, RowTable>,
+    /// View definitions (database-lifetime, not persisted).
+    views: HashMap<String, ViewDef>,
     /// Kept alive for anonymous spill files.
     _tmp: Option<tempfile::TempDir>,
 }
@@ -109,6 +111,7 @@ pub struct RowsResult {
 
 struct CatalogView<'a> {
     tables: &'a HashMap<String, RowTable>,
+    views: &'a HashMap<String, ViewDef>,
 }
 
 impl CatalogAccess for CatalogView<'_> {
@@ -117,6 +120,10 @@ impl CatalogAccess for CatalogView<'_> {
             .get(&name.to_ascii_lowercase())
             .map(|t| t.schema().clone())
             .ok_or_else(|| MlError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    fn view_def(&self, name: &str) -> Option<ViewDef> {
+        self.views.get(name).cloned()
     }
 }
 
@@ -160,7 +167,10 @@ impl RowDb {
         } else {
             None
         };
-        Ok(RowDb { inner: Mutex::new(Inner { tables: HashMap::new(), _tmp: tmp }), opts })
+        Ok(RowDb {
+            inner: Mutex::new(Inner { tables: HashMap::new(), views: HashMap::new(), _tmp: tmp }),
+            opts,
+        })
     }
 
     /// The configured options.
@@ -219,6 +229,9 @@ impl RowDb {
                 if g.tables.contains_key(&lname) {
                     return Err(MlError::Catalog(format!("table '{name}' already exists")));
                 }
+                if g.views.contains_key(&lname) {
+                    return Err(MlError::Catalog(format!("'{name}' already exists as a view")));
+                }
                 let spill = self.spill_dir(&g).join(format!("{lname}.rsdb"));
                 g.tables.insert(lname, RowTable::new(schema, spill, self.opts.page_cache_pages)?);
                 Ok(empty(0))
@@ -243,6 +256,42 @@ impl RowDb {
                 let n = self.run_update(&table, &sets, filter.as_ref())?;
                 Ok(empty(n))
             }
+            ast::Statement::CreateView { name, columns, query } => {
+                let lname = name.to_ascii_lowercase();
+                let vd = ViewDef { columns, query: *query };
+                let mut g = self.inner.lock();
+                if g.tables.contains_key(&lname) {
+                    return Err(MlError::Catalog(format!("'{name}' already exists as a table")));
+                }
+                if g.views.contains_key(&lname) {
+                    return Err(MlError::Catalog(format!("view '{name}' already exists")));
+                }
+                {
+                    // Validate the definition eagerly, like the columnar
+                    // engine does.
+                    let view = CatalogView { tables: &g.tables, views: &g.views };
+                    let plan = Binder::new(&view).bind_select(&vd.query)?;
+                    if let Some(cols) = &vd.columns {
+                        if cols.len() != plan.schema().len() {
+                            return Err(MlError::Bind(format!(
+                                "view '{name}' selects {} column(s) but {} alias(es) were given",
+                                plan.schema().len(),
+                                cols.len()
+                            )));
+                        }
+                    }
+                }
+                g.views.insert(lname, vd);
+                Ok(empty(0))
+            }
+            ast::Statement::DropView { name, if_exists } => {
+                let mut g = self.inner.lock();
+                let removed = g.views.remove(&name.to_ascii_lowercase()).is_some();
+                if !removed && !if_exists {
+                    return Err(MlError::Catalog(format!("unknown view '{name}'")));
+                }
+                Ok(empty(0))
+            }
             ast::Statement::CreateIndex { .. } => Ok(empty(0)), // B-tree exists anyway
             ast::Statement::Begin | ast::Statement::Commit | ast::Statement::Rollback => {
                 Ok(empty(0)) // autocommit engine: transaction statements are no-ops
@@ -252,7 +301,7 @@ impl RowDb {
                     return Err(MlError::Unsupported("EXPLAIN requires SELECT".into()));
                 };
                 let g = self.inner.lock();
-                let view = CatalogView { tables: &g.tables };
+                let view = CatalogView { tables: &g.tables, views: &g.views };
                 let plan = Binder::new(&view).bind_select(&sel)?;
                 let plan = opt::optimize(plan, OptFlags::default(), &view, &view)?;
                 let text = plan.render();
@@ -268,7 +317,7 @@ impl RowDb {
 
     fn run_select(&self, sel: &ast::SelectStmt) -> Result<RowsResult> {
         let g = self.inner.lock();
-        let view = CatalogView { tables: &g.tables };
+        let view = CatalogView { tables: &g.tables, views: &g.views };
         let plan = Binder::new(&view).bind_select(sel)?;
         let plan = opt::optimize(plan, self.opts.opt_flags, &view, &view)?;
         let deadline = self.opts.timeout.map(|t| Instant::now() + t);
@@ -352,7 +401,7 @@ impl RowDb {
         let lname = table.to_ascii_lowercase();
         let schema = {
             let g = self.inner.lock();
-            CatalogView { tables: &g.tables }.table_schema(&lname)?
+            CatalogView { tables: &g.tables, views: &g.views }.table_schema(&lname)?
         };
         let positions: Vec<usize> = match columns {
             None => (0..schema.len()).collect(),
@@ -396,7 +445,7 @@ impl RowDb {
         let lname = table.to_ascii_lowercase();
         let pred = {
             let g = self.inner.lock();
-            let view = CatalogView { tables: &g.tables };
+            let view = CatalogView { tables: &g.tables, views: &g.views };
             filter
                 .map(|f| Binder::new(&view).bind_table_expr(&lname, f))
                 .transpose()?
@@ -422,7 +471,7 @@ impl RowDb {
         let lname = table.to_ascii_lowercase();
         let (pred, set_bound, schema) = {
             let g = self.inner.lock();
-            let view = CatalogView { tables: &g.tables };
+            let view = CatalogView { tables: &g.tables, views: &g.views };
             let schema = view.table_schema(&lname)?;
             let binder = Binder::new(&view);
             let pred =

@@ -204,8 +204,23 @@ impl VolcanoExec<'_> {
             if semi_like {
                 return Err(MlError::Execution("semi/anti join requires keys".into()));
             }
+            if kind == PJoinKind::Left && residual.is_none() {
+                // Scalar join (binder-planned key-less LEFT): the right
+                // side holds at most one row; zero rows pad NULL.
+                if rrows.len() > 1 {
+                    return Err(MlError::Execution(format!(
+                        "scalar subquery returned {} rows (at most one expected)",
+                        rrows.len()
+                    )));
+                }
+                for l in &lrows {
+                    out.push(combine(l, rrows.first().map(|r| r.as_slice())));
+                }
+                return Ok(out);
+            }
             let mut ticker = 0u64;
             for l in &lrows {
+                let mut matched = false;
                 for r in &rrows {
                     ticker += 1;
                     if ticker.is_multiple_of(16384) {
@@ -214,8 +229,14 @@ impl VolcanoExec<'_> {
                     }
                     let row = combine(l, Some(r));
                     if residual_ok(&row)? {
+                        matched = true;
                         out.push(row);
                     }
+                }
+                // Key-less LEFT with a residual: pad probe rows whose
+                // matches all failed.
+                if kind == PJoinKind::Left && !matched {
+                    out.push(combine(l, None));
                 }
             }
             return Ok(out);

@@ -7,6 +7,23 @@ use monetlite_types::{LogicalType, Value};
 pub enum Statement {
     /// SELECT query.
     Select(Box<SelectStmt>),
+    /// CREATE VIEW name [(columns)] AS SELECT ... — the view's text is
+    /// expanded at bind time like a named derived table (Q15's shape).
+    CreateView {
+        /// View name.
+        name: String,
+        /// Optional output column rename list.
+        columns: Option<Vec<String>>,
+        /// The defining query.
+        query: Box<SelectStmt>,
+    },
+    /// DROP VIEW.
+    DropView {
+        /// View name.
+        name: String,
+        /// IF EXISTS given.
+        if_exists: bool,
+    },
     /// CREATE TABLE.
     CreateTable {
         /// Table name.
@@ -80,9 +97,23 @@ pub struct ColumnDef {
     pub nullable: bool,
 }
 
+/// One `WITH name [(cols)] AS (SELECT ...)` common table expression.
+/// Non-recursive: a CTE may reference only CTEs defined before it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cte {
+    /// CTE name.
+    pub name: String,
+    /// Optional output column rename list.
+    pub columns: Option<Vec<String>>,
+    /// The defining query.
+    pub query: SelectStmt,
+}
+
 /// A SELECT query body.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SelectStmt {
+    /// Leading WITH clause (visible to this query and its subqueries).
+    pub ctes: Vec<Cte>,
     /// SELECT DISTINCT.
     pub distinct: bool,
     /// Projection list.
@@ -133,6 +164,9 @@ pub enum TableRef {
         query: Box<SelectStmt>,
         /// Mandatory alias.
         alias: String,
+        /// Optional output column rename list: `(SELECT ...) AS t (a, b)`
+        /// (TPC-H Q13's shape).
+        columns: Option<Vec<String>>,
     },
     /// Explicit JOIN.
     Join {
@@ -407,9 +441,133 @@ impl Expr {
     }
 }
 
+/// Render expressions back as SQL text. Used by binder diagnostics so an
+/// unsupported construct is reported as the SQL fragment the user wrote,
+/// not a debug dump of the AST.
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column { table: None, name } => write!(f, "{name}"),
+            Expr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Interval { value, unit } => {
+                let u = match unit {
+                    IntervalUnit::Day => "day",
+                    IntervalUnit::Month => "month",
+                    IntervalUnit::Year => "year",
+                };
+                write!(f, "interval '{value}' {u}")
+            }
+            Expr::Binary { op, left, right } => {
+                let o = match op {
+                    BinOp::Or => "or",
+                    BinOp::And => "and",
+                    BinOp::Eq => "=",
+                    BinOp::NotEq => "<>",
+                    BinOp::Lt => "<",
+                    BinOp::LtEq => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::GtEq => ">=",
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Mod => "%",
+                };
+                write!(f, "({left} {o} {right})")
+            }
+            Expr::Not(e) => write!(f, "not {e}"),
+            Expr::Neg(e) => write!(f, "-{e}"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} is {}null", if *negated { "not " } else { "" })
+            }
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "{expr} {}like '{pattern}'", if *negated { "not " } else { "" })
+            }
+            Expr::Between { expr, low, high, negated } => {
+                write!(f, "{expr} {}between {low} and {high}", if *negated { "not " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "{expr} {}in (", if *negated { "not " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::InSubquery { expr, negated, .. } => {
+                write!(f, "{expr} {}in (select ...)", if *negated { "not " } else { "" })
+            }
+            Expr::Exists { negated, .. } => {
+                write!(f, "{}exists (select ...)", if *negated { "not " } else { "" })
+            }
+            Expr::ScalarSubquery(_) => write!(f, "(select ...)"),
+            Expr::Case { branches, else_expr } => {
+                write!(f, "case")?;
+                for (c, v) in branches {
+                    write!(f, " when {c} then {v}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " else {e}")?;
+                }
+                write!(f, " end")
+            }
+            Expr::Agg { func, arg, distinct } => {
+                let name = format!("{func:?}").to_ascii_lowercase();
+                match arg {
+                    None => write!(f, "{name}(*)"),
+                    Some(a) => {
+                        write!(f, "{name}({}{a})", if *distinct { "distinct " } else { "" })
+                    }
+                }
+            }
+            Expr::Extract { field, expr } => {
+                let p = match field {
+                    DateField::Year => "year",
+                    DateField::Month => "month",
+                    DateField::Day => "day",
+                };
+                write!(f, "extract({p} from {expr})")
+            }
+            Expr::Cast { expr, ty } => write!(f, "cast({expr} as {ty})"),
+            Expr::Function { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn expr_display_is_sql() {
+        let e = Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(Expr::Column { table: Some("l2".into()), name: "l_orderkey".into() }),
+            right: Box::new(Expr::col("l_orderkey")),
+        };
+        assert_eq!(e.to_string(), "(l2.l_orderkey = l_orderkey)");
+        let like = Expr::Like {
+            expr: Box::new(Expr::col("s_comment")),
+            pattern: "%Customer%Complaints%".into(),
+            negated: true,
+        };
+        assert_eq!(like.to_string(), "s_comment not like '%Customer%Complaints%'");
+    }
 
     #[test]
     fn contains_aggregate_walks_tree() {

@@ -6,12 +6,14 @@
 //! ([`parser`]).
 //!
 //! The dialect covers what the paper's workloads require (§4): the full
-//! TPC-H Q1–Q10 feature set — multi-way joins (inner and left outer),
+//! TPC-H Q1–Q22 feature set — multi-way joins (inner and left outer),
 //! grouped aggregation with HAVING, ORDER BY/LIMIT, scalar and
-//! EXISTS/IN subqueries (correlated), CASE, LIKE, BETWEEN, EXTRACT and
-//! DATE/INTERVAL arithmetic — plus the DDL/DML surface of an embedded
-//! store: CREATE/DROP TABLE, CREATE \[ORDER\] INDEX, INSERT/UPDATE/DELETE,
-//! and explicit transactions.
+//! EXISTS/IN subqueries (correlated), `WITH` common table expressions,
+//! derived tables with column alias lists, CASE, LIKE, BETWEEN,
+//! `substring(x FROM a FOR b)`, EXTRACT and DATE/INTERVAL arithmetic —
+//! plus the DDL/DML surface of an embedded store: CREATE/DROP TABLE,
+//! CREATE/DROP VIEW, CREATE \[ORDER\] INDEX, INSERT/UPDATE/DELETE, and
+//! explicit transactions.
 
 pub mod ast;
 pub mod lexer;

@@ -132,7 +132,7 @@ impl Parser {
     // -- statements ---------------------------------------------------------
 
     fn statement(&mut self) -> Result<Statement> {
-        if self.peek_kw("select") {
+        if self.peek_kw("select") || self.peek_kw("with") {
             return Ok(Statement::Select(Box::new(self.select_stmt()?)));
         }
         if self.eat_kw("explain") {
@@ -142,7 +142,10 @@ impl Parser {
             return self.create_stmt();
         }
         if self.eat_kw("drop") {
-            self.expect_kw("table")?;
+            let is_view = self.eat_kw("view");
+            if !is_view {
+                self.expect_kw("table")?;
+            }
             let if_exists = if self.eat_kw("if") {
                 self.expect_kw("exists")?;
                 true
@@ -150,7 +153,11 @@ impl Parser {
                 false
             };
             let name = self.ident()?;
-            return Ok(Statement::DropTable { name, if_exists });
+            return Ok(if is_view {
+                Statement::DropView { name, if_exists }
+            } else {
+                Statement::DropTable { name, if_exists }
+            });
         }
         if self.eat_kw("insert") {
             return self.insert_stmt();
@@ -223,6 +230,13 @@ impl Parser {
             self.expect_kind(&TokenKind::RParen, "')'")?;
             return Ok(Statement::CreateTable { name, columns });
         }
+        if self.eat_kw("view") {
+            let name = self.ident()?;
+            let columns = self.opt_column_alias_list()?;
+            self.expect_kw("as")?;
+            let query = self.select_stmt()?;
+            return Ok(Statement::CreateView { name, columns, query: Box::new(query) });
+        }
         let ordered = self.eat_kw("order");
         if self.eat_kw("index") {
             let name = self.ident()?;
@@ -233,7 +247,23 @@ impl Parser {
             self.expect_kind(&TokenKind::RParen, "')'")?;
             return Ok(Statement::CreateIndex { name, table, column, ordered });
         }
-        Err(self.err("expected TABLE or [ORDER] INDEX after CREATE"))
+        Err(self.err("expected TABLE, VIEW or [ORDER] INDEX after CREATE"))
+    }
+
+    /// Parse an optional parenthesised identifier list: `(a, b, c)`.
+    fn opt_column_alias_list(&mut self) -> Result<Option<Vec<String>>> {
+        if !self.eat_kind(&TokenKind::LParen) {
+            return Ok(None);
+        }
+        let mut cols = Vec::new();
+        loop {
+            cols.push(self.ident()?);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(&TokenKind::RParen, "')'")?;
+        Ok(Some(cols))
     }
 
     fn insert_stmt(&mut self) -> Result<Statement> {
@@ -322,7 +352,33 @@ impl Parser {
 
     // -- SELECT -------------------------------------------------------------
 
+    /// True when the upcoming tokens start a (sub)query.
+    fn peek_select_start(&self) -> bool {
+        self.peek_kw("select") || self.peek_kw("with")
+    }
+
     fn select_stmt(&mut self) -> Result<SelectStmt> {
+        let mut ctes = Vec::new();
+        if self.eat_kw("with") {
+            loop {
+                let name = self.ident()?;
+                let columns = self.opt_column_alias_list()?;
+                self.expect_kw("as")?;
+                self.expect_kind(&TokenKind::LParen, "'('")?;
+                let query = self.select_stmt()?;
+                self.expect_kind(&TokenKind::RParen, "')'")?;
+                ctes.push(Cte { name, columns, query });
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut stmt = self.select_body()?;
+        stmt.ctes = ctes;
+        Ok(stmt)
+    }
+
+    fn select_body(&mut self) -> Result<SelectStmt> {
         self.expect_kw("select")?;
         let distinct = self.eat_kw("distinct");
         if !distinct {
@@ -375,6 +431,7 @@ impl Parser {
         }
         let limit = if self.eat_kw("limit") { Some(self.int_literal()? as u64) } else { None };
         Ok(SelectStmt {
+            ctes: vec![],
             distinct,
             projections,
             from,
@@ -448,12 +505,13 @@ impl Parser {
 
     fn table_factor(&mut self) -> Result<TableRef> {
         if self.eat_kind(&TokenKind::LParen) {
-            if self.peek_kw("select") {
+            if self.peek_select_start() {
                 let query = self.select_stmt()?;
                 self.expect_kind(&TokenKind::RParen, "')'")?;
                 self.eat_kw("as");
                 let alias = self.ident()?;
-                return Ok(TableRef::Subquery { query: Box::new(query), alias });
+                let columns = self.opt_column_alias_list()?;
+                return Ok(TableRef::Subquery { query: Box::new(query), alias, columns });
             }
             // Parenthesised join tree.
             let inner = self.table_ref()?;
@@ -542,7 +600,7 @@ impl Parser {
         }
         if self.eat_kw("in") {
             self.expect_kind(&TokenKind::LParen, "'('")?;
-            if self.peek_kw("select") {
+            if self.peek_select_start() {
                 let q = self.select_stmt()?;
                 self.expect_kind(&TokenKind::RParen, "')'")?;
                 return Ok(Expr::InSubquery { expr: Box::new(left), query: Box::new(q), negated });
@@ -634,7 +692,7 @@ impl Parser {
             }
             TokenKind::LParen => {
                 self.advance();
-                if self.peek_kw("select") {
+                if self.peek_select_start() {
                     let q = self.select_stmt()?;
                     self.expect_kind(&TokenKind::RParen, "')'")?;
                     return Ok(Expr::ScalarSubquery(Box::new(q)));
@@ -744,6 +802,28 @@ impl Parser {
             }
             _ => {}
         }
+        // SQL-standard substring: substring(x FROM a [FOR b]). The
+        // comma-argument form falls through to the generic call path.
+        if (word == "substring" || word == "substr")
+            && self.toks.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen)
+        {
+            self.advance(); // name
+            self.advance(); // (
+            let s = self.expr()?;
+            let mut args = vec![s];
+            if self.eat_kw("from") {
+                args.push(self.expr()?);
+                if self.eat_kw("for") {
+                    args.push(self.expr()?);
+                }
+            } else {
+                while self.eat_kind(&TokenKind::Comma) {
+                    args.push(self.expr()?);
+                }
+            }
+            self.expect_kind(&TokenKind::RParen, "')'")?;
+            return Ok(Expr::Function { name: "substring".into(), args });
+        }
         // Aggregate or plain function call?
         if self.toks.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
             if let Some(func) = agg_func(&word) {
@@ -847,6 +927,7 @@ fn is_clause_keyword(s: &str) -> bool {
             | "is"
             | "set"
             | "values"
+            | "with"
     )
 }
 
@@ -1118,6 +1199,103 @@ mod tests {
         }
         assert!(parse_statement("SELEC 1").is_err());
         assert!(parse_statement("SELECT * FROM t WHERE a NOT 5").is_err());
+    }
+
+    #[test]
+    fn with_cte_parses() {
+        let s = sel("WITH revenue (supplier_no, total_revenue) AS \
+             (SELECT l_suppkey, sum(l_extendedprice) FROM lineitem GROUP BY l_suppkey) \
+             SELECT supplier_no FROM revenue WHERE total_revenue > 100");
+        assert_eq!(s.ctes.len(), 1);
+        assert_eq!(s.ctes[0].name, "revenue");
+        assert_eq!(
+            s.ctes[0].columns.as_deref(),
+            Some(&["supplier_no".to_string(), "total_revenue".to_string()][..])
+        );
+        assert_eq!(s.projections.len(), 1);
+        // Two CTEs, the second referencing the first.
+        let s2 = sel("WITH a AS (SELECT 1 AS x), b AS (SELECT x FROM a) SELECT x FROM b");
+        assert_eq!(s2.ctes.len(), 2);
+    }
+
+    #[test]
+    fn create_and_drop_view_parse() {
+        match parse_statement(
+            "CREATE VIEW revenue0 (supplier_no, total_revenue) AS \
+             SELECT l_suppkey, sum(l_extendedprice) FROM lineitem GROUP BY l_suppkey",
+        )
+        .unwrap()
+        {
+            Statement::CreateView { name, columns, query } => {
+                assert_eq!(name, "revenue0");
+                assert_eq!(columns.unwrap().len(), 2);
+                assert_eq!(query.group_by.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("DROP VIEW revenue0").unwrap(),
+            Statement::DropView { if_exists: false, .. }
+        ));
+        assert!(matches!(
+            parse_statement("DROP VIEW IF EXISTS revenue0").unwrap(),
+            Statement::DropView { if_exists: true, .. }
+        ));
+    }
+
+    #[test]
+    fn substring_from_for_parses() {
+        let s = sel("SELECT substring(c_phone from 1 for 2) FROM customer");
+        match &s.projections[0] {
+            SelectItem::Expr { expr: Expr::Function { name, args }, .. } => {
+                assert_eq!(name, "substring");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        // FROM-only form (to end of string) and the comma form.
+        let s2 = sel("SELECT substring(x from 3), substr(x, 1, 2) FROM t");
+        match &s2.projections[0] {
+            SelectItem::Expr { expr: Expr::Function { args, .. }, .. } => assert_eq!(args.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        match &s2.projections[1] {
+            SelectItem::Expr { expr: Expr::Function { name, args }, .. } => {
+                assert_eq!(name, "substring");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_table_column_aliases() {
+        let s = sel("SELECT c_count, count(*) FROM (SELECT c_custkey, count(o_orderkey) \
+             FROM customer GROUP BY c_custkey) AS c_orders (c_custkey, c_count) GROUP BY c_count");
+        match &s.from[0] {
+            TableRef::Subquery { alias, columns, .. } => {
+                assert_eq!(alias, "c_orders");
+                assert_eq!(
+                    columns.as_deref(),
+                    Some(&["c_custkey".to_string(), "c_count".to_string()][..])
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_of_and_groups_parse() {
+        // Q19's shape: three OR'd parenthesised AND groups over mixed
+        // columns.
+        let s = sel("SELECT sum(p) FROM part, lineitem WHERE \
+             (p_partkey = l_partkey AND p_brand = 'Brand#12' AND l_quantity >= 1) \
+             OR (p_partkey = l_partkey AND p_brand = 'Brand#23' AND l_quantity >= 10) \
+             OR (p_partkey = l_partkey AND p_brand = 'Brand#34' AND l_quantity >= 20)");
+        match s.where_clause.unwrap() {
+            Expr::Binary { op: BinOp::Or, .. } => {}
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

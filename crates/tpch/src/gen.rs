@@ -111,7 +111,7 @@ const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BR
 const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINERS1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 const CONTAINERS2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
-const COLORS: [&str; 17] = [
+const COLORS: [&str; 18] = [
     "almond",
     "antique",
     "aquamarine",
@@ -127,10 +127,14 @@ const COLORS: [&str; 17] = [
     "burnished",
     "chartreuse",
     "chiffon",
+    "forest",
     "green",
     "red",
 ];
-const WORDS: [&str; 16] = [
+const WORDS: [&str; 19] = [
+    "special",
+    "Customer",
+    "Complaints",
     "carefully",
     "quickly",
     "furiously",
@@ -436,7 +440,16 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
     for i in 0..n_orders {
         let okey = (i as i32 + 1) * 4; // sparse keys like dbgen
         o_key.push(okey);
-        o_cust.push(rng.random_range(0..n_customer) as i32 + 1);
+        // dbgen's sparse customer population: custkey % 3 == 0 never
+        // places an order (what gives Q13's zero-order spike and Q22's
+        // no-order customers their rows).
+        let ck = loop {
+            let c = rng.random_range(0..n_customer) as i32 + 1;
+            if c % 3 != 0 {
+                break c;
+            }
+        };
+        o_cust.push(ck);
         let odate = rng.random_range(start..=end - 151);
         o_date.push(odate);
         o_prio.push(Some(PRIORITIES[rng.random_range(0..PRIORITIES.len())].to_string()));

@@ -1,4 +1,5 @@
-//! TPC-H Q1–Q10 SQL text (validation parameters) and the schema DDL.
+//! TPC-H Q1–Q22 SQL text (validation parameters), per-query expected
+//! result shapes, and the schema DDL.
 
 /// CREATE TABLE statements for all eight tables.
 pub const DDL: &str = "
@@ -98,7 +99,128 @@ and l_returnflag = 'R' and c_nationkey = n_nationkey \
 group by c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment \
 order by revenue desc limit 20";
 
-/// SQL text of query `n` (1–10).
+const Q11: &str = "select ps_partkey, sum(ps_supplycost * ps_availqty) as value \
+from partsupp, supplier, nation \
+where ps_suppkey = s_suppkey and s_nationkey = n_nationkey and n_name = 'GERMANY' \
+group by ps_partkey \
+having sum(ps_supplycost * ps_availqty) > \
+(select sum(ps_supplycost * ps_availqty) * 0.0001 from partsupp, supplier, nation \
+    where ps_suppkey = s_suppkey and s_nationkey = n_nationkey and n_name = 'GERMANY') \
+order by value desc, ps_partkey";
+
+const Q12: &str = "select l_shipmode, \
+sum(case when o_orderpriority = '1-URGENT' or o_orderpriority = '2-HIGH' then 1 else 0 end) as high_line_count, \
+sum(case when o_orderpriority <> '1-URGENT' and o_orderpriority <> '2-HIGH' then 1 else 0 end) as low_line_count \
+from orders, lineitem \
+where o_orderkey = l_orderkey and l_shipmode in ('MAIL', 'SHIP') \
+and l_commitdate < l_receiptdate and l_shipdate < l_commitdate \
+and l_receiptdate >= date '1994-01-01' \
+and l_receiptdate < date '1994-01-01' + interval '1' year \
+group by l_shipmode order by l_shipmode";
+
+const Q13: &str = "select c_count, count(*) as custdist from \
+(select c_custkey, count(o_orderkey) from customer \
+left outer join orders on c_custkey = o_custkey \
+and o_comment not like '%special%requests%' \
+group by c_custkey) as c_orders (c_custkey, c_count) \
+group by c_count order by custdist desc, c_count desc";
+
+const Q14: &str = "select 100.00 * sum(case when p_type like 'PROMO%' \
+then l_extendedprice * (1 - l_discount) else 0 end) / \
+sum(l_extendedprice * (1 - l_discount)) as promo_revenue \
+from lineitem, part \
+where l_partkey = p_partkey and l_shipdate >= date '1995-09-01' \
+and l_shipdate < date '1995-09-01' + interval '1' month";
+
+/// Q15's view definition (run before [`sql`]`(15)`, drop with
+/// [`teardown_sql`]). The spec offers the view and WITH variants; we use
+/// the view to exercise CREATE VIEW end to end.
+const Q15_SETUP: &str = "create view revenue0 (supplier_no, total_revenue) as \
+select l_suppkey, sum(l_extendedprice * (1 - l_discount)) from lineitem \
+where l_shipdate >= date '1996-01-01' \
+and l_shipdate < date '1996-01-01' + interval '3' month \
+group by l_suppkey";
+
+const Q15: &str = "select s_suppkey, s_name, s_address, s_phone, total_revenue \
+from supplier, revenue0 \
+where s_suppkey = supplier_no \
+and total_revenue = (select max(total_revenue) from revenue0) \
+order by s_suppkey";
+
+const Q15_TEARDOWN: &str = "drop view revenue0";
+
+const Q16: &str = "select p_brand, p_type, p_size, count(distinct ps_suppkey) as supplier_cnt \
+from partsupp, part \
+where p_partkey = ps_partkey and p_brand <> 'Brand#45' \
+and p_type not like 'MEDIUM POLISHED%' \
+and p_size in (49, 14, 23, 45, 19, 3, 36, 9) \
+and ps_suppkey not in (select s_suppkey from supplier \
+    where s_comment like '%Customer%Complaints%') \
+group by p_brand, p_type, p_size \
+order by supplier_cnt desc, p_brand, p_type, p_size";
+
+const Q17: &str = "select sum(l_extendedprice) / 7.0 as avg_yearly from lineitem, part \
+where p_partkey = l_partkey and p_brand = 'Brand#23' and p_container = 'MED BOX' \
+and l_quantity < (select 0.2 * avg(l_quantity) from lineitem \
+    where l_partkey = p_partkey)";
+
+const Q18: &str = "select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, \
+sum(l_quantity) \
+from customer, orders, lineitem \
+where o_orderkey in (select l_orderkey from lineitem \
+    group by l_orderkey having sum(l_quantity) > 300) \
+and c_custkey = o_custkey and o_orderkey = l_orderkey \
+group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice \
+order by o_totalprice desc, o_orderdate limit 100";
+
+const Q19: &str = "select sum(l_extendedprice * (1 - l_discount)) as revenue \
+from lineitem, part where \
+(p_partkey = l_partkey and p_brand = 'Brand#12' \
+and p_container in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') \
+and l_quantity >= 1 and l_quantity <= 1 + 10 and p_size between 1 and 5 \
+and l_shipmode in ('AIR', 'AIR REG') and l_shipinstruct = 'DELIVER IN PERSON') \
+or \
+(p_partkey = l_partkey and p_brand = 'Brand#23' \
+and p_container in ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') \
+and l_quantity >= 10 and l_quantity <= 10 + 10 and p_size between 1 and 10 \
+and l_shipmode in ('AIR', 'AIR REG') and l_shipinstruct = 'DELIVER IN PERSON') \
+or \
+(p_partkey = l_partkey and p_brand = 'Brand#34' \
+and p_container in ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') \
+and l_quantity >= 20 and l_quantity <= 20 + 10 and p_size between 1 and 15 \
+and l_shipmode in ('AIR', 'AIR REG') and l_shipinstruct = 'DELIVER IN PERSON')";
+
+const Q20: &str = "select s_name, s_address from supplier, nation \
+where s_suppkey in (select ps_suppkey from partsupp \
+    where ps_partkey in (select p_partkey from part where p_name like 'forest%') \
+    and ps_availqty > (select 0.5 * sum(l_quantity) from lineitem \
+        where l_partkey = ps_partkey and l_suppkey = ps_suppkey \
+        and l_shipdate >= date '1994-01-01' \
+        and l_shipdate < date '1994-01-01' + interval '1' year)) \
+and s_nationkey = n_nationkey and n_name = 'CANADA' \
+order by s_name";
+
+const Q21: &str = "select s_name, count(*) as numwait \
+from supplier, lineitem l1, orders, nation \
+where s_suppkey = l1.l_suppkey and o_orderkey = l1.l_orderkey \
+and o_orderstatus = 'F' and l1.l_receiptdate > l1.l_commitdate \
+and exists (select * from lineitem l2 where l2.l_orderkey = l1.l_orderkey \
+    and l2.l_suppkey <> l1.l_suppkey) \
+and not exists (select * from lineitem l3 where l3.l_orderkey = l1.l_orderkey \
+    and l3.l_suppkey <> l1.l_suppkey and l3.l_receiptdate > l3.l_commitdate) \
+and s_nationkey = n_nationkey and n_name = 'SAUDI ARABIA' \
+group by s_name order by numwait desc, s_name limit 100";
+
+const Q22: &str = "select cntrycode, count(*) as numcust, sum(c_acctbal) as totacctbal from \
+(select substring(c_phone from 1 for 2) as cntrycode, c_acctbal from customer \
+where substring(c_phone from 1 for 2) in ('13', '31', '23', '29', '30', '18', '17') \
+and c_acctbal > (select avg(c_acctbal) from customer \
+    where c_acctbal > 0.00 \
+    and substring(c_phone from 1 for 2) in ('13', '31', '23', '29', '30', '18', '17')) \
+and not exists (select * from orders where o_custkey = c_custkey)) as custsale \
+group by cntrycode order by cntrycode";
+
+/// SQL text of query `n` (1–22).
 pub fn sql(n: usize) -> &'static str {
     match n {
         1 => Q1,
@@ -111,13 +233,85 @@ pub fn sql(n: usize) -> &'static str {
         8 => Q8,
         9 => Q9,
         10 => Q10,
-        _ => panic!("TPC-H queries 1-10 only"),
+        11 => Q11,
+        12 => Q12,
+        13 => Q13,
+        14 => Q14,
+        15 => Q15,
+        16 => Q16,
+        17 => Q17,
+        18 => Q18,
+        19 => Q19,
+        20 => Q20,
+        21 => Q21,
+        22 => Q22,
+        _ => panic!("TPC-H queries 1-22 only"),
     }
 }
 
-/// All ten queries.
+/// DDL to run before query `n` (Q15's CREATE VIEW).
+pub fn setup_sql(n: usize) -> Option<&'static str> {
+    match n {
+        15 => Some(Q15_SETUP),
+        _ => None,
+    }
+}
+
+/// DDL to run after query `n` (Q15's DROP VIEW).
+pub fn teardown_sql(n: usize) -> Option<&'static str> {
+    match n {
+        15 => Some(Q15_TEARDOWN),
+        _ => None,
+    }
+}
+
+/// Expected shape of query `n`'s result (spec-derived, data-independent):
+/// output arity, the key (identity) output columns, and the row cap of a
+/// LIMIT query. The golden-answer harness checks these against the
+/// checked-in answers.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryShape {
+    /// Output column count.
+    pub cols: usize,
+    /// Output columns identifying a row (group keys / ORDER BY identity).
+    pub key_cols: &'static [&'static str],
+    /// LIMIT row cap, when the query has one.
+    pub limit: Option<u64>,
+}
+
+/// Shape of query `n` (1–22).
+pub fn shape(n: usize) -> QueryShape {
+    let s = |cols, key_cols, limit| QueryShape { cols, key_cols, limit };
+    match n {
+        1 => s(10, &["l_returnflag", "l_linestatus"][..], None),
+        2 => s(8, &["p_partkey"][..], Some(100)),
+        3 => s(4, &["l_orderkey"][..], Some(10)),
+        4 => s(2, &["o_orderpriority"][..], None),
+        5 => s(2, &["n_name"][..], None),
+        6 => s(1, &[][..], None),
+        7 => s(4, &["supp_nation", "cust_nation", "l_year"][..], None),
+        8 => s(2, &["o_year"][..], None),
+        9 => s(3, &["nation", "o_year"][..], None),
+        10 => s(8, &["c_custkey"][..], Some(20)),
+        11 => s(2, &["ps_partkey"][..], None),
+        12 => s(3, &["l_shipmode"][..], None),
+        13 => s(2, &["c_count"][..], None),
+        14 => s(1, &[][..], None),
+        15 => s(5, &["s_suppkey"][..], None),
+        16 => s(4, &["p_brand", "p_type", "p_size"][..], None),
+        17 => s(1, &[][..], None),
+        18 => s(6, &["c_custkey", "o_orderkey"][..], Some(100)),
+        19 => s(1, &[][..], None),
+        20 => s(2, &["s_name"][..], None),
+        21 => s(2, &["s_name"][..], Some(100)),
+        22 => s(3, &["cntrycode"][..], None),
+        _ => panic!("TPC-H queries 1-22 only"),
+    }
+}
+
+/// All twenty-two queries.
 pub fn all() -> impl Iterator<Item = (usize, &'static str)> {
-    (1..=10).map(|n| (n, sql(n)))
+    (1..=22).map(|n| (n, sql(n)))
 }
 
 #[cfg(test)]
@@ -129,6 +323,21 @@ mod tests {
         for (n, q) in all() {
             let r = monetlite_sql::parse_statement(q);
             assert!(r.is_ok(), "Q{n} failed to parse: {r:?}");
+            if let Some(s) = setup_sql(n) {
+                assert!(monetlite_sql::parse_statement(s).is_ok(), "Q{n} setup");
+            }
+            if let Some(s) = teardown_sql(n) {
+                assert!(monetlite_sql::parse_statement(s).is_ok(), "Q{n} teardown");
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_cover_all_queries() {
+        for (n, _) in all() {
+            let sh = shape(n);
+            assert!(sh.cols >= 1, "Q{n}");
+            assert!(sh.key_cols.len() <= sh.cols, "Q{n}");
         }
     }
 

@@ -1,0 +1,186 @@
+//! Three-valued-logic regression suite: the classic NULL traps of
+//! `NOT IN`, `NOT EXISTS` and scalar subqueries, each asserted against
+//! the SQL-standard answer — on the materialized engine, the streaming
+//! engine, and the volcano rowstore.
+//!
+//! The trap matrix:
+//! * `x NOT IN (empty)` is TRUE for every `x`, including NULL;
+//! * `x NOT IN (S)` is never TRUE once S contains a NULL;
+//! * `NULL NOT IN (non-empty S)` is UNKNOWN → the row drops;
+//! * `EXISTS` cares about rows, not values: a subquery of all-NULL rows
+//!   still exists;
+//! * a scalar subquery over zero rows yields NULL — except COUNT, whose
+//!   empty-group answer is 0;
+//! * a scalar subquery yielding more than one row is an error.
+
+use monetlite::exec::{ExecMode, ExecOptions};
+use monetlite_types::Value;
+
+const DDL: &str = "CREATE TABLE probe (x INT); \
+     INSERT INTO probe VALUES (1), (2), (NULL); \
+     CREATE TABLE sub_empty (y INT); \
+     CREATE TABLE sub_nulls (y INT); \
+     INSERT INTO sub_nulls VALUES (NULL), (NULL); \
+     CREATE TABLE sub_mixed (y INT); \
+     INSERT INTO sub_mixed VALUES (1), (NULL); \
+     CREATE TABLE sub_plain (y INT); \
+     INSERT INTO sub_plain VALUES (1), (3);";
+
+fn fmt(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Run `sql` on every engine; return each engine's sorted row images.
+fn run_everywhere(sql: &str) -> Vec<(String, Vec<String>)> {
+    let mut out = Vec::new();
+    let db = monetlite::Database::open_in_memory();
+    db.connect().run_script(DDL).unwrap();
+    for (label, opts) in [
+        ("materialized", ExecOptions { mode: ExecMode::Materialized, ..Default::default() }),
+        (
+            "streaming",
+            ExecOptions {
+                mode: ExecMode::Streaming,
+                threads: 2,
+                vector_size: 2,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let mut c = db.connect();
+        c.set_exec_options(opts);
+        let r = c.query(sql).unwrap_or_else(|e| panic!("{label}: {e}\nsql: {sql}"));
+        let mut rows: Vec<String> = (0..r.nrows())
+            .map(|i| (0..r.ncols()).map(|c| fmt(&r.value(i, c))).collect::<Vec<_>>().join("|"))
+            .collect();
+        rows.sort();
+        out.push((label.to_string(), rows));
+    }
+    let rdb = monetlite_rowstore::RowDb::in_memory();
+    rdb.run_script(DDL).unwrap();
+    let r = rdb.query(sql).unwrap_or_else(|e| panic!("rowstore: {e}\nsql: {sql}"));
+    let mut rows: Vec<String> =
+        r.rows.iter().map(|row| row.iter().map(fmt).collect::<Vec<_>>().join("|")).collect();
+    rows.sort();
+    out.push(("rowstore".to_string(), rows));
+    out
+}
+
+/// Assert the SQL-standard answer on every engine.
+fn expect(sql: &str, want: &[&str]) {
+    let mut want: Vec<String> = want.iter().map(|s| s.to_string()).collect();
+    want.sort();
+    for (label, got) in run_everywhere(sql) {
+        assert_eq!(got, want, "{label} disagrees with the SQL standard for: {sql}");
+    }
+}
+
+#[test]
+fn not_in_empty_subquery_keeps_every_row() {
+    // Vacuous NOT IN: TRUE for every probe value, including NULL.
+    expect("SELECT x FROM probe WHERE x NOT IN (SELECT y FROM sub_empty)", &["1", "2", "NULL"]);
+}
+
+#[test]
+fn not_in_all_null_subquery_keeps_nothing() {
+    // x <> NULL is UNKNOWN for every x: nothing can prove non-membership.
+    expect("SELECT x FROM probe WHERE x NOT IN (SELECT y FROM sub_nulls)", &[]);
+}
+
+#[test]
+fn not_in_subquery_with_some_null_keeps_nothing() {
+    // 1 is a member (FALSE); 2 vs {1, NULL} is UNKNOWN; NULL is UNKNOWN.
+    expect("SELECT x FROM probe WHERE x NOT IN (SELECT y FROM sub_mixed)", &[]);
+}
+
+#[test]
+fn not_in_plain_subquery_keeps_only_true_non_members() {
+    // 1 is a member; NULL probe is UNKNOWN; 2 is a genuine non-member.
+    expect("SELECT x FROM probe WHERE x NOT IN (SELECT y FROM sub_plain)", &["2"]);
+}
+
+#[test]
+fn in_subquery_null_traps() {
+    // IN: NULLs in the subquery can never make membership TRUE, and a
+    // NULL probe is UNKNOWN.
+    expect("SELECT x FROM probe WHERE x IN (SELECT y FROM sub_nulls)", &[]);
+    expect("SELECT x FROM probe WHERE x IN (SELECT y FROM sub_mixed)", &["1"]);
+    expect("SELECT x FROM probe WHERE x IN (SELECT y FROM sub_empty)", &[]);
+}
+
+#[test]
+fn not_in_value_list_with_null_keeps_nothing() {
+    // The desugared IN-list form hits the same trap.
+    expect("SELECT x FROM probe WHERE x NOT IN (1, NULL)", &[]);
+    expect("SELECT x FROM probe WHERE x NOT IN (1, 3)", &["2"]);
+}
+
+#[test]
+fn exists_counts_rows_not_values() {
+    // Two all-NULL rows still exist.
+    expect("SELECT x FROM probe WHERE NOT EXISTS (SELECT * FROM sub_nulls)", &[]);
+    expect("SELECT x FROM probe WHERE NOT EXISTS (SELECT * FROM sub_empty)", &["1", "2", "NULL"]);
+    expect("SELECT x FROM probe WHERE EXISTS (SELECT * FROM sub_nulls)", &["1", "2", "NULL"]);
+}
+
+#[test]
+fn correlated_not_exists_null_key_never_matches() {
+    // A NULL outer key matches nothing, so NOT EXISTS is TRUE for it.
+    expect(
+        "SELECT x FROM probe WHERE NOT EXISTS (SELECT * FROM sub_mixed WHERE y = x)",
+        &["2", "NULL"],
+    );
+    expect("SELECT x FROM probe WHERE EXISTS (SELECT * FROM sub_mixed WHERE y = x)", &["1"]);
+}
+
+#[test]
+fn scalar_subquery_over_zero_rows_is_null() {
+    // Aggregate over an empty table: NULL; the comparison is UNKNOWN.
+    expect("SELECT x FROM probe WHERE x < (SELECT min(y) FROM sub_empty)", &[]);
+    expect("SELECT x FROM probe WHERE x >= (SELECT max(y) FROM sub_empty)", &[]);
+    // Non-aggregate scalar subquery over zero rows: also NULL.
+    expect("SELECT x FROM probe WHERE x = (SELECT y FROM sub_empty)", &[]);
+}
+
+#[test]
+fn scalar_count_over_zero_rows_is_zero_not_null() {
+    // The COUNT exception: an empty (or absent, when correlated) group
+    // answers 0, not NULL.
+    expect("SELECT x FROM probe WHERE (SELECT count(*) FROM sub_empty) = 0", &["1", "2", "NULL"]);
+    // Correlated: x = 2 and x = NULL have no matching sub_plain rows, so
+    // their count is 0 — the classic decorrelation bug this guards.
+    expect(
+        "SELECT x FROM probe WHERE (SELECT count(*) FROM sub_plain WHERE y = x) = 0",
+        &["2", "NULL"],
+    );
+    expect("SELECT x FROM probe WHERE (SELECT count(*) FROM sub_plain WHERE y = x) = 1", &["1"]);
+}
+
+#[test]
+fn scalar_subquery_with_more_than_one_row_errors() {
+    let sql = "SELECT x FROM probe WHERE x = (SELECT y FROM sub_plain)";
+    let db = monetlite::Database::open_in_memory();
+    db.connect().run_script(DDL).unwrap();
+    for mode in [ExecMode::Materialized, ExecMode::Streaming] {
+        let mut c = db.connect();
+        c.set_exec_options(ExecOptions { mode, ..Default::default() });
+        let e = c.query(sql).expect_err("two-row scalar subquery must error");
+        assert!(e.to_string().contains("scalar subquery"), "{mode:?}: {e}");
+    }
+    let rdb = monetlite_rowstore::RowDb::in_memory();
+    rdb.run_script(DDL).unwrap();
+    let e = rdb.query(sql).expect_err("two-row scalar subquery must error (rowstore)");
+    assert!(e.to_string().contains("scalar subquery"), "rowstore: {e}");
+}
+
+#[test]
+fn aggregates_ignore_nulls_but_count_star_does_not() {
+    // Not a subquery trap, but the NULL-vs-aggregate contract everything
+    // above builds on.
+    expect("SELECT count(*), count(y), min(y), max(y) FROM sub_mixed", &["2|1|1|1"]);
+    expect("SELECT count(*), count(y) FROM sub_nulls", &["2|0"]);
+    expect("SELECT count(*), count(y), sum(y) FROM sub_empty", &["0|0|NULL"]);
+}

@@ -1,8 +1,10 @@
 //! Streaming-vs-materialized engine parity: the chunk-at-a-time pipeline
 //! engine must produce exactly the results of the paper's
-//! operator-at-a-time engine on every workload, at every thread count,
-//! including chunk-boundary edge cases (empty tables, sub-vector tables,
-//! NULL sentinels straddling vector boundaries, LIMIT early-exit).
+//! operator-at-a-time engine on every workload -- the full TPC-H Q1-Q22
+//! suite under the thread/vector matrix, a 24kB spill budget, and
+//! candidates on/off -- at every thread count, including chunk-boundary
+//! edge cases (empty tables, sub-vector tables, NULL sentinels straddling
+//! vector boundaries, LIMIT early-exit).
 
 use monetlite::exec::{ExecMode, ExecOptions};
 use monetlite_tpch::{generate, load_monet, queries};
@@ -27,6 +29,19 @@ fn run_counting(
     let r = conn.query(sql).unwrap_or_else(|e| panic!("{e} for {sql}"));
     let rows = (0..r.nrows()).map(|i| r.row(i)).collect();
     (rows, conn.last_exec_counters().expect("counters after query"))
+}
+
+/// Run per-query DDL (Q15's CREATE VIEW) around `f`. Views are
+/// database-level, so one setup covers every engine-option variant run
+/// inside `f`.
+fn with_query_setup(db: &monetlite::Database, n: usize, f: impl FnOnce()) {
+    if let Some(ddl) = queries::setup_sql(n) {
+        db.connect().execute(ddl).unwrap_or_else(|e| panic!("Q{n} setup: {e}"));
+    }
+    f();
+    if let Some(ddl) = queries::teardown_sql(n) {
+        db.connect().execute(ddl).unwrap_or_else(|e| panic!("Q{n} teardown: {e}"));
+    }
 }
 
 fn materialized() -> ExecOptions {
@@ -62,13 +77,15 @@ fn tpch_queries_agree_across_engines_and_threads() {
     load_monet(&mut conn, &data).unwrap();
     drop(conn);
     for (n, sql) in queries::all() {
-        let base = run(&db, sql, materialized());
-        // Single-thread streaming must match row-for-row; tiny vectors
-        // force many chunk boundaries.
-        for (threads, vs) in [(1, 64 * 1024), (1, 1000), (4, 1000), (8, 512)] {
-            let got = run(&db, sql, streaming(threads, vs));
-            assert_rows_eq(sql, &base, &got, &format!("Q{n} t={threads} v={vs}"));
-        }
+        with_query_setup(&db, n, || {
+            let base = run(&db, sql, materialized());
+            // Single-thread streaming must match row-for-row; tiny vectors
+            // force many chunk boundaries.
+            for (threads, vs) in [(1, 64 * 1024), (1, 1000), (4, 1000), (8, 512)] {
+                let got = run(&db, sql, streaming(threads, vs));
+                assert_rows_eq(sql, &base, &got, &format!("Q{n} t={threads} v={vs}"));
+            }
+        });
     }
 }
 
@@ -83,18 +100,20 @@ fn tpch_queries_agree_spilled_vs_unspilled() {
     let mut conn = db.connect();
     load_monet(&mut conn, &data).unwrap();
     drop(conn);
-    let mut total_spilled = 0u64;
+    let total_spilled = std::cell::Cell::new(0u64);
     for (n, sql) in queries::all() {
-        let base = run(&db, sql, streaming(1, 1024));
-        for threads in [1, 4] {
-            let mut tiny = streaming(threads, 1024);
-            tiny.memory_budget = 24 * 1024;
-            let (got, counters) = run_counting(&db, sql, tiny);
-            assert_rows_eq(sql, &base, &got, &format!("Q{n} spilled t={threads}"));
-            total_spilled += counters.spilled_partitions;
-        }
+        with_query_setup(&db, n, || {
+            let base = run(&db, sql, streaming(1, 1024));
+            for threads in [1, 4] {
+                let mut tiny = streaming(threads, 1024);
+                tiny.memory_budget = 24 * 1024;
+                let (got, counters) = run_counting(&db, sql, tiny);
+                assert_rows_eq(sql, &base, &got, &format!("Q{n} spilled t={threads}"));
+                total_spilled.set(total_spilled.get() + counters.spilled_partitions);
+            }
+        });
     }
-    assert!(total_spilled > 0, "a 24kB budget must force spilling somewhere in Q1–Q10");
+    assert!(total_spilled.get() > 0, "a 24kB budget must force spilling somewhere in Q1–Q22");
 }
 
 /// Streaming options with candidate lists and zonemaps forced off (the
@@ -125,11 +144,13 @@ fn tpch_queries_agree_with_candidates_on_and_off() {
     load_monet(&mut conn, &data).unwrap();
     drop(conn);
     for (n, sql) in queries::all() {
-        let base = run(&db, sql, candidates_off(streaming(1, 1024)));
-        for (threads, vs) in [(1, 1024), (1, 333), (4, 1024)] {
-            let got = run(&db, sql, candidates_on(streaming(threads, vs)));
-            assert_rows_eq(sql, &base, &got, &format!("Q{n} candidates t={threads} v={vs}"));
-        }
+        with_query_setup(&db, n, || {
+            let base = run(&db, sql, candidates_off(streaming(1, 1024)));
+            for (threads, vs) in [(1, 1024), (1, 333), (4, 1024)] {
+                let got = run(&db, sql, candidates_on(streaming(threads, vs)));
+                assert_rows_eq(sql, &base, &got, &format!("Q{n} candidates t={threads} v={vs}"));
+            }
+        });
     }
 }
 
