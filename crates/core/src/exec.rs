@@ -102,8 +102,9 @@ fn env_usize(key: &str, default: usize) -> usize {
 }
 
 /// Boolean env override (`MONETLITE_CANDIDATES=0` disables candidate
-/// lists for the whole suite, the CI ablation matrix's lever).
-fn env_bool(key: &str, default: bool) -> bool {
+/// lists for the whole suite, the CI ablation matrix's lever; the
+/// optimizer's `MONETLITE_JOINORDER` shares it).
+pub(crate) fn env_bool(key: &str, default: bool) -> bool {
     match std::env::var(key) {
         Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off")),
         Err(_) => default,
@@ -200,6 +201,11 @@ pub struct CountersSnapshot {
     /// Vectors carried through their operator chain with a candidate
     /// list.
     pub sel_vectors: u64,
+    /// The optimizer's cardinality estimate for the query's root operator
+    /// (filled by the connection after planning; 0 when unknown).
+    /// Comparing it with the actual result size is the cheapest way to
+    /// audit the statistics model.
+    pub estimated_rows: u64,
 }
 
 impl ExecCounters {
@@ -228,6 +234,7 @@ impl ExecCounters {
             spill_bytes: g(&self.spill_bytes),
             vectors_skipped: g(&self.vectors_skipped),
             sel_vectors: g(&self.sel_vectors),
+            estimated_rows: 0,
         }
     }
 }

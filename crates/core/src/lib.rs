@@ -135,6 +135,7 @@ impl Database {
             store: self.store.clone(),
             exec_opts: self.opts.exec,
             opt_flags: self.opts.opt_flags,
+            stats_mode: opt::StatsMode::Real,
             txn: None,
             last_counters: None,
             db_views: self.views.clone(),
@@ -249,6 +250,7 @@ pub struct Connection {
     store: Arc<Store>,
     exec_opts: ExecOptions,
     opt_flags: OptFlags,
+    stats_mode: opt::StatsMode,
     txn: Option<ActiveTxn>,
     last_counters: Option<exec::CountersSnapshot>,
     db_views: Arc<std::sync::Mutex<HashMap<String, ViewDef>>>,
@@ -287,6 +289,53 @@ impl opt::Stats for TxnView<'_> {
     fn table_rows(&self, name: &str) -> usize {
         self.tables.get(&name.to_ascii_lowercase()).map_or(1000, |t| t.data.visible_rows().max(1))
     }
+
+    /// Real per-column statistics from the storage layer's summaries
+    /// (cache → `.st` sidecar → one-pass build). Statistics are physical
+    /// -row summaries: the NDV is clamped to the visible row count, and
+    /// deletes leave the rest conservative — the zonemap discipline.
+    fn column_stats(&self, name: &str, col: usize) -> Option<opt::ColStats> {
+        self.column_stats_inner(name, col, false)
+    }
+}
+
+impl TxnView<'_> {
+    /// `cached_only`: serve statistics already materialised (in-memory or
+    /// sidecar-loadable next time) without paying a column scan — the
+    /// diagnostic `estimated_rows` counter uses this so a joinless query
+    /// never builds statistics planning didn't need.
+    fn column_stats_inner(
+        &self,
+        name: &str,
+        col: usize,
+        cached_only: bool,
+    ) -> Option<opt::ColStats> {
+        let meta = self.tables.get(&name.to_ascii_lowercase())?;
+        let sc = meta.data.cols.get(col)?;
+        let entry = sc.entry().ok()?;
+        let st = if cached_only { entry.stats_opt()? } else { entry.stats().ok()? };
+        let visible = meta.data.visible_rows() as f64;
+        Some(opt::ColStats {
+            null_frac: st.null_frac(),
+            ndv: st.ndv().min(visible.max(1.0)),
+            min_key: st.has_range.then_some(st.min_key),
+            max_key: st.has_range.then_some(st.max_key),
+        })
+    }
+}
+
+/// [`opt::Stats`] over a [`TxnView`] that never *builds* statistics —
+/// cache hits only.
+struct CachedTxnStats<'a>(&'a TxnView<'a>);
+
+impl opt::Stats for CachedTxnStats<'_> {
+    fn table_rows(&self, name: &str) -> usize {
+        self.0.table_rows(name)
+    }
+
+    fn column_stats(&self, name: &str, col: usize) -> Option<opt::ColStats> {
+        self.0.column_stats_inner(name, col, true)
+    }
 }
 
 impl Connection {
@@ -303,6 +352,12 @@ impl Connection {
     /// Override optimizer flags (ablation benches).
     pub fn set_opt_flags(&mut self, flags: OptFlags) {
         self.opt_flags = flags;
+    }
+
+    /// Control how the optimizer sees statistics (differential tests:
+    /// wrong statistics may change plans, never results).
+    pub fn set_stats_mode(&mut self, mode: opt::StatsMode) {
+        self.stats_mode = mode;
     }
 
     /// Execution counters of the last successful SELECT on this
@@ -611,8 +666,9 @@ impl Connection {
         let (chunk, names, types, counters) = {
             let txn = self.txn.as_ref().expect("txn");
             let view = TxnView { tables: &txn.tables, views: &txn.views };
+            let stats = opt::ModedStats { inner: &view, mode: self.stats_mode };
             let plan = Binder::new(&view).bind_select(sel)?;
-            let plan = opt::optimize(plan, self.opt_flags, &view, &view)?;
+            let plan = opt::optimize(plan, self.opt_flags, &stats, &view)?;
             // The store's paging manager supplies the memory budget when
             // ExecOptions leaves it unset: operator state competes with
             // resident columns for the same byte budget, and pipeline
@@ -621,7 +677,14 @@ impl Connection {
             let chunk = exec::execute(&plan, &ctx)?;
             let names: Vec<String> = plan.schema().iter().map(|c| c.name.clone()).collect();
             let types: Vec<LogicalType> = plan.schema().iter().map(|c| c.ty).collect();
-            (chunk, names, types, ctx.counters.snapshot())
+            // The counter estimate reads only *cached* statistics: a
+            // joinless query whose planning never consulted stats must
+            // not pay a full column scan for a diagnostic.
+            let cached = CachedTxnStats(&view);
+            let counter_stats = opt::ModedStats { inner: &cached, mode: self.stats_mode };
+            let mut counters = ctx.counters.snapshot();
+            counters.estimated_rows = opt::estimate_rows(&plan, &counter_stats).round() as u64;
+            (chunk, names, types, counters)
         };
         self.last_counters = Some(counters);
         Ok(QueryResult { names, types, cols: chunk.cols, rows: chunk.rows, rows_affected: 0 })
@@ -633,9 +696,10 @@ impl Connection {
         };
         let txn = self.txn.as_ref().expect("txn");
         let view = TxnView { tables: &txn.tables, views: &txn.views };
+        let stats = opt::ModedStats { inner: &view, mode: self.stats_mode };
         let plan = Binder::new(&view).bind_select(&sel)?;
-        let plan = opt::optimize(plan, self.opt_flags, &view, &view)?;
-        let text = mal::explain(&plan, &self.exec_opts, Some(&view));
+        let plan = opt::optimize(plan, self.opt_flags, &stats, &view)?;
+        let text = mal::explain(&plan, &self.exec_opts, Some(&stats));
         let lines: Vec<Option<String>> = text.lines().map(|l| Some(l.to_string())).collect();
         let rows = lines.len();
         Ok(QueryResult {

@@ -12,13 +12,18 @@ use crate::opt::Stats;
 use crate::plan::{PJoinKind, Plan};
 use std::fmt::Write;
 
-/// Render the full EXPLAIN text: relational tree, the streaming pipeline
+/// Render the full EXPLAIN text: relational tree, per-operator
+/// cardinality estimates (`-- stats`), the streaming pipeline
 /// decomposition (with morsel counts when `stats` are available), and the
 /// MAL program.
 pub fn explain(plan: &Plan, opts: &ExecOptions, stats: Option<&dyn Stats>) -> String {
     let mut out = String::new();
     out.push_str("-- relational plan\n");
     out.push_str(&plan.render());
+    if let Some(s) = stats {
+        out.push_str("-- stats\n");
+        render_estimates(plan, s, &mut out, 0);
+    }
     if opts.mode == ExecMode::Streaming {
         out.push_str(&crate::pipeline::describe(plan, opts, stats));
     }
@@ -30,6 +35,40 @@ pub fn explain(plan: &Plan, opts: &ExecOptions, stats: Option<&dyn Stats>) -> St
     out.push_str(&r.out);
     out.push_str("end user.main;\n");
     out
+}
+
+/// The `-- stats` section: one line per operator (same indentation as the
+/// relational tree) with its estimated output cardinality, so a plan diff
+/// shows *why* the optimizer picked a join order, not just that it did.
+fn render_estimates(plan: &Plan, stats: &dyn Stats, out: &mut String, depth: usize) {
+    let est = crate::opt::estimate_rows(plan, stats);
+    let label = match plan {
+        Plan::Scan { table, .. } => format!("scan {table}"),
+        Plan::Filter { .. } => "filter".into(),
+        Plan::Project { .. } => "project".into(),
+        Plan::Join { kind, .. } => format!("{kind} join"),
+        Plan::Aggregate { .. } => "aggregate".into(),
+        Plan::Sort { .. } => "sort".into(),
+        Plan::Limit { .. } => "limit".into(),
+        Plan::TopN { .. } => "topn".into(),
+        Plan::Distinct { .. } => "distinct".into(),
+        Plan::Values { .. } => "values".into(),
+    };
+    let _ = writeln!(out, "{}{label} est_rows={}", "  ".repeat(depth), est.round() as u64);
+    let children: Vec<&Plan> = match plan {
+        Plan::Scan { .. } | Plan::Values { .. } => vec![],
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::TopN { input, .. }
+        | Plan::Distinct { input } => vec![input],
+        Plan::Join { left, right, .. } => vec![left, right],
+    };
+    for c in children {
+        render_estimates(c, stats, out, depth + 1);
+    }
 }
 
 struct Renderer {
@@ -306,6 +345,30 @@ mod tests {
         let mat = ExecOptions { mode: crate::exec::ExecMode::Materialized, ..Default::default() };
         let s2 = explain(&plan, &mat, Some(&FixedStats));
         assert!(!s2.contains("-- pipelines"), "{s2}");
+    }
+
+    #[test]
+    fn stats_section_annotates_estimates() {
+        struct FixedStats;
+        impl crate::opt::Stats for FixedStats {
+            fn table_rows(&self, _n: &str) -> usize {
+                50_000
+            }
+        }
+        let scan = Plan::Scan {
+            table: "t".into(),
+            projected: vec![0],
+            filters: vec![],
+            schema: vec![OutCol { name: "a".into(), ty: LogicalType::Int }],
+        };
+        let plan = Plan::Limit { input: Box::new(scan), n: 7 };
+        let s = explain(&plan, &ExecOptions::default(), Some(&FixedStats));
+        assert!(s.contains("-- stats"), "{s}");
+        assert!(s.contains("limit est_rows=7"), "{s}");
+        assert!(s.contains("scan t est_rows=50000"), "{s}");
+        // No stats provider, no section.
+        let s2 = explain(&plan, &ExecOptions::default(), None);
+        assert!(!s2.contains("-- stats"), "{s2}");
     }
 
     #[test]

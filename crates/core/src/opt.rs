@@ -7,16 +7,35 @@
 //!    filters above cross joins become hash-join keys.
 //! 2. **Filter push-down** — predicates sink through joins and projections
 //!    into scans.
-//! 3. **Join ordering** — greedy connected ordering of inner-join trees by
-//!    estimated cardinality (filtered scans first), replacing the paper's
-//!    cost-based ordering.
+//! 3. **Join ordering** — cost-based DPsize enumeration of inner-join
+//!    clusters over derived selectivities and distinct-value join
+//!    estimates (greedy connected ordering above the relation cap or when
+//!    DP is ablated).
 //! 4. **Projection push-down** — scans produce only the columns someone
 //!    consumes (the column-store advantage on wide tables).
 //! 5. **Constant folding** and **top-n fusion** (`ORDER BY`+`LIMIT` →
 //!    TopN).
+//!
+//! Cardinality model (the [`estimate_rows`] used by ordering, build-side
+//! selection and EXPLAIN's `-- stats` section):
+//! * equality against a constant ⇒ `(1 - null_frac) / ndv`;
+//! * constant range probes ⇒ the probed fraction of the column's
+//!   `[min, max]` span (in the order-preserving key domain);
+//! * conjunctions combine with exponential backoff (most selective
+//!   conjunct at full strength, each further one square-rooted) so
+//!   correlated predicates don't drive estimates to zero;
+//! * equi-joins ⇒ `|L|·|R| / max(ndv_L, ndv_R)` with NDVs clamped to the
+//!   filtered input sizes;
+//! * every operator estimate is clamped to `[1, input]` — a vacuous
+//!   filter cannot shrink anything downstream.
+//!
+//! Without column statistics ([`Stats::column_stats`] returning `None`)
+//! the per-predicate rules fall back to the fixed constants the optimizer
+//! used before statistics existed (composition — backoff, OR/NOT algebra,
+//! exact constants — still applies).
 
 use crate::bind::CatalogAccess;
-use crate::expr::BExpr;
+use crate::expr::{BExpr, CmpOp};
 use crate::kernels;
 use crate::plan::{OutCol, PJoinKind, Plan};
 use monetlite_types::{Result, Value};
@@ -26,8 +45,11 @@ use monetlite_types::{Result, Value};
 pub struct OptFlags {
     /// Filter + projection push-down.
     pub pushdown: bool,
-    /// Greedy join ordering.
+    /// Join ordering (off = keep the binder's syntactic order).
     pub join_order: bool,
+    /// Cost-based DP enumeration for join ordering; `false` falls back to
+    /// the greedy connected ordering (env `MONETLITE_JOINORDER=0`).
+    pub join_dp: bool,
     /// ORDER BY + LIMIT fusion.
     pub topn: bool,
     /// Constant folding.
@@ -39,14 +61,46 @@ pub struct OptFlags {
 
 impl Default for OptFlags {
     fn default() -> Self {
-        OptFlags { pushdown: true, join_order: true, topn: true, fold: true, build_side: true }
+        OptFlags {
+            pushdown: true,
+            join_order: true,
+            // Same truthiness rules as the other MONETLITE_* ablation
+            // levers (shared with MONETLITE_CANDIDATES/ZONEMAPS).
+            join_dp: crate::exec::env_bool("MONETLITE_JOINORDER", true),
+            topn: true,
+            fold: true,
+            build_side: true,
+        }
     }
 }
 
-/// Table cardinalities for the join-ordering heuristic.
+/// Optimizer-facing statistics of one base-table column, derived from the
+/// storage layer's [`monetlite_storage::stats::ColumnStats`] summaries
+/// (or synthesised by test shims).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColStats {
+    /// Fraction of NULL rows in the column.
+    pub null_frac: f64,
+    /// Estimated number of distinct non-NULL values.
+    pub ndv: f64,
+    /// Minimum non-NULL key (order-preserving i64 domain); `None` for
+    /// VARCHAR / all-NULL columns.
+    pub min_key: Option<i64>,
+    /// Maximum non-NULL key (see `min_key`).
+    pub max_key: Option<i64>,
+}
+
+/// Statistics provider for the cost-based optimizer.
 pub trait Stats {
     /// Estimated (visible) row count of a base table.
     fn table_rows(&self, name: &str) -> usize;
+
+    /// Per-column statistics of base-table column `col` (schema
+    /// position). `None` = unknown; the estimator falls back to the fixed
+    /// selectivity constants.
+    fn column_stats(&self, _table: &str, _col: usize) -> Option<ColStats> {
+        None
+    }
 }
 
 /// A [`Stats`] that knows nothing (all tables equal).
@@ -55,6 +109,68 @@ pub struct NoStats;
 impl Stats for NoStats {
     fn table_rows(&self, _name: &str) -> usize {
         1000
+    }
+}
+
+/// How a connection's optimizer sees statistics — the lever of the
+/// stats-fuzzing differential tests: plans may differ across modes, query
+/// results must not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsMode {
+    /// Real row counts and real column statistics.
+    Real,
+    /// Real row counts, no column statistics (the pre-statistics
+    /// constant-selectivity model).
+    TableRowsOnly,
+    /// Deterministically *wrong* statistics derived from the seed —
+    /// random row counts, NDVs and ranges. Exercises that costing can
+    /// never affect correctness.
+    Adversarial(u64),
+}
+
+/// Wraps an underlying [`Stats`] with a [`StatsMode`] filter.
+pub struct ModedStats<'a> {
+    /// The real provider.
+    pub inner: &'a dyn Stats,
+    /// Filter mode.
+    pub mode: StatsMode,
+}
+
+use monetlite_storage::stats::mix64;
+
+fn hash_name(seed: u64, name: &str, salt: u64) -> u64 {
+    let mut h = seed ^ salt.wrapping_mul(0x100000001b3);
+    for b in name.bytes() {
+        h = mix64(h ^ b as u64);
+    }
+    h
+}
+
+impl Stats for ModedStats<'_> {
+    fn table_rows(&self, name: &str) -> usize {
+        match self.mode {
+            StatsMode::Real | StatsMode::TableRowsOnly => self.inner.table_rows(name),
+            StatsMode::Adversarial(seed) => 1 + (hash_name(seed, name, 1) % 1_000_000) as usize,
+        }
+    }
+
+    fn column_stats(&self, table: &str, col: usize) -> Option<ColStats> {
+        match self.mode {
+            StatsMode::Real => self.inner.column_stats(table, col),
+            StatsMode::TableRowsOnly => None,
+            StatsMode::Adversarial(seed) => {
+                let h = hash_name(seed, table, 100 + col as u64);
+                let ndv = 1.0 + (mix64(h) % 1_000_000) as f64;
+                let a = (mix64(h ^ 1) % 100_000) as i64 - 50_000;
+                let b = (mix64(h ^ 2) % 100_000) as i64 - 50_000;
+                Some(ColStats {
+                    null_frac: (mix64(h ^ 3) % 100) as f64 / 100.0,
+                    ndv,
+                    min_key: Some(a.min(b)),
+                    max_key: Some(a.max(b)),
+                })
+            }
+        }
     }
 }
 
@@ -74,7 +190,7 @@ pub fn optimize(
         p = push_filters(p)?;
     }
     if flags.join_order {
-        p = order_joins(p, stats)?;
+        p = order_joins(p, stats, flags.join_dp)?;
         // Re-push filters that ordering may have lifted.
         if flags.pushdown {
             p = push_filters(p)?;
@@ -455,21 +571,32 @@ pub(crate) fn substitute(pred: &BExpr, exprs: &[BExpr]) -> BExpr {
 // Pass 3: join ordering
 // ---------------------------------------------------------------------------
 
-/// Greedy ordering of maximal inner/cross-join clusters: start from the
-/// smallest estimated relation, repeatedly join the connected relation
-/// with the smallest estimate (falling back to a cross join only when
-/// nothing is connected).
-fn order_joins(p: Plan, stats: &dyn Stats) -> Result<Plan> {
-    let p = map_children(p, &mut |c| order_joins(c, stats))?;
+/// Relation cap for DP enumeration; larger clusters fall back to the
+/// greedy connected ordering (DP is O(2^n · n²), greedy O(n²·preds)).
+pub const JOIN_DP_CAP: usize = 10;
+
+/// Order maximal inner/cross-join clusters. With `dp` on and at most
+/// [`JOIN_DP_CAP`] relations: DPsize over subsets of the join graph,
+/// minimising the summed intermediate cardinalities under the
+/// distinct-value join estimate. Otherwise: greedy connected ordering by
+/// estimated cardinality (filtered scans first), falling back to a cross
+/// join only when nothing is connected.
+fn order_joins(p: Plan, stats: &dyn Stats, dp: bool) -> Result<Plan> {
+    let p = map_children(p, &mut |c| order_joins(c, stats, dp))?;
     // Collect a flat cluster of inner/cross joined relations.
     let Plan::Join { kind: PJoinKind::Inner | PJoinKind::Cross, .. } = &p else {
         return Ok(p);
     };
+    let out_schema: Vec<OutCol> = p.schema().to_vec();
     let mut rels: Vec<Plan> = Vec::new();
     let mut preds: Vec<BExpr> = Vec::new(); // over the flat concatenated schema
-    flatten_join_cluster(p, &mut rels, &mut preds)?;
+                                            // `root_map[i]` = flat column carried by the cluster's output `i`
+                                            // (pure projections between joins are flattened through, so the
+                                            // cluster output can be a permutation/subset of the flat schema).
+    let root_map = flatten_join_cluster(p, &mut rels, &mut preds)?;
     if rels.len() <= 2 {
-        return rebuild_cluster(rels, preds);
+        let joined = rebuild_cluster(rels, preds)?;
+        return Ok(restore_projection(joined, &root_map, &|c| c, out_schema));
     }
     // Column offset of each relation in the flat schema.
     let mut offsets = Vec::with_capacity(rels.len());
@@ -485,10 +612,69 @@ fn order_joins(p: Plan, stats: &dyn Stats) -> Result<Plan> {
             Err(i) => i - 1,
         }
     };
-    // Estimated sizes: base rows shrunk per pushed filter.
+    // Per-relation estimates: pushed filters shrink base rows via derived
+    // selectivities (constants when no column stats exist).
     let est: Vec<f64> = rels.iter().map(|r| estimate(r, stats)).collect();
-    // Greedy order.
     let n = rels.len();
+    let order: Vec<usize> = if dp && n <= JOIN_DP_CAP {
+        dp_order(&rels, &preds, &est, &offsets, &rel_of_col, stats)
+    } else {
+        greedy_order(&preds, &est, &rel_of_col)
+    };
+    // Rebuild left-deep in the chosen order, remapping predicates from the
+    // original flat schema to the new one.
+    let mut new_offsets = vec![0usize; n];
+    let mut acc = 0usize;
+    for &r in &order {
+        new_offsets[r] = acc;
+        acc += rels[r].schema().len();
+    }
+    debug_assert_eq!(acc, total_cols);
+    let col_map: Vec<usize> = (0..total_cols)
+        .map(|c| {
+            let r = rel_of_col(c);
+            new_offsets[r] + (c - offsets[r])
+        })
+        .collect();
+    let preds: Vec<BExpr> = preds.into_iter().map(|p| p.remap_cols(&|c| col_map[c])).collect();
+    let mut rels_by_order: Vec<Plan> = Vec::with_capacity(n);
+    for &r in &order {
+        rels_by_order.push(rels[r].clone());
+    }
+    let joined = rebuild_cluster(rels_by_order, preds)?;
+    // Final projection restoring the cluster's original output columns.
+    Ok(restore_projection(joined, &root_map, &|c| col_map[c], out_schema))
+}
+
+/// Wrap the rebuilt cluster in a projection producing exactly the
+/// original output columns: output `i` = rebuilt column
+/// `remap(root_map[i])`.
+fn restore_projection(
+    joined: Plan,
+    root_map: &[usize],
+    remap: &dyn Fn(usize) -> usize,
+    schema: Vec<OutCol>,
+) -> Plan {
+    let identity = joined.schema().len() == root_map.len()
+        && root_map.iter().enumerate().all(|(i, &c)| remap(c) == i);
+    if identity {
+        return joined;
+    }
+    let exprs: Vec<BExpr> = root_map
+        .iter()
+        .map(|&c| {
+            let newc = remap(c);
+            BExpr::ColRef { idx: newc, ty: joined.schema()[newc].ty }
+        })
+        .collect();
+    Plan::Project { input: Box::new(joined), exprs, schema }
+}
+
+/// The pre-statistics ordering: start from the smallest estimated
+/// relation, repeatedly join the connected relation with the smallest
+/// estimate.
+fn greedy_order(preds: &[BExpr], est: &[f64], rel_of_col: &dyn Fn(usize) -> usize) -> Vec<usize> {
+    let n = est.len();
     let mut used = vec![false; n];
     let start = (0..n).min_by(|&a, &b| est[a].total_cmp(&est[b])).unwrap();
     used[start] = true;
@@ -517,103 +703,492 @@ fn order_joins(p: Plan, stats: &dyn Stats) -> Result<Plan> {
         used[next] = true;
         order.push(next);
     }
-    // Rebuild left-deep in the greedy order, remapping predicates from the
-    // original flat schema to the new one.
-    let mut new_offsets = vec![0usize; n];
-    let mut acc = 0usize;
-    for &r in &order {
-        new_offsets[r] = acc;
-        acc += rels[r].schema().len();
-    }
-    debug_assert_eq!(acc, total_cols);
-    let col_map: Vec<usize> = (0..total_cols)
-        .map(|c| {
-            let r = rel_of_col(c);
-            new_offsets[r] + (c - offsets[r])
-        })
-        .collect();
-    let preds: Vec<BExpr> = preds.into_iter().map(|p| p.remap_cols(&|c| col_map[c])).collect();
-    // Final projection restoring the original column order.
-    let restore: Vec<usize> = (0..total_cols).map(|c| col_map[c]).collect();
-    let mut rels_by_order: Vec<Plan> = Vec::with_capacity(n);
-    for &r in &order {
-        rels_by_order.push(rels[r].clone());
-    }
-    let joined = rebuild_cluster(rels_by_order, preds)?;
-    let exprs: Vec<BExpr> = restore
-        .iter()
-        .map(|&newc| BExpr::ColRef { idx: newc, ty: joined.schema()[newc].ty })
-        .collect();
-    let schema: Vec<OutCol> =
-        (0..total_cols).map(|c| joined.schema()[restore[c]].clone()).collect();
-    Ok(Plan::Project { input: Box::new(joined), exprs, schema })
+    order
 }
 
+/// One flat-schema predicate, pre-analysed for DP costing.
+struct PredInfo {
+    /// Bitmask of relations the predicate touches.
+    mask: u32,
+    /// Selectivity contribution once all touched relations are joined.
+    sel: f64,
+}
+
+/// DPsize over left-deep join orders: `dp[S]` is the cheapest order of
+/// the relation subset `S`, costed as the sum of all intermediate result
+/// cardinalities. `card(S)` is order-independent — the product of the
+/// member estimates and the selectivity of every predicate fully
+/// contained in `S` — so plans are compared on a consistent model.
+/// Cross-join extensions are only considered when no connected extension
+/// exists (the classic connected-subgraph restriction).
+fn dp_order(
+    rels: &[Plan],
+    preds: &[BExpr],
+    est: &[f64],
+    offsets: &[usize],
+    rel_of_col: &dyn Fn(usize) -> usize,
+    stats: &dyn Stats,
+) -> Vec<usize> {
+    let n = rels.len();
+    let full: u32 = (1u32 << n) - 1;
+    // Analyse predicates: touched-relation mask + selectivity.
+    let infos: Vec<PredInfo> = preds
+        .iter()
+        .map(|p| {
+            let mut cols = Vec::new();
+            p.collect_cols(&mut cols);
+            let mut mask = 0u32;
+            for &c in &cols {
+                mask |= 1 << rel_of_col(c);
+            }
+            let sel = join_pred_selectivity(p, rels, est, offsets, rel_of_col, stats);
+            PredInfo { mask, sel }
+        })
+        .collect();
+    // card(S): memoised on demand.
+    let mut card = vec![f64::NAN; (full + 1) as usize];
+    let mut card_of = |s: u32| -> f64 {
+        if !card[s as usize].is_nan() {
+            return card[s as usize];
+        }
+        let mut c = 1.0f64;
+        for (i, e) in est.iter().enumerate() {
+            if s & (1 << i) != 0 {
+                c *= e;
+            }
+        }
+        for pi in &infos {
+            if pi.mask & s == pi.mask {
+                c *= pi.sel;
+            }
+        }
+        let c = c.max(1.0);
+        card[s as usize] = c;
+        c
+    };
+    // Adjacency: rel i connects to subset S when a predicate touches both.
+    let connects = |i: usize, s: u32| -> bool {
+        infos.iter().any(|pi| pi.mask & (1 << i) != 0 && pi.mask & s & !(1 << i) != 0)
+    };
+    // dp over subsets by population count; value = (cost, order). The
+    // epsilon base cost breaks cost ties toward starting from the
+    // smallest relation (the filtered dimension leads the probe chain) —
+    // it vanishes against any real cardinality difference.
+    let mut dp: Vec<Option<(f64, Vec<usize>)>> = vec![None; (full + 1) as usize];
+    for i in 0..n {
+        dp[1usize << i] = Some((est[i] * 1e-6, vec![i]));
+    }
+    let mut subsets: Vec<u32> = (1..=full).collect();
+    subsets.sort_by_key(|s| s.count_ones());
+    for s in subsets {
+        if s.count_ones() < 2 {
+            continue;
+        }
+        // Connected last-relation extensions first; cross joins only when
+        // the subset admits no connected order.
+        for allow_cross in [false, true] {
+            for last in 0..n {
+                if s & (1 << last) == 0 {
+                    continue;
+                }
+                let rest = s & !(1 << last);
+                if !allow_cross && !connects(last, s) {
+                    continue;
+                }
+                let Some((prev_cost, prev_order)) = &dp[rest as usize] else {
+                    continue;
+                };
+                let cost = prev_cost + card_of(s);
+                if dp[s as usize].as_ref().is_none_or(|(c, _)| cost < *c) {
+                    let mut order = prev_order.clone();
+                    order.push(last);
+                    dp[s as usize] = Some((cost, order));
+                }
+            }
+            if dp[s as usize].is_some() {
+                break;
+            }
+        }
+    }
+    match dp[full as usize].take() {
+        Some((_, order)) => order,
+        // Unreachable in practice (cross extensions make every subset
+        // solvable), but never fail the query over ordering.
+        None => greedy_order(preds, est, rel_of_col),
+    }
+}
+
+/// Selectivity of one flat-schema predicate for DP costing. Equality
+/// between bare columns of two relations uses the distinct-value join
+/// estimate `1 / max(ndv_l, ndv_r)` (NDVs clamped to the filtered inputs,
+/// so a filter on a dimension propagates); anything else falls back to
+/// the fixed constant.
+fn join_pred_selectivity(
+    p: &BExpr,
+    rels: &[Plan],
+    est: &[f64],
+    offsets: &[usize],
+    rel_of_col: &dyn Fn(usize) -> usize,
+    stats: &dyn Stats,
+) -> f64 {
+    let BExpr::Cmp { op: CmpOp::Eq, left, right } = p else {
+        return DEFAULT_SEL;
+    };
+    // NDV of one side: a bare flat-schema column whose relation resolves
+    // to base-column stats; fallback = the relation's own cardinality
+    // (keys assumed near-unique).
+    let side_ndv = |e: &BExpr| -> Option<f64> {
+        let BExpr::ColRef { idx, .. } = e else {
+            return None;
+        };
+        let r = rel_of_col(*idx);
+        let local = *idx - offsets[r];
+        let ndv = match col_stats_of(&rels[r], local, stats) {
+            Some(cs) if cs.ndv >= 1.0 => cs.ndv,
+            _ => est[r],
+        };
+        Some(ndv.min(est[r]).max(1.0))
+    };
+    match (side_ndv(left), side_ndv(right)) {
+        (Some(a), Some(b)) => 1.0 / a.max(b),
+        _ => DEFAULT_SEL,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality estimation
+// ---------------------------------------------------------------------------
+
+/// Fallback selectivity for predicates the model cannot analyse — the
+/// pre-statistics per-filter constant (`/4.0`).
+const DEFAULT_SEL: f64 = 0.25;
+
+/// Fallback group-count divisor (the pre-statistics `/10.0`).
+const DEFAULT_GROUP_DIV: f64 = 10.0;
+
+/// Estimated output rows of a plan (public for EXPLAIN's `-- stats`
+/// section and the benches/tests).
+pub fn estimate_rows(p: &Plan, stats: &dyn Stats) -> f64 {
+    estimate(p, stats)
+}
+
+/// Resolve an output column of `p` to the base-table column it carries
+/// unchanged, if any.
+fn base_col_of(p: &Plan, col: usize) -> Option<(&str, usize)> {
+    match p {
+        Plan::Scan { table, projected, .. } => projected.get(col).map(|&c| (table.as_str(), c)),
+        Plan::Filter { input, .. } => base_col_of(input, col),
+        Plan::Project { input, exprs, .. } => match exprs.get(col)? {
+            BExpr::ColRef { idx, .. } => base_col_of(input, *idx),
+            _ => None,
+        },
+        Plan::Join { left, right, kind, .. } => {
+            let nleft = left.schema().len();
+            if col < nleft {
+                base_col_of(left, col)
+            } else if !matches!(kind, PJoinKind::Semi | PJoinKind::Anti) {
+                base_col_of(right, col - nleft)
+            } else {
+                None
+            }
+        }
+        Plan::Sort { input, .. } | Plan::Limit { input, .. } | Plan::TopN { input, .. } => {
+            base_col_of(input, col)
+        }
+        Plan::Distinct { input } => base_col_of(input, col),
+        Plan::Aggregate { input, groups, .. } => match groups.get(col)? {
+            BExpr::ColRef { idx, .. } => base_col_of(input, *idx),
+            _ => None,
+        },
+        Plan::Values { .. } => None,
+    }
+}
+
+/// Column statistics of output column `col` of `p`, when it traces to a
+/// base-table column.
+fn col_stats_of(p: &Plan, col: usize, stats: &dyn Stats) -> Option<ColStats> {
+    let (t, c) = base_col_of(p, col)?;
+    stats.column_stats(t, c)
+}
+
+/// Split a conjunction without consuming it.
+fn split_and_refs<'a>(e: &'a BExpr, out: &mut Vec<&'a BExpr>) {
+    match e {
+        BExpr::And(a, b) => {
+            split_and_refs(a, out);
+            split_and_refs(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Selectivity of one predicate over the output of `input`.
+fn selectivity(pred: &BExpr, input: &Plan, stats: &dyn Stats) -> f64 {
+    // A constant predicate selects everything or nothing; the old model
+    // charged it a /4 like any other conjunct, which skewed build-side
+    // choices downstream (covers un-folded `1 = 1` residuals too).
+    if pred.is_const() {
+        if let Ok(out) = kernels::eval(pred, &[], 1) {
+            return match out.get(0) {
+                Value::Bool(true) => 1.0,
+                _ => 0.0,
+            };
+        }
+    }
+    let s = match pred {
+        BExpr::Lit(Value::Bool(true)) => 1.0,
+        BExpr::Lit(Value::Bool(false)) | BExpr::Lit(Value::Null) => 0.0,
+        BExpr::And(..) => {
+            let mut parts = Vec::new();
+            split_and_refs(pred, &mut parts);
+            conj_selectivity(&parts, input, stats)
+        }
+        BExpr::Or(a, b) => {
+            let (sa, sb) = (selectivity(a, input, stats), selectivity(b, input, stats));
+            sa + sb - sa * sb
+        }
+        BExpr::Not(a) => 1.0 - selectivity(a, input, stats),
+        BExpr::IsNull { input: e, negated } => {
+            let nf = match e.as_ref() {
+                BExpr::ColRef { idx, .. } => {
+                    col_stats_of(input, *idx, stats).map(|cs| cs.null_frac)
+                }
+                _ => None,
+            };
+            match (nf, negated) {
+                (Some(nf), false) => nf,
+                (Some(nf), true) => 1.0 - nf,
+                (None, false) => 0.1,
+                (None, true) => 0.9,
+            }
+        }
+        BExpr::Like { negated, .. } => {
+            if *negated {
+                1.0 - DEFAULT_SEL
+            } else {
+                DEFAULT_SEL
+            }
+        }
+        BExpr::Cmp { .. } => cmp_selectivity(pred, input, stats),
+        _ => DEFAULT_SEL,
+    };
+    s.clamp(0.0, 1.0)
+}
+
+/// Selectivity of a column-vs-constant comparison from the column's
+/// NDV / null fraction / min-max range; [`DEFAULT_SEL`] when the shape or
+/// the statistics are unavailable.
+fn cmp_selectivity(pred: &BExpr, input: &Plan, stats: &dyn Stats) -> f64 {
+    // `col <> const`: the complement of one distinct value.
+    if let BExpr::Cmp { op: CmpOp::NotEq, left, right } = pred {
+        let col = match (left.as_ref(), right.as_ref()) {
+            (BExpr::ColRef { idx, .. }, BExpr::Lit(v)) if !v.is_null() => Some(*idx),
+            (BExpr::Lit(v), BExpr::ColRef { idx, .. }) if !v.is_null() => Some(*idx),
+            _ => None,
+        };
+        if let Some(cs) = col.and_then(|c| col_stats_of(input, c, stats)) {
+            if cs.ndv >= 1.0 {
+                return (1.0 - cs.null_frac) * (1.0 - 1.0 / cs.ndv);
+            }
+        }
+        return 1.0 - DEFAULT_SEL;
+    }
+    let Some((col, lo, hi)) = crate::exec::zone_probe_of(pred) else {
+        // Equality against a constant the order-key domain cannot map
+        // (VARCHAR above all — strings hash, they don't order) is still
+        // one distinct value: use the column's NDV, minus any range
+        // check.
+        if let BExpr::Cmp { op: CmpOp::Eq, left, right } = pred {
+            let col = match (left.as_ref(), right.as_ref()) {
+                (BExpr::ColRef { idx, .. }, BExpr::Lit(v)) if !v.is_null() => Some(*idx),
+                (BExpr::Lit(v), BExpr::ColRef { idx, .. }) if !v.is_null() => Some(*idx),
+                _ => None,
+            };
+            if let Some(cs) = col.and_then(|c| col_stats_of(input, c, stats)) {
+                return if cs.ndv >= 1.0 { (1.0 - cs.null_frac) / cs.ndv } else { 0.0 };
+            }
+        }
+        return DEFAULT_SEL;
+    };
+    let Some(cs) = col_stats_of(input, col, stats) else {
+        return DEFAULT_SEL;
+    };
+    let nonnull = 1.0 - cs.null_frac;
+    if cs.ndv < 1.0 {
+        return 0.0; // empty / all-NULL column: nothing can match
+    }
+    // Point probe: one distinct value.
+    if let (Some(k), true) = (lo, lo == hi) {
+        if let (Some(mn), Some(mx)) = (cs.min_key, cs.max_key) {
+            if k < mn || k > mx {
+                return 0.0;
+            }
+        }
+        return nonnull / cs.ndv;
+    }
+    // Range probe: fraction of the [min, max] span (uniformity
+    // assumption; for DOUBLE the order-preserving key domain is
+    // monotonic but non-linear, which we accept as an approximation).
+    let (Some(mn), Some(mx)) = (cs.min_key, cs.max_key) else {
+        return DEFAULT_SEL;
+    };
+    let (mnf, mxf) = (mn as f64, mx as f64);
+    let lof = lo.map_or(mnf, |v| v as f64).max(mnf);
+    let hif = hi.map_or(mxf, |v| v as f64).min(mxf);
+    if lof > hif {
+        return 0.0;
+    }
+    let span = mxf - mnf;
+    if span <= 0.0 {
+        return nonnull; // single-valued column inside the probe
+    }
+    nonnull * ((hif - lof + 1.0) / (span + 1.0)).min(1.0)
+}
+
+/// Combined selectivity of a conjunction with exponential backoff: the
+/// most selective conjunct applies at full strength, each further one at
+/// the square root of the previous exponent — correlated predicates (Q6's
+/// pair of date bounds, Q19's stacked conditions) then cannot drive the
+/// estimate to zero.
+fn conj_selectivity(preds: &[&BExpr], input: &Plan, stats: &dyn Stats) -> f64 {
+    let mut sels: Vec<f64> = preds.iter().map(|p| selectivity(p, input, stats)).collect();
+    sels.sort_by(f64::total_cmp);
+    let mut total = 1.0f64;
+    let mut exp = 1.0f64;
+    for s in sels {
+        total *= s.powf(exp);
+        exp /= 2.0;
+    }
+    total
+}
+
+/// Cardinality estimate of a plan node. Every result is clamped to
+/// `[1, input]` (for joins: `[1, |L|·|R|]`), so no sequence of vacuous
+/// predicates can talk an estimate below one row.
 fn estimate(p: &Plan, stats: &dyn Stats) -> f64 {
     match p {
         Plan::Scan { table, filters, .. } => {
-            let base = stats.table_rows(table) as f64;
-            base / 4f64.powi(filters.len() as i32)
+            let base = (stats.table_rows(table) as f64).max(1.0);
+            let parts: Vec<&BExpr> = filters.iter().collect();
+            let sel = conj_selectivity(&parts, p, stats);
+            (base * sel).clamp(1.0, base)
         }
-        Plan::Filter { input, .. } => estimate(input, stats) / 4.0,
+        Plan::Filter { input, pred } => {
+            let inp = estimate(input, stats);
+            let mut parts = Vec::new();
+            split_and_refs(pred, &mut parts);
+            let sel = conj_selectivity(&parts, input, stats);
+            (inp * sel).clamp(1.0, inp)
+        }
         Plan::Project { input, .. } | Plan::Sort { input, .. } | Plan::Distinct { input } => {
             estimate(input, stats)
         }
         Plan::Limit { input, n } | Plan::TopN { input, n, .. } => {
-            estimate(input, stats).min(*n as f64)
+            estimate(input, stats).min((*n as f64).max(1.0))
         }
         Plan::Aggregate { input, groups, .. } => {
             if groups.is_empty() {
-                1.0
-            } else {
-                (estimate(input, stats) / 10.0).max(1.0)
+                return 1.0;
             }
+            let inp = estimate(input, stats);
+            // Product of group-key NDVs when every key resolves to a
+            // column with statistics; the fixed divisor otherwise.
+            let mut ndv_prod = 1.0f64;
+            let mut all_known = true;
+            for g in groups {
+                let cs = match g {
+                    BExpr::ColRef { idx, .. } => col_stats_of(input, *idx, stats),
+                    _ => None,
+                };
+                match cs {
+                    Some(cs) if cs.ndv >= 1.0 => {
+                        ndv_prod *= cs.ndv + (cs.null_frac > 0.0) as u64 as f64
+                    }
+                    _ => {
+                        all_known = false;
+                        break;
+                    }
+                }
+            }
+            let guess = if all_known { ndv_prod } else { inp / DEFAULT_GROUP_DIV };
+            guess.clamp(1.0, inp)
         }
-        Plan::Join { left, right, kind, .. } => {
+        Plan::Join { left, right, kind, left_keys, right_keys, residual, .. } => {
             let l = estimate(left, stats);
             let r = estimate(right, stats);
             match kind {
-                PJoinKind::Cross => l * r,
-                PJoinKind::Semi | PJoinKind::Anti => l,
-                _ => l.max(r),
+                PJoinKind::Cross => (l * r).max(1.0),
+                PJoinKind::Semi | PJoinKind::Anti => l.max(1.0),
+                PJoinKind::Inner | PJoinKind::Left => {
+                    let mut out = l * r;
+                    for (lk, rk) in left_keys.iter().zip(right_keys) {
+                        let ndv_of = |e: &BExpr, side: &Plan, side_est: f64| -> f64 {
+                            let ndv = match e {
+                                BExpr::ColRef { idx, .. } => {
+                                    match col_stats_of(side, *idx, stats) {
+                                        Some(cs) if cs.ndv >= 1.0 => cs.ndv,
+                                        _ => side_est,
+                                    }
+                                }
+                                _ => side_est,
+                            };
+                            ndv.min(side_est).max(1.0)
+                        };
+                        let (nl, nr) = (ndv_of(lk, left, l), ndv_of(rk, right, r));
+                        out /= nl.max(nr);
+                    }
+                    if let Some(res) = residual {
+                        let mut parts = Vec::new();
+                        split_and_refs(res, &mut parts);
+                        // Residuals see the concatenated schema: resolve
+                        // columns over the join node itself.
+                        let sel = conj_selectivity(&parts, p, stats);
+                        out *= sel;
+                    }
+                    let out = out.clamp(1.0, (l * r).max(1.0));
+                    if *kind == PJoinKind::Left {
+                        out.max(l) // every probe row survives
+                    } else {
+                        out
+                    }
+                }
             }
         }
-        Plan::Values { rows, .. } => rows.len() as f64,
+        Plan::Values { rows, .. } => (rows.len() as f64).max(1.0),
     }
 }
 
 /// Flatten a tree of inner/cross joins into relations + predicates over
-/// the concatenated schema (keys turn back into equality predicates).
-fn flatten_join_cluster(p: Plan, rels: &mut Vec<Plan>, preds: &mut Vec<BExpr>) -> Result<()> {
+/// the concatenated flat schema (keys turn back into equality
+/// predicates). Pure projections — every output a bare `ColRef` — sitting
+/// between joins are flattened *through* (the binder's decorrelation and
+/// earlier ordering passes leave such barriers, and stopping at them
+/// would fragment the join graph into unreorderable islands).
+///
+/// Returns the mapping from the node's output columns to flat columns.
+fn flatten_join_cluster(
+    p: Plan,
+    rels: &mut Vec<Plan>,
+    preds: &mut Vec<BExpr>,
+) -> Result<Vec<usize>> {
     match p {
         Plan::Join {
             left,
             right,
-            kind: kind @ (PJoinKind::Inner | PJoinKind::Cross),
+            kind: PJoinKind::Inner | PJoinKind::Cross,
             left_keys,
             right_keys,
             residual,
             ..
         } => {
-            let _ = kind;
-            let before_left = col_count(rels);
-            flatten_join_cluster(*left, rels, preds)?;
-            let before_right = col_count(rels);
-            flatten_join_cluster(*right, rels, preds)?;
+            let lmap = flatten_join_cluster(*left, rels, preds)?;
+            let rmap = flatten_join_cluster(*right, rels, preds)?;
             // Keys/residual were expressed over (left ++ right) of THIS
-            // node; left columns started at before_left, right columns at
-            // before_right in the flat schema.
-            let nleft_local = before_right - before_left;
-            let remap = |c: usize| {
-                if c < nleft_local {
-                    before_left + c
-                } else {
-                    before_right + (c - nleft_local)
-                }
-            };
+            // node; route them through the children's flat mappings.
+            let nleft_local = lmap.len();
             for (lk, rk) in left_keys.into_iter().zip(right_keys) {
-                let l = lk.remap_cols(&|c| before_left + c);
-                let r = rk.remap_cols(&|c| before_right + c);
+                let l = lk.remap_cols(&|c| lmap[c]);
+                let r = rk.remap_cols(&|c| rmap[c]);
                 preds.push(BExpr::Cmp {
                     op: crate::expr::CmpOp::Eq,
                     left: Box::new(l),
@@ -621,13 +1196,42 @@ fn flatten_join_cluster(p: Plan, rels: &mut Vec<Plan>, preds: &mut Vec<BExpr>) -
                 });
             }
             if let Some(res) = residual {
-                preds.push(res.remap_cols(&remap));
+                preds.push(res.remap_cols(&|c| {
+                    if c < nleft_local {
+                        lmap[c]
+                    } else {
+                        rmap[c - nleft_local]
+                    }
+                }));
             }
-            Ok(())
+            let mut map = lmap;
+            map.extend(rmap);
+            Ok(map)
+        }
+        Plan::Project { input, exprs, schema }
+            if exprs.iter().all(|e| matches!(e, BExpr::ColRef { .. }))
+                && matches!(
+                    input.as_ref(),
+                    Plan::Join { kind: PJoinKind::Inner | PJoinKind::Cross, .. }
+                        | Plan::Project { .. }
+                ) =>
+        {
+            let imap = flatten_join_cluster(*input, rels, preds)?;
+            let map = exprs
+                .iter()
+                .map(|e| {
+                    let BExpr::ColRef { idx, .. } = e else { unreachable!() };
+                    imap[*idx]
+                })
+                .collect();
+            let _ = schema;
+            Ok(map)
         }
         other => {
+            let base = col_count(rels);
+            let width = other.schema().len();
             rels.push(other);
-            Ok(())
+            Ok((base..base + width).collect())
         }
     }
 }
@@ -1213,6 +1817,240 @@ mod tests {
             optimize_sql("SELECT v FROM big WHERE id IN (SELECT id FROM small WHERE name = 'x')");
         let s = p.render();
         assert!(s.contains("semi join"), "{s}");
+    }
+
+    /// Column-stats-aware test double: (table, col) → ColStats.
+    struct ColFixedStats {
+        rows: HashMap<String, usize>,
+        cols: HashMap<(String, usize), ColStats>,
+    }
+
+    impl Stats for ColFixedStats {
+        fn table_rows(&self, name: &str) -> usize {
+            *self.rows.get(name).unwrap_or(&1000)
+        }
+
+        fn column_stats(&self, table: &str, col: usize) -> Option<ColStats> {
+            self.cols.get(&(table.to_string(), col)).copied()
+        }
+    }
+
+    fn cs(ndv: f64, min: i64, max: i64) -> ColStats {
+        ColStats { null_frac: 0.0, ndv, min_key: Some(min), max_key: Some(max) }
+    }
+
+    fn scan_with(table: &str, filters: Vec<BExpr>) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            projected: vec![0],
+            filters,
+            schema: vec![OutCol { name: "a".into(), ty: LogicalType::Int }],
+        }
+    }
+
+    fn col0() -> BExpr {
+        BExpr::ColRef { idx: 0, ty: LogicalType::Int }
+    }
+
+    fn cmp(op: crate::expr::CmpOp, l: BExpr, r: BExpr) -> BExpr {
+        BExpr::Cmp { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    #[test]
+    fn equality_selectivity_is_one_over_ndv() {
+        let mut stats = ColFixedStats { rows: HashMap::new(), cols: HashMap::new() };
+        stats.rows.insert("t".into(), 10_000);
+        stats.cols.insert(("t".into(), 0), cs(100.0, 0, 999));
+        let p =
+            scan_with("t", vec![cmp(crate::expr::CmpOp::Eq, col0(), BExpr::Lit(Value::Int(5)))]);
+        let est = estimate_rows(&p, &stats);
+        assert!((est - 100.0).abs() < 1.0, "10000/ndv(100) = 100, got {est}");
+        // A probe outside [min, max] estimates the clamp floor.
+        let p =
+            scan_with("t", vec![cmp(crate::expr::CmpOp::Eq, col0(), BExpr::Lit(Value::Int(5000)))]);
+        assert_eq!(estimate_rows(&p, &stats), 1.0, "out-of-range point probe");
+    }
+
+    #[test]
+    fn range_selectivity_is_span_fraction() {
+        let mut stats = ColFixedStats { rows: HashMap::new(), cols: HashMap::new() };
+        stats.rows.insert("t".into(), 10_000);
+        stats.cols.insert(("t".into(), 0), cs(1000.0, 0, 999));
+        // a < 100 over [0, 999]: ~10%.
+        let p =
+            scan_with("t", vec![cmp(crate::expr::CmpOp::Lt, col0(), BExpr::Lit(Value::Int(100)))]);
+        let est = estimate_rows(&p, &stats);
+        assert!((900.0..=1100.0).contains(&est), "~10% of 10000, got {est}");
+        // Disjoint range: floor.
+        let p =
+            scan_with("t", vec![cmp(crate::expr::CmpOp::Gt, col0(), BExpr::Lit(Value::Int(5000)))]);
+        assert_eq!(estimate_rows(&p, &stats), 1.0);
+    }
+
+    #[test]
+    fn conjunction_backoff_and_clamp_floor() {
+        let mut stats = ColFixedStats { rows: HashMap::new(), cols: HashMap::new() };
+        stats.rows.insert("t".into(), 1000);
+        stats.cols.insert(("t".into(), 0), cs(1000.0, 0, 999));
+        // Ten copies of the same selective predicate: naive independence
+        // would estimate 1000 * (1/1000)^10 ≈ 0; backoff + clamp keep the
+        // estimate at the floor, never below one row.
+        let pred = cmp(crate::expr::CmpOp::Eq, col0(), BExpr::Lit(Value::Int(1)));
+        let p = scan_with("t", vec![pred; 10]);
+        let est = estimate_rows(&p, &stats);
+        assert!((1.0..=1000.0).contains(&est), "clamped to [1, input], got {est}");
+        // Backoff: two identical 10% predicates estimate closer to 10%
+        // than to 1%.
+        let r = cmp(crate::expr::CmpOp::Lt, col0(), BExpr::Lit(Value::Int(100)));
+        let p2 = scan_with("t", vec![r.clone(), r]);
+        let est2 = estimate_rows(&p2, &stats);
+        assert!(est2 > 20.0, "exponential backoff, got {est2}");
+        assert!(est2 <= 110.0, "still no more than one predicate's worth, got {est2}");
+    }
+
+    #[test]
+    fn vacuous_filter_does_not_shrink_estimates() {
+        // Regression (issue bugfix): the old model charged every Filter
+        // node /4 even for an always-true residual, halving downstream
+        // build-side choices.
+        let (_, stats) = setup();
+        let scan = scan_with("big", vec![]);
+        let base = estimate_rows(&scan, &stats);
+        let noop =
+            Plan::Filter { input: Box::new(scan.clone()), pred: BExpr::Lit(Value::Bool(true)) };
+        assert_eq!(estimate_rows(&noop, &stats), base, "no-op filter must not shrink");
+        // Same for an un-folded constant comparison pushed into a scan.
+        let one_eq_one =
+            cmp(crate::expr::CmpOp::Eq, BExpr::Lit(Value::Int(1)), BExpr::Lit(Value::Int(1)));
+        let noop2 = scan_with("big", vec![one_eq_one]);
+        assert_eq!(estimate_rows(&noop2, &stats), base, "1=1 in a scan must not shrink");
+        // Nor does it flip a build-side decision: big (1M) joined to mid
+        // (10k) keeps big on the probe side even when big carries a
+        // vacuous filter.
+        let p = optimize_sql_with(
+            "SELECT big.v FROM big, mid WHERE big.k = mid.big_id AND 1 = 1",
+            OptFlags { fold: false, ..OptFlags::default() },
+        );
+        fn first_join(p: &Plan) -> Option<(&Plan, &Plan)> {
+            match p {
+                Plan::Join { left, right, .. } => Some((left, right)),
+                Plan::Filter { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Sort { input, .. }
+                | Plan::Limit { input, .. }
+                | Plan::TopN { input, .. }
+                | Plan::Distinct { input }
+                | Plan::Aggregate { input, .. } => first_join(input),
+                _ => None,
+            }
+        }
+        let (left, right) = first_join(&p).expect("join survives");
+        assert!(left.render().contains("big"), "probe side: {}", p.render());
+        assert!(right.render().contains("mid"), "build side: {}", p.render());
+    }
+
+    #[test]
+    fn group_estimate_uses_ndv() {
+        let mut stats = ColFixedStats { rows: HashMap::new(), cols: HashMap::new() };
+        stats.rows.insert("t".into(), 100_000);
+        stats.cols.insert(("t".into(), 0), cs(42.0, 0, 41));
+        let agg = Plan::Aggregate {
+            input: Box::new(scan_with("t", vec![])),
+            groups: vec![col0()],
+            aggs: vec![],
+            schema: vec![OutCol { name: "a".into(), ty: LogicalType::Int }],
+        };
+        let est = estimate_rows(&agg, &stats);
+        assert!((est - 42.0).abs() < 1.0, "group count = key NDV, got {est}");
+    }
+
+    #[test]
+    fn join_estimate_distinct_value_model() {
+        // fact (1M rows, key ndv 1000) ⋈ dim (1000 rows, unique key):
+        // |out| = 1M·1000 / max(1000, 1000) = 1M (the FK join keeps the
+        // fact's cardinality).
+        let mut stats = ColFixedStats { rows: HashMap::new(), cols: HashMap::new() };
+        stats.rows.insert("fact".into(), 1_000_000);
+        stats.rows.insert("dim".into(), 1000);
+        stats.cols.insert(("fact".into(), 0), cs(1000.0, 0, 999));
+        stats.cols.insert(("dim".into(), 0), cs(1000.0, 0, 999));
+        let join = Plan::Join {
+            left: Box::new(scan_with("fact", vec![])),
+            right: Box::new(scan_with("dim", vec![])),
+            kind: PJoinKind::Inner,
+            left_keys: vec![col0()],
+            right_keys: vec![col0()],
+            residual: None,
+            schema: vec![
+                OutCol { name: "a".into(), ty: LogicalType::Int },
+                OutCol { name: "a".into(), ty: LogicalType::Int },
+            ],
+        };
+        let est = estimate_rows(&join, &stats);
+        assert!((est - 1_000_000.0).abs() / 1_000_000.0 < 0.01, "FK join, got {est}");
+    }
+
+    #[test]
+    fn dp_orders_by_join_selectivity_not_relation_size() {
+        // a(100) joins b(500) producing 500 rows, and joins c(1000)
+        // producing 100 rows. Greedy picks the smaller *relation* (b)
+        // first; DP sees the smaller *intermediate* and joins c first.
+        let mut t = HashMap::new();
+        t.insert(
+            "ja".to_string(),
+            Schema::new(vec![
+                Field::not_null("x", LogicalType::Int),
+                Field::not_null("u", LogicalType::Int),
+            ])
+            .unwrap(),
+        );
+        t.insert(
+            "jb".to_string(),
+            Schema::new(vec![Field::not_null("y", LogicalType::Int)]).unwrap(),
+        );
+        t.insert(
+            "jc".to_string(),
+            Schema::new(vec![Field::not_null("v", LogicalType::Int)]).unwrap(),
+        );
+        let cat = Cat(t);
+        let mut stats = ColFixedStats { rows: HashMap::new(), cols: HashMap::new() };
+        stats.rows.insert("ja".into(), 100);
+        stats.rows.insert("jb".into(), 500);
+        stats.rows.insert("jc".into(), 1000);
+        stats.cols.insert(("ja".into(), 0), cs(100.0, 0, 99));
+        stats.cols.insert(("ja".into(), 1), cs(100.0, 0, 99));
+        stats.cols.insert(("jb".into(), 0), cs(100.0, 0, 99));
+        stats.cols.insert(("jc".into(), 0), cs(1000.0, 0, 999));
+        let sql = "SELECT ja.x FROM ja, jb, jc WHERE ja.x = jb.y AND ja.u = jc.v";
+        let stmt = monetlite_sql::parse_statement(sql).unwrap();
+        let monetlite_sql::Statement::Select(s) = stmt else { panic!() };
+        let order_of = |dp: bool| -> Vec<String> {
+            let plan = Binder::new(&cat).bind_select(&s).unwrap();
+            let flags = OptFlags { join_dp: dp, build_side: false, ..OptFlags::default() };
+            let p = optimize(plan, flags, &stats, &cat).unwrap();
+            p.render()
+                .lines()
+                .filter(|l| l.trim_start().starts_with("scan"))
+                .map(|l| l.split_whitespace().nth(1).unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(order_of(true), vec!["ja", "jc", "jb"], "DP: selective join first");
+        assert_eq!(order_of(false), vec!["ja", "jb", "jc"], "greedy: smaller relation first");
+    }
+
+    #[test]
+    fn adversarial_stats_are_deterministic_per_seed() {
+        let (_, inner) = setup();
+        let a = ModedStats { inner: &inner, mode: StatsMode::Adversarial(42) };
+        let b = ModedStats { inner: &inner, mode: StatsMode::Adversarial(42) };
+        let c = ModedStats { inner: &inner, mode: StatsMode::Adversarial(43) };
+        assert_eq!(a.table_rows("big"), b.table_rows("big"));
+        assert_eq!(a.column_stats("big", 1), b.column_stats("big", 1));
+        assert_ne!(a.table_rows("big"), c.table_rows("big"), "different seed, different lies");
+        // TableRowsOnly passes rows through and hides column stats.
+        let t = ModedStats { inner: &inner, mode: StatsMode::TableRowsOnly };
+        assert_eq!(t.table_rows("big"), 1_000_000);
+        assert!(t.column_stats("big", 0).is_none());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::bat::Bat;
 use crate::index::{bat_keys, HashIndex, Imprints, OrderIndex, Zonemap};
 use crate::persist;
+use crate::stats::ColumnStats;
 use crate::vmem::{ResidentSlot, Vmem};
 use monetlite_types::{LogicalType, MlError, Result, Schema};
 use parking_lot::Mutex;
@@ -48,6 +49,10 @@ pub struct IdxCache {
     /// scan (or loaded from the checkpoint's `.zm` sidecar), used to skip
     /// whole vectors before any kernel runs.
     pub zonemap: Option<Arc<Zonemap>>,
+    /// Column statistics (row/null counts, NDV sketch, min/max) — built
+    /// on first optimizer use (or loaded from the checkpoint's `.st`
+    /// sidecar), merged forward across appends at consolidation.
+    pub stats: Option<Arc<ColumnStats>>,
 }
 
 /// A handle to one physical column: its data (resident or off-loaded to a
@@ -227,6 +232,44 @@ impl ColumnEntry {
     /// the freshly consolidated column and caches it here).
     pub fn install_zonemap(&self, z: Arc<Zonemap>) {
         self.idx.lock().zonemap = Some(z);
+    }
+
+    /// Get or build the column's statistics. Resolution order: in-memory
+    /// cache, then the checkpoint's `.st` sidecar (so the optimizer can
+    /// cost a cold column without faulting its data in), then a one-pass
+    /// build from the column. Sidecar validation failures are cache
+    /// misses, not errors.
+    pub fn stats(&self) -> Result<Arc<ColumnStats>> {
+        if let Some(s) = &self.idx.lock().stats {
+            return Ok(s.clone());
+        }
+        if let Some(p) = self.backing_path() {
+            let sp = crate::persist::stats_sidecar(&p);
+            if sp.exists() {
+                if let Ok(st) = crate::persist::read_stats_file(&sp) {
+                    if st.rows == self.len {
+                        let mut g = self.idx.lock();
+                        return Ok(g.stats.get_or_insert(Arc::new(st)).clone());
+                    }
+                }
+            }
+        }
+        let bat = self.bat()?;
+        let built = Arc::new(ColumnStats::build(&bat));
+        let mut g = self.idx.lock();
+        Ok(g.stats.get_or_insert(built).clone())
+    }
+
+    /// Peek at existing statistics without building them.
+    pub fn stats_opt(&self) -> Option<Arc<ColumnStats>> {
+        self.idx.lock().stats.clone()
+    }
+
+    /// Install pre-built statistics (consolidation merges the base
+    /// segment's cached stats with the appended segments'; checkpoint
+    /// caches what it writes to the sidecar).
+    pub fn install_stats(&self, s: Arc<ColumnStats>) {
+        self.idx.lock().stats = Some(s);
     }
 
     /// Peek at an existing zonemap without building one.
@@ -429,9 +472,25 @@ impl SegColumn {
             }
             None => None,
         };
+        // Carry column statistics forward: merge the base's cached stats
+        // with one-pass stats of each (small) appended segment instead of
+        // rescanning the whole column.
+        let carried_stats = match base.stats_opt() {
+            Some(s) => {
+                let mut acc = (*s).clone();
+                for seg in &segs[1..] {
+                    acc = acc.merge(&ColumnStats::build(seg.bat()?.as_ref()));
+                }
+                Some(Arc::new(acc))
+            }
+            None => None,
+        };
         let entry = Arc::new(ColumnEntry::from_bat(bat));
         if let Some(h) = carried_hash {
             entry.install_hash(h);
+        }
+        if let Some(s) = carried_stats {
+            entry.install_stats(s);
         }
         Ok(entry)
     }
@@ -642,6 +701,36 @@ mod tests {
         let e = col.entry().unwrap();
         assert!(e.zonemap_opt().is_none());
         assert_eq!(e.zonemap().unwrap().rows(), 101, "rebuilt over the consolidated data");
+    }
+
+    #[test]
+    fn stats_cached_and_merged_across_consolidation() {
+        let base = int_entry(vec![1, 2, 2, i32::MIN]);
+        let s1 = base.stats().unwrap();
+        assert_eq!((s1.rows, s1.nulls), (4, 1));
+        assert!(Arc::ptr_eq(&s1, &base.stats().unwrap()), "second call hits the cache");
+        // Consolidation merges instead of rescanning; the result must
+        // equal a fresh build over the concatenated data.
+        let col = SegColumn::from_entry(base).appended(Bat::Int(vec![9, i32::MIN]));
+        let e = col.entry().unwrap();
+        let carried = e.stats_opt().expect("stats carried across append");
+        let rebuilt = ColumnStats::build(&e.bat().unwrap());
+        assert_eq!((carried.rows, carried.nulls), (rebuilt.rows, rebuilt.nulls));
+        assert_eq!((carried.min_key, carried.max_key), (rebuilt.min_key, rebuilt.max_key));
+        assert_eq!(carried.sketch, rebuilt.sketch, "HLL merge is order-insensitive");
+    }
+
+    #[test]
+    fn stats_not_built_eagerly_on_consolidation() {
+        // Without a prior optimizer touch, consolidation must not pay a
+        // stats pass; the next stats() call builds over the consolidated
+        // column.
+        let col = SegColumn::from_entry(int_entry(vec![1, 2])).appended(Bat::Int(vec![3]));
+        let e = col.entry().unwrap();
+        assert!(e.stats_opt().is_none());
+        let s = e.stats().unwrap();
+        assert_eq!(s.rows, 3);
+        assert_eq!((s.min_key, s.max_key), (1, 3));
     }
 
     #[test]

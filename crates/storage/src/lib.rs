@@ -12,6 +12,8 @@
 //! * [`vmem`] — a simulation of the OS page cache over memory-mapped column
 //!   files: no buffer pool; hot columns stay resident, cold ones are
 //!   evicted under a global byte budget and transparently reloaded.
+//! * [`stats`] — per-column statistics (row/null counts, HyperLogLog NDV
+//!   sketch, min/max) feeding the cost-based optimizer.
 //! * [`persist`] — the on-disk column-file format.
 //! * [`wal`] — the write-ahead log, checkpointing and crash recovery.
 //! * [`catalog`] — immutable catalog snapshots (tables, schemas, column
@@ -25,6 +27,7 @@ pub mod catalog;
 pub mod heap;
 pub mod index;
 pub mod persist;
+pub mod stats;
 pub mod store;
 pub mod vmem;
 pub mod wal;

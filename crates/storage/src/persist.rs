@@ -15,6 +15,7 @@
 use crate::bat::Bat;
 use crate::heap::StringHeap;
 use crate::index::{fnv1a, Zonemap};
+use crate::stats::{ColumnStats, NdvSketch, HLL_REGS};
 use monetlite_types::{MlError, Result};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -23,6 +24,8 @@ use std::path::{Path, PathBuf};
 const MAGIC: &[u8; 4] = b"MLB1";
 /// Zonemap sidecar magic ([`write_zonemap_file`]).
 const ZM_MAGIC: &[u8; 4] = b"MLZ1";
+/// Column-statistics sidecar magic ([`write_stats_file`]).
+const ST_MAGIC: &[u8; 4] = b"MLS1";
 const ENDIAN_MARK: u16 = 0xBEEF;
 
 /// Sanity cap on any decoded length field (a corrupt length must not
@@ -308,6 +311,96 @@ pub fn read_zonemap_file(path: &Path) -> Result<Zonemap> {
         .ok_or_else(|| MlError::Corrupt(format!("{}: zonemap shape mismatch", path.display())))
 }
 
+// ---------------------------------------------------------------------------
+// Column-statistics sidecars
+// ---------------------------------------------------------------------------
+
+/// The sidecar path of a column file's statistics (`<file>.st`).
+pub fn stats_sidecar(column_path: &Path) -> PathBuf {
+    let mut os = column_path.as_os_str().to_os_string();
+    os.push(".st");
+    PathBuf::from(os)
+}
+
+/// Write a column-statistics sidecar:
+/// `[magic "MLS1"][endian][rows u64][nulls u64][has_range u8][min i64]
+/// [max i64][nregs u64][registers][fnv checksum]`, atomically via temp
+/// file + rename. Like zonemap sidecars these are pure caches — readers
+/// fall back to rebuilding from the column on any validation failure.
+pub fn write_stats_file(path: &Path, st: &ColumnStats) -> Result<()> {
+    let tmp = path.with_extension("sttmp");
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        let regs = st.sketch.registers();
+        let mut payload = Vec::with_capacity(41 + regs.len());
+        payload.extend_from_slice(&(st.rows as u64).to_le_bytes());
+        payload.extend_from_slice(&(st.nulls as u64).to_le_bytes());
+        payload.push(st.has_range as u8);
+        payload.extend_from_slice(&st.min_key.to_le_bytes());
+        payload.extend_from_slice(&st.max_key.to_le_bytes());
+        payload.extend_from_slice(&(regs.len() as u64).to_le_bytes());
+        payload.extend_from_slice(regs);
+        w.write_all(ST_MAGIC)?;
+        w.write_all(&ENDIAN_MARK.to_ne_bytes())?;
+        w.write_all(&payload)?;
+        w.write_all(&fnv1a(&payload).to_le_bytes())?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a column-statistics sidecar, validating magic, endianness,
+/// checksum and register-count shape. Any failure is [`MlError::Corrupt`];
+/// callers treat it as a cache miss and rebuild from the column data.
+pub fn read_stats_file(path: &Path) -> Result<ColumnStats> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != ST_MAGIC {
+        return Err(MlError::Corrupt(format!("{}: bad stats magic", path.display())));
+    }
+    let mut em = [0u8; 2];
+    r.read_exact(&mut em)?;
+    if u16::from_ne_bytes(em) != ENDIAN_MARK {
+        return Err(MlError::Corrupt(format!("{}: foreign endianness", path.display())));
+    }
+    let mut rest = Vec::new();
+    r.read_to_end(&mut rest)?;
+    if rest.len() < 8 {
+        return Err(MlError::Corrupt(format!("{}: truncated stats", path.display())));
+    }
+    let (payload, ck) = rest.split_at(rest.len() - 8);
+    if fnv1a(payload) != u64::from_le_bytes(ck.try_into().unwrap()) {
+        return Err(MlError::Corrupt(format!("{}: stats checksum mismatch", path.display())));
+    }
+    let mut cursor = payload;
+    let rows = read_u64(&mut cursor)?;
+    let nulls = read_u64(&mut cursor)?;
+    let has_range = read_u8(&mut cursor)? != 0;
+    let mut b8 = [0u8; 8];
+    cursor.read_exact(&mut b8)?;
+    let min_key = i64::from_le_bytes(b8);
+    cursor.read_exact(&mut b8)?;
+    let max_key = i64::from_le_bytes(b8);
+    let nregs = read_u64(&mut cursor)?;
+    if rows > MAX_LEN || nulls > rows || nregs as usize != HLL_REGS {
+        return Err(MlError::Corrupt(format!("{}: stats shape mismatch", path.display())));
+    }
+    let mut regs = vec![0u8; nregs as usize];
+    cursor.read_exact(&mut regs)?;
+    let sketch = NdvSketch::from_registers(regs)
+        .ok_or_else(|| MlError::Corrupt(format!("{}: bad register count", path.display())))?;
+    Ok(ColumnStats {
+        rows: rows as usize,
+        nulls: nulls as usize,
+        min_key,
+        max_key,
+        has_range,
+        sketch,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +526,47 @@ mod tests {
         bytes[mid] ^= 0xFF;
         std::fs::write(&zp, &bytes).unwrap();
         assert!(matches!(read_zonemap_file(&zp), Err(MlError::Corrupt(_))));
+    }
+
+    #[test]
+    fn stats_file_roundtrip_and_corruption() {
+        let dir = tempfile::tempdir().unwrap();
+        let col = dir.path().join("c1.bat");
+        let sp = stats_sidecar(&col);
+        assert!(sp.to_string_lossy().ends_with("c1.bat.st"));
+        let bat =
+            Bat::Int((0..50_000).map(|i| if i % 7 == 0 { i32::MIN } else { i % 999 }).collect());
+        let st = ColumnStats::build(&bat);
+        write_stats_file(&sp, &st).unwrap();
+        let got = read_stats_file(&sp).unwrap();
+        assert_eq!(got.rows, st.rows);
+        assert_eq!(got.nulls, st.nulls);
+        assert_eq!((got.min_key, got.max_key, got.has_range), (st.min_key, st.max_key, true));
+        assert_eq!(got.sketch, st.sketch, "registers roundtrip bit-exactly");
+        // Corruption surfaces as Corrupt (callers rebuild).
+        let mut bytes = std::fs::read(&sp).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&sp, &bytes).unwrap();
+        assert!(matches!(read_stats_file(&sp), Err(MlError::Corrupt(_))));
+        // Truncation too.
+        write_stats_file(&sp, &st).unwrap();
+        let bytes = std::fs::read(&sp).unwrap();
+        std::fs::write(&sp, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(read_stats_file(&sp).is_err());
+    }
+
+    #[test]
+    fn stats_file_no_range_and_bad_magic() {
+        let dir = tempfile::tempdir().unwrap();
+        let sp = dir.path().join("c2.bat.st");
+        let st = ColumnStats::build(&Bat::Int(vec![i32::MIN; 4])); // all NULL
+        write_stats_file(&sp, &st).unwrap();
+        let got = read_stats_file(&sp).unwrap();
+        assert!(!got.has_range);
+        assert_eq!((got.rows, got.nulls), (4, 4));
+        std::fs::write(&sp, b"NOTSTATS").unwrap();
+        assert!(matches!(read_stats_file(&sp), Err(MlError::Corrupt(_))));
     }
 
     #[test]

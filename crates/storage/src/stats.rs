@@ -1,0 +1,373 @@
+//! Per-column statistics: row count, null count, an NDV (number of
+//! distinct values) sketch, and min/max in the order-preserving `i64` key
+//! domain of [`crate::index::key_at`].
+//!
+//! The summaries feed the cost-based optimizer: equality selectivity is
+//! `1/ndv`, range selectivity is the probed fraction of the `[min, max]`
+//! span, and join output cardinality uses the distinct-value estimate
+//! `|L|·|R| / max(ndv_L, ndv_R)`.
+//!
+//! Maintenance discipline mirrors the other column caches:
+//! * built in one pass over a column ([`ColumnStats::build`]);
+//! * **mergeable** ([`ColumnStats::merge`]) so consolidation after an
+//!   append combines the base segment's cached stats with freshly built
+//!   stats of the (small) appended segments instead of rescanning;
+//! * deletes leave them untouched — like zonemaps they are conservative
+//!   physical-row summaries, and the visible row count is tracked by the
+//!   table metadata;
+//! * persisted as checksummed `.st` sidecars at checkpoint
+//!   ([`crate::persist::write_stats_file`]); a corrupt or stale sidecar
+//!   is a cache miss, never an error.
+//!
+//! The NDV sketch is a HyperLogLog with [`HLL_REGS`] registers
+//! (standard-error ≈ `1.04/sqrt(m)` ≈ 3.3%), with the usual
+//! linear-counting correction for small cardinalities so tiny dimension
+//! tables estimate near-exactly. Keys are mixed through a splitmix64
+//! finalizer: the raw key domain (sequential integers, FNV string
+//! hashes) has nowhere near enough avalanche for register selection.
+
+use crate::bat::Bat;
+use crate::index::key_at;
+
+/// log2 of the register count.
+pub const HLL_BITS: u32 = 10;
+
+/// HyperLogLog register count (1024 ⇒ ~3.3% standard error, 1 KiB per
+/// column — negligible against the column data).
+pub const HLL_REGS: usize = 1 << HLL_BITS;
+
+/// splitmix64 finalizer: cheap, full-avalanche 64-bit mixing (also used
+/// by the optimizer's adversarial-stats shim).
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A HyperLogLog distinct-count sketch over the i64 key domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdvSketch {
+    regs: Vec<u8>,
+}
+
+impl Default for NdvSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NdvSketch {
+    /// Empty sketch (estimate 0).
+    pub fn new() -> NdvSketch {
+        NdvSketch { regs: vec![0u8; HLL_REGS] }
+    }
+
+    /// Reassemble from persisted registers; `None` on a shape mismatch
+    /// (e.g. a sidecar written under a different [`HLL_REGS`]).
+    pub fn from_registers(regs: Vec<u8>) -> Option<NdvSketch> {
+        (regs.len() == HLL_REGS).then_some(NdvSketch { regs })
+    }
+
+    /// The raw registers (persistence).
+    pub fn registers(&self) -> &[u8] {
+        &self.regs
+    }
+
+    /// Observe one key.
+    #[inline]
+    pub fn insert_key(&mut self, key: i64) {
+        let h = mix64(key as u64);
+        let idx = (h >> (64 - HLL_BITS)) as usize;
+        // Rank of the first set bit in the remaining 54 bits, 1-based.
+        let rest = h << HLL_BITS;
+        let rank = (rest.leading_zeros() + 1).min(64 - HLL_BITS + 1) as u8;
+        if rank > self.regs[idx] {
+            self.regs[idx] = rank;
+        }
+    }
+
+    /// Union with another sketch (register-wise max) — the append /
+    /// consolidation merge.
+    pub fn merge(&mut self, other: &NdvSketch) {
+        for (a, b) in self.regs.iter_mut().zip(&other.regs) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Estimated number of distinct keys observed.
+    pub fn estimate(&self) -> f64 {
+        let m = HLL_REGS as f64;
+        let mut sum = 0.0f64;
+        let mut zeros = 0usize;
+        for &r in &self.regs {
+            sum += 1.0 / f64::from(1u32 << r.min(31));
+            if r == 0 {
+                zeros += 1;
+            }
+        }
+        // alpha_m for m >= 128.
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m && zeros > 0 {
+            // Small-range (linear counting) correction.
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+}
+
+/// One column's statistics summary.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Physical rows summarised (including rows later masked deleted).
+    pub rows: usize,
+    /// NULL rows among them.
+    pub nulls: usize,
+    /// Min key over non-NULL rows, in the [`key_at`] domain. Only
+    /// meaningful when [`ColumnStats::has_range`] — VARCHAR keys are
+    /// hashes (no order), and all-NULL columns have no range.
+    pub min_key: i64,
+    /// Max key over non-NULL rows (see [`ColumnStats::min_key`]).
+    pub max_key: i64,
+    /// Whether `min_key`/`max_key` describe a real value range.
+    pub has_range: bool,
+    /// Distinct-count sketch over non-NULL keys (strings participate via
+    /// their FNV hash — collisions only ever *under*-count, and NDV is an
+    /// estimate anyway).
+    pub sketch: NdvSketch,
+}
+
+impl ColumnStats {
+    /// Empty-column stats.
+    pub fn empty() -> ColumnStats {
+        ColumnStats {
+            rows: 0,
+            nulls: 0,
+            min_key: i64::MAX,
+            max_key: i64::MIN,
+            has_range: false,
+            sketch: NdvSketch::new(),
+        }
+    }
+
+    /// One-pass build over a column.
+    pub fn build(bat: &Bat) -> ColumnStats {
+        let mut s = ColumnStats::empty();
+        s.rows = bat.len();
+        let orderable = crate::index::orderable(bat);
+        for i in 0..bat.len() {
+            if bat.is_null_at(i) {
+                s.nulls += 1;
+                continue;
+            }
+            let k = key_at(bat, i);
+            s.sketch.insert_key(k);
+            if orderable {
+                s.min_key = s.min_key.min(k);
+                s.max_key = s.max_key.max(k);
+            }
+        }
+        s.has_range = orderable && s.nulls < s.rows;
+        s
+    }
+
+    /// Combine the stats of two concatenated segments (append
+    /// maintenance). Row/null counts and min/max are exact; NDV is the
+    /// sketch union.
+    pub fn merge(&self, other: &ColumnStats) -> ColumnStats {
+        let mut sketch = self.sketch.clone();
+        sketch.merge(&other.sketch);
+        let has_range = self.has_range || other.has_range;
+        ColumnStats {
+            rows: self.rows + other.rows,
+            nulls: self.nulls + other.nulls,
+            min_key: match (self.has_range, other.has_range) {
+                (true, true) => self.min_key.min(other.min_key),
+                (true, false) => self.min_key,
+                (false, true) => other.min_key,
+                (false, false) => i64::MAX,
+            },
+            max_key: match (self.has_range, other.has_range) {
+                (true, true) => self.max_key.max(other.max_key),
+                (true, false) => self.max_key,
+                (false, true) => other.max_key,
+                (false, false) => i64::MIN,
+            },
+            has_range,
+            sketch,
+        }
+    }
+
+    /// Estimated number of distinct non-NULL values, clamped to the
+    /// non-NULL row count (a sketch cannot be allowed to report more
+    /// distinct values than there are rows).
+    pub fn ndv(&self) -> f64 {
+        self.sketch.estimate().min((self.rows - self.nulls) as f64).max(if self.rows > self.nulls {
+            1.0
+        } else {
+            0.0
+        })
+    }
+
+    /// Fraction of NULL rows.
+    pub fn null_frac(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.rows as f64
+        }
+    }
+
+    /// Approximate size in bytes (cache accounting).
+    pub fn size_bytes(&self) -> usize {
+        HLL_REGS + 5 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monetlite_types::ColumnBuffer;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ndv_small_cardinalities_near_exact() {
+        // Linear counting regime: tiny dimension tables must estimate
+        // essentially exactly (they drive 1/ndv equality selectivities).
+        for n in [1usize, 5, 25, 100, 1000] {
+            let bat = Bat::Int((0..n as i32).collect());
+            let s = ColumnStats::build(&bat);
+            let est = s.ndv();
+            let err = (est - n as f64).abs() / n as f64;
+            assert!(err < 0.10, "n={n}: est {est} err {err}");
+        }
+    }
+
+    #[test]
+    fn ndv_error_bound_at_1m_distinct() {
+        // Acceptance bound from the issue: relative error < 15% at 1M
+        // distinct values (HLL with 1024 registers sits near 3%).
+        let mut sk = NdvSketch::new();
+        for k in 0..1_000_000i64 {
+            sk.insert_key(k);
+        }
+        let est = sk.estimate();
+        let err = (est - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(err < 0.15, "est {est}, rel err {err}");
+    }
+
+    #[test]
+    fn ndv_repeated_values_counted_once() {
+        let bat = Bat::Int((0..100_000).map(|i| i % 50).collect());
+        let s = ColumnStats::build(&bat);
+        let est = s.ndv();
+        assert!((45.0..=55.0).contains(&est), "50 distinct, est {est}");
+    }
+
+    #[test]
+    fn nulls_and_range_tracked() {
+        let bat = Bat::Int(vec![5, i32::MIN, 2, 9, i32::MIN]);
+        let s = ColumnStats::build(&bat);
+        assert_eq!(s.rows, 5);
+        assert_eq!(s.nulls, 2);
+        assert!(s.has_range);
+        assert_eq!((s.min_key, s.max_key), (2, 9));
+        assert!((s.ndv() - 3.0).abs() < 0.5, "3 distinct, est {}", s.ndv());
+        assert!((s.null_frac() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_null_and_empty_columns() {
+        let s = ColumnStats::build(&Bat::Int(vec![i32::MIN; 10]));
+        assert_eq!((s.rows, s.nulls), (10, 10));
+        assert!(!s.has_range);
+        assert_eq!(s.ndv(), 0.0);
+        let e = ColumnStats::build(&Bat::Int(vec![]));
+        assert_eq!(e.rows, 0);
+        assert!(!e.has_range);
+        assert_eq!(e.null_frac(), 0.0);
+    }
+
+    #[test]
+    fn varchar_gets_ndv_but_no_range() {
+        let bat = Bat::from_buffer(&ColumnBuffer::Varchar(vec![
+            Some("a".into()),
+            Some("b".into()),
+            Some("a".into()),
+            None,
+        ]));
+        let s = ColumnStats::build(&bat);
+        assert!(!s.has_range, "strings hash; no order-preserving range");
+        assert_eq!(s.nulls, 1);
+        assert!((s.ndv() - 2.0).abs() < 0.5, "est {}", s.ndv());
+    }
+
+    #[test]
+    fn merge_is_exact_for_counts_and_range() {
+        let a = ColumnStats::build(&Bat::Int(vec![1, 2, i32::MIN]));
+        let b = ColumnStats::build(&Bat::Int(vec![7, i32::MIN, -4]));
+        let m = a.merge(&b);
+        assert_eq!(m.rows, 6);
+        assert_eq!(m.nulls, 2);
+        assert_eq!((m.min_key, m.max_key), (-4, 7));
+        // Merge with an all-NULL side keeps the other side's range.
+        let n = ColumnStats::build(&Bat::Int(vec![i32::MIN]));
+        let m2 = a.merge(&n);
+        assert_eq!((m2.min_key, m2.max_key), (1, 2));
+        assert!(m2.has_range);
+    }
+
+    #[test]
+    fn sketch_roundtrips_through_registers() {
+        let mut sk = NdvSketch::new();
+        for k in 0..10_000 {
+            sk.insert_key(k);
+        }
+        let rt = NdvSketch::from_registers(sk.registers().to_vec()).unwrap();
+        assert_eq!(rt, sk);
+        assert!(NdvSketch::from_registers(vec![0; 3]).is_none(), "wrong register count");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_equals_build_over_concat(
+            a in proptest::collection::vec(-500i32..500, 0..300),
+            b in proptest::collection::vec(-500i32..500, 0..300),
+        ) {
+            let sa = ColumnStats::build(&Bat::Int(a.clone()));
+            let sb = ColumnStats::build(&Bat::Int(b.clone()));
+            let merged = sa.merge(&sb);
+            let mut cat = a;
+            cat.extend(b);
+            let whole = ColumnStats::build(&Bat::Int(cat));
+            // Counts and range are exact under merge.
+            prop_assert_eq!(merged.rows, whole.rows);
+            prop_assert_eq!(merged.nulls, whole.nulls);
+            prop_assert_eq!(merged.has_range, whole.has_range);
+            if whole.has_range {
+                prop_assert_eq!(merged.min_key, whole.min_key);
+                prop_assert_eq!(merged.max_key, whole.max_key);
+            }
+            // The sketch union is *identical* to the sketch of the
+            // concatenation (HLL merge is lossless w.r.t. build order).
+            prop_assert_eq!(merged.sketch, whole.sketch);
+        }
+
+        #[test]
+        fn prop_ndv_within_bounds(vals in proptest::collection::vec(-200i32..200, 1..500)) {
+            let s = ColumnStats::build(&Bat::Int(vals.clone()));
+            let mut distinct: Vec<i32> =
+                vals.iter().copied().filter(|&v| v != i32::MIN).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let truth = distinct.len() as f64;
+            let est = s.ndv();
+            // Small-cardinality regime: linear counting keeps this tight.
+            prop_assert!((est - truth).abs() <= (truth * 0.1).max(2.0),
+                "truth {truth}, est {est}");
+        }
+    }
+}

@@ -347,12 +347,25 @@ impl Store {
                         let _ = persist::write_zonemap_file(&persist::zonemap_sidecar(&fpath), &zm);
                         entry.install_zonemap(zm);
                     }
+                    // Column-statistics sidecar (all types — NDV matters
+                    // for string join/group keys too): the optimizer of a
+                    // restarted process costs plans without faulting cold
+                    // columns in. Like zonemaps these are caches — a
+                    // write failure must not fail the checkpoint.
+                    if !bat.is_empty() {
+                        let st = entry.stats_opt().unwrap_or_else(|| {
+                            Arc::new(crate::stats::ColumnStats::build(bat.as_ref()))
+                        });
+                        let _ = persist::write_stats_file(&persist::stats_sidecar(&fpath), &st);
+                        entry.install_stats(st);
+                    }
                     entry.attach_backing(fpath, self.vmem.clone());
                 }
                 if let Some(p) = entry.backing_path() {
                     if let Some(f) = p.file_name() {
                         let f = f.to_string_lossy().into_owned();
                         referenced.insert(format!("{f}.zm"));
+                        referenced.insert(format!("{f}.st"));
                         referenced.insert(f);
                     }
                 }
@@ -812,6 +825,65 @@ mod tests {
         store.checkpoint().unwrap();
         let int_path = snap.table("t").unwrap().data.cols[0].entry().unwrap();
         assert!(persist::zonemap_sidecar(&int_path.backing_path().unwrap()).exists());
+    }
+
+    #[test]
+    fn checkpoint_writes_stats_sidecars_survive_restart_and_corruption() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let store = Store::open(StoreOptions {
+                path: Some(dir.path().to_path_buf()),
+                ..Default::default()
+            })
+            .unwrap();
+            create_and_fill(&store, (0..30_000).map(|i| i % 5000).collect());
+            store.checkpoint().unwrap();
+            let snap = store.snapshot();
+            let t = snap.table("t").unwrap();
+            // Both the INTEGER and the VARCHAR column get a stats sidecar
+            // (NDV matters for string keys even without a value range).
+            for c in 0..2 {
+                let p = t.data.cols[c].entry().unwrap().backing_path().unwrap();
+                assert!(persist::stats_sidecar(&p).exists(), "col {c} missing .st");
+            }
+        }
+        // After restart the sidecar resolves without rebuilding (and
+        // without faulting the column data in).
+        let store = Store::open(StoreOptions {
+            path: Some(dir.path().to_path_buf()),
+            ..Default::default()
+        })
+        .unwrap();
+        let snap = store.snapshot();
+        let entry = snap.table("t").unwrap().data.cols[0].entry().unwrap();
+        let st = entry.stats().unwrap();
+        assert_eq!(st.rows, 30_000);
+        assert_eq!((st.min_key, st.max_key), (0, 4999));
+        let ndv = st.ndv();
+        assert!((4250.0..=5750.0).contains(&ndv), "5000 distinct, est {ndv}");
+        // A checkpoint with no new columns keeps the sidecar (GC must
+        // treat it as referenced).
+        store.checkpoint().unwrap();
+        let path = entry.backing_path().unwrap();
+        assert!(persist::stats_sidecar(&path).exists());
+        drop(store);
+        // Corrupt the sidecar: the next open must recompute from the
+        // column (corruption is a cache miss, never an error).
+        let sp = persist::stats_sidecar(&path);
+        let mut bytes = std::fs::read(&sp).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&sp, &bytes).unwrap();
+        let store = Store::open(StoreOptions {
+            path: Some(dir.path().to_path_buf()),
+            ..Default::default()
+        })
+        .unwrap();
+        let snap = store.snapshot();
+        let entry = snap.table("t").unwrap().data.cols[0].entry().unwrap();
+        let st = entry.stats().unwrap();
+        assert_eq!(st.rows, 30_000, "recomputed after corruption");
+        assert_eq!((st.min_key, st.max_key), (0, 4999));
     }
 
     #[test]

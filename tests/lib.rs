@@ -1,1 +1,28 @@
 //! Shared helpers for cross-crate integration tests.
+
+use monetlite_types::Value;
+
+/// The golden-answer cell format shared by the TPC-H answer goldens
+/// (`tpch_golden.rs`) and every sweep that compares against them
+/// (`plan_golden.rs`): NULL spelled out, DOUBLEs at 4 decimal places —
+/// enough to catch any semantic change while tolerating the last-bit
+/// float-sum reassociation of morsel-parallel aggregation.
+pub fn fmt_golden_value(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Double(d) => format!("{d:.4}"),
+        other => other.to_string(),
+    }
+}
+
+/// A full result as golden-answer text: pipe-joined cells, one row per
+/// line.
+pub fn fmt_golden_rows(r: &monetlite::QueryResult) -> String {
+    let mut out = String::new();
+    for i in 0..r.nrows() {
+        let row: Vec<String> = (0..r.ncols()).map(|c| fmt_golden_value(&r.value(i, c))).collect();
+        out.push_str(&row.join("|"));
+        out.push('\n');
+    }
+    out
+}

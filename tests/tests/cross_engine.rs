@@ -4,6 +4,7 @@
 //! differential fuzz over random small SELECTs with NULL-bearing tables.
 
 use monetlite::exec::{ExecMode, ExecOptions};
+use monetlite::opt::{OptFlags, StatsMode};
 use monetlite_tpch::{frames, generate, load_monet, load_rowdb, queries};
 use monetlite_types::Value;
 use proptest::prelude::*;
@@ -42,6 +43,12 @@ fn tpch_q1_to_q22_all_engines_agree() {
     let session = monetlite_frame::Session::unlimited();
     let fr = frames::TpchFrames::load(&session, &data).unwrap();
 
+    // A second columnar connection planning under adversarially wrong
+    // statistics: TPC-H-complexity plans may change shape, answers may
+    // not.
+    let mut adv = db.connect();
+    adv.set_stats_mode(StatsMode::Adversarial(20260727));
+
     for (n, sql) in queries::all() {
         if let Some(ddl) = queries::setup_sql(n) {
             conn.execute(ddl).unwrap_or_else(|e| panic!("monetlite Q{n} setup: {e}"));
@@ -51,6 +58,9 @@ fn tpch_q1_to_q22_all_engines_agree() {
         let mrows: Vec<Vec<Value>> = (0..m.nrows()).map(|i| m.row(i)).collect();
         let r = rdb.query(sql).unwrap_or_else(|e| panic!("rowstore Q{n}: {e}"));
         rows_match(n, &mrows, &r.rows, "monet vs rowstore");
+        let a = adv.query(sql).unwrap_or_else(|e| panic!("adversarial Q{n}: {e}"));
+        let arows: Vec<Vec<Value>> = (0..a.nrows()).map(|i| a.row(i)).collect();
+        rows_match(n, &mrows, &arows, "real vs adversarial stats");
         if let Some(ddl) = queries::teardown_sql(n) {
             conn.execute(ddl).unwrap_or_else(|e| panic!("monetlite Q{n} teardown: {e}"));
             rdb.execute(ddl).unwrap_or_else(|e| panic!("rowstore Q{n} teardown: {e}"));
@@ -128,7 +138,16 @@ impl Gen {
     /// One random SELECT over the fixed fuzz schema.
     fn query(&mut self) -> String {
         let p = self.pred(2);
-        match self.below(9) {
+        match self.below(10) {
+            9 => {
+                // Three-relation join cluster: the shape the join-order
+                // DP actually enumerates (and mis-orders under
+                // adversarial stats — harmlessly, per the assertions).
+                format!(
+                    "SELECT t.a, u.v, w.k FROM t, u, w \
+                     WHERE t.a = u.k AND t.b = w.k AND {p}"
+                )
+            }
             0 => format!("SELECT a, b, s FROM t WHERE {p}"),
             1 => format!(
                 "SELECT b, count(*), count(a), sum(a), min(a), max(b) FROM t WHERE {p} GROUP BY b"
@@ -242,19 +261,64 @@ proptest! {
             conn.execute(ins).unwrap();
         }
         let mut engines: Vec<(&str, Vec<String>)> = Vec::new();
-        for (label, opts) in [
-            ("materialized", ExecOptions { mode: ExecMode::Materialized, ..Default::default() }),
+        for (label, opts, stats, flags) in [
+            (
+                "materialized",
+                ExecOptions { mode: ExecMode::Materialized, ..Default::default() },
+                StatsMode::Real,
+                OptFlags::default(),
+            ),
             (
                 "streaming v3",
                 ExecOptions { mode: ExecMode::Streaming, threads: 1, vector_size: 3, ..Default::default() },
+                StatsMode::Real,
+                OptFlags::default(),
             ),
             (
                 "streaming t2",
                 ExecOptions { mode: ExecMode::Streaming, threads: 2, vector_size: 2, ..Default::default() },
+                StatsMode::Real,
+                OptFlags::default(),
+            ),
+            // Stats-fuzzing legs: no column statistics, adversarially
+            // wrong statistics (random row counts / NDVs / ranges derived
+            // from the case seed), and the greedy-ordering ablation.
+            // Plans may differ — the row multiset must not.
+            (
+                "no column stats",
+                ExecOptions::default(),
+                StatsMode::TableRowsOnly,
+                OptFlags::default(),
+            ),
+            (
+                "adversarial stats",
+                ExecOptions::default(),
+                StatsMode::Adversarial(seed),
+                OptFlags::default(),
+            ),
+            (
+                "adversarial stats v3",
+                ExecOptions { vector_size: 3, ..Default::default() },
+                StatsMode::Adversarial(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                OptFlags::default(),
+            ),
+            (
+                "greedy join order",
+                ExecOptions::default(),
+                StatsMode::Real,
+                OptFlags { join_dp: false, ..OptFlags::default() },
+            ),
+            (
+                "greedy adversarial",
+                ExecOptions::default(),
+                StatsMode::Adversarial(!seed),
+                OptFlags { join_dp: false, ..OptFlags::default() },
             ),
         ] {
             let mut c = db.connect();
             c.set_exec_options(opts);
+            c.set_stats_mode(stats);
+            c.set_opt_flags(flags);
             let r = c.query(&sql).unwrap_or_else(|e| panic!("{label}: {e}\nsql: {sql}"));
             let rows: Vec<Vec<Value>> = (0..r.nrows()).map(|i| r.row(i)).collect();
             engines.push((label, canonical(&rows)));

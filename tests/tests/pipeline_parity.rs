@@ -271,10 +271,16 @@ fn grouped_aggregate_and_join_spill_with_vmem_budget_smaller_than_state() {
     let mut conn = budgeted.connect();
     load_monet(&mut conn, &data).unwrap();
     drop(conn);
+    // Pin the operator budget to "unset": this test exercises the *vmem
+    // headroom* fallback, which an explicit MONETLITE_MEMORY_BUDGET from
+    // the CI env matrix would otherwise pre-empt (24kB > the state these
+    // queries build at this scale factor, so nothing would spill).
+    let mut opts = streaming(1, 1024);
+    opts.memory_budget = usize::MAX;
     for n in [3usize, 10] {
         let sql = queries::sql(n);
-        let base = run(&unbounded, sql, streaming(1, 1024));
-        let (got, counters) = run_counting(&budgeted, sql, streaming(1, 1024));
+        let base = run(&unbounded, sql, opts);
+        let (got, counters) = run_counting(&budgeted, sql, opts);
         assert_rows_eq(sql, &base, &got, &format!("Q{n} vmem-budgeted"));
         assert!(
             counters.spilled_partitions > 0,

@@ -16,8 +16,8 @@
 //! semantic change, while tolerating the last-bit float-sum reassociation
 //! of morsel-parallel aggregation under the CI thread matrix.
 
+use monetlite_tests::fmt_golden_rows;
 use monetlite_tpch::{generate, load_monet, queries};
-use monetlite_types::Value;
 use std::path::PathBuf;
 
 /// Fixed golden corpus parameters. Changing either invalidates every
@@ -27,14 +27,6 @@ const GOLDEN_SEED: u64 = 20260727;
 
 fn golden_path(n: usize) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join(format!("q{n:02}.tbl"))
-}
-
-fn fmt_value(v: &Value) -> String {
-    match v {
-        Value::Null => "NULL".to_string(),
-        Value::Double(d) => format!("{d:.4}"),
-        other => other.to_string(),
-    }
 }
 
 fn run_query(conn: &mut monetlite::Connection, n: usize) -> String {
@@ -62,13 +54,7 @@ fn run_query(conn: &mut monetlite::Connection, n: usize) -> String {
             r.names()
         );
     }
-    let mut out = String::new();
-    for i in 0..r.nrows() {
-        let row: Vec<String> = (0..r.ncols()).map(|c| fmt_value(&r.value(i, c))).collect();
-        out.push_str(&row.join("|"));
-        out.push('\n');
-    }
-    out
+    fmt_golden_rows(&r)
 }
 
 #[test]
