@@ -13,6 +13,8 @@
 //! the replicate-weight loop in [`survey`] — so engine differences stay
 //! under 2×.
 
+#![forbid(unsafe_code)]
+
 pub mod survey;
 
 use monetlite_types::{ColumnBuffer, Field, LogicalType, Result, Schema};

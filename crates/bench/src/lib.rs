@@ -15,6 +15,8 @@
 //! | MonetDB      | `monetlite` behind TCP |
 //! | data.table / dplyr / Pandas / Julia | the `monetlite-frame` library |
 
+#![forbid(unsafe_code)]
+
 use monetlite::exec::ExecOptions;
 use monetlite::host::{HostFrame, TransferMode};
 use monetlite::Database;

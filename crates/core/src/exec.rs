@@ -129,6 +129,18 @@ impl Default for ExecOptions {
     }
 }
 
+/// Translate a worker-thread panic payload into an [`MlError`]: an
+/// embedded engine must degrade a crashed worker to a query error, never
+/// take the host process down with it (paper §3.4).
+pub(crate) fn worker_panic_error(p: &(dyn std::any::Any + Send)) -> MlError {
+    let msg = p
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic payload".to_string());
+    MlError::Execution(format!("worker thread panicked: {msg}"))
+}
+
 /// Resolves table names to catalog entries (the transaction's view).
 pub trait TableProvider: Sync {
     /// The table's current metadata + data.
@@ -390,14 +402,15 @@ impl Chunk {
         // first as a type template in case every chunk is empty.
         let template = chunks[0].clone();
         let mut nonempty: Vec<Chunk> = chunks.into_iter().filter(|c| c.rows > 0).collect();
-        if nonempty.is_empty() {
-            return Ok(template);
-        }
         if nonempty.len() == 1 {
-            return Ok(nonempty.pop().expect("one chunk"));
+            if let Some(only) = nonempty.pop() {
+                return Ok(only);
+            }
         }
         let mut iter = nonempty.into_iter();
-        let first = iter.next().expect("nonempty");
+        let Some(first) = iter.next() else {
+            return Ok(template);
+        };
         let mut cols: Vec<Bat> = first.cols.iter().map(|c| (**c).clone()).collect();
         let mut rows = first.rows;
         for ch in iter {
@@ -654,11 +667,12 @@ fn exec_scan_inner(
     // mitosis chunk keeps imprint/order-index acceleration) — but not
     // under deletion masks, where candidate row ids could be stale.
     if meta.data.deleted.is_none() {
-        if let Some(pos) =
-            remaining.iter().position(|f| probe_of(f, &entries, &meta, projected, ctx).is_some())
-        {
+        let probe_hit = remaining
+            .iter()
+            .enumerate()
+            .find_map(|(i, f)| probe_of(f, &entries, &meta, projected, ctx).map(|p| (i, p)));
+        if let Some((pos, (col_pos, plo, phi, exact))) = probe_hit {
             let f = remaining.remove(pos);
-            let (col_pos, plo, phi, exact) = probe_of(f, &entries, &meta, projected, ctx).unwrap();
             let entry = &entries[col_pos];
             let base_col = projected[col_pos];
             let use_order = ctx.opts.use_order_index && meta.ordered_cols.contains(&base_col);
@@ -1154,7 +1168,10 @@ fn try_mitosis(plan: &Plan, ctx: &ExecContext) -> Result<Option<Chunk>> {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| Err(worker_panic_error(&*p))))
+                    .collect()
             });
             let mut merged: Option<Vec<AggState>> = None;
             for p in partials {
@@ -1168,7 +1185,8 @@ fn try_mitosis(plan: &Plan, ctx: &ExecContext) -> Result<Option<Chunk>> {
                     }
                 }
             }
-            let merged = merged.expect("at least one chunk");
+            let merged = merged
+                .ok_or_else(|| MlError::Execution("mitosis produced no partial states".into()))?;
             let mut cols = Vec::with_capacity(aggs.len());
             for (i, st) in merged.into_iter().enumerate() {
                 cols.push(Arc::new(st.finish(schema[i].ty)?));
@@ -1189,7 +1207,10 @@ fn try_mitosis(plan: &Plan, ctx: &ExecContext) -> Result<Option<Chunk>> {
                     .iter()
                     .map(|&r| scope.spawn(move || exec_node(plan, ctx, Some(r))))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| Err(worker_panic_error(&*p))))
+                    .collect()
             });
             let chunks: Vec<Chunk> = parts.into_iter().collect::<Result<_>>()?;
             Ok(Some(Chunk::pack(chunks)?))

@@ -103,6 +103,7 @@ pub fn probe_hash(
                             out.rsel.push(r);
                         }
                         PJoinKind::Semi | PJoinKind::Anti => break,
+                        // xlint: allow(panic, planner never routes cross joins through key probes)
                         PJoinKind::Cross => unreachable!(),
                     }
                 }
@@ -141,6 +142,7 @@ pub fn probe_index(lkeys: &[&Bat], rkeys: &[&Bat], idx: &HashIndex, kind: PJoinK
                     }
                     PJoinKind::Semi => break,
                     PJoinKind::Anti => break,
+                    // xlint: allow(panic, planner never routes cross joins through key probes)
                     PJoinKind::Cross => unreachable!(),
                 }
             }

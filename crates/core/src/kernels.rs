@@ -355,6 +355,7 @@ macro_rules! cmp_loop {
             if $null(*a) || $null(*b) {
                 out.push(NULL_I8);
             } else {
+                // xlint: allow(panic, NaN operands are screened by the NULL check above)
                 out.push(apply_cmp($op, a.partial_cmp(b).unwrap()) as i8);
             }
         }
@@ -370,6 +371,7 @@ macro_rules! cmp_const_loop {
             if $null(*a) {
                 out.push(NULL_I8);
             } else {
+                // xlint: allow(panic, NaN operands are screened by the NULL check above)
                 out.push(apply_cmp($op, a.partial_cmp(&k).unwrap()) as i8);
             }
         }
@@ -386,6 +388,7 @@ macro_rules! cmp_const_sel_loop {
             if $null(a) {
                 out.push(NULL_I8);
             } else {
+                // xlint: allow(panic, NaN operands are screened by the NULL check above)
                 out.push(apply_cmp($op, a.partial_cmp(&k).unwrap()) as i8);
             }
         }
@@ -401,6 +404,7 @@ macro_rules! cmp_sel_loop {
             if $null(a) || $null(b) {
                 out.push(NULL_I8);
             } else {
+                // xlint: allow(panic, NaN operands are screened by the NULL check above)
                 out.push(apply_cmp($op, a.partial_cmp(&b).unwrap()) as i8);
             }
         }
@@ -613,7 +617,11 @@ pub fn arith(op: ArithOp, l: &Bat, r: &Bat, ty: LogicalType) -> Result<Bat> {
                         }
                         Some(x % y)
                     }
-                    ArithOp::Div => unreachable!("int division lowers to double"),
+                    ArithOp::Div => {
+                        return Err(MlError::Execution(
+                            "integer division must lower to double".into(),
+                        ))
+                    }
                 };
                 out.push(v.ok_or_else(overflow)?);
             }
@@ -648,7 +656,11 @@ pub fn arith(op: ArithOp, l: &Bat, r: &Bat, ty: LogicalType) -> Result<Bat> {
                         }
                         Some(x % y)
                     }
-                    ArithOp::Div => unreachable!(),
+                    ArithOp::Div => {
+                        return Err(MlError::Execution(
+                            "integer division must lower to double".into(),
+                        ))
+                    }
                 };
                 out.push(v.ok_or_else(overflow)?);
             }

@@ -26,6 +26,8 @@
 //! * [`host`] — the embedding boundary: zero-copy, eager and lazy result
 //!   transfer into host-native arrays (§3.3).
 
+#![forbid(unsafe_code)]
+
 pub mod agg;
 pub mod bind;
 pub mod exec;
@@ -40,6 +42,7 @@ pub mod plan;
 pub mod rows;
 pub mod sort;
 pub mod spill;
+pub mod testing;
 
 use bind::{Binder, CatalogAccess, ViewDef};
 use exec::{ExecContext, ExecOptions, TableProvider};

@@ -289,7 +289,18 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("pipeline worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|p| {
+                    // A crashed worker degrades to a query error instead
+                    // of unwinding into (and killing) the host process;
+                    // the connection stays usable afterwards.
+                    stop.store(true, Ordering::Relaxed);
+                    Err(crate::exec::worker_panic_error(&*p))
+                })
+            })
+            .collect()
     })
 }
 
@@ -784,7 +795,9 @@ pub fn execute_streaming(plan: &Plan, ctx: &ExecContext) -> Result<Chunk> {
             let parts = drive(&pipe, ctx, Vec::new, |p: &mut Vec<(usize, Chunk)>, m, c| {
                 let rows = c.rows;
                 p.push((m, c.materialize()));
-                let mut map = done.lock().expect("limit tracker");
+                let mut map = done
+                    .lock()
+                    .map_err(|_| MlError::Execution("limit tracker lock poisoned".into()))?;
                 map.insert(m, rows);
                 let mut prefix = 0usize;
                 let mut k = 0usize;
@@ -921,11 +934,16 @@ fn grace_hash_join(
             let combined = Chunk::dense(c.cols.iter().cloned().chain(key_bats).collect(), rows);
             let keyrefs: Vec<&Bat> =
                 combined.cols[combined.cols.len() - nkeys..].iter().map(|a| &**a).collect();
-            pw.lock().expect("probe partitioner").route(&ctx.spill, &combined, &keyrefs)?;
+            pw.lock()
+                .map_err(|_| MlError::Execution("probe partitioner lock poisoned".into()))?
+                .route(&ctx.spill, &combined, &keyrefs)?;
             Ok(true)
         },
     )?;
-    let (pparts, pbytes) = pw.into_inner().expect("probe partitioner").finish(&ctx.spill)?;
+    let (pparts, pbytes) = pw
+        .into_inner()
+        .map_err(|_| MlError::Execution("probe partitioner lock poisoned".into()))?
+        .finish(&ctx.spill)?;
     note_spill(ctx, &pparts, pbytes);
     // 3. Join partition pairs.
     let mut out: Vec<Chunk> = Vec::new();
@@ -1132,19 +1150,25 @@ impl RunCursor {
     }
 }
 
-/// Ordering between the head rows of two cursors: keys (with direction)
-/// then rowid ascending.
-fn cursor_cmp(a: &RunCursor, b: &RunCursor, keys: &[(usize, bool)]) -> std::cmp::Ordering {
-    let (ca, cb) = (a.chunk.as_ref().expect("live cursor"), b.chunk.as_ref().expect("live cursor"));
+/// Ordering between the head rows of two live cursor chunks: keys (with
+/// direction) then rowid ascending. Callers hand in the settled chunks
+/// directly, so an exhausted cursor cannot reach the comparison.
+fn cursor_cmp(
+    ca: &Chunk,
+    apos: usize,
+    cb: &Chunk,
+    bpos: usize,
+    keys: &[(usize, bool)],
+) -> std::cmp::Ordering {
     for &(k, desc) in keys {
-        let ord = col_cmp2(&ca.cols[k], a.pos, &cb.cols[k], b.pos);
+        let ord = col_cmp2(&ca.cols[k], apos, &cb.cols[k], bpos);
         let ord = if desc { ord.reverse() } else { ord };
         if ord != std::cmp::Ordering::Equal {
             return ord;
         }
     }
     let (ra, rb) = (&ca.cols[ca.cols.len() - 1], &cb.cols[cb.cols.len() - 1]);
-    col_cmp2(ra, a.pos, rb, b.pos)
+    col_cmp2(ra, apos, rb, bpos)
 }
 
 /// Maximum live runs per merge pass: beyond this the linear min-scan
@@ -1182,24 +1206,30 @@ fn merge_cursors(
     loop {
         let mut best: Option<usize> = None;
         for i in 0..cursors.len() {
-            if cursors[i].chunk.is_none() {
+            let Some(ci) = cursors[i].chunk.as_ref() else {
                 continue;
-            }
+            };
             best = Some(match best {
                 None => i,
-                Some(b) => {
-                    if cursor_cmp(&cursors[i], &cursors[b], keys) == std::cmp::Ordering::Less {
+                Some(b) => match cursors[b].chunk.as_ref() {
+                    Some(cb)
+                        if cursor_cmp(ci, cursors[i].pos, cb, cursors[b].pos, keys)
+                            == std::cmp::Ordering::Less =>
+                    {
                         i
-                    } else {
-                        b
                     }
-                }
+                    Some(_) => b,
+                    None => i,
+                },
             });
         }
         let Some(w) = best else { break };
         {
             let cur = &cursors[w];
-            let chunk = cur.chunk.as_ref().expect("live cursor");
+            let chunk = cur
+                .chunk
+                .as_ref()
+                .ok_or_else(|| MlError::Execution("merge cursor lost its chunk".into()))?;
             for (dst, src) in out.iter_mut().zip(&chunk.cols) {
                 dst.push(&src.get(cur.pos))?;
             }

@@ -24,7 +24,7 @@ use crate::exec::Chunk;
 use crate::rows::row_hash;
 use monetlite_storage::persist::{read_chunk_frame, write_chunk_frame};
 use monetlite_storage::Bat;
-use monetlite_types::Result;
+use monetlite_types::{MlError, Result};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
@@ -63,7 +63,9 @@ pub(crate) struct SpillDir {
 impl SpillDir {
     /// A fresh unique file path inside the (lazily created) directory.
     fn fresh_path(&self) -> Result<PathBuf> {
-        let mut g = self.dir.lock().expect("spill dir lock");
+        // Poison recovery is sound here: the slot is a single lazily set
+        // Option, so no panic can leave it half-updated.
+        let mut g = self.dir.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let dir = match &*g {
             Some(d) => d.clone(),
             None => {
@@ -97,7 +99,10 @@ pub(crate) struct SpillFile {
 impl SpillFile {
     /// Append one frame of aligned columns.
     pub fn write(&mut self, cols: &[&Bat]) -> Result<u64> {
-        let w = self.w.as_mut().expect("spill file already sealed");
+        let w = self
+            .w
+            .as_mut()
+            .ok_or_else(|| MlError::Execution("write into sealed spill file".into()))?;
         let n = write_chunk_frame(w, cols)?;
         self.bytes += n;
         self.rows += cols.first().map_or(0, |c| c.len()) as u64;
@@ -174,11 +179,12 @@ impl PartBuf {
         if bufs.first().is_none_or(|b| b.is_empty()) {
             return Ok(());
         }
-        if self.file.is_none() {
-            self.file = Some(dir.file()?);
-        }
+        let file = match &mut self.file {
+            Some(f) => f,
+            slot => slot.insert(dir.file()?),
+        };
         let refs: Vec<&Bat> = bufs.iter().collect();
-        self.file.as_mut().expect("partition file").write(&refs)?;
+        file.write(&refs)?;
         self.buffered = 0;
         Ok(())
     }
@@ -299,6 +305,73 @@ mod tests {
             }
         }
         assert!(depth1.len() > 1, "re-seeded hash must split the partition");
+    }
+
+    // -----------------------------------------------------------------
+    // Reader robustness: a damaged spill file must surface as an error
+    // from `SpillReader::next`, never a panic or a misread — the same
+    // corruption discipline the persistent sidecars follow.
+    // -----------------------------------------------------------------
+
+    /// Write one valid frame, let `mangle` damage the raw bytes, then
+    /// read it back through a [`SpillReader`].
+    fn read_mangled(mangle: impl Fn(&mut Vec<u8>)) -> Result<Option<Chunk>> {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("frame.bin");
+        let mut buf = Vec::new();
+        write_chunk_frame(&mut buf, &[&Bat::Int(vec![1, 2, 3, 4])]).unwrap();
+        mangle(&mut buf);
+        std::fs::write(&path, &buf).unwrap();
+        let mut r =
+            SpillReader { r: BufReader::new(File::open(&path).unwrap()), path: path.clone() };
+        r.next()
+    }
+
+    #[test]
+    fn truncated_frame_header_is_an_error() {
+        // EOF in the middle of the length header is not a clean end.
+        let res = read_mangled(|buf| buf.truncate(4));
+        assert!(res.is_err(), "partial frame header must error, got {res:?}");
+    }
+
+    #[test]
+    fn corrupt_frame_length_is_an_error() {
+        // A length field past the sanity bound must be rejected before
+        // any allocation or payload read.
+        let res = read_mangled(|buf| buf[..8].copy_from_slice(&u64::MAX.to_le_bytes()));
+        assert!(res.is_err(), "absurd frame length must error, got {res:?}");
+        // A plausible length that overruns the actual payload must fail
+        // the payload read, not misparse trailing garbage.
+        let res = read_mangled(|buf| {
+            let claimed = (buf.len() as u64) + 64;
+            buf[..8].copy_from_slice(&claimed.to_le_bytes());
+        });
+        assert!(res.is_err(), "overlong frame length must error, got {res:?}");
+    }
+
+    #[test]
+    fn short_read_mid_frame_is_an_error() {
+        let res = read_mangled(|buf| {
+            let n = buf.len();
+            buf.truncate(n - 3);
+        });
+        assert!(res.is_err(), "short read mid-frame must error, got {res:?}");
+    }
+
+    #[test]
+    fn valid_frame_then_truncated_frame_errors_on_the_second() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("frames.bin");
+        let mut buf = Vec::new();
+        write_chunk_frame(&mut buf, &[&Bat::Int(vec![1, 2])]).unwrap();
+        let first_len = buf.len();
+        write_chunk_frame(&mut buf, &[&Bat::Int(vec![3, 4])]).unwrap();
+        buf.truncate(first_len + 9); // header + 1 byte of the second frame
+        std::fs::write(&path, &buf).unwrap();
+        let mut r =
+            SpillReader { r: BufReader::new(File::open(&path).unwrap()), path: path.clone() };
+        assert_eq!(r.next().unwrap().unwrap().rows, 2, "first frame intact");
+        assert!(r.next().is_err(), "truncated second frame must error");
     }
 
     #[test]

@@ -1,0 +1,658 @@
+//! A loom-style deterministic-interleaving model checker for the
+//! shared-state protocols of [`crate::pipeline`].
+//!
+//! The streaming engine's parallelism rests on three tiny protocols:
+//!
+//! 1. the **morsel cursor** — an `AtomicUsize` handing each worker the
+//!    next morsel id, with an `AtomicBool` stop flag for limit
+//!    early-exit;
+//! 2. the **partial-aggregate freeze/merge** — per-thread accumulators
+//!    frozen into a shared list when the memory budget trips, merged
+//!    once after the fan-out joins;
+//! 3. the **order-preserving collect** — per-morsel results tracked in a
+//!    `Mutex<HashMap>` so a LIMIT can stop the scan as soon as the
+//!    completed morsels form a long-enough contiguous prefix.
+//!
+//! Each protocol is modelled as a [`Model`]: an explicit state machine
+//! whose `step(t)` executes thread `t`'s next *atomic* action (one
+//! atomic RMW, one load/store, or one mutex critical section — the
+//! units between which real threads can interleave). [`explore`] then
+//! walks the whole reachable state graph: from every state it tries
+//! every runnable thread, deduplicating states so the search is
+//! exhaustive over interleavings without enumerating each of the
+//! exponentially many schedules one by one. Terminal states (all
+//! threads done) are checked against the protocol's invariants, and
+//! their observable outputs are collected so tests can assert the
+//! result is schedule-independent.
+//!
+//! This is the same exhaustive-bounded-interleaving idea as `loom`,
+//! reduced to cloneable pure state machines — no vendored shim needed,
+//! and counterexamples are plain states that print with `{:?}`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A bounded concurrent protocol as an explicit state machine.
+///
+/// States must be value types (`Clone + Eq + Hash`) so the explorer can
+/// deduplicate them; `step` must perform exactly one atomic action of
+/// one thread.
+pub trait Model: Clone + Eq + Hash + std::fmt::Debug {
+    /// Number of modelled threads.
+    fn threads(&self) -> usize;
+    /// True when thread `t` has no further step to take.
+    fn done(&self, t: usize) -> bool;
+    /// Execute thread `t`'s next atomic step. Only called when
+    /// `!self.done(t)`.
+    fn step(&mut self, t: usize);
+    /// Safety invariants of a terminal state (all threads done).
+    fn check_terminal(&self) -> Result<(), String>;
+    /// The protocol's observable result in a terminal state — what the
+    /// query would return. Tests assert this is identical across every
+    /// reachable terminal, i.e. the outcome is schedule-independent.
+    fn output(&self) -> String;
+}
+
+/// Exploration statistics: distinct states visited and the set of
+/// distinct terminal outputs.
+#[derive(Debug)]
+pub struct Exploration {
+    /// Distinct reachable states (the state graph's node count).
+    pub states: usize,
+    /// Terminal states reached (post-deduplication).
+    pub terminals: usize,
+    /// Distinct observable outputs across all terminals.
+    pub outputs: HashSet<String>,
+}
+
+/// Hard cap on distinct states: a runaway model errors out instead of
+/// consuming the test host's memory.
+const MAX_STATES: usize = 4_000_000;
+
+/// Exhaustively explore every interleaving of `init`'s threads.
+///
+/// The walk covers the full reachable state graph: every interleaving of
+/// atomic steps passes through some path of this graph, and every
+/// terminal state of every schedule is visited exactly once. Invariant
+/// violations return `Err` with the offending terminal state's debug
+/// rendering as the counterexample.
+pub fn explore<M: Model>(init: M) -> Result<Exploration, String> {
+    let mut seen: HashSet<M> = HashSet::new();
+    let mut stack: Vec<M> = Vec::new();
+    seen.insert(init.clone());
+    stack.push(init);
+    let mut terminals = 0usize;
+    let mut outputs: HashSet<String> = HashSet::new();
+    while let Some(s) = stack.pop() {
+        let mut terminal = true;
+        for t in 0..s.threads() {
+            if s.done(t) {
+                continue;
+            }
+            terminal = false;
+            let mut next = s.clone();
+            next.step(t);
+            if !seen.contains(&next) {
+                if seen.len() >= MAX_STATES {
+                    return Err(format!("state space exceeds {MAX_STATES} states"));
+                }
+                seen.insert(next.clone());
+                stack.push(next);
+            }
+        }
+        if terminal {
+            terminals += 1;
+            s.check_terminal().map_err(|e| format!("{e}\ncounterexample: {s:?}"))?;
+            outputs.insert(s.output());
+        }
+    }
+    Ok(Exploration { states: seen.len(), terminals, outputs })
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 1: the morsel cursor (pipeline::drive's claim loop)
+// ---------------------------------------------------------------------------
+
+/// One worker's position in the claim loop. Mirrors `drive()` exactly:
+/// the `fetch_add` claim and the bounds/stop check are *separate* atomic
+/// actions, so the model can interleave other threads between them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum CursorPc {
+    /// About to `cursor.fetch_add(1)`.
+    Claim,
+    /// Claimed morsel in hand, about to check bounds + stop flag.
+    Check(usize),
+    /// Past the checks, about to consume the morsel.
+    Consume(usize),
+    /// Left the loop.
+    Done,
+}
+
+/// Model of the `AtomicUsize` morsel cursor with `AtomicBool` stop flag.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MorselCursor {
+    n_morsels: usize,
+    /// `Some(k)`: consuming morsel `k` trips the limit (consume returns
+    /// `Ok(false)`), setting the stop flag — the early-exit protocol.
+    limit_at: Option<usize>,
+    cursor: usize,
+    stop: bool,
+    pc: Vec<CursorPc>,
+    /// Morsels consumed, per thread.
+    consumed: Vec<Vec<usize>>,
+}
+
+impl MorselCursor {
+    pub fn new(threads: usize, n_morsels: usize, limit_at: Option<usize>) -> MorselCursor {
+        MorselCursor {
+            n_morsels,
+            limit_at,
+            cursor: 0,
+            stop: false,
+            pc: vec![CursorPc::Claim; threads],
+            consumed: vec![Vec::new(); threads],
+        }
+    }
+}
+
+impl Model for MorselCursor {
+    fn threads(&self) -> usize {
+        self.pc.len()
+    }
+
+    fn done(&self, t: usize) -> bool {
+        self.pc[t] == CursorPc::Done
+    }
+
+    fn step(&mut self, t: usize) {
+        match self.pc[t] {
+            CursorPc::Claim => {
+                // cursor.fetch_add(1, Relaxed): one atomic RMW.
+                let m = self.cursor;
+                self.cursor += 1;
+                self.pc[t] = CursorPc::Check(m);
+            }
+            CursorPc::Check(m) => {
+                // `m >= n_morsels || stop.load(Relaxed)`.
+                self.pc[t] = if m >= self.n_morsels || self.stop {
+                    CursorPc::Done
+                } else {
+                    CursorPc::Consume(m)
+                };
+            }
+            CursorPc::Consume(m) => {
+                self.consumed[t].push(m);
+                if self.limit_at == Some(m) {
+                    // consume returned Ok(false): stop.store(true).
+                    self.stop = true;
+                    self.pc[t] = CursorPc::Done;
+                } else {
+                    self.pc[t] = CursorPc::Claim;
+                }
+            }
+            CursorPc::Done => {}
+        }
+    }
+
+    fn check_terminal(&self) -> Result<(), String> {
+        let mut all: Vec<usize> = self.consumed.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let distinct: HashSet<usize> = all.iter().copied().collect();
+        if distinct.len() != all.len() {
+            return Err(format!("morsel consumed twice: {all:?}"));
+        }
+        if let Some(&m) = all.iter().find(|&&m| m >= self.n_morsels) {
+            return Err(format!("out-of-range morsel {m} consumed"));
+        }
+        match self.limit_at {
+            None => {
+                // No early exit: every morsel must be consumed exactly once.
+                if all.len() != self.n_morsels {
+                    return Err(format!(
+                        "lost morsels: consumed {} of {}: {all:?}",
+                        all.len(),
+                        self.n_morsels
+                    ));
+                }
+            }
+            Some(k) => {
+                // Early exit: the tripping morsel itself must have been
+                // consumed (the stop flag is only set by its consumer).
+                if !distinct.contains(&k) {
+                    return Err(format!("limit morsel {k} never consumed: {all:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn output(&self) -> String {
+        match self.limit_at {
+            // Without a limit the full consumed set is the observable.
+            None => {
+                let mut all: Vec<usize> = self.consumed.iter().flatten().copied().collect();
+                all.sort_unstable();
+                format!("{all:?}")
+            }
+            // With early exit the *guaranteed* observable is the limit
+            // morsel; the racing tail is schedule-dependent by design.
+            Some(k) => format!("limit hit at {k}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 2: partial-aggregate freeze/merge under the memory budget
+// ---------------------------------------------------------------------------
+
+/// One worker's position in the aggregate loop.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum AggPc {
+    Claim,
+    Check(usize),
+    /// Fold morsel into the thread-local accumulator.
+    Accum(usize),
+    /// Budget tripped: push the frozen accumulator to the shared list
+    /// (one mutex critical section).
+    Freeze,
+    /// Cursor exhausted: publish whatever the local accumulator holds.
+    Flush,
+    Done,
+}
+
+/// Model of morsel-parallel partial aggregation with budget freezes:
+/// thread-local accumulators, a shared frozen-partials list, and a final
+/// merge that must see every morsel's contribution exactly once.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AggMerge {
+    n_morsels: usize,
+    /// Local accumulators freeze after this many morsels (the modelled
+    /// memory budget).
+    freeze_after: usize,
+    cursor: usize,
+    pc: Vec<AggPc>,
+    /// Thread-local partial: (sum, contributing morsel ids).
+    local: Vec<(u64, Vec<usize>)>,
+    /// Shared frozen partials (the spill/freeze list).
+    frozen: Vec<(u64, Vec<usize>)>,
+}
+
+/// The modelled per-morsel aggregate input.
+fn morsel_value(m: usize) -> u64 {
+    (m as u64 + 1) * 10
+}
+
+impl AggMerge {
+    pub fn new(threads: usize, n_morsels: usize, freeze_after: usize) -> AggMerge {
+        AggMerge {
+            n_morsels,
+            freeze_after: freeze_after.max(1),
+            cursor: 0,
+            pc: vec![AggPc::Claim; threads],
+            local: vec![(0, Vec::new()); threads],
+            frozen: Vec::new(),
+        }
+    }
+}
+
+impl Model for AggMerge {
+    fn threads(&self) -> usize {
+        self.pc.len()
+    }
+
+    fn done(&self, t: usize) -> bool {
+        self.pc[t] == AggPc::Done
+    }
+
+    fn step(&mut self, t: usize) {
+        match self.pc[t].clone() {
+            AggPc::Claim => {
+                let m = self.cursor;
+                self.cursor += 1;
+                self.pc[t] = AggPc::Check(m);
+            }
+            AggPc::Check(m) => {
+                self.pc[t] = if m >= self.n_morsels { AggPc::Flush } else { AggPc::Accum(m) };
+            }
+            AggPc::Accum(m) => {
+                self.local[t].0 += morsel_value(m);
+                self.local[t].1.push(m);
+                self.pc[t] = if self.local[t].1.len() >= self.freeze_after {
+                    AggPc::Freeze
+                } else {
+                    AggPc::Claim
+                };
+            }
+            AggPc::Freeze => {
+                let part = std::mem::take(&mut self.local[t]);
+                self.frozen.push(part);
+                self.pc[t] = AggPc::Claim;
+            }
+            AggPc::Flush => {
+                if !self.local[t].1.is_empty() {
+                    let part = std::mem::take(&mut self.local[t]);
+                    self.frozen.push(part);
+                }
+                self.pc[t] = AggPc::Done;
+            }
+            AggPc::Done => {}
+        }
+    }
+
+    fn check_terminal(&self) -> Result<(), String> {
+        // The final merge folds every frozen partial once.
+        let merged_sum: u64 = self.frozen.iter().map(|(s, _)| s).sum();
+        let mut ids: Vec<usize> = self.frozen.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        ids.sort_unstable();
+        let expect_sum: u64 = (0..self.n_morsels).map(morsel_value).sum();
+        if ids != (0..self.n_morsels).collect::<Vec<_>>() {
+            return Err(format!(
+                "merge saw morsels {ids:?}, expected each of 0..{} once",
+                self.n_morsels
+            ));
+        }
+        if merged_sum != expect_sum {
+            return Err(format!("merged sum {merged_sum} != expected {expect_sum}"));
+        }
+        // No contribution may be stranded in a local accumulator.
+        if let Some((t, _)) = self.local.iter().enumerate().find(|(_, l)| !l.1.is_empty()) {
+            return Err(format!("thread {t} left an unmerged partial"));
+        }
+        Ok(())
+    }
+
+    fn output(&self) -> String {
+        let merged: u64 = self.frozen.iter().map(|(s, _)| s).sum();
+        format!("sum={merged}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 3: order-preserving collect with LIMIT prefix tracking
+// ---------------------------------------------------------------------------
+
+/// One worker's position in the limit-collect loop.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum CollectPc {
+    Claim,
+    Check(usize),
+    /// The `done.lock()` critical section: record the morsel's row count
+    /// and run the contiguous-prefix check.
+    Publish(usize),
+    Done,
+}
+
+/// Model of the LIMIT sink: completed morsels are recorded in a shared
+/// map (one mutex critical section per morsel), and the worker that
+/// completes a contiguous prefix holding at least `limit` rows trips the
+/// stop flag. The collect then orders parts by morsel id.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct OrderedCollect {
+    n_morsels: usize,
+    rows_per_morsel: usize,
+    limit: usize,
+    cursor: usize,
+    stop: bool,
+    pc: Vec<CollectPc>,
+    /// Per-thread collected (morsel id) lists — `drive`'s partials.
+    parts: Vec<Vec<usize>>,
+    /// The shared completion map, keyed by morsel id (modelled as a
+    /// sorted vec so states hash deterministically).
+    done_map: Vec<usize>,
+}
+
+impl OrderedCollect {
+    pub fn new(threads: usize, n_morsels: usize, rows_per_morsel: usize, limit: usize) -> Self {
+        OrderedCollect {
+            n_morsels,
+            rows_per_morsel,
+            limit,
+            cursor: 0,
+            stop: false,
+            pc: vec![CollectPc::Claim; threads],
+            parts: vec![Vec::new(); threads],
+            done_map: Vec::new(),
+        }
+    }
+
+    /// Morsel ids forming the longest completed contiguous prefix.
+    fn prefix_rows(&self) -> usize {
+        let mut rows = 0;
+        let mut k = 0;
+        while self.done_map.contains(&k) {
+            rows += self.rows_per_morsel;
+            k += 1;
+        }
+        rows
+    }
+
+    /// How many whole morsels the limit needs from the front of the scan.
+    fn needed_prefix(&self) -> usize {
+        self.limit.div_ceil(self.rows_per_morsel).min(self.n_morsels)
+    }
+}
+
+impl Model for OrderedCollect {
+    fn threads(&self) -> usize {
+        self.pc.len()
+    }
+
+    fn done(&self, t: usize) -> bool {
+        self.pc[t] == CollectPc::Done
+    }
+
+    fn step(&mut self, t: usize) {
+        match self.pc[t] {
+            CollectPc::Claim => {
+                let m = self.cursor;
+                self.cursor += 1;
+                self.pc[t] = CollectPc::Check(m);
+            }
+            CollectPc::Check(m) => {
+                self.pc[t] = if m >= self.n_morsels || self.stop {
+                    CollectPc::Done
+                } else {
+                    CollectPc::Publish(m)
+                };
+            }
+            CollectPc::Publish(m) => {
+                // The mutex critical section: push to the local part,
+                // record completion, and run the prefix check.
+                self.parts[t].push(m);
+                let pos = self.done_map.binary_search(&m).unwrap_or_else(|p| p);
+                self.done_map.insert(pos, m);
+                if self.prefix_rows() >= self.limit {
+                    self.stop = true;
+                    self.pc[t] = CollectPc::Done;
+                } else {
+                    self.pc[t] = CollectPc::Claim;
+                }
+            }
+            CollectPc::Done => {}
+        }
+    }
+
+    fn check_terminal(&self) -> Result<(), String> {
+        let mut all: Vec<usize> = self.parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let distinct: HashSet<usize> = all.iter().copied().collect();
+        if distinct.len() != all.len() {
+            return Err(format!("morsel collected twice: {all:?}"));
+        }
+        // The limit's answer needs the whole required prefix: every
+        // morsel feeding the first `limit` rows must have been collected.
+        for k in 0..self.needed_prefix() {
+            if !distinct.contains(&k) {
+                return Err(format!("prefix morsel {k} missing from collect: {all:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn output(&self) -> String {
+        // The engine's observable: parts ordered by morsel id, truncated
+        // to the limit — byte-identical across schedules.
+        let mut all: Vec<usize> = self.parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut rows = Vec::new();
+        for m in all {
+            for r in 0..self.rows_per_morsel {
+                if rows.len() < self.limit {
+                    rows.push(m * self.rows_per_morsel + r);
+                }
+            }
+        }
+        format!("{rows:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // -----------------------------------------------------------------
+    // A deliberately broken cursor — claim modelled as a non-atomic
+    // read-then-increment — to prove the explorer actually finds
+    // interleaving bugs rather than vacuously passing.
+    // -----------------------------------------------------------------
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct TornCursor {
+        n_morsels: usize,
+        cursor: usize,
+        /// None = about to read; Some(m) = read done, about to write+use.
+        pending: Vec<Option<usize>>,
+        finished: Vec<bool>,
+        consumed: Vec<Vec<usize>>,
+    }
+
+    impl TornCursor {
+        fn new(threads: usize, n_morsels: usize) -> Self {
+            TornCursor {
+                n_morsels,
+                cursor: 0,
+                pending: vec![None; threads],
+                finished: vec![false; threads],
+                consumed: vec![Vec::new(); threads],
+            }
+        }
+    }
+
+    impl Model for TornCursor {
+        fn threads(&self) -> usize {
+            self.finished.len()
+        }
+        fn done(&self, t: usize) -> bool {
+            self.finished[t]
+        }
+        fn step(&mut self, t: usize) {
+            match self.pending[t] {
+                None => self.pending[t] = Some(self.cursor), // torn read
+                Some(m) => {
+                    self.cursor = m + 1; // torn write
+                    self.pending[t] = None;
+                    if m >= self.n_morsels {
+                        self.finished[t] = true;
+                    } else {
+                        self.consumed[t].push(m);
+                    }
+                }
+            }
+        }
+        fn check_terminal(&self) -> Result<(), String> {
+            let mut all: Vec<usize> = self.consumed.iter().flatten().copied().collect();
+            all.sort_unstable();
+            let distinct: HashSet<usize> = all.iter().copied().collect();
+            if distinct.len() != all.len() {
+                return Err(format!("morsel consumed twice: {all:?}"));
+            }
+            Ok(())
+        }
+        fn output(&self) -> String {
+            String::new()
+        }
+    }
+
+    #[test]
+    fn explorer_catches_a_torn_claim() {
+        let err = explore(TornCursor::new(2, 2)).unwrap_err();
+        assert!(err.contains("consumed twice"), "{err}");
+    }
+
+    // -----------------------------------------------------------------
+    // Protocol 1: morsel cursor
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn morsel_cursor_no_lost_or_duplicated_morsels() {
+        // ≥ 3 threads × ≥ 4 morsels, per the acceptance bar; every
+        // interleaving must hand out each morsel exactly once.
+        let exp = explore(MorselCursor::new(3, 5, None)).unwrap();
+        assert!(exp.states > 100, "exploration too small: {} states", exp.states);
+        assert_eq!(exp.outputs.len(), 1, "consumed set must be schedule-independent");
+        assert_eq!(exp.outputs.iter().next().unwrap(), "[0, 1, 2, 3, 4]");
+    }
+
+    #[test]
+    fn morsel_cursor_four_threads() {
+        let exp = explore(MorselCursor::new(4, 4, None)).unwrap();
+        assert_eq!(exp.outputs.len(), 1);
+        assert_eq!(exp.outputs.iter().next().unwrap(), "[0, 1, 2, 3]");
+    }
+
+    #[test]
+    fn morsel_cursor_limit_early_exit() {
+        // The stop flag races with in-flight claims; whatever the
+        // schedule, nothing is consumed twice and the tripping morsel
+        // is always consumed.
+        let exp = explore(MorselCursor::new(3, 6, Some(2))).unwrap();
+        assert_eq!(exp.outputs.len(), 1);
+    }
+
+    // -----------------------------------------------------------------
+    // Protocol 2: partial-aggregate freeze/merge
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn agg_merge_every_contribution_exactly_once() {
+        let exp = explore(AggMerge::new(3, 5, 2)).unwrap();
+        assert!(exp.states > 100);
+        assert_eq!(exp.outputs.len(), 1, "merged sum must be schedule-independent");
+        let expect: u64 = (0..5).map(morsel_value).sum();
+        assert_eq!(exp.outputs.iter().next().unwrap(), &format!("sum={expect}"));
+    }
+
+    #[test]
+    fn agg_merge_freeze_every_morsel() {
+        // freeze_after=1 maximises freeze traffic (a freeze per morsel).
+        let exp = explore(AggMerge::new(3, 4, 1)).unwrap();
+        assert_eq!(exp.outputs.len(), 1);
+    }
+
+    // -----------------------------------------------------------------
+    // Protocol 3: order-preserving collect under LIMIT
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn ordered_collect_deterministic_prefix() {
+        // 5 morsels × 2 rows, LIMIT 5: the first three morsels feed the
+        // answer; every schedule must produce the identical first five
+        // rows after the ordered collect.
+        let exp = explore(OrderedCollect::new(3, 5, 2, 5)).unwrap();
+        assert!(exp.states > 100);
+        assert_eq!(
+            exp.outputs.len(),
+            1,
+            "limit output must be schedule-independent: {:?}",
+            exp.outputs
+        );
+        assert_eq!(exp.outputs.iter().next().unwrap(), "[0, 1, 2, 3, 4]");
+    }
+
+    #[test]
+    fn ordered_collect_limit_beyond_input() {
+        // A limit larger than the table degrades to a full ordered scan.
+        let exp = explore(OrderedCollect::new(3, 4, 2, 100)).unwrap();
+        assert_eq!(exp.outputs.len(), 1);
+        assert_eq!(exp.outputs.iter().next().unwrap(), "[0, 1, 2, 3, 4, 5, 6, 7]");
+    }
+}

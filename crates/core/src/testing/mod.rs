@@ -1,0 +1,9 @@
+//! Test-support infrastructure compiled into the library so integration
+//! tests, CI legs and future subsystems (MVCC serving, background
+//! consolidation) can reuse it.
+//!
+//! The only resident today is [`interleave`], the loom-style
+//! deterministic-interleaving model checker for the shared-state
+//! protocols of [`crate::pipeline`].
+
+pub mod interleave;

@@ -20,6 +20,8 @@
 //! pushdowns, exactly as the paper did for its library scripts ("we
 //! manually perform the high-level optimizations performed by a RDBMS").
 
+#![forbid(unsafe_code)]
+
 pub mod ops;
 
 use monetlite_types::{ColumnBuffer, LogicalType, MlError, Result, Value};

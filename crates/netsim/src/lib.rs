@@ -22,6 +22,8 @@
 //! server" bar) or the row store in either profile (the "PostgreSQL" /
 //! "MariaDB" bars).
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod protocol;
 pub mod server;

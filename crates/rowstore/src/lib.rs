@@ -23,6 +23,8 @@
 //! `monetlite`; only storage and execution differ — which is exactly the
 //! comparison the paper makes.
 
+#![forbid(unsafe_code)]
+
 pub mod page;
 pub mod scalar;
 pub mod table;

@@ -15,6 +15,8 @@
 //! CREATE/DROP VIEW, CREATE \[ORDER\] INDEX, INSERT/UPDATE/DELETE, and
 //! explicit transactions.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod lexer;
 pub mod parser;

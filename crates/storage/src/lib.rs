@@ -22,6 +22,10 @@
 //!   optimistic commit protocol (write-write conflict detection), and
 //!   startup/recovery.
 
+// The only `unsafe` in the workspace lives in `persist` (POD slice
+// casts); future unsafe fns must restate their obligations explicitly.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bat;
 pub mod catalog;
 pub mod heap;

@@ -40,17 +40,33 @@ const TAG_DECIMAL: u8 = 4;
 const TAG_VARCHAR: u8 = 5;
 const TAG_DATE: u8 = 6;
 
+/// Marker for the plain-old-data numeric types the column format stores.
+/// Sealed to exactly these primitives so the raw-slice casts below carry
+/// a *compiler-checked* precondition instead of a convention: every
+/// implementor has no padding, no invalid bit patterns, and no drop glue.
+trait Pod: Copy + Default {}
+impl Pod for i8 {}
+impl Pod for i32 {}
+impl Pod for u32 {}
+impl Pod for i64 {}
+impl Pod for u64 {}
+impl Pod for f64 {}
+
 /// View a POD slice as raw bytes (native endian).
-fn pod_bytes<T: Copy>(v: &[T]) -> &[u8] {
-    // SAFETY: T is a plain-old-data numeric type (i8/i32/i64/f64/u32) with
-    // no padding; any byte pattern is a valid T and vice versa.
+fn pod_bytes<T: Pod>(v: &[T]) -> &[u8] {
+    // SAFETY: the sealed `Pod` bound restricts `T` to primitive numerics
+    // (i8/i32/u32/i64/u64/f64): no padding bytes, so every byte of the
+    // slice is initialized; the pointer and length come from a live
+    // borrow of `v`, so the view is in-bounds and outlives nothing.
     unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
 }
 
-fn read_pod_vec<T: Copy + Default>(r: &mut impl Read, len: usize) -> Result<Vec<T>> {
+fn read_pod_vec<T: Pod>(r: &mut impl Read, len: usize) -> Result<Vec<T>> {
     let mut v = vec![T::default(); len];
-    // SAFETY: same POD argument as `pod_bytes`; the buffer is fully
-    // initialised by `vec!` before being exposed as bytes.
+    // SAFETY: the buffer is fully initialized by `vec!` before being
+    // exposed as bytes, and the sealed `Pod` bound guarantees any byte
+    // pattern written into it is a valid `T` (primitive numerics have no
+    // invalid bit patterns); length is exactly the allocation's size.
     let bytes = unsafe {
         std::slice::from_raw_parts_mut(v.as_mut_ptr() as *mut u8, len * std::mem::size_of::<T>())
     };
@@ -170,10 +186,17 @@ pub fn write_chunk_frame(w: &mut impl Write, cols: &[&Bat]) -> Result<u64> {
 /// clean end-of-file (no partial frame bytes).
 pub fn read_chunk_frame(r: &mut impl Read) -> Result<Option<Vec<Bat>>> {
     let mut lenb = [0u8; 8];
-    match r.read_exact(&mut lenb) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
+    let mut filled = 0usize;
+    while filled < lenb.len() {
+        match r.read(&mut lenb[filled..]) {
+            // EOF on a frame boundary is the clean end of the file; EOF
+            // inside the header means the file was truncated mid-frame.
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(MlError::Corrupt("spill frame header truncated".into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
     }
     let len = u64::from_le_bytes(lenb);
     if len > MAX_LEN {

@@ -5,6 +5,8 @@
 //! ([`queries`]), hand-optimised dataframe-library implementations of the
 //! same queries ([`frames`]), and loaders into both database engines.
 
+#![forbid(unsafe_code)]
+
 pub mod frames;
 pub mod gen;
 pub mod queries;

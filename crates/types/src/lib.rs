@@ -13,6 +13,8 @@
 //! is stored internally as the value −2³¹". [`nulls`] reproduces exactly
 //! that convention.
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod date;
 pub mod decimal;

@@ -1,0 +1,19 @@
+//! `cargo run -p xlint` — run every workspace invariant check and exit
+//! non-zero if any is violated. An explicit root may be passed as the
+//! first argument (used by CI and the meta-tests).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| {
+        // crates/xlint/../.. == the workspace root.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    });
+    let report = xlint::run(&root);
+    print!("{}", report.render());
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Meta-tests: each lint rule must (a) fire on a synthetic tree seeded
+//! with exactly one violation and (b) stay quiet on the corrected tree.
+//! A linter whose rules cannot be shown to fire is indistinguishable
+//! from `exit 0`. The final test runs the full linter against the real
+//! workspace — the same invocation CI uses.
+
+use std::path::Path;
+use tempfile::TempDir;
+use xlint::{
+    check_checksum_discipline, check_counter_liveness, check_env_registry, check_kernel_twins,
+    check_no_panic, check_shim_exports, run, RuleResult,
+};
+
+fn tree(files: &[(&str, &str)]) -> TempDir {
+    let dir = tempfile::tempdir().expect("tempdir");
+    for (path, contents) in files {
+        let p = dir.path().join(path);
+        std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&p, contents).expect("write");
+    }
+    dir
+}
+
+fn assert_fires(res: &RuleResult, rule: &str, msg_fragment: &str) {
+    assert!(
+        res.violations.iter().any(|v| v.rule == rule && v.msg.contains(msg_fragment)),
+        "expected a `{rule}` violation mentioning {msg_fragment:?}, got: {:#?}",
+        res.violations
+    );
+}
+
+fn assert_clean(res: &RuleResult) {
+    assert!(res.violations.is_empty(), "expected clean, got: {:#?}", res.violations);
+}
+
+// ---------------------------------------------------------------------------
+// kernel twins
+// ---------------------------------------------------------------------------
+
+const KERNELS_TESTS: &str = r#"
+#[cfg(test)]
+mod tests {
+    use super::*;
+    proptest! {
+        #[test]
+        fn parity(x in 0i32..10) {
+            prop_assert_eq!(eval(x), eval_sel(x));
+        }
+    }
+}
+"#;
+
+fn kernels_src(eval_body: &str) -> String {
+    format!(
+        "pub fn eval(x: i32) -> i32 {{ {eval_body} }}\n\
+         pub fn eval_sel(x: i32) -> i32 {{ foo_sel(x) }}\n\
+         fn foo(x: i32) -> i32 {{ x }}\n\
+         fn foo_sel(x: i32) -> i32 {{ x }}\n{KERNELS_TESTS}"
+    )
+}
+
+#[test]
+fn kernel_twin_rule_fires_on_unwired_dense_kernel() {
+    // `foo` has a `_sel` twin but eval() never dispatches to it.
+    let t = tree(&[("crates/core/src/kernels.rs", &kernels_src("x + 1"))]);
+    assert_fires(&check_kernel_twins(t.path()), "kernel-twins", "`foo`");
+}
+
+#[test]
+fn kernel_twin_rule_fires_on_missing_parity_test() {
+    let src = kernels_src("foo(x)").replace("proptest!", "plain_tests");
+    let t = tree(&[("crates/core/src/kernels.rs", &src)]);
+    assert_fires(&check_kernel_twins(t.path()), "kernel-twins", "parity proptest");
+}
+
+#[test]
+fn kernel_twin_rule_passes_on_wired_pair() {
+    let t = tree(&[("crates/core/src/kernels.rs", &kernels_src("foo(x)"))]);
+    assert_clean(&check_kernel_twins(t.path()));
+}
+
+// ---------------------------------------------------------------------------
+// checksum discipline
+// ---------------------------------------------------------------------------
+
+fn persist_src(body: &str) -> String {
+    format!("pub fn read_stats_file(p: &Path) -> Result<Stats> {{\n{body}\n}}\n")
+}
+
+#[test]
+fn checksum_rule_fires_on_reader_without_checksum() {
+    let t = tree(&[(
+        "crates/storage/src/persist.rs",
+        &persist_src("let bytes = std::fs::read(p)?; decode(&bytes)"),
+    )]);
+    let res = check_checksum_discipline(t.path());
+    assert_fires(&res, "checksum-discipline", "fnv1a");
+    assert_fires(&res, "checksum-discipline", "MlError::Corrupt");
+}
+
+#[test]
+fn checksum_rule_passes_on_validating_reader() {
+    let t = tree(&[(
+        "crates/storage/src/persist.rs",
+        &persist_src(
+            "let bytes = std::fs::read(p)?;\n\
+             if fnv1a(&bytes) != ck { return Err(MlError::Corrupt(\"stats\".into())); }\n\
+             decode(&bytes)",
+        ),
+    )]);
+    assert_clean(&check_checksum_discipline(t.path()));
+}
+
+// ---------------------------------------------------------------------------
+// counter liveness
+// ---------------------------------------------------------------------------
+
+fn exec_src(extra_field: &str, snapshot_extra: &str, bump_extra: &str) -> String {
+    format!(
+        "pub struct ExecCounters {{\n    pub morsels: AtomicU64,\n{extra_field}}}\n\
+         pub struct CountersSnapshot {{\n    pub morsels: u64,\n{snapshot_extra}}}\n\
+         impl ExecCounters {{\n    pub fn snapshot(&self) -> CountersSnapshot {{\n        \
+         CountersSnapshot {{ morsels: g(&self.morsels), {bump_extra} }}\n    }}\n}}\n\
+         fn driver(counters: &ExecCounters) {{\n    counters.morsels.fetch_add(1, Relaxed);\n}}\n"
+    )
+}
+
+#[test]
+fn counter_rule_fires_on_dead_counter() {
+    // `dead` is declared and mirrored but never incremented anywhere.
+    let t = tree(&[(
+        "crates/core/src/exec.rs",
+        &exec_src("    pub dead: AtomicU64,\n", "    pub dead: u64,\n", "dead: g(&self.dead)"),
+    )]);
+    assert_fires(&check_counter_liveness(t.path()), "counter-liveness", "never incremented");
+}
+
+#[test]
+fn counter_rule_fires_on_missing_snapshot_mirror() {
+    let src = exec_src("", "", "").replace("pub morsels: u64,\n", "");
+    let t = tree(&[("crates/core/src/exec.rs", &src)]);
+    assert_fires(&check_counter_liveness(t.path()), "counter-liveness", "CountersSnapshot");
+}
+
+#[test]
+fn counter_rule_passes_on_live_surfaced_counter() {
+    let t = tree(&[("crates/core/src/exec.rs", &exec_src("", "", ""))]);
+    assert_clean(&check_counter_liveness(t.path()));
+}
+
+// ---------------------------------------------------------------------------
+// env-var registry
+// ---------------------------------------------------------------------------
+
+const ARCH_TABLE: &str = "# Architecture\n\n\
+    | Variable | Effect |\n|---|---|\n| `MONETLITE_FOO` | test knob |\n";
+
+#[test]
+fn env_rule_fires_on_undocumented_variable() {
+    let t = tree(&[
+        ("crates/core/src/opt.rs", "fn f() { std::env::var(\"MONETLITE_BAR\"); }\n"),
+        ("ARCHITECTURE.md", ARCH_TABLE),
+    ]);
+    // BAR is read but not documented; FOO is documented but unread.
+    let res = check_env_registry(t.path());
+    assert_fires(&res, "env-registry", "`MONETLITE_BAR`");
+    assert_fires(&res, "env-registry", "`MONETLITE_FOO`");
+}
+
+#[test]
+fn env_rule_passes_when_registry_matches_reads() {
+    let t = tree(&[
+        ("crates/core/src/opt.rs", "fn f() { std::env::var(\"MONETLITE_FOO\"); }\n"),
+        ("ARCHITECTURE.md", ARCH_TABLE),
+    ]);
+    assert_clean(&check_env_registry(t.path()));
+}
+
+// ---------------------------------------------------------------------------
+// no-panic hot path
+// ---------------------------------------------------------------------------
+
+fn hot_tree(pipeline_body: &str) -> TempDir {
+    let mut files: Vec<(&str, String)> =
+        xlint::HOT_PATH.iter().map(|f| (*f, "pub fn ok() -> usize { 1 }\n".to_string())).collect();
+    files[1].1 = pipeline_body.to_string(); // pipeline.rs
+    let refs: Vec<(&str, &str)> = files.iter().map(|(p, c)| (*p, c.as_str())).collect();
+    tree(&refs)
+}
+
+#[test]
+fn no_panic_rule_fires_on_bare_unwrap() {
+    let t = hot_tree("pub fn f(v: Vec<i32>) -> i32 { v.first().copied().unwrap() }\n");
+    assert_fires(&check_no_panic(t.path()), "no-panic", ".unwrap()");
+}
+
+#[test]
+fn no_panic_rule_honours_allow_annotation_and_counts_it() {
+    let t = hot_tree(
+        "pub fn f(v: Vec<i32>) -> i32 {\n\
+         // xlint: allow(panic, callers guarantee non-empty)\n\
+         v.first().copied().unwrap()\n}\n",
+    );
+    let res = check_no_panic(t.path());
+    assert_clean(&res);
+    assert!(
+        res.notes.iter().any(|n| n.contains("1 annotated allow(panic)")),
+        "allow sites must be counted: {:?}",
+        res.notes
+    );
+}
+
+#[test]
+fn no_panic_rule_ignores_test_modules_and_comments() {
+    let t = hot_tree(
+        "pub fn f() -> i32 { 1 } // .unwrap() in a comment is fine\n\
+         #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n",
+    );
+    assert_clean(&check_no_panic(t.path()));
+}
+
+// ---------------------------------------------------------------------------
+// shim export conformance
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shim_rule_fires_on_invented_export() {
+    let t = tree(&[("vendor/rand/src/lib.rs", "pub fn not_in_rand() -> u64 { 4 }\n")]);
+    assert_fires(&check_shim_exports(t.path()), "shim-exports", "`not_in_rand`");
+}
+
+#[test]
+fn shim_rule_fires_on_uncurated_vendor_crate() {
+    let t = tree(&[("vendor/mystery/src/lib.rs", "pub struct Mystery;\n")]);
+    assert_fires(&check_shim_exports(t.path()), "shim-exports", "`mystery`");
+}
+
+#[test]
+fn shim_rule_accepts_real_surface_and_annotated_helpers() {
+    let t = tree(&[(
+        "vendor/rand/src/lib.rs",
+        "pub trait Rng {}\n\
+         // xlint: allow(shim-export, internal helper for the shim's Rng impl)\n\
+         pub struct ShimState;\n",
+    )]);
+    let res = check_shim_exports(t.path());
+    assert_clean(&res);
+    assert!(
+        res.notes.iter().any(|n| n.contains("1 annotated shim-internal")),
+        "annotated helpers must be counted: {:?}",
+        res.notes
+    );
+}
+
+// ---------------------------------------------------------------------------
+// the real workspace
+// ---------------------------------------------------------------------------
+
+#[test]
+fn workspace_passes_every_invariant() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run(&root);
+    assert!(report.is_clean(), "xlint found violations:\n{}", report.render());
+}

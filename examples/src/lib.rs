@@ -1,1 +1,3 @@
 //! Example binaries live in `examples/examples/`.
+
+#![forbid(unsafe_code)]

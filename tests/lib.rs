@@ -1,5 +1,7 @@
 //! Shared helpers for cross-crate integration tests.
 
+#![forbid(unsafe_code)]
+
 use monetlite_types::Value;
 
 /// The golden-answer cell format shared by the TPC-H answer goldens

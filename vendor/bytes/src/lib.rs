@@ -2,6 +2,8 @@
 //! environment). Provides just the `BytesMut` surface this workspace uses:
 //! a growable byte buffer that derefs to `[u8]`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 
 /// A growable, contiguous byte buffer.

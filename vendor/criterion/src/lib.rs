@@ -9,6 +9,8 @@
 //!
 //! No statistical outlier analysis, plots, or baselines.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint;
 use std::time::{Duration, Instant};

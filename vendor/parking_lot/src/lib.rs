@@ -2,6 +2,8 @@
 //! environment): non-poisoning `Mutex` and `RwLock` wrappers over the std
 //! primitives, with the `parking_lot` guard-returning API.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutex whose `lock()` returns the guard directly (never poisons).

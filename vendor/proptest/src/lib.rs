@@ -13,6 +13,8 @@
 //! Cases are generated from a fixed deterministic seed so failures are
 //! reproducible; shrinking is not implemented.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Per-test configuration (`cases` is the only knob used here).
@@ -84,7 +86,7 @@ macro_rules! int_strategy {
                 (self.start as i128 + v as i128) as $t
             }
         }
-        impl ArbitraryValue for $t {
+        impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
             }
@@ -103,23 +105,26 @@ impl Strategy for Range<f64> {
 }
 
 /// Types with a full-domain generator (for [`any`]).
-pub trait ArbitraryValue {
+pub trait Arbitrary {
     /// Generate an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
 }
 
-/// Full-domain strategy for a primitive type.
+/// Full-domain strategy for a primitive type. (Real proptest spells this
+/// `arbitrary::StrategyFor`; the concrete return type of [`any`] must stay
+/// public either way.)
+// xlint: allow(shim-export, concrete return type of `any()`; real proptest uses arbitrary::StrategyFor)
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Any<T> {
     _marker: std::marker::PhantomData<T>,
 }
 
 /// `any::<T>()` — the unconstrained strategy for `T`.
-pub fn any<T: ArbitraryValue>() -> Any<T> {
+pub fn any<T: Arbitrary>() -> Any<T> {
     Any { _marker: std::marker::PhantomData }
 }
 
-impl<T: ArbitraryValue> Strategy for Any<T> {
+impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
@@ -288,6 +293,7 @@ macro_rules! proptest {
 }
 
 #[doc(hidden)]
+// xlint: allow(shim-export, hidden expansion helper for the exported proptest! macro)
 #[macro_export]
 macro_rules! __proptest_impl {
     ( ($cfg:expr) $( #[test] fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {

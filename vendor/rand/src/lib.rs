@@ -3,6 +3,8 @@
 //! `Rng`/`SeedableRng` surface this workspace uses: `random_range` over
 //! integer/float ranges and `random_ratio`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Raw 64-bit source.

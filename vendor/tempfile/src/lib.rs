@@ -2,6 +2,8 @@
 //! environment): `tempdir()`/`TempDir` creating unique directories under
 //! the system temp dir, removed recursively on drop.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};
