@@ -31,7 +31,7 @@ use monetlite_storage::catalog::{ColumnEntry, TableMeta};
 use monetlite_storage::index::{f64_ordered, orderable, IMPRINT_LINE};
 use monetlite_storage::Bat;
 use monetlite_types::{LogicalType, MlError, Result, Value};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -92,6 +92,11 @@ pub struct ExecOptions {
     /// Consult per-zone min/max zonemaps to skip whole vectors on
     /// constant range predicates before any kernel runs.
     pub use_zonemaps: bool,
+    /// Byte cap on one query's spill files (`MONETLITE_SPILL_QUOTA`).
+    /// Exceeding it aborts that query with [`MlError::SpillQuota`] while
+    /// the connection, other sessions and the store stay usable — the
+    /// disk-pressure analogue of `memory_budget`.
+    pub spill_quota: usize,
 }
 
 /// Environment override for test/CI matrices (`MONETLITE_THREADS`,
@@ -125,6 +130,7 @@ impl Default for ExecOptions {
             memory_budget: env_usize("MONETLITE_MEMORY_BUDGET", usize::MAX),
             use_candidates: env_bool("MONETLITE_CANDIDATES", true),
             use_zonemaps: env_bool("MONETLITE_ZONEMAPS", true),
+            spill_quota: env_usize("MONETLITE_SPILL_QUOTA", usize::MAX),
         }
     }
 }
@@ -270,6 +276,10 @@ pub struct ExecContext<'a> {
     /// Lazily created temp directory holding this execution's spill files
     /// (removed when the context is dropped).
     pub(crate) spill: crate::spill::SpillDir,
+    /// Cross-thread cancellation token (`Connection::interrupt_handle`);
+    /// polled at every deadline checkpoint, so an interrupt fires with
+    /// the same per-morsel latency as a timeout.
+    pub(crate) interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -281,13 +291,25 @@ impl<'a> ExecContext<'a> {
             deadline: opts.timeout.map(|t| Instant::now() + t),
             counters: ExecCounters::default(),
             vmem: None,
-            spill: crate::spill::SpillDir::default(),
+            spill: crate::spill::SpillDir::with_quota(if opts.spill_quota == usize::MAX {
+                u64::MAX
+            } else {
+                opts.spill_quota as u64
+            }),
+            interrupt: None,
         }
     }
 
     /// Attach the store's paging manager (budget source for spilling).
     pub fn with_vmem(mut self, vmem: Arc<monetlite_storage::Vmem>) -> ExecContext<'a> {
         self.vmem = Some(vmem);
+        self
+    }
+
+    /// Attach a cancellation token (set from another thread to abort this
+    /// execution at its next checkpoint).
+    pub fn with_interrupt(mut self, token: Arc<AtomicBool>) -> ExecContext<'a> {
+        self.interrupt = Some(token);
         self
     }
 
@@ -308,6 +330,11 @@ impl<'a> ExecContext<'a> {
     }
 
     pub(crate) fn check_deadline(&self) -> Result<()> {
+        if let Some(i) = &self.interrupt {
+            if i.load(Ordering::Relaxed) {
+                return Err(MlError::Interrupted);
+            }
+        }
         if let Some(d) = self.deadline {
             if Instant::now() > d {
                 let limit = self.opts.timeout.unwrap_or_default();

@@ -142,6 +142,7 @@ impl Database {
             txn: None,
             last_counters: None,
             db_views: self.views.clone(),
+            interrupt: Arc::new(std::sync::atomic::AtomicBool::new(false)),
         }
     }
 
@@ -257,6 +258,28 @@ pub struct Connection {
     txn: Option<ActiveTxn>,
     last_counters: Option<exec::CountersSnapshot>,
     db_views: Arc<std::sync::Mutex<HashMap<String, ViewDef>>>,
+    /// Cancellation token shared with [`InterruptHandle`]s; cleared at
+    /// every statement start, polled at executor checkpoints.
+    interrupt: Arc<std::sync::atomic::AtomicBool>,
+}
+
+/// A cheap cloneable, `Send` handle that cancels whatever statement its
+/// [`Connection`] is running (the in-process analogue of a server's KILL
+/// QUERY — an embedded runaway query would otherwise hold the host's
+/// thread hostage). Interrupting an idle connection is a no-op: the flag
+/// is cleared when the next statement starts.
+#[derive(Clone, Debug)]
+pub struct InterruptHandle {
+    flag: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl InterruptHandle {
+    /// Request cancellation: the running statement fails with
+    /// [`MlError::Interrupted`] at its next checkpoint (per operator /
+    /// per spilled frame, so typically within a morsel).
+    pub fn interrupt(&self) {
+        self.flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
 }
 
 /// The transaction's catalog view, usable by the binder, the optimizer's
@@ -371,9 +394,18 @@ impl Connection {
         self.last_counters
     }
 
+    /// A handle other threads can use to cancel this connection's running
+    /// statement (see [`InterruptHandle`]).
+    pub fn interrupt_handle(&self) -> InterruptHandle {
+        InterruptHandle { flag: self.interrupt.clone() }
+    }
+
     /// Execute one SQL statement, returning its full result
     /// (`monetdb_query`).
     pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        // Each statement starts un-interrupted: an interrupt delivered
+        // while the connection was idle must not kill the next query.
+        self.interrupt.store(false, std::sync::atomic::Ordering::SeqCst);
         let stmt = monetlite_sql::parse_statement(sql)?;
         self.run_statement(stmt)
     }
@@ -386,6 +418,7 @@ impl Connection {
     /// Execute a `;`-separated script, returning the last statement's
     /// result.
     pub fn run_script(&mut self, sql: &str) -> Result<QueryResult> {
+        self.interrupt.store(false, std::sync::atomic::Ordering::SeqCst);
         let stmts = monetlite_sql::parse_statements(sql)?;
         let mut last = QueryResult::empty(0);
         for s in stmts {
@@ -676,7 +709,9 @@ impl Connection {
             // ExecOptions leaves it unset: operator state competes with
             // resident columns for the same byte budget, and pipeline
             // breakers spill once it is exceeded.
-            let ctx = ExecContext::new(&view, self.exec_opts).with_vmem(self.store.vmem().clone());
+            let ctx = ExecContext::new(&view, self.exec_opts)
+                .with_vmem(self.store.vmem().clone())
+                .with_interrupt(self.interrupt.clone());
             let chunk = exec::execute(&plan, &ctx)?;
             let names: Vec<String> = plan.schema().iter().map(|c| c.name.clone()).collect();
             let types: Vec<LogicalType> = plan.schema().iter().map(|c| c.ty).collect();

@@ -307,6 +307,11 @@ where
 /// Push one vector through the operator chain.
 fn apply_ops(mut chunk: Chunk, ops: &[PipeOp], ctx: &ExecContext) -> Result<Chunk> {
     for op in ops {
+        // Per-operator (not just per-morsel) checkpoint: a timeout or a
+        // cross-thread interrupt fires mid-morsel even when a single
+        // vector's operator chain is expensive (wide probes, regex-heavy
+        // projections).
+        ctx.check_deadline()?;
         match op {
             PipeOp::Filter(pred) => {
                 if ctx.opts.use_candidates {
@@ -1106,6 +1111,7 @@ fn write_sorted_run(
     let vs = ctx.opts.vector_size.max(1);
     let mut start = 0;
     while start < sorted.rows {
+        ctx.check_deadline()?;
         let end = (start + vs).min(sorted.rows);
         let s = sorted.slice(start, end);
         let refs: Vec<&Bat> = s.cols.iter().map(|a| &**a).collect();

@@ -22,6 +22,7 @@
 
 use crate::exec::Chunk;
 use crate::rows::row_hash;
+use monetlite_storage::fault;
 use monetlite_storage::persist::{read_chunk_frame, write_chunk_frame};
 use monetlite_storage::Bat;
 use monetlite_types::{MlError, Result};
@@ -54,13 +55,33 @@ pub(crate) fn partition_of(keys: &[&Bat], row: usize, depth: u32) -> usize {
 /// Lazily created spill directory, one per [`crate::exec::ExecContext`].
 /// The directory (and every file still in it) is removed when the
 /// context is dropped — spill state never outlives its query.
-#[derive(Default)]
 pub(crate) struct SpillDir {
     dir: Mutex<Option<Arc<tempfile::TempDir>>>,
     next: AtomicU64,
+    /// Bytes written by every file of this directory, against `quota`.
+    used: Arc<AtomicU64>,
+    /// Per-query temp-disk cap (`MONETLITE_SPILL_QUOTA`); exceeding it
+    /// aborts the owning query with [`MlError::SpillQuota`].
+    quota: u64,
+}
+
+impl Default for SpillDir {
+    fn default() -> Self {
+        SpillDir {
+            dir: Mutex::new(None),
+            next: AtomicU64::new(0),
+            used: Arc::new(AtomicU64::new(0)),
+            quota: u64::MAX,
+        }
+    }
 }
 
 impl SpillDir {
+    /// A directory whose files may hold at most `quota` bytes in total.
+    pub fn with_quota(quota: u64) -> SpillDir {
+        SpillDir { quota, ..SpillDir::default() }
+    }
+
     /// A fresh unique file path inside the (lazily created) directory.
     fn fresh_path(&self) -> Result<PathBuf> {
         // Poison recovery is sound here: the slot is a single lazily set
@@ -69,6 +90,7 @@ impl SpillDir {
         let dir = match &*g {
             Some(d) => d.clone(),
             None => {
+                fault::hit("spill.tempdir")?;
                 let d = Arc::new(tempfile::tempdir()?);
                 *g = Some(d.clone());
                 d
@@ -81,8 +103,15 @@ impl SpillDir {
     /// Create a new spill file.
     pub fn file(&self) -> Result<SpillFile> {
         let path = self.fresh_path()?;
-        let w = BufWriter::new(File::create(&path)?);
-        Ok(SpillFile { path, w: Some(w), bytes: 0, rows: 0 })
+        let w = BufWriter::new(fault::create("spill.create", &path)?);
+        Ok(SpillFile {
+            path,
+            w: Some(w),
+            bytes: 0,
+            rows: 0,
+            used: self.used.clone(),
+            quota: self.quota,
+        })
     }
 }
 
@@ -94,10 +123,16 @@ pub(crate) struct SpillFile {
     pub bytes: u64,
     /// Rows written so far.
     pub rows: u64,
+    /// Shared byte counter of the owning [`SpillDir`].
+    used: Arc<AtomicU64>,
+    /// Copy of the owning directory's quota.
+    quota: u64,
 }
 
 impl SpillFile {
-    /// Append one frame of aligned columns.
+    /// Append one frame of aligned columns. Fails with
+    /// [`MlError::SpillQuota`] when the query's cumulative spill volume
+    /// exceeds the directory's quota.
     pub fn write(&mut self, cols: &[&Bat]) -> Result<u64> {
         let w = self
             .w
@@ -106,18 +141,41 @@ impl SpillFile {
         let n = write_chunk_frame(w, cols)?;
         self.bytes += n;
         self.rows += cols.first().map_or(0, |c| c.len()) as u64;
+        let used = self.used.fetch_add(n, Ordering::Relaxed) + n;
+        if used > self.quota {
+            return Err(MlError::SpillQuota { used, quota: self.quota });
+        }
         Ok(n)
     }
 
     /// Seal the file and reopen it for sequential reads. The underlying
     /// file is deleted when the reader is dropped.
     pub fn into_reader(mut self) -> Result<SpillReader> {
-        use std::io::Write;
-        if let Some(mut w) = self.w.take() {
-            w.flush()?;
+        let res = (|| -> Result<BufReader<File>> {
+            if let Some(mut w) = self.w.take() {
+                fault::flush("spill.seal.flush", &mut w)?;
+            }
+            Ok(BufReader::new(fault::open("spill.open", &self.path)?))
+        })();
+        match res {
+            Ok(r) => Ok(SpillReader { r, path: std::mem::take(&mut self.path) }),
+            // `self` still owns the path: its Drop removes the partial
+            // file, so a failed seal leaves nothing behind.
+            Err(e) => Err(e),
         }
-        let r = BufReader::new(File::open(&self.path)?);
-        Ok(SpillReader { r, path: std::mem::take(&mut self.path) })
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        // Reached only on error paths: a successful `into_reader` moved
+        // the path out. Remove the partial file now instead of letting it
+        // sit until the whole SpillDir goes away (a long-lived context
+        // could otherwise pin dead bytes for its entire session).
+        if !self.path.as_os_str().is_empty() {
+            self.w = None;
+            let _ = fault::remove_file("spill.remove", &self.path);
+        }
     }
 }
 
@@ -143,7 +201,7 @@ impl SpillReader {
 
 impl Drop for SpillReader {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        let _ = fault::remove_file("spill.remove", &self.path);
     }
 }
 
@@ -372,6 +430,42 @@ mod tests {
             SpillReader { r: BufReader::new(File::open(&path).unwrap()), path: path.clone() };
         assert_eq!(r.next().unwrap().unwrap().rows, 2, "first frame intact");
         assert!(r.next().is_err(), "truncated second frame must error");
+    }
+
+    #[test]
+    fn quota_exceeded_fails_the_write_with_both_numbers() {
+        let dir = SpillDir::with_quota(16);
+        let mut f = dir.file().unwrap();
+        let err = f.write(&[&Bat::Int((0..1000).collect())]).unwrap_err();
+        match err {
+            MlError::SpillQuota { used, quota } => {
+                assert_eq!(quota, 16);
+                assert!(used > 16, "used {used} must exceed the quota");
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn quota_is_shared_across_files_of_one_directory() {
+        let dir = SpillDir::with_quota(100);
+        let mut a = dir.file().unwrap();
+        let mut b = dir.file().unwrap();
+        // Each file stays under the cap on its own; together they cross it.
+        a.write(&[&Bat::Int((0..15).collect())]).unwrap();
+        let err = b.write(&[&Bat::Int((0..15).collect())]).unwrap_err();
+        assert!(matches!(err, MlError::SpillQuota { .. }), "unexpected {err:?}");
+    }
+
+    #[test]
+    fn dropped_unsealed_file_is_removed() {
+        let dir = SpillDir::default();
+        let mut f = dir.file().unwrap();
+        f.write(&[&Bat::Int(vec![1])]).unwrap();
+        let path = f.path.clone();
+        assert!(path.exists());
+        drop(f);
+        assert!(!path.exists(), "error-path spill file removed on drop");
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod bat;
 pub mod catalog;
+pub mod fault;
 pub mod heap;
 pub mod index;
 pub mod persist;

@@ -13,11 +13,11 @@
 //! the offsets array followed by the raw heap.
 
 use crate::bat::Bat;
+use crate::fault;
 use crate::heap::StringHeap;
 use crate::index::{fnv1a, Zonemap};
 use crate::stats::{ColumnStats, NdvSketch, HLL_REGS};
 use monetlite_types::{MlError, Result};
-use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
@@ -177,8 +177,8 @@ pub fn write_chunk_frame(w: &mut impl Write, cols: &[&Bat]) -> Result<u64> {
     for c in cols {
         encode_bat(&mut payload, c);
     }
-    w.write_all(&(payload.len() as u64).to_le_bytes())?;
-    w.write_all(&payload)?;
+    fault::write_all("spill.frame.write", w, &(payload.len() as u64).to_le_bytes())?;
+    fault::write_all("spill.frame.write", w, &payload)?;
     Ok(8 + payload.len() as u64)
 }
 
@@ -188,7 +188,7 @@ pub fn read_chunk_frame(r: &mut impl Read) -> Result<Option<Vec<Bat>>> {
     let mut lenb = [0u8; 8];
     let mut filled = 0usize;
     while filled < lenb.len() {
-        match r.read(&mut lenb[filled..]) {
+        match fault::read("spill.frame.read", r, &mut lenb[filled..]) {
             // EOF on a frame boundary is the clean end of the file; EOF
             // inside the header means the file was truncated mid-frame.
             Ok(0) if filled == 0 => return Ok(None),
@@ -203,7 +203,7 @@ pub fn read_chunk_frame(r: &mut impl Read) -> Result<Option<Vec<Bat>>> {
         return Err(MlError::Corrupt(format!("spill frame length {len} exceeds sanity bound")));
     }
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    fault::read_exact("spill.frame.read", r, &mut payload)?;
     let mut cursor = payload.as_slice();
     let mut nb = [0u8; 4];
     cursor.read_exact(&mut nb)?;
@@ -218,21 +218,28 @@ pub fn read_chunk_frame(r: &mut impl Read) -> Result<Option<Vec<Bat>>> {
     Ok(Some(cols))
 }
 
-/// Write a BAT to a column file (atomically: temp file + rename).
+/// Write a BAT to a column file (atomically: temp file + rename). A
+/// failure anywhere removes the temp file — no `.tmp` orphans survive an
+/// errored write.
 pub fn write_column_file(path: &Path, bat: &Bat) -> Result<()> {
     let tmp = path.with_extension("tmp");
-    {
-        let mut w = BufWriter::new(File::create(&tmp)?);
+    let res = (|| -> Result<()> {
+        let mut w = BufWriter::new(fault::create("persist.column.create", &tmp)?);
         let mut payload = Vec::with_capacity(bat.size_bytes() + 16);
         encode_bat(&mut payload, bat);
-        w.write_all(MAGIC)?;
-        w.write_all(&ENDIAN_MARK.to_ne_bytes())?;
-        w.write_all(&payload)?;
-        w.write_all(&fnv1a(&payload).to_le_bytes())?;
-        w.flush()?;
+        fault::write_all("persist.column.write", &mut w, MAGIC)?;
+        fault::write_all("persist.column.write", &mut w, &ENDIAN_MARK.to_ne_bytes())?;
+        fault::write_all("persist.column.write", &mut w, &payload)?;
+        fault::write_all("persist.column.write", &mut w, &fnv1a(&payload).to_le_bytes())?;
+        fault::flush("persist.column.flush", &mut w)?;
+        drop(w);
+        fault::rename("persist.column.rename", &tmp, path)?;
+        Ok(())
+    })();
+    if res.is_err() {
+        let _ = fault::remove_file("persist.column.cleanup", &tmp);
     }
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    res
 }
 
 /// Read a BAT from a column file, validating magic, endianness and
@@ -240,19 +247,19 @@ pub fn write_column_file(path: &Path, bat: &Bat) -> Result<()> {
 /// panic or abort (paper §3.4: a corrupt database must surface as an
 /// error to the embedding process).
 pub fn read_column_file(path: &Path) -> Result<Bat> {
-    let mut r = BufReader::new(File::open(path)?);
+    let mut r = BufReader::new(fault::open("persist.column.open", path)?);
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    fault::read_exact("persist.column.read", &mut r, &mut magic)?;
     if &magic != MAGIC {
         return Err(MlError::Corrupt(format!("{}: bad magic", path.display())));
     }
     let mut em = [0u8; 2];
-    r.read_exact(&mut em)?;
+    fault::read_exact("persist.column.read", &mut r, &mut em)?;
     if u16::from_ne_bytes(em) != ENDIAN_MARK {
         return Err(MlError::Corrupt(format!("{}: foreign endianness", path.display())));
     }
     let mut rest = Vec::new();
-    r.read_to_end(&mut rest)?;
+    fault::read_to_end("persist.column.read", &mut r, &mut rest)?;
     if rest.len() < 8 {
         return Err(MlError::Corrupt(format!("{}: truncated", path.display())));
     }
@@ -281,40 +288,45 @@ pub fn zonemap_sidecar(column_path: &Path) -> PathBuf {
 /// fall back to rebuilding from the column on any validation failure.
 pub fn write_zonemap_file(path: &Path, zm: &Zonemap) -> Result<()> {
     let tmp = path.with_extension("zmtmp");
-    {
-        let mut w = BufWriter::new(File::create(&tmp)?);
+    let res = (|| -> Result<()> {
+        let mut w = BufWriter::new(fault::create("persist.zonemap.create", &tmp)?);
         let mut payload = Vec::with_capacity(16 + zm.n_zones() * 16);
         payload.extend_from_slice(&(zm.rows() as u64).to_le_bytes());
         payload.extend_from_slice(&(zm.n_zones() as u64).to_le_bytes());
         payload.extend_from_slice(pod_bytes(zm.mins()));
         payload.extend_from_slice(pod_bytes(zm.maxs()));
-        w.write_all(ZM_MAGIC)?;
-        w.write_all(&ENDIAN_MARK.to_ne_bytes())?;
-        w.write_all(&payload)?;
-        w.write_all(&fnv1a(&payload).to_le_bytes())?;
-        w.flush()?;
+        fault::write_all("persist.zonemap.write", &mut w, ZM_MAGIC)?;
+        fault::write_all("persist.zonemap.write", &mut w, &ENDIAN_MARK.to_ne_bytes())?;
+        fault::write_all("persist.zonemap.write", &mut w, &payload)?;
+        fault::write_all("persist.zonemap.write", &mut w, &fnv1a(&payload).to_le_bytes())?;
+        fault::flush("persist.zonemap.flush", &mut w)?;
+        drop(w);
+        fault::rename("persist.zonemap.rename", &tmp, path)?;
+        Ok(())
+    })();
+    if res.is_err() {
+        let _ = fault::remove_file("persist.zonemap.cleanup", &tmp);
     }
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    res
 }
 
 /// Read a zonemap sidecar, validating magic, endianness, checksum and
 /// shape. Any failure is [`MlError::Corrupt`]; callers treat it as a
 /// cache miss and rebuild from the column data.
 pub fn read_zonemap_file(path: &Path) -> Result<Zonemap> {
-    let mut r = BufReader::new(File::open(path)?);
+    let mut r = BufReader::new(fault::open("persist.zonemap.open", path)?);
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    fault::read_exact("persist.zonemap.read", &mut r, &mut magic)?;
     if &magic != ZM_MAGIC {
         return Err(MlError::Corrupt(format!("{}: bad zonemap magic", path.display())));
     }
     let mut em = [0u8; 2];
-    r.read_exact(&mut em)?;
+    fault::read_exact("persist.zonemap.read", &mut r, &mut em)?;
     if u16::from_ne_bytes(em) != ENDIAN_MARK {
         return Err(MlError::Corrupt(format!("{}: foreign endianness", path.display())));
     }
     let mut rest = Vec::new();
-    r.read_to_end(&mut rest)?;
+    fault::read_to_end("persist.zonemap.read", &mut r, &mut rest)?;
     if rest.len() < 8 {
         return Err(MlError::Corrupt(format!("{}: truncated zonemap", path.display())));
     }
@@ -352,8 +364,8 @@ pub fn stats_sidecar(column_path: &Path) -> PathBuf {
 /// fall back to rebuilding from the column on any validation failure.
 pub fn write_stats_file(path: &Path, st: &ColumnStats) -> Result<()> {
     let tmp = path.with_extension("sttmp");
-    {
-        let mut w = BufWriter::new(File::create(&tmp)?);
+    let res = (|| -> Result<()> {
+        let mut w = BufWriter::new(fault::create("persist.stats.create", &tmp)?);
         let regs = st.sketch.registers();
         let mut payload = Vec::with_capacity(41 + regs.len());
         payload.extend_from_slice(&(st.rows as u64).to_le_bytes());
@@ -363,33 +375,38 @@ pub fn write_stats_file(path: &Path, st: &ColumnStats) -> Result<()> {
         payload.extend_from_slice(&st.max_key.to_le_bytes());
         payload.extend_from_slice(&(regs.len() as u64).to_le_bytes());
         payload.extend_from_slice(regs);
-        w.write_all(ST_MAGIC)?;
-        w.write_all(&ENDIAN_MARK.to_ne_bytes())?;
-        w.write_all(&payload)?;
-        w.write_all(&fnv1a(&payload).to_le_bytes())?;
-        w.flush()?;
+        fault::write_all("persist.stats.write", &mut w, ST_MAGIC)?;
+        fault::write_all("persist.stats.write", &mut w, &ENDIAN_MARK.to_ne_bytes())?;
+        fault::write_all("persist.stats.write", &mut w, &payload)?;
+        fault::write_all("persist.stats.write", &mut w, &fnv1a(&payload).to_le_bytes())?;
+        fault::flush("persist.stats.flush", &mut w)?;
+        drop(w);
+        fault::rename("persist.stats.rename", &tmp, path)?;
+        Ok(())
+    })();
+    if res.is_err() {
+        let _ = fault::remove_file("persist.stats.cleanup", &tmp);
     }
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    res
 }
 
 /// Read a column-statistics sidecar, validating magic, endianness,
 /// checksum and register-count shape. Any failure is [`MlError::Corrupt`];
 /// callers treat it as a cache miss and rebuild from the column data.
 pub fn read_stats_file(path: &Path) -> Result<ColumnStats> {
-    let mut r = BufReader::new(File::open(path)?);
+    let mut r = BufReader::new(fault::open("persist.stats.open", path)?);
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    fault::read_exact("persist.stats.read", &mut r, &mut magic)?;
     if &magic != ST_MAGIC {
         return Err(MlError::Corrupt(format!("{}: bad stats magic", path.display())));
     }
     let mut em = [0u8; 2];
-    r.read_exact(&mut em)?;
+    fault::read_exact("persist.stats.read", &mut r, &mut em)?;
     if u16::from_ne_bytes(em) != ENDIAN_MARK {
         return Err(MlError::Corrupt(format!("{}: foreign endianness", path.display())));
     }
     let mut rest = Vec::new();
-    r.read_to_end(&mut rest)?;
+    fault::read_to_end("persist.stats.read", &mut r, &mut rest)?;
     if rest.len() < 8 {
         return Err(MlError::Corrupt(format!("{}: truncated stats", path.display())));
     }

@@ -20,14 +20,14 @@
 
 use crate::bat::Bat;
 use crate::catalog::{CatalogSnapshot, ColumnEntry, SegColumn, TableData, TableMeta};
+use crate::fault;
 use crate::persist;
 use crate::vmem::Vmem;
 use crate::wal::{self, WalRecord, WalWriter};
 use monetlite_types::{LogicalType, MlError, Result, Schema};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
-use std::fs::File;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -111,7 +111,7 @@ pub struct Store {
 impl Drop for Store {
     fn drop(&mut self) {
         if let Some(p) = &self.lock_path {
-            let _ = std::fs::remove_file(p);
+            let _ = fault::remove_file("store.lock.remove", p);
         }
     }
 }
@@ -140,11 +140,11 @@ impl Store {
                 lock_path: None,
             });
         };
-        std::fs::create_dir_all(dir.join("cols"))?;
+        fault::create_dir_all("store.open.mkdir", &dir.join("cols"))?;
         // Paper §5: a database directory may be used by one server at a
         // time ("database locked").
         let lock_path = dir.join("db.lock");
-        match std::fs::OpenOptions::new().write(true).create_new(true).open(&lock_path) {
+        match fault::create_new("store.lock.create", &lock_path) {
             Ok(mut f) => {
                 let _ = writeln!(f, "{}", std::process::id());
             }
@@ -205,7 +205,7 @@ impl Store {
                 // Never leave a stale lock behind on a failed open, and —
                 // paper §3.4 — report corruption as an error instead of
                 // exiting the host process.
-                let _ = std::fs::remove_file(&lock_path);
+                let _ = fault::remove_file("store.lock.remove", &lock_path);
                 Err(e)
             }
         }
@@ -400,7 +400,7 @@ impl Store {
         // Truncate and reopen the WAL (everything in it is at or below
         // the watermark now, so this step is idempotent for recovery).
         ci.wal = None;
-        File::create(dir.join("wal.log"))?;
+        fault::create("store.wal.truncate", &dir.join("wal.log"))?;
         ci.wal = Some(WalWriter::open(&dir.join("wal.log"))?);
         if crash == Some(CheckpointCrash::BeforeFileGc) {
             return Ok(());
@@ -408,11 +408,10 @@ impl Store {
         // Remove column files no longer referenced by the catalog — last,
         // so a crash anywhere above never deletes files a surviving
         // catalog still points at.
-        for e in std::fs::read_dir(&colsdir)? {
-            let e = e?;
+        for e in fault::read_dir("store.gc.readdir", &colsdir)? {
             let fname = e.file_name().to_string_lossy().into_owned();
             if !referenced.contains(&fname) {
-                let _ = std::fs::remove_file(e.path());
+                let _ = fault::remove_file("store.gc.remove", &e.path());
             }
         }
         *self.catalog.write() = Arc::new(snap2);
@@ -584,23 +583,30 @@ fn write_catalog(
         }
     }
     let tmp = dir.join("catalog.tmp");
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(CATALOG_MAGIC)?;
-        f.write_all(&ENDIAN_MARK.to_ne_bytes())?;
-        f.write_all(&payload)?;
-        f.write_all(&crate::index::fnv1a(&payload).to_le_bytes())?;
-        f.sync_all()?;
+    let res = (|| -> Result<()> {
+        let mut f = fault::create("catalog.create", &tmp)?;
+        fault::write_all("catalog.write", &mut f, CATALOG_MAGIC)?;
+        fault::write_all("catalog.write", &mut f, &ENDIAN_MARK.to_ne_bytes())?;
+        fault::write_all("catalog.write", &mut f, &payload)?;
+        fault::write_all("catalog.write", &mut f, &crate::index::fnv1a(&payload).to_le_bytes())?;
+        fault::sync_all("catalog.sync", &f)?;
+        drop(f);
+        fault::rename("catalog.rename", &tmp, &dir.join("catalog.bin"))?;
+        Ok(())
+    })();
+    // `catalog.tmp` lives in the db root, outside the cols/ GC sweep — a
+    // failed checkpoint must clean it up itself or it leaks forever.
+    if res.is_err() {
+        let _ = fault::remove_file("catalog.cleanup", &tmp);
     }
-    std::fs::rename(tmp, dir.join("catalog.bin"))?;
-    Ok(())
+    res
 }
 
 type LoadedCatalog = (HashMap<String, Arc<TableMeta>>, u64, u64);
 
 fn load_catalog(dir: &Path, vmem: &Arc<Vmem>) -> Result<LoadedCatalog> {
     let path = dir.join("catalog.bin");
-    let mut f = match File::open(&path) {
+    let mut f = match fault::open("catalog.open", &path) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Ok((HashMap::new(), 1, 0));
@@ -608,7 +614,7 @@ fn load_catalog(dir: &Path, vmem: &Arc<Vmem>) -> Result<LoadedCatalog> {
         Err(e) => return Err(e.into()),
     };
     let mut buf = Vec::new();
-    f.read_to_end(&mut buf)?;
+    fault::read_to_end("catalog.read", &mut f, &mut buf)?;
     if buf.len() < 4 + 2 + 8 || &buf[..4] != CATALOG_MAGIC {
         return Err(MlError::Corrupt("catalog.bin: bad magic or truncated".into()));
     }

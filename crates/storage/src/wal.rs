@@ -13,12 +13,13 @@
 //! starts with a one-byte record tag.
 
 use crate::bat::Bat;
+use crate::fault;
 use crate::index::fnv1a;
 use crate::persist::{decode_bat, encode_bat};
 use monetlite_types::{Field, LogicalType, MlError, Result, Schema};
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
-use std::path::Path;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
 
 /// One logical write operation, as logged and as applied to the catalog.
 #[derive(Debug)]
@@ -273,33 +274,94 @@ fn decode_record(mut payload: &[u8]) -> Result<WalRecord> {
 }
 
 /// Appends framed records to the log file.
+///
+/// A failed append or flush may have left *part* of a frame on disk (the
+/// `BufWriter` flushes whenever its buffer fills, so even a buffered
+/// `append` can do real I/O). If we kept appending after that, every later
+/// commit would land behind the torn frame and replay — which stops at the
+/// first bad frame — would silently drop acknowledged transactions. So on
+/// any append/flush error the writer discards its buffer and truncates the
+/// file back to `synced`, the length at the last successful flush. If even
+/// that repair fails the writer poisons itself: all further operations
+/// error until the database is reopened.
 pub struct WalWriter {
-    w: BufWriter<File>,
+    path: PathBuf,
+    /// `None` after an unrecoverable I/O failure (poisoned).
+    w: Option<BufWriter<File>>,
     bytes: u64,
+    /// File length at the last successful flush — the truncation target
+    /// when a later write fails partway through a frame.
+    synced: u64,
 }
 
 impl WalWriter {
     /// Open (appending) or create the log at `path`.
     pub fn open(path: &Path) -> Result<WalWriter> {
-        let f = OpenOptions::new().create(true).append(true).open(path)?;
-        let bytes = f.metadata()?.len();
-        Ok(WalWriter { w: BufWriter::new(f), bytes })
+        let f = fault::open_append("wal.open", path)?;
+        let bytes = fault::file_len("wal.len", &f)?;
+        Ok(WalWriter { path: path.to_path_buf(), w: Some(BufWriter::new(f)), bytes, synced: bytes })
+    }
+
+    fn poisoned() -> MlError {
+        MlError::Io("wal writer poisoned after an earlier I/O failure; reopen the database".into())
+    }
+
+    /// Discard buffered (possibly half-written) frames and truncate the
+    /// log back to the last flushed length. On success the writer is ready
+    /// for new appends; on failure it stays poisoned.
+    fn recover(&mut self) {
+        // into_parts() hands back the File *without* flushing, dropping
+        // whatever partial frame is still buffered. Letting the BufWriter
+        // drop normally would flush those stale bytes after truncation.
+        if let Some(w) = self.w.take() {
+            let (_f, _buf) = w.into_parts();
+        }
+        let res = (|| -> Result<File> {
+            let f = fault::open_append("wal.recover.open", &self.path)?;
+            fault::set_len("wal.recover.truncate", &f, self.synced)?;
+            Ok(f)
+        })();
+        if let Ok(f) = res {
+            self.w = Some(BufWriter::new(f));
+            self.bytes = self.synced;
+        }
     }
 
     /// Append one record (buffered; call [`WalWriter::flush`] at commit).
     pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
+        let w = self.w.as_mut().ok_or_else(Self::poisoned)?;
         let payload = encode_record(rec);
-        self.w.write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.w.write_all(&payload)?;
-        self.w.write_all(&fnv1a(&payload).to_le_bytes())?;
-        self.bytes += 4 + payload.len() as u64 + 8;
-        Ok(())
+        let res = (|| -> Result<()> {
+            fault::write_all("wal.append", w, &(payload.len() as u32).to_le_bytes())?;
+            fault::write_all("wal.append", w, &payload)?;
+            fault::write_all("wal.append", w, &fnv1a(&payload).to_le_bytes())?;
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                self.bytes += 4 + payload.len() as u64 + 8;
+                Ok(())
+            }
+            Err(e) => {
+                self.recover();
+                Err(e)
+            }
+        }
     }
 
     /// Flush buffered records to the OS.
     pub fn flush(&mut self) -> Result<()> {
-        self.w.flush()?;
-        Ok(())
+        let w = self.w.as_mut().ok_or_else(Self::poisoned)?;
+        match fault::flush("wal.flush", w) {
+            Ok(()) => {
+                self.synced = self.bytes;
+                Ok(())
+            }
+            Err(e) => {
+                self.recover();
+                Err(e.into())
+            }
+        }
     }
 
     /// Bytes written since the log was created/truncated (drives the
@@ -319,13 +381,13 @@ impl WalWriter {
 /// in its image, and recovery skips replayed transactions at or below
 /// that watermark instead of double-applying them.
 pub fn replay(path: &Path) -> Result<Vec<(u64, Vec<WalRecord>)>> {
-    let mut f = match File::open(path) {
+    let mut f = match fault::open("wal.replay.open", path) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => return Err(e.into()),
     };
     let mut buf = Vec::new();
-    f.read_to_end(&mut buf)?;
+    fault::read_to_end("wal.replay.read", &mut f, &mut buf)?;
     let mut committed = Vec::new();
     let mut pending: Option<Vec<WalRecord>> = None;
     let mut pos = 0usize;

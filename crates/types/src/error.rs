@@ -44,6 +44,14 @@ pub enum MlError {
     OutOfMemory { requested: usize, budget: usize },
     /// A query exceeded the harness-imposed timeout ("T" entries of Table 1).
     Timeout { elapsed_ms: u64, limit_ms: u64 },
+    /// The query was cancelled from another thread via
+    /// `Connection::interrupt_handle()`. Like a timeout this aborts only
+    /// the running statement; the connection stays usable.
+    Interrupted,
+    /// The query's spill files exceeded the per-query temp-disk byte cap
+    /// (`MONETLITE_SPILL_QUOTA` / `ExecOptions::spill_quota`). Aborts only
+    /// the offending query; other sessions and the store are unaffected.
+    SpillQuota { used: u64, quota: u64 },
     /// Wire-protocol violation in the client/server simulation.
     Protocol(String),
     /// Feature recognised but unsupported in this build.
@@ -91,6 +99,10 @@ impl fmt::Display for MlError {
             MlError::Timeout { elapsed_ms, limit_ms } => {
                 write!(f, "query timeout: {elapsed_ms}ms elapsed, limit {limit_ms}ms")
             }
+            MlError::Interrupted => write!(f, "query interrupted"),
+            MlError::SpillQuota { used, quota } => {
+                write!(f, "spill quota exceeded: query wrote {used} temp bytes, quota {quota}")
+            }
             MlError::Protocol(m) => write!(f, "protocol error: {m}"),
             MlError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
@@ -124,6 +136,17 @@ mod tests {
         assert!(!MlError::Io("disk".into()).is_user_error());
         assert!(!MlError::Corrupt("bad magic".into()).is_user_error());
         assert!(!MlError::TransactionConflict("w-w".into()).is_user_error());
+    }
+
+    #[test]
+    fn interrupt_and_quota_are_not_user_errors() {
+        // Both abort a statement for operational reasons, not because the
+        // statement itself was invalid.
+        assert!(!MlError::Interrupted.is_user_error());
+        assert!(!MlError::SpillQuota { used: 10, quota: 5 }.is_user_error());
+        assert!(MlError::Interrupted.to_string().contains("interrupted"));
+        let q = MlError::SpillQuota { used: 10, quota: 5 };
+        assert!(q.to_string().contains("quota 5"), "{q}");
     }
 
     #[test]

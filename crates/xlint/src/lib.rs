@@ -27,6 +27,12 @@
 //!    may only export names the real crates export, so the workspace keeps
 //!    compiling the day the shims are replaced by the genuine articles.
 //!    Shim-internal helpers need `// xlint: allow(shim-export, <reason>)`.
+//! 7. **Failpoint coverage** — non-test code in `crates/storage` and
+//!    `core/spill.rs` must route file I/O through the
+//!    `monetlite_storage::fault` wrappers: raw `File::`/`std::fs::`/
+//!    `.write_all(`/`.sync_all(` calls are banned (else the fault-injection
+//!    sweep silently loses coverage of that site). The escape hatch is
+//!    `// xlint: allow(raw-io, <reason>)`, and the report counts its uses.
 //!
 //! Each rule is a standalone `check_*` function taking the workspace root,
 //! so the meta-tests can seed one violation into a synthetic tree and
@@ -128,6 +134,7 @@ pub fn run(root: &Path) -> Report {
         check_env_registry(root),
         check_no_panic(root),
         check_shim_exports(root),
+        check_raw_io(root),
     ] {
         report.violations.extend(part.violations);
         report.notes.extend(part.notes);
@@ -973,6 +980,77 @@ pub fn check_shim_exports(root: &Path) -> RuleResult {
     }
     res.notes.push(format!(
         "shim-exports: {checked} export(s) checked, {annotated} annotated shim-internal helper(s)"
+    ));
+    res
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: failpoint coverage (no raw file I/O)
+// ---------------------------------------------------------------------------
+
+/// Raw file-I/O call shapes that bypass the `fault` wrappers. The leading
+/// dot keeps `fault::write_all(...)` itself from matching.
+const RAW_IO_TOKENS: &[&str] = &["File::", "std::fs::", ".write_all(", ".sync_all("];
+
+/// Every filesystem call in the storage crate and in the executor's spill
+/// layer must go through `monetlite_storage::fault`, or the deterministic
+/// fault-injection sweep silently loses that site. Escape hatch:
+/// `// xlint: allow(raw-io, <reason>)` on the same or preceding line.
+pub fn check_raw_io(root: &Path) -> RuleResult {
+    const RULE: &str = "raw-io";
+    let mut res = RuleResult::default();
+    let mut files: Vec<PathBuf> = rust_files_under(&root.join("crates/storage/src"))
+        .into_iter()
+        // The wrapper module is the one legitimate home of raw calls.
+        .filter(|p| p.file_name().and_then(|n| n.to_str()) != Some("fault.rs"))
+        .collect();
+    files.push(root.join("crates/core/src/spill.rs"));
+
+    let mut allows = 0usize;
+    let mut scanned = 0usize;
+    for path in files {
+        let relname = rel(root, &path);
+        let Ok(src) = fs::read_to_string(&path) else {
+            res.fail(
+                RULE,
+                &relname,
+                0,
+                "failpoint-scope file missing — update xlint's raw-io scope",
+            );
+            continue;
+        };
+        scanned += 1;
+        let raw_lines: Vec<&str> = src.lines().collect();
+        let allow_line =
+            |idx: usize| raw_lines.get(idx).is_some_and(|l| l.contains("xlint: allow(raw-io"));
+        let stripped = strip_comments_and_strings(&src);
+        let cut = non_test_len(&src);
+        for (idx, line) in stripped[..cut].lines().enumerate() {
+            // Imports name types (`std::fs::File`), not calls.
+            let t = line.trim_start();
+            if t.starts_with("use ") || t.starts_with("pub use ") {
+                continue;
+            }
+            for tok in RAW_IO_TOKENS {
+                if line.contains(tok) {
+                    if allow_line(idx) || (idx > 0 && allow_line(idx - 1)) {
+                        allows += 1;
+                    } else {
+                        res.fail(
+                            RULE,
+                            &relname,
+                            idx + 1,
+                            format!(
+                                "`{tok}` bypasses the fault-injection wrappers (route through monetlite_storage::fault, or annotate xlint: allow(raw-io, ...))"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    res.notes.push(format!(
+        "raw-io: {scanned} failpoint-scope file(s) scanned, {allows} annotated allow(raw-io) site(s)"
     ));
     res
 }

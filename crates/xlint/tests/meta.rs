@@ -8,7 +8,7 @@ use std::path::Path;
 use tempfile::TempDir;
 use xlint::{
     check_checksum_discipline, check_counter_liveness, check_env_registry, check_kernel_twins,
-    check_no_panic, check_shim_exports, run, RuleResult,
+    check_no_panic, check_raw_io, check_shim_exports, run, RuleResult,
 };
 
 fn tree(files: &[(&str, &str)]) -> TempDir {
@@ -250,6 +250,66 @@ fn shim_rule_accepts_real_surface_and_annotated_helpers() {
         "annotated helpers must be counted: {:?}",
         res.notes
     );
+}
+
+// ---------------------------------------------------------------------------
+// failpoint coverage (raw-io)
+// ---------------------------------------------------------------------------
+
+const SPILL_OK: &str = "use std::fs::File;\n\
+    pub fn f(p: &Path) -> Result<File> { fault::open(\"spill.open\", p) }\n";
+
+#[test]
+fn raw_io_rule_fires_on_unwrapped_call() {
+    let t = tree(&[
+        ("crates/storage/src/wal.rs", "pub fn f(p: &Path) { let _ = std::fs::remove_file(p); }\n"),
+        ("crates/core/src/spill.rs", SPILL_OK),
+    ]);
+    assert_fires(&check_raw_io(t.path()), "raw-io", "`std::fs::`");
+}
+
+#[test]
+fn raw_io_rule_skips_imports_tests_and_wrapped_calls() {
+    // A `use` line naming std::fs types, a test-module raw call, and a
+    // wrapped `fault::write_all` (no leading dot) must all pass.
+    let t = tree(&[
+        (
+            "crates/storage/src/wal.rs",
+            "use std::fs::File;\n\
+             pub fn f(w: &mut W, b: &[u8]) -> Result<()> { fault::write_all(\"wal.append\", w, b) }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(\"x\", b\"y\").unwrap(); }\n}\n",
+        ),
+        ("crates/core/src/spill.rs", SPILL_OK),
+    ]);
+    assert_clean(&check_raw_io(t.path()));
+}
+
+#[test]
+fn raw_io_rule_honours_allow_annotation_and_counts_it() {
+    let t = tree(&[
+        (
+            "crates/storage/src/vmem.rs",
+            "pub fn f(p: &Path) {\n\
+             // xlint: allow(raw-io, best-effort cache probe, never fails a query)\n\
+             let _ = std::fs::metadata(p);\n}\n",
+        ),
+        ("crates/core/src/spill.rs", SPILL_OK),
+    ]);
+    let res = check_raw_io(t.path());
+    assert_clean(&res);
+    assert!(
+        res.notes.iter().any(|n| n.contains("1 annotated allow(raw-io)")),
+        "allow sites must be counted: {:?}",
+        res.notes
+    );
+}
+
+#[test]
+fn raw_io_rule_fires_when_scope_file_is_missing() {
+    // spill.rs absent: the rule must complain instead of silently
+    // shrinking its scope.
+    let t = tree(&[("crates/storage/src/wal.rs", "pub fn ok() {}\n")]);
+    assert_fires(&check_raw_io(t.path()), "raw-io", "missing");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,399 @@
+//! Deterministic I/O fault-injection sweeps — the robustness tentpole,
+//! in the style of SQLite's I/O-error tests: run a workload under the
+//! process-global injector in [`monetlite_storage::fault`], fail the
+//! k-th wrapped I/O for *every* k until a run completes fault-free, and
+//! after each faulted run assert the trifecta:
+//!
+//! 1. the failure surfaced as a clean, contextual [`MlError`] — never a
+//!    panic — naming the operation, file and injection site;
+//! 2. reopening the database with the injector disarmed recovers a
+//!    consistent committed prefix: every acknowledged commit present,
+//!    nothing partial, nothing beyond the attempted set;
+//! 3. no temp or orphan file survives recovery plus one checkpoint.
+//!
+//! The file also pins the two real bugs the sweep found while it was
+//! being built (a leaked `catalog.tmp` and a WAL writer that corrupted
+//! commits *after* a failed append), and exhaustively truncates a WAL at
+//! every byte offset to prove recovery always yields an acked prefix.
+
+use monetlite::exec::{ExecMode, ExecOptions};
+use monetlite::{Connection, Database};
+use monetlite_storage::fault::{self, FaultMode, FaultPolicy};
+use monetlite_types::{ColumnBuffer, MlError, Result, Value};
+use std::path::Path;
+
+fn int_of(v: Value) -> i64 {
+    match v {
+        Value::Int(i) => i as i64,
+        Value::Bigint(i) => i,
+        other => panic!("expected an integer value, got {other:?}"),
+    }
+}
+
+/// Every fault must surface with enough context to act on: the wrapped
+/// sites embed `(site=...)` alongside the operation and path; the only
+/// other acceptable shapes are the lock-collision and poisoned-writer
+/// errors (which name their condition) and `Corrupt` (which names the
+/// offending file).
+fn assert_clean_error(e: &MlError) {
+    let s = e.to_string();
+    let contextual = s.contains("(site=")
+        || s.contains("database locked")
+        || s.contains("wal writer poisoned")
+        || matches!(e, MlError::Corrupt(_));
+    assert!(contextual, "fault surfaced without operation/file/site context: {e:?} ({s})");
+}
+
+// ---------------------------------------------------------------------------
+// Workload A: full persistent lifecycle (append + checkpoint + restart,
+// so WAL append/flush, catalog + column-file checkpointing, lock
+// handling, replay and GC are all inside the swept window).
+// ---------------------------------------------------------------------------
+
+/// Runs the lifecycle workload, recording which commits were
+/// acknowledged (`-1` = CREATE TABLE, `0..4` = insert batches). Stops at
+/// the first error — each sweep ordinal fails a different operation, so
+/// the union of runs still covers every path.
+fn lifecycle_workload(dir: &Path) -> (Vec<i64>, Result<()>) {
+    let mut acked: Vec<i64> = Vec::new();
+    let res = (|| {
+        let db = Database::open(dir)?;
+        let mut conn = db.connect();
+        conn.execute("CREATE TABLE t (batch INT NOT NULL, v INT NOT NULL)")?;
+        acked.push(-1);
+        for b in 0..4i64 {
+            conn.execute(&format!("INSERT INTO t VALUES ({b}, 1), ({b}, 2)"))?;
+            acked.push(b);
+            if b == 1 {
+                // Mid-workload checkpoint: later batches live only in
+                // the WAL, so the restart below exercises replay.
+                db.checkpoint()?;
+            }
+        }
+        drop(conn);
+        drop(db);
+        let db = Database::open(dir)?;
+        let mut conn = db.connect();
+        conn.query("SELECT COUNT(*) FROM t")?;
+        db.checkpoint()?;
+        Ok(())
+    })();
+    (acked, res)
+}
+
+/// After any faulted run: the db root and `cols/` hold only the files a
+/// healthy database owns — no `*.tmp`/`*.zmtmp`/`*.sttmp` survivors, no
+/// orphans outside the known layout.
+fn assert_no_leaks(dir: &Path) {
+    for e in std::fs::read_dir(dir).unwrap() {
+        let name = e.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(
+            matches!(name.as_str(), "catalog.bin" | "wal.log" | "cols" | "db.lock"),
+            "orphan file leaked into the db root: {name}"
+        );
+    }
+    let cols = dir.join("cols");
+    if cols.is_dir() {
+        for e in std::fs::read_dir(&cols).unwrap() {
+            let p = e.unwrap().path();
+            let ext = p.extension().unwrap_or_default().to_string_lossy().into_owned();
+            assert!(
+                matches!(ext.as_str(), "bat" | "zm" | "st"),
+                "temp/orphan file leaked into cols/: {}",
+                p.display()
+            );
+        }
+    }
+}
+
+/// Disarmed recovery oracle: reopen, and check the surviving state is a
+/// contiguous, fully-committed prefix containing every acked batch.
+fn verify_recovery(dir: &Path, acked: &[i64]) {
+    // A fault during the workload's own `Drop` can leave the pid lock
+    // behind — recovery after a "crash" starts by clearing it, exactly
+    // as an embedding host restarting after a power loss would.
+    let _ = std::fs::remove_file(dir.join("db.lock"));
+    let db = Database::open(dir).expect("recovery open must succeed once faults stop");
+    let mut conn = db.connect();
+    let present: Vec<(i64, i64)> = match conn
+        .query("SELECT batch, COUNT(*) FROM t GROUP BY batch ORDER BY batch")
+    {
+        Ok(r) => (0..r.nrows()).map(|i| (int_of(r.value(i, 0)), int_of(r.value(i, 1)))).collect(),
+        Err(MlError::Catalog(m)) if m.contains("unknown table") => {
+            assert!(acked.is_empty(), "CREATE TABLE was acknowledged but lost: {m}");
+            Vec::new()
+        }
+        Err(e) => panic!("recovered database failed the oracle query: {e:?}"),
+    };
+    // Contiguous prefix, each batch fully present (2 rows): no torn or
+    // reordered transactions survive.
+    for (i, (batch, n)) in present.iter().enumerate() {
+        assert_eq!(*batch, i as i64, "non-contiguous batches survived: {present:?}");
+        assert_eq!(*n, 2, "partial transaction visible for batch {batch}");
+    }
+    // Durability: every acknowledged commit is in the recovered state.
+    for b in acked.iter().filter(|&&b| b >= 0) {
+        assert!(
+            present.iter().any(|(p, _)| p == b),
+            "acked batch {b} lost after recovery; present: {present:?}, acked: {acked:?}"
+        );
+    }
+    // One clean checkpoint must succeed and sweep all debris.
+    db.checkpoint().expect("disarmed checkpoint after recovery");
+    drop(conn);
+    drop(db);
+    assert_no_leaks(dir);
+}
+
+fn sweep_lifecycle(mode: FaultMode) {
+    let _g = fault::test_lock();
+    for k in 0u64.. {
+        let dir = tempfile::tempdir().unwrap();
+        fault::arm(FaultPolicy::Nth(k), mode);
+        let (acked, res) = lifecycle_workload(dir.path());
+        let rep = fault::disarm();
+        if let Err(e) = &res {
+            assert_clean_error(e);
+        }
+        verify_recovery(dir.path(), &acked);
+        if !rep.fired {
+            assert!(res.is_ok(), "fault-free run must succeed: {:?}", res.err());
+            assert!(rep.ios > 20, "suspiciously few injection points swept: {}", rep.ios);
+            break;
+        }
+    }
+}
+
+#[test]
+fn lifecycle_sweep_error_mode() {
+    sweep_lifecycle(FaultMode::Error);
+}
+
+#[test]
+fn lifecycle_sweep_short_write_mode() {
+    sweep_lifecycle(FaultMode::ShortWrite);
+}
+
+#[test]
+fn lifecycle_sweep_torn_write_mode() {
+    sweep_lifecycle(FaultMode::TornWrite);
+}
+
+// ---------------------------------------------------------------------------
+// Workload B: spilled aggregation / join / sort. The engine's temp
+// directories are pointed at a private observation root so every leaked
+// spill file is visible; the connection must survive each abort.
+// ---------------------------------------------------------------------------
+
+const SPILL_ROWS: usize = 6_000;
+
+fn spill_exec_opts() -> ExecOptions {
+    ExecOptions {
+        mode: ExecMode::Streaming,
+        threads: 1,
+        vector_size: 1024,
+        memory_budget: 16 * 1024,
+        // Index joins bypass the grace-hash spill path; the sweep wants
+        // the out-of-core operators on the floor.
+        use_hash_index: false,
+        use_order_index: false,
+        ..Default::default()
+    }
+}
+
+fn build_spill_table(conn: &mut Connection) {
+    conn.execute("CREATE TABLE big (k INT NOT NULL, v INT NOT NULL)").unwrap();
+    let k: Vec<i32> = (0..SPILL_ROWS).map(|i| (i % 2000) as i32).collect();
+    let v: Vec<i32> = (0..SPILL_ROWS).map(|i| ((i * 7919) % 100_000) as i32).collect();
+    conn.append("big", vec![ColumnBuffer::Int(k), ColumnBuffer::Int(v)]).unwrap();
+}
+
+fn spilled_queries(conn: &mut Connection) -> Result<()> {
+    conn.query("SELECT k, SUM(v) FROM big GROUP BY k")?;
+    conn.query("SELECT COUNT(*) FROM big a, big b WHERE a.k = b.k")?;
+    conn.query("SELECT v FROM big ORDER BY v")?;
+    Ok(())
+}
+
+fn sweep_spilled(mode: FaultMode) {
+    let _g = fault::test_lock();
+    // Redirect the engine's lazily created spill directories into a
+    // private root so leaks are observable. `TMPDIR` is read at tempdir
+    // creation time; every test in this binary holds the fault lock, so
+    // nothing else allocates temp dirs while it is overridden.
+    let obs = tempfile::tempdir().unwrap();
+    let prev = std::env::var_os("TMPDIR");
+    std::env::set_var("TMPDIR", obs.path());
+    let outcome = std::panic::catch_unwind(|| {
+        for k in 0u64.. {
+            let db = Database::open_in_memory();
+            let mut conn = db.connect();
+            conn.set_exec_options(spill_exec_opts());
+            build_spill_table(&mut conn); // in-memory: outside the swept window
+            fault::arm(FaultPolicy::Nth(k), mode);
+            let res = spilled_queries(&mut conn);
+            let rep = fault::disarm();
+            if let Err(e) = &res {
+                assert_clean_error(e);
+            }
+            // The aborted query must not take the session down with it.
+            let r = conn.query("SELECT 41 + 1").unwrap();
+            assert_eq!(int_of(r.value(0, 0)), 42, "connection unusable after spill fault");
+            drop(conn);
+            drop(db);
+            let leftovers: Vec<_> =
+                std::fs::read_dir(obs.path()).unwrap().map(|e| e.unwrap().path()).collect();
+            assert!(leftovers.is_empty(), "spill files leaked past the query: {leftovers:?}");
+            if !rep.fired {
+                assert!(res.is_ok(), "fault-free spilled run must succeed: {:?}", res.err());
+                assert!(rep.ios > 10, "suspiciously few spill I/Os swept: {}", rep.ios);
+                break;
+            }
+        }
+    });
+    match prev {
+        Some(p) => std::env::set_var("TMPDIR", p),
+        None => std::env::remove_var("TMPDIR"),
+    }
+    if let Err(p) = outcome {
+        std::panic::resume_unwind(p);
+    }
+}
+
+#[test]
+fn spilled_query_sweep_error_mode() {
+    sweep_spilled(FaultMode::Error);
+}
+
+#[test]
+fn spilled_query_sweep_torn_write_mode() {
+    sweep_spilled(FaultMode::TornWrite);
+}
+
+/// The sweep above is only meaningful if the workload actually spills:
+/// pin that each of the three breaker shapes goes out of core under the
+/// sweep's budget.
+#[test]
+fn spilled_workload_actually_spills() {
+    let _g = fault::test_lock();
+    let db = Database::open_in_memory();
+    let mut conn = db.connect();
+    conn.set_exec_options(spill_exec_opts());
+    build_spill_table(&mut conn);
+    for q in [
+        "SELECT k, SUM(v) FROM big GROUP BY k",
+        "SELECT COUNT(*) FROM big a, big b WHERE a.k = b.k",
+        "SELECT v FROM big ORDER BY v",
+    ] {
+        conn.query(q).unwrap();
+        let c = conn.last_exec_counters().unwrap();
+        assert!(c.spilled_partitions > 0, "workload query did not spill: {q}");
+        assert!(c.spill_bytes > 0, "workload query wrote no spill bytes: {q}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned regressions: two real bugs found by the sweep while it was
+// being built.
+// ---------------------------------------------------------------------------
+
+/// `catalog.tmp` lives in the db root, which the cols/ GC never sweeps:
+/// before the fix, every failed checkpoint leaked one temp file forever.
+#[test]
+fn failed_catalog_write_leaves_no_temp_file() {
+    let _g = fault::test_lock();
+    let dir = tempfile::tempdir().unwrap();
+    let db = Database::open(dir.path()).unwrap();
+    let mut conn = db.connect();
+    conn.execute("CREATE TABLE t (k INT)").unwrap();
+    conn.execute("INSERT INTO t VALUES (1)").unwrap();
+    fault::arm(FaultPolicy::SiteMatching("catalog.sync".into()), FaultMode::Error);
+    let err = db.checkpoint().unwrap_err();
+    let rep = fault::disarm();
+    assert!(rep.fired, "catalog.sync site was never reached");
+    assert_clean_error(&err);
+    assert!(!dir.path().join("catalog.tmp").exists(), "failed checkpoint leaked catalog.tmp");
+    // The store stays fully usable: the next checkpoint succeeds.
+    db.checkpoint().unwrap();
+    let r = conn.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(int_of(r.value(0, 0)), 1);
+}
+
+/// Before the fix a failed append left its half-written frame in the
+/// writer's buffer; the next commit appended *after* it, replay stopped
+/// at the torn frame, and the later — acknowledged — commit silently
+/// vanished on restart.
+#[test]
+fn failed_wal_append_does_not_corrupt_later_commits() {
+    let _g = fault::test_lock();
+    let dir = tempfile::tempdir().unwrap();
+    {
+        let db = Database::open(dir.path()).unwrap();
+        let mut conn = db.connect();
+        conn.execute("CREATE TABLE t (k INT)").unwrap();
+        conn.execute("INSERT INTO t VALUES (1)").unwrap();
+        fault::arm(FaultPolicy::SiteMatching("wal.append".into()), FaultMode::ShortWrite);
+        let err = conn.execute("INSERT INTO t VALUES (2)").unwrap_err();
+        let rep = fault::disarm();
+        assert!(rep.fired, "wal.append site was never reached");
+        assert_clean_error(&err);
+        // Acknowledged *after* the fault: this is the commit the old
+        // writer corrupted.
+        conn.execute("INSERT INTO t VALUES (3)").unwrap();
+    }
+    let db = Database::open(dir.path()).unwrap();
+    let mut conn = db.connect();
+    let r = conn.query("SELECT k FROM t ORDER BY k").unwrap();
+    let ks: Vec<i64> = (0..r.nrows()).map(|i| int_of(r.value(i, 0))).collect();
+    assert_eq!(ks, vec![1, 3], "the commit acked after the failed append must survive restart");
+}
+
+// ---------------------------------------------------------------------------
+// WAL torn-tail property: truncating the log at *every* byte offset
+// recovers exactly a prefix of the acknowledged transactions.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wal_torn_tail_recovers_exactly_an_acked_prefix() {
+    let _g = fault::test_lock();
+    const NTX: usize = 8;
+    let src = tempfile::tempdir().unwrap();
+    {
+        let db = Database::open(src.path()).unwrap();
+        let mut conn = db.connect();
+        conn.execute("CREATE TABLE w (i INT NOT NULL)").unwrap();
+        for i in 0..NTX {
+            conn.execute(&format!("INSERT INTO w VALUES ({i})")).unwrap();
+        }
+        // No checkpoint: every transaction lives only in the WAL.
+        assert!(!src.path().join("catalog.bin").exists(), "workload must not checkpoint");
+    }
+    let wal = std::fs::read(src.path().join("wal.log")).unwrap();
+    assert!(wal.len() > 100, "WAL unexpectedly small: {} bytes", wal.len());
+    for cut in 0..=wal.len() {
+        let dir = tempfile::tempdir().unwrap();
+        std::fs::write(dir.path().join("wal.log"), &wal[..cut]).unwrap();
+        let db = Database::open(dir.path())
+            .unwrap_or_else(|e| panic!("torn tail at byte {cut} must not fail recovery: {e:?}"));
+        let mut conn = db.connect();
+        let rows: Vec<i64> = match conn.query("SELECT i FROM w ORDER BY i") {
+            Ok(r) => (0..r.nrows()).map(|i| int_of(r.value(i, 0))).collect(),
+            // The CREATE TABLE transaction itself was torn off: a
+            // zero-transaction prefix.
+            Err(MlError::Catalog(m)) if m.contains("unknown table") => {
+                assert!(cut < wal.len(), "full WAL lost the schema");
+                continue;
+            }
+            Err(e) => panic!("recovery of the tail cut at byte {cut} surfaced {e:?}"),
+        };
+        for (i, v) in rows.iter().enumerate() {
+            assert_eq!(
+                *v, i as i64,
+                "cut at byte {cut}: recovered rows are not a prefix: {rows:?}"
+            );
+        }
+        if cut == wal.len() {
+            assert_eq!(rows.len(), NTX, "untruncated WAL must recover every transaction");
+        }
+    }
+}

@@ -44,6 +44,7 @@ fn pinned_exec() -> ExecOptions {
         use_order_index: true,
         timeout: None,
         memory_budget: usize::MAX,
+        spill_quota: usize::MAX,
         use_candidates: true,
         use_zonemaps: true,
     }
