@@ -21,15 +21,16 @@
 //! [imprints]: monetlite_storage::index::Imprints
 
 use crate::agg::{hash_group, AggState};
+use crate::bloom::Bloom;
 use crate::expr::{BExpr, CmpOp};
 use crate::join::{cross_join, hash_join, merge_join, scalar_left_pairs, JoinSel};
-use crate::kernels::{bool_to_sel, eval};
+use crate::kernels::{bool_to_sel, compile_like, eval, like_plan_match, LikePlan};
 use crate::plan::{PJoinKind, Plan};
-use crate::rows::take_padded;
+use crate::rows::{row_hash, take_padded};
 use crate::sort::{sort_perm, topn_perm};
 use monetlite_storage::catalog::{ColumnEntry, TableMeta};
 use monetlite_storage::index::{f64_ordered, orderable, IMPRINT_LINE};
-use monetlite_storage::Bat;
+use monetlite_storage::{Bat, StrDict, NULL_CODE};
 use monetlite_types::{LogicalType, MlError, Result, Value};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -97,6 +98,13 @@ pub struct ExecOptions {
     /// the connection, other sessions and the store stay usable — the
     /// disk-pressure analogue of `memory_budget`.
     pub spill_quota: usize,
+    /// Dictionary-encoded string execution (`MONETLITE_DICT`): constant
+    /// VARCHAR predicates run over sorted-dictionary `u32` codes (with
+    /// per-zone code bounds for morsel skipping), string group keys hash
+    /// dense codes, and hash-join build sides push bloom filters into
+    /// probe-side scans. `false` restores per-row string execution (the
+    /// ablation baseline); results are identical either way.
+    pub use_dict: bool,
 }
 
 /// Environment override for test/CI matrices (`MONETLITE_THREADS`,
@@ -131,6 +139,7 @@ impl Default for ExecOptions {
             use_candidates: env_bool("MONETLITE_CANDIDATES", true),
             use_zonemaps: env_bool("MONETLITE_ZONEMAPS", true),
             spill_quota: env_usize("MONETLITE_SPILL_QUOTA", usize::MAX),
+            use_dict: env_bool("MONETLITE_DICT", true),
         }
     }
 }
@@ -185,6 +194,12 @@ pub struct ExecCounters {
     /// Vectors that left their operator chain carrying a candidate list
     /// (materialization deferred to the pipeline sink).
     pub sel_vectors: AtomicU64,
+    /// Constant VARCHAR predicates served from a sorted string dictionary
+    /// (counted once per predicate per morsel).
+    pub dict_hits: AtomicU64,
+    /// Probe-side scan rows dropped by a pushed-down join bloom filter
+    /// before reaching the join.
+    pub bloom_pruned: AtomicU64,
 }
 
 /// A point-in-time copy of [`ExecCounters`], exposed on the connection
@@ -219,6 +234,10 @@ pub struct CountersSnapshot {
     /// Vectors carried through their operator chain with a candidate
     /// list.
     pub sel_vectors: u64,
+    /// Constant VARCHAR predicates served from a string dictionary.
+    pub dict_hits: u64,
+    /// Probe-side scan rows dropped by pushed-down join bloom filters.
+    pub bloom_pruned: u64,
     /// The optimizer's cardinality estimate for the query's root operator
     /// (filled by the connection after planning; 0 when unknown).
     /// Comparing it with the actual result size is the cheapest way to
@@ -252,6 +271,8 @@ impl ExecCounters {
             spill_bytes: g(&self.spill_bytes),
             vectors_skipped: g(&self.vectors_skipped),
             sel_vectors: g(&self.sel_vectors),
+            dict_hits: g(&self.dict_hits),
+            bloom_pruned: g(&self.bloom_pruned),
             estimated_rows: 0,
         }
     }
@@ -620,21 +641,26 @@ pub(crate) fn exec_scan(
     ctx: &ExecContext,
     range: Option<(u32, u32)>,
 ) -> Result<Chunk> {
-    exec_scan_inner(table, projected, filters, ctx, range, false)
+    exec_scan_inner(table, projected, filters, ctx, range, &[], &[], false)
 }
 
 /// Streaming scan: a sparse enough selection is *carried* on the chunk
 /// (columns stay the zero-copy base arrays) instead of gathered; the
 /// density cutoff keeps near-full selections on the dense path so
-/// unselective chains don't regress.
+/// unselective chains don't regress. `blooms` are pushed-down join build
+/// -side filters keyed by scan-output column position; `extras` are
+/// synthetic full-length physical columns (dictionary code columns)
+/// appended after the projected ones in every output shape.
 pub(crate) fn exec_scan_streaming(
     table: &str,
     projected: &[usize],
     filters: &[BExpr],
     ctx: &ExecContext,
     range: Option<(u32, u32)>,
+    blooms: &[(usize, Arc<Bloom>)],
+    extras: &[Arc<Bat>],
 ) -> Result<Chunk> {
-    exec_scan_inner(table, projected, filters, ctx, range, ctx.opts.use_candidates)
+    exec_scan_inner(table, projected, filters, ctx, range, blooms, extras, ctx.opts.use_candidates)
 }
 
 /// Selections covering at least this fraction (in tenths) of the scanned
@@ -642,12 +668,15 @@ pub(crate) fn exec_scan_streaming(
 /// downstream for a selection that kept almost everything.
 pub(crate) const SEL_DENSITY_CUTOFF_TENTHS: usize = 9;
 
+#[allow(clippy::too_many_arguments)]
 fn exec_scan_inner(
     table: &str,
     projected: &[usize],
     filters: &[BExpr],
     ctx: &ExecContext,
     range: Option<(u32, u32)>,
+    blooms: &[(usize, Arc<Bloom>)],
+    extras: &[Arc<Bat>],
     allow_sel: bool,
 ) -> Result<Chunk> {
     let meta = ctx.tables.table_meta(table)?;
@@ -680,7 +709,55 @@ fn exec_scan_inner(
             if !zm.range_may_match(lo, hi, plo, phi) {
                 ctx.counters.bump(&ctx.counters.vectors_skipped);
                 return Ok(Chunk::dense(
-                    entries.iter().map(|e| Arc::new(Bat::new(e.ty()))).collect(),
+                    entries
+                        .iter()
+                        .map(|e| Arc::new(Bat::new(e.ty())))
+                        .chain(extras.iter().map(|b| Arc::new(Bat::new(b.logical_type()))))
+                        .collect(),
+                    0,
+                ));
+            }
+        }
+    }
+
+    // Dictionary-domain string predicates: compile each eligible constant
+    // VARCHAR filter into a code range / bitmap over the column's sorted
+    // dictionary. A morsel whose per-zone code bounds cannot satisfy some
+    // predicate is proven empty here; surviving rows are filtered by flat
+    // `u32` code compares — the string kernel never runs for a served
+    // predicate.
+    let mut served = vec![false; filters.len()];
+    let mut dict_preds: Vec<(Arc<StrDict>, DictPred)> = Vec::new();
+    if ctx.opts.use_dict && hi > lo {
+        for (i, f) in filters.iter().enumerate() {
+            let Some(entry) = dict_filter_col(f, &entries) else {
+                continue;
+            };
+            let Ok(d) = entry.dict() else {
+                continue;
+            };
+            let Some(pred) = dict_pred_of(f, &d, hi - lo) else {
+                continue;
+            };
+            ctx.counters.bump(&ctx.counters.dict_hits);
+            served[i] = true;
+            dict_preds.push((d, pred));
+        }
+        for (d, pred) in &dict_preds {
+            // `None` zone bounds mean every row in range is NULL — no
+            // predicate can select those rows.
+            let may = match d.zone_bounds(lo, hi) {
+                Some((zmin, zmax)) => pred.zone_may_match(zmin, zmax),
+                None => false,
+            };
+            if !may {
+                ctx.counters.bump(&ctx.counters.vectors_skipped);
+                return Ok(Chunk::dense(
+                    entries
+                        .iter()
+                        .map(|e| Arc::new(Bat::new(e.ty())))
+                        .chain(extras.iter().map(|b| Arc::new(Bat::new(b.logical_type()))))
+                        .collect(),
                     0,
                 ));
             }
@@ -688,7 +765,8 @@ fn exec_scan_inner(
     }
 
     let mut sel: Option<Vec<u32>> = None;
-    let mut remaining: Vec<&BExpr> = filters.iter().collect();
+    let mut remaining: Vec<&BExpr> =
+        filters.iter().enumerate().filter(|(i, _)| !served[*i]).map(|(_, f)| f).collect();
     // Index-assisted first filter. Works for subranges too (candidates
     // clip to `[lo, hi)`, so every morsel of a streaming scan and every
     // mitosis chunk keeps imprint/order-index acceleration) — but not
@@ -747,6 +825,19 @@ fn exec_scan_inner(
         );
     }
 
+    // Dictionary-served predicates run first: integer code compares are
+    // cheaper than any kernel the remaining filters could dispatch to.
+    if !dict_preds.is_empty() {
+        let deleted = meta.data.deleted.as_deref();
+        let keep = |r: u32| dict_preds.iter().all(|(d, p)| p.matches(d.codes()[r as usize]));
+        sel = Some(match sel.take() {
+            Some(cur) => cur.into_iter().filter(|&r| keep(r)).collect(),
+            None => (lo as u32..hi as u32)
+                .filter(|&r| deleted.is_none_or(|d| !d[r as usize]) && keep(r))
+                .collect(),
+        });
+    }
+
     // Remaining filters: evaluate over the current selection.
     for f in remaining {
         match &sel {
@@ -760,11 +851,42 @@ fn exec_scan_inner(
         }
     }
 
+    // Pushed-down join bloom filters, after every local predicate: rows
+    // whose key hash is definitely absent from the build side never enter
+    // the pipeline. NULL keys hash to a tag the build side never inserts
+    // (its NULL rows are skipped), so they drop here too — sound, since
+    // the Inner/Semi probe this filter came from never matches NULL.
+    if ctx.opts.use_dict && !blooms.is_empty() && hi > lo {
+        let deleted = meta.data.deleted.as_deref();
+        for (col_pos, bloom) in blooms {
+            let Some(entry) = entries.get(*col_pos) else {
+                continue;
+            };
+            let bat = entry.bat()?;
+            let keys = [bat.as_ref()];
+            let cur: Vec<u32> = match sel.take() {
+                Some(cur) => cur,
+                None => (lo as u32..hi as u32)
+                    .filter(|&r| deleted.is_none_or(|d| !d[r as usize]))
+                    .collect(),
+            };
+            let before = cur.len();
+            let kept: Vec<u32> =
+                cur.into_iter().filter(|&r| bloom.contains(row_hash(&keys, r as usize))).collect();
+            ctx.counters.add(&ctx.counters.bloom_pruned, (before - kept.len()) as u64);
+            sel = Some(kept);
+        }
+    }
+
     // Materialise output columns; an unfiltered scan shares the base
     // arrays (zero copy — the Arc is the "shared pointer" of §3.3).
+    // Synthetic `extras` columns are full-length physical arrays, so they
+    // share the base columns' treatment in every shape.
     match sel {
         None => {
-            Ok(Chunk::dense(entries.iter().map(|e| e.bat()).collect::<Result<_>>()?, phys_rows))
+            let mut cols: Vec<Arc<Bat>> = entries.iter().map(|e| e.bat()).collect::<Result<_>>()?;
+            cols.extend(extras.iter().cloned());
+            Ok(Chunk::dense(cols, phys_rows))
         }
         Some(sel) => {
             // Candidate pass-through: a sparse selection rides on the
@@ -774,12 +896,15 @@ fn exec_scan_inner(
             // density cutoff) so dense chains keep contiguous access.
             let span = hi - lo;
             if allow_sel && sel.len() * 10 < span * SEL_DENSITY_CUTOFF_TENTHS {
-                let cols: Vec<Arc<Bat>> = entries.iter().map(|e| e.bat()).collect::<Result<_>>()?;
+                let mut cols: Vec<Arc<Bat>> =
+                    entries.iter().map(|e| e.bat()).collect::<Result<_>>()?;
+                cols.extend(extras.iter().cloned());
                 let rows = sel.len();
                 return Ok(Chunk { cols, rows, sel: Some(Arc::new(sel)) });
             }
-            let cols: Vec<Arc<Bat>> =
+            let mut cols: Vec<Arc<Bat>> =
                 entries.iter().map(|e| Ok(Arc::new(e.bat()?.take(&sel)))).collect::<Result<_>>()?;
+            cols.extend(extras.iter().map(|b| Arc::new(b.take(&sel))));
             Ok(Chunk::dense(cols, sel.len()))
         }
     }
@@ -808,6 +933,152 @@ fn verify_rows(f: &BExpr, entries: &[Arc<ColumnEntry>], cands: Vec<u32>) -> Resu
     let mask = eval(f, &gathered, cands.len())?;
     let hits = bool_to_sel(&mask)?;
     Ok(hits.into_iter().map(|i| cands[i as usize]).collect())
+}
+
+/// A constant VARCHAR predicate compiled into the dictionary's code
+/// domain. Codes are dense and sorted by value, so every comparison
+/// shape becomes either a half-open code range (binary search, O(log d)
+/// to compile) or a per-code membership bitmap (one string-domain
+/// evaluation per *distinct* value, O(d) to compile).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum DictPred {
+    /// Codes in `[lo, hi)` match.
+    Range(u32, u32),
+    /// `bits[code]` says whether the code matches.
+    Mask(Vec<bool>),
+}
+
+impl DictPred {
+    /// Row-level test; NULL rows ([`NULL_CODE`]) never match — SQL
+    /// comparisons and LIKE yield NULL on NULL input, which a filter
+    /// treats as false.
+    #[inline]
+    pub(crate) fn matches(&self, code: u32) -> bool {
+        if code == NULL_CODE {
+            return false;
+        }
+        match self {
+            DictPred::Range(lo, hi) => code >= *lo && code < *hi,
+            DictPred::Mask(bits) => bits.get(code as usize).copied().unwrap_or(false),
+        }
+    }
+
+    /// Can any code in the inclusive zone-bounds interval match?
+    pub(crate) fn zone_may_match(&self, zmin: u32, zmax: u32) -> bool {
+        match self {
+            DictPred::Range(lo, hi) => zmin < *hi && zmax >= *lo,
+            DictPred::Mask(bits) => {
+                (zmin..=zmax).any(|c| bits.get(c as usize).copied().unwrap_or(false))
+            }
+        }
+    }
+}
+
+/// Purely syntactic dictionary-eligibility of a filter — the shape the
+/// scan's dictionary path and EXPLAIN's `[dict]` tag share (the scan
+/// additionally requires a non-empty VARCHAR column entry).
+pub(crate) fn dict_filter_shape(f: &BExpr) -> bool {
+    match f {
+        BExpr::Cmp { left, right, .. } => matches!(
+            (left.as_ref(), right.as_ref()),
+            (BExpr::ColRef { ty: LogicalType::Varchar, .. }, BExpr::Lit(_))
+                | (BExpr::Lit(_), BExpr::ColRef { ty: LogicalType::Varchar, .. })
+        ),
+        BExpr::Like { input, .. } => {
+            matches!(input.as_ref(), BExpr::ColRef { ty: LogicalType::Varchar, .. })
+        }
+        _ => false,
+    }
+}
+
+/// The scan-relative VARCHAR column entry a filter tests, when its shape
+/// is dictionary-eligible: `#col <cmp> literal` or `#col [NOT] LIKE
+/// 'pat'` over a bare column reference.
+fn dict_filter_col<'e>(f: &BExpr, entries: &'e [Arc<ColumnEntry>]) -> Option<&'e Arc<ColumnEntry>> {
+    let col = match f {
+        BExpr::Cmp { left, right, .. } => match (left.as_ref(), right.as_ref()) {
+            (BExpr::ColRef { idx, ty: LogicalType::Varchar }, BExpr::Lit(_))
+            | (BExpr::Lit(_), BExpr::ColRef { idx, ty: LogicalType::Varchar }) => *idx,
+            _ => return None,
+        },
+        BExpr::Like { input, .. } => match input.as_ref() {
+            BExpr::ColRef { idx, ty: LogicalType::Varchar } => *idx,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let entry = entries.get(col)?;
+    (entry.ty() == LogicalType::Varchar && !entry.is_empty()).then_some(entry)
+}
+
+/// Compile a dictionary-eligible filter into a [`DictPred`]. `span` is
+/// the number of rows the predicate will filter this morsel: bitmap
+/// -shaped plans cost O(|dict|) to compile, so they are only worth it
+/// while the dictionary is no larger than the morsel (otherwise the
+/// plain string kernel is cheaper and the filter stays in `remaining`).
+fn dict_pred_of(f: &BExpr, d: &StrDict, span: usize) -> Option<DictPred> {
+    let n = d.len() as u32;
+    match f {
+        BExpr::Cmp { op, left, right } => {
+            let (lit, op) = match (left.as_ref(), right.as_ref()) {
+                (BExpr::ColRef { .. }, BExpr::Lit(v)) => (v, *op),
+                (BExpr::Lit(v), BExpr::ColRef { .. }) => (v, op.flip()),
+                _ => return None,
+            };
+            let s = match lit {
+                // Comparison with NULL is NULL for every row: empty range.
+                Value::Null => return Some(DictPred::Range(0, 0)),
+                Value::Str(s) => s.as_str(),
+                _ => return None,
+            };
+            Some(match op {
+                CmpOp::Eq => match d.code_of(s) {
+                    Some(c) => DictPred::Range(c, c + 1),
+                    None => DictPred::Range(0, 0),
+                },
+                CmpOp::Lt => DictPred::Range(0, d.lower_bound(s)),
+                CmpOp::LtEq => DictPred::Range(0, d.upper_bound(s)),
+                CmpOp::Gt => DictPred::Range(d.upper_bound(s), n),
+                CmpOp::GtEq => DictPred::Range(d.lower_bound(s), n),
+                CmpOp::NotEq => {
+                    if d.len() > span {
+                        return None;
+                    }
+                    let mut bits = vec![true; d.len()];
+                    if let Some(c) = d.code_of(s) {
+                        bits[c as usize] = false;
+                    }
+                    DictPred::Mask(bits)
+                }
+            })
+        }
+        BExpr::Like { pattern, negated, .. } => {
+            let plan = compile_like(pattern);
+            match (&plan, negated) {
+                (LikePlan::Exact(p), false) => Some(match d.code_of(p) {
+                    Some(c) => DictPred::Range(c, c + 1),
+                    None => DictPred::Range(0, 0),
+                }),
+                (LikePlan::Prefix(p), false) => {
+                    let (plo, phi) = d.prefix_range(p);
+                    Some(DictPred::Range(plo, phi))
+                }
+                _ => {
+                    if d.len() > span {
+                        return None;
+                    }
+                    // The pattern is evaluated once per distinct value —
+                    // the dictionary-domain LIKE of the paper's string
+                    // -heavy queries.
+                    let bits = (0..n)
+                        .map(|c| like_plan_match(&plan, pattern, d.value(c)) != *negated)
+                        .collect();
+                    Some(DictPred::Mask(bits))
+                }
+            }
+        }
+        _ => None,
+    }
 }
 
 /// Recognise `#col <op> literal` as an inclusive key-domain range probe,
@@ -1580,5 +1851,127 @@ mod tests {
         let out = execute(&plan, &ctx).unwrap();
         assert_eq!(out.rows, 2);
         assert_eq!(ctx.counters.merge_joins.load(Ordering::Relaxed), 1);
+    }
+
+    // -- dictionary predicate compilation ----------------------------------
+
+    fn sdict(vals: &[Option<&str>]) -> StrDict {
+        let mut b = Bat::new(LogicalType::Varchar);
+        for v in vals {
+            let val = match v {
+                Some(s) => Value::Str((*s).to_string()),
+                None => Value::Null,
+            };
+            b.push(&val).unwrap();
+        }
+        StrDict::build(&b).expect("varchar bat builds a dict")
+    }
+
+    fn vcol() -> Box<BExpr> {
+        Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Varchar })
+    }
+
+    fn slit(s: &str) -> Box<BExpr> {
+        Box::new(BExpr::Lit(Value::Str(s.to_string())))
+    }
+
+    fn cmp(op: CmpOp, lit: &str) -> BExpr {
+        BExpr::Cmp { op, left: vcol(), right: slit(lit) }
+    }
+
+    fn like(pattern: &str, negated: bool) -> BExpr {
+        BExpr::Like { input: vcol(), pattern: pattern.to_string(), negated }
+    }
+
+    #[test]
+    fn dict_pred_compiles_comparisons_to_code_ranges() {
+        // Sorted dictionary: apple=0, banana=1, cherry=2.
+        let d = sdict(&[Some("banana"), Some("apple"), None, Some("cherry"), Some("banana")]);
+        assert_eq!(d.len(), 3);
+        let p = |f: &BExpr| dict_pred_of(f, &d, 1024);
+        assert_eq!(p(&cmp(CmpOp::Eq, "banana")), Some(DictPred::Range(1, 2)));
+        assert_eq!(p(&cmp(CmpOp::Eq, "durian")), Some(DictPred::Range(0, 0)));
+        assert_eq!(p(&cmp(CmpOp::Lt, "banana")), Some(DictPred::Range(0, 1)));
+        assert_eq!(p(&cmp(CmpOp::LtEq, "banana")), Some(DictPred::Range(0, 2)));
+        assert_eq!(p(&cmp(CmpOp::Gt, "banana")), Some(DictPred::Range(2, 3)));
+        assert_eq!(p(&cmp(CmpOp::GtEq, "banana")), Some(DictPred::Range(1, 3)));
+        // Bounds between entries (literal absent from the dictionary).
+        assert_eq!(p(&cmp(CmpOp::Gt, "azzz")), Some(DictPred::Range(1, 3)));
+        assert_eq!(p(&cmp(CmpOp::Lt, "azzz")), Some(DictPred::Range(0, 1)));
+        // Flipped literal-first form takes the mirrored operator:
+        // 'banana' < #0  ≡  #0 > 'banana'.
+        let flipped = BExpr::Cmp { op: CmpOp::Lt, left: slit("banana"), right: vcol() };
+        assert_eq!(p(&flipped), Some(DictPred::Range(2, 3)));
+        // Comparison with NULL selects nothing.
+        let null_cmp =
+            BExpr::Cmp { op: CmpOp::Eq, left: vcol(), right: Box::new(BExpr::Lit(Value::Null)) };
+        assert_eq!(p(&null_cmp), Some(DictPred::Range(0, 0)));
+        assert_eq!(p(&cmp(CmpOp::NotEq, "banana")), Some(DictPred::Mask(vec![true, false, true])));
+    }
+
+    #[test]
+    fn dict_pred_compiles_like_plans() {
+        // ba=0, band=1, bandana=2, banjo=3, cap=4.
+        let d = sdict(&[Some("banjo"), Some("band"), Some("cap"), Some("bandana"), Some("ba")]);
+        let p = |f: &BExpr| dict_pred_of(f, &d, 1024);
+        // Exact plan (no wildcards) is an equality range.
+        assert_eq!(p(&like("band", false)), Some(DictPred::Range(1, 2)));
+        // Prefix plan is the dictionary prefix range.
+        assert_eq!(p(&like("ban%", false)), Some(DictPred::Range(1, 4)));
+        // Generic/suffix/negated plans evaluate once per distinct value.
+        assert_eq!(
+            p(&like("%and%", false)),
+            Some(DictPred::Mask(vec![false, true, true, false, false]))
+        );
+        assert_eq!(
+            p(&like("ban%", true)),
+            Some(DictPred::Mask(vec![true, false, false, false, true]))
+        );
+        assert_eq!(
+            p(&like("b_n%", false)),
+            Some(DictPred::Mask(vec![false, true, true, true, false]))
+        );
+    }
+
+    #[test]
+    fn dict_pred_mask_shapes_respect_the_compile_cost_guard() {
+        let d = sdict(&[Some("a"), Some("b"), Some("c"), Some("d")]);
+        // Mask-shaped plans cost O(|dict|): skipped when the dictionary
+        // outnumbers the morsel...
+        assert_eq!(dict_pred_of(&cmp(CmpOp::NotEq, "b"), &d, 3), None);
+        assert_eq!(dict_pred_of(&like("%x%", false), &d, 3), None);
+        // ...but range-shaped plans compile in O(log d) regardless.
+        assert!(dict_pred_of(&cmp(CmpOp::Lt, "c"), &d, 3).is_some());
+        assert!(dict_pred_of(&like("b%", false), &d, 3).is_some());
+    }
+
+    #[test]
+    fn dict_pred_null_code_never_matches_and_zone_bounds_prune() {
+        let full = DictPred::Range(0, u32::MAX);
+        assert!(!full.matches(NULL_CODE), "NULL rows must not match any predicate");
+        let r = DictPred::Range(2, 5);
+        assert!(r.matches(2) && r.matches(4) && !r.matches(5) && !r.matches(1));
+        assert!(r.zone_may_match(0, 2) && r.zone_may_match(4, 9) && r.zone_may_match(0, 9));
+        assert!(!r.zone_may_match(0, 1) && !r.zone_may_match(5, 9));
+        let m = DictPred::Mask(vec![false, true, false]);
+        assert!(m.matches(1) && !m.matches(0) && !m.matches(2));
+        assert!(!m.matches(999), "codes past the mask never match");
+        assert!(m.zone_may_match(0, 1) && m.zone_may_match(1, 2) && !m.zone_may_match(2, 2));
+    }
+
+    #[test]
+    fn dict_filter_shape_is_syntactic_and_type_gated() {
+        assert!(dict_filter_shape(&cmp(CmpOp::Eq, "x")));
+        assert!(dict_filter_shape(&like("x%", false)));
+        assert!(dict_filter_shape(&like("x%", true)));
+        // Non-VARCHAR columns and non-literal comparisons don't qualify.
+        let int_cmp = BExpr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(BExpr::ColRef { idx: 0, ty: LogicalType::Int }),
+            right: Box::new(BExpr::Lit(Value::Int(1))),
+        };
+        assert!(!dict_filter_shape(&int_cmp));
+        let col_col = BExpr::Cmp { op: CmpOp::Eq, left: vcol(), right: vcol() };
+        assert!(!dict_filter_shape(&col_col));
     }
 }

@@ -875,8 +875,11 @@ pub fn compile_like(pattern: &str) -> LikePlan {
     }
 }
 
+/// Match one string against a compiled plan (`pattern` is consulted only
+/// by the `Generic` arm). Shared with the dictionary-domain LIKE path in
+/// `exec`, which evaluates the plan once per distinct dictionary entry.
 #[inline]
-fn like_plan_match(plan: &LikePlan, pattern: &str, s: &str) -> bool {
+pub(crate) fn like_plan_match(plan: &LikePlan, pattern: &str, s: &str) -> bool {
     match plan {
         LikePlan::Exact(p) => s == p,
         LikePlan::Prefix(p) => s.starts_with(p.as_str()),
@@ -1040,10 +1043,31 @@ fn func_kernel(func: ScalarFunc, args: &[Bat], ty: LogicalType) -> Result<Bat> {
                             out.push(&Value::Null)?;
                             continue;
                         }
-                        let start = (from[i].max(1) - 1) as usize;
-                        let take = len[i].max(0) as usize;
-                        let sub: String = txt.chars().skip(start).take(take).collect();
-                        out.push(&Value::Str(sub))?;
+                        // SQL window semantics: the window is [from, from+len)
+                        // in 1-based character positions, then clamped to the
+                        // string. A FROM below 1 therefore *shrinks* the
+                        // window rather than silently rebasing it:
+                        // substring('abc' FROM -1 FOR 3) keeps only position 1.
+                        let from64 = from[i] as i64;
+                        let end1 = from64.saturating_add((len[i] as i64).max(0));
+                        let start1 = from64.max(1);
+                        let take = (end1 - start1).max(0) as usize;
+                        let skip = (start1 - 1) as usize;
+                        // Single pass over char boundaries: locate the byte
+                        // bounds of chars [skip, skip+take) without rescanning.
+                        let mut start_b = txt.len();
+                        let mut end_b = txt.len();
+                        for (ci, (b, _)) in txt.char_indices().enumerate() {
+                            if ci == skip {
+                                start_b = b;
+                            }
+                            if ci == skip + take {
+                                end_b = b;
+                                break;
+                            }
+                        }
+                        let sub = &txt[start_b.min(end_b)..end_b];
+                        out.push(&Value::Str(sub.to_string()))?;
                     }
                 }
             }
@@ -1288,6 +1312,102 @@ mod tests {
         assert_eq!(compile_like("f_o%"), LikePlan::Generic);
     }
 
+    /// Character-at-a-time reference for SQL substring: keep 1-based
+    /// positions p with max(1, from) <= p < from + len.
+    fn ref_substring(s: &str, from: i32, len: i32) -> String {
+        let (from, len) = (from as i64, (len as i64).max(0));
+        s.chars()
+            .enumerate()
+            .filter(|(i, _)| {
+                let p = *i as i64 + 1;
+                p >= from && p < from.saturating_add(len)
+            })
+            .map(|(_, c)| c)
+            .collect()
+    }
+
+    fn run_substring(s: &str, from: i32, len: i32) -> Value {
+        let col = Bat::from_buffer(&ColumnBuffer::Varchar(vec![Some(s.into())]));
+        let args = vec![col, Bat::Int(vec![from]), Bat::Int(vec![len])];
+        func_kernel(ScalarFunc::Substring, &args, LogicalType::Varchar).unwrap().get(0)
+    }
+
+    #[test]
+    fn substring_window_semantics() {
+        // FROM below 1 must shrink the window, not rebase it: the old
+        // `from.max(1) - 1` clamp returned 'abc' here instead of 'a'.
+        assert_eq!(run_substring("abc", -1, 3), Value::Str("a".into()));
+        assert_eq!(run_substring("abc", 0, 3), Value::Str("ab".into()));
+        assert_eq!(run_substring("abc", -2, 2), Value::Str("".into()));
+        for s in ["", "a", "abc", "héllo·wörld"] {
+            let n = s.chars().count() as i32;
+            for from in [-2, -1, 0, 1, 2, n, n + 1] {
+                for len in [0, 1, n, i32::MAX] {
+                    assert_eq!(
+                        run_substring(s, from, len),
+                        Value::Str(ref_substring(s, from, len)),
+                        "substring({s:?} FROM {from} FOR {len})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn substring_null_propagation() {
+        let col = Bat::from_buffer(&ColumnBuffer::Varchar(vec![Some("abc".into()), None]));
+        let args = vec![col, Bat::Int(vec![NULL_I32, 1]), Bat::Int(vec![2, 2])];
+        let out = func_kernel(ScalarFunc::Substring, &args, LogicalType::Varchar).unwrap();
+        assert_eq!(out.get(0), Value::Null);
+        assert_eq!(out.get(1), Value::Null);
+    }
+
+    /// Exponential-but-obviously-correct reference LIKE matcher used to pin
+    /// both the backtracking matcher and the compiled fast paths.
+    fn ref_like(s: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => s.is_empty(),
+            Some((&'%', rest)) => ref_like(s, rest) || (!s.is_empty() && ref_like(&s[1..], p)),
+            Some((&c, rest)) => match s.split_first() {
+                Some((&sc, srest)) => (c == '_' || c == sc) && ref_like(srest, rest),
+                None => false,
+            },
+        }
+    }
+
+    #[test]
+    fn like_degenerate_patterns() {
+        // Empty pattern matches only the empty string; all-% patterns match
+        // everything; a trailing backslash is a literal character (this
+        // dialect has no LIKE escape).
+        for s in ["", "a", "%", "_", "ab", "a\\"] {
+            for p in ["", "%", "%%", "%%%", "\\", "a\\", "%\\", "\\%", "a%\\"] {
+                let plan = compile_like(p);
+                let sc: Vec<char> = s.chars().collect();
+                let pc: Vec<char> = p.chars().collect();
+                assert_eq!(like_plan_match(&plan, p, s), ref_like(&sc, &pc), "{s:?} LIKE {p:?}");
+                assert_eq!(like_match(s, p), ref_like(&sc, &pc), "generic {s:?} LIKE {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn like_kernel_null_rows_stay_null_even_negated() {
+        let col = Bat::from_buffer(&ColumnBuffer::Varchar(vec![
+            Some("apple".into()),
+            None,
+            Some("".into()),
+        ]));
+        for negated in [false, true] {
+            let out = like_kernel(&col, "%", negated).unwrap();
+            assert_eq!(out.get(0), Value::Bool(!negated));
+            assert_eq!(out.get(1), Value::Null, "NULL-offset row must stay NULL");
+            assert_eq!(out.get(2), Value::Bool(!negated));
+            let sel_out = like_kernel_sel(&col, "%", negated, &[0, 1, 2]).unwrap();
+            assert_eq!(out.to_buffer(None), sel_out.to_buffer(None));
+        }
+    }
+
     #[test]
     fn eval_sel_matches_dense_on_predicates() {
         use monetlite_types::ColumnBuffer;
@@ -1344,6 +1464,23 @@ mod tests {
             prop_assert!(plan != LikePlan::Generic, "shape {} must compile to a fast path", pattern);
             prop_assert_eq!(like_plan_match(&plan, &pattern, &s), like_match(&s, &pattern),
                 "pattern {} over {}", pattern, s);
+        }
+
+        #[test]
+        fn prop_like_any_pattern_agrees_with_reference(
+            s in "[ab%]{0,10}",
+            pattern in "[ab%_]{0,8}",
+        ) {
+            // Arbitrary patterns — including degenerate ones ('', '%', '%%')
+            // and Generic shapes — must agree with the reference matcher on
+            // both the compiled plan and the backtracking matcher.
+            let sc: Vec<char> = s.chars().collect();
+            let pc: Vec<char> = pattern.chars().collect();
+            let expect = ref_like(&sc, &pc);
+            prop_assert_eq!(like_match(&s, &pattern), expect, "generic {} over {}", pattern, s);
+            let plan = compile_like(&pattern);
+            prop_assert_eq!(like_plan_match(&plan, &pattern, &s), expect,
+                "plan {:?} for {} over {}", plan, pattern, s);
         }
 
         #[test]

@@ -30,6 +30,7 @@
 
 pub mod agg;
 pub mod bind;
+pub mod bloom;
 pub mod exec;
 pub mod expr;
 pub mod host;

@@ -28,6 +28,7 @@
 //! between them and the parity suites assert agreement.
 
 use crate::agg::{hash_group, hash_group_at, AggState, GroupTable};
+use crate::bloom::Bloom;
 use crate::exec::{
     bare_scan_hash_entry, exec_scan_streaming, exec_values, finish_join_output, project_cols,
     Chunk, ExecContext, ExecOptions,
@@ -36,12 +37,13 @@ use crate::expr::{AggSpec, BExpr};
 use crate::join::{build_hash_map, probe_hash, probe_index};
 use crate::kernels::{bool_to_sel, eval};
 use crate::plan::{OutCol, PJoinKind, Plan};
-use crate::rows::col_cmp2;
+use crate::rows::{any_null, col_cmp2, row_hash};
 use crate::sort::{sort_perm, topn_perm};
 use crate::spill::{PartitionWriter, SpillFile, SpillReader, MAX_SPILL_DEPTH};
 use monetlite_storage::index::HashIndex;
-use monetlite_storage::Bat;
-use monetlite_types::{MlError, Result};
+use monetlite_storage::{Bat, StrDict, NULL_CODE};
+use monetlite_types::nulls::NULL_I32;
+use monetlite_types::{LogicalType, MlError, Result, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -53,8 +55,19 @@ use std::sync::{Arc, Mutex};
 /// Where a pipeline's vectors come from.
 enum Source<'p> {
     /// A base-table scan (filters applied per morsel; a single-morsel scan
-    /// keeps the index-assisted, zero-copy whole-table path).
-    Table { table: &'p str, projected: &'p [usize], filters: &'p [BExpr], rows: usize },
+    /// keeps the index-assisted, zero-copy whole-table path). `blooms`
+    /// are join build-side filters pushed down by [`decompose`], keyed by
+    /// scan-output column position; `extras` are synthetic full-length
+    /// columns (dictionary code columns) appended after the projected
+    /// ones.
+    Table {
+        table: &'p str,
+        projected: &'p [usize],
+        filters: &'p [BExpr],
+        rows: usize,
+        blooms: Vec<(usize, Arc<Bloom>)>,
+        extras: Vec<Arc<Bat>>,
+    },
     /// A materialised intermediate (a breaker's output), sliced into
     /// vectors.
     Mem(Chunk),
@@ -70,13 +83,13 @@ impl Source<'_> {
 
     fn fetch(&self, ctx: &ExecContext, lo: usize, hi: usize, whole: bool) -> Result<Chunk> {
         match self {
-            Source::Table { table, projected, filters, .. } => {
+            Source::Table { table, projected, filters, blooms, extras, .. } => {
                 // A morsel covering the whole table scans unranged, which
                 // preserves imprint/order-index selection and zero-copy
                 // column sharing. The streaming scan may return a chunk
                 // carrying a candidate list over the base columns.
                 let range = if whole { None } else { Some((lo as u32, hi as u32)) };
-                exec_scan_streaming(table, projected, filters, ctx, range)
+                exec_scan_streaming(table, projected, filters, ctx, range, blooms, extras)
             }
             Source::Mem(c) => Ok(c.slice(lo, hi)),
         }
@@ -127,7 +140,14 @@ fn decompose<'p>(plan: &'p Plan, ctx: &ExecContext) -> Result<Pipeline<'p>> {
         Plan::Scan { table, projected, filters, .. } => {
             let meta = ctx.tables.table_meta(table)?;
             Ok(Pipeline {
-                source: Source::Table { table, projected, filters, rows: meta.data.rows },
+                source: Source::Table {
+                    table,
+                    projected,
+                    filters,
+                    rows: meta.data.rows,
+                    blooms: Vec::new(),
+                    extras: Vec::new(),
+                },
                 ops: Vec::new(),
             })
         }
@@ -160,6 +180,37 @@ fn decompose<'p>(plan: &'p Plan, ctx: &ExecContext) -> Result<Pipeline<'p>> {
             } else {
                 None
             };
+            // Sideways information passing: summarise the build side's key
+            // hashes into a bloom filter and push it into the probe-side
+            // scan, where it drops definite non-matches per morsel before
+            // they enter the pipeline. Sound exactly when this probe kills
+            // every row descended from a pruned scan row: Inner/Semi
+            // probes emit only matching rows, the key is a bare scan
+            // column (same hash at scan and probe), and no Project sits
+            // between the scan and the probe to remap column positions
+            // (Filters and earlier probes keep scan columns as a prefix).
+            // Index builds skip it — their build phase has no transient
+            // table, and the probe is already O(1) per row.
+            if ctx.opts.use_dict
+                && matches!(kind, PJoinKind::Inner | PJoinKind::Semi)
+                && index_entry.is_none()
+                && !p.ops.iter().any(|op| matches!(op, PipeOp::Project(_)))
+            {
+                if let [BExpr::ColRef { idx, .. }] = left_keys.as_slice() {
+                    if let Source::Table { projected, blooms, .. } = &mut p.source {
+                        if *idx < projected.len() {
+                            let mut bl = Bloom::with_capacity(build_chunk.rows);
+                            let rrefs: Vec<&Bat> = build_keys.iter().map(|a| &**a).collect();
+                            for r in 0..build_chunk.rows {
+                                if !any_null(&rrefs, r) {
+                                    bl.insert(row_hash(&rrefs, r));
+                                }
+                            }
+                            blooms.push((*idx, Arc::new(bl)));
+                        }
+                    }
+                }
+            }
             // Out-of-core path: a *transient* build side larger than the
             // memory budget is hash-partitioned to disk together with the
             // probe stream (grace join) and joined partition-by-partition.
@@ -666,7 +717,48 @@ fn run_aggregate(
     schema: &[OutCol],
     ctx: &ExecContext,
 ) -> Result<Chunk> {
-    let pipe = decompose(input, ctx)?;
+    let mut pipe = decompose(input, ctx)?;
+    // Group-by over dictionary codes: a bare VARCHAR group key over a
+    // table source (Filter-only spine — Projects/Probes would remap
+    // column positions) is rewritten to a synthetic Int code column the
+    // scan appends, so interning hashes and compares dense integers
+    // instead of strings. Codes rehydrate to strings at the sink below;
+    // spilled partials carry them as plain Int columns.
+    let mut groups_vec: Vec<BExpr> = groups.to_vec();
+    let mut rehydrate: Vec<(usize, Arc<StrDict>)> = Vec::new();
+    if ctx.opts.use_dict && pipe.ops.iter().all(|op| matches!(op, PipeOp::Filter(_))) {
+        if let Source::Table { table, projected, extras, .. } = &mut pipe.source {
+            if let Ok(meta) = ctx.tables.table_meta(table) {
+                for (g, key) in groups_vec.iter_mut().enumerate() {
+                    let idx = match key {
+                        BExpr::ColRef { idx, ty: LogicalType::Varchar } => *idx,
+                        _ => continue,
+                    };
+                    let Some(&base) = projected.get(idx) else { continue };
+                    let Ok(entry) = meta.data.cols[base].entry() else { continue };
+                    if entry.is_empty() {
+                        continue;
+                    }
+                    let Ok(d) = entry.dict() else { continue };
+                    // Codes must fit the Int domain (NULL_I32 excluded).
+                    if d.len() >= i32::MAX as usize {
+                        continue;
+                    }
+                    let codes: Vec<i32> = d
+                        .codes()
+                        .iter()
+                        .map(|&c| if c == NULL_CODE { NULL_I32 } else { c as i32 })
+                        .collect();
+                    let pos = projected.len() + extras.len();
+                    extras.push(Arc::new(Bat::Int(codes)));
+                    *key = BExpr::ColRef { idx: pos, ty: LogicalType::Int };
+                    rehydrate.push((g, d));
+                    ctx.counters.bump(&ctx.counters.dict_hits);
+                }
+            }
+        }
+    }
+    let groups = groups_vec.as_slice();
     let budget = ctx.spill_budget();
     let share = budget.map(|b| (b / ctx.opts.threads.max(1)).max(1));
     // Each worker's closure may fail on first use; surface errors from
@@ -722,7 +814,12 @@ fn run_aggregate(
         None => (Vec::with_capacity(aggs.len()), 1),
         Some(table) => {
             let n = table.n_groups();
-            let keys: Vec<Arc<Bat>> = table.into_keys().into_iter().map(Arc::new).collect();
+            let mut keys: Vec<Arc<Bat>> = table.into_keys().into_iter().map(Arc::new).collect();
+            // Dictionary-coded group keys rehydrate to strings here, at
+            // the sink — one decode per output *group*, not per input row.
+            for (g, d) in &rehydrate {
+                keys[*g] = Arc::new(decode_codes(&keys[*g], d)?);
+            }
             (keys, n)
         }
     };
@@ -732,6 +829,23 @@ fn run_aggregate(
         cols.push(Arc::new(st.finish(schema[groups.len() + i].ty)?));
     }
     Ok(Chunk::dense(cols, rows))
+}
+
+/// Rehydrate a dictionary-coded Int key column back to its VARCHAR
+/// strings (codes never leave the engine).
+fn decode_codes(codes: &Bat, d: &StrDict) -> Result<Bat> {
+    let Bat::Int(v) = codes else {
+        return Err(MlError::Execution("dictionary-coded group key is not Int".into()));
+    };
+    let mut out = Bat::new(LogicalType::Varchar);
+    for &c in v {
+        if c == NULL_I32 {
+            out.push(&Value::Null)?;
+        } else {
+            out.push(&Value::Str(d.value(c as u32).to_string()))?;
+        }
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -1456,6 +1570,10 @@ fn desc_chain(
     use std::fmt::Write;
     let mut ops: Vec<String> = Vec::new();
     let mut cur = plan;
+    // Bloom-eligible probes seen with no Project below them (yet): an
+    // Inner/Semi probe keyed on a bare column pushes its build-side bloom
+    // filter into the scan unless a Project remaps columns in between.
+    let mut bloom_pending = 0usize;
     loop {
         match cur {
             Plan::Filter { input, pred } => {
@@ -1464,12 +1582,19 @@ fn desc_chain(
             }
             Plan::Project { input, exprs, .. } => {
                 ops.push(format!("project[{}]", exprs.len()));
+                bloom_pending = 0;
                 cur = input;
             }
-            Plan::Join { left, right, kind, .. } => {
+            Plan::Join { left, right, kind, left_keys, .. } => {
                 let bid =
                     desc_node(right, out, next, opts, stats, format!("hash-join build ({kind})"));
                 ops.push(format!("probe({kind}, build=P{bid})"));
+                if opts.use_dict
+                    && matches!(kind, PJoinKind::Inner | PJoinKind::Semi)
+                    && matches!(left_keys.as_slice(), [BExpr::ColRef { .. }])
+                {
+                    bloom_pending += 1;
+                }
                 cur = left;
             }
             _ => break,
@@ -1493,7 +1618,15 @@ fn desc_chain(
             } else {
                 ""
             };
-            format!("scan {table} [morsels={morsels}]{zm}")
+            // Mark scans with dictionary-eligible string predicates and
+            // scans receiving a pushed-down join bloom filter.
+            let dict = if opts.use_dict && filters.iter().any(crate::exec::dict_filter_shape) {
+                " [dict]"
+            } else {
+                ""
+            };
+            let bloom = if bloom_pending > 0 { " [bloom]" } else { "" };
+            format!("scan {table} [morsels={morsels}]{zm}{dict}{bloom}")
         }
         Plan::Values { rows, .. } => format!("values [{} row(s)]", rows.len()),
         other => {

@@ -13,6 +13,7 @@
 //! consolidated contiguous array.
 
 use crate::bat::Bat;
+use crate::dict::StrDict;
 use crate::index::{bat_keys, HashIndex, Imprints, OrderIndex, Zonemap};
 use crate::persist;
 use crate::stats::ColumnStats;
@@ -53,6 +54,10 @@ pub struct IdxCache {
     /// on first optimizer use (or loaded from the checkpoint's `.st`
     /// sidecar), merged forward across appends at consolidation.
     pub stats: Option<Arc<ColumnStats>>,
+    /// Sorted string dictionary (VARCHAR only) — built on first
+    /// dictionary-eligible scan (or loaded from the checkpoint's `.dict`
+    /// sidecar), extended forward across appends at consolidation.
+    pub dict: Option<Arc<StrDict>>,
 }
 
 /// A handle to one physical column: its data (resident or off-loaded to a
@@ -277,6 +282,45 @@ impl ColumnEntry {
         self.idx.lock().zonemap.clone()
     }
 
+    /// Get or build the column's string dictionary (VARCHAR only; other
+    /// types error — callers check the type first). Resolution order:
+    /// in-memory cache, then the checkpoint's `.dict` sidecar (validated
+    /// against the row count — corruption or staleness is a cache miss),
+    /// then a sort-and-encode pass over the column.
+    pub fn dict(&self) -> Result<Arc<StrDict>> {
+        if let Some(d) = &self.idx.lock().dict {
+            return Ok(d.clone());
+        }
+        if let Some(p) = self.backing_path() {
+            let dp = crate::persist::dict_sidecar(&p);
+            if dp.exists() {
+                if let Ok(d) = crate::persist::read_dict_file(&dp) {
+                    if d.rows() == self.len {
+                        let mut g = self.idx.lock();
+                        return Ok(g.dict.get_or_insert(Arc::new(d)).clone());
+                    }
+                }
+            }
+        }
+        let bat = self.bat()?;
+        let built = StrDict::build(&bat)
+            .ok_or_else(|| MlError::Execution("dictionary over non-VARCHAR column".into()))?;
+        let mut g = self.idx.lock();
+        Ok(g.dict.get_or_insert(Arc::new(built)).clone())
+    }
+
+    /// Peek at an existing dictionary without building one.
+    pub fn dict_opt(&self) -> Option<Arc<StrDict>> {
+        self.idx.lock().dict.clone()
+    }
+
+    /// Install a pre-built dictionary (consolidation extends the base
+    /// segment's dictionary; checkpoint caches what it writes to the
+    /// sidecar).
+    pub fn install_dict(&self, d: Arc<StrDict>) {
+        self.idx.lock().dict = Some(d);
+    }
+
     /// Get or build the order index (CREATE ORDER INDEX and its users).
     pub fn order_index(&self) -> Result<Arc<OrderIndex>> {
         if let Some(o) = &self.idx.lock().order {
@@ -485,12 +529,27 @@ impl SegColumn {
             }
             None => None,
         };
+        // Carry the string dictionary forward: a sorted merge of the new
+        // segments' distinct values plus a code remap — never a rescan of
+        // the base rows' strings.
+        let carried_dict = match base.dict_opt() {
+            Some(d) => {
+                let tails: Vec<Arc<Bat>> =
+                    segs[1..].iter().map(|s| s.bat()).collect::<Result<_>>()?;
+                let refs: Vec<&Bat> = tails.iter().map(|b| b.as_ref()).collect();
+                d.extended(&refs).map(Arc::new)
+            }
+            None => None,
+        };
         let entry = Arc::new(ColumnEntry::from_bat(bat));
         if let Some(h) = carried_hash {
             entry.install_hash(h);
         }
         if let Some(s) = carried_stats {
             entry.install_stats(s);
+        }
+        if let Some(d) = carried_dict {
+            entry.install_dict(d);
         }
         Ok(entry)
     }
@@ -718,6 +777,34 @@ mod tests {
         assert_eq!((carried.rows, carried.nulls), (rebuilt.rows, rebuilt.nulls));
         assert_eq!((carried.min_key, carried.max_key), (rebuilt.min_key, rebuilt.max_key));
         assert_eq!(carried.sketch, rebuilt.sketch, "HLL merge is order-insensitive");
+    }
+
+    #[test]
+    fn dict_cached_and_extended_across_consolidation() {
+        let vc = |vals: Vec<Option<&str>>| {
+            Bat::from_buffer(&ColumnBuffer::Varchar(
+                vals.into_iter().map(|s| s.map(String::from)).collect(),
+            ))
+        };
+        let base = Arc::new(ColumnEntry::from_bat(vc(vec![Some("m"), Some("c"), None])));
+        let d1 = base.dict().unwrap();
+        assert_eq!(d1.len(), 2);
+        assert!(Arc::ptr_eq(&d1, &base.dict().unwrap()), "second call hits the cache");
+        // Consolidation extends instead of rebuilding from strings; the
+        // result must equal a fresh build over the concatenated data.
+        let col = SegColumn::from_entry(base).appended(vc(vec![Some("a"), Some("m")]));
+        let e = col.entry().unwrap();
+        let carried = e.dict_opt().expect("dictionary carried across append");
+        let rebuilt = crate::dict::StrDict::build(&e.bat().unwrap()).unwrap();
+        assert_eq!(*carried, rebuilt, "extend must equal rebuild");
+        assert_eq!(carried.codes().len(), 5);
+        // Without a prior dictionary touch, consolidation must not pay
+        // the sort-and-encode pass.
+        let col2 = SegColumn::from_entry(Arc::new(ColumnEntry::from_bat(vc(vec![Some("x")]))))
+            .appended(vc(vec![Some("y")]));
+        assert!(col2.entry().unwrap().dict_opt().is_none());
+        // dict() on a non-VARCHAR column is an error, not a panic.
+        assert!(int_entry(vec![1]).dict().is_err());
     }
 
     #[test]

@@ -125,10 +125,16 @@ impl StringHeap {
     /// for short strings.
     pub fn mem_bytes(&self) -> usize {
         let map = self.dedup.as_ref().map_or(0, |m| {
-            // hash + Vec header + one offset per entry, plus table slack.
-            m.len() * (8 + 24 + 8) + m.capacity() * 8
+            // Every table slot (occupied or not) holds (hash, Vec header)
+            // plus a control byte, and each bucket owns an out-of-line
+            // offset allocation of at least 4 slots.
+            let bucket_allocs: usize = m.values().map(|b| b.capacity().max(4) * 4).sum();
+            m.capacity() * (8 + 24 + 1) + bucket_allocs
         });
-        self.buf.len() + map
+        // `capacity`, not `len`: a heap past the dedup threshold grows
+        // append-only through doubling, and the spill budget must see the
+        // resident allocation, not just the packed image.
+        self.buf.capacity() + map
     }
 
     /// Raw heap bytes, for persistence.
@@ -206,6 +212,47 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(h.get(a), "dup");
         assert_eq!(h.get(b), "dup");
+    }
+
+    #[test]
+    fn mem_bytes_covers_resident_allocation_after_dedup_drop() {
+        let mut h = StringHeap::with_dedup_limit(4);
+        for i in 0..5 {
+            h.add(&format!("v{i}"));
+        }
+        assert!(!h.dedup_active());
+        // Append-only duplicates grow the buffer through doubling; make sure
+        // we land mid-allocation so packed length and capacity differ.
+        for _ in 0..1000 {
+            h.add("abcdefghij");
+        }
+        while h.buf.len() == h.buf.capacity() {
+            h.add("pad");
+        }
+        assert!(
+            h.mem_bytes() >= h.buf.capacity(),
+            "spill accounting must cover the resident allocation, not just buf.len()"
+        );
+    }
+
+    #[test]
+    fn mem_bytes_counts_bucket_allocations_while_dedup_active() {
+        let mut h = StringHeap::new();
+        for i in 0..1024 {
+            h.add(&format!("{i:04}"));
+        }
+        assert!(h.dedup_active());
+        // 1024 buckets, each owning a >= 4-slot offset Vec (16 bytes), plus
+        // (hash, Vec header, control byte) per table slot: the map alone is
+        // at least 1024 * (16 + 33) bytes on top of the packed heap.
+        let map_lower_bound = 1024 * (16 + 33);
+        assert!(
+            h.mem_bytes() >= h.size_bytes() + map_lower_bound,
+            "dedup map under-counted: mem={} packed={} need>={}",
+            h.mem_bytes(),
+            h.size_bytes(),
+            h.size_bytes() + map_lower_bound
+        );
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   evicted under a global byte budget and transparently reloaded.
 //! * [`stats`] — per-column statistics (row/null counts, HyperLogLog NDV
 //!   sketch, min/max) feeding the cost-based optimizer.
+//! * [`dict`] — sorted per-column string dictionaries mapping VARCHAR rows
+//!   to dense order-preserving `u32` codes (predicates, zone skipping and
+//!   group-bys over flat integers; rehydration only at the sink).
 //! * [`persist`] — the on-disk column-file format.
 //! * [`wal`] — the write-ahead log, checkpointing and crash recovery.
 //! * [`catalog`] — immutable catalog snapshots (tables, schemas, column
@@ -28,6 +31,7 @@
 
 pub mod bat;
 pub mod catalog;
+pub mod dict;
 pub mod fault;
 pub mod heap;
 pub mod index;
@@ -39,6 +43,7 @@ pub mod wal;
 
 pub use bat::Bat;
 pub use catalog::{CatalogSnapshot, ColumnEntry, TableData, TableMeta};
+pub use dict::{StrDict, NULL_CODE};
 pub use heap::StringHeap;
 pub use store::{Store, StoreOptions, TxWrites};
 pub use vmem::{Vmem, VmemStats};

@@ -13,6 +13,7 @@
 //! the offsets array followed by the raw heap.
 
 use crate::bat::Bat;
+use crate::dict::StrDict;
 use crate::fault;
 use crate::heap::StringHeap;
 use crate::index::{fnv1a, Zonemap};
@@ -26,6 +27,8 @@ const MAGIC: &[u8; 4] = b"MLB1";
 const ZM_MAGIC: &[u8; 4] = b"MLZ1";
 /// Column-statistics sidecar magic ([`write_stats_file`]).
 const ST_MAGIC: &[u8; 4] = b"MLS1";
+/// String-dictionary sidecar magic ([`write_dict_file`]).
+const DC_MAGIC: &[u8; 4] = b"MLD1";
 const ENDIAN_MARK: u16 = 0xBEEF;
 
 /// Sanity cap on any decoded length field (a corrupt length must not
@@ -441,6 +444,94 @@ pub fn read_stats_file(path: &Path) -> Result<ColumnStats> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// String-dictionary sidecars
+// ---------------------------------------------------------------------------
+
+/// The sidecar path of a column file's string dictionary (`<file>.dict`).
+pub fn dict_sidecar(column_path: &Path) -> PathBuf {
+    let mut os = column_path.as_os_str().to_os_string();
+    os.push(".dict");
+    PathBuf::from(os)
+}
+
+/// Write a string-dictionary sidecar:
+/// `[magic "MLD1"][endian][rows u64][nvals u64][val_offs (nvals+1) u32]
+/// [val_buf_len u64][val_buf][codes (rows) u32][fnv checksum]`, atomically
+/// via temp file + rename. Zone summaries are rebuilt on load rather than
+/// persisted. Like the other sidecars these are pure caches — readers
+/// fall back to rebuilding from the column on any validation failure.
+pub fn write_dict_file(path: &Path, d: &StrDict) -> Result<()> {
+    let tmp = path.with_extension("dicttmp");
+    let res = (|| -> Result<()> {
+        let mut w = BufWriter::new(fault::create("persist.dict.create", &tmp)?);
+        let (val_offs, val_buf, codes) = d.raw_parts();
+        let mut payload =
+            Vec::with_capacity(24 + val_offs.len() * 4 + val_buf.len() + codes.len() * 4);
+        payload.extend_from_slice(&(codes.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&(d.len() as u64).to_le_bytes());
+        payload.extend_from_slice(pod_bytes(val_offs));
+        payload.extend_from_slice(&(val_buf.len() as u64).to_le_bytes());
+        payload.extend_from_slice(val_buf);
+        payload.extend_from_slice(pod_bytes(codes));
+        fault::write_all("persist.dict.write", &mut w, DC_MAGIC)?;
+        fault::write_all("persist.dict.write", &mut w, &ENDIAN_MARK.to_ne_bytes())?;
+        fault::write_all("persist.dict.write", &mut w, &payload)?;
+        fault::write_all("persist.dict.write", &mut w, &fnv1a(&payload).to_le_bytes())?;
+        fault::flush("persist.dict.flush", &mut w)?;
+        drop(w);
+        fault::rename("persist.dict.rename", &tmp, path)?;
+        Ok(())
+    })();
+    if res.is_err() {
+        let _ = fault::remove_file("persist.dict.cleanup", &tmp);
+    }
+    res
+}
+
+/// Read a string-dictionary sidecar, validating magic, endianness,
+/// checksum and the dictionary invariants (sorted distinct values, codes
+/// in range). Any failure is [`MlError::Corrupt`]; callers treat it as a
+/// cache miss and rebuild from the column data.
+pub fn read_dict_file(path: &Path) -> Result<StrDict> {
+    let mut r = BufReader::new(fault::open("persist.dict.open", path)?);
+    let mut magic = [0u8; 4];
+    fault::read_exact("persist.dict.read", &mut r, &mut magic)?;
+    if &magic != DC_MAGIC {
+        return Err(MlError::Corrupt(format!("{}: bad dict magic", path.display())));
+    }
+    let mut em = [0u8; 2];
+    fault::read_exact("persist.dict.read", &mut r, &mut em)?;
+    if u16::from_ne_bytes(em) != ENDIAN_MARK {
+        return Err(MlError::Corrupt(format!("{}: foreign endianness", path.display())));
+    }
+    let mut rest = Vec::new();
+    fault::read_to_end("persist.dict.read", &mut r, &mut rest)?;
+    if rest.len() < 8 {
+        return Err(MlError::Corrupt(format!("{}: truncated dict", path.display())));
+    }
+    let (payload, ck) = rest.split_at(rest.len() - 8);
+    if fnv1a(payload) != u64::from_le_bytes(ck.try_into().unwrap()) {
+        return Err(MlError::Corrupt(format!("{}: dict checksum mismatch", path.display())));
+    }
+    let mut cursor = payload;
+    let rows = read_u64(&mut cursor)?;
+    let nvals = read_u64(&mut cursor)?;
+    if rows > MAX_LEN || nvals > rows.max(1) {
+        return Err(MlError::Corrupt("dict length exceeds sanity bound".into()));
+    }
+    let val_offs: Vec<u32> = read_pod_vec(&mut cursor, nvals as usize + 1)?;
+    let buf_len = read_u64(&mut cursor)?;
+    if buf_len > MAX_LEN {
+        return Err(MlError::Corrupt("dict value-buffer length exceeds sanity bound".into()));
+    }
+    let mut val_buf = vec![0u8; buf_len as usize];
+    cursor.read_exact(&mut val_buf)?;
+    let codes: Vec<u32> = read_pod_vec(&mut cursor, rows as usize)?;
+    StrDict::from_parts(val_offs, val_buf, codes)
+        .ok_or_else(|| MlError::Corrupt(format!("{}: dict invariants violated", path.display())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,6 +698,37 @@ mod tests {
         assert_eq!((got.rows, got.nulls), (4, 4));
         std::fs::write(&sp, b"NOTSTATS").unwrap();
         assert!(matches!(read_stats_file(&sp), Err(MlError::Corrupt(_))));
+    }
+
+    #[test]
+    fn dict_file_roundtrip_and_corruption() {
+        let dir = tempfile::tempdir().unwrap();
+        let col = dir.path().join("c1.bat");
+        let dp = dict_sidecar(&col);
+        assert!(dp.to_string_lossy().ends_with("c1.bat.dict"));
+        let bat = Bat::from_buffer(&ColumnBuffer::Varchar(
+            (0..5000)
+                .map(|i| if i % 11 == 0 { None } else { Some(format!("v{:04}", i % 300)) })
+                .collect(),
+        ));
+        let d = StrDict::build(&bat).unwrap();
+        write_dict_file(&dp, &d).unwrap();
+        let got = read_dict_file(&dp).unwrap();
+        assert_eq!(got, d, "dictionary roundtrips bit-exactly");
+        // Corruption surfaces as Corrupt (callers rebuild).
+        let mut bytes = std::fs::read(&dp).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&dp, &bytes).unwrap();
+        assert!(matches!(read_dict_file(&dp), Err(MlError::Corrupt(_))));
+        // Truncation too.
+        write_dict_file(&dp, &d).unwrap();
+        let bytes = std::fs::read(&dp).unwrap();
+        std::fs::write(&dp, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(read_dict_file(&dp).is_err());
+        // Bad magic.
+        std::fs::write(&dp, b"NOTADICT").unwrap();
+        assert!(matches!(read_dict_file(&dp), Err(MlError::Corrupt(_))));
     }
 
     #[test]

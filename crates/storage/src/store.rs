@@ -359,6 +359,22 @@ impl Store {
                         let _ = persist::write_stats_file(&persist::stats_sidecar(&fpath), &st);
                         entry.install_stats(st);
                     }
+                    // String-dictionary sidecar: this is where VARCHAR
+                    // columns get dictionary-encoded — at checkpoint the
+                    // column is consolidated and immutable, so the sorted
+                    // code domain stays valid until the next rewrite. A
+                    // restarted process scans on codes without paying the
+                    // sort. Cache discipline as above: write failures and
+                    // corrupt sidecars are misses, never errors.
+                    if LogicalType::Varchar == entry.ty() && !bat.is_empty() {
+                        let d = entry
+                            .dict_opt()
+                            .or_else(|| crate::dict::StrDict::build(bat.as_ref()).map(Arc::new));
+                        if let Some(d) = d {
+                            let _ = persist::write_dict_file(&persist::dict_sidecar(&fpath), &d);
+                            entry.install_dict(d);
+                        }
+                    }
                     entry.attach_backing(fpath, self.vmem.clone());
                 }
                 if let Some(p) = entry.backing_path() {
@@ -366,6 +382,7 @@ impl Store {
                         let f = f.to_string_lossy().into_owned();
                         referenced.insert(format!("{f}.zm"));
                         referenced.insert(format!("{f}.st"));
+                        referenced.insert(format!("{f}.dict"));
                         referenced.insert(f);
                     }
                 }
@@ -890,6 +907,61 @@ mod tests {
         let st = entry.stats().unwrap();
         assert_eq!(st.rows, 30_000, "recomputed after corruption");
         assert_eq!((st.min_key, st.max_key), (0, 4999));
+    }
+
+    #[test]
+    fn checkpoint_writes_dict_sidecars_survive_restart_and_corruption() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let store = Store::open(StoreOptions {
+                path: Some(dir.path().to_path_buf()),
+                ..Default::default()
+            })
+            .unwrap();
+            create_and_fill(&store, (0..10_000).map(|i| i % 50).collect());
+            store.checkpoint().unwrap();
+            let snap = store.snapshot();
+            let t = snap.table("t").unwrap();
+            // Only the VARCHAR column gets a dictionary sidecar.
+            let int_path = t.data.cols[0].entry().unwrap().backing_path().unwrap();
+            let str_path = t.data.cols[1].entry().unwrap().backing_path().unwrap();
+            assert!(!persist::dict_sidecar(&int_path).exists());
+            assert!(persist::dict_sidecar(&str_path).exists());
+        }
+        // After restart the sidecar resolves without re-sorting.
+        let store = Store::open(StoreOptions {
+            path: Some(dir.path().to_path_buf()),
+            ..Default::default()
+        })
+        .unwrap();
+        let snap = store.snapshot();
+        let entry = snap.table("t").unwrap().data.cols[1].entry().unwrap();
+        let d = entry.dict().unwrap();
+        assert_eq!(d.rows(), 10_000);
+        assert_eq!(d.len(), 50, "50 distinct strings");
+        assert_eq!(d.code_of("s0"), Some(0), "byte-sorted: \"s0\" first");
+        // A checkpoint with no new columns keeps the sidecar (GC must
+        // treat it as referenced).
+        store.checkpoint().unwrap();
+        let path = entry.backing_path().unwrap();
+        assert!(persist::dict_sidecar(&path).exists());
+        drop(store);
+        // Corrupt the sidecar: the next open must rebuild from the column
+        // (corruption is a cache miss, never an error).
+        let dp = persist::dict_sidecar(&path);
+        let mut bytes = std::fs::read(&dp).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&dp, &bytes).unwrap();
+        let store = Store::open(StoreOptions {
+            path: Some(dir.path().to_path_buf()),
+            ..Default::default()
+        })
+        .unwrap();
+        let snap = store.snapshot();
+        let entry = snap.table("t").unwrap().data.cols[1].entry().unwrap();
+        let d = entry.dict().unwrap();
+        assert_eq!((d.rows(), d.len()), (10_000, 50), "rebuilt after corruption");
     }
 
     #[test]

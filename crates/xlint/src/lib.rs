@@ -822,6 +822,7 @@ const SHIM_SURFACES: &[(&str, &[&str])] = &[
             "any",
             "arbitrary",
             "collection",
+            "option",
             "prelude",
             "sample",
             "strategy",

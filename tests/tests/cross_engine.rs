@@ -269,8 +269,16 @@ proptest! {
                 OptFlags::default(),
             ),
             (
+                // `use_dict` forced on so the dict-off legs below stay a
+                // true differential even under the MONETLITE_DICT=0 CI leg.
                 "streaming v3",
-                ExecOptions { mode: ExecMode::Streaming, threads: 1, vector_size: 3, ..Default::default() },
+                ExecOptions {
+                    mode: ExecMode::Streaming,
+                    threads: 1,
+                    vector_size: 3,
+                    use_dict: true,
+                    ..Default::default()
+                },
                 StatsMode::Real,
                 OptFlags::default(),
             ),
@@ -300,6 +308,28 @@ proptest! {
                 "adversarial stats v3",
                 ExecOptions { vector_size: 3, ..Default::default() },
                 StatsMode::Adversarial(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                OptFlags::default(),
+            ),
+            // Dictionary-execution ablation: string predicates, joins and
+            // group-bys run over the string kernels instead of dictionary
+            // codes. Answers must be byte-identical to the dict-on legs
+            // above (which run with the default `use_dict: true`).
+            (
+                "dict off v3",
+                ExecOptions {
+                    mode: ExecMode::Streaming,
+                    threads: 1,
+                    vector_size: 3,
+                    use_dict: false,
+                    ..Default::default()
+                },
+                StatsMode::Real,
+                OptFlags::default(),
+            ),
+            (
+                "dict off t2",
+                ExecOptions { threads: 2, vector_size: 2, use_dict: false, ..Default::default() },
+                StatsMode::Real,
                 OptFlags::default(),
             ),
             (

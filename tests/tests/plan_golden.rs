@@ -47,6 +47,7 @@ fn pinned_exec() -> ExecOptions {
         spill_quota: usize::MAX,
         use_candidates: true,
         use_zonemaps: true,
+        use_dict: true,
     }
 }
 

@@ -262,6 +262,34 @@ pub mod collection {
     }
 }
 
+/// `proptest::option` equivalents.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>` (`None` in about a quarter of
+    /// cases, matching real proptest's default weighting).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Build an `Option` strategy around an inner value strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// The glob-import surface tests pull in via `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::collection;
