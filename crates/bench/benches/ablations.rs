@@ -21,7 +21,7 @@ fn bench_ablations(c: &mut Criterion) {
         conn.set_exec_options(ExecOptions {
             use_imprints: on,
             use_order_index: false,
-            ..Default::default()
+            ..monetlite_bench::uncached_opts()
         });
         conn.query(q).unwrap(); // warm (index build)
         g.bench_function(name, |b| b.iter(|| conn.query(q).unwrap()));
@@ -30,13 +30,16 @@ fn bench_ablations(c: &mut Criterion) {
     // Automatic join hash index on/off.
     let qj = "SELECT count(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey";
     for (name, on) in [("join_hash_index_on", true), ("join_hash_index_off", false)] {
-        conn.set_exec_options(ExecOptions { use_hash_index: on, ..Default::default() });
+        conn.set_exec_options(ExecOptions {
+            use_hash_index: on,
+            ..monetlite_bench::uncached_opts()
+        });
         conn.query(qj).unwrap();
         g.bench_function(name, |b| b.iter(|| conn.query(qj).unwrap()));
     }
 
     // Transfer modes.
-    conn.set_exec_options(ExecOptions::default());
+    conn.set_exec_options(monetlite_bench::uncached_opts());
     let r = conn.query("SELECT * FROM lineitem").unwrap();
     g.bench_function("export_zero_copy", |b| {
         b.iter(|| HostFrame::import(&r, TransferMode::ZeroCopy).stats.zero_copied)

@@ -29,7 +29,8 @@ fn bench_acs(c: &mut Criterion) {
     });
 
     let db = monetlite::Database::open_in_memory();
-    let mut conn = db.connect();
+    // Caches off: each iteration re-issues the same survey queries.
+    let mut conn = monetlite_bench::uncached_conn(&db);
     conn.execute(&monetlite_acs::ddl(&d)).unwrap();
     conn.append("acs", d.cols.clone()).unwrap();
     g.bench_function("fig8_stats_monetlite", |b| {

@@ -36,7 +36,7 @@ fn opts(candidates: bool) -> ExecOptions {
         use_order_index: false,
         use_candidates: candidates,
         use_zonemaps: candidates,
-        ..Default::default()
+        ..monetlite_bench::uncached_opts()
     }
 }
 

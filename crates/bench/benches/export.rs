@@ -19,7 +19,8 @@ fn bench_export(c: &mut Criterion) {
     g.sample_size(10);
 
     let db = monetlite::Database::open_in_memory();
-    let mut conn = db.connect();
+    // Caches off: each iteration re-issues the same SELECT.
+    let mut conn = monetlite_bench::uncached_conn(&db);
     conn.execute(&ddl).unwrap();
     conn.append("lineitem", cols.clone()).unwrap();
     g.bench_function("monetlite_zero_copy", |b| {
@@ -49,7 +50,7 @@ fn bench_export(c: &mut Criterion) {
         })
     });
 
-    let db2 = monetlite::Database::open_in_memory();
+    let db2 = monetlite_bench::uncached_db();
     let mut conn2 = db2.connect();
     conn2.execute(&ddl).unwrap();
     conn2.append("lineitem", cols.clone()).unwrap();

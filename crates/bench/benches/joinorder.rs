@@ -27,7 +27,7 @@ use monetlite_tpch::{generate, load_monet, queries};
 use monetlite_types::ColumnBuffer;
 
 fn exec_opts() -> ExecOptions {
-    ExecOptions { threads: 1, vector_size: 64 * 1024, ..Default::default() }
+    ExecOptions { threads: 1, vector_size: 64 * 1024, ..monetlite_bench::uncached_opts() }
 }
 
 const LEGS: [(&str, bool, StatsMode); 4] = [

@@ -29,7 +29,7 @@ fn bench_mitosis(c: &mut Criterion) {
             mode: ExecMode::Materialized,
             threads,
             mitosis_min_rows: 16 * 1024,
-            ..Default::default()
+            ..monetlite_bench::uncached_opts()
         });
         g.bench_function(format!("median_sqrt_{threads}threads"), |b| {
             b.iter(|| conn.query(sql).unwrap())
@@ -58,13 +58,16 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
 
-    conn.set_exec_options(ExecOptions { mode: ExecMode::Materialized, ..Default::default() });
+    conn.set_exec_options(ExecOptions {
+        mode: ExecMode::Materialized,
+        ..monetlite_bench::uncached_opts()
+    });
     g.bench_function("grouped_agg_materialized", |b| b.iter(|| conn.query(sql).unwrap()));
     for threads in [1usize, 2, 4, 8] {
         conn.set_exec_options(ExecOptions {
             mode: ExecMode::Streaming,
             threads,
-            ..Default::default()
+            ..monetlite_bench::uncached_opts()
         });
         g.bench_function(format!("grouped_agg_streaming_{threads}threads"), |b| {
             b.iter(|| conn.query(sql).unwrap())
@@ -82,13 +85,16 @@ fn bench_pipeline(c: &mut Criterion) {
     )
     .unwrap();
     let join_sql = "SELECT count(*), sum(w) FROM facts, dim WHERE facts.g = dim.g AND v < 5000";
-    conn.set_exec_options(ExecOptions { mode: ExecMode::Materialized, ..Default::default() });
+    conn.set_exec_options(ExecOptions {
+        mode: ExecMode::Materialized,
+        ..monetlite_bench::uncached_opts()
+    });
     g.bench_function("join_agg_materialized", |b| b.iter(|| conn.query(join_sql).unwrap()));
     for threads in [1usize, 4] {
         conn.set_exec_options(ExecOptions {
             mode: ExecMode::Streaming,
             threads,
-            ..Default::default()
+            ..monetlite_bench::uncached_opts()
         });
         g.bench_function(format!("join_agg_streaming_{threads}threads"), |b| {
             b.iter(|| conn.query(join_sql).unwrap())
@@ -99,9 +105,15 @@ fn bench_pipeline(c: &mut Criterion) {
     // rows before slicing; the streaming engine stops after the first
     // few morsels — a structural win independent of core count.
     let limit_sql = "SELECT g, v FROM facts WHERE v < 5000 LIMIT 100";
-    conn.set_exec_options(ExecOptions { mode: ExecMode::Materialized, ..Default::default() });
+    conn.set_exec_options(ExecOptions {
+        mode: ExecMode::Materialized,
+        ..monetlite_bench::uncached_opts()
+    });
     g.bench_function("limit_scan_materialized", |b| b.iter(|| conn.query(limit_sql).unwrap()));
-    conn.set_exec_options(ExecOptions { mode: ExecMode::Streaming, ..Default::default() });
+    conn.set_exec_options(ExecOptions {
+        mode: ExecMode::Streaming,
+        ..monetlite_bench::uncached_opts()
+    });
     g.bench_function("limit_scan_streaming", |b| b.iter(|| conn.query(limit_sql).unwrap()));
     g.finish();
 }

@@ -19,7 +19,12 @@ use monetlite_types::ColumnBuffer;
 const UNBOUNDED: usize = usize::MAX;
 
 fn opts(budget: usize) -> ExecOptions {
-    ExecOptions { threads: 1, vector_size: 16 * 1024, memory_budget: budget, ..Default::default() }
+    ExecOptions {
+        threads: 1,
+        vector_size: 16 * 1024,
+        memory_budget: budget,
+        ..monetlite_bench::uncached_opts()
+    }
 }
 
 fn budget_label(budget: usize) -> String {

@@ -40,7 +40,7 @@ fn opts(dict: bool) -> ExecOptions {
         vector_size: 64 * 1024,
         use_hash_index: false,
         use_dict: dict,
-        ..Default::default()
+        ..monetlite_bench::uncached_opts()
     }
 }
 

@@ -7,7 +7,8 @@ use monetlite_tpch::{frames, queries};
 fn bench_tpch(c: &mut Criterion) {
     let data = monetlite_tpch::generate(0.005, 1);
     let db = monetlite::Database::open_in_memory();
-    let mut conn = db.connect();
+    // Caches off: each iteration re-issues the same query text.
+    let mut conn = monetlite_bench::uncached_conn(&db);
     monetlite_tpch::load_monet(&mut conn, &data).unwrap();
     let rdb = monetlite_rowstore::RowDb::in_memory();
     monetlite_tpch::load_rowdb(&rdb, &data).unwrap();

@@ -58,6 +58,30 @@ impl Default for BenchConfig {
     }
 }
 
+/// Default execution options with both caching layers disabled. Every
+/// measurement loop in this crate repeats identical statements, so with
+/// the caches on iteration 2+ would time a plan/result-cache hit instead
+/// of planning + execution; the dedicated `cache` bench measures the
+/// caches themselves.
+pub fn uncached_opts() -> ExecOptions {
+    ExecOptions { use_plan_cache: false, use_result_cache: false, ..Default::default() }
+}
+
+/// A connection with the caching tier disabled (see [`uncached_opts`]).
+pub fn uncached_conn(db: &Database) -> monetlite::Connection {
+    let mut conn = db.connect();
+    conn.set_exec_options(uncached_opts());
+    conn
+}
+
+/// An in-memory database whose connections default to caches-off, for
+/// systems driven through opaque harnesses (the netsim server creates
+/// its own connections).
+pub fn uncached_db() -> Database {
+    Database::open_with(monetlite::DbOptions { exec: uncached_opts(), ..Default::default() })
+        .expect("in-memory open")
+}
+
 /// One measurement cell, Table-1 style: seconds, "T" or "E".
 #[derive(Debug, Clone)]
 pub enum Cell {
@@ -212,6 +236,8 @@ impl SqlSystem {
                 let mut conn = db.connect();
                 conn.set_exec_options(ExecOptions {
                     timeout: None, // set by caller via with_timeout
+                    use_plan_cache: false,
+                    use_result_cache: false,
                     ..conn.exec_options()
                 });
                 conn.query(sql)?;
@@ -235,6 +261,8 @@ impl SqlSystem {
                 let mut conn = db.connect();
                 let mut opts = conn.exec_options();
                 opts.timeout = Some(timeout);
+                opts.use_plan_cache = false;
+                opts.use_result_cache = false;
                 conn.set_exec_options(opts);
                 conn.query(sql)?;
                 Ok(())
@@ -252,13 +280,13 @@ pub fn table1_systems(
 ) -> Result<Vec<(String, SqlSystem)>> {
     let mut out = Vec::new();
     // MonetDBLite: embedded columnar.
-    let db = Database::open_in_memory();
+    let db = uncached_db();
     let mut conn = db.connect();
     monetlite_tpch::load_monet(&mut conn, data)?;
     drop(conn);
     out.push(("MonetDBLite".to_string(), SqlSystem::Monet(db)));
     // MonetDB: same engine behind the socket.
-    let db = Database::open_in_memory();
+    let db = uncached_db();
     let mut conn = db.connect();
     monetlite_tpch::load_monet(&mut conn, data)?;
     drop(conn);
@@ -345,7 +373,7 @@ pub fn fig5_ingestion(cfg: &BenchConfig) -> Vec<(String, Cell)> {
     // Socket systems: CREATE + one INSERT statement per row over TCP.
     for (label, engine) in [
         ("PostgreSQL", ServerEngine::Row(RowDb::in_memory())),
-        ("MonetDB", ServerEngine::Monet(Database::open_in_memory())),
+        ("MonetDB", ServerEngine::Monet(uncached_db())),
         ("MariaDB", ServerEngine::Row(RowDb::mariadb_profile())),
     ] {
         let cell = measure_once(|| {
@@ -363,7 +391,7 @@ pub fn fig5_ingestion(cfg: &BenchConfig) -> Vec<(String, Cell)> {
 // Socket ingest engines are consumed per run; rebuild them fresh.
 fn engine_fresh(like: &ServerEngine) -> Result<ServerEngine> {
     Ok(match like {
-        ServerEngine::Monet(_) => ServerEngine::Monet(Database::open_in_memory()),
+        ServerEngine::Monet(_) => ServerEngine::Monet(uncached_db()),
         ServerEngine::Row(db) => ServerEngine::Row(RowDb::open_with(db.options().clone())?),
     })
 }
@@ -400,7 +428,7 @@ pub fn fig6_export(cfg: &BenchConfig) -> Vec<(String, Cell)> {
 
     // MonetDBLite: in-process query + zero-copy import.
     {
-        let db = Database::open_in_memory();
+        let db = uncached_db();
         let mut conn = db.connect();
         conn.execute(&ddl).unwrap();
         conn.append("lineitem", cols.clone()).unwrap();
@@ -475,7 +503,7 @@ fn socket_row_with_lineitem(
 }
 
 fn socket_monet_with_lineitem(ddl: &str, cols: &[ColumnBuffer]) -> (Server, RemoteClient) {
-    let db = Database::open_in_memory();
+    let db = uncached_db();
     let mut conn = db.connect();
     conn.execute(ddl).unwrap();
     conn.append("lineitem", cols.to_vec()).unwrap();
@@ -544,7 +572,7 @@ pub fn table1(cfg: &BenchConfig, sf10: bool) -> (Vec<String>, Vec<(String, Vec<C
 /// Figure 2: the parallel-execution example. Returns (threads, seconds)
 /// plus the EXPLAIN text showing the packed plan.
 pub fn fig2_mitosis(rows: usize, threads: &[usize]) -> (Vec<(String, Cell)>, String) {
-    let db = Database::open_in_memory();
+    let db = uncached_db();
     let mut conn = db.connect();
     conn.execute("CREATE TABLE tbl (i INTEGER NOT NULL)").unwrap();
     conn.append("tbl", vec![ColumnBuffer::Int((0..rows as i32).map(|x| x % 100_000).collect())])
@@ -559,7 +587,7 @@ pub fn fig2_mitosis(rows: usize, threads: &[usize]) -> (Vec<(String, Cell)>, Str
             mode: monetlite::exec::ExecMode::Materialized,
             threads: t,
             mitosis_min_rows: 16 * 1024,
-            ..Default::default()
+            ..uncached_opts()
         };
         opts.timeout = None;
         conn.set_exec_options(opts);
@@ -574,7 +602,7 @@ pub fn fig2_mitosis(rows: usize, threads: &[usize]) -> (Vec<(String, Cell)>, Str
     let mut opts = ExecOptions {
         mode: monetlite::exec::ExecMode::Materialized,
         threads: 8,
-        ..Default::default()
+        ..uncached_opts()
     };
     opts.mitosis_min_rows = 16 * 1024;
     conn.set_exec_options(opts);
@@ -595,7 +623,7 @@ pub fn fig7_acs_load(cfg: &BenchConfig) -> Vec<(String, Cell)> {
         "MonetDBLite".to_string(),
         measure_once(|| {
             let d = monetlite_acs::wrangle(monetlite_acs::generate(cfg.acs_rows, cfg.seed))?;
-            let db = Database::open_in_memory();
+            let db = uncached_db();
             let mut conn = db.connect();
             conn.execute(&monetlite_acs::ddl(&d))?;
             conn.append("acs", d.cols.clone())?;
@@ -702,7 +730,7 @@ pub fn fig8_acs_stats(cfg: &BenchConfig) -> Vec<(String, Cell)> {
 
     // MonetDBLite.
     {
-        let db = Database::open_in_memory();
+        let db = uncached_db();
         let mut conn = db.connect();
         conn.execute(&monetlite_acs::ddl(&d)).unwrap();
         conn.append("acs", d.cols.clone()).unwrap();

@@ -105,6 +105,26 @@ pub struct ExecOptions {
     /// probe-side scans. `false` restores per-row string execution (the
     /// ablation baseline); results are identical either way.
     pub use_dict: bool,
+    /// Plan cache (`MONETLITE_PLAN_CACHE`): repeated statements that
+    /// differ only in WHERE-clause literals reuse one optimized plan
+    /// template (skipping parse/bind/optimize), with fresh literals
+    /// substituted per execution. `false` replans every statement (the
+    /// ablation baseline); results are identical either way.
+    pub use_plan_cache: bool,
+    /// Result cache (`MONETLITE_RESULT_CACHE`): a read statement
+    /// identical to a previous one — same text, same literals, same
+    /// options — returns the stored Arc-shared columns without
+    /// executing, as long as every input table version (and the view
+    /// epoch) is unchanged. `false` executes every statement.
+    pub use_result_cache: bool,
+    /// Byte budget for the shared plan cache
+    /// (`MONETLITE_PLAN_CACHE_BYTES`); least-recently-used templates are
+    /// evicted past it.
+    pub plan_cache_bytes: usize,
+    /// Byte budget for the shared result cache
+    /// (`MONETLITE_RESULT_CACHE_BYTES`); least-recently-used result sets
+    /// are evicted past it.
+    pub result_cache_bytes: usize,
 }
 
 /// Environment override for test/CI matrices (`MONETLITE_THREADS`,
@@ -140,6 +160,10 @@ impl Default for ExecOptions {
             use_zonemaps: env_bool("MONETLITE_ZONEMAPS", true),
             spill_quota: env_usize("MONETLITE_SPILL_QUOTA", usize::MAX),
             use_dict: env_bool("MONETLITE_DICT", true),
+            use_plan_cache: env_bool("MONETLITE_PLAN_CACHE", true),
+            use_result_cache: env_bool("MONETLITE_RESULT_CACHE", true),
+            plan_cache_bytes: env_usize("MONETLITE_PLAN_CACHE_BYTES", 64 << 20),
+            result_cache_bytes: env_usize("MONETLITE_RESULT_CACHE_BYTES", 256 << 20),
         }
     }
 }
@@ -238,6 +262,12 @@ pub struct CountersSnapshot {
     pub dict_hits: u64,
     /// Probe-side scan rows dropped by pushed-down join bloom filters.
     pub bloom_pruned: u64,
+    /// Statements served from a cached plan template (parse/bind/optimize
+    /// skipped; filled by the connection, never by the executor).
+    pub plan_cache_hits: u64,
+    /// Statements served from the result cache (execution skipped
+    /// entirely; filled by the connection).
+    pub result_cache_hits: u64,
     /// The optimizer's cardinality estimate for the query's root operator
     /// (filled by the connection after planning; 0 when unknown).
     /// Comparing it with the actual result size is the cheapest way to
@@ -273,6 +303,8 @@ impl ExecCounters {
             sel_vectors: g(&self.sel_vectors),
             dict_hits: g(&self.dict_hits),
             bloom_pruned: g(&self.bloom_pruned),
+            plan_cache_hits: 0,
+            result_cache_hits: 0,
             estimated_rows: 0,
         }
     }

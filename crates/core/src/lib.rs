@@ -40,6 +40,8 @@ pub mod mal;
 pub mod opt;
 pub mod pipeline;
 pub mod plan;
+pub mod plan_cache;
+pub mod result_cache;
 pub mod rows;
 pub mod sort;
 pub mod spill;
@@ -54,9 +56,13 @@ use monetlite_storage::wal::WalRecord;
 use monetlite_storage::Bat;
 use monetlite_types::{ColumnBuffer, Field, LogicalType, MlError, Result, Schema, Value};
 use opt::OptFlags;
+use plan_cache::{PlanCache, PlanEntry, StmtMemo};
+use result_cache::{ResultCache, ResultEntry};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 pub use exec::Chunk;
 pub use monetlite_storage as storage;
@@ -103,6 +109,15 @@ pub struct Database {
     /// database handle's lifetime (they are not checkpointed) and apply
     /// immediately — CREATE/DROP VIEW are not transactional.
     views: Arc<std::sync::Mutex<HashMap<String, ViewDef>>>,
+    /// Monotone counter bumped on every view-catalog change; part of
+    /// every cache key, so view DDL invalidates by moving the key space
+    /// rather than by scanning entries. Bumped under the `views` lock.
+    views_epoch: Arc<AtomicU64>,
+    /// Shared optimized-plan templates (`monetdb_query`'s repeated
+    /// parameterized statements skip parse/bind/optimize on a hit).
+    plan_cache: Arc<PlanCache>,
+    /// Shared result sets for identical read-only statements.
+    result_cache: Arc<ResultCache>,
 }
 
 impl Database {
@@ -113,6 +128,9 @@ impl Database {
             store: Arc::new(Store::in_memory()),
             opts: DbOptions::default(),
             views: Arc::default(),
+            views_epoch: Arc::default(),
+            plan_cache: Arc::default(),
+            result_cache: Arc::default(),
         }
     }
 
@@ -128,7 +146,14 @@ impl Database {
             vmem_budget: opts.vmem_budget,
             wal_autocheckpoint: opts.wal_autocheckpoint,
         })?);
-        Ok(Database { store, opts, views: Arc::default() })
+        Ok(Database {
+            store,
+            opts,
+            views: Arc::default(),
+            views_epoch: Arc::default(),
+            plan_cache: Arc::default(),
+            result_cache: Arc::default(),
+        })
     }
 
     /// Create a connection ("dummy clients that only hold a query context",
@@ -143,8 +168,21 @@ impl Database {
             txn: None,
             last_counters: None,
             db_views: self.views.clone(),
+            views_epoch: self.views_epoch.clone(),
+            plan_cache: self.plan_cache.clone(),
+            result_cache: self.result_cache.clone(),
             interrupt: Arc::new(std::sync::atomic::AtomicBool::new(false)),
         }
+    }
+
+    /// The shared plan cache (tests / benches).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
+    }
+
+    /// The shared result cache (tests / benches).
+    pub fn result_cache(&self) -> &Arc<ResultCache> {
+        &self.result_cache
     }
 
     /// Force a checkpoint (columns to disk, WAL truncated).
@@ -248,6 +286,9 @@ struct ActiveTxn {
     /// View definitions visible to this transaction (snapshot taken at
     /// txn start; CREATE/DROP VIEW update it immediately).
     views: HashMap<String, ViewDef>,
+    /// View-catalog epoch matching `views` (cache-key component; bumped
+    /// along with the global epoch when this transaction runs view DDL).
+    views_epoch: u64,
 }
 
 /// A connection: holds the per-query context and transaction state.
@@ -259,6 +300,9 @@ pub struct Connection {
     txn: Option<ActiveTxn>,
     last_counters: Option<exec::CountersSnapshot>,
     db_views: Arc<std::sync::Mutex<HashMap<String, ViewDef>>>,
+    views_epoch: Arc<AtomicU64>,
+    plan_cache: Arc<PlanCache>,
+    result_cache: Arc<ResultCache>,
     /// Cancellation token shared with [`InterruptHandle`]s; cleared at
     /// every statement start, polled at executor checkpoints.
     interrupt: Arc<std::sync::atomic::AtomicBool>,
@@ -407,8 +451,32 @@ impl Connection {
         // Each statement starts un-interrupted: an interrupt delivered
         // while the connection was idle must not kill the next query.
         self.interrupt.store(false, std::sync::atomic::Ordering::SeqCst);
+        let caches_on = self.exec_opts.use_plan_cache || self.exec_opts.use_result_cache;
+        // Statement-text memo: a repeat of the exact text skips even the
+        // parser (the memo is a pure function of the text, never stale).
+        if caches_on {
+            if let Some(memo) = self.plan_cache.memo_get(sql) {
+                return self.run_select_memo(&memo);
+            }
+        }
         let stmt = monetlite_sql::parse_statement(sql)?;
+        if caches_on {
+            if let ast::Statement::Select(sel) = &stmt {
+                let memo = Arc::new(StmtMemo::build(sel));
+                self.plan_cache.memo_put(sql, memo.clone());
+                return self.run_select_memo(&memo);
+            }
+        }
         self.run_statement(stmt)
+    }
+
+    /// Autocommit wrapper around the cached SELECT path (mirrors
+    /// `run_statement`'s handling of a bare SELECT).
+    fn run_select_memo(&mut self, memo: &StmtMemo) -> Result<QueryResult> {
+        let implicit = self.ensure_txn();
+        let r = self.run_select_cached(memo);
+        self.finish_implicit(implicit, r.is_ok())?;
+        r
     }
 
     /// Execute one statement for its side effect; returns rows affected.
@@ -490,14 +558,20 @@ impl Connection {
 
     fn start_txn(&mut self, explicit: bool) {
         let snapshot = self.store.snapshot();
-        let views = self.db_views.lock().expect("views lock").clone();
+        // Read the epoch under the views lock so (views, epoch) is a
+        // consistent pair — view DDL bumps the epoch while holding it.
+        let (views, views_epoch) = {
+            let g = self.db_views.lock().expect("views lock");
+            (g.clone(), self.views_epoch.load(Ordering::SeqCst))
+        };
         self.txn = Some(ActiveTxn {
             tables: snapshot.tables.clone(),
             base: snapshot,
             writes: TxWrites::default(),
-            next_temp_id: u64::MAX / 2,
+            next_temp_id: monetlite_storage::store::TEMP_TABLE_ID_BASE,
             explicit,
             views,
+            views_epoch,
         });
     }
 
@@ -571,7 +645,16 @@ impl Connection {
 
     fn run_in_txn(&mut self, stmt: ast::Statement) -> Result<QueryResult> {
         match stmt {
-            ast::Statement::Select(sel) => self.run_select(&sel),
+            ast::Statement::Select(sel) => {
+                if self.exec_opts.use_plan_cache || self.exec_opts.use_result_cache {
+                    // Script / non-memoized entry: normalize here so the
+                    // statement still shares plan and result entries.
+                    let memo = StmtMemo::build(&sel);
+                    self.run_select_cached(&memo)
+                } else {
+                    self.run_select(&sel)
+                }
+            }
             ast::Statement::Explain(inner) => self.run_explain(*inner),
             ast::Statement::CreateTable { name, columns } => {
                 let lname = name.to_ascii_lowercase();
@@ -644,6 +727,11 @@ impl Connection {
                         return Err(MlError::Catalog(format!("view '{name}' already exists")));
                     }
                     shared.insert(lname.clone(), vd.clone());
+                    // Move the cache-key epoch under the same lock: plan
+                    // and result entries keyed under the old view catalog
+                    // become unreachable.
+                    let e = self.views_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+                    self.txn.as_mut().expect("txn").views_epoch = e;
                 }
                 self.txn.as_mut().expect("txn").views.insert(lname, vd);
                 Ok(QueryResult::empty(0))
@@ -651,7 +739,15 @@ impl Connection {
             ast::Statement::DropView { name, if_exists } => {
                 let lname = name.to_ascii_lowercase();
                 let known = self.txn.as_mut().expect("txn").views.remove(&lname).is_some();
-                let shared = self.db_views.lock().expect("views lock").remove(&lname).is_some();
+                let shared = {
+                    let mut g = self.db_views.lock().expect("views lock");
+                    let removed = g.remove(&lname).is_some();
+                    if removed || known {
+                        let e = self.views_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+                        self.txn.as_mut().expect("txn").views_epoch = e;
+                    }
+                    removed
+                };
                 if !known && !shared && !if_exists {
                     return Err(MlError::Catalog(format!("unknown view '{name}'")));
                 }
@@ -729,6 +825,165 @@ impl Connection {
         Ok(QueryResult { names, types, cols: chunk.cols, rows: chunk.rows, rows_affected: 0 })
     }
 
+    /// Cache-key component covering everything besides the statement and
+    /// the data: optimizer flags, statistics mode, execution options and
+    /// the view catalog's epoch. Any change moves the key, so stale
+    /// entries are simply never looked up again (the LRU ages them out).
+    fn cache_fingerprint(&self, views_epoch: u64) -> String {
+        format!("{:?}|{:?}|{:?}|v{views_epoch}", self.opt_flags, self.stats_mode, self.exec_opts)
+    }
+
+    /// SELECT through the caching tier (paper §1/§4.2: an embedded
+    /// workload re-issues many small, often identical or merely
+    /// re-parameterized queries, so per-query overheads dominate):
+    /// 1. result-cache hit → return the stored columns, no execution;
+    /// 2. plan-cache hit → substitute fresh literals into the stored
+    ///    template, skipping bind + optimize;
+    /// 3. miss → bind the parameterized statement, optimize once, store
+    ///    the template, then execute.
+    ///
+    /// Consulting and populating the caches requires a transaction with
+    /// no uncommitted writes and only committed input tables; everything
+    /// else takes the plain `run_select` path.
+    fn run_select_cached(&mut self, memo: &StmtMemo) -> Result<QueryResult> {
+        let started = Instant::now();
+        let use_plan = self.exec_opts.use_plan_cache;
+        let use_result = self.exec_opts.use_result_cache;
+        let (result, counters, store_result) = {
+            let txn = self.txn.as_ref().expect("txn");
+            let cacheable = txn.writes.is_empty();
+            let fp = self.cache_fingerprint(txn.views_epoch);
+            let rkey = format!("{}\u{1}{}", memo.result_key, fp);
+
+            // 1. Result cache: a hit skips execution entirely, but must
+            // still behave like a real statement — honour a pending
+            // interrupt and the per-query timeout, and publish counters.
+            if use_result && cacheable {
+                if let Some(entry) = self.result_cache.get_valid(&rkey, &txn.tables) {
+                    if self.interrupt.load(std::sync::atomic::Ordering::SeqCst) {
+                        return Err(MlError::Interrupted);
+                    }
+                    if let Some(limit) = self.exec_opts.timeout {
+                        if started.elapsed() >= limit {
+                            return Err(MlError::Timeout {
+                                elapsed_ms: started.elapsed().as_millis() as u64,
+                                limit_ms: limit.as_millis() as u64,
+                            });
+                        }
+                    }
+                    self.result_cache.hits.fetch_add(1, Ordering::Relaxed);
+                    self.last_counters = Some(exec::CountersSnapshot {
+                        result_cache_hits: 1,
+                        estimated_rows: entry.estimated_rows,
+                        ..Default::default()
+                    });
+                    return Ok(QueryResult {
+                        names: entry.names.clone(),
+                        types: entry.types.clone(),
+                        cols: entry.cols.clone(),
+                        rows: entry.rows,
+                        rows_affected: 0,
+                    });
+                }
+                self.result_cache.misses.fetch_add(1, Ordering::Relaxed);
+            }
+
+            let view = TxnView { tables: &txn.tables, views: &txn.views };
+            let stats = opt::ModedStats { inner: &view, mode: self.stats_mode };
+            let pkey = format!("{}\u{1}{}", memo.plan_key, fp);
+
+            // 2. Plan cache: reuse the optimized template, re-binding the
+            // statement's literals into its parameter slots.
+            let mut plan_hit = false;
+            let mut plan: Option<plan::Plan> = None;
+            if use_plan && cacheable {
+                if let Some(entry) = self.plan_cache.get_valid(&pkey, &txn.tables) {
+                    if let Some(p) = plan_cache::substitute_params(&entry.plan, &memo.params) {
+                        plan_hit = true;
+                        plan = Some(p);
+                    }
+                    // A failed coercion (literal cannot take the
+                    // template's type) falls through to a full replan.
+                }
+            }
+            let plan = match plan {
+                Some(p) => p,
+                None if use_plan => {
+                    // 3. Miss: bind + optimize the *parameterized*
+                    // statement so the resulting plan is a reusable
+                    // template, store it, then substitute this
+                    // statement's own literals back in.
+                    self.plan_cache.misses.fetch_add(1, Ordering::Relaxed);
+                    let template = Binder::with_params(&view, memo.params.clone())
+                        .bind_select(&memo.template_stmt)?;
+                    let template = opt::optimize(template, self.opt_flags, &stats, &view)?;
+                    let substituted = plan_cache::substitute_params(&template, &memo.params)
+                        .unwrap_or_else(|| template.clone());
+                    if cacheable {
+                        if let Some(deps) = plan_cache::collect_deps(&template, &txn.tables) {
+                            self.plan_cache.put(
+                                pkey,
+                                PlanEntry { plan: template, deps },
+                                self.exec_opts.plan_cache_bytes,
+                            );
+                        }
+                    }
+                    substituted
+                }
+                None => {
+                    // Plan cache disabled (result cache only): plain
+                    // bind + optimize of the original statement.
+                    let p = Binder::new(&view).bind_select(&memo.original_stmt)?;
+                    opt::optimize(p, self.opt_flags, &stats, &view)?
+                }
+            };
+            // Re-fold now that parameter slots are concrete literals, so
+            // every literal-driven execution fast path (zonemap probes,
+            // dictionary predicate compilation, imprints) sees the same
+            // shapes as an uncached plan.
+            let plan = opt::fold_constants(plan)?;
+
+            let ctx = ExecContext::new(&view, self.exec_opts)
+                .with_vmem(self.store.vmem().clone())
+                .with_interrupt(self.interrupt.clone());
+            let chunk = exec::execute(&plan, &ctx)?;
+            let names: Vec<String> = plan.schema().iter().map(|c| c.name.clone()).collect();
+            let types: Vec<LogicalType> = plan.schema().iter().map(|c| c.ty).collect();
+            let cached = CachedTxnStats(&view);
+            let counter_stats = opt::ModedStats { inner: &cached, mode: self.stats_mode };
+            let mut counters = ctx.counters.snapshot();
+            counters.estimated_rows = opt::estimate_rows(&plan, &counter_stats).round() as u64;
+            if plan_hit {
+                counters.plan_cache_hits = 1;
+                self.plan_cache.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            let result =
+                QueryResult { names, types, cols: chunk.cols, rows: chunk.rows, rows_affected: 0 };
+            // Populate the result cache from this execution.
+            let store_result = (use_result && cacheable)
+                .then(|| plan_cache::collect_deps(&plan, &txn.tables))
+                .flatten()
+                .map(|deps| (rkey, deps, counters.estimated_rows));
+            (result, counters, store_result)
+        };
+        self.last_counters = Some(counters);
+        if let Some((rkey, deps, estimated_rows)) = store_result {
+            self.result_cache.put(
+                rkey,
+                ResultEntry {
+                    names: result.names.clone(),
+                    types: result.types.clone(),
+                    cols: result.cols.clone(),
+                    rows: result.rows,
+                    estimated_rows,
+                    deps,
+                },
+                self.exec_opts.result_cache_bytes,
+            );
+        }
+        Ok(result)
+    }
+
     fn run_explain(&mut self, stmt: ast::Statement) -> Result<QueryResult> {
         let ast::Statement::Select(sel) = stmt else {
             return Err(MlError::Unsupported("EXPLAIN is only supported for SELECT".into()));
@@ -738,7 +993,27 @@ impl Connection {
         let stats = opt::ModedStats { inner: &view, mode: self.stats_mode };
         let plan = Binder::new(&view).bind_select(&sel)?;
         let plan = opt::optimize(plan, self.opt_flags, &stats, &view)?;
-        let text = mal::explain(&plan, &self.exec_opts, Some(&stats));
+        let mut text = mal::explain(&plan, &self.exec_opts, Some(&stats));
+        // Cache status for the explained statement: tags appear only when
+        // a valid cached artifact exists right now (EXPLAIN itself never
+        // consults or populates the caches).
+        if (self.exec_opts.use_plan_cache || self.exec_opts.use_result_cache)
+            && txn.writes.is_empty()
+        {
+            let memo = StmtMemo::build(&sel);
+            let fp = self.cache_fingerprint(txn.views_epoch);
+            let plan_cached = self.exec_opts.use_plan_cache
+                && self
+                    .plan_cache
+                    .get_valid(&format!("{}\u{1}{}", memo.plan_key, fp), &txn.tables)
+                    .is_some();
+            let result_cached = self.exec_opts.use_result_cache
+                && self
+                    .result_cache
+                    .get_valid(&format!("{}\u{1}{}", memo.result_key, fp), &txn.tables)
+                    .is_some();
+            text.push_str(&mal::cache_tags(plan_cached, result_cached));
+        }
         let lines: Vec<Option<String>> = text.lines().map(|l| Some(l.to_string())).collect();
         let rows = lines.len();
         Ok(QueryResult {

@@ -37,6 +37,21 @@ pub fn explain(plan: &Plan, opts: &ExecOptions, stats: Option<&dyn Stats>) -> St
     out
 }
 
+/// Cache-status trailer for EXPLAIN: one line per caching layer that
+/// currently holds a valid artifact for the statement. Emitted only when
+/// an artifact actually exists, so a cold cache explains identically to
+/// caches-off (the plan goldens rely on that).
+pub fn cache_tags(plan_cached: bool, result_cached: bool) -> String {
+    let mut out = String::new();
+    if plan_cached {
+        out.push_str("-- [plan-cache] optimized template cached; bind+optimize skipped on hit\n");
+    }
+    if result_cached {
+        out.push_str("-- [result-cache] result set cached; execution skipped on hit\n");
+    }
+    out
+}
+
 /// The `-- stats` section: one line per operator (same indentation as the
 /// relational tree) with its estimated output cardinality, so a plan diff
 /// shows *why* the optimizer picked a join order, not just that it did.

@@ -1,0 +1,561 @@
+//! Plan cache: optimized-plan templates keyed on the normalized
+//! statement, shared by every connection of a [`crate::Database`].
+//!
+//! The paper's embedded-use argument (§1, §4.2) is that the same process
+//! re-issues many small parameterized queries, so per-query overheads —
+//! parse, bind, optimize — dominate at scale; PR 5's cost-based DPsize
+//! join orderer made optimization meaningfully expensive, which is what
+//! this cache skips on a hit. A template stores the optimized plan with
+//! [`BExpr::Param`] slots where WHERE-clause literals were; replay
+//! substitutes the statement's fresh literals (re-applying the same cast
+//! folds the representative went through) and re-folds constants so
+//! every literal-driven fast path (zonemap probes, dictionary predicate
+//! compilation, imprints) fires exactly as it would uncached.
+//!
+//! Soundness rules shared with the result cache:
+//! * Entries are consulted/stored only by transactions with **no
+//!   uncommitted writes**: a txn-local append bumps `version` in its
+//!   private view, so uncommitted `(id, version)` pairs can collide with
+//!   committed pairs of different content.
+//! * Every dependency must carry a **committed** table id
+//!   (`id < TEMP_TABLE_ID_BASE`); temp ids are reused across
+//!   transactions.
+//! * At hit time each stored `(name, id, version)` is revalidated
+//!   against the transaction's snapshot — DROP/CREATE changes the id,
+//!   appends/deletes/compaction bump the version, so any content change
+//!   (and any stats-sidecar change, which rides on the same writes)
+//!   invalidates lazily. Option/stats/view changes never need
+//!   invalidation at all: the optimizer flags, stats mode, `ExecOptions`
+//!   and the view epoch are part of the key.
+
+use crate::expr::BExpr;
+use crate::plan::Plan;
+use monetlite_sql::ast::SelectStmt;
+use monetlite_sql::canon;
+use monetlite_storage::catalog::TableMeta;
+use monetlite_storage::store::TEMP_TABLE_ID_BASE;
+use monetlite_types::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Dependency fingerprints
+// ---------------------------------------------------------------------------
+
+/// One input table's content fingerprint at store time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dep {
+    /// Lower-cased catalog name.
+    pub table: String,
+    /// Committed table id (DROP + CREATE of the same name changes it).
+    pub id: u64,
+    /// Version counter (bumped by appends, deletes, compaction).
+    pub version: u64,
+}
+
+/// Fingerprint the plan's base-table inputs against the transaction's
+/// snapshot. `None` when a scanned table is missing or carries a
+/// temporary (uncommitted) id — such a statement must not be cached.
+pub fn collect_deps(plan: &Plan, tables: &HashMap<String, Arc<TableMeta>>) -> Option<Vec<Dep>> {
+    let mut names = Vec::new();
+    collect_scans(plan, &mut names);
+    names.sort();
+    names.dedup();
+    let mut deps = Vec::with_capacity(names.len());
+    for n in names {
+        let meta = tables.get(&n)?;
+        if meta.id >= TEMP_TABLE_ID_BASE {
+            return None;
+        }
+        deps.push(Dep { table: n, id: meta.id, version: meta.version });
+    }
+    Some(deps)
+}
+
+/// True when every stored dependency still matches the snapshot exactly.
+pub fn deps_valid(deps: &[Dep], tables: &HashMap<String, Arc<TableMeta>>) -> bool {
+    deps.iter()
+        .all(|d| tables.get(&d.table).is_some_and(|m| m.id == d.id && m.version == d.version))
+}
+
+fn collect_scans(p: &Plan, out: &mut Vec<String>) {
+    match p {
+        Plan::Scan { table, .. } => out.push(table.clone()),
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::TopN { input, .. }
+        | Plan::Distinct { input } => collect_scans(input, out),
+        Plan::Join { left, right, .. } => {
+            collect_scans(left, out);
+            collect_scans(right, out);
+        }
+        Plan::Values { .. } => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parameter substitution over whole plans
+// ---------------------------------------------------------------------------
+
+/// Rewrite every expression in the plan through `f` (used to replace
+/// [`BExpr::Param`] slots with fresh literals before execution).
+pub fn map_plan_exprs(p: &Plan, f: &dyn Fn(&BExpr) -> BExpr) -> Plan {
+    match p {
+        Plan::Scan { table, projected, filters, schema } => Plan::Scan {
+            table: table.clone(),
+            projected: projected.clone(),
+            filters: filters.iter().map(f).collect(),
+            schema: schema.clone(),
+        },
+        Plan::Filter { input, pred } => {
+            Plan::Filter { input: Box::new(map_plan_exprs(input, f)), pred: f(pred) }
+        }
+        Plan::Project { input, exprs, schema } => Plan::Project {
+            input: Box::new(map_plan_exprs(input, f)),
+            exprs: exprs.iter().map(f).collect(),
+            schema: schema.clone(),
+        },
+        Plan::Join { left, right, kind, left_keys, right_keys, residual, schema } => Plan::Join {
+            left: Box::new(map_plan_exprs(left, f)),
+            right: Box::new(map_plan_exprs(right, f)),
+            kind: *kind,
+            left_keys: left_keys.iter().map(f).collect(),
+            right_keys: right_keys.iter().map(f).collect(),
+            residual: residual.as_ref().map(f),
+            schema: schema.clone(),
+        },
+        Plan::Aggregate { input, groups, aggs, schema } => Plan::Aggregate {
+            input: Box::new(map_plan_exprs(input, f)),
+            groups: groups.iter().map(f).collect(),
+            aggs: aggs
+                .iter()
+                .map(|a| crate::expr::AggSpec {
+                    func: a.func,
+                    arg: a.arg.as_ref().map(f),
+                    distinct: a.distinct,
+                    ty: a.ty,
+                })
+                .collect(),
+            schema: schema.clone(),
+        },
+        Plan::Sort { input, keys } => {
+            Plan::Sort { input: Box::new(map_plan_exprs(input, f)), keys: keys.clone() }
+        }
+        Plan::Limit { input, n } => {
+            Plan::Limit { input: Box::new(map_plan_exprs(input, f)), n: *n }
+        }
+        Plan::TopN { input, keys, n } => {
+            Plan::TopN { input: Box::new(map_plan_exprs(input, f)), keys: keys.clone(), n: *n }
+        }
+        Plan::Distinct { input } => Plan::Distinct { input: Box::new(map_plan_exprs(input, f)) },
+        Plan::Values { rows, schema } => Plan::Values {
+            rows: rows.iter().map(|r| r.iter().map(f).collect()).collect(),
+            schema: schema.clone(),
+        },
+    }
+}
+
+/// Substitute fresh literals for the template's parameter slots,
+/// coercing each to the representative's type (the casts the template's
+/// binding folded away). `None` when a fresh value cannot take the
+/// template's type — the caller falls back to a full replan.
+pub fn substitute_params(template: &Plan, fresh: &[Value]) -> Option<Plan> {
+    let mut coerced: Vec<Option<Value>> = vec![None; fresh.len()];
+    let mut ok = true;
+    visit_plan_exprs(template, &mut |e| {
+        walk_params(e, &mut |idx, repr| {
+            if !ok {
+                return;
+            }
+            match fresh.get(idx).and_then(|v| crate::bind::coerce_param_value(v, repr)) {
+                Some(c) => coerced[idx] = Some(c),
+                None => ok = false,
+            }
+        })
+    });
+    if !ok {
+        return None;
+    }
+    Some(map_plan_exprs(template, &|e| {
+        e.resolve_params(&|idx, repr| {
+            coerced.get(idx).and_then(|c| c.clone()).unwrap_or_else(|| repr.clone())
+        })
+    }))
+}
+
+/// Visit every expression position in the plan once (read-only).
+fn visit_plan_exprs(p: &Plan, f: &mut dyn FnMut(&BExpr)) {
+    match p {
+        Plan::Scan { filters, .. } => {
+            for e in filters {
+                f(e);
+            }
+        }
+        Plan::Filter { input, pred } => {
+            visit_plan_exprs(input, f);
+            f(pred);
+        }
+        Plan::Project { input, exprs, .. } => {
+            visit_plan_exprs(input, f);
+            for e in exprs {
+                f(e);
+            }
+        }
+        Plan::Join { left, right, left_keys, right_keys, residual, .. } => {
+            visit_plan_exprs(left, f);
+            visit_plan_exprs(right, f);
+            for e in left_keys.iter().chain(right_keys.iter()) {
+                f(e);
+            }
+            if let Some(r) = residual {
+                f(r);
+            }
+        }
+        Plan::Aggregate { input, groups, aggs, .. } => {
+            visit_plan_exprs(input, f);
+            for e in groups {
+                f(e);
+            }
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    f(arg);
+                }
+            }
+        }
+        Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::TopN { input, .. }
+        | Plan::Distinct { input } => visit_plan_exprs(input, f),
+        Plan::Values { rows, .. } => {
+            for e in rows.iter().flatten() {
+                f(e);
+            }
+        }
+    }
+}
+
+fn walk_params(e: &BExpr, f: &mut dyn FnMut(usize, &Value)) {
+    match e {
+        BExpr::Param { idx, value } => f(*idx, value),
+        BExpr::ColRef { .. } | BExpr::Lit(_) => {}
+        BExpr::Cast { input, .. } | BExpr::Not(input) | BExpr::Neg { input, .. } => {
+            walk_params(input, f)
+        }
+        BExpr::IsNull { input, .. } | BExpr::Like { input, .. } => walk_params(input, f),
+        BExpr::Arith { left, right, .. } | BExpr::Cmp { left, right, .. } => {
+            walk_params(left, f);
+            walk_params(right, f);
+        }
+        BExpr::And(a, b) | BExpr::Or(a, b) => {
+            walk_params(a, f);
+            walk_params(b, f);
+        }
+        BExpr::Case { branches, else_expr, .. } => {
+            for (c, v) in branches {
+                walk_params(c, f);
+                walk_params(v, f);
+            }
+            if let Some(e) = else_expr {
+                walk_params(e, f);
+            }
+        }
+        BExpr::Func { args, .. } => {
+            for a in args {
+                walk_params(a, f);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LRU with a byte budget
+// ---------------------------------------------------------------------------
+
+struct Slot<V> {
+    v: Arc<V>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// A mutex-guarded LRU map with a byte budget, shared by both caches.
+pub(crate) struct Lru<V> {
+    inner: Mutex<LruInner<V>>,
+}
+
+struct LruInner<V> {
+    map: HashMap<String, Slot<V>>,
+    tick: u64,
+    bytes: usize,
+}
+
+impl<V> Default for Lru<V> {
+    fn default() -> Self {
+        Lru { inner: Mutex::new(LruInner { map: HashMap::new(), tick: 0, bytes: 0 }) }
+    }
+}
+
+impl<V> Lru<V> {
+    pub fn get(&self, key: &str) -> Option<Arc<V>> {
+        let mut g = self.inner.lock().expect("cache lock");
+        g.tick += 1;
+        let tick = g.tick;
+        let slot = g.map.get_mut(key)?;
+        slot.last_used = tick;
+        Some(slot.v.clone())
+    }
+
+    pub fn put(&self, key: String, v: Arc<V>, bytes: usize, budget: usize) {
+        let mut g = self.inner.lock().expect("cache lock");
+        // One entry larger than the whole budget is not cacheable.
+        if bytes > budget {
+            return;
+        }
+        g.tick += 1;
+        let tick = g.tick;
+        if let Some(old) = g.map.insert(key, Slot { v, bytes, last_used: tick }) {
+            g.bytes -= old.bytes;
+        }
+        g.bytes += bytes;
+        while g.bytes > budget {
+            let Some(victim) =
+                g.map.iter().min_by_key(|(_, s)| s.last_used).map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(s) = g.map.remove(&victim) {
+                g.bytes -= s.bytes;
+            }
+        }
+    }
+
+    pub fn remove(&self, key: &str) {
+        let mut g = self.inner.lock().expect("cache lock");
+        if let Some(s) = g.map.remove(key) {
+            g.bytes -= s.bytes;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("cache lock").bytes
+    }
+
+    pub fn clear(&self) {
+        let mut g = self.inner.lock().expect("cache lock");
+        g.map.clear();
+        g.bytes = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statement memo and the plan cache proper
+// ---------------------------------------------------------------------------
+
+/// Pure, per-text normalization memo entry: everything derivable from
+/// the SQL text alone (no catalog state), so it can never go stale. A
+/// repeat of the *exact* text skips the parser as well as the binder.
+pub struct StmtMemo {
+    /// Canonical rendering of the statement with literals in place (the
+    /// result-cache key material).
+    pub result_key: String,
+    /// Canonical rendering of the parameterized statement (the plan
+    /// -cache key material).
+    pub plan_key: String,
+    /// Extracted WHERE-clause literals, aligned with the `?N` slots.
+    pub params: Vec<Value>,
+    /// The parameterized AST (template binding input).
+    pub template_stmt: SelectStmt,
+    /// The original AST (cache-off / fallback binding input).
+    pub original_stmt: SelectStmt,
+}
+
+impl StmtMemo {
+    /// Normalize a parsed SELECT.
+    pub fn build(sel: &SelectStmt) -> StmtMemo {
+        let result_key = canon::canon_select_full(sel);
+        let n = canon::normalize_select(sel);
+        StmtMemo {
+            result_key,
+            plan_key: n.key,
+            params: n.params,
+            template_stmt: n.stmt,
+            original_stmt: sel.clone(),
+        }
+    }
+}
+
+/// One cached plan template.
+pub struct PlanEntry {
+    /// Optimized plan with `BExpr::Param` slots.
+    pub plan: Plan,
+    /// Input-table fingerprints at store time.
+    pub deps: Vec<Dep>,
+}
+
+/// The shared plan cache: a text → normalization memo plus the template
+/// store. Hit/miss/invalidation counters aggregate across connections.
+#[derive(Default)]
+pub struct PlanCache {
+    memo: Mutex<HashMap<String, Arc<StmtMemo>>>,
+    templates: Lru<PlanEntry>,
+    /// Template hits (bind+optimize skipped).
+    pub hits: AtomicU64,
+    /// Template misses (statement fully planned).
+    pub misses: AtomicU64,
+    /// Hits rejected because a dependency's id/version moved.
+    pub invalidations: AtomicU64,
+}
+
+/// Cap on distinct statement texts memoized; past it the memo is cleared
+/// wholesale (entries are pure functions of the text, so dropping them
+/// only costs a re-parse).
+const MEMO_CAP: usize = 4096;
+
+impl PlanCache {
+    /// The memoized normalization of `sql`, if this exact text was seen.
+    pub fn memo_get(&self, sql: &str) -> Option<Arc<StmtMemo>> {
+        self.memo.lock().expect("memo lock").get(sql).cloned()
+    }
+
+    /// Memoize a normalization under its exact text.
+    pub fn memo_put(&self, sql: &str, m: Arc<StmtMemo>) {
+        let mut g = self.memo.lock().expect("memo lock");
+        if g.len() >= MEMO_CAP {
+            g.clear();
+        }
+        g.insert(sql.to_string(), m);
+    }
+
+    /// Fetch a template if its dependencies still hold for `tables`.
+    pub fn get_valid(
+        &self,
+        key: &str,
+        tables: &HashMap<String, Arc<TableMeta>>,
+    ) -> Option<Arc<PlanEntry>> {
+        let entry = self.templates.get(key)?;
+        if deps_valid(&entry.deps, tables) {
+            Some(entry)
+        } else {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.templates.remove(key);
+            None
+        }
+    }
+
+    /// Store a template under `key` within `budget` bytes.
+    pub fn put(&self, key: String, entry: PlanEntry, budget: usize) {
+        // Plans are small trees; a coarse per-node proxy keeps the LRU
+        // honest without a deep byte count.
+        let bytes = key.len() + plan_weight(&entry.plan) + entry.deps.len() * 64 + 128;
+        self.templates.put(key, Arc::new(entry), bytes, budget);
+    }
+
+    /// Number of cached templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// True when no templates are cached.
+    pub fn is_empty(&self) -> bool {
+        self.templates.len() == 0
+    }
+
+    /// Drop everything (tests).
+    pub fn clear(&self) {
+        self.templates.clear();
+        self.memo.lock().expect("memo lock").clear();
+    }
+}
+
+fn plan_weight(p: &Plan) -> usize {
+    let mut nodes = 0usize;
+    fn walk(p: &Plan, n: &mut usize) {
+        *n += 1;
+        match p {
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::TopN { input, .. }
+            | Plan::Distinct { input } => walk(input, n),
+            Plan::Join { left, right, .. } => {
+                walk(left, n);
+                walk(right, n);
+            }
+            Plan::Scan { .. } | Plan::Values { .. } => {}
+        }
+    }
+    walk(p, &mut nodes);
+    nodes * 512
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monetlite_types::LogicalType;
+
+    fn meta(id: u64, version: u64) -> Arc<TableMeta> {
+        use monetlite_storage::catalog::TableData;
+        use monetlite_types::{Field, Schema};
+        let schema = Schema::new(vec![Field::new("a", LogicalType::Int)]).unwrap();
+        let data = TableData::empty(&schema);
+        Arc::new(TableMeta {
+            id,
+            name: "t".into(),
+            schema,
+            data,
+            version,
+            ordered_cols: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn deps_track_id_and_version() {
+        let mut tables = HashMap::new();
+        tables.insert("t".to_string(), meta(3, 7));
+        let plan =
+            Plan::Scan { table: "t".into(), projected: vec![0], filters: vec![], schema: vec![] };
+        let deps = collect_deps(&plan, &tables).unwrap();
+        assert_eq!(deps, vec![Dep { table: "t".into(), id: 3, version: 7 }]);
+        assert!(deps_valid(&deps, &tables));
+        tables.insert("t".to_string(), meta(3, 8));
+        assert!(!deps_valid(&deps, &tables), "version bump invalidates");
+        tables.insert("t".to_string(), meta(4, 1));
+        assert!(!deps_valid(&deps, &tables), "drop+create invalidates");
+        tables.remove("t");
+        assert!(!deps_valid(&deps, &tables), "drop invalidates");
+    }
+
+    #[test]
+    fn temp_ids_are_not_cacheable() {
+        let mut tables = HashMap::new();
+        tables.insert("t".to_string(), meta(TEMP_TABLE_ID_BASE + 1, 1));
+        let plan =
+            Plan::Scan { table: "t".into(), projected: vec![0], filters: vec![], schema: vec![] };
+        assert!(collect_deps(&plan, &tables).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_by_bytes() {
+        let lru: Lru<u32> = Lru::default();
+        lru.put("a".into(), Arc::new(1), 400, 1000);
+        lru.put("b".into(), Arc::new(2), 400, 1000);
+        assert!(lru.get("a").is_some()); // refresh a
+        lru.put("c".into(), Arc::new(3), 400, 1000); // evicts b (LRU)
+        assert!(lru.get("b").is_none());
+        assert!(lru.get("a").is_some());
+        assert!(lru.get("c").is_some());
+        assert!(lru.bytes() <= 1000);
+        // Oversized entries are refused outright.
+        lru.put("huge".into(), Arc::new(9), 2000, 1000);
+        assert!(lru.get("huge").is_none());
+    }
+}

@@ -284,6 +284,13 @@ pub enum Expr {
     },
     /// Constant.
     Literal(Value),
+    /// Bind-parameter placeholder produced by the plan-cache normalizer
+    /// (`canon::normalize_select`); the parser never emits this. `index`
+    /// is the 0-based slot in the extracted parameter vector.
+    Param {
+        /// 0-based slot in the bind vector.
+        index: usize,
+    },
     /// `INTERVAL '90' DAY`.
     Interval {
         /// Signed magnitude.
@@ -415,7 +422,9 @@ impl Expr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             Expr::Agg { .. } => true,
-            Expr::Column { .. } | Expr::Literal(_) | Expr::Interval { .. } => false,
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Param { .. } | Expr::Interval { .. } => {
+                false
+            }
             Expr::Binary { left, right, .. } => {
                 left.contains_aggregate() || right.contains_aggregate()
             }
@@ -450,9 +459,14 @@ impl std::fmt::Display for Expr {
             Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
             Expr::Column { table: None, name } => write!(f, "{name}"),
             Expr::Literal(v) => match v {
-                Value::Str(s) => write!(f, "'{s}'"),
+                // Embedded quotes must re-escape as '' or two distinct
+                // literals render identically (and the text is unparseable).
+                Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+                // Bare `1995-03-15` does not parse back as a date literal.
+                Value::Date(_) => write!(f, "date '{v}'"),
                 other => write!(f, "{other}"),
             },
+            Expr::Param { index } => write!(f, "?{index}"),
             Expr::Interval { value, unit } => {
                 let u = match unit {
                     IntervalUnit::Day => "day",
@@ -485,7 +499,12 @@ impl std::fmt::Display for Expr {
                 write!(f, "{expr} is {}null", if *negated { "not " } else { "" })
             }
             Expr::Like { expr, pattern, negated } => {
-                write!(f, "{expr} {}like '{pattern}'", if *negated { "not " } else { "" })
+                write!(
+                    f,
+                    "{expr} {}like '{}'",
+                    if *negated { "not " } else { "" },
+                    pattern.replace('\'', "''")
+                )
             }
             Expr::Between { expr, low, high, negated } => {
                 write!(f, "{expr} {}between {low} and {high}", if *negated { "not " } else { "" })

@@ -1,0 +1,604 @@
+//! Canonical (injective) statement rendering and literal normalization
+//! for the plan/result caches.
+//!
+//! The `Display` impls on [`crate::ast`] exist for *diagnostics*: they
+//! elide subqueries (`(select ...)`) and render values without type
+//! tags, so two distinct ASTs can print identically. Cache keys need
+//! the opposite guarantee — distinct ASTs must render distinctly — so
+//! this module renders every statement fully, case-folds identifiers,
+//! and tags every literal with its type ([`canon_value`]).
+//!
+//! [`normalize_select`] additionally rewrites WHERE-clause literals
+//! into [`Expr::Param`] placeholders so that the same query *shape*
+//! with different constants shares one plan-cache template. The
+//! parameterization is deliberately conservative (see the rules on
+//! `param_expr`); anything not parameterized simply stays in the key
+//! text, which is always sound.
+
+use crate::ast::{Expr, IntervalUnit, OrderItem, SelectItem, SelectStmt, TableRef};
+use monetlite_types::Value;
+use std::fmt::Write as _;
+
+/// Injective, type-tagged rendering of a [`Value`].
+///
+/// Distinct values — including equal-looking values of different types
+/// (`Int(1)` vs `Bigint(1)` vs `Double(1.0)` vs `Decimal(1, 0)` vs
+/// `Str("1")`) — always render to distinct strings. Doubles render via
+/// their bit pattern, decimals as `raw.scale`, dates as the raw day
+/// count, and strings with `''`-escaped quotes.
+pub fn canon_value(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => format!("bool:{b}"),
+        Value::Int(i) => format!("int:{i}"),
+        Value::Bigint(i) => format!("bigint:{i}"),
+        Value::Double(d) => format!("double:{:016x}", d.to_bits()),
+        Value::Decimal(d) => format!("dec:{}.{}", d.raw, d.scale),
+        Value::Str(s) => format!("str:'{}'", s.replace('\'', "''")),
+        Value::Date(d) => format!("date:{}", d.0),
+    }
+}
+
+/// Short type tag for a parameter slot: the *type* of the extracted
+/// literal is part of the template key (an `int` and a `decimal`
+/// constant bind and cast differently), while its value is not.
+fn param_tag(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(_) => "bool".to_string(),
+        Value::Int(_) => "int".to_string(),
+        Value::Bigint(_) => "bigint".to_string(),
+        Value::Double(_) => "double".to_string(),
+        Value::Decimal(d) => format!("dec{}", d.scale),
+        Value::Str(_) => "str".to_string(),
+        Value::Date(_) => "date".to_string(),
+    }
+}
+
+/// A SELECT normalized for the plan cache.
+pub struct NormalizedSelect {
+    /// Canonical rendering of the parameterized statement, with
+    /// `?N:<type>` markers in place of extracted literals.
+    pub key: String,
+    /// Extracted literals, index-aligned with the `Expr::Param` slots.
+    pub params: Vec<Value>,
+    /// The parameterized AST (WHERE literals replaced by `Expr::Param`).
+    pub stmt: SelectStmt,
+}
+
+/// Normalize a SELECT for plan-cache keying: extract WHERE-clause
+/// literals into a bind vector and render the residue canonically.
+pub fn normalize_select(stmt: &SelectStmt) -> NormalizedSelect {
+    let mut stmt = stmt.clone();
+    let mut params = Vec::new();
+    param_select(&mut stmt, &mut params);
+    let key = canon_select(&stmt, &params);
+    NormalizedSelect { key, params, stmt }
+}
+
+/// Canonical rendering of a whole SELECT for result-cache keying: no
+/// parameterization, literals rendered in place via [`canon_value`].
+pub fn canon_select_full(stmt: &SelectStmt) -> String {
+    canon_select(stmt, &[])
+}
+
+// ---------------------------------------------------------------------------
+// Parameterization
+// ---------------------------------------------------------------------------
+
+/// Parameterize literals in every WHERE clause of the statement tree
+/// (the top-level query, CTEs, derived tables, and subqueries found in
+/// expression position). Only WHERE clauses: projection/GROUP BY/HAVING
+/// /ORDER BY literals shape the output schema, ordinal resolution, or
+/// aggregate folding, so they stay in the key text.
+fn param_select(s: &mut SelectStmt, params: &mut Vec<Value>) {
+    for cte in &mut s.ctes {
+        param_select(&mut cte.query, params);
+    }
+    for item in &mut s.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            param_subqueries(expr, params);
+        }
+    }
+    for tr in &mut s.from {
+        param_table_ref(tr, params);
+    }
+    if let Some(w) = &mut s.where_clause {
+        param_expr(w, params);
+    }
+    for e in &mut s.group_by {
+        param_subqueries(e, params);
+    }
+    if let Some(h) = &mut s.having {
+        param_subqueries(h, params);
+    }
+}
+
+fn param_table_ref(tr: &mut TableRef, params: &mut Vec<Value>) {
+    match tr {
+        TableRef::Table { .. } => {}
+        TableRef::Subquery { query, .. } => param_select(query, params),
+        TableRef::Join { left, right, on, .. } => {
+            param_table_ref(left, params);
+            param_table_ref(right, params);
+            if let Some(on) = on {
+                param_subqueries(on, params);
+            }
+        }
+    }
+}
+
+/// Rewrite parameterizable literals under a WHERE clause.
+///
+/// Rules (conservative by design — an unparameterized literal is merely
+/// a more specific cache key, never unsound):
+/// * `NULL` and booleans stay: they fold into plan structure at bind
+///   time (`WHERE false` prunes, `x = NULL` is 3VL-special).
+/// * IN-list members stay: the list length is already in the key and
+///   the members feed a hash-set build that binds per-list.
+/// * LIKE patterns are plain strings in the AST, not expressions, so
+///   they stay in the key automatically.
+/// * Everything else (comparison bounds, BETWEEN bounds, arithmetic
+///   operands, function/CAST arguments) becomes `?N`.
+fn param_expr(e: &mut Expr, params: &mut Vec<Value>) {
+    match e {
+        Expr::Literal(v) => match v {
+            Value::Null | Value::Bool(_) => {}
+            _ => {
+                let idx = params.len();
+                params.push(v.clone());
+                *e = Expr::Param { index: idx };
+            }
+        },
+        Expr::Param { .. } | Expr::Column { .. } | Expr::Interval { .. } => {}
+        Expr::Binary { left, right, .. } => {
+            param_expr(left, params);
+            param_expr(right, params);
+        }
+        Expr::Not(inner) | Expr::Neg(inner) => param_expr(inner, params),
+        Expr::IsNull { expr, .. } => param_expr(expr, params),
+        Expr::Like { expr, .. } => param_expr(expr, params),
+        Expr::Between { expr, low, high, .. } => {
+            param_expr(expr, params);
+            param_expr(low, params);
+            param_expr(high, params);
+        }
+        Expr::InList { expr, .. } => param_expr(expr, params),
+        Expr::InSubquery { expr, query, .. } => {
+            param_expr(expr, params);
+            param_select(query, params);
+        }
+        Expr::Exists { query, .. } => param_select(query, params),
+        Expr::ScalarSubquery(q) => param_select(q, params),
+        Expr::Case { branches, else_expr } => {
+            for (c, v) in branches {
+                param_expr(c, params);
+                param_expr(v, params);
+            }
+            if let Some(e) = else_expr {
+                param_expr(e, params);
+            }
+        }
+        Expr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                param_expr(a, params);
+            }
+        }
+        Expr::Extract { expr, .. } => param_expr(expr, params),
+        Expr::Cast { expr, .. } => param_expr(expr, params),
+        Expr::Function { args, .. } => {
+            for a in args {
+                param_expr(a, params);
+            }
+        }
+    }
+}
+
+/// Outside WHERE clauses we leave literals alone but still must recurse
+/// into any *subqueries* so their own WHERE clauses get parameterized.
+fn param_subqueries(e: &mut Expr, params: &mut Vec<Value>) {
+    match e {
+        Expr::Literal(_) | Expr::Param { .. } | Expr::Column { .. } | Expr::Interval { .. } => {}
+        Expr::Binary { left, right, .. } => {
+            param_subqueries(left, params);
+            param_subqueries(right, params);
+        }
+        Expr::Not(inner) | Expr::Neg(inner) => param_subqueries(inner, params),
+        Expr::IsNull { expr, .. } => param_subqueries(expr, params),
+        Expr::Like { expr, .. } => param_subqueries(expr, params),
+        Expr::Between { expr, low, high, .. } => {
+            param_subqueries(expr, params);
+            param_subqueries(low, params);
+            param_subqueries(high, params);
+        }
+        Expr::InList { expr, list, .. } => {
+            param_subqueries(expr, params);
+            for m in list {
+                param_subqueries(m, params);
+            }
+        }
+        Expr::InSubquery { expr, query, .. } => {
+            param_subqueries(expr, params);
+            param_select(query, params);
+        }
+        Expr::Exists { query, .. } => param_select(query, params),
+        Expr::ScalarSubquery(q) => param_select(q, params),
+        Expr::Case { branches, else_expr } => {
+            for (c, v) in branches {
+                param_subqueries(c, params);
+                param_subqueries(v, params);
+            }
+            if let Some(e) = else_expr {
+                param_subqueries(e, params);
+            }
+        }
+        Expr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                param_subqueries(a, params);
+            }
+        }
+        Expr::Extract { expr, .. } => param_subqueries(expr, params),
+        Expr::Cast { expr, .. } => param_subqueries(expr, params),
+        Expr::Function { args, .. } => {
+            for a in args {
+                param_subqueries(a, params);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical rendering
+// ---------------------------------------------------------------------------
+
+fn canon_select(s: &SelectStmt, params: &[Value]) -> String {
+    let mut out = String::new();
+    write_select(&mut out, s, params);
+    out
+}
+
+fn write_select(out: &mut String, s: &SelectStmt, params: &[Value]) {
+    if !s.ctes.is_empty() {
+        out.push_str("with ");
+        for (i, cte) in s.ctes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&fold(&cte.name));
+            if let Some(cols) = &cte.columns {
+                let folded: Vec<String> = cols.iter().map(|c| fold(c)).collect();
+                let _ = write!(out, " ({})", folded.join(", "));
+            }
+            out.push_str(" as (");
+            write_select(out, &cte.query, params);
+            out.push(')');
+        }
+        out.push(' ');
+    }
+    out.push_str("select ");
+    if s.distinct {
+        out.push_str("distinct ");
+    }
+    for (i, item) in s.projections.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => out.push('*'),
+            SelectItem::QualifiedWildcard(t) => {
+                let _ = write!(out, "{}.*", fold(t));
+            }
+            SelectItem::Expr { expr, alias } => {
+                write_expr(out, expr, params);
+                if let Some(a) = alias {
+                    let _ = write!(out, " as {}", fold(a));
+                }
+            }
+        }
+    }
+    if !s.from.is_empty() {
+        out.push_str(" from ");
+        for (i, tr) in s.from.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_table_ref(out, tr, params);
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        out.push_str(" where ");
+        write_expr(out, w, params);
+    }
+    if !s.group_by.is_empty() {
+        out.push_str(" group by ");
+        for (i, e) in s.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, e, params);
+        }
+    }
+    if let Some(h) = &s.having {
+        out.push_str(" having ");
+        write_expr(out, h, params);
+    }
+    if !s.order_by.is_empty() {
+        out.push_str(" order by ");
+        for (i, OrderItem { expr, desc }) in s.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, expr, params);
+            if *desc {
+                out.push_str(" desc");
+            }
+        }
+    }
+    if let Some(l) = s.limit {
+        let _ = write!(out, " limit {l}");
+    }
+}
+
+fn write_table_ref(out: &mut String, tr: &TableRef, params: &[Value]) {
+    match tr {
+        TableRef::Table { name, alias } => {
+            out.push_str(&fold(name));
+            if let Some(a) = alias {
+                let _ = write!(out, " as {}", fold(a));
+            }
+        }
+        TableRef::Subquery { query, alias, columns } => {
+            out.push('(');
+            write_select(out, query, params);
+            let _ = write!(out, ") as {}", fold(alias));
+            if let Some(cols) = columns {
+                let folded: Vec<String> = cols.iter().map(|c| fold(c)).collect();
+                let _ = write!(out, " ({})", folded.join(", "));
+            }
+        }
+        TableRef::Join { left, right, kind, on } => {
+            out.push('(');
+            write_table_ref(out, left, params);
+            let _ = write!(out, " {:?} join ", kind);
+            write_table_ref(out, right, params);
+            if let Some(on) = on {
+                out.push_str(" on ");
+                write_expr(out, on, params);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, params: &[Value]) {
+    match e {
+        Expr::Column { table: Some(t), name } => {
+            let _ = write!(out, "{}.{}", fold(t), fold(name));
+        }
+        Expr::Column { table: None, name } => out.push_str(&fold(name)),
+        Expr::Literal(v) => out.push_str(&canon_value(v)),
+        Expr::Param { index } => {
+            let tag = params.get(*index).map(param_tag).unwrap_or_else(|| "?".to_string());
+            let _ = write!(out, "?{index}:{tag}");
+        }
+        Expr::Interval { value, unit } => {
+            let u = match unit {
+                IntervalUnit::Day => "day",
+                IntervalUnit::Month => "month",
+                IntervalUnit::Year => "year",
+            };
+            let _ = write!(out, "interval {value} {u}");
+        }
+        Expr::Binary { op, left, right } => {
+            let _ = write!(out, "({:?} ", op);
+            write_expr(out, left, params);
+            out.push(' ');
+            write_expr(out, right, params);
+            out.push(')');
+        }
+        Expr::Not(inner) => {
+            out.push_str("(not ");
+            write_expr(out, inner, params);
+            out.push(')');
+        }
+        Expr::Neg(inner) => {
+            out.push_str("(neg ");
+            write_expr(out, inner, params);
+            out.push(')');
+        }
+        Expr::IsNull { expr, negated } => {
+            let _ = write!(out, "(is{}null ", if *negated { "not" } else { "" });
+            write_expr(out, expr, params);
+            out.push(')');
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let _ = write!(out, "({}like ", if *negated { "not" } else { "" });
+            write_expr(out, expr, params);
+            let _ = write!(out, " '{}')", pattern.replace('\'', "''"));
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let _ = write!(out, "({}between ", if *negated { "not" } else { "" });
+            write_expr(out, expr, params);
+            out.push(' ');
+            write_expr(out, low, params);
+            out.push(' ');
+            write_expr(out, high, params);
+            out.push(')');
+        }
+        Expr::InList { expr, list, negated } => {
+            let _ = write!(out, "({}in ", if *negated { "not" } else { "" });
+            write_expr(out, expr, params);
+            out.push_str(" [");
+            for (i, m) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, m, params);
+            }
+            out.push_str("])");
+        }
+        Expr::InSubquery { expr, query, negated } => {
+            let _ = write!(out, "({}in ", if *negated { "not" } else { "" });
+            write_expr(out, expr, params);
+            out.push_str(" (");
+            write_select(out, query, params);
+            out.push_str("))");
+        }
+        Expr::Exists { query, negated } => {
+            let _ = write!(out, "({}exists (", if *negated { "not" } else { "" });
+            write_select(out, query, params);
+            out.push_str("))");
+        }
+        Expr::ScalarSubquery(q) => {
+            out.push_str("(scalar (");
+            write_select(out, q, params);
+            out.push_str("))");
+        }
+        Expr::Case { branches, else_expr } => {
+            out.push_str("(case");
+            for (c, v) in branches {
+                out.push_str(" when ");
+                write_expr(out, c, params);
+                out.push_str(" then ");
+                write_expr(out, v, params);
+            }
+            if let Some(e) = else_expr {
+                out.push_str(" else ");
+                write_expr(out, e, params);
+            }
+            out.push_str(" end)");
+        }
+        Expr::Agg { func, arg, distinct } => {
+            let _ = write!(out, "({:?}", func);
+            if *distinct {
+                out.push_str(" distinct");
+            }
+            match arg {
+                None => out.push_str(" *"),
+                Some(a) => {
+                    out.push(' ');
+                    write_expr(out, a, params);
+                }
+            }
+            out.push(')');
+        }
+        Expr::Extract { field, expr } => {
+            let _ = write!(out, "(extract {:?} ", field);
+            write_expr(out, expr, params);
+            out.push(')');
+        }
+        Expr::Cast { expr, ty } => {
+            out.push_str("(cast ");
+            write_expr(out, expr, params);
+            let _ = write!(out, " {ty})");
+        }
+        Expr::Function { name, args } => {
+            let _ = write!(out, "({}", fold(name));
+            for a in args {
+                out.push(' ');
+                write_expr(out, a, params);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn fold(ident: &str) -> String {
+    ident.to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use crate::Statement;
+    use monetlite_types::Decimal;
+
+    fn sel(sql: &str) -> SelectStmt {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => *s,
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canon_value_is_type_tagged() {
+        // Same surface text, different types — the old Display rendered
+        // all of these identically ("1" / "5").
+        let collide = [
+            Value::Int(5),
+            Value::Bigint(5),
+            Value::Double(5.0),
+            Value::Decimal(Decimal::new(5, 0)),
+            Value::Str("5".into()),
+        ];
+        for (i, a) in collide.iter().enumerate() {
+            for b in &collide[i + 1..] {
+                assert_ne!(canon_value(a), canon_value(b), "{a:?} vs {b:?}");
+            }
+        }
+        assert_ne!(
+            canon_value(&Value::Decimal(Decimal::new(10, 1))),
+            canon_value(&Value::Decimal(Decimal::new(1, 0))),
+            "1.0 vs 1 must not alias"
+        );
+        assert_ne!(canon_value(&Value::Str("a''b".into())), canon_value(&Value::Str("a'b".into())));
+    }
+
+    #[test]
+    fn normalize_extracts_where_literals() {
+        let n = normalize_select(&sel("select a from t where b = 5 and c between 1 and 2"));
+        assert_eq!(n.params, vec![Value::Int(5), Value::Int(1), Value::Int(2)]);
+        assert!(n.key.contains("?0:int"), "{}", n.key);
+        // Same shape, different constants → same key.
+        let n2 = normalize_select(&sel("select a from t where b = 7 and c between 3 and 4"));
+        assert_eq!(n.key, n2.key);
+        // Different shape → different key.
+        let n3 = normalize_select(&sel("select a from t where b = 7"));
+        assert_ne!(n.key, n3.key);
+    }
+
+    #[test]
+    fn normalize_keeps_structural_literals() {
+        // IN-list members, projection literals, ORDER BY ordinals and
+        // LIMIT stay in the key.
+        let a = normalize_select(&sel("select 1, a from t where x in (1, 2) order by 2 limit 3"));
+        let b = normalize_select(&sel("select 1, a from t where x in (1, 3) order by 2 limit 3"));
+        assert_ne!(a.key, b.key, "IN members must stay in the key");
+        assert!(a.params.is_empty());
+        let c = normalize_select(&sel("select 2, a from t where x in (1, 2) order by 2 limit 3"));
+        assert_ne!(a.key, c.key, "projection literals must stay in the key");
+    }
+
+    #[test]
+    fn normalize_reaches_subquery_where() {
+        let a = normalize_select(&sel(
+            "select a from t where exists (select 1 from u where u.k = t.k and u.v > 10)",
+        ));
+        assert_eq!(a.params, vec![Value::Int(10)]);
+        let b = normalize_select(&sel(
+            "select a from t where exists (select 1 from u where u.k = t.k and u.v > 99)",
+        ));
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn canon_renders_subqueries_fully() {
+        // The diagnostic Display elides subqueries; the canonical
+        // rendering must not.
+        let a = canon_select_full(&sel("select a from t where x in (select k from u)"));
+        let b = canon_select_full(&sel("select a from t where x in (select k from v)"));
+        assert_ne!(a, b);
+        // Identifier case folds.
+        let c = canon_select_full(&sel("SELECT A FROM T WHERE X IN (SELECT K FROM U)"));
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn typed_literals_key_differently() {
+        // int 5 vs decimal 5.0 in WHERE → different param type tags.
+        let a = normalize_select(&sel("select a from t where b = 5"));
+        let b = normalize_select(&sel("select a from t where b = 5.0"));
+        assert_ne!(a.key, b.key);
+    }
+}

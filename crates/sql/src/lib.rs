@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod canon;
 pub mod lexer;
 pub mod parser;
 

@@ -55,6 +55,14 @@ impl Default for StoreOptions {
     }
 }
 
+/// First table id of the per-transaction temporary range. Tables created
+/// inside a transaction carry ids from here up until commit assigns a
+/// real id; the ranges never overlap, so `id < TEMP_TABLE_ID_BASE`
+/// certifies committed content — the test the query caches use before
+/// trusting a `(table id, version)` pair as a content fingerprint
+/// (temp ids are reused across transactions; committed ids never are).
+pub const TEMP_TABLE_ID_BASE: u64 = u64::MAX / 2;
+
 /// The write set of one transaction, applied atomically at commit.
 ///
 /// Ops reuse the WAL record type so logging never copies column data.

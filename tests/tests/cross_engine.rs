@@ -344,6 +344,26 @@ proptest! {
                 StatsMode::Adversarial(!seed),
                 OptFlags { join_dp: false, ..OptFlags::default() },
             ),
+            // Cache-tier legs forced on: the identical repeat below
+            // replays the cached template/result even under the
+            // MONETLITE_PLAN_CACHE=0 / MONETLITE_RESULT_CACHE=0 CI legs.
+            (
+                "caches forced on",
+                ExecOptions { use_plan_cache: true, use_result_cache: true, ..Default::default() },
+                StatsMode::Real,
+                OptFlags::default(),
+            ),
+            (
+                "plan cache only v3",
+                ExecOptions {
+                    vector_size: 3,
+                    use_plan_cache: true,
+                    use_result_cache: false,
+                    ..Default::default()
+                },
+                StatsMode::Real,
+                OptFlags::default(),
+            ),
         ] {
             let mut c = db.connect();
             c.set_exec_options(opts);
@@ -351,7 +371,22 @@ proptest! {
             c.set_opt_flags(flags);
             let r = c.query(&sql).unwrap_or_else(|e| panic!("{label}: {e}\nsql: {sql}"));
             let rows: Vec<Vec<Value>> = (0..r.nrows()).map(|i| r.row(i)).collect();
-            engines.push((label, canonical(&rows)));
+            let first = canonical(&rows);
+            // Repeat-each-query-twice mode: the second execution of the
+            // identical statement may be served by the plan or result
+            // cache and must produce the same multiset as the first.
+            let r2 = c.query(&sql).unwrap_or_else(|e| panic!("{label} repeat: {e}\nsql: {sql}"));
+            let rows2: Vec<Vec<Value>> = (0..r2.nrows()).map(|i| r2.row(i)).collect();
+            prop_assert_eq!(
+                &first,
+                &canonical(&rows2),
+                "{} repeat diverged (seed {})\nsql: {}\ninserts: {:?}",
+                label,
+                seed,
+                sql,
+                inserts
+            );
+            engines.push((label, first));
         }
 
         // Volcano rowstore over identical data.

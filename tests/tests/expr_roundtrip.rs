@@ -1,0 +1,407 @@
+//! `parse(render(e)) ≡ e` round-trip property for the `Expr` Display
+//! rendering, plus regression tests pinning the two cache-key soundness
+//! fixes:
+//!
+//! 1. `Value::Str` rendering must `''`-escape embedded single quotes —
+//!    the old `format!("'{s}'")` produced unparseable text and let two
+//!    distinct ASTs render identically.
+//! 2. Cache-key literal rendering must be type-tagged (`canon_value`) —
+//!    the old bare `{value}` rendering collided across `Int(5)` /
+//!    `Bigint(5)` / `Double(5.0)` / `Decimal(5, 0)` / `Str("5")`.
+//!
+//! The generator only produces ASTs the parser itself can produce:
+//! non-negative numeric literals (a leading minus parses as
+//! `Expr::Neg`), `Int` within i32, `Bigint` beyond it, `Decimal` with
+//! scale ≥ 1 (a scale-0 decimal prints as a bare integer and re-parses
+//! as `Int`), no `Double` (the parser never emits one from a literal),
+//! lower-case identifiers (the lexer case-folds), and no subqueries
+//! (Display elides them as `(select ...)`).
+//!
+//! The vendored proptest shim has no combinator DSL, so the generator
+//! is a hand-rolled recursive function over the shim's deterministic
+//! `TestRng`, exposed through a small `Strategy` impl.
+
+use monetlite_sql::canon::canon_value;
+use monetlite_sql::{
+    parse_statement, AggFunc, BinOp, DateField, Expr, IntervalUnit, SelectItem, Statement,
+};
+use monetlite_types::{Date, Decimal, LogicalType, Value};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// Render `e` into a SELECT projection, parse it back, and return the
+/// re-parsed expression.
+fn reparse(e: &Expr) -> Result<Expr, String> {
+    let sql = format!("SELECT {e} FROM t");
+    let stmt = parse_statement(&sql).map_err(|err| format!("{err} in {sql:?}"))?;
+    let Statement::Select(sel) = stmt else {
+        return Err(format!("not a SELECT: {sql:?}"));
+    };
+    match sel.projections.into_iter().next() {
+        Some(SelectItem::Expr { expr, alias: None }) => Ok(expr),
+        other => Err(format!("unexpected projection {other:?} in {sql:?}")),
+    }
+}
+
+// -- generator ----------------------------------------------------------
+
+fn pick(rng: &mut TestRng, n: usize) -> usize {
+    (rng.next_u64() % n as u64) as usize
+}
+
+fn rbool(rng: &mut TestRng) -> bool {
+    rng.next_u64() & 1 == 0
+}
+
+/// A parser-producible literal. Numeric values are non-negative (the
+/// parser wraps a leading minus in `Expr::Neg`); `Bigint` is outside
+/// the i32 range (within it the parser yields `Int`); `Decimal` scale
+/// is ≥ 1 (scale 0 prints bare and re-parses as an integer); `Double`
+/// is excluded (no literal form produces it).
+fn gen_lit(rng: &mut TestRng) -> Value {
+    match pick(rng, 7) {
+        0 => Value::Null,
+        1 => Value::Bool(rbool(rng)),
+        2 => Value::Int((rng.next_u64() % i32::MAX as u64) as i32),
+        3 => Value::Bigint(i32::MAX as i64 + 1 + (rng.next_u64() % 1_000_000_000) as i64),
+        4 => Value::Decimal(Decimal::new(
+            (rng.next_u64() % 1_000_000_000) as i64,
+            1 + pick(rng, 4) as u8,
+        )),
+        // Printable ASCII including single quotes, to exercise escaping.
+        5 => Value::Str(Strategy::generate(&"[ -~]{0,12}", rng)),
+        _ => {
+            let (y, m, d) =
+                (1970 + pick(rng, 66) as i32, 1 + pick(rng, 12) as u32, 1 + pick(rng, 28) as u32);
+            Value::Date(Date::from_ymd(y, m, d).expect("valid ymd"))
+        }
+    }
+}
+
+/// Lower-case column names only: the lexer case-folds identifiers.
+fn gen_column(rng: &mut TestRng) -> Expr {
+    const NAMES: [&str; 5] = ["a", "b", "c", "x", "y"];
+    let name = NAMES[pick(rng, NAMES.len())].to_string();
+    let table = if pick(rng, 4) == 0 { Some("t".to_string()) } else { None };
+    Expr::Column { table, name }
+}
+
+fn gen_binop(rng: &mut TestRng) -> BinOp {
+    const OPS: [BinOp; 13] = [
+        BinOp::Or,
+        BinOp::And,
+        BinOp::Eq,
+        BinOp::NotEq,
+        BinOp::Lt,
+        BinOp::LtEq,
+        BinOp::Gt,
+        BinOp::GtEq,
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+    ];
+    OPS[pick(rng, OPS.len())]
+}
+
+/// Operand safe on the left of a postfix predicate (`IS NULL`,
+/// `BETWEEN`, `LIKE`, `IN`) or as a BETWEEN bound: those positions
+/// parse at `additive` precedence, so the operand must not itself be a
+/// postfix predicate or a bare NOT. `Binary` is safe because Display
+/// self-parenthesizes it.
+fn gen_pred_operand(rng: &mut TestRng) -> Expr {
+    match pick(rng, 3) {
+        0 => gen_column(rng),
+        1 => Expr::int(pick(rng, 10_000) as i32),
+        _ => Expr::Binary {
+            op: gen_binop(rng),
+            left: Box::new(gen_column(rng)),
+            right: Box::new(Expr::int(pick(rng, 100) as i32)),
+        },
+    }
+}
+
+fn gen_leaf(rng: &mut TestRng) -> Expr {
+    match pick(rng, 5) {
+        0 | 1 => Expr::Literal(gen_lit(rng)),
+        2 => gen_column(rng),
+        // Neg only over a column or a positive literal: `--x` would lex
+        // as a line comment, and `-5` must parse back as Neg(5).
+        3 => {
+            if rbool(rng) {
+                Expr::Neg(Box::new(gen_column(rng)))
+            } else {
+                Expr::Neg(Box::new(Expr::int(1 + pick(rng, 10_000) as i32)))
+            }
+        }
+        _ => {
+            const UNITS: [IntervalUnit; 3] =
+                [IntervalUnit::Day, IntervalUnit::Month, IntervalUnit::Year];
+            Expr::Interval { value: pick(rng, 10_000) as i32, unit: UNITS[pick(rng, 3)] }
+        }
+    }
+}
+
+/// True when `e` can appear as a comparison or arithmetic operand
+/// without parentheses. Postfix predicates and bare NOT bind looser
+/// than `additive`, and Display has no structural parenthesis node, so
+/// e.g. `a between 1 and 2 <> b` cannot re-parse. (The parser only
+/// builds such trees from explicitly parenthesized input.) `Binary` is
+/// safe because Display self-parenthesizes it.
+fn additive_safe(e: &Expr) -> bool {
+    !matches!(
+        e,
+        Expr::Between { .. }
+            | Expr::Like { .. }
+            | Expr::IsNull { .. }
+            | Expr::InList { .. }
+            | Expr::Not(_)
+    )
+}
+
+fn gen_operand(rng: &mut TestRng, depth: usize) -> Expr {
+    for _ in 0..8 {
+        let e = gen_expr(rng, depth);
+        if additive_safe(&e) {
+            return e;
+        }
+    }
+    gen_pred_operand(rng)
+}
+
+fn gen_expr(rng: &mut TestRng, depth: usize) -> Expr {
+    if depth == 0 {
+        return gen_leaf(rng);
+    }
+    let d = depth - 1;
+    match pick(rng, 12) {
+        0 => {
+            let op = gen_binop(rng);
+            // AND/OR operands parse at full predicate precedence; every
+            // other operator's operands must be additive-safe.
+            let (l, r) = if matches!(op, BinOp::And | BinOp::Or) {
+                (gen_expr(rng, d), gen_expr(rng, d))
+            } else {
+                (gen_operand(rng, d), gen_operand(rng, d))
+            };
+            Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        }
+        1 => Expr::Not(Box::new(gen_expr(rng, d))),
+        2 => Expr::IsNull { expr: Box::new(gen_pred_operand(rng)), negated: rbool(rng) },
+        3 => Expr::Like {
+            expr: Box::new(gen_column(rng)),
+            pattern: Strategy::generate(&"[ -~]{0,8}", rng),
+            negated: rbool(rng),
+        },
+        4 => Expr::Between {
+            expr: Box::new(gen_pred_operand(rng)),
+            low: Box::new(gen_pred_operand(rng)),
+            high: Box::new(gen_pred_operand(rng)),
+            negated: rbool(rng),
+        },
+        5 => Expr::InList {
+            expr: Box::new(gen_pred_operand(rng)),
+            list: (0..1 + pick(rng, 3)).map(|_| Expr::Literal(gen_lit(rng))).collect(),
+            negated: rbool(rng),
+        },
+        6 => {
+            let branches =
+                (0..1 + pick(rng, 2)).map(|_| (gen_expr(rng, d), gen_expr(rng, d))).collect();
+            let else_expr = if rbool(rng) { Some(Box::new(gen_expr(rng, d))) } else { None };
+            Expr::Case { branches, else_expr }
+        }
+        7 => Expr::Agg { func: AggFunc::Count, arg: None, distinct: false },
+        8 => {
+            const FUNCS: [AggFunc; 6] = [
+                AggFunc::Count,
+                AggFunc::Sum,
+                AggFunc::Avg,
+                AggFunc::Min,
+                AggFunc::Max,
+                AggFunc::Median,
+            ];
+            Expr::Agg {
+                func: FUNCS[pick(rng, FUNCS.len())],
+                arg: Some(Box::new(gen_expr(rng, d))),
+                distinct: rbool(rng),
+            }
+        }
+        9 => {
+            const FIELDS: [DateField; 3] = [DateField::Year, DateField::Month, DateField::Day];
+            Expr::Extract { field: FIELDS[pick(rng, 3)], expr: Box::new(gen_column(rng)) }
+        }
+        10 => {
+            const TYPES: [LogicalType; 7] = [
+                LogicalType::Int,
+                LogicalType::Bigint,
+                LogicalType::Double,
+                LogicalType::Varchar,
+                LogicalType::Date,
+                LogicalType::Bool,
+                LogicalType::Decimal { width: 12, scale: 2 },
+            ];
+            Expr::Cast { expr: Box::new(gen_expr(rng, d)), ty: TYPES[pick(rng, TYPES.len())] }
+        }
+        _ => {
+            let name = if rbool(rng) { "sqrt" } else { "abs" };
+            Expr::Function { name: name.to_string(), args: vec![gen_expr(rng, d)] }
+        }
+    }
+}
+
+/// Strategy adapters over the shim's `TestRng`.
+struct ExprTree;
+impl Strategy for ExprTree {
+    type Value = Expr;
+    fn generate(&self, rng: &mut TestRng) -> Expr {
+        gen_expr(rng, 3)
+    }
+}
+fn expr_tree() -> ExprTree {
+    ExprTree
+}
+
+struct LitValue;
+impl Strategy for LitValue {
+    type Value = Value;
+    fn generate(&self, rng: &mut TestRng) -> Value {
+        gen_lit(rng)
+    }
+}
+fn lit_value() -> LitValue {
+    LitValue
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // The load-bearing property for cache-key soundness: rendering any
+    // parser-producible expression and parsing it back yields the same
+    // AST. This fails against the pre-fix Display (unescaped quotes in
+    // `Value::Str`): e.g. `Str("a'b")` rendered as `'a'b'`, which does
+    // not lex.
+    #[test]
+    fn display_round_trips_through_the_parser(e in expr_tree()) {
+        let back = reparse(&e);
+        prop_assert!(back.is_ok(), "render of {:?} failed to re-parse: {:?}", e, back);
+        prop_assert_eq!(&back.unwrap(), &e, "render {} re-parsed differently", e);
+    }
+
+    // canon_value is injective over generated values: distinct values
+    // never share a rendering (the whole point of type tags).
+    #[test]
+    fn canon_value_is_injective(a in lit_value(), b in lit_value()) {
+        if a != b {
+            prop_assert!(canon_value(&a) != canon_value(&b), "{:?} vs {:?} collide", a, b);
+        } else {
+            prop_assert_eq!(canon_value(&a), canon_value(&b));
+        }
+    }
+}
+
+// -- satellite 1: the quote-escaping bug, pinned ------------------------
+
+/// The pre-fix rendering: `format!("'{s}'")` with no escaping.
+fn old_str_render(s: &str) -> String {
+    format!("'{s}'")
+}
+
+#[test]
+fn old_unescaped_rendering_does_not_reparse() {
+    // `Str("a'b")` under the old rendering produced `'a'b'`: the lexer
+    // closes the literal at the embedded quote and trips over the rest.
+    let old = old_str_render("a'b");
+    assert_eq!(old, "'a'b'");
+    assert!(
+        parse_statement(&format!("SELECT {old} FROM t")).is_err(),
+        "old rendering of an embedded quote must not lex"
+    );
+    // The fixed Display escapes and round-trips the same value.
+    let e = Expr::Literal(Value::Str("a'b".to_string()));
+    assert_eq!(e.to_string(), "'a''b'");
+    assert_eq!(reparse(&e).unwrap(), e);
+}
+
+#[test]
+fn old_unescaped_rendering_collides_distinct_asts() {
+    // Under the old rendering, a single-element IN list over
+    // `Str("a','b")` prints exactly like a two-element list over "a"
+    // and "b" — two distinct ASTs, one text, i.e. one cache key.
+    let one = Expr::InList {
+        expr: Box::new(Expr::col("x")),
+        list: vec![Expr::Literal(Value::Str("a','b".to_string()))],
+        negated: false,
+    };
+    let two = Expr::InList {
+        expr: Box::new(Expr::col("x")),
+        list: vec![
+            Expr::Literal(Value::Str("a".to_string())),
+            Expr::Literal(Value::Str("b".to_string())),
+        ],
+        negated: false,
+    };
+    let old_one = format!("x in ({})", old_str_render("a','b"));
+    let old_two = format!("x in ({},{})", old_str_render("a"), old_str_render("b"));
+    // "x in ('a','b')" both ways — identical text for distinct ASTs.
+    assert_eq!(old_one, old_two);
+    // The fixed Display keeps them distinct and round-trippable.
+    assert_ne!(one.to_string(), two.to_string());
+    assert_eq!(reparse(&one).unwrap(), one);
+    assert_eq!(reparse(&two).unwrap(), two);
+}
+
+// -- satellite 2: the type-ambiguity bug, pinned ------------------------
+
+/// The pre-fix cache-key literal rendering: bare `Display`, no type tag.
+fn old_untyped_render(v: &Value) -> String {
+    format!("{v}")
+}
+
+#[test]
+fn old_untyped_rendering_collides_across_types() {
+    // All five of these printed as the bare text `5` under the old
+    // rendering — five different typed literals, one cache key. A plan
+    // bound for `x = 5` (int) would be replayed for `x = '5'` (str).
+    let five = [
+        Value::Int(5),
+        Value::Bigint(5),
+        Value::Double(5.0),
+        Value::Decimal(Decimal::new(5, 0)),
+        Value::Str("5".to_string()),
+    ];
+    for v in &five {
+        assert_eq!(old_untyped_render(v), "5", "{v:?} renders bare under the old scheme");
+    }
+    // canon_value keeps every pair distinct.
+    for (i, a) in five.iter().enumerate() {
+        for b in &five[i + 1..] {
+            assert_ne!(canon_value(a), canon_value(b), "{a:?} vs {b:?} must not collide");
+        }
+    }
+}
+
+#[test]
+fn old_untyped_rendering_collides_decimal_scales() {
+    // 110@2 (1.10) and 1100@3 (1.100) are numerically equal but bind
+    // and cast differently; the canonical key separates raw and scale.
+    let a = Value::Decimal(Decimal::new(110, 2));
+    let b = Value::Decimal(Decimal::new(1100, 3));
+    assert_ne!(canon_value(&a), canon_value(&b));
+    assert_eq!(canon_value(&a), "dec:110.2");
+    assert_eq!(canon_value(&b), "dec:1100.3");
+}
+
+#[test]
+fn canon_value_escapes_quotes_in_strings() {
+    assert_eq!(canon_value(&Value::Str("a'b".to_string())), "str:'a''b'");
+    // The classic smuggle: without escaping, Str("a','b") and the pair
+    // ("a", "b") produce the same key material in list position.
+    let smuggled = canon_value(&Value::Str("a','b".to_string()));
+    let pair = format!(
+        "{},{}",
+        canon_value(&Value::Str("a".to_string())),
+        canon_value(&Value::Str("b".to_string()))
+    );
+    assert_ne!(smuggled, pair);
+}

@@ -48,6 +48,12 @@ fn pinned_exec() -> ExecOptions {
         use_candidates: true,
         use_zonemaps: true,
         use_dict: true,
+        // Caches pinned off: cache-status tags must never reach the
+        // rendered plan snapshots.
+        use_plan_cache: false,
+        use_result_cache: false,
+        plan_cache_bytes: 0,
+        result_cache_bytes: 0,
     }
 }
 
